@@ -1,0 +1,249 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tensor/serialize.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace musenet::bench {
+
+namespace ts = musenet::tensor;
+
+ExperimentContext MakeContext(const std::string& experiment_name) {
+  ExperimentContext ctx;
+  ctx.scale = ResolveBenchScale();
+  ctx.train.epochs = ctx.scale.epochs;
+  ctx.train.batch_size = ctx.scale.batch_size;
+  ctx.train.seed = ctx.scale.seed;
+  ctx.train.learning_rate = ctx.scale.name == "paper" ? 2e-4 : 1e-3;
+  // Early stopping keeps the budget bounded while letting slow-converging
+  // models (MUSE-Net trains more parameters than the baselines) reach their
+  // plateau; the rule is identical for every model.
+  ctx.train.patience = ctx.scale.name == "paper" ? 0 : 15;
+  ctx.max_train_samples = ctx.scale.name == "paper"   ? 0
+                          : ctx.scale.name == "smoke" ? 120
+                                                      : 320;
+  ctx.results_dir = GetEnvOr("MUSE_BENCH_RESULTS_DIR", "results");
+  std::filesystem::create_directories(ctx.results_dir);
+  std::filesystem::create_directories(ctx.results_dir + "/cache");
+
+  std::printf("=== %s ===\n", experiment_name.c_str());
+  std::printf(
+      "scale=%s seed=%llu epochs=%d lr=%g batch=%d d=%lld k=%lld "
+      "max_train_samples=%lld\n\n",
+      ctx.scale.name.c_str(),
+      static_cast<unsigned long long>(ctx.scale.seed), ctx.train.epochs,
+      ctx.train.learning_rate, ctx.train.batch_size,
+      static_cast<long long>(ctx.scale.repr_dim),
+      static_cast<long long>(ctx.scale.dist_dim),
+      static_cast<long long>(ctx.max_train_samples));
+  return ctx;
+}
+
+data::TrafficDataset LoadDataset(sim::DatasetId id,
+                                 const ExperimentContext& ctx,
+                                 int64_t horizon_offset) {
+  sim::FlowSeries flows =
+      sim::GenerateDatasetFlows(id, ctx.scale, ctx.scale.seed);
+  data::DatasetOptions options;
+  options.horizon_offset = horizon_offset;
+  options.max_train_samples = ctx.max_train_samples;
+  return data::TrafficDataset(std::move(flows), options);
+}
+
+muse::MuseNetConfig MakeMuseConfig(const data::TrafficDataset& dataset,
+                                   const ExperimentContext& ctx) {
+  muse::MuseNetConfig config;
+  config.grid_h = dataset.grid_height();
+  config.grid_w = dataset.grid_width();
+  config.periodicity = dataset.options().spec;
+  config.repr_dim = ctx.scale.repr_dim;
+  config.dist_dim = ctx.scale.dist_dim;
+  return config;
+}
+
+baselines::BaselineSizing MakeSizing(const data::TrafficDataset& dataset,
+                                     const ExperimentContext& ctx) {
+  baselines::BaselineSizing sizing;
+  sizing.grid_h = dataset.grid_height();
+  sizing.grid_w = dataset.grid_width();
+  sizing.spec = dataset.options().spec;
+  sizing.hidden = ctx.scale.repr_dim;
+  sizing.seed = ctx.scale.seed;
+  return sizing;
+}
+
+std::unique_ptr<eval::Forecaster> MakeModel(const std::string& name,
+                                            const data::TrafficDataset& ds,
+                                            const ExperimentContext& ctx) {
+  if (name == "MUSE-Net") {
+    return std::make_unique<muse::MuseNet>(MakeMuseConfig(ds, ctx),
+                                           ctx.scale.seed);
+  }
+  for (muse::MuseVariant variant :
+       {muse::MuseVariant::kWithoutSpatial,
+        muse::MuseVariant::kWithoutMultiDisentangle,
+        muse::MuseVariant::kWithoutSemanticPushing,
+        muse::MuseVariant::kWithoutSemanticPulling}) {
+    if (name == muse::VariantName(variant)) {
+      return muse::MakeMuseVariant(MakeMuseConfig(ds, ctx), variant,
+                                   ctx.scale.seed);
+    }
+  }
+  auto baseline = baselines::MakeBaseline(name, MakeSizing(ds, ctx));
+  MUSE_CHECK(baseline != nullptr) << "unknown model " << name;
+  return baseline;
+}
+
+namespace {
+
+std::string CacheKey(sim::DatasetId id, const std::string& model_name,
+                     int64_t horizon_offset, const ExperimentContext& ctx) {
+  std::string sanitized = model_name;
+  for (char& ch : sanitized) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return ctx.results_dir + "/cache/" + ctx.scale.name + "_s" +
+         std::to_string(ctx.scale.seed) + "_" + sim::DatasetName(id) + "_h" +
+         std::to_string(horizon_offset) + "_" + sanitized + ".tensors";
+}
+
+}  // namespace
+
+eval::PredictionSeries GetOrComputePredictions(sim::DatasetId id,
+                                               const std::string& model_name,
+                                               int64_t horizon_offset,
+                                               const ExperimentContext& ctx) {
+  const std::string path = CacheKey(id, model_name, horizon_offset, ctx);
+  const bool cache_enabled = GetEnvOr("MUSE_BENCH_NO_CACHE", "0") != "1";
+  if (cache_enabled) {
+    auto loaded = ts::LoadTensors(path);
+    if (loaded.ok() && loaded->count("predictions") &&
+        loaded->count("truths") && loaded->count("indices")) {
+      eval::PredictionSeries series;
+      series.predictions = loaded->at("predictions");
+      series.truths = loaded->at("truths");
+      const ts::Tensor& idx = loaded->at("indices");
+      for (int64_t i = 0; i < idx.num_elements(); ++i) {
+        series.target_indices.push_back(static_cast<int64_t>(idx.flat(i)));
+      }
+      std::printf("  [%s @ %s h=%lld] cached\n", model_name.c_str(),
+                  sim::DatasetName(id).c_str(),
+                  static_cast<long long>(horizon_offset));
+      return series;
+    }
+  }
+
+  data::TrafficDataset dataset = LoadDataset(id, ctx, horizon_offset);
+  std::unique_ptr<eval::Forecaster> model =
+      MakeModel(model_name, dataset, ctx);
+  Stopwatch watch;
+  model->Train(dataset, ctx.train);
+  eval::PredictionSeries series = eval::CollectPredictions(
+      *model, dataset, dataset.test_indices(), ctx.train.batch_size);
+  std::printf("  [%s @ %s h=%lld] trained in %.0fs\n", model_name.c_str(),
+              sim::DatasetName(id).c_str(),
+              static_cast<long long>(horizon_offset),
+              watch.ElapsedSeconds());
+  std::fflush(stdout);
+
+  if (cache_enabled) {
+    ts::Tensor idx(ts::Shape(
+        {static_cast<int64_t>(series.target_indices.size())}));
+    for (size_t i = 0; i < series.target_indices.size(); ++i) {
+      idx.flat(static_cast<int64_t>(i)) =
+          static_cast<float>(series.target_indices[i]);
+    }
+    std::map<std::string, ts::Tensor> blob;
+    blob.emplace("predictions", series.predictions);
+    blob.emplace("truths", series.truths);
+    blob.emplace("indices", std::move(idx));
+    const Status status = ts::SaveTensors(path, blob);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cache write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  return series;
+}
+
+std::unique_ptr<muse::MuseNet> GetOrTrainMuse(sim::DatasetId id,
+                                              const data::TrafficDataset& ds,
+                                              const ExperimentContext& ctx) {
+  auto model = std::make_unique<muse::MuseNet>(MakeMuseConfig(ds, ctx),
+                                               ctx.scale.seed);
+  const std::string path =
+      ctx.results_dir + "/cache/" + ctx.scale.name + "_s" +
+      std::to_string(ctx.scale.seed) + "_" + sim::DatasetName(id) +
+      "_muse.ckpt";
+  const bool cache_enabled = GetEnvOr("MUSE_BENCH_NO_CACHE", "0") != "1";
+  if (cache_enabled) {
+    auto loaded = ts::LoadTensors(path);
+    if (loaded.ok() && model->LoadStateDict(*loaded).ok()) {
+      model->SetTraining(false);
+      std::printf("  [MUSE-Net @ %s] checkpoint loaded\n",
+                  sim::DatasetName(id).c_str());
+      return model;
+    }
+  }
+  Stopwatch watch;
+  model->Train(ds, ctx.train);
+  std::printf("  [MUSE-Net @ %s] trained in %.0fs\n",
+              sim::DatasetName(id).c_str(), watch.ElapsedSeconds());
+  std::fflush(stdout);
+  if (cache_enabled) {
+    const Status status = ts::SaveTensors(path, model->StateDict());
+    if (!status.ok()) {
+      std::fprintf(stderr, "checkpoint write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  return model;
+}
+
+eval::FlowMetrics MetricsFromSeries(const eval::PredictionSeries& series,
+                                    const data::TrafficDataset& dataset,
+                                    eval::TimeBucket bucket) {
+  eval::MetricAccumulator out_acc;
+  eval::MetricAccumulator in_acc;
+  const auto& flows = dataset.flows();
+  const int64_t n = series.predictions.dim(0);
+  const int64_t plane =
+      series.predictions.dim(2) * series.predictions.dim(3);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t t = series.target_indices[static_cast<size_t>(i)];
+    if (!eval::InBucket(flows, t, bucket)) continue;
+    for (int flow = 0; flow < 2; ++flow) {
+      eval::MetricAccumulator& acc =
+          flow == sim::kOutflow ? out_acc : in_acc;
+      const int64_t base = (i * 2 + flow) * plane;
+      for (int64_t k = 0; k < plane; ++k) {
+        acc.Add(series.predictions.flat(base + k),
+                series.truths.flat(base + k));
+      }
+    }
+  }
+  return eval::FlowMetrics{.outflow = eval::ToRow(out_acc),
+                           .inflow = eval::ToRow(in_acc)};
+}
+
+std::string F2(double v) { return FormatDouble(v, 2); }
+
+std::string Pct(double fraction) { return FormatPercent(fraction); }
+
+void EmitTable(const ExperimentContext& ctx, const std::string& name,
+               TablePrinter& table) {
+  std::printf("%s\n", table.ToString().c_str());
+  const std::string path = ctx.results_dir + "/" + name + ".csv";
+  const Status status = table.WriteCsv(path);
+  if (status.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "CSV write failed: %s\n", status.ToString().c_str());
+  }
+}
+
+}  // namespace musenet::bench

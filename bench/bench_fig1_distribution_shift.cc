@@ -1,0 +1,123 @@
+// Reproduces Fig. 1: the two distribution-shift phenomena in traffic series.
+//
+// The paper illustrates (a) *level shift* — a sub-series (e.g. closeness)
+// whose overall level differs from another (e.g. trend), and (b) *point
+// shift* — outliers within a series. Both arise in the simulator from
+// level-/point-shift events. This bench quantifies them instead of plotting:
+// for each dataset it reports the level divergence between closeness and
+// trend windows around level events, and the outlier z-scores around point
+// events.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/city.h"
+
+namespace musenet {
+namespace {
+
+using bench::ExperimentContext;
+
+/// Mean city-wide outflow over [start, start+len).
+double MeanFlow(const sim::FlowSeries& flows, int64_t start, int64_t len) {
+  double total = 0.0;
+  int64_t count = 0;
+  const auto& grid = flows.grid();
+  for (int64_t t = std::max<int64_t>(0, start);
+       t < std::min(flows.num_intervals(), start + len); ++t) {
+    for (int64_t h = 0; h < grid.height; ++h) {
+      for (int64_t w = 0; w < grid.width; ++w) {
+        total += flows.at(t, sim::kOutflow, h, w);
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+void RunDataset(sim::DatasetId id, const ExperimentContext& ctx,
+                TablePrinter* table) {
+  const sim::CityConfig config =
+      sim::MakeCityConfig(id, ctx.scale, ctx.scale.seed);
+  sim::City city(config, ctx.scale.seed * 7919ULL +
+                             static_cast<uint64_t>(id) + 1);
+  const sim::FlowSeries flows = city.Simulate().flows;
+  const int f = config.intervals_per_day;
+
+  // Level shift: during a suppression/boost event, the "closeness" level
+  // diverges from the same timeslots one week earlier (the trend view).
+  int level_events = 0;
+  double level_ratio = 0.0;
+  int point_events = 0;
+  double max_z = 0.0;
+
+  for (const sim::ShiftEvent& event : config.shifts) {
+    if (event.kind == sim::ShiftEvent::Kind::kLevel) {
+      const int64_t start = event.start_interval;
+      if (start - 7 * f < 0 || start + event.duration > flows.num_intervals())
+        continue;
+      const double now = MeanFlow(flows, start, event.duration);
+      const double week_ago = MeanFlow(flows, start - 7 * f, event.duration);
+      if (week_ago > 1e-6) {
+        level_ratio += now / week_ago;
+        ++level_events;
+      }
+    } else {
+      // Point shift: z-score of the event region's outflow during the burst
+      // against that region's overall distribution.
+      const auto& region = event.region;
+      double mean = 0.0, var = 0.0;
+      for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+        mean += flows.at(t, sim::kOutflow, region.h, region.w);
+      }
+      mean /= static_cast<double>(flows.num_intervals());
+      for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+        const double d =
+            flows.at(t, sim::kOutflow, region.h, region.w) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(flows.num_intervals());
+      const double sd = std::sqrt(std::max(var, 1e-9));
+      for (int64_t t = event.start_interval;
+           t < std::min(flows.num_intervals(),
+                        event.start_interval + event.duration);
+           ++t) {
+        max_z = std::max(
+            max_z, (flows.at(t, sim::kOutflow, region.h, region.w) - mean) /
+                       sd);
+      }
+      ++point_events;
+    }
+  }
+
+  table->AddRow(
+      {sim::DatasetName(id), std::to_string(level_events),
+       level_events > 0 ? bench::F2(level_ratio / level_events) : "-",
+       std::to_string(point_events),
+       point_events > 0 ? bench::F2(max_z) : "-"});
+}
+
+}  // namespace
+}  // namespace musenet
+
+int main() {
+  using namespace musenet;
+  bench::ExperimentContext ctx =
+      bench::MakeContext("Fig. 1 — distribution shift (level & point)");
+
+  TablePrinter table({"Dataset", "LevelEvents", "Closeness/Trend level ratio",
+                      "PointEvents", "Max outlier z-score"});
+  for (sim::DatasetId id : sim::kAllDatasets) {
+    RunDataset(id, ctx, &table);
+  }
+  bench::EmitTable(ctx, "fig1_distribution_shift", table);
+
+  std::printf(
+      "Shape check vs paper Fig. 1: level events push the closeness window\n"
+      "far from its weekly (trend) level (ratio well below/above 1), and\n"
+      "point events appear as strong outliers (z >> 3) — the two shift\n"
+      "phenomena MUSE-Net's exclusive representations are built to absorb.\n");
+  return 0;
+}

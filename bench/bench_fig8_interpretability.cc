@@ -1,0 +1,138 @@
+// Reproduces Fig. 8: interpretability of the disentangled representations —
+// exclusive representations align with future flow during *peak* periods
+// (fluctuating traffic), while the interactive representation aligns during
+// *non-peak* periods (steady traffic). TaxiBJ, a 39-hour window, as in the
+// paper.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/similarity.h"
+#include "bench/bench_common.h"
+#include "eval/splits.h"
+#include "tensor/tensor_ops.h"
+
+namespace musenet {
+namespace {
+
+namespace ts = musenet::tensor;
+namespace ag = musenet::autograd;
+
+/// Per-sample cosine similarity between the *spatial patterns* of a
+/// representation map and the future flow: channel-averaged maps are
+/// mean-centered per sample before the cosine, so a constant offset (all
+/// representations positive, all scaled flows near −1) cannot saturate the
+/// similarity at ±1. This mirrors the paper's heatmaps, which compare
+/// spatial structure.
+std::vector<double> SpatialSimilarity(const ts::Tensor& z_map,
+                                      const ts::Tensor& future) {
+  // z_map: [B, d, H, W]; future: [B, 2, H, W].
+  ts::Tensor z = ts::Mean(z_map, 1);    // [B, H, W]
+  ts::Tensor y = ts::Mean(future, 1);   // [B, H, W]
+  const int64_t b = z.dim(0);
+  const int64_t plane = z.dim(1) * z.dim(2);
+  std::vector<double> out(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    double mz = 0.0, my = 0.0;
+    for (int64_t k = 0; k < plane; ++k) {
+      mz += z.flat(i * plane + k);
+      my += y.flat(i * plane + k);
+    }
+    mz /= plane;
+    my /= plane;
+    double dot = 0.0, nz = 0.0, ny = 0.0;
+    for (int64_t k = 0; k < plane; ++k) {
+      const double a = z.flat(i * plane + k) - mz;
+      const double c = y.flat(i * plane + k) - my;
+      dot += a * c;
+      nz += a * a;
+      ny += c * c;
+    }
+    const double denom = std::sqrt(nz * ny);
+    out[static_cast<size_t>(i)] = denom < 1e-12 ? 0.0 : dot / denom;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace musenet
+
+int main() {
+  using namespace musenet;
+  namespace ts = musenet::tensor;
+  bench::ExperimentContext ctx = bench::MakeContext(
+      "Fig. 8 — peak/non-peak interpretability of representations (TaxiBJ)");
+
+  const sim::DatasetId id = sim::DatasetId::kTaxiBj;
+  data::TrafficDataset dataset = bench::LoadDataset(id, ctx);
+  auto model = bench::GetOrTrainMuse(id, dataset, ctx);
+  model->SetTraining(false);
+  const auto& flows = dataset.flows();
+
+  // A consecutive window of test samples (~39 hours at f = 48 ⇒ 78 frames).
+  const int64_t window = std::min<int64_t>(
+      78, static_cast<int64_t>(dataset.test_indices().size()));
+
+  double excl_peak = 0.0, excl_off = 0.0;
+  double inter_peak = 0.0, inter_off = 0.0;
+  int64_t n_peak = 0, n_off = 0;
+
+  TablePrinter series({"interval", "hour", "peak", "sim Z^C", "sim Z^P",
+                       "sim Z^T", "sim Z^S"});
+
+  for (int64_t begin = 0; begin < window; begin += 8) {
+    data::Batch batch = dataset.MakeBatchFromPool(
+        dataset.test_indices(), static_cast<size_t>(begin), 8);
+    auto forward = model->Forward(batch, /*stochastic=*/false);
+    const auto sc = SpatialSimilarity(
+        forward.exclusive[muse::kCloseness].representation.value(),
+        batch.target);
+    const auto sp = SpatialSimilarity(
+        forward.exclusive[muse::kPeriod].representation.value(),
+        batch.target);
+    const auto st = SpatialSimilarity(
+        forward.exclusive[muse::kTrend].representation.value(),
+        batch.target);
+    const auto ss = SpatialSimilarity(
+        forward.interactive[0].representation.value(), batch.target);
+    for (size_t b = 0; b < sc.size(); ++b) {
+      const int64_t t = batch.target_indices[b];
+      const bool peak = eval::IsPeakInterval(flows, t);
+      const double excl_mean = (sc[b] + sp[b] + st[b]) / 3.0;
+      if (peak) {
+        excl_peak += excl_mean;
+        inter_peak += ss[b];
+        ++n_peak;
+      } else {
+        excl_off += excl_mean;
+        inter_off += ss[b];
+        ++n_off;
+      }
+      series.AddRow({std::to_string(t), bench::F2(flows.HourOfDay(t)),
+                     peak ? "1" : "0", bench::F2(sc[b]), bench::F2(sp[b]),
+                     bench::F2(st[b]), bench::F2(ss[b])});
+    }
+  }
+  (void)series.WriteCsv(ctx.results_dir + "/fig8_series.csv");
+
+  TablePrinter table({"Representation", "Mean sim (peak)",
+                      "Mean sim (non-peak)", "Peak − NonPeak"});
+  const double ep = excl_peak / std::max<int64_t>(1, n_peak);
+  const double eo = excl_off / std::max<int64_t>(1, n_off);
+  const double ip = inter_peak / std::max<int64_t>(1, n_peak);
+  const double io = inter_off / std::max<int64_t>(1, n_off);
+  table.AddRow({"Exclusive (avg of Z^C,Z^P,Z^T)", bench::F2(ep),
+                bench::F2(eo), bench::F2(ep - eo)});
+  table.AddRow({"Interactive (Z^S)", bench::F2(ip), bench::F2(io),
+                bench::F2(ip - io)});
+  bench::EmitTable(ctx, "fig8_interpretability", table);
+
+  std::printf(
+      "Shape check vs paper Fig. 8: the paper finds exclusive codes aligning\n"
+      "with future flow during peaks (positive Peak−NonPeak gap) and the\n"
+      "interactive code during non-peak periods (negative gap). At reduced\n"
+      "scale expect the interactive gap's sign to match and the exclusive\n"
+      "gap to be small (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Fig. 9: sensitivity of MUSE-Net to its three hyper-parameters
+// on NYC-Bike — (a) the trade-off λ, (b) the distribution dimension k and
+// (c) the representation dimension d. The paper repeats each setting ten
+// times over wide grids (λ ∈ 1e-3…1e3, k ∈ 16…1024, d ∈ 16…320); we sweep a
+// reduced 3-point grid per parameter with 2 repeats at a reduced epoch
+// budget — sweeps dominate the harness cost and the relative shape is what
+// matters. Widen the loops below for a fuller sweep.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace musenet {
+namespace {
+
+struct SweepPoint {
+  std::string label;
+  double mean_rmse;
+  double min_rmse;
+  double max_rmse;
+};
+
+SweepPoint RunPoint(const std::string& label, muse::MuseNetConfig config,
+                    const data::TrafficDataset& dataset,
+                    const bench::ExperimentContext& ctx, int repeats) {
+  SweepPoint point{label, 0.0, 1e18, -1e18};
+  for (int r = 0; r < repeats; ++r) {
+    muse::MuseNet model(config, ctx.scale.seed + 101 * r);
+    eval::TrainConfig train = ctx.train;
+    // Sweeps use a reduced budget (many trainings; see file comment).
+    train.epochs = std::max(8, ctx.train.epochs / 4);
+    train.seed = ctx.scale.seed + 13 * r;
+    model.Train(dataset, train);
+    const double rmse =
+        eval::EvaluateOnTest(model, dataset, train.batch_size).outflow.rmse;
+    point.mean_rmse += rmse;
+    point.min_rmse = std::min(point.min_rmse, rmse);
+    point.max_rmse = std::max(point.max_rmse, rmse);
+  }
+  point.mean_rmse /= repeats;
+  std::printf("  %s: RMSE %.2f [%.2f, %.2f]\n", label.c_str(),
+              point.mean_rmse, point.min_rmse, point.max_rmse);
+  std::fflush(stdout);
+  return point;
+}
+
+}  // namespace
+}  // namespace musenet
+
+int main() {
+  using namespace musenet;
+  bench::ExperimentContext ctx = bench::MakeContext(
+      "Fig. 9 — hyper-parameter sensitivity (λ, k, d) on NYC-Bike");
+
+  data::TrafficDataset dataset =
+      bench::LoadDataset(sim::DatasetId::kNycBike, ctx);
+  const muse::MuseNetConfig base = bench::MakeMuseConfig(dataset, ctx);
+  const int repeats = ctx.scale.name == "smoke" ? 1 : 2;
+
+  // (a) λ sweep — the paper uses 1e-3 … 1e3; performance is stable near 1
+  // and degrades/destabilizes at the extremes.
+  TablePrinter lambda_table({"lambda", "RMSE mean", "RMSE min", "RMSE max"});
+  for (double lambda : {0.1, 1.0, 10.0}) {
+    muse::MuseNetConfig config = base;
+    config.lambda = lambda;
+    auto p = RunPoint("lambda=" + bench::F2(lambda), config, dataset, ctx,
+                      repeats);
+    lambda_table.AddRow({bench::F2(lambda), bench::F2(p.mean_rmse),
+                         bench::F2(p.min_rmse), bench::F2(p.max_rmse)});
+  }
+  bench::EmitTable(ctx, "fig9a_lambda", lambda_table);
+
+  // (b) k sweep — paper: 16 … 1024, flat response. Scaled to the bench dims.
+  TablePrinter k_table({"k", "RMSE mean", "RMSE min", "RMSE max"});
+  for (int64_t k : {16, 32, 64}) {
+    muse::MuseNetConfig config = base;
+    config.dist_dim = k;
+    auto p =
+        RunPoint("k=" + std::to_string(k), config, dataset, ctx, repeats);
+    k_table.AddRow({std::to_string(k), bench::F2(p.mean_rmse),
+                    bench::F2(p.min_rmse), bench::F2(p.max_rmse)});
+  }
+  bench::EmitTable(ctx, "fig9b_k", k_table);
+
+  // (c) d sweep — paper: 16 … 320, mild response with best near d = 64.
+  TablePrinter d_table({"d", "RMSE mean", "RMSE min", "RMSE max"});
+  for (int64_t d : {8, 12, 16}) {
+    muse::MuseNetConfig config = base;
+    config.repr_dim = d;
+    auto p =
+        RunPoint("d=" + std::to_string(d), config, dataset, ctx, repeats);
+    d_table.AddRow({std::to_string(d), bench::F2(p.mean_rmse),
+                    bench::F2(p.min_rmse), bench::F2(p.max_rmse)});
+  }
+  bench::EmitTable(ctx, "fig9c_d", d_table);
+
+  std::printf(
+      "Shape check vs paper Fig. 9: the λ response is U-shaped/unstable at\n"
+      "the extremes and best near λ = 1; performance is largely flat in k;\n"
+      "d shows a mild optimum at moderate width.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Google-benchmark microbenchmarks of the deep-learning substrate: the
+// kernels whose throughput bounds every experiment in this repository
+// (conv2d forward/backward, matmul, elementwise, autograd round trips and a
+// full MUSE-Net training step).
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "muse/model.h"
+#include "nn/conv.h"
+#include "optim/adam.h"
+#include "tensor/conv2d.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace musenet {
+namespace {
+
+namespace ts = musenet::tensor;
+namespace ag = musenet::autograd;
+
+void BM_TensorAdd(benchmark::State& state) {
+  Rng rng(1);
+  const int64_t n = state.range(0);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({n}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({n}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TensorAdd)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(2);
+  const int64_t n = state.range(0);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({n, n}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({n, n}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(3);
+  const int64_t hw = state.range(0);
+  ts::Tensor input =
+      ts::Tensor::RandomNormal(ts::Shape({8, 12, hw, hw}), rng);
+  ts::Tensor weight =
+      ts::Tensor::RandomNormal(ts::Shape({12, 12, 3, 3}), rng);
+  const ts::Conv2dSpec spec{.stride = 1, .pad = 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Conv2dForward(input, weight, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 12 * 12 * 9 * hw * hw);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t hw = state.range(0);
+  ts::Tensor input =
+      ts::Tensor::RandomNormal(ts::Shape({8, 12, hw, hw}), rng);
+  ts::Tensor weight =
+      ts::Tensor::RandomNormal(ts::Shape({12, 12, 3, 3}), rng);
+  const ts::Conv2dSpec spec{.stride = 1, .pad = 1};
+  ts::Tensor grad_out = ts::Tensor::RandomNormal(
+      ts::Shape({8, 12, hw, hw}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ts::Conv2dBackwardInput(grad_out, weight, input.shape(), spec));
+    benchmark::DoNotOptimize(
+        ts::Conv2dBackwardWeight(grad_out, input, weight.shape(), spec));
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_AutogradRoundTrip(benchmark::State& state) {
+  Rng rng(5);
+  nn::Conv2d conv(12, 12, rng,
+                  nn::Conv2d::Options{.activation =
+                                          nn::Activation::kLeakyRelu});
+  ts::Tensor input =
+      ts::Tensor::RandomNormal(ts::Shape({8, 12, 10, 10}), rng);
+  for (auto _ : state) {
+    ag::Variable x = ag::Constant(input);
+    ag::Variable loss = ag::MeanAll(ag::Square(conv.Forward(x)));
+    conv.ZeroGrad();
+    ag::Backward(loss);
+    benchmark::DoNotOptimize(loss.value().scalar());
+  }
+}
+BENCHMARK(BM_AutogradRoundTrip);
+
+void BM_MuseNetTrainStep(benchmark::State& state) {
+  muse::MuseNetConfig config;
+  config.grid_h = 5;
+  config.grid_w = 10;
+  config.repr_dim = 12;
+  config.dist_dim = 32;
+  muse::MuseNet model(config, 7);
+  optim::Adam optimizer(model.Parameters(), 1e-3);
+
+  Rng rng(6);
+  data::Batch batch;
+  batch.closeness = ts::Tensor::RandomUniform(
+      ts::Shape({8, config.periodicity.ClosenessChannels(), 5, 10}), rng,
+      -1.0f, 1.0f);
+  batch.period = ts::Tensor::RandomUniform(
+      ts::Shape({8, config.periodicity.PeriodChannels(), 5, 10}), rng, -1.0f,
+      1.0f);
+  batch.trend = ts::Tensor::RandomUniform(
+      ts::Shape({8, config.periodicity.TrendChannels(), 5, 10}), rng, -1.0f,
+      1.0f);
+  batch.target =
+      ts::Tensor::RandomUniform(ts::Shape({8, 2, 5, 10}), rng, -1.0f, 1.0f);
+  for (int i = 0; i < 8; ++i) batch.target_indices.push_back(i);
+
+  for (auto _ : state) {
+    auto forward = model.Forward(batch, /*stochastic=*/true);
+    ag::Variable loss = model.ComputeLoss(forward, batch, nullptr);
+    model.ZeroGrad();
+    ag::Backward(loss);
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().scalar());
+  }
+}
+BENCHMARK(BM_MuseNetTrainStep);
+
+void BM_MuseNetInference(benchmark::State& state) {
+  muse::MuseNetConfig config;
+  config.grid_h = 5;
+  config.grid_w = 10;
+  config.repr_dim = 12;
+  config.dist_dim = 32;
+  muse::MuseNet model(config, 7);
+  model.SetTraining(false);
+
+  Rng rng(6);
+  data::Batch batch;
+  batch.closeness = ts::Tensor::RandomUniform(
+      ts::Shape({8, config.periodicity.ClosenessChannels(), 5, 10}), rng,
+      -1.0f, 1.0f);
+  batch.period = ts::Tensor::RandomUniform(
+      ts::Shape({8, config.periodicity.PeriodChannels(), 5, 10}), rng, -1.0f,
+      1.0f);
+  batch.trend = ts::Tensor::RandomUniform(
+      ts::Shape({8, config.periodicity.TrendChannels(), 5, 10}), rng, -1.0f,
+      1.0f);
+  batch.target =
+      ts::Tensor::RandomUniform(ts::Shape({8, 2, 5, 10}), rng, -1.0f, 1.0f);
+  for (int i = 0; i < 8; ++i) batch.target_indices.push_back(i);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(batch));
+  }
+}
+BENCHMARK(BM_MuseNetInference);
+
+}  // namespace
+}  // namespace musenet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Reproduces Table II: one-step forecasting comparison on NYC-Bike,
+// NYC-Taxi and TaxiBJ — RMSE / MAE / MAPE for outflow and inflow, per
+// method, plus the paper's "Improvement" row (best baseline vs MUSE-Net).
+//
+// Baseline roster: representatives of every class in the paper's Table II
+// (RNN-based: RNN, Seq2Seq; GNN-based: CONVGCN; attention-based: GMAN,
+// STGSP; disentangle-based: ST-Norm; CNN-based: DeepSTN+; self-supervised:
+// ST-SSL), plus a HistoricalAverage reference that is not in the paper.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace musenet;
+  bench::ExperimentContext ctx =
+      bench::MakeContext("Table II — one-step forecasting comparison");
+
+  const std::vector<std::string> methods = {
+      "HistoricalAverage", "RNN",     "Seq2Seq",  "CONVGCN", "GMAN",
+      "ST-Norm",           "STGSP",   "DeepSTN+", "ST-SSL",  "MUSE-Net"};
+
+  for (sim::DatasetId id : sim::kAllDatasets) {
+    data::TrafficDataset dataset = bench::LoadDataset(id, ctx);
+    std::printf("--- %s ---\n", sim::DatasetName(id).c_str());
+
+    TablePrinter table({"Method", "Out RMSE", "Out MAE", "Out MAPE",
+                        "In RMSE", "In MAE", "In MAPE"});
+    double best_baseline_out_rmse = 1e18;
+    double best_baseline_in_rmse = 1e18;
+    double muse_out_rmse = 0.0;
+    double muse_in_rmse = 0.0;
+
+    for (const std::string& method : methods) {
+      eval::PredictionSeries series =
+          bench::GetOrComputePredictions(id, method, /*horizon=*/0, ctx);
+      eval::FlowMetrics m = bench::MetricsFromSeries(
+          series, dataset, eval::TimeBucket::kAll);
+      table.AddRow({method, bench::F2(m.outflow.rmse),
+                    bench::F2(m.outflow.mae), bench::Pct(m.outflow.mape),
+                    bench::F2(m.inflow.rmse), bench::F2(m.inflow.mae),
+                    bench::Pct(m.inflow.mape)});
+      if (method == "MUSE-Net") {
+        muse_out_rmse = m.outflow.rmse;
+        muse_in_rmse = m.inflow.rmse;
+      } else if (method != "HistoricalAverage") {
+        // The paper's Improvement row compares against the best *published*
+        // baseline.
+        best_baseline_out_rmse =
+            std::min(best_baseline_out_rmse, m.outflow.rmse);
+        best_baseline_in_rmse = std::min(best_baseline_in_rmse,
+                                         m.inflow.rmse);
+      }
+    }
+    table.AddSeparator();
+    table.AddRow(
+        {"Improvement (RMSE)",
+         bench::Pct(eval::Improvement(best_baseline_out_rmse, muse_out_rmse)),
+         "", "",
+         bench::Pct(eval::Improvement(best_baseline_in_rmse, muse_in_rmse)),
+         "", ""});
+    bench::EmitTable(
+        ctx, std::string("table2_onestep_") + sim::DatasetName(id), table);
+  }
+
+  std::printf(
+      "Shape check vs paper Table II: recurrent models (RNN/Seq2Seq) should\n"
+      "trail the spatially aware CNN/attention class, with DeepSTN+ among\n"
+      "the strongest baselines. The paper additionally reports MUSE-Net\n"
+      "leading everywhere; at reduced scale expect it mid-pack — see\n"
+      "EXPERIMENTS.md for the scale discussion.\n");
+  return 0;
+}

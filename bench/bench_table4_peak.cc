@@ -1,0 +1,55 @@
+// Reproduces Table IV: peak vs non-peak one-step performance of ST-GSP,
+// DeepSTN+, ST-SSL and MUSE-Net.
+//
+// Peak periods follow the paper: 7:00–9:00 and 17:00–19:00. Predictions are
+// reused from the Table II cache when available.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace musenet;
+  bench::ExperimentContext ctx =
+      bench::MakeContext("Table IV — peak vs non-peak comparison");
+
+  const std::vector<std::string> methods = {"STGSP", "DeepSTN+", "ST-SSL",
+                                            "MUSE-Net"};
+
+  for (sim::DatasetId id : sim::kAllDatasets) {
+    data::TrafficDataset dataset = bench::LoadDataset(id, ctx);
+    std::printf("--- %s ---\n", sim::DatasetName(id).c_str());
+
+    TablePrinter table({"Method", "Peak Out RMSE", "Peak Out MAPE",
+                        "Peak In RMSE", "Peak In MAPE", "NonPeak Out RMSE",
+                        "NonPeak Out MAPE", "NonPeak In RMSE",
+                        "NonPeak In MAPE"});
+    for (const std::string& method : methods) {
+      eval::PredictionSeries series =
+          bench::GetOrComputePredictions(id, method, 0, ctx);
+      eval::FlowMetrics peak = bench::MetricsFromSeries(
+          series, dataset, eval::TimeBucket::kPeak);
+      eval::FlowMetrics off = bench::MetricsFromSeries(
+          series, dataset, eval::TimeBucket::kNonPeak);
+      table.AddRow({method, bench::F2(peak.outflow.rmse),
+                    bench::Pct(peak.outflow.mape),
+                    bench::F2(peak.inflow.rmse),
+                    bench::Pct(peak.inflow.mape),
+                    bench::F2(off.outflow.rmse),
+                    bench::Pct(off.outflow.mape),
+                    bench::F2(off.inflow.rmse),
+                    bench::Pct(off.inflow.mape)});
+    }
+    bench::EmitTable(ctx, std::string("table4_peak_") + sim::DatasetName(id),
+                     table);
+  }
+
+  std::printf(
+      "Shape check vs paper Table IV: peak errors exceed non-peak errors\n"
+      "for every model (peaks are harder). The paper additionally has\n"
+      "MUSE-Net leading both regimes; at reduced scale expect the Table II\n"
+      "ordering per bucket (see EXPERIMENTS.md).\n");
+  return 0;
+}

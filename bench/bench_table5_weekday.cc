@@ -1,0 +1,55 @@
+// Reproduces Table V: weekday vs weekend one-step performance of ST-GSP,
+// DeepSTN+, ST-SSL and MUSE-Net.
+//
+// Weekdays are Monday–Friday, as in the paper. Predictions are reused from
+// the Table II cache when available.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace musenet;
+  bench::ExperimentContext ctx =
+      bench::MakeContext("Table V — weekday vs weekend comparison");
+
+  const std::vector<std::string> methods = {"STGSP", "DeepSTN+", "ST-SSL",
+                                            "MUSE-Net"};
+
+  for (sim::DatasetId id : sim::kAllDatasets) {
+    data::TrafficDataset dataset = bench::LoadDataset(id, ctx);
+    std::printf("--- %s ---\n", sim::DatasetName(id).c_str());
+
+    TablePrinter table({"Method", "Wkday Out RMSE", "Wkday Out MAPE",
+                        "Wkday In RMSE", "Wkday In MAPE", "Wkend Out RMSE",
+                        "Wkend Out MAPE", "Wkend In RMSE", "Wkend In MAPE"});
+    for (const std::string& method : methods) {
+      eval::PredictionSeries series =
+          bench::GetOrComputePredictions(id, method, 0, ctx);
+      eval::FlowMetrics weekday = bench::MetricsFromSeries(
+          series, dataset, eval::TimeBucket::kWeekday);
+      eval::FlowMetrics weekend = bench::MetricsFromSeries(
+          series, dataset, eval::TimeBucket::kWeekend);
+      table.AddRow({method, bench::F2(weekday.outflow.rmse),
+                    bench::Pct(weekday.outflow.mape),
+                    bench::F2(weekday.inflow.rmse),
+                    bench::Pct(weekday.inflow.mape),
+                    bench::F2(weekend.outflow.rmse),
+                    bench::Pct(weekend.outflow.mape),
+                    bench::F2(weekend.inflow.rmse),
+                    bench::Pct(weekend.inflow.mape)});
+    }
+    bench::EmitTable(ctx,
+                     std::string("table5_weekday_") + sim::DatasetName(id),
+                     table);
+  }
+
+  std::printf(
+      "Shape check vs paper Table V: weekend errors differ from weekday\n"
+      "errors (travel demand shifts) for every model. The paper additionally\n"
+      "has MUSE-Net leading both buckets (4–25%% RMSE gains); at reduced\n"
+      "scale expect the Table II ordering per bucket (see EXPERIMENTS.md).\n");
+  return 0;
+}

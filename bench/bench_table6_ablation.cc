@@ -1,0 +1,46 @@
+// Reproduces Table VI: the ablation study of MUSE-Net's components —
+// w/o-Spatial (no ResPlus network), w/o-MultiDisentangle (pairwise
+// cross-variate interactive codes instead of one multivariate Z^S),
+// w/o-SemanticPushing (drop Eq. 9) and w/o-SemanticPulling (drop Eq. 16) —
+// against the full model, on all three datasets.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace musenet;
+  bench::ExperimentContext ctx =
+      bench::MakeContext("Table VI — ablation study");
+
+  const std::vector<std::string> variants = {
+      "MUSE-Net-w/o-Spatial", "MUSE-Net-w/o-MultiDisentangle",
+      "MUSE-Net-w/o-SemanticPushing", "MUSE-Net-w/o-SemanticPulling",
+      "MUSE-Net"};
+
+  for (sim::DatasetId id : sim::kAllDatasets) {
+    data::TrafficDataset dataset = bench::LoadDataset(id, ctx);
+    std::printf("--- %s ---\n", sim::DatasetName(id).c_str());
+    TablePrinter table({"Variant", "Out RMSE", "Out MAE", "In RMSE",
+                        "In MAE"});
+    for (const std::string& variant : variants) {
+      eval::PredictionSeries series =
+          bench::GetOrComputePredictions(id, variant, 0, ctx);
+      eval::FlowMetrics m = bench::MetricsFromSeries(
+          series, dataset, eval::TimeBucket::kAll);
+      table.AddRow({variant, bench::F2(m.outflow.rmse),
+                    bench::F2(m.outflow.mae), bench::F2(m.inflow.rmse),
+                    bench::F2(m.inflow.mae)});
+    }
+    bench::EmitTable(
+        ctx, std::string("table6_ablation_") + sim::DatasetName(id), table);
+  }
+
+  std::printf(
+      "Shape check vs paper Table VI: the full MUSE-Net is best;\n"
+      "w/o-Spatial degrades most, w/o-MultiDisentangle second-most, and the\n"
+      "two regularizer ablations cost a smaller but consistent amount.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Example: MUSE-Net beyond traffic — regional energy-demand forecasting.
+//
+// The paper's conclusion argues the method transfers to other multi-periodic
+// forecasting problems (epidemic, air-quality, energy). This example builds
+// a synthetic regional electricity-demand series directly (no trajectory
+// simulator: demand is not a flow of moving objects), feeds it through the
+// same FlowSeries → interception → MUSE-Net pipeline, and compares against
+// the historical-average reference. Channel 0 holds consumption and channel
+// 1 holds local (solar) generation — the two interact with weather, giving
+// the distribution shifts the disentanglement targets.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/historical_average.h"
+#include "data/dataset.h"
+#include "eval/evaluate.h"
+#include "muse/model.h"
+#include "util/bench_config.h"
+#include "util/rng.h"
+
+namespace musenet {
+namespace {
+
+/// Builds a [days × 24] hourly series over a grid of utility districts.
+sim::FlowSeries SynthesizeEnergyDemand(int64_t grid_h, int64_t grid_w,
+                                       int days, uint64_t seed) {
+  const int f = 24;  // Hourly resolution.
+  sim::FlowSeries series(sim::GridSpec{grid_h, grid_w}, f,
+                         /*start_weekday=*/0, days * f);
+  Rng rng(seed);
+
+  // District base loads and solar capacity differ across the grid.
+  std::vector<double> base_load(static_cast<size_t>(grid_h * grid_w));
+  std::vector<double> solar_cap(base_load.size());
+  for (auto& v : base_load) v = rng.Uniform(40.0, 120.0);
+  for (auto& v : solar_cap) v = rng.Uniform(5.0, 40.0);
+
+  // Weekly weather: cloud cover persists across days (AR(1)).
+  double cloud = 0.3;
+  for (int day = 0; day < days; ++day) {
+    cloud = std::clamp(0.6 * cloud + rng.Normal(0.12, 0.15), 0.0, 1.0);
+    const bool weekend = (day % 7) >= 5;
+    for (int hour = 0; hour < f; ++hour) {
+      // Demand: morning and evening residential peaks, weekday daytime
+      // commercial load, overnight trough.
+      const double residential =
+          std::exp(-0.5 * std::pow((hour - 7.5) / 1.5, 2)) +
+          1.4 * std::exp(-0.5 * std::pow((hour - 19.0) / 2.0, 2));
+      const double commercial =
+          weekend ? 0.2
+                  : 0.9 * std::exp(-0.5 * std::pow((hour - 13.0) / 3.5, 2));
+      // Solar: midday bell scaled by (1 − cloud).
+      const double sun = std::max(
+          0.0, std::exp(-0.5 * std::pow((hour - 12.5) / 2.8, 2)) *
+                   (1.0 - cloud));
+      for (int64_t h = 0; h < grid_h; ++h) {
+        for (int64_t w = 0; w < grid_w; ++w) {
+          const size_t idx = static_cast<size_t>(h * grid_w + w);
+          const double demand =
+              base_load[idx] * (0.35 + residential + commercial) *
+              std::exp(rng.Normal(0.0, 0.04));
+          const double generation =
+              solar_cap[idx] * sun * std::exp(rng.Normal(0.0, 0.08));
+          const int64_t t = static_cast<int64_t>(day) * f + hour;
+          series.at(t, 0, h, w) = static_cast<float>(demand);
+          series.at(t, 1, h, w) = static_cast<float>(generation);
+        }
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace
+}  // namespace musenet
+
+int main() {
+  using namespace musenet;
+
+  BenchScale scale = ResolveBenchScale();
+  std::printf("energy-demand forecasting (paper future-work transfer), "
+              "scale=%s\n", scale.name.c_str());
+
+  // 42 days of hourly data over a 4×4 district grid.
+  sim::FlowSeries series = SynthesizeEnergyDemand(4, 4, 42, scale.seed);
+
+  data::DatasetOptions options;
+  options.max_train_samples = 320;
+  data::TrafficDataset dataset(std::move(series), options);
+  std::printf("samples: train=%zu test=%zu\n", dataset.train_indices().size(),
+              dataset.test_indices().size());
+
+  eval::TrainConfig train;
+  train.epochs = scale.epochs;
+  train.patience = 15;
+  train.batch_size = scale.batch_size;
+  train.seed = scale.seed;
+  train.learning_rate = 1e-3;
+
+  baselines::HistoricalAverage reference;
+  reference.Train(dataset, train);
+  eval::FlowMetrics ref = eval::EvaluateOnTest(reference, dataset, 8);
+
+  muse::MuseNetConfig config;
+  config.grid_h = dataset.grid_height();
+  config.grid_w = dataset.grid_width();
+  config.repr_dim = scale.repr_dim;
+  config.dist_dim = scale.dist_dim;
+  muse::MuseNet model(config, scale.seed);
+  model.Train(dataset, train);
+  eval::FlowMetrics m = eval::EvaluateOnTest(model, dataset, 8);
+
+  std::printf("\n%-22s demand RMSE %7.2f   solar RMSE %7.2f\n",
+              "HistoricalAverage:", ref.outflow.rmse, ref.inflow.rmse);
+  std::printf("%-22s demand RMSE %7.2f   solar RMSE %7.2f\n",
+              "MUSE-Net:", m.outflow.rmse, m.inflow.rmse);
+  std::printf(
+      "\nsolar generation depends on persistent cloud cover, which a purely\n"
+      "periodic average cannot see but the closeness sub-series can — at\n"
+      "full training budget (MUSE_BENCH_SCALE=default) the model exploits\n"
+      "it. The point of this example is the transfer itself: the identical\n"
+      "pipeline handles a non-traffic domain, as the paper's conclusion\n"
+      "anticipates.\n");
+  return 0;
+}

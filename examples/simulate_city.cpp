@@ -1,0 +1,93 @@
+// Example: drive the traffic simulator directly (no training).
+//
+// Builds a custom city — grid, demand profile, a rain event and a stadium
+// burst — runs the trajectory simulation, rasterizes flows per the paper's
+// Definition 2 and prints a day-profile summary plus the event signatures.
+// This is the substrate that stands in for the NYC-Bike/NYC-Taxi/TaxiBJ
+// trajectory datasets; see DESIGN.md "Substitutions".
+
+#include <cstdio>
+
+#include "sim/city.h"
+#include "sim/rasterize.h"
+
+int main() {
+  using namespace musenet;
+
+  sim::CityConfig config;
+  config.grid = {6, 6};
+  config.intervals_per_day = 48;  // 30-minute intervals.
+  config.start_weekday = 0;       // Monday.
+  config.days = 14;
+  config.trips_per_interval = 250.0;
+  config.commute_amplitude = 1.8;
+
+  // A rainy Wednesday (day 2): demand drops to 45%.
+  config.shifts.push_back(sim::ShiftEvent{
+      .kind = sim::ShiftEvent::Kind::kLevel,
+      .start_interval = 2 * 48,
+      .duration = 48,
+      .magnitude = 0.45,
+      .region = {},
+  });
+  // A stadium event emptying out of region (5,5) on Friday evening.
+  config.shifts.push_back(sim::ShiftEvent{
+      .kind = sim::ShiftEvent::Kind::kPoint,
+      .start_interval = 4 * 48 + 44,  // Friday 22:00.
+      .duration = 2,
+      .magnitude = 1.5,
+      .region = {5, 5},
+  });
+
+  sim::City city(config, /*seed=*/2024);
+  sim::SimulationResult result = city.Simulate();
+  const sim::FlowSeries& flows = result.flows;
+
+  std::printf("simulated %lld trips over %d days on a %lldx%lld grid\n",
+              static_cast<long long>(result.num_trips), config.days,
+              static_cast<long long>(config.grid.height),
+              static_cast<long long>(config.grid.width));
+
+  // Day profile: city-wide outflow per 2-hour block on a weekday.
+  std::printf("\nTuesday outflow profile (city total per 2h block):\n");
+  for (int block = 0; block < 12; ++block) {
+    double total = 0.0;
+    for (int slot = 0; slot < 4; ++slot) {
+      const int64_t t = 1 * 48 + block * 4 + slot;
+      for (int64_t h = 0; h < 6; ++h) {
+        for (int64_t w = 0; w < 6; ++w) {
+          total += flows.at(t, sim::kOutflow, h, w);
+        }
+      }
+    }
+    std::printf("  %02d:00-%02d:00 %6.0f  %s\n", block * 2, block * 2 + 2,
+                total,
+                std::string(static_cast<size_t>(total / 40), '#').c_str());
+  }
+
+  // Event signatures.
+  auto day_total = [&](int day) {
+    double total = 0.0;
+    for (int64_t t = day * 48; t < (day + 1) * 48; ++t) {
+      for (int64_t h = 0; h < 6; ++h) {
+        for (int64_t w = 0; w < 6; ++w) {
+          total += flows.at(t, sim::kOutflow, h, w);
+        }
+      }
+    }
+    return total;
+  };
+  std::printf("\nlevel shift: Tue total %.0f vs rainy Wed total %.0f\n",
+              day_total(1), day_total(2));
+
+  double burst = 0.0;
+  double usual = 0.0;
+  for (int64_t k = 0; k < 3; ++k) {
+    burst += flows.at(4 * 48 + 44 + k, sim::kOutflow, 5, 5);
+    usual += flows.at(3 * 48 + 44 + k, sim::kOutflow, 5, 5);  // Thu same time.
+  }
+  std::printf("point shift: region (5,5) Friday-22:00 outflow %.0f vs "
+              "Thursday %.0f\n",
+              burst, usual);
+  return 0;
+}

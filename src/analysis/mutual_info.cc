@@ -1,0 +1,87 @@
+#include "analysis/mutual_info.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace musenet::analysis {
+
+namespace {
+
+/// Digamma function for positive integer-ish arguments (series expansion).
+double Digamma(double x) {
+  double result = 0.0;
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+/// Max-norm distance between rows i and j of a [N, D] tensor.
+double MaxNorm(const tensor::Tensor& t, int64_t i, int64_t j) {
+  const int64_t d = t.dim(1);
+  const float* p = t.data();
+  double best = 0.0;
+  for (int64_t k = 0; k < d; ++k) {
+    best = std::max(best, std::fabs(static_cast<double>(p[i * d + k]) -
+                                    p[j * d + k]));
+  }
+  return best;
+}
+
+}  // namespace
+
+double EstimateMutualInformationKsg(const tensor::Tensor& x,
+                                    const tensor::Tensor& y, int k) {
+  MUSE_CHECK_EQ(x.rank(), 2);
+  MUSE_CHECK_EQ(y.rank(), 2);
+  MUSE_CHECK_EQ(x.dim(0), y.dim(0));
+  const int64_t n = x.dim(0);
+  MUSE_CHECK_GT(n, k + 1) << "KSG needs more samples than k";
+
+  std::vector<double> dx(static_cast<size_t>(n));
+  std::vector<double> dy(static_cast<size_t>(n));
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    // Joint-space distances (max over the two blocks' max-norms).
+    for (int64_t j = 0; j < n; ++j) {
+      dx[static_cast<size_t>(j)] = MaxNorm(x, i, j);
+      dy[static_cast<size_t>(j)] = MaxNorm(y, i, j);
+    }
+    std::vector<double> joint(static_cast<size_t>(n));
+    for (int64_t j = 0; j < n; ++j) {
+      joint[static_cast<size_t>(j)] =
+          std::max(dx[static_cast<size_t>(j)], dy[static_cast<size_t>(j)]);
+    }
+    joint[static_cast<size_t>(i)] = std::numeric_limits<double>::infinity();
+    // ε_i = distance to the k-th joint-space neighbour.
+    std::vector<double> sorted = joint;
+    std::nth_element(sorted.begin(), sorted.begin() + (k - 1), sorted.end());
+    const double epsilon = sorted[static_cast<size_t>(k - 1)];
+
+    // Counts of marginal neighbours strictly inside ε.
+    int64_t nx = 0;
+    int64_t ny = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (dx[static_cast<size_t>(j)] < epsilon) ++nx;
+      if (dy[static_cast<size_t>(j)] < epsilon) ++ny;
+    }
+    acc += Digamma(static_cast<double>(nx) + 1.0) +
+           Digamma(static_cast<double>(ny) + 1.0);
+  }
+
+  const double mi = Digamma(static_cast<double>(k)) +
+                    Digamma(static_cast<double>(n)) -
+                    acc / static_cast<double>(n);
+  return std::max(0.0, mi);
+}
+
+}  // namespace musenet::analysis

@@ -1,0 +1,20 @@
+#ifndef MUSENET_ANALYSIS_MUTUAL_INFO_H_
+#define MUSENET_ANALYSIS_MUTUAL_INFO_H_
+
+#include "tensor/tensor.h"
+
+namespace musenet::analysis {
+
+/// Kraskov–Stögbauer–Grassberger (KSG, 2004) k-nearest-neighbour estimator
+/// of mutual information I(X; Y) in nats for continuous samples.
+///
+/// x:[N, Dx] and y:[N, Dy] are paired samples. Uses the max-norm variant
+/// (KSG algorithm 1) with O(N²) neighbour search — adequate for the ≤2k
+/// samples of the independence analysis (RQ3). The estimate is clamped at 0
+/// (the estimator can go slightly negative for independent variables).
+double EstimateMutualInformationKsg(const tensor::Tensor& x,
+                                    const tensor::Tensor& y, int k = 5);
+
+}  // namespace musenet::analysis
+
+#endif  // MUSENET_ANALYSIS_MUTUAL_INFO_H_

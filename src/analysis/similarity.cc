@@ -1,0 +1,120 @@
+#include "analysis/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace musenet::analysis {
+
+double CosineSimilarity(const float* a, const float* b, int64_t dim) {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (int64_t k = 0; k < dim; ++k) {
+    dot += static_cast<double>(a[k]) * b[k];
+    norm_a += static_cast<double>(a[k]) * a[k];
+    norm_b += static_cast<double>(b[k]) * b[k];
+  }
+  const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  return denom < 1e-12 ? 0.0 : dot / denom;
+}
+
+tensor::Tensor CosineSimilarityMatrix(const tensor::Tensor& a,
+                                      const tensor::Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 2);
+  MUSE_CHECK_EQ(b.rank(), 2);
+  MUSE_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t n = a.dim(0);
+  const int64_t m = b.dim(0);
+  const int64_t d = a.dim(1);
+  tensor::Tensor out(tensor::Shape({n, m}));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      out.at({i, j}) = static_cast<float>(
+          CosineSimilarity(a.data() + i * d, b.data() + j * d, d));
+    }
+  }
+  return out;
+}
+
+std::vector<double> CosineSimilarityDiagonal(const tensor::Tensor& a,
+                                             const tensor::Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 2);
+  MUSE_CHECK(a.shape() == b.shape());
+  const int64_t n = a.dim(0);
+  const int64_t d = a.dim(1);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] =
+        CosineSimilarity(a.data() + i * d, b.data() + i * d, d);
+  }
+  return out;
+}
+
+double FractionAbove(const tensor::Tensor& matrix, double threshold) {
+  const int64_t n = matrix.num_elements();
+  MUSE_CHECK_GT(n, 0);
+  int64_t above = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (matrix.flat(i) > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(n);
+}
+
+double SilhouetteScore(const tensor::Tensor& points,
+                       const std::vector<int>& labels) {
+  MUSE_CHECK_EQ(points.rank(), 2);
+  const int64_t n = points.dim(0);
+  const int64_t d = points.dim(1);
+  MUSE_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+
+  auto distance = [&](int64_t i, int64_t j) {
+    double acc = 0.0;
+    for (int64_t k = 0; k < d; ++k) {
+      const double diff = static_cast<double>(points.flat(i * d + k)) -
+                          points.flat(j * d + k);
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  };
+
+  int max_label = 0;
+  for (int label : labels) max_label = std::max(max_label, label);
+  const int num_clusters = max_label + 1;
+
+  double total = 0.0;
+  int64_t counted = 0;
+  std::vector<double> mean_dist(static_cast<size_t>(num_clusters));
+  std::vector<int64_t> cluster_count(static_cast<size_t>(num_clusters));
+  for (int64_t i = 0; i < n; ++i) {
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    std::fill(cluster_count.begin(), cluster_count.end(), 0);
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      mean_dist[static_cast<size_t>(labels[static_cast<size_t>(j)])] +=
+          distance(i, j);
+      ++cluster_count[static_cast<size_t>(labels[static_cast<size_t>(j)])];
+    }
+    const int own = labels[static_cast<size_t>(i)];
+    if (cluster_count[static_cast<size_t>(own)] == 0) continue;
+    const double a_i =
+        mean_dist[static_cast<size_t>(own)] /
+        static_cast<double>(cluster_count[static_cast<size_t>(own)]);
+    double b_i = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < num_clusters; ++c) {
+      if (c == own || cluster_count[static_cast<size_t>(c)] == 0) continue;
+      b_i = std::min(b_i, mean_dist[static_cast<size_t>(c)] /
+                              static_cast<double>(
+                                  cluster_count[static_cast<size_t>(c)]));
+    }
+    if (!std::isfinite(b_i)) continue;
+    total += (b_i - a_i) / std::max(a_i, b_i);
+    ++counted;
+  }
+  MUSE_CHECK_GT(counted, 0) << "SilhouetteScore needs ≥2 non-empty clusters";
+  return total / static_cast<double>(counted);
+}
+
+}  // namespace musenet::analysis

@@ -1,0 +1,35 @@
+#ifndef MUSENET_ANALYSIS_SIMILARITY_H_
+#define MUSENET_ANALYSIS_SIMILARITY_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace musenet::analysis {
+
+/// Cosine similarity of two equal-length vectors (0 when either is ~zero).
+double CosineSimilarity(const float* a, const float* b, int64_t dim);
+
+/// Full similarity matrix between the rows of A:[N,D] and B:[M,D] → [N,M].
+/// Reproduces the heatmaps of the paper's Figs. 6–7.
+tensor::Tensor CosineSimilarityMatrix(const tensor::Tensor& a,
+                                      const tensor::Tensor& b);
+
+/// Row-wise (diagonal) similarities of A:[N,D] and B:[N,D] → length-N vector.
+/// Reproduces the diagonal traces of the paper's Fig. 8.
+std::vector<double> CosineSimilarityDiagonal(const tensor::Tensor& a,
+                                             const tensor::Tensor& b);
+
+/// Fraction of matrix entries strictly greater than `threshold` — the
+/// paper's "most points in the heatmaps are greater than zero" statistic.
+double FractionAbove(const tensor::Tensor& matrix, double threshold);
+
+/// Mean silhouette coefficient of labelled points [N,D] (Euclidean). Used to
+/// quantify the cluster separation the paper shows visually in Fig. 5.
+/// Labels must contain at least two distinct values.
+double SilhouetteScore(const tensor::Tensor& points,
+                       const std::vector<int>& labels);
+
+}  // namespace musenet::analysis
+
+#endif  // MUSENET_ANALYSIS_SIMILARITY_H_

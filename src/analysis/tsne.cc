@@ -1,0 +1,172 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace musenet::analysis {
+
+namespace {
+
+/// Pairwise squared Euclidean distances of [N, D] rows.
+std::vector<double> PairwiseSquaredDistances(const tensor::Tensor& points) {
+  const int64_t n = points.dim(0);
+  const int64_t d = points.dim(1);
+  const float* p = points.data();
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff =
+            static_cast<double>(p[i * d + k]) - p[j * d + k];
+        acc += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = acc;
+      dist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+  return dist;
+}
+
+/// Row-conditional probabilities p_{j|i} whose entropy matches
+/// log(perplexity), found by binary search over the Gaussian bandwidth.
+std::vector<double> ConditionalP(const std::vector<double>& dist, int64_t n,
+                                 double perplexity) {
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> row(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double beta_lo = 0.0;
+    double beta_hi = 1e12;
+    double beta = 1.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        row[static_cast<size_t>(j)] =
+            j == i ? 0.0
+                   : std::exp(-beta * dist[static_cast<size_t>(i * n + j)]);
+        sum += row[static_cast<size_t>(j)];
+      }
+      if (sum <= 1e-300) {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+        continue;
+      }
+      double entropy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const double pj = row[static_cast<size_t>(j)] / sum;
+        if (pj > 1e-300) entropy -= pj * std::log(pj);
+      }
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi >= 1e12 ? beta * 2.0 : (beta_lo + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      row[static_cast<size_t>(j)] =
+          j == i ? 0.0
+                 : std::exp(-beta * dist[static_cast<size_t>(i * n + j)]);
+      sum += row[static_cast<size_t>(j)];
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] =
+          sum > 0.0 ? row[static_cast<size_t>(j)] / sum : 0.0;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+tensor::Tensor RunTsne(const tensor::Tensor& points, TsneOptions options) {
+  MUSE_CHECK_EQ(points.rank(), 2);
+  const int64_t n = points.dim(0);
+  MUSE_CHECK_GE(n, 4) << "t-SNE needs at least 4 points";
+  const int64_t out_dim = options.output_dim;
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // Symmetrized, normalized similarities P.
+  const std::vector<double> dist = PairwiseSquaredDistances(points);
+  const std::vector<double> cond = ConditionalP(dist, n, perplexity);
+  std::vector<double> big_p(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      big_p[static_cast<size_t>(i * n + j)] =
+          (cond[static_cast<size_t>(i * n + j)] +
+           cond[static_cast<size_t>(j * n + i)]) /
+          (2.0 * static_cast<double>(n));
+    }
+  }
+  for (double& v : big_p) v = std::max(v, 1e-12);
+
+  Rng rng(options.seed);
+  std::vector<double> y(static_cast<size_t>(n * out_dim));
+  for (double& v : y) v = rng.Normal(0.0, 1e-2);
+  std::vector<double> velocity(y.size(), 0.0);
+  std::vector<double> q(static_cast<size_t>(n * n), 0.0);
+  std::vector<double> grad(y.size(), 0.0);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iterations ? options.early_exaggeration
+                                               : 1.0;
+    // Student-t similarities Q (unnormalized first).
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (int64_t k = 0; k < out_dim; ++k) {
+          const double diff = y[static_cast<size_t>(i * out_dim + k)] -
+                              y[static_cast<size_t>(j * out_dim + k)];
+          acc += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + acc);
+        q[static_cast<size_t>(i * n + j)] = w;
+        q[static_cast<size_t>(j * n + i)] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-300);
+
+    // Gradient: 4 Σ_j (p_ij − q_ij) w_ij (y_i − y_j).
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[static_cast<size_t>(i * n + j)];
+        const double coeff =
+            4.0 * (exaggeration * big_p[static_cast<size_t>(i * n + j)] -
+                   w / q_sum) *
+            w;
+        for (int64_t k = 0; k < out_dim; ++k) {
+          grad[static_cast<size_t>(i * out_dim + k)] +=
+              coeff * (y[static_cast<size_t>(i * out_dim + k)] -
+                       y[static_cast<size_t>(j * out_dim + k)]);
+        }
+      }
+    }
+    for (size_t idx = 0; idx < y.size(); ++idx) {
+      velocity[idx] =
+          options.momentum * velocity[idx] - options.learning_rate * grad[idx];
+      y[idx] += velocity[idx];
+    }
+  }
+
+  tensor::Tensor out(tensor::Shape({n, out_dim}));
+  for (size_t idx = 0; idx < y.size(); ++idx) {
+    out.flat(static_cast<int64_t>(idx)) = static_cast<float>(y[idx]);
+  }
+  return out;
+}
+
+}  // namespace musenet::analysis

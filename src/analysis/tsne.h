@@ -1,0 +1,31 @@
+#ifndef MUSENET_ANALYSIS_TSNE_H_
+#define MUSENET_ANALYSIS_TSNE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace musenet::analysis {
+
+/// Exact t-SNE (van der Maaten & Hinton 2008) options.
+struct TsneOptions {
+  int output_dim = 2;
+  double perplexity = 20.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  /// Early-exaggeration factor applied to P for the first
+  /// `exaggeration_iterations` steps.
+  double early_exaggeration = 4.0;
+  int exaggeration_iterations = 80;
+  uint64_t seed = 7;
+};
+
+/// Embeds `points` [N, D] into [N, output_dim] with exact-gradient t-SNE
+/// (O(N²) per iteration; intended for the ≤1k points of the Fig. 5
+/// reproduction). Perplexity is clamped to (N−1)/3 when necessary.
+tensor::Tensor RunTsne(const tensor::Tensor& points, TsneOptions options);
+
+}  // namespace musenet::analysis
+
+#endif  // MUSENET_ANALYSIS_TSNE_H_

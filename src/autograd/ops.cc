@@ -1,0 +1,416 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace musenet::autograd {
+
+namespace ts = musenet::tensor;
+
+namespace {
+
+/// Creates the output node for an op. `backward` is dropped when no input
+/// requires gradients, which prunes constant sub-graphs from the tape.
+Variable MakeOp(const char* name, ts::Tensor value,
+                std::vector<Variable> inputs,
+                std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->op_name = name;
+  bool needs_grad = false;
+  node->inputs.reserve(inputs.size());
+  for (const Variable& v : inputs) {
+    MUSE_CHECK(v.defined()) << "undefined input to op " << name;
+    needs_grad = needs_grad || v.node()->requires_grad;
+    node->inputs.push_back(v.node());
+  }
+  node->requires_grad = needs_grad;
+  if (needs_grad) node->backward = std::move(backward);
+  return Variable(std::move(node));
+}
+
+/// Accumulates `g` into `target` after summing over broadcast axes.
+void AccumulateBroadcast(Node& target, const ts::Tensor& g) {
+  if (!target.requires_grad) return;
+  AccumulateGrad(target, ts::ReduceToShape(g, target.value.shape()));
+}
+
+void AccumulateIfNeeded(Node& target, const ts::Tensor& g) {
+  if (!target.requires_grad) return;
+  AccumulateGrad(target, g);
+}
+
+}  // namespace
+
+Variable Constant(tensor::Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeOp("add", ts::Add(a.value(), b.value()), {a, b}, [](Node& n) {
+    AccumulateBroadcast(*n.inputs[0], n.grad);
+    AccumulateBroadcast(*n.inputs[1], n.grad);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeOp("sub", ts::Sub(a.value(), b.value()), {a, b}, [](Node& n) {
+    AccumulateBroadcast(*n.inputs[0], n.grad);
+    AccumulateBroadcast(*n.inputs[1], ts::Neg(n.grad));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return MakeOp("mul", ts::Mul(a.value(), b.value()), {a, b}, [](Node& n) {
+    AccumulateBroadcast(*n.inputs[0], ts::Mul(n.grad, n.inputs[1]->value));
+    AccumulateBroadcast(*n.inputs[1], ts::Mul(n.grad, n.inputs[0]->value));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  return MakeOp("div", ts::Div(a.value(), b.value()), {a, b}, [](Node& n) {
+    const ts::Tensor& bv = n.inputs[1]->value;
+    AccumulateBroadcast(*n.inputs[0], ts::Div(n.grad, bv));
+    // d/db (a/b) = -a / b².
+    ts::Tensor gb = ts::Neg(
+        ts::Div(ts::Mul(n.grad, n.inputs[0]->value), ts::Square(bv)));
+    AccumulateBroadcast(*n.inputs[1], gb);
+  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  return MakeOp("add_scalar", ts::AddScalar(a.value(), s), {a}, [](Node& n) {
+    AccumulateIfNeeded(*n.inputs[0], n.grad);
+  });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  return MakeOp("mul_scalar", ts::MulScalar(a.value(), s), {a},
+                [s](Node& n) {
+                  AccumulateIfNeeded(*n.inputs[0], ts::MulScalar(n.grad, s));
+                });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable Exp(const Variable& a) {
+  ts::Tensor out = ts::Exp(a.value());
+  return MakeOp("exp", out, {a}, [out](Node& n) {
+    AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, out));
+  });
+}
+
+Variable Log(const Variable& a) {
+  return MakeOp("log", ts::Log(a.value()), {a}, [](Node& n) {
+    AccumulateIfNeeded(*n.inputs[0], ts::Div(n.grad, n.inputs[0]->value));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  ts::Tensor out = ts::Sqrt(a.value());
+  return MakeOp("sqrt", out, {a}, [out](Node& n) {
+    // d sqrt(x) = 0.5 / sqrt(x).
+    AccumulateIfNeeded(*n.inputs[0],
+                       ts::Div(ts::MulScalar(n.grad, 0.5f), out));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  ts::Tensor out = ts::Tanh(a.value());
+  return MakeOp("tanh", out, {a}, [out](Node& n) {
+    ts::Tensor one_minus_sq =
+        ts::Sub(ts::Tensor::Ones(out.shape()), ts::Square(out));
+    AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, one_minus_sq));
+  });
+}
+
+Variable Relu(const Variable& a) {
+  return MakeOp("relu", ts::Relu(a.value()), {a}, [](Node& n) {
+    const ts::Tensor& in = n.inputs[0]->value;
+    ts::Tensor g(in.shape());
+    const float* pin = in.data();
+    const float* pg = n.grad.data();
+    float* po = g.mutable_data();
+    const int64_t count = in.num_elements();
+    for (int64_t i = 0; i < count; ++i) po[i] = pin[i] > 0.0f ? pg[i] : 0.0f;
+    AccumulateIfNeeded(*n.inputs[0], g);
+  });
+}
+
+Variable LeakyRelu(const Variable& a, float alpha) {
+  return MakeOp("leaky_relu", ts::LeakyRelu(a.value(), alpha), {a},
+                [alpha](Node& n) {
+                  const ts::Tensor& in = n.inputs[0]->value;
+                  ts::Tensor g(in.shape());
+                  const float* pin = in.data();
+                  const float* pg = n.grad.data();
+                  float* po = g.mutable_data();
+                  const int64_t count = in.num_elements();
+                  for (int64_t i = 0; i < count; ++i) {
+                    po[i] = pin[i] > 0.0f ? pg[i] : alpha * pg[i];
+                  }
+                  AccumulateIfNeeded(*n.inputs[0], g);
+                });
+}
+
+Variable Sigmoid(const Variable& a) {
+  ts::Tensor out = ts::Sigmoid(a.value());
+  return MakeOp("sigmoid", out, {a}, [out](Node& n) {
+    ts::Tensor deriv =
+        ts::Mul(out, ts::Sub(ts::Tensor::Ones(out.shape()), out));
+    AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, deriv));
+  });
+}
+
+Variable Softplus(const Variable& a) {
+  return MakeOp("softplus", ts::Softplus(a.value()), {a}, [](Node& n) {
+    AccumulateIfNeeded(*n.inputs[0],
+                       ts::Mul(n.grad, ts::Sigmoid(n.inputs[0]->value)));
+  });
+}
+
+Variable Square(const Variable& a) {
+  return MakeOp("square", ts::Square(a.value()), {a}, [](Node& n) {
+    AccumulateIfNeeded(
+        *n.inputs[0],
+        ts::Mul(n.grad, ts::MulScalar(n.inputs[0]->value, 2.0f)));
+  });
+}
+
+Variable Abs(const Variable& a) {
+  return MakeOp("abs", ts::Abs(a.value()), {a}, [](Node& n) {
+    const ts::Tensor& in = n.inputs[0]->value;
+    ts::Tensor g(in.shape());
+    const float* pin = in.data();
+    const float* pg = n.grad.data();
+    float* po = g.mutable_data();
+    const int64_t count = in.num_elements();
+    for (int64_t i = 0; i < count; ++i) {
+      po[i] = pin[i] > 0.0f ? pg[i] : (pin[i] < 0.0f ? -pg[i] : 0.0f);
+    }
+    AccumulateIfNeeded(*n.inputs[0], g);
+  });
+}
+
+Variable Clamp(const Variable& a, float lo, float hi) {
+  return MakeOp("clamp", ts::Clamp(a.value(), lo, hi), {a},
+                [lo, hi](Node& n) {
+                  const ts::Tensor& in = n.inputs[0]->value;
+                  ts::Tensor g(in.shape());
+                  const float* pin = in.data();
+                  const float* pg = n.grad.data();
+                  float* po = g.mutable_data();
+                  const int64_t count = in.num_elements();
+                  for (int64_t i = 0; i < count; ++i) {
+                    po[i] = (pin[i] >= lo && pin[i] <= hi) ? pg[i] : 0.0f;
+                  }
+                  AccumulateIfNeeded(*n.inputs[0], g);
+                });
+}
+
+Variable SumAll(const Variable& a) {
+  return MakeOp("sum_all", ts::SumAll(a.value()), {a}, [](Node& n) {
+    const ts::Shape& in_shape = n.inputs[0]->value.shape();
+    AccumulateIfNeeded(
+        *n.inputs[0],
+        ts::Tensor::Full(in_shape, n.grad.scalar()));
+  });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().num_elements());
+  return MulScalar(SumAll(a), inv);
+}
+
+Variable Sum(const Variable& a, int axis, bool keepdims) {
+  ts::Tensor out = ts::Sum(a.value(), axis, keepdims);
+  return MakeOp("sum_axis", std::move(out), {a}, [axis](Node& n) {
+    const ts::Shape& in_shape = n.inputs[0]->value.shape();
+    // Re-insert the reduced axis as size 1 (no-op when keepdims was true),
+    // then broadcast back to the input shape.
+    std::vector<int64_t> keep_dims = in_shape.dims();
+    keep_dims[axis] = 1;
+    ts::Tensor g = n.grad.Reshape(ts::Shape(std::move(keep_dims)));
+    AccumulateIfNeeded(*n.inputs[0], ts::BroadcastTo(g, in_shape));
+  });
+}
+
+Variable Mean(const Variable& a, int axis, bool keepdims) {
+  const float inv = 1.0f / static_cast<float>(a.value().dim(axis));
+  return MulScalar(Sum(a, axis, keepdims), inv);
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  return MakeOp("matmul", ts::MatMul(a.value(), b.value()), {a, b},
+                [](Node& n) {
+                  const ts::Tensor& av = n.inputs[0]->value;
+                  const ts::Tensor& bv = n.inputs[1]->value;
+                  if (n.inputs[0]->requires_grad) {
+                    AccumulateGrad(*n.inputs[0],
+                                   ts::MatMul(n.grad, ts::Transpose2d(bv)));
+                  }
+                  if (n.inputs[1]->requires_grad) {
+                    AccumulateGrad(*n.inputs[1],
+                                   ts::MatMul(ts::Transpose2d(av), n.grad));
+                  }
+                });
+}
+
+Variable MatMulBatched(const Variable& a, const Variable& b) {
+  return MakeOp(
+      "matmul_batched", ts::MatMulBatched(a.value(), b.value()), {a, b},
+      [](Node& n) {
+        const ts::Tensor& av = n.inputs[0]->value;
+        const ts::Tensor& bv = n.inputs[1]->value;
+        if (n.inputs[0]->requires_grad) {
+          AccumulateGrad(*n.inputs[0],
+                         ts::MatMulBatched(n.grad, ts::TransposeLast2(bv)));
+        }
+        if (n.inputs[1]->requires_grad) {
+          AccumulateGrad(*n.inputs[1],
+                         ts::MatMulBatched(ts::TransposeLast2(av), n.grad));
+        }
+      });
+}
+
+Variable Transpose2d(const Variable& a) {
+  return MakeOp("transpose2d", ts::Transpose2d(a.value()), {a}, [](Node& n) {
+    AccumulateIfNeeded(*n.inputs[0], ts::Transpose2d(n.grad));
+  });
+}
+
+Variable TransposeLast2(const Variable& a) {
+  return MakeOp("transpose_last2", ts::TransposeLast2(a.value()), {a},
+                [](Node& n) {
+                  AccumulateIfNeeded(*n.inputs[0],
+                                     ts::TransposeLast2(n.grad));
+                });
+}
+
+Variable SoftmaxLastAxis(const Variable& a) {
+  ts::Tensor out = ts::SoftmaxLastAxis(a.value());
+  return MakeOp("softmax", out, {a}, [out](Node& n) {
+    // dx = y ⊙ (g − Σ_j g_j y_j) per row of the last axis.
+    ts::Tensor gy = ts::Mul(n.grad, out);
+    ts::Tensor row_sum = ts::Sum(gy, out.rank() - 1, /*keepdims=*/true);
+    ts::Tensor g_in = ts::Mul(out, ts::Sub(n.grad, row_sum));
+    AccumulateIfNeeded(*n.inputs[0], g_in);
+  });
+}
+
+Variable Conv2d(const Variable& input, const Variable& weight,
+                const tensor::Conv2dSpec& spec) {
+  return MakeOp(
+      "conv2d", ts::Conv2dForward(input.value(), weight.value(), spec),
+      {input, weight}, [spec](Node& n) {
+        const ts::Tensor& in = n.inputs[0]->value;
+        const ts::Tensor& w = n.inputs[1]->value;
+        if (n.inputs[0]->requires_grad) {
+          AccumulateGrad(*n.inputs[0], ts::Conv2dBackwardInput(
+                                           n.grad, w, in.shape(), spec));
+        }
+        if (n.inputs[1]->requires_grad) {
+          AccumulateGrad(*n.inputs[1], ts::Conv2dBackwardWeight(
+                                           n.grad, in, w.shape(), spec));
+        }
+      });
+}
+
+Variable Reshape(const Variable& a, tensor::Shape new_shape) {
+  ts::Tensor out = a.value().Reshape(new_shape);
+  return MakeOp("reshape", std::move(out), {a}, [](Node& n) {
+    AccumulateIfNeeded(*n.inputs[0],
+                       n.grad.Reshape(n.inputs[0]->value.shape()));
+  });
+}
+
+Variable Flatten2d(const Variable& a) {
+  MUSE_CHECK_GE(a.value().rank(), 1);
+  const int64_t batch = a.value().dim(0);
+  const int64_t rest = a.value().num_elements() / batch;
+  return Reshape(a, ts::Shape({batch, rest}));
+}
+
+Variable Concat(const std::vector<Variable>& parts, int axis) {
+  MUSE_CHECK(!parts.empty());
+  std::vector<ts::Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  ts::Tensor out = ts::Concat(values, axis);
+  return MakeOp("concat", std::move(out), parts, [axis](Node& n) {
+    int64_t offset = 0;
+    for (auto& input : n.inputs) {
+      const int64_t len = input->value.dim(axis);
+      if (input->requires_grad) {
+        AccumulateGrad(*input, ts::Slice(n.grad, axis, offset, len));
+      }
+      offset += len;
+    }
+  });
+}
+
+Variable Slice(const Variable& a, int axis, int64_t start, int64_t len) {
+  ts::Tensor out = ts::Slice(a.value(), axis, start, len);
+  return MakeOp("slice", std::move(out), {a}, [axis, start, len](Node& n) {
+    const ts::Shape& in_shape = n.inputs[0]->value.shape();
+    if (!n.inputs[0]->requires_grad) return;
+    // Scatter the slice gradient back into a zero tensor of the input shape.
+    ts::Tensor g(in_shape);
+    int64_t outer = 1;
+    for (int i = 0; i < axis; ++i) outer *= in_shape.dim(i);
+    int64_t inner = 1;
+    for (int i = axis + 1; i < in_shape.rank(); ++i) inner *= in_shape.dim(i);
+    const int64_t mid = in_shape.dim(axis);
+    const float* pg = n.grad.data();
+    float* po = g.mutable_data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(pg + o * len * inner, pg + (o + 1) * len * inner,
+                po + (o * mid + start) * inner);
+    }
+    AccumulateGrad(*n.inputs[0], g);
+  });
+}
+
+Variable AvgPool2d(const Variable& a, int64_t window) {
+  ts::Tensor out = ts::AvgPool2d(a.value(), window);
+  return MakeOp("avg_pool2d", std::move(out), {a}, [window](Node& n) {
+    // Each input element receives grad/out · 1/window².
+    const ts::Shape& in_shape = n.inputs[0]->value.shape();
+    ts::Tensor g(in_shape);
+    const int64_t h = in_shape.dim(2);
+    const int64_t w = in_shape.dim(3);
+    const int64_t ow = w / window;
+    const int64_t planes = in_shape.dim(0) * in_shape.dim(1);
+    const float inv = 1.0f / static_cast<float>(window * window);
+    const float* pg = n.grad.data();
+    float* po = g.mutable_data();
+    for (int64_t p = 0; p < planes; ++p) {
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          po[(p * h + y) * w + x] =
+              pg[(p * (h / window) + y / window) * ow + x / window] * inv;
+        }
+      }
+    }
+    AccumulateIfNeeded(*n.inputs[0], g);
+  });
+}
+
+Variable MaxPool2d(const Variable& a, int64_t window) {
+  auto argmax = std::make_shared<std::vector<int64_t>>();
+  ts::Tensor out = ts::MaxPool2d(a.value(), window, argmax.get());
+  return MakeOp("max_pool2d", std::move(out), {a}, [argmax](Node& n) {
+    ts::Tensor g(n.inputs[0]->value.shape());
+    float* po = g.mutable_data();
+    const float* pg = n.grad.data();
+    for (size_t i = 0; i < argmax->size(); ++i) {
+      po[(*argmax)[i]] += pg[static_cast<int64_t>(i)];
+    }
+    AccumulateIfNeeded(*n.inputs[0], g);
+  });
+}
+
+}  // namespace musenet::autograd

@@ -1,0 +1,119 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace musenet::autograd {
+
+void AccumulateGrad(Node& node, const tensor::Tensor& g) {
+  MUSE_CHECK(g.shape() == node.value.shape())
+      << "gradient shape " << g.shape().ToString() << " vs value shape "
+      << node.value.shape().ToString() << " (op " << node.op_name << ")";
+  if (!node.grad_initialized) {
+    node.grad = g;
+    node.grad_initialized = true;
+  } else {
+    node.grad = tensor::Add(node.grad, g);
+  }
+}
+
+Variable::Variable(tensor::Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const tensor::Tensor& Variable::value() const {
+  MUSE_CHECK(defined()) << "value() on empty Variable";
+  return node_->value;
+}
+
+tensor::Tensor& Variable::mutable_value() {
+  MUSE_CHECK(defined()) << "mutable_value() on empty Variable";
+  return node_->value;
+}
+
+const tensor::Tensor& Variable::grad() const {
+  MUSE_CHECK(defined()) << "grad() on empty Variable";
+  MUSE_CHECK(node_->grad_initialized)
+      << "grad() before Backward reached this node";
+  return node_->grad;
+}
+
+bool Variable::has_grad() const {
+  return defined() && node_->grad_initialized;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  MUSE_CHECK(defined());
+  node_->grad_initialized = false;
+  node_->grad = tensor::Tensor();
+}
+
+namespace {
+
+/// Iterative post-order DFS producing a topological order (inputs first).
+std::vector<Node*> TopologicalOrder(Node* root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root).second) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_input < top.node->inputs.size()) {
+      Node* child = top.node->inputs[top.next_input++].get();
+      if (child != nullptr && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+void BackwardWithSeed(const Variable& output, const tensor::Tensor& seed) {
+  MUSE_CHECK(output.defined());
+  Node* root = output.node().get();
+  MUSE_CHECK(seed.shape() == root->value.shape())
+      << "seed shape mismatch in BackwardWithSeed";
+
+  std::vector<Node*> order = TopologicalOrder(root);
+  AccumulateGrad(*root, seed);
+  // Reverse topological order: every node's gradient is complete before its
+  // backward fires (all consumers inside this graph appear later in `order`).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && node->grad_initialized) {
+      node->backward(*node);
+    }
+  }
+}
+
+void Backward(const Variable& output) {
+  MUSE_CHECK(output.defined());
+  MUSE_CHECK_EQ(output.value().num_elements(), 1)
+      << "Backward() requires a scalar output; use BackwardWithSeed";
+  BackwardWithSeed(output,
+                   tensor::Tensor::Ones(output.value().shape()));
+}
+
+Variable Detach(const Variable& v) {
+  MUSE_CHECK(v.defined());
+  return Variable(v.value(), /*requires_grad=*/false);
+}
+
+}  // namespace musenet::autograd

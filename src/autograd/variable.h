@@ -1,0 +1,92 @@
+#ifndef MUSENET_AUTOGRAD_VARIABLE_H_
+#define MUSENET_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace musenet::autograd {
+
+/// One vertex of the dynamically built computation graph.
+///
+/// Nodes are created by the differentiable ops in `ops.h`; user code interacts
+/// with them through the `Variable` handle. `backward` reads this node's
+/// accumulated gradient and adds each input's contribution via
+/// `AccumulateGrad`.
+struct Node {
+  tensor::Tensor value;
+  tensor::Tensor grad;  ///< Valid only when `grad_initialized`.
+  bool requires_grad = false;
+  bool grad_initialized = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  std::function<void(Node&)> backward;  ///< Null for leaves.
+  const char* op_name = "leaf";
+};
+
+/// Adds `g` into `node`'s gradient accumulator (allocating it on first use).
+/// `g` must match the node value's shape.
+void AccumulateGrad(Node& node, const tensor::Tensor& g);
+
+/// Shared handle to a computation-graph node; the user-facing autograd type.
+///
+/// Copying a Variable copies the handle, not the data. A default-constructed
+/// Variable is empty and must not be used in ops. Typical flow:
+///
+///   Variable w(Tensor::RandomNormal(...), /*requires_grad=*/true);
+///   Variable loss = MeanAll(Square(Sub(MatMul(x, w), y)));
+///   Backward(loss);           // w.grad() now holds dloss/dw
+class Variable {
+ public:
+  /// Empty handle.
+  Variable() = default;
+
+  /// Leaf variable wrapping `value`. Set `requires_grad` for parameters.
+  explicit Variable(tensor::Tensor value, bool requires_grad = false);
+
+  /// Internal: wraps an existing node (used by ops).
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+
+  const tensor::Tensor& value() const;
+  /// Mutable access for in-place parameter updates (optimizers). Must not be
+  /// called between building a graph and running Backward on it.
+  tensor::Tensor& mutable_value();
+
+  /// Accumulated gradient; requires a prior Backward pass that reached this
+  /// node (check `has_grad()` first).
+  const tensor::Tensor& grad() const;
+  bool has_grad() const;
+
+  bool requires_grad() const;
+
+  /// Clears this node's gradient accumulator (leaves the graph intact).
+  void ZeroGrad();
+
+  /// Shape shortcuts.
+  const tensor::Shape& shape() const { return value().shape(); }
+  int64_t dim(int axis) const { return value().dim(axis); }
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Runs reverse-mode differentiation from `output`, which must be a scalar
+/// (rank-0 or single-element). Gradients accumulate into every reachable node
+/// with `requires_grad`; leaves keep their gradient for optimizer consumption.
+void Backward(const Variable& output);
+
+/// As Backward but with an explicit seed gradient (same shape as `output`).
+void BackwardWithSeed(const Variable& output, const tensor::Tensor& seed);
+
+/// Returns a leaf copy of `v` that blocks gradient flow.
+Variable Detach(const Variable& v);
+
+}  // namespace musenet::autograd
+
+#endif  // MUSENET_AUTOGRAD_VARIABLE_H_

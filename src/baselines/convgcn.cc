@@ -1,0 +1,67 @@
+#include "baselines/convgcn.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+
+ConvGcn::ConvGcn(int64_t grid_h, int64_t grid_w,
+                 const data::PeriodicitySpec& spec, int64_t channels,
+                 uint64_t seed)
+    : NeuralForecaster("CONVGCN"),
+      init_rng_(seed),
+      channels_(channels),
+      lift_(spec.ClosenessChannels() + spec.PeriodChannels(), channels,
+            init_rng_,
+            nn::Conv2d::Options{.kernel = 1,
+                                .activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      mix1_(channels, channels, init_rng_,
+            nn::Conv2d::Options{.kernel = 1}),
+      mix2_(channels, channels, init_rng_,
+            nn::Conv2d::Options{.kernel = 1}),
+      out_conv_(channels, 2, init_rng_,
+                nn::Conv2d::Options{.activation = nn::Activation::kTanh,
+                                    .init_scale = 0.1f}) {
+  (void)grid_h;
+  (void)grid_w;
+  RegisterSubmodule("lift", &lift_);
+  RegisterSubmodule("mix1", &mix1_);
+  RegisterSubmodule("mix2", &mix2_);
+  RegisterSubmodule("out_conv", &out_conv_);
+  agg_kernel_ = ag::Constant(MakeAggregationKernel(channels));
+}
+
+tensor::Tensor ConvGcn::MakeAggregationKernel(int64_t channels) {
+  // Per-channel cross kernel ≈ normalized adjacency with self-loop:
+  // centre ½, each of the 4 neighbours ⅛.
+  tensor::Tensor kernel(tensor::Shape({channels, channels, 3, 3}));
+  for (int64_t c = 0; c < channels; ++c) {
+    kernel.at({c, c, 1, 1}) = 0.5f;
+    kernel.at({c, c, 0, 1}) = 0.125f;
+    kernel.at({c, c, 2, 1}) = 0.125f;
+    kernel.at({c, c, 1, 0}) = 0.125f;
+    kernel.at({c, c, 1, 2}) = 0.125f;
+  }
+  return kernel;
+}
+
+ag::Variable ConvGcn::GcnLayer(const ag::Variable& x,
+                               const ag::Variable& agg_kernel,
+                               nn::Conv2d& mix) {
+  // Â X: fixed neighbour aggregation with "same" padding.
+  ag::Variable aggregated =
+      ag::Conv2d(x, agg_kernel, tensor::Conv2dSpec{.stride = 1, .pad = 1});
+  // (Â X) W + b, ReLU.
+  return ag::LeakyRelu(mix.Forward(aggregated));
+}
+
+ag::Variable ConvGcn::ForwardPredict(const data::Batch& batch) {
+  ag::Variable x = ag::Concat(
+      {ag::Constant(batch.closeness), ag::Constant(batch.period)}, 1);
+  ag::Variable h = lift_.Forward(x);
+  h = GcnLayer(h, agg_kernel_, mix1_);
+  h = GcnLayer(h, agg_kernel_, mix2_);
+  return out_conv_.Forward(h);
+}
+
+}  // namespace musenet::baselines

@@ -1,0 +1,44 @@
+#ifndef MUSENET_BASELINES_CONVGCN_H_
+#define MUSENET_BASELINES_CONVGCN_H_
+
+#include "baselines/neural_forecaster.h"
+#include "nn/conv.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// ConvGCN-style graph baseline (Zhang et al. 2020; paper Table II
+/// "CONVGCN"): graph convolution over the region adjacency graph combined
+/// with convolutional temporal feature stacking. On a grid partition the
+/// 4-neighbour adjacency aggregation is exactly a fixed cross-shaped 3×3
+/// convolution, so each GCN layer is implemented as (fixed neighbour
+/// aggregation) ∘ (trainable 1×1 channel mixing) — the standard Â·X·W form.
+class ConvGcn : public NeuralForecaster {
+ public:
+  ConvGcn(int64_t grid_h, int64_t grid_w, const data::PeriodicitySpec& spec,
+          int64_t channels, uint64_t seed);
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  /// One graph-convolution layer: Â aggregation + 1×1 mixing + ReLU.
+  autograd::Variable GcnLayer(const autograd::Variable& x,
+                              const autograd::Variable& agg_kernel,
+                              nn::Conv2d& mix);
+
+  /// Builds the constant cross-kernel for `channels` channels.
+  static tensor::Tensor MakeAggregationKernel(int64_t channels);
+
+  Rng init_rng_;
+  int64_t channels_;
+  nn::Conv2d lift_;   ///< 1×1: input channels → hidden.
+  nn::Conv2d mix1_;
+  nn::Conv2d mix2_;
+  nn::Conv2d out_conv_;
+  autograd::Variable agg_kernel_;  ///< Constant [C, C, 3, 3] cross kernel.
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_CONVGCN_H_

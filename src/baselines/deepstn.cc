@@ -1,0 +1,36 @@
+#include "baselines/deepstn.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+
+DeepStnPlus::DeepStnPlus(int64_t grid_h, int64_t grid_w,
+                         const data::PeriodicitySpec& spec, int64_t channels,
+                         int64_t resplus_blocks, uint64_t seed)
+    : NeuralForecaster("DeepSTN+"), init_rng_(seed) {
+  const int64_t in_channels[3] = {spec.ClosenessChannels(),
+                                  spec.PeriodChannels(),
+                                  spec.TrendChannels()};
+  const char* names[3] = {"closeness", "period", "trend"};
+  for (int i = 0; i < 3; ++i) {
+    branches_.push_back(std::make_unique<nn::Conv2d>(
+        in_channels[i], channels, init_rng_,
+        nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}));
+    RegisterSubmodule(std::string("branch_") + names[i],
+                      branches_.back().get());
+  }
+  head_ = std::make_unique<muse::ResPlusNet>(
+      3 * channels, channels, resplus_blocks,
+      std::min<int64_t>(2, channels), grid_h, grid_w, init_rng_);
+  RegisterSubmodule("head", head_.get());
+}
+
+ag::Variable DeepStnPlus::ForwardPredict(const data::Batch& batch) {
+  ag::Variable c = branches_[0]->Forward(ag::Constant(batch.closeness));
+  ag::Variable p = branches_[1]->Forward(ag::Constant(batch.period));
+  ag::Variable t = branches_[2]->Forward(ag::Constant(batch.trend));
+  return head_->Forward(ag::Concat({c, p, t}, 1));
+}
+
+}  // namespace musenet::baselines

@@ -1,0 +1,37 @@
+#ifndef MUSENET_BASELINES_DEEPSTN_H_
+#define MUSENET_BASELINES_DEEPSTN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/neural_forecaster.h"
+#include "muse/resplus.h"
+#include "nn/conv.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// DeepSTN+ baseline (Feng et al. 2022; paper Table II "DeepSTN+"): the
+/// strongest CNN baseline and the source of MUSE-Net's spatial head. Each
+/// sub-series gets its own convolutional branch; branch features are fused by
+/// 1×1 convolution and refined by ResPlus units. This is exactly MUSE-Net's
+/// prediction path *without* disentanglement, which makes the Table II/VI
+/// gap between the two models attributable to the disentanglement machinery.
+class DeepStnPlus : public NeuralForecaster {
+ public:
+  DeepStnPlus(int64_t grid_h, int64_t grid_w,
+              const data::PeriodicitySpec& spec, int64_t channels,
+              int64_t resplus_blocks, uint64_t seed);
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  Rng init_rng_;
+  std::vector<std::unique_ptr<nn::Conv2d>> branches_;  ///< c, p, t.
+  std::unique_ptr<muse::ResPlusNet> head_;
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_DEEPSTN_H_

@@ -1,0 +1,83 @@
+#include "baselines/gman.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+namespace ts = musenet::tensor;
+
+GmanLite::GmanLite(int64_t grid_h, int64_t grid_w,
+                   const data::PeriodicitySpec& spec, int64_t dim,
+                   uint64_t seed)
+    : NeuralForecaster("GMAN"),
+      grid_h_(grid_h),
+      grid_w_(grid_w),
+      dim_(dim),
+      init_rng_(seed),
+      embed_(spec.ClosenessChannels() + spec.PeriodChannels(), dim,
+             init_rng_,
+             nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                 .batch_norm = true}),
+      query_(dim, dim, init_rng_),
+      key_(dim, dim, init_rng_),
+      value_(dim, dim, init_rng_),
+      ffn_(dim, dim, init_rng_, nn::Activation::kLeakyRelu),
+      out_conv_(dim, 2, init_rng_,
+                nn::Conv2d::Options{.activation = nn::Activation::kTanh,
+                                    .init_scale = 0.1f}) {
+  RegisterSubmodule("embed", &embed_);
+  RegisterSubmodule("query", &query_);
+  RegisterSubmodule("key", &key_);
+  RegisterSubmodule("value", &value_);
+  RegisterSubmodule("ffn", &ffn_);
+  RegisterSubmodule("out_conv", &out_conv_);
+  spatial_embedding_ = RegisterParameter(
+      "spatial_embedding",
+      ts::Tensor::RandomNormal(ts::Shape({grid_h * grid_w, dim}),
+                               init_rng_, 0.0f, 0.02f));
+}
+
+ag::Variable GmanLite::ForwardPredict(const data::Batch& batch) {
+  const int64_t b = batch.closeness.dim(0);
+  const int64_t m = grid_h_ * grid_w_;
+
+  // Per-region features: [B, dim, H, W] → tokens [B, M, dim].
+  ag::Variable features = embed_.Forward(ag::Concat(
+      {ag::Constant(batch.closeness), ag::Constant(batch.period)}, 1));
+  // [B, dim, H, W] → [B, dim, M] → [B, M, dim].
+  ag::Variable tokens = ag::TransposeLast2(
+      ag::Reshape(features, ts::Shape({b, dim_, m})));
+  // Learned spatial embedding broadcasts over the batch.
+  tokens = ag::Add(tokens, ag::Reshape(spatial_embedding_,
+                                       ts::Shape({1, m, dim_})));
+
+  // Spatial self-attention over the M region tokens.
+  auto project = [&](nn::Dense& proj, const ag::Variable& x) {
+    ag::Variable flat = ag::Reshape(x, ts::Shape({b * m, dim_}));
+    return ag::Reshape(proj.Forward(flat), ts::Shape({b, m, dim_}));
+  };
+  ag::Variable q = project(query_, tokens);
+  ag::Variable k = project(key_, tokens);
+  ag::Variable v = project(value_, tokens);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+  ag::Variable attention = ag::SoftmaxLastAxis(
+      ag::MulScalar(ag::MatMulBatched(q, ag::TransposeLast2(k)), scale));
+  ag::Variable attended = ag::MatMulBatched(attention, v);  // [B, M, dim]
+
+  // Residual + position-wise feed-forward (GMAN's gated fusion simplified).
+  attended = ag::Add(attended, tokens);
+  ag::Variable ff = ag::Reshape(
+      ffn_.Forward(ag::Reshape(attended, ts::Shape({b * m, dim_}))),
+      ts::Shape({b, m, dim_}));
+  attended = ag::Add(attended, ff);
+
+  // Back to the grid and out through the transform head.
+  ag::Variable grid = ag::Reshape(ag::TransposeLast2(attended),
+                                  ts::Shape({b, dim_, grid_h_, grid_w_}));
+  return out_conv_.Forward(grid);
+}
+
+}  // namespace musenet::baselines

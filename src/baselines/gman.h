@@ -1,0 +1,41 @@
+#ifndef MUSENET_BASELINES_GMAN_H_
+#define MUSENET_BASELINES_GMAN_H_
+
+#include "baselines/neural_forecaster.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// GMAN-style attention baseline (Zheng et al. 2020; paper Table II "GMAN"):
+/// a graph multi-attention forecaster. Our grid adaptation treats the M
+/// regions as attention tokens: frame features are embedded per region,
+/// region tokens attend to each other (spatial attention — the analogue of
+/// GMAN's graph attention with learned spatial embeddings), and a transform
+/// head maps the attended context to the forecast.
+class GmanLite : public NeuralForecaster {
+ public:
+  GmanLite(int64_t grid_h, int64_t grid_w, const data::PeriodicitySpec& spec,
+           int64_t dim, uint64_t seed);
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  int64_t grid_h_;
+  int64_t grid_w_;
+  int64_t dim_;
+  Rng init_rng_;
+  nn::Conv2d embed_;               ///< Input frames → per-region features.
+  autograd::Variable spatial_embedding_;  ///< [M, dim] learned positions.
+  nn::Dense query_;
+  nn::Dense key_;
+  nn::Dense value_;
+  nn::Dense ffn_;
+  nn::Conv2d out_conv_;
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_GMAN_H_

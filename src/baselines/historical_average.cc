@@ -1,0 +1,63 @@
+#include "baselines/historical_average.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace musenet::baselines {
+
+void HistoricalAverage::Train(const data::TrafficDataset& dataset,
+                              const eval::TrainConfig& config) {
+  (void)config;
+  dataset_ = &dataset;
+  const auto& flows = dataset.flows();
+  const int f = flows.intervals_per_day();
+  const tensor::Shape frame_shape(
+      {2, flows.grid().height, flows.grid().width});
+
+  averages_.assign(2, std::vector<tensor::Tensor>(
+                          static_cast<size_t>(f),
+                          tensor::Tensor::Zeros(frame_shape)));
+  counts_.assign(2, std::vector<int64_t>(static_cast<size_t>(f), 0));
+
+  // Accumulate scaled frames over the training base indices' targets.
+  for (int64_t i : dataset.train_indices()) {
+    const int64_t t = i + dataset.options().horizon_offset;
+    const int slot = flows.IntervalOfDay(t);
+    const int weekend = flows.IsWeekend(t) ? 1 : 0;
+    tensor::Tensor frame = dataset.scaler().Transform(flows.Frame(t));
+    averages_[weekend][static_cast<size_t>(slot)] = tensor::Add(
+        averages_[weekend][static_cast<size_t>(slot)], frame);
+    ++counts_[weekend][static_cast<size_t>(slot)];
+  }
+  for (int weekend = 0; weekend < 2; ++weekend) {
+    for (int slot = 0; slot < f; ++slot) {
+      const int64_t n = counts_[weekend][static_cast<size_t>(slot)];
+      if (n > 0) {
+        averages_[weekend][static_cast<size_t>(slot)] = tensor::MulScalar(
+            averages_[weekend][static_cast<size_t>(slot)],
+            1.0f / static_cast<float>(n));
+      }
+    }
+  }
+}
+
+tensor::Tensor HistoricalAverage::Predict(const data::Batch& batch) {
+  MUSE_CHECK(dataset_ != nullptr) << "Train must run before Predict";
+  const auto& flows = dataset_->flows();
+  std::vector<tensor::Tensor> frames;
+  for (int64_t t : batch.target_indices) {
+    const int slot = flows.IntervalOfDay(t);
+    int weekend = flows.IsWeekend(t) ? 1 : 0;
+    // Short training spans may not cover both day types for a slot; fall
+    // back to the other type's average rather than an all-zero frame.
+    if (counts_[weekend][static_cast<size_t>(slot)] == 0) {
+      weekend = 1 - weekend;
+    }
+    const tensor::Tensor& avg = averages_[weekend][static_cast<size_t>(slot)];
+    frames.push_back(avg.Reshape(tensor::Shape(
+        {1, avg.dim(0), avg.dim(1), avg.dim(2)})));
+  }
+  return tensor::Concat(frames, 0);
+}
+
+}  // namespace musenet::baselines

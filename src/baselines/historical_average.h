@@ -1,0 +1,33 @@
+#ifndef MUSENET_BASELINES_HISTORICAL_AVERAGE_H_
+#define MUSENET_BASELINES_HISTORICAL_AVERAGE_H_
+
+#include <vector>
+
+#include "eval/forecaster.h"
+
+namespace musenet::baselines {
+
+/// Non-learned reference: predicts the training-period average flow for the
+/// same (interval-of-day, weekday-vs-weekend) slot. Not a paper baseline —
+/// included as a sanity floor every neural model must beat.
+class HistoricalAverage : public eval::Forecaster {
+ public:
+  HistoricalAverage() = default;
+
+  std::string name() const override { return "HistoricalAverage"; }
+
+  void Train(const data::TrafficDataset& dataset,
+             const eval::TrainConfig& config) override;
+
+  tensor::Tensor Predict(const data::Batch& batch) override;
+
+ private:
+  /// averages_[is_weekend][interval_of_day] = scaled [2, H, W] frame.
+  std::vector<std::vector<tensor::Tensor>> averages_;
+  std::vector<std::vector<int64_t>> counts_;
+  const data::TrafficDataset* dataset_ = nullptr;  ///< Calendar lookup.
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_HISTORICAL_AVERAGE_H_

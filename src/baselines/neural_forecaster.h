@@ -1,0 +1,39 @@
+#ifndef MUSENET_BASELINES_NEURAL_FORECASTER_H_
+#define MUSENET_BASELINES_NEURAL_FORECASTER_H_
+
+#include <string>
+
+#include "autograd/ops.h"
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "nn/module.h"
+
+namespace musenet::baselines {
+
+/// Base class of the neural baselines: supplies the generic MSE training
+/// loop (Adam, shuffled mini-batches, best-on-validation weight selection) so
+/// each baseline only implements its forward pass. All baselines therefore
+/// receive exactly the training budget that MUSE-Net does, which keeps the
+/// comparison tables fair.
+class NeuralForecaster : public nn::Module, public eval::Forecaster {
+ public:
+  explicit NeuralForecaster(std::string name) : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  void Train(const data::TrafficDataset& dataset,
+             const eval::TrainConfig& config) override;
+
+  tensor::Tensor Predict(const data::Batch& batch) override;
+
+ protected:
+  /// Differentiable prediction [B, 2, H, W] in [-1, 1].
+  virtual autograd::Variable ForwardPredict(const data::Batch& batch) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_NEURAL_FORECASTER_H_

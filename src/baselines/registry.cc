@@ -1,0 +1,71 @@
+#include "baselines/registry.h"
+
+#include "baselines/convgcn.h"
+#include "baselines/deepstn.h"
+#include "baselines/gman.h"
+#include "baselines/historical_average.h"
+#include "baselines/rnn.h"
+#include "baselines/seq2seq.h"
+#include "baselines/stgsp.h"
+#include "baselines/stnorm.h"
+#include "baselines/stssl.h"
+
+namespace musenet::baselines {
+
+std::vector<std::string> AllBaselineNames() {
+  // Table II row order: one representative per class, HA as extra reference.
+  return {"HistoricalAverage", "RNN",   "Seq2Seq",  "CONVGCN", "GMAN",
+          "ST-Norm",           "STGSP", "DeepSTN+", "ST-SSL"};
+}
+
+std::unique_ptr<eval::Forecaster> MakeBaseline(const std::string& name,
+                                               const BaselineSizing& s) {
+  if (name == "HistoricalAverage") {
+    return std::make_unique<HistoricalAverage>();
+  }
+  if (name == "RNN") {
+    return std::make_unique<RnnForecaster>(s.grid_h, s.grid_w, s.hidden * 2,
+                                           s.seed);
+  }
+  if (name == "Seq2Seq") {
+    return std::make_unique<Seq2SeqForecaster>(s.grid_h, s.grid_w,
+                                               s.hidden * 2, s.seed);
+  }
+  if (name == "CONVGCN") {
+    return std::make_unique<ConvGcn>(s.grid_h, s.grid_w, s.spec, s.hidden,
+                                     s.seed);
+  }
+  if (name == "ST-Norm") {
+    return std::make_unique<StNormLite>(s.grid_h, s.grid_w, s.spec, s.hidden,
+                                        s.seed);
+  }
+  if (name == "STGSP") {
+    return std::make_unique<StgspLite>(s.grid_h, s.grid_w, s.spec, s.hidden,
+                                       s.seed);
+  }
+  if (name == "GMAN") {
+    return std::make_unique<GmanLite>(s.grid_h, s.grid_w, s.spec, s.hidden,
+                                      s.seed);
+  }
+  if (name == "ST-SSL") {
+    return std::make_unique<StSslLite>(s.grid_h, s.grid_w, s.spec, s.hidden,
+                                       /*mask_rate=*/0.15,
+                                       /*ssl_weight=*/0.5, s.seed);
+  }
+  if (name == "DeepSTN+") {
+    return std::make_unique<DeepStnPlus>(s.grid_h, s.grid_w, s.spec, s.hidden,
+                                         s.resplus_blocks, s.seed);
+  }
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<eval::Forecaster>> MakeAllBaselines(
+    const BaselineSizing& sizing) {
+  std::vector<std::unique_ptr<eval::Forecaster>> models;
+  for (const std::string& name : AllBaselineNames()) {
+    models.push_back(MakeBaseline(name, sizing));
+  }
+  return models;
+}
+
+}  // namespace musenet::baselines

@@ -1,0 +1,38 @@
+#ifndef MUSENET_BASELINES_REGISTRY_H_
+#define MUSENET_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/interception.h"
+#include "eval/forecaster.h"
+
+namespace musenet::baselines {
+
+/// Shared sizing of all baselines in a comparison run.
+struct BaselineSizing {
+  int64_t grid_h = 10;
+  int64_t grid_w = 20;
+  data::PeriodicitySpec spec;
+  int64_t hidden = 16;     ///< Hidden width / channel count.
+  int64_t resplus_blocks = 2;
+  uint64_t seed = 7;
+};
+
+/// Baseline names accepted by MakeBaseline, in Table II row order.
+std::vector<std::string> AllBaselineNames();
+
+/// Instantiates one baseline by its paper name ("RNN", "Seq2Seq", "CONVGCN",
+/// "ST-Norm", "STGSP", "DeepSTN+", "HistoricalAverage"). Returns nullptr for
+/// unknown names.
+std::unique_ptr<eval::Forecaster> MakeBaseline(const std::string& name,
+                                               const BaselineSizing& sizing);
+
+/// Instantiates the whole Table II baseline roster.
+std::vector<std::unique_ptr<eval::Forecaster>> MakeAllBaselines(
+    const BaselineSizing& sizing);
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_REGISTRY_H_

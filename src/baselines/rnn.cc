@@ -1,0 +1,42 @@
+#include "baselines/rnn.h"
+
+#include "util/check.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+
+RnnForecaster::RnnForecaster(int64_t grid_h, int64_t grid_w, int64_t hidden,
+                             uint64_t seed)
+    : NeuralForecaster("RNN"),
+      grid_h_(grid_h),
+      grid_w_(grid_w),
+      init_rng_(seed),
+      input_proj_(2 * grid_h * grid_w, hidden, init_rng_,
+                  nn::Activation::kLeakyRelu),
+      cell_(hidden, hidden, init_rng_),
+      output_(hidden, 2 * grid_h * grid_w, init_rng_,
+              nn::Activation::kTanh) {
+  RegisterSubmodule("input_proj", &input_proj_);
+  RegisterSubmodule("cell", &cell_);
+  RegisterSubmodule("output", &output_);
+}
+
+ag::Variable RnnForecaster::ForwardPredict(const data::Batch& batch) {
+  const int64_t b = batch.closeness.dim(0);
+  const int64_t steps = batch.closeness.dim(1) / 2;
+  const int64_t frame = 2 * grid_h_ * grid_w_;
+
+  ag::Variable x = ag::Constant(batch.closeness);  // [B, 2·Lc, H, W]
+  ag::Variable h = cell_.InitialState(b);
+  for (int64_t s = 0; s < steps; ++s) {
+    // Frame s occupies channels [2s, 2s+2).
+    ag::Variable step = ag::Slice(x, 1, 2 * s, 2);
+    step = ag::Reshape(step, tensor::Shape({b, frame}));
+    h = cell_.Step(input_proj_.Forward(step), h);
+  }
+  ag::Variable flat = output_.Forward(h);
+  return ag::Reshape(flat, tensor::Shape({b, 2, grid_h_, grid_w_}));
+}
+
+}  // namespace musenet::baselines

@@ -1,0 +1,34 @@
+#ifndef MUSENET_BASELINES_RNN_H_
+#define MUSENET_BASELINES_RNN_H_
+
+#include "baselines/neural_forecaster.h"
+#include "nn/dense.h"
+#include "nn/gru.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// RNN baseline (paper Table II "RNN"): a GRU driven by the recent closeness
+/// frames (each frame flattened to a [2·H·W] vector), final hidden state
+/// mapped to the next frame. Captures temporal dependency only — no spatial
+/// structure and no multi-periodicity — which is exactly why it trails every
+/// spatially aware model in the paper.
+class RnnForecaster : public NeuralForecaster {
+ public:
+  RnnForecaster(int64_t grid_h, int64_t grid_w, int64_t hidden, uint64_t seed);
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  int64_t grid_h_;
+  int64_t grid_w_;
+  Rng init_rng_;
+  nn::Dense input_proj_;
+  nn::GruCell cell_;
+  nn::Dense output_;
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_RNN_H_

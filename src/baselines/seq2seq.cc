@@ -1,0 +1,58 @@
+#include "baselines/seq2seq.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+
+Seq2SeqForecaster::Seq2SeqForecaster(int64_t grid_h, int64_t grid_w,
+                                     int64_t hidden, uint64_t seed)
+    : NeuralForecaster("Seq2Seq"),
+      grid_h_(grid_h),
+      grid_w_(grid_w),
+      init_rng_(seed),
+      input_proj_(2 * grid_h * grid_w, hidden, init_rng_,
+                  nn::Activation::kLeakyRelu),
+      encoder_(hidden, hidden, init_rng_),
+      decoder_(hidden, hidden, init_rng_),
+      output_(hidden, 2 * grid_h * grid_w, init_rng_,
+              nn::Activation::kTanh) {
+  RegisterSubmodule("input_proj", &input_proj_);
+  RegisterSubmodule("encoder", &encoder_);
+  RegisterSubmodule("decoder", &decoder_);
+  RegisterSubmodule("output", &output_);
+}
+
+ag::Variable Seq2SeqForecaster::EncodeBlock(const ag::Variable& block,
+                                            ag::Variable h) {
+  const int64_t b = block.value().dim(0);
+  const int64_t steps = block.value().dim(1) / 2;
+  const int64_t frame = 2 * grid_h_ * grid_w_;
+  for (int64_t s = 0; s < steps; ++s) {
+    ag::Variable step = ag::Slice(block, 1, 2 * s, 2);
+    step = ag::Reshape(step, tensor::Shape({b, frame}));
+    h = encoder_.Step(input_proj_.Forward(step), h);
+  }
+  return h;
+}
+
+ag::Variable Seq2SeqForecaster::ForwardPredict(const data::Batch& batch) {
+  const int64_t b = batch.closeness.dim(0);
+  const int64_t frame = 2 * grid_h_ * grid_w_;
+
+  // Encode the long-range context first (period), then the recent closeness
+  // frames, so the most recent information is freshest in the state.
+  ag::Variable h = encoder_.InitialState(b);
+  h = EncodeBlock(ag::Constant(batch.period), h);
+  h = EncodeBlock(ag::Constant(batch.closeness), h);
+
+  // One decoder step from the last observed frame.
+  const int64_t last = batch.closeness.dim(1) - 2;
+  ag::Variable last_frame =
+      ag::Slice(ag::Constant(batch.closeness), 1, last, 2);
+  last_frame = ag::Reshape(last_frame, tensor::Shape({b, frame}));
+  ag::Variable dec = decoder_.Step(input_proj_.Forward(last_frame), h);
+  ag::Variable flat = output_.Forward(dec);
+  return ag::Reshape(flat, tensor::Shape({b, 2, grid_h_, grid_w_}));
+}
+
+}  // namespace musenet::baselines

@@ -1,0 +1,40 @@
+#ifndef MUSENET_BASELINES_SEQ2SEQ_H_
+#define MUSENET_BASELINES_SEQ2SEQ_H_
+
+#include "baselines/neural_forecaster.h"
+#include "nn/dense.h"
+#include "nn/gru.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// Seq2Seq baseline (paper Table II "Seq2Seq", after LibCity): a GRU encoder
+/// consumes the closeness + period frames in temporal order; a GRU decoder
+/// initialized with the encoder state rolls one step from the last observed
+/// frame to emit the forecast. Richer temporal context than the plain RNN but
+/// still no spatial learning.
+class Seq2SeqForecaster : public NeuralForecaster {
+ public:
+  Seq2SeqForecaster(int64_t grid_h, int64_t grid_w, int64_t hidden,
+                    uint64_t seed);
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  /// Feeds the frames of a [B, 2·L, H, W] block through the encoder.
+  autograd::Variable EncodeBlock(const autograd::Variable& block,
+                                 autograd::Variable h);
+
+  int64_t grid_h_;
+  int64_t grid_w_;
+  Rng init_rng_;
+  nn::Dense input_proj_;
+  nn::GruCell encoder_;
+  nn::GruCell decoder_;
+  nn::Dense output_;
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_SEQ2SEQ_H_

@@ -1,0 +1,99 @@
+#include "baselines/stgsp.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+
+StgspLite::StgspLite(int64_t grid_h, int64_t grid_w,
+                     const data::PeriodicitySpec& spec, int64_t dim,
+                     uint64_t seed)
+    : NeuralForecaster("STGSP"),
+      grid_h_(grid_h),
+      grid_w_(grid_w),
+      dim_(dim),
+      num_tokens_(spec.len_closeness + spec.len_period + spec.len_trend),
+      init_rng_(seed),
+      frame_embed_(2, dim, init_rng_,
+                   nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      query_(dim, dim, init_rng_),
+      key_(dim, dim, init_rng_),
+      value_(dim, dim, init_rng_),
+      out_conv_(2 * dim, 2, init_rng_,
+                nn::Conv2d::Options{.activation = nn::Activation::kTanh,
+                                    .init_scale = 0.1f}) {
+  RegisterSubmodule("frame_embed", &frame_embed_);
+  RegisterSubmodule("query", &query_);
+  RegisterSubmodule("key", &key_);
+  RegisterSubmodule("value", &value_);
+  RegisterSubmodule("out_conv", &out_conv_);
+  positional_ = RegisterParameter(
+      "positional",
+      tensor::Tensor::RandomNormal(tensor::Shape({num_tokens_, dim_}),
+                                   init_rng_, 0.0f, 0.02f));
+}
+
+void StgspLite::EmbedBlock(const ag::Variable& block,
+                           std::vector<ag::Variable>* tokens,
+                           ag::Variable* last_map) {
+  const int64_t b = block.value().dim(0);
+  const int64_t steps = block.value().dim(1) / 2;
+  for (int64_t s = 0; s < steps; ++s) {
+    ag::Variable frame = ag::Slice(block, 1, 2 * s, 2);  // [B, 2, H, W]
+    ag::Variable map = frame_embed_.Forward(frame);      // [B, dim, H, W]
+    // Global average pooling over space → token [B, 1, dim].
+    ag::Variable token = ag::Mean(ag::Mean(map, 3), 2);
+    tokens->push_back(ag::Reshape(token, tensor::Shape({b, 1, dim_})));
+    *last_map = map;  // Caller keeps the most recent embedding.
+  }
+}
+
+ag::Variable StgspLite::ForwardPredict(const data::Batch& batch) {
+  const int64_t b = batch.closeness.dim(0);
+
+  std::vector<ag::Variable> tokens;
+  ag::Variable last_map;
+  ag::Variable scratch;
+  // Token order: trend (oldest) → period → closeness (newest), so the last
+  // embedded map is the most recent closeness frame.
+  EmbedBlock(ag::Constant(batch.trend), &tokens, &scratch);
+  EmbedBlock(ag::Constant(batch.period), &tokens, &scratch);
+  EmbedBlock(ag::Constant(batch.closeness), &tokens, &last_map);
+  MUSE_CHECK_EQ(static_cast<int64_t>(tokens.size()), num_tokens_);
+
+  ag::Variable seq = ag::Concat(tokens, 1);  // [B, L, dim]
+  // Learned positional embedding broadcasts over the batch.
+  seq = ag::Add(seq, ag::Reshape(positional_,
+                                 tensor::Shape({1, num_tokens_, dim_})));
+
+  // Single-head scaled dot-product self-attention.
+  auto project = [&](nn::Dense& proj, const ag::Variable& x) {
+    ag::Variable flat =
+        ag::Reshape(x, tensor::Shape({b * num_tokens_, dim_}));
+    return ag::Reshape(proj.Forward(flat),
+                       tensor::Shape({b, num_tokens_, dim_}));
+  };
+  ag::Variable q = project(query_, seq);
+  ag::Variable k = project(key_, seq);
+  ag::Variable v = project(value_, seq);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+  ag::Variable scores =
+      ag::MulScalar(ag::MatMulBatched(q, ag::TransposeLast2(k)), scale);
+  ag::Variable attended = ag::MatMulBatched(
+      ag::SoftmaxLastAxis(scores), v);  // [B, L, dim]
+
+  // Global semantic context = mean over tokens, broadcast over space.
+  ag::Variable context = ag::Mean(attended, 1);  // [B, dim]
+  ag::Variable context_map = ag::Add(
+      ag::Reshape(context, tensor::Shape({b, dim_, 1, 1})),
+      ag::Constant(tensor::Tensor::Zeros(
+          tensor::Shape({b, dim_, grid_h_, grid_w_}))));
+
+  return out_conv_.Forward(ag::Concat({last_map, context_map}, 1));
+}
+
+}  // namespace musenet::baselines

@@ -1,0 +1,48 @@
+#ifndef MUSENET_BASELINES_STGSP_H_
+#define MUSENET_BASELINES_STGSP_H_
+
+#include "baselines/neural_forecaster.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// STGSP-style attention baseline (Zhao et al. 2022; paper Table II "STGSP"):
+/// every observed frame across the closeness/period/trend sub-series becomes
+/// a token (shared conv embedding + global pooling + learned positional
+/// embedding); single-head self-attention produces a global semantic context
+/// that is fused with the most recent frame's feature map for prediction.
+/// The multi-periodic frames are processed *sequentially in one entangled
+/// token stream* — the design MUSE-Net's disentanglement argues against.
+class StgspLite : public NeuralForecaster {
+ public:
+  StgspLite(int64_t grid_h, int64_t grid_w,
+            const data::PeriodicitySpec& spec, int64_t dim, uint64_t seed);
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  /// Embeds every frame of a [B, 2·L, H, W] block; appends [B,1,dim] tokens
+  /// and [B,dim,H,W] maps.
+  void EmbedBlock(const autograd::Variable& block,
+                  std::vector<autograd::Variable>* tokens,
+                  autograd::Variable* last_map);
+
+  int64_t grid_h_;
+  int64_t grid_w_;
+  int64_t dim_;
+  int64_t num_tokens_;
+  Rng init_rng_;
+  nn::Conv2d frame_embed_;   ///< Shared 2→dim frame encoder.
+  autograd::Variable positional_;  ///< [num_tokens, dim].
+  nn::Dense query_;
+  nn::Dense key_;
+  nn::Dense value_;
+  nn::Conv2d out_conv_;      ///< 2·dim → 2, tanh.
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_STGSP_H_

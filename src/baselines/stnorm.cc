@@ -1,0 +1,57 @@
+#include "baselines/stnorm.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+
+StNormLite::StNormLite(int64_t grid_h, int64_t grid_w,
+                       const data::PeriodicitySpec& spec, int64_t channels,
+                       uint64_t seed)
+    : NeuralForecaster("ST-Norm"),
+      init_rng_(seed),
+      // Raw + temporally normalized + spatially normalized views of the
+      // closeness and period blocks.
+      conv1_(3 * (spec.ClosenessChannels() + spec.PeriodChannels()), channels,
+             init_rng_,
+             nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      conv2_(channels, channels, init_rng_,
+             nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      out_conv_(channels, 2, init_rng_,
+                nn::Conv2d::Options{.activation = nn::Activation::kTanh,
+                                    .init_scale = 0.1f}) {
+  (void)grid_h;
+  (void)grid_w;
+  RegisterSubmodule("conv1", &conv1_);
+  RegisterSubmodule("conv2", &conv2_);
+  RegisterSubmodule("out_conv", &out_conv_);
+}
+
+namespace {
+
+/// Temporal normalization: subtract each region's mean over the frame
+/// channels (keeps the high-frequency component).
+ag::Variable TemporalNorm(const ag::Variable& x) {
+  return ag::Sub(x, ag::Mean(x, 1, /*keepdims=*/true));
+}
+
+/// Spatial normalization: subtract the city-wide mean of every frame (keeps
+/// the local component).
+ag::Variable SpatialNorm(const ag::Variable& x) {
+  ag::Variable mean_w = ag::Mean(x, 3, /*keepdims=*/true);
+  ag::Variable mean_hw = ag::Mean(mean_w, 2, /*keepdims=*/true);
+  return ag::Sub(x, mean_hw);
+}
+
+}  // namespace
+
+ag::Variable StNormLite::ForwardPredict(const data::Batch& batch) {
+  ag::Variable x = ag::Concat(
+      {ag::Constant(batch.closeness), ag::Constant(batch.period)}, 1);
+  ag::Variable views =
+      ag::Concat({x, TemporalNorm(x), SpatialNorm(x)}, 1);
+  return out_conv_.Forward(conv2_.Forward(conv1_.Forward(views)));
+}
+
+}  // namespace musenet::baselines

@@ -1,0 +1,36 @@
+#ifndef MUSENET_BASELINES_STNORM_H_
+#define MUSENET_BASELINES_STNORM_H_
+
+#include "baselines/neural_forecaster.h"
+#include "nn/conv.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// ST-Norm-style disentangle baseline (Deng et al. 2021; paper Table II
+/// "ST-Norm"): the observed frames are decomposed by *normalization* rather
+/// than by learned representations — a temporal normalization isolates each
+/// region's high-frequency component (deviation from its own temporal mean)
+/// and a spatial normalization isolates the local component (deviation from
+/// the city-wide mean per frame). Raw + both normalized views feed a small
+/// CNN. This is the prior disentanglement approach MUSE-Net is compared
+/// against.
+class StNormLite : public NeuralForecaster {
+ public:
+  StNormLite(int64_t grid_h, int64_t grid_w,
+             const data::PeriodicitySpec& spec, int64_t channels,
+             uint64_t seed);
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  Rng init_rng_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  nn::Conv2d out_conv_;
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_STNORM_H_

@@ -1,0 +1,131 @@
+#include "baselines/stssl.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "eval/training.h"
+#include "optim/adam.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace musenet::baselines {
+
+namespace ag = musenet::autograd;
+namespace ts = musenet::tensor;
+
+StSslLite::StSslLite(int64_t grid_h, int64_t grid_w,
+                     const data::PeriodicitySpec& spec, int64_t channels,
+                     double mask_rate, double ssl_weight, uint64_t seed)
+    : NeuralForecaster("ST-SSL"),
+      in_channels_(spec.ClosenessChannels() + spec.PeriodChannels()),
+      mask_rate_(mask_rate),
+      ssl_weight_(ssl_weight),
+      init_rng_(seed),
+      mask_rng_(seed ^ 0x55E1F00DULL),
+      conv1_(in_channels_, channels, init_rng_,
+             nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                 .batch_norm = true}),
+      conv2_(channels, channels, init_rng_,
+             nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                 .batch_norm = true}),
+      out_conv_(channels, 2, init_rng_,
+                nn::Conv2d::Options{.activation = nn::Activation::kTanh,
+                                    .init_scale = 0.1f}),
+      ssl_head_(channels, in_channels_, init_rng_,
+                nn::Conv2d::Options{.activation = nn::Activation::kTanh,
+                                    .init_scale = 0.1f}) {
+  (void)grid_h;
+  (void)grid_w;
+  MUSE_CHECK(mask_rate > 0.0 && mask_rate < 1.0);
+  RegisterSubmodule("conv1", &conv1_);
+  RegisterSubmodule("conv2", &conv2_);
+  RegisterSubmodule("out_conv", &out_conv_);
+  RegisterSubmodule("ssl_head", &ssl_head_);
+}
+
+ag::Variable StSslLite::Encode(const ag::Variable& closeness,
+                               const ag::Variable& period) {
+  ag::Variable x = ag::Concat({closeness, period}, 1);
+  return conv2_.Forward(conv1_.Forward(x));
+}
+
+ag::Variable StSslLite::ForwardPredict(const data::Batch& batch) {
+  return out_conv_.Forward(
+      Encode(ag::Constant(batch.closeness), ag::Constant(batch.period)));
+}
+
+void StSslLite::Train(const data::TrafficDataset& dataset,
+                      const eval::TrainConfig& config) {
+  SetTraining(true);
+  Rng epoch_rng(config.seed ^ 0x57551ULL);
+  optim::Adam optimizer(Parameters(), config.learning_rate);
+
+  double best_val = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+  std::map<std::string, ts::Tensor> best_state;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    for (const auto& indices : eval::MakeEpochBatches(
+             dataset.train_indices(), config.batch_size, epoch_rng)) {
+      data::Batch batch = dataset.MakeBatch(indices);
+
+      // Main forecasting branch.
+      ag::Variable features = Encode(ag::Constant(batch.closeness),
+                                     ag::Constant(batch.period));
+      ag::Variable pred = out_conv_.Forward(features);
+      ag::Variable loss =
+          ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(batch.target))));
+
+      // Self-supervised branch: zero out a random cell mask, reconstruct the
+      // unmasked inputs from the masked view's features.
+      ag::Variable raw =
+          ag::Concat({ag::Constant(batch.closeness),
+                      ag::Constant(batch.period)}, 1);
+      ts::Tensor mask(raw.value().shape());
+      float* pm = mask.mutable_data();
+      for (int64_t i = 0; i < mask.num_elements(); ++i) {
+        pm[i] = mask_rng_.Bernoulli(mask_rate_) ? 0.0f : 1.0f;
+      }
+      ag::Variable masked = ag::Mul(raw, ag::Constant(std::move(mask)));
+      ag::Variable masked_features =
+          conv2_.Forward(conv1_.Forward(masked));
+      ag::Variable recon = ssl_head_.Forward(masked_features);
+      ag::Variable ssl_loss = ag::MeanAll(ag::Square(ag::Sub(recon, raw)));
+      loss = ag::Add(loss,
+                     ag::MulScalar(ssl_loss, static_cast<float>(ssl_weight_)));
+
+      ZeroGrad();
+      ag::Backward(loss);
+      if (config.clip_norm > 0.0) {
+        optim::ClipGradNorm(optimizer.params(), config.clip_norm);
+      }
+      optimizer.Step();
+      epoch_loss += loss.value().scalar();
+      ++num_batches;
+    }
+    const double val_mse =
+        eval::ValidationMse(*this, dataset, config.batch_size);
+    if (config.verbose) {
+      std::fprintf(stderr, "[ST-SSL] epoch %d/%d  loss %.5f  val %.5f\n",
+                   epoch + 1, config.epochs,
+                   epoch_loss / std::max<int64_t>(1, num_batches), val_mse);
+    }
+    if (val_mse < best_val) {
+      best_val = val_mse;
+      best_state = StateDict();
+      epochs_since_best = 0;
+    } else if (config.patience > 0 && ++epochs_since_best > config.patience) {
+      break;  // Early stopping: validation plateaued.
+    }
+  }
+  if (!best_state.empty()) {
+    const Status status = LoadStateDict(best_state);
+    MUSE_CHECK(status.ok()) << status.ToString();
+  }
+  SetTraining(false);
+}
+
+}  // namespace musenet::baselines

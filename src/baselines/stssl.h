@@ -1,0 +1,48 @@
+#ifndef MUSENET_BASELINES_STSSL_H_
+#define MUSENET_BASELINES_STSSL_H_
+
+#include "baselines/neural_forecaster.h"
+#include "nn/conv.h"
+#include "util/rng.h"
+
+namespace musenet::baselines {
+
+/// ST-SSL-style self-supervised baseline (Ji et al. 2023; paper Tables
+/// II–V "ST-SSL"): a convolutional forecaster whose training objective is
+/// augmented with a self-supervised task — reconstructing randomly masked
+/// input cells from their spatio-temporal context — which models the spatial
+/// and temporal heterogeneity of traffic without labels. At prediction time
+/// only the main branch runs.
+class StSslLite : public NeuralForecaster {
+ public:
+  StSslLite(int64_t grid_h, int64_t grid_w,
+            const data::PeriodicitySpec& spec, int64_t channels,
+            double mask_rate, double ssl_weight, uint64_t seed);
+
+  /// Overridden to add the self-supervised reconstruction term during
+  /// training (NeuralForecaster's loop only optimizes plain MSE).
+  void Train(const data::TrafficDataset& dataset,
+             const eval::TrainConfig& config) override;
+
+ protected:
+  autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+ private:
+  /// Encoder over (possibly masked) inputs.
+  autograd::Variable Encode(const autograd::Variable& closeness,
+                            const autograd::Variable& period);
+
+  int64_t in_channels_;
+  double mask_rate_;
+  double ssl_weight_;
+  Rng init_rng_;
+  Rng mask_rng_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  nn::Conv2d out_conv_;   ///< Forecast head.
+  nn::Conv2d ssl_head_;   ///< Reconstruction head (training only).
+};
+
+}  // namespace musenet::baselines
+
+#endif  // MUSENET_BASELINES_STSSL_H_

@@ -1,0 +1,101 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace musenet::data {
+
+TrafficDataset::TrafficDataset(sim::FlowSeries flows, DatasetOptions options)
+    : flows_(std::move(flows)), options_(options) {
+  const int f = flows_.intervals_per_day();
+  const int64_t min_valid = options_.spec.MinValidIndex(f);
+  const int64_t max_valid =
+      flows_.num_intervals() - 1 - options_.horizon_offset;
+  MUSE_CHECK_LT(min_valid, max_valid)
+      << "series too short for the periodicity spec: needs more than "
+      << min_valid << " intervals, has " << flows_.num_intervals();
+
+  int test_days = options_.test_days;
+  if (test_days <= 0) {
+    const int64_t usable_days = (max_valid - min_valid + 1) / f;
+    test_days = static_cast<int>(std::max<int64_t>(1, usable_days / 3));
+  }
+  const int64_t test_start =
+      std::max(min_valid, max_valid + 1 - static_cast<int64_t>(test_days) * f);
+
+  for (int64_t i = test_start; i <= max_valid; ++i) test_.push_back(i);
+
+  std::vector<int64_t> fit_pool;
+  for (int64_t i = min_valid; i < test_start; ++i) fit_pool.push_back(i);
+  MUSE_CHECK(!fit_pool.empty()) << "no training samples before test span";
+
+  // Validation = chronological tail of the pre-test span.
+  const size_t val_count = static_cast<size_t>(
+      options_.validation_fraction * static_cast<double>(fit_pool.size()));
+  const size_t train_count = fit_pool.size() - val_count;
+  train_.assign(fit_pool.begin(),
+                fit_pool.begin() + static_cast<int64_t>(train_count));
+  val_.assign(fit_pool.begin() + static_cast<int64_t>(train_count),
+              fit_pool.end());
+
+  // Optional stride subsampling to cap training cost (keeps chronological
+  // coverage of the whole span).
+  if (options_.max_train_samples > 0 &&
+      static_cast<int64_t>(train_.size()) > options_.max_train_samples) {
+    std::vector<int64_t> reduced;
+    reduced.reserve(static_cast<size_t>(options_.max_train_samples));
+    const double stride = static_cast<double>(train_.size()) /
+                          static_cast<double>(options_.max_train_samples);
+    for (int64_t k = 0; k < options_.max_train_samples; ++k) {
+      reduced.push_back(train_[static_cast<size_t>(k * stride)]);
+    }
+    train_ = std::move(reduced);
+  }
+
+  // Scaler sees only pre-test frames (everything the model may train on).
+  scaler_.Fit(flows_, test_start);
+}
+
+Batch TrafficDataset::MakeBatch(const std::vector<int64_t>& base_indices) const {
+  MUSE_CHECK(!base_indices.empty());
+  std::vector<tensor::Tensor> closeness;
+  std::vector<tensor::Tensor> period;
+  std::vector<tensor::Tensor> trend;
+  std::vector<tensor::Tensor> target;
+  Batch batch;
+  for (int64_t i : base_indices) {
+    Sample s =
+        InterceptSample(flows_, options_.spec, i, options_.horizon_offset);
+    const auto& cs = s.closeness.shape();
+    closeness.push_back(scaler_.Transform(s.closeness)
+                            .Reshape(tensor::Shape(
+                                {1, cs.dim(0), cs.dim(1), cs.dim(2)})));
+    const auto& ps = s.period.shape();
+    period.push_back(scaler_.Transform(s.period).Reshape(
+        tensor::Shape({1, ps.dim(0), ps.dim(1), ps.dim(2)})));
+    const auto& tshape = s.trend.shape();
+    trend.push_back(scaler_.Transform(s.trend).Reshape(tensor::Shape(
+        {1, tshape.dim(0), tshape.dim(1), tshape.dim(2)})));
+    const auto& ys = s.target.shape();
+    target.push_back(scaler_.Transform(s.target).Reshape(
+        tensor::Shape({1, ys.dim(0), ys.dim(1), ys.dim(2)})));
+    batch.target_indices.push_back(s.target_index);
+  }
+  batch.closeness = tensor::Concat(closeness, 0);
+  batch.period = tensor::Concat(period, 0);
+  batch.trend = tensor::Concat(trend, 0);
+  batch.target = tensor::Concat(target, 0);
+  return batch;
+}
+
+Batch TrafficDataset::MakeBatchFromPool(const std::vector<int64_t>& pool,
+                                        size_t begin, size_t count) const {
+  MUSE_CHECK_LT(begin, pool.size());
+  const size_t end = std::min(pool.size(), begin + count);
+  return MakeBatch(std::vector<int64_t>(pool.begin() + begin,
+                                        pool.begin() + end));
+}
+
+}  // namespace musenet::data

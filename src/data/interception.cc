@@ -1,0 +1,81 @@
+#include "data/interception.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace musenet::data {
+
+int64_t PeriodicitySpec::MinValidIndex(int intervals_per_day) const {
+  const int64_t f = intervals_per_day;
+  int64_t min_index = len_closeness;             // i − L_c ≥ 0.
+  min_index = std::max(min_index, len_period * f);      // i − L_p·f ≥ 0.
+  min_index = std::max(min_index, len_trend * f * 7);   // i − L_t·f·7 ≥ 0.
+  return min_index;
+}
+
+namespace {
+
+/// Stacks the frames at the given absolute indices into a
+/// [2·indices.size(), H, W] tensor (frame-major, flow-minor channels).
+tensor::Tensor StackFrames(const sim::FlowSeries& flows,
+                           const std::vector<int64_t>& indices) {
+  const int64_t height = flows.grid().height;
+  const int64_t width = flows.grid().width;
+  tensor::Tensor out(tensor::Shape(
+      {static_cast<int64_t>(indices.size()) * 2, height, width}));
+  float* po = out.mutable_data();
+  const int64_t plane = height * width;
+  for (size_t s = 0; s < indices.size(); ++s) {
+    const int64_t t = indices[s];
+    MUSE_CHECK(t >= 0 && t < flows.num_intervals())
+        << "frame index " << t << " out of range";
+    for (int flow = 0; flow < 2; ++flow) {
+      float* dst = po + (static_cast<int64_t>(s) * 2 + flow) * plane;
+      for (int64_t h = 0; h < height; ++h) {
+        for (int64_t w = 0; w < width; ++w) {
+          dst[h * width + w] = flows.at(t, flow, h, w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Sample InterceptSample(const sim::FlowSeries& flows,
+                       const PeriodicitySpec& spec, int64_t i,
+                       int64_t horizon_offset) {
+  const int64_t f = flows.intervals_per_day();
+  MUSE_CHECK_GE(i, spec.MinValidIndex(flows.intervals_per_day()));
+  MUSE_CHECK(i + horizon_offset < flows.num_intervals())
+      << "target index out of range";
+
+  // Eq. (3): C_i = [X_{i−Lc}, …, X_{i−1}] (most recent first → oldest first
+  // in channel order, consistent with Eqs. 4–5 below).
+  std::vector<int64_t> closeness_idx;
+  for (int64_t s = spec.len_closeness; s >= 1; --s) {
+    closeness_idx.push_back(i - s);
+  }
+  // Eq. (4): P_i = [X_{i−Lp·f}, …, X_{i−f}].
+  std::vector<int64_t> period_idx;
+  for (int64_t s = spec.len_period; s >= 1; --s) {
+    period_idx.push_back(i - s * f);
+  }
+  // Eq. (5): T_i = [X_{i−Lt·f·7}, …, X_{i−f·7}].
+  std::vector<int64_t> trend_idx;
+  for (int64_t s = spec.len_trend; s >= 1; --s) {
+    trend_idx.push_back(i - s * f * 7);
+  }
+
+  Sample sample;
+  sample.closeness = StackFrames(flows, closeness_idx);
+  sample.period = StackFrames(flows, period_idx);
+  sample.trend = StackFrames(flows, trend_idx);
+  sample.target = flows.Frame(i + horizon_offset);
+  sample.target_index = i + horizon_offset;
+  return sample;
+}
+
+}  // namespace musenet::data

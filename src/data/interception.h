@@ -1,0 +1,50 @@
+#ifndef MUSENET_DATA_INTERCEPTION_H_
+#define MUSENET_DATA_INTERCEPTION_H_
+
+#include <cstdint>
+
+#include "sim/flow_series.h"
+#include "tensor/tensor.h"
+
+namespace musenet::data {
+
+/// Lengths of the closeness / period / trend sub-series (paper Definition 3).
+/// The paper (following DeepSTN+) uses (3, 4, 4) with hourly/daily/weekly
+/// resolutions at f = 48 intervals per day.
+struct PeriodicitySpec {
+  int64_t len_closeness = 3;  ///< L_c: most recent consecutive intervals.
+  int64_t len_period = 4;     ///< L_p: same interval on preceding days.
+  int64_t len_trend = 4;      ///< L_t: same interval on preceding weeks.
+
+  /// Earliest index i for which all three sub-series exist:
+  /// the trend lookback L_t·f·7 dominates for the paper's settings.
+  int64_t MinValidIndex(int intervals_per_day) const;
+
+  /// Total channel count of one sub-series tensor with 2 flows per frame.
+  int64_t ClosenessChannels() const { return 2 * len_closeness; }
+  int64_t PeriodChannels() const { return 2 * len_period; }
+  int64_t TrendChannels() const { return 2 * len_trend; }
+};
+
+/// One training/evaluation example: the ternary sub-series observed before
+/// index i, and the target frame at i (+ optional extra horizon offset).
+struct Sample {
+  tensor::Tensor closeness;  ///< [2·L_c, H, W], frames i−L_c … i−1 (Eq. 3).
+  tensor::Tensor period;     ///< [2·L_p, H, W], frames i−L_p·f … i−f (Eq. 4).
+  tensor::Tensor trend;      ///< [2·L_t, H, W], weekly lags (Eq. 5).
+  tensor::Tensor target;     ///< [2, H, W], frame i + horizon_offset.
+  int64_t target_index = 0;  ///< Absolute interval of the target frame.
+};
+
+/// Builds the sample whose target is frame `i + horizon_offset` of `flows`,
+/// intercepting sub-series per Eqs. (3)–(5) relative to base index `i`.
+/// `i` must be ≥ spec.MinValidIndex and the target must be in range.
+/// Channel layout: frame-major, flow-minor — channel 2·s+q is frame s's
+/// flow q (q=0 outflow, q=1 inflow), frames ordered oldest → newest.
+Sample InterceptSample(const sim::FlowSeries& flows,
+                       const PeriodicitySpec& spec, int64_t i,
+                       int64_t horizon_offset = 0);
+
+}  // namespace musenet::data
+
+#endif  // MUSENET_DATA_INTERCEPTION_H_

@@ -1,0 +1,54 @@
+#include "data/scaler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace musenet::data {
+
+void MinMaxScaler::Fit(const sim::FlowSeries& flows, int64_t fit_intervals) {
+  MUSE_CHECK(fit_intervals > 0 && fit_intervals <= flows.num_intervals());
+  float lo = flows.at(0, 0, 0, 0);
+  float hi = lo;
+  for (int64_t t = 0; t < fit_intervals; ++t) {
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < flows.grid().height; ++h) {
+        for (int64_t w = 0; w < flows.grid().width; ++w) {
+          const float v = flows.at(t, flow, h, w);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+    }
+  }
+  min_ = lo;
+  max_ = hi > lo ? hi : lo + 1.0f;  // Degenerate constant series guard.
+}
+
+float MinMaxScaler::Transform(float x) const {
+  return 2.0f * (x - min_) / (max_ - min_) - 1.0f;
+}
+
+float MinMaxScaler::Inverse(float y) const {
+  return (y + 1.0f) * 0.5f * (max_ - min_) + min_;
+}
+
+tensor::Tensor MinMaxScaler::Transform(const tensor::Tensor& t) const {
+  tensor::Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  const int64_t n = t.num_elements();
+  for (int64_t i = 0; i < n; ++i) po[i] = Transform(pi[i]);
+  return out;
+}
+
+tensor::Tensor MinMaxScaler::Inverse(const tensor::Tensor& t) const {
+  tensor::Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.mutable_data();
+  const int64_t n = t.num_elements();
+  for (int64_t i = 0; i < n; ++i) po[i] = Inverse(pi[i]);
+  return out;
+}
+
+}  // namespace musenet::data

@@ -1,0 +1,39 @@
+#ifndef MUSENET_DATA_SCALER_H_
+#define MUSENET_DATA_SCALER_H_
+
+#include "sim/flow_series.h"
+#include "tensor/tensor.h"
+
+namespace musenet::data {
+
+/// Min-Max scaler mapping flow volumes into [-1, 1] (the range of the models'
+/// final tanh), as in the paper's experimental setup. Fit on training data
+/// only; predictions are re-scaled back before computing metrics.
+class MinMaxScaler {
+ public:
+  /// Identity scaler (min 0, max 1 ⇒ y = 2x − 1); call Fit before use.
+  MinMaxScaler() = default;
+
+  /// Fits on the value range of frames [0, fit_intervals) of `flows`
+  /// (pass the training span length to avoid test leakage).
+  void Fit(const sim::FlowSeries& flows, int64_t fit_intervals);
+
+  /// x → 2·(x − min)/(max − min) − 1.
+  float Transform(float x) const;
+  /// Inverse of Transform.
+  float Inverse(float y) const;
+
+  tensor::Tensor Transform(const tensor::Tensor& t) const;
+  tensor::Tensor Inverse(const tensor::Tensor& t) const;
+
+  float min_value() const { return min_; }
+  float max_value() const { return max_; }
+
+ private:
+  float min_ = 0.0f;
+  float max_ = 1.0f;
+};
+
+}  // namespace musenet::data
+
+#endif  // MUSENET_DATA_SCALER_H_

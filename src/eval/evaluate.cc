@@ -1,0 +1,84 @@
+#include "eval/evaluate.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace musenet::eval {
+
+FlowMetrics EvaluateOnIndices(Forecaster& model,
+                              const data::TrafficDataset& dataset,
+                              const std::vector<int64_t>& base_indices,
+                              TimeBucket bucket, int batch_size) {
+  MUSE_CHECK_GT(batch_size, 0);
+  MetricAccumulator out_acc;
+  MetricAccumulator in_acc;
+  const auto& flows = dataset.flows();
+  const auto& scaler = dataset.scaler();
+
+  for (size_t begin = 0; begin < base_indices.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end = std::min(base_indices.size(),
+                                begin + static_cast<size_t>(batch_size));
+    const std::vector<int64_t> chunk(base_indices.begin() + begin,
+                                     base_indices.begin() + end);
+    data::Batch batch = dataset.MakeBatch(chunk);
+    tensor::Tensor pred = model.Predict(batch);
+    MUSE_CHECK(pred.shape() == batch.target.shape())
+        << model.name() << " prediction shape " << pred.shape().ToString();
+
+    const int64_t plane =
+        batch.target.dim(2) * batch.target.dim(3);
+    for (int64_t b = 0; b < batch.batch_size(); ++b) {
+      const int64_t target_t = batch.target_indices[static_cast<size_t>(b)];
+      if (!InBucket(flows, target_t, bucket)) continue;
+      for (int flow = 0; flow < 2; ++flow) {
+        MetricAccumulator& acc = flow == sim::kOutflow ? out_acc : in_acc;
+        const int64_t base = (b * 2 + flow) * plane;
+        for (int64_t k = 0; k < plane; ++k) {
+          acc.Add(scaler.Inverse(pred.flat(base + k)),
+                  scaler.Inverse(batch.target.flat(base + k)));
+        }
+      }
+    }
+  }
+  return FlowMetrics{.outflow = ToRow(out_acc), .inflow = ToRow(in_acc)};
+}
+
+FlowMetrics EvaluateOnTest(Forecaster& model,
+                           const data::TrafficDataset& dataset,
+                           int batch_size) {
+  return EvaluateOnIndices(model, dataset, dataset.test_indices(),
+                           TimeBucket::kAll, batch_size);
+}
+
+PredictionSeries CollectPredictions(Forecaster& model,
+                                    const data::TrafficDataset& dataset,
+                                    const std::vector<int64_t>& base_indices,
+                                    int batch_size) {
+  MUSE_CHECK_GT(batch_size, 0);
+  PredictionSeries series;
+  std::vector<tensor::Tensor> preds;
+  std::vector<tensor::Tensor> truths;
+  const auto& scaler = dataset.scaler();
+
+  for (size_t begin = 0; begin < base_indices.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end = std::min(base_indices.size(),
+                                begin + static_cast<size_t>(batch_size));
+    const std::vector<int64_t> chunk(base_indices.begin() + begin,
+                                     base_indices.begin() + end);
+    data::Batch batch = dataset.MakeBatch(chunk);
+    preds.push_back(scaler.Inverse(model.Predict(batch)));
+    truths.push_back(scaler.Inverse(batch.target));
+    series.target_indices.insert(series.target_indices.end(),
+                                 batch.target_indices.begin(),
+                                 batch.target_indices.end());
+  }
+  series.predictions = tensor::Concat(preds, 0);
+  series.truths = tensor::Concat(truths, 0);
+  return series;
+}
+
+}  // namespace musenet::eval

@@ -1,0 +1,48 @@
+#ifndef MUSENET_EVAL_EVALUATE_H_
+#define MUSENET_EVAL_EVALUATE_H_
+
+#include <vector>
+
+#include "eval/forecaster.h"
+#include "eval/metrics.h"
+#include "eval/splits.h"
+
+namespace musenet::eval {
+
+/// Outflow/inflow metric pair — one table cell group of the paper.
+struct FlowMetrics {
+  MetricRow outflow;
+  MetricRow inflow;
+};
+
+/// Evaluates `model` on the given base indices of `dataset`, restricted to
+/// targets falling in `bucket`. Predictions and truths are re-scaled to
+/// original flow units before metric accumulation; channels are split into
+/// outflow (0) and inflow (1) as in the paper's tables.
+FlowMetrics EvaluateOnIndices(Forecaster& model,
+                              const data::TrafficDataset& dataset,
+                              const std::vector<int64_t>& base_indices,
+                              TimeBucket bucket, int batch_size);
+
+/// Shorthand: full test split, all time slots.
+FlowMetrics EvaluateOnTest(Forecaster& model,
+                           const data::TrafficDataset& dataset,
+                           int batch_size);
+
+/// Re-scaled prediction/truth series over the given indices, for the Fig. 4
+/// curve reproduction and the analysis module. Row k of each tensor is the
+/// [2,H,W] frame for base_indices[k].
+struct PredictionSeries {
+  tensor::Tensor predictions;  ///< [N, 2, H, W], original units.
+  tensor::Tensor truths;       ///< [N, 2, H, W], original units.
+  std::vector<int64_t> target_indices;
+};
+
+PredictionSeries CollectPredictions(Forecaster& model,
+                                    const data::TrafficDataset& dataset,
+                                    const std::vector<int64_t>& base_indices,
+                                    int batch_size);
+
+}  // namespace musenet::eval
+
+#endif  // MUSENET_EVAL_EVALUATE_H_

@@ -1,0 +1,47 @@
+#ifndef MUSENET_EVAL_FORECASTER_H_
+#define MUSENET_EVAL_FORECASTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace musenet::eval {
+
+/// Training budget shared by every model in a comparison table, so that the
+/// baselines and MUSE-Net see identical data and optimization effort.
+struct TrainConfig {
+  int epochs = 8;
+  int batch_size = 8;
+  double learning_rate = 2e-4;  ///< Paper: Adam at 2e-4.
+  double clip_norm = 5.0;       ///< Global-norm gradient clipping (0 = off).
+  uint64_t seed = 7;
+  /// Early stopping: stop when validation MSE has not improved for this many
+  /// consecutive epochs (0 disables). `epochs` acts as the hard cap. All
+  /// models in a comparison share the same rule, so the protocol stays fair
+  /// while slow- and fast-converging models each train to their own plateau.
+  int patience = 0;
+  bool verbose = false;         ///< Per-epoch loss logging to stderr.
+};
+
+/// Common interface of all traffic-flow forecasting models in this library
+/// (MUSE-Net, its ablations, and every baseline).
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Display name, as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Fits the model on the dataset's training split.
+  virtual void Train(const data::TrafficDataset& dataset,
+                     const TrainConfig& config) = 0;
+
+  /// Predicts the scaled ([-1,1]) target frames for a batch: [B, 2, H, W].
+  virtual tensor::Tensor Predict(const data::Batch& batch) = 0;
+};
+
+}  // namespace musenet::eval
+
+#endif  // MUSENET_EVAL_FORECASTER_H_

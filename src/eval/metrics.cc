@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace musenet::eval {
+
+void MetricAccumulator::Add(double prediction, double truth) {
+  const double err = prediction - truth;
+  sum_sq_ += err * err;
+  sum_abs_ += std::fabs(err);
+  ++count_;
+  if (std::fabs(truth) >= mape_threshold_) {
+    sum_ape_ += std::fabs(err) / std::fabs(truth);
+    ++mape_count_;
+  }
+}
+
+void MetricAccumulator::AddTensor(const tensor::Tensor& prediction,
+                                  const tensor::Tensor& truth) {
+  MUSE_CHECK(prediction.shape() == truth.shape());
+  const float* pp = prediction.data();
+  const float* pt = truth.data();
+  const int64_t n = prediction.num_elements();
+  for (int64_t i = 0; i < n; ++i) Add(pp[i], pt[i]);
+}
+
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  sum_sq_ += other.sum_sq_;
+  sum_abs_ += other.sum_abs_;
+  sum_ape_ += other.sum_ape_;
+  count_ += other.count_;
+  mape_count_ += other.mape_count_;
+}
+
+double MetricAccumulator::Rmse() const {
+  return count_ == 0 ? 0.0 : std::sqrt(sum_sq_ / static_cast<double>(count_));
+}
+
+double MetricAccumulator::Mae() const {
+  return count_ == 0 ? 0.0 : sum_abs_ / static_cast<double>(count_);
+}
+
+double MetricAccumulator::Mape() const {
+  return mape_count_ == 0 ? 0.0
+                          : sum_ape_ / static_cast<double>(mape_count_);
+}
+
+MetricRow ToRow(const MetricAccumulator& acc) {
+  return MetricRow{.rmse = acc.Rmse(), .mae = acc.Mae(), .mape = acc.Mape()};
+}
+
+double Improvement(double best_baseline, double ours) {
+  if (best_baseline == 0.0) return 0.0;
+  return (best_baseline - ours) / best_baseline;
+}
+
+}  // namespace musenet::eval

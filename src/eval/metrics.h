@@ -1,0 +1,63 @@
+#ifndef MUSENET_EVAL_METRICS_H_
+#define MUSENET_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace musenet::eval {
+
+/// Accumulates squared/absolute/percentage errors over (prediction, truth)
+/// pairs in original (re-scaled) flow units and reports the paper's three
+/// metrics. MAPE skips ground-truth values below `mape_threshold` — the
+/// convention of the grid traffic-forecasting literature, since counts of 0
+/// make percentage error undefined.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(double mape_threshold = 1.0)
+      : mape_threshold_(mape_threshold) {}
+
+  /// Adds one scalar observation.
+  void Add(double prediction, double truth);
+
+  /// Adds every element of matching tensors.
+  void AddTensor(const tensor::Tensor& prediction,
+                 const tensor::Tensor& truth);
+
+  /// Merges another accumulator into this one.
+  void Merge(const MetricAccumulator& other);
+
+  double Rmse() const;
+  double Mae() const;
+  /// Fraction in [0, 1]; multiply by 100 for the paper's percent display.
+  double Mape() const;
+  int64_t count() const { return count_; }
+
+ private:
+  double mape_threshold_;
+  double sum_sq_ = 0.0;
+  double sum_abs_ = 0.0;
+  double sum_ape_ = 0.0;
+  int64_t count_ = 0;
+  int64_t mape_count_ = 0;
+};
+
+/// A (RMSE, MAE, MAPE) triple for table assembly.
+struct MetricRow {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double mape = 0.0;  ///< Fraction in [0, 1].
+};
+
+MetricRow ToRow(const MetricAccumulator& acc);
+
+/// Improvement of `ours` over `best_baseline` as a fraction:
+/// (baseline − ours) / baseline (the paper's Table II definition).
+double Improvement(double best_baseline, double ours);
+
+}  // namespace musenet::eval
+
+#endif  // MUSENET_EVAL_METRICS_H_

@@ -1,0 +1,33 @@
+#include "eval/splits.h"
+
+#include "util/check.h"
+
+namespace musenet::eval {
+
+bool IsPeakInterval(const sim::FlowSeries& flows, int64_t t) {
+  const double hour = flows.HourOfDay(t);
+  return (hour >= 7.0 && hour < 9.0) || (hour >= 17.0 && hour < 19.0);
+}
+
+bool IsWeekdayInterval(const sim::FlowSeries& flows, int64_t t) {
+  return !flows.IsWeekend(t);
+}
+
+bool InBucket(const sim::FlowSeries& flows, int64_t t, TimeBucket bucket) {
+  switch (bucket) {
+    case TimeBucket::kAll:
+      return true;
+    case TimeBucket::kPeak:
+      return IsPeakInterval(flows, t);
+    case TimeBucket::kNonPeak:
+      return !IsPeakInterval(flows, t);
+    case TimeBucket::kWeekday:
+      return IsWeekdayInterval(flows, t);
+    case TimeBucket::kWeekend:
+      return !IsWeekdayInterval(flows, t);
+  }
+  MUSE_CHECK(false) << "unreachable bucket";
+  return false;
+}
+
+}  // namespace musenet::eval

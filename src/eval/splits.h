@@ -1,0 +1,32 @@
+#ifndef MUSENET_EVAL_SPLITS_H_
+#define MUSENET_EVAL_SPLITS_H_
+
+#include <cstdint>
+
+#include "sim/flow_series.h"
+
+namespace musenet::eval {
+
+/// Time-slot bucketing used by Tables IV and V of the paper.
+
+/// Peak periods: 7:00–9:00 and 17:00–19:00 (paper Section V-C).
+bool IsPeakInterval(const sim::FlowSeries& flows, int64_t t);
+
+/// Weekdays are Monday–Friday.
+bool IsWeekdayInterval(const sim::FlowSeries& flows, int64_t t);
+
+/// Evaluation buckets for conditional metric tables.
+enum class TimeBucket {
+  kAll,
+  kPeak,
+  kNonPeak,
+  kWeekday,
+  kWeekend,
+};
+
+/// True when interval `t` belongs to `bucket`.
+bool InBucket(const sim::FlowSeries& flows, int64_t t, TimeBucket bucket);
+
+}  // namespace musenet::eval
+
+#endif  // MUSENET_EVAL_SPLITS_H_

@@ -1,0 +1,61 @@
+#include "eval/training.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace musenet::eval {
+
+std::vector<std::vector<int64_t>> MakeEpochBatches(
+    const std::vector<int64_t>& pool, int batch_size, Rng& rng) {
+  MUSE_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> shuffled = pool;
+  // Fisher–Yates with the library Rng for cross-platform determinism.
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(i));
+    std::swap(shuffled[i - 1], shuffled[j]);
+  }
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t begin = 0; begin < shuffled.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(shuffled.size(), begin + static_cast<size_t>(batch_size));
+    batches.emplace_back(shuffled.begin() + begin, shuffled.begin() + end);
+  }
+  return batches;
+}
+
+double MseOf(const tensor::Tensor& prediction, const tensor::Tensor& truth) {
+  MUSE_CHECK(prediction.shape() == truth.shape());
+  double total = 0.0;
+  const float* pp = prediction.data();
+  const float* pt = truth.data();
+  const int64_t n = prediction.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    const double err = static_cast<double>(pp[i]) - pt[i];
+    total += err * err;
+  }
+  return total / static_cast<double>(n);
+}
+
+double ValidationMse(Forecaster& model, const data::TrafficDataset& dataset,
+                     int batch_size) {
+  const std::vector<int64_t>& val = dataset.val_indices();
+  if (val.empty()) return 0.0;
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t begin = 0; begin < val.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(val.size(), begin + static_cast<size_t>(batch_size));
+    data::Batch batch = dataset.MakeBatch(
+        std::vector<int64_t>(val.begin() + begin, val.begin() + end));
+    tensor::Tensor pred = model.Predict(batch);
+    const int64_t n = pred.num_elements();
+    total += MseOf(pred, batch.target) * static_cast<double>(n);
+    count += n;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace musenet::eval

@@ -1,0 +1,28 @@
+#ifndef MUSENET_EVAL_TRAINING_H_
+#define MUSENET_EVAL_TRAINING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "util/rng.h"
+
+namespace musenet::eval {
+
+/// Shuffles the index pool and chunks it into mini-batches of `batch_size`
+/// (last batch may be short). One call per epoch.
+std::vector<std::vector<int64_t>> MakeEpochBatches(
+    const std::vector<int64_t>& pool, int batch_size, Rng& rng);
+
+/// Mean squared error of `model` on the dataset's validation split, in
+/// scaled units. Used for best-epoch selection during training.
+double ValidationMse(Forecaster& model, const data::TrafficDataset& dataset,
+                     int batch_size);
+
+/// Mean squared error between two tensors (plain kernel, no autograd).
+double MseOf(const tensor::Tensor& prediction, const tensor::Tensor& truth);
+
+}  // namespace musenet::eval
+
+#endif  // MUSENET_EVAL_TRAINING_H_

@@ -1,0 +1,44 @@
+#include "muse/config.h"
+
+#include "util/check.h"
+
+namespace musenet::muse {
+
+MuseNetConfig ApplyVariant(MuseNetConfig config, MuseVariant variant) {
+  switch (variant) {
+    case MuseVariant::kFull:
+      break;
+    case MuseVariant::kWithoutSpatial:
+      config.use_spatial = false;
+      break;
+    case MuseVariant::kWithoutMultiDisentangle:
+      config.interactive_mode = InteractiveMode::kPairwise;
+      break;
+    case MuseVariant::kWithoutSemanticPushing:
+      config.use_pushing = false;
+      break;
+    case MuseVariant::kWithoutSemanticPulling:
+      config.use_pulling = false;
+      break;
+  }
+  return config;
+}
+
+const char* VariantName(MuseVariant variant) {
+  switch (variant) {
+    case MuseVariant::kFull:
+      return "MUSE-Net";
+    case MuseVariant::kWithoutSpatial:
+      return "MUSE-Net-w/o-Spatial";
+    case MuseVariant::kWithoutMultiDisentangle:
+      return "MUSE-Net-w/o-MultiDisentangle";
+    case MuseVariant::kWithoutSemanticPushing:
+      return "MUSE-Net-w/o-SemanticPushing";
+    case MuseVariant::kWithoutSemanticPulling:
+      return "MUSE-Net-w/o-SemanticPulling";
+  }
+  MUSE_CHECK(false) << "unreachable variant";
+  return "";
+}
+
+}  // namespace musenet::muse

@@ -1,0 +1,30 @@
+#include "muse/decoders.h"
+
+#include "autograd/ops.h"
+
+namespace musenet::muse {
+
+namespace ag = musenet::autograd;
+
+ReconstructionDecoder::ReconstructionDecoder(int64_t z_exclusive_dim,
+                                             int64_t z_interactive_dim,
+                                             int64_t channels, int64_t height,
+                                             int64_t width, Rng& rng)
+    : channels_(channels),
+      height_(height),
+      width_(width),
+      dense_(z_exclusive_dim + z_interactive_dim, channels * height * width,
+             rng, nn::Activation::kTanh) {
+  RegisterSubmodule("dense", &dense_);
+}
+
+ag::Variable ReconstructionDecoder::Forward(
+    const ag::Variable& z_exclusive, const ag::Variable& z_interactive) {
+  ag::Variable z = ag::Concat({z_exclusive, z_interactive}, 1);
+  ag::Variable flat = dense_.Forward(z);
+  const int64_t batch = flat.value().dim(0);
+  return ag::Reshape(flat,
+                     tensor::Shape({batch, channels_, height_, width_}));
+}
+
+}  // namespace musenet::muse

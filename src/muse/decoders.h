@@ -1,0 +1,35 @@
+#ifndef MUSENET_MUSE_DECODERS_H_
+#define MUSENET_MUSE_DECODERS_H_
+
+#include "nn/dense.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace musenet::muse {
+
+/// Reconstructed decoder q_θ(i|z^i, z^s) (paper Section IV-E): a fully
+/// connected layer mapping the concatenated exclusive and interactive samples
+/// back to the (scaled) sub-series. Output is tanh-bounded to match the
+/// [-1, 1] input scaling; the Gaussian log-likelihood of Eq. (28) then reduces
+/// to a (negated) mean squared error.
+class ReconstructionDecoder : public nn::Module {
+ public:
+  /// z dims: exclusive k/4 + interactive k; output [B, channels, H, W].
+  ReconstructionDecoder(int64_t z_exclusive_dim, int64_t z_interactive_dim,
+                        int64_t channels, int64_t height, int64_t width,
+                        Rng& rng);
+
+  /// z_exclusive: [B, k/4], z_interactive: [B, k].
+  autograd::Variable Forward(const autograd::Variable& z_exclusive,
+                             const autograd::Variable& z_interactive);
+
+ private:
+  int64_t channels_;
+  int64_t height_;
+  int64_t width_;
+  nn::Dense dense_;
+};
+
+}  // namespace musenet::muse
+
+#endif  // MUSENET_MUSE_DECODERS_H_

@@ -1,0 +1,108 @@
+#include "muse/encoders.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace musenet::muse {
+
+namespace ag = musenet::autograd;
+
+GaussianHead::GaussianHead(int64_t in_features, int64_t dist_dim,
+                           float logvar_clamp, Rng& rng)
+    : dist_dim_(dist_dim),
+      logvar_clamp_(logvar_clamp),
+      dense_(in_features, 2 * dist_dim, rng) {
+  MUSE_CHECK_GT(dist_dim, 0);
+  RegisterSubmodule("dense", &dense_);
+}
+
+DiagGaussian GaussianHead::Forward(const ag::Variable& x) {
+  ag::Variable out = dense_.Forward(x);  // [B, 2k]
+  DiagGaussian dist;
+  dist.mu = ag::Slice(out, 1, 0, dist_dim_);
+  dist.logvar =
+      ag::Clamp(ag::Slice(out, 1, dist_dim_, dist_dim_), -logvar_clamp_,
+                logvar_clamp_);
+  return dist;
+}
+
+FeatureExtractor::FeatureExtractor(int64_t in_channels, int64_t repr_dim,
+                                   Rng& rng)
+    : conv_(in_channels, repr_dim, rng,
+            nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}) {
+  RegisterSubmodule("conv", &conv_);
+}
+
+ag::Variable FeatureExtractor::Forward(const ag::Variable& x) {
+  return conv_.Forward(x);
+}
+
+ExclusiveEncoder::ExclusiveEncoder(int64_t repr_dim, int64_t spatial,
+                                   int64_t dist_dim, float logvar_clamp,
+                                   Rng& rng)
+    : conv_(repr_dim, repr_dim, rng,
+            nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      head_(repr_dim * spatial, dist_dim, logvar_clamp, rng) {
+  RegisterSubmodule("conv", &conv_);
+  RegisterSubmodule("head", &head_);
+}
+
+ExclusiveEncoder::Output ExclusiveEncoder::Forward(
+    const ag::Variable& features) {
+  Output out;
+  out.representation = conv_.Forward(features);
+  out.distribution = head_.Forward(ag::Flatten2d(out.representation));
+  return out;
+}
+
+InteractiveEncoder::InteractiveEncoder(int64_t num_inputs, int64_t repr_dim,
+                                       int64_t spatial, int64_t dist_dim,
+                                       float logvar_clamp, Rng& rng)
+    : conv_(num_inputs * repr_dim, repr_dim, rng,
+            nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      head_(repr_dim * spatial, dist_dim, logvar_clamp, rng) {
+  MUSE_CHECK_GE(num_inputs, 2);
+  RegisterSubmodule("conv", &conv_);
+  RegisterSubmodule("head", &head_);
+}
+
+InteractiveEncoder::Output InteractiveEncoder::Forward(
+    const ag::Variable& features) {
+  Output out;
+  out.representation = conv_.Forward(features);
+  out.distribution = head_.Forward(ag::Flatten2d(out.representation));
+  return out;
+}
+
+SimplexEncoder::SimplexEncoder(int64_t repr_dim, int64_t spatial,
+                               int64_t dist_dim, float logvar_clamp, Rng& rng)
+    : conv_(repr_dim, repr_dim, rng,
+            nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      head_(repr_dim * spatial, dist_dim, logvar_clamp, rng) {
+  RegisterSubmodule("conv", &conv_);
+  RegisterSubmodule("head", &head_);
+}
+
+DiagGaussian SimplexEncoder::Forward(const ag::Variable& features) {
+  return head_.Forward(ag::Flatten2d(conv_.Forward(features)));
+}
+
+DuplexEncoder::DuplexEncoder(int64_t repr_dim, int64_t spatial,
+                             int64_t dist_dim, float logvar_clamp, Rng& rng)
+    : conv_(2 * repr_dim, repr_dim, rng,
+            nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      head_(repr_dim * spatial, dist_dim, logvar_clamp, rng) {
+  RegisterSubmodule("conv", &conv_);
+  RegisterSubmodule("head", &head_);
+}
+
+DiagGaussian DuplexEncoder::Forward(const ag::Variable& features) {
+  return head_.Forward(ag::Flatten2d(conv_.Forward(features)));
+}
+
+}  // namespace musenet::muse

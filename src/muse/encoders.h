@@ -1,0 +1,116 @@
+#ifndef MUSENET_MUSE_ENCODERS_H_
+#define MUSENET_MUSE_ENCODERS_H_
+
+#include "muse/gaussian.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace musenet::muse {
+
+/// Fully connected head mapping a flattened feature vector to a diagonal
+/// Gaussian (μ, logσ²) of the requested dimension, with logvar clamping.
+class GaussianHead : public nn::Module {
+ public:
+  GaussianHead(int64_t in_features, int64_t dist_dim, float logvar_clamp,
+               Rng& rng);
+
+  /// x: [B, in_features] → DiagGaussian over dist_dim.
+  DiagGaussian Forward(const autograd::Variable& x);
+
+  int64_t dist_dim() const { return dist_dim_; }
+
+ private:
+  int64_t dist_dim_;
+  float logvar_clamp_;
+  nn::Dense dense_;
+};
+
+/// Shared convolutional feature extractor of one time sub-series:
+/// [B, 2·L, H, W] → F:[B, d, H, W] (Fig. 3 "convolutional features").
+class FeatureExtractor : public nn::Module {
+ public:
+  FeatureExtractor(int64_t in_channels, int64_t repr_dim, Rng& rng);
+
+  autograd::Variable Forward(const autograd::Variable& x);
+
+ private:
+  nn::Conv2d conv_;
+};
+
+/// Exclusive encoder (paper Section IV-E): a convolutional layer producing
+/// the exclusive representation Z^i plus a fully connected layer extracting
+/// its distribution r_φ(z^i|i).
+class ExclusiveEncoder : public nn::Module {
+ public:
+  ExclusiveEncoder(int64_t repr_dim, int64_t spatial, int64_t dist_dim,
+                   float logvar_clamp, Rng& rng);
+
+  struct Output {
+    autograd::Variable representation;  ///< Z^i: [B, d, H, W].
+    DiagGaussian distribution;          ///< r_φ(z^i|i): dim k/4.
+  };
+
+  /// features: the sub-series' convolutional features [B, d, H, W].
+  Output Forward(const autograd::Variable& features);
+
+ private:
+  nn::Conv2d conv_;
+  GaussianHead head_;
+};
+
+/// Interactive encoder: consumes the concatenated convolutional features of
+/// all participating sub-series and yields Z^S plus r_φ(z^s|·).
+class InteractiveEncoder : public nn::Module {
+ public:
+  /// `num_inputs` sub-series feed this encoder (3 for the multivariate model,
+  /// 2 per pairwise encoder in the w/o-MultiDisentangle ablation).
+  InteractiveEncoder(int64_t num_inputs, int64_t repr_dim, int64_t spatial,
+                     int64_t dist_dim, float logvar_clamp, Rng& rng);
+
+  struct Output {
+    autograd::Variable representation;  ///< Z^S: [B, d, H, W].
+    DiagGaussian distribution;          ///< r_φ(z^s|·): dim k.
+  };
+
+  /// features: concatenation [B, num_inputs·d, H, W].
+  Output Forward(const autograd::Variable& features);
+
+ private:
+  nn::Conv2d conv_;
+  GaussianHead head_;
+};
+
+/// Simplex variational encoder g_τ^i(z^s|i): conv + FC over one sub-series'
+/// features, approximating the interactive posterior given i alone.
+class SimplexEncoder : public nn::Module {
+ public:
+  SimplexEncoder(int64_t repr_dim, int64_t spatial, int64_t dist_dim,
+                 float logvar_clamp, Rng& rng);
+
+  DiagGaussian Forward(const autograd::Variable& features);
+
+ private:
+  nn::Conv2d conv_;
+  GaussianHead head_;
+};
+
+/// Duplex variational encoder d_ω^{i,j}(z^s|i,j): conv + FC over a pair of
+/// sub-series' concatenated features.
+class DuplexEncoder : public nn::Module {
+ public:
+  DuplexEncoder(int64_t repr_dim, int64_t spatial, int64_t dist_dim,
+                float logvar_clamp, Rng& rng);
+
+  /// features: [B, 2·d, H, W].
+  DiagGaussian Forward(const autograd::Variable& features);
+
+ private:
+  nn::Conv2d conv_;
+  GaussianHead head_;
+};
+
+}  // namespace musenet::muse
+
+#endif  // MUSENET_MUSE_ENCODERS_H_

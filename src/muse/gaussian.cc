@@ -1,0 +1,42 @@
+#include "muse/gaussian.h"
+
+#include "util/check.h"
+
+namespace musenet::muse {
+
+namespace ag = musenet::autograd;
+
+ag::Variable Reparameterize(const DiagGaussian& dist, Rng& rng,
+                            bool stochastic) {
+  if (!stochastic) return dist.mu;
+  tensor::Tensor eps =
+      tensor::Tensor::RandomNormal(dist.mu.value().shape(), rng);
+  ag::Variable sigma = ag::Exp(ag::MulScalar(dist.logvar, 0.5f));
+  return ag::Add(dist.mu, ag::Mul(sigma, ag::Constant(std::move(eps))));
+}
+
+ag::Variable KlToStandard(const DiagGaussian& dist) {
+  // ½(μ² + e^{logvar} − 1 − logvar), averaged over batch and dims.
+  ag::Variable var = ag::Exp(dist.logvar);
+  ag::Variable one =
+      ag::Constant(tensor::Tensor::Ones(dist.mu.value().shape()));
+  ag::Variable integrand = ag::Sub(
+      ag::Add(ag::Square(dist.mu), var), ag::Add(one, dist.logvar));
+  return ag::MulScalar(ag::MeanAll(integrand), 0.5f);
+}
+
+ag::Variable KlBetween(const DiagGaussian& p, const DiagGaussian& q) {
+  MUSE_CHECK(p.mu.value().shape() == q.mu.value().shape())
+      << "KlBetween shape mismatch";
+  ag::Variable var_p = ag::Exp(p.logvar);
+  ag::Variable var_q = ag::Exp(q.logvar);
+  ag::Variable mean_diff_sq = ag::Square(ag::Sub(p.mu, q.mu));
+  ag::Variable ratio = ag::Div(ag::Add(var_p, mean_diff_sq), var_q);
+  ag::Variable one =
+      ag::Constant(tensor::Tensor::Ones(p.mu.value().shape()));
+  ag::Variable integrand = ag::Sub(
+      ag::Add(ag::Sub(q.logvar, p.logvar), ratio), one);
+  return ag::MulScalar(ag::MeanAll(integrand), 0.5f);
+}
+
+}  // namespace musenet::muse

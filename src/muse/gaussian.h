@@ -1,0 +1,41 @@
+#ifndef MUSENET_MUSE_GAUSSIAN_H_
+#define MUSENET_MUSE_GAUSSIAN_H_
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace musenet::muse {
+
+/// A batch of diagonal Gaussians: μ and log σ², both [B, dim].
+///
+/// These are the building blocks of every distribution in the paper:
+/// exclusive posteriors r_φ(z^i|i), the interactive posterior
+/// r_φ(z^s|c,p,t), simplex variational distributions g_τ^i(z^s|i) and
+/// duplex variational distributions d_ω^{i,j}(z^s|i,j).
+struct DiagGaussian {
+  autograd::Variable mu;       ///< [B, dim].
+  autograd::Variable logvar;   ///< [B, dim], clamped by the encoder.
+
+  int64_t dim() const { return mu.value().dim(1); }
+  int64_t batch() const { return mu.value().dim(0); }
+};
+
+/// Reparameterized sample z = μ + σ ⊙ ε with ε ~ N(0, I) drawn from `rng`.
+/// When `stochastic` is false returns μ (deterministic evaluation path).
+autograd::Variable Reparameterize(const DiagGaussian& dist, Rng& rng,
+                                  bool stochastic);
+
+/// KL[ N(μ, σ²) ‖ N(0, I) ], averaged over the batch and normalized by the
+/// latent dimension so that losses are comparable across k settings:
+/// mean_{b,d} ½(μ² + σ² − 1 − log σ²).
+autograd::Variable KlToStandard(const DiagGaussian& dist);
+
+/// KL[ p ‖ q ] between two diagonal Gaussians of equal shape, batch-averaged
+/// and dimension-normalized:
+/// mean ½(log σq² − log σp² + (σp² + (μp−μq)²)/σq² − 1).
+autograd::Variable KlBetween(const DiagGaussian& p, const DiagGaussian& q);
+
+}  // namespace musenet::muse
+
+#endif  // MUSENET_MUSE_GAUSSIAN_H_

@@ -1,0 +1,78 @@
+#include "muse/resplus.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace musenet::muse {
+
+namespace ag = musenet::autograd;
+
+ResPlusBlock::ResPlusBlock(int64_t channels, int64_t plus_channels,
+                           int64_t height, int64_t width, Rng& rng)
+    : channels_(channels),
+      plus_channels_(plus_channels),
+      height_(height),
+      width_(width),
+      conv1_(channels, channels, rng,
+             nn::Conv2d::Options{.activation = nn::Activation::kLeakyRelu,
+                                .batch_norm = true}),
+      conv2_(channels, channels, rng),
+      plus_dense_(height * width, height * width, rng,
+                  nn::Activation::kLeakyRelu) {
+  MUSE_CHECK(plus_channels >= 0 && plus_channels <= channels);
+  RegisterSubmodule("conv1", &conv1_);
+  RegisterSubmodule("conv2", &conv2_);
+  RegisterSubmodule("plus_dense", &plus_dense_);
+}
+
+ag::Variable ResPlusBlock::Forward(const ag::Variable& x) {
+  MUSE_CHECK_EQ(x.value().dim(1), channels_);
+  const int64_t batch = x.value().dim(0);
+  ag::Variable residual = conv2_.Forward(conv1_.Forward(x));
+  ag::Variable out = ag::Add(x, residual);
+
+  if (plus_channels_ > 0) {
+    // Long-range branch: shared dense over the flattened grid, applied to
+    // the first plus_channels_ channels.
+    ag::Variable plus_in = ag::Slice(x, 1, 0, plus_channels_);
+    ag::Variable flat = ag::Reshape(
+        plus_in, tensor::Shape({batch * plus_channels_, height_ * width_}));
+    ag::Variable mixed = plus_dense_.Forward(flat);
+    ag::Variable plus_out = ag::Reshape(
+        mixed, tensor::Shape({batch, plus_channels_, height_, width_}));
+    if (plus_channels_ < channels_) {
+      ag::Variable zeros = ag::Constant(tensor::Tensor::Zeros(tensor::Shape(
+          {batch, channels_ - plus_channels_, height_, width_})));
+      plus_out = ag::Concat({plus_out, zeros}, 1);
+    }
+    out = ag::Add(out, plus_out);
+  }
+  return ag::LeakyRelu(out);
+}
+
+ResPlusNet::ResPlusNet(int64_t in_channels, int64_t hidden_channels,
+                       int64_t num_blocks, int64_t plus_channels,
+                       int64_t height, int64_t width, Rng& rng)
+    : entry_(in_channels, hidden_channels, rng,
+             nn::Conv2d::Options{.kernel = 1,
+                                 .activation = nn::Activation::kLeakyRelu,
+                                 .batch_norm = true}),
+      exit_(hidden_channels, 2, rng,
+            nn::Conv2d::Options{.activation = nn::Activation::kTanh,
+                                    .init_scale = 0.1f}) {
+  RegisterSubmodule("entry", &entry_);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    blocks_.push_back(std::make_unique<ResPlusBlock>(
+        hidden_channels, plus_channels, height, width, rng));
+    RegisterSubmodule("block" + std::to_string(b), blocks_.back().get());
+  }
+  RegisterSubmodule("exit", &exit_);
+}
+
+ag::Variable ResPlusNet::Forward(const ag::Variable& fused) {
+  ag::Variable y = entry_.Forward(fused);
+  for (auto& block : blocks_) y = block->Forward(y);
+  return exit_.Forward(y);
+}
+
+}  // namespace musenet::muse

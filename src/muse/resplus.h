@@ -1,0 +1,54 @@
+#ifndef MUSENET_MUSE_RESPLUS_H_
+#define MUSENET_MUSE_RESPLUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace musenet::muse {
+
+/// One ResPlus unit (DeepSTN+, Feng et al. 2022): a two-conv residual branch
+/// capturing local spatial dependency, plus a fully connected "plus" branch
+/// that mixes the entire grid to capture long-range spatial dependency. The
+/// plus branch is applied to the first `plus_channels` channels with a shared
+/// per-channel H·W → H·W dense map.
+class ResPlusBlock : public nn::Module {
+ public:
+  ResPlusBlock(int64_t channels, int64_t plus_channels, int64_t height,
+               int64_t width, Rng& rng);
+
+  /// [B, channels, H, W] → same shape.
+  autograd::Variable Forward(const autograd::Variable& x);
+
+ private:
+  int64_t channels_;
+  int64_t plus_channels_;
+  int64_t height_;
+  int64_t width_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  nn::Dense plus_dense_;  ///< Shared across the plus channels.
+};
+
+/// The spatial head of MUSE-Net: fuses the disentangled representation maps
+/// and produces the prediction Y:[B, 2, H, W] in [-1, 1].
+class ResPlusNet : public nn::Module {
+ public:
+  ResPlusNet(int64_t in_channels, int64_t hidden_channels, int64_t num_blocks,
+             int64_t plus_channels, int64_t height, int64_t width, Rng& rng);
+
+  autograd::Variable Forward(const autograd::Variable& fused);
+
+ private:
+  nn::Conv2d entry_;  ///< 1×1 channel fusion.
+  std::vector<std::unique_ptr<ResPlusBlock>> blocks_;
+  nn::Conv2d exit_;   ///< 3×3 to 2 flow channels, tanh.
+};
+
+}  // namespace musenet::muse
+
+#endif  // MUSENET_MUSE_RESPLUS_H_

@@ -1,0 +1,38 @@
+#include "nn/activations.h"
+
+#include "util/check.h"
+
+namespace musenet::nn {
+
+autograd::Variable ApplyActivation(const autograd::Variable& x,
+                                   Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return autograd::Relu(x);
+    case Activation::kLeakyRelu:
+      return autograd::LeakyRelu(x, 0.1f);
+    case Activation::kTanh:
+      return autograd::Tanh(x);
+    case Activation::kSigmoid:
+      return autograd::Sigmoid(x);
+    case Activation::kSoftplus:
+      return autograd::Softplus(x);
+  }
+  MUSE_CHECK(false) << "unreachable activation";
+  return x;
+}
+
+Activation ActivationFromString(const std::string& name) {
+  if (name == "none") return Activation::kNone;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "leaky_relu") return Activation::kLeakyRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "softplus") return Activation::kSoftplus;
+  MUSE_CHECK(false) << "unknown activation: " << name;
+  return Activation::kNone;
+}
+
+}  // namespace musenet::nn

@@ -1,0 +1,28 @@
+#ifndef MUSENET_NN_ACTIVATIONS_H_
+#define MUSENET_NN_ACTIVATIONS_H_
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace musenet::nn {
+
+/// Pointwise nonlinearity selector for layers with a fused activation.
+enum class Activation {
+  kNone,
+  kRelu,
+  kLeakyRelu,  ///< Negative slope 0.1.
+  kTanh,
+  kSigmoid,
+  kSoftplus,
+};
+
+/// Applies the selected activation (kNone returns `x` unchanged).
+autograd::Variable ApplyActivation(const autograd::Variable& x,
+                                   Activation activation);
+
+/// Parses "none"/"relu"/"tanh"/"sigmoid"/"softplus"; aborts on other input.
+Activation ActivationFromString(const std::string& name);
+
+}  // namespace musenet::nn
+
+#endif  // MUSENET_NN_ACTIVATIONS_H_

@@ -1,0 +1,58 @@
+#include "nn/batch_norm.h"
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace musenet::nn {
+
+namespace ag = musenet::autograd;
+namespace ts = musenet::tensor;
+
+BatchNorm2d::BatchNorm2d(int64_t channels, double momentum, float epsilon)
+    : channels_(channels), momentum_(momentum), epsilon_(epsilon) {
+  MUSE_CHECK_GT(channels, 0);
+  const ts::Shape stat_shape({1, channels, 1, 1});
+  gamma_ = RegisterParameter("gamma", ts::Tensor::Ones(stat_shape));
+  beta_ = RegisterParameter("beta", ts::Tensor::Zeros(stat_shape));
+  running_mean_ = ts::Tensor::Zeros(stat_shape);
+  running_var_ = ts::Tensor::Ones(stat_shape);
+  RegisterBuffer("running_mean", &running_mean_);
+  RegisterBuffer("running_var", &running_var_);
+}
+
+ag::Variable BatchNorm2d::Forward(const ag::Variable& x) {
+  MUSE_CHECK_EQ(x.value().rank(), 4);
+  MUSE_CHECK_EQ(x.value().dim(1), channels_);
+
+  ag::Variable mean;
+  ag::Variable var;
+  if (training()) {
+    // Batch statistics over batch and spatial axes, kept differentiable so
+    // the full BN backward applies.
+    ag::Variable m3 = ag::Mean(x, 3, /*keepdims=*/true);
+    ag::Variable m2 = ag::Mean(m3, 2, /*keepdims=*/true);
+    mean = ag::Mean(m2, 0, /*keepdims=*/true);  // [1, C, 1, 1]
+    ag::Variable centered = ag::Sub(x, mean);
+    ag::Variable sq = ag::Square(centered);
+    var = ag::Mean(ag::Mean(ag::Mean(sq, 3, true), 2, true), 0, true);
+
+    // Update running statistics from the detached batch values.
+    const float m = static_cast<float>(momentum_);
+    running_mean_ = ts::Add(ts::MulScalar(running_mean_, 1.0f - m),
+                            ts::MulScalar(mean.value(), m));
+    running_var_ = ts::Add(ts::MulScalar(running_var_, 1.0f - m),
+                           ts::MulScalar(var.value(), m));
+  } else {
+    mean = ag::Constant(running_mean_);
+    var = ag::Constant(running_var_);
+  }
+
+  ag::Variable inv_std = ag::Div(
+      ag::Constant(ts::Tensor::Ones(mean.value().shape())),
+      ag::Sqrt(ag::AddScalar(var, epsilon_)));
+  ag::Variable normalized = ag::Mul(ag::Sub(x, mean), inv_std);
+  return ag::Add(ag::Mul(normalized, gamma_), beta_);
+}
+
+}  // namespace musenet::nn

@@ -1,0 +1,27 @@
+#include "nn/dropout.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace musenet::nn {
+
+namespace ag = musenet::autograd;
+
+Dropout::Dropout(double rate, Rng* rng) : rate_(rate), rng_(rng) {
+  MUSE_CHECK(rate >= 0.0 && rate < 1.0) << "dropout rate " << rate;
+  MUSE_CHECK(rng != nullptr);
+}
+
+ag::Variable Dropout::Forward(const ag::Variable& x) {
+  if (!training() || rate_ == 0.0) return x;
+  tensor::Tensor mask(x.value().shape());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  float* pm = mask.mutable_data();
+  const int64_t n = mask.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    pm[i] = rng_->Bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  return ag::Mul(x, ag::Constant(std::move(mask)));
+}
+
+}  // namespace musenet::nn

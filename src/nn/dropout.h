@@ -1,0 +1,28 @@
+#ifndef MUSENET_NN_DROPOUT_H_
+#define MUSENET_NN_DROPOUT_H_
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace musenet::nn {
+
+/// Inverted dropout: in training mode each element is zeroed with probability
+/// `rate` and the survivors are scaled by 1/(1−rate); in eval mode it is the
+/// identity. The mask is drawn from the Rng passed at construction, which
+/// must outlive the module.
+class Dropout : public UnaryModule {
+ public:
+  Dropout(double rate, Rng* rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng* rng_;  ///< Not owned.
+};
+
+}  // namespace musenet::nn
+
+#endif  // MUSENET_NN_DROPOUT_H_

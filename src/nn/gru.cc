@@ -1,0 +1,55 @@
+#include "nn/gru.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace musenet::nn {
+
+namespace ag = musenet::autograd;
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  MUSE_CHECK_GT(input_size, 0);
+  MUSE_CHECK_GT(hidden_size, 0);
+  w_ = RegisterParameter(
+      "w", GlorotUniform(tensor::Shape({input_size, 3 * hidden_size}),
+                         input_size, hidden_size, rng));
+  u_ = RegisterParameter(
+      "u", GlorotUniform(tensor::Shape({hidden_size, 3 * hidden_size}),
+                         hidden_size, hidden_size, rng));
+  b_ = RegisterParameter(
+      "b", tensor::Tensor::Zeros(tensor::Shape({3 * hidden_size})));
+}
+
+ag::Variable GruCell::Step(const ag::Variable& x, const ag::Variable& h) {
+  MUSE_CHECK_EQ(x.value().dim(1), input_size_);
+  MUSE_CHECK_EQ(h.value().dim(1), hidden_size_);
+  const int64_t hs = hidden_size_;
+
+  ag::Variable gates_x = ag::Add(ag::MatMul(x, w_), b_);  // [B, 3H]
+  ag::Variable gates_h = ag::MatMul(h, u_);               // [B, 3H]
+
+  ag::Variable z = ag::Sigmoid(ag::Add(ag::Slice(gates_x, 1, 0, hs),
+                                       ag::Slice(gates_h, 1, 0, hs)));
+  ag::Variable r = ag::Sigmoid(ag::Add(ag::Slice(gates_x, 1, hs, hs),
+                                       ag::Slice(gates_h, 1, hs, hs)));
+  // The candidate gate uses the reset-gated state, (r ⊙ h) U_h, so it cannot
+  // reuse gates_h; compute that product against U's third column block.
+  ag::Variable rh = ag::Mul(r, h);
+  ag::Variable candidate_h =
+      ag::MatMul(rh, ag::Slice(u_, 1, 2 * hs, hs));  // [B, H]
+  ag::Variable h_tilde = ag::Tanh(
+      ag::Add(ag::Slice(gates_x, 1, 2 * hs, hs), candidate_h));
+
+  // h' = (1 − z) ⊙ h + z ⊙ h̃.
+  ag::Variable one = ag::Constant(tensor::Tensor::Ones(z.value().shape()));
+  return ag::Add(ag::Mul(ag::Sub(one, z), h), ag::Mul(z, h_tilde));
+}
+
+ag::Variable GruCell::InitialState(int64_t batch) const {
+  return ag::Constant(
+      tensor::Tensor::Zeros(tensor::Shape({batch, hidden_size_})));
+}
+
+}  // namespace musenet::nn

@@ -1,0 +1,42 @@
+#ifndef MUSENET_NN_GRU_H_
+#define MUSENET_NN_GRU_H_
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace musenet::nn {
+
+/// Gated Recurrent Unit cell (Cho et al., 2014).
+///
+/// One step: given input x:[B,in] and state h:[B,hidden],
+///   z = σ(x W_z + h U_z + b_z)          (update gate)
+///   r = σ(x W_r + h U_r + b_r)          (reset gate)
+///   h̃ = tanh(x W_h + (r ⊙ h) U_h + b_h)
+///   h' = (1 − z) ⊙ h + z ⊙ h̃
+/// Gate weights are packed as W:[in,3H], U:[hidden,3H], b:[3H] in order
+/// (z, r, h).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  /// Advances the recurrence by one step; returns the next hidden state.
+  autograd::Variable Step(const autograd::Variable& x,
+                          const autograd::Variable& h);
+
+  /// Zero initial state for a batch.
+  autograd::Variable InitialState(int64_t batch) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  autograd::Variable w_;  ///< [in, 3H].
+  autograd::Variable u_;  ///< [H, 3H].
+  autograd::Variable b_;  ///< [3H].
+};
+
+}  // namespace musenet::nn
+
+#endif  // MUSENET_NN_GRU_H_

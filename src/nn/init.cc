@@ -1,0 +1,30 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace musenet::nn {
+
+tensor::Tensor GlorotUniform(tensor::Shape shape, int64_t fan_in,
+                             int64_t fan_out, Rng& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::RandomUniform(std::move(shape), rng, -bound, bound);
+}
+
+tensor::Tensor HeNormal(tensor::Shape shape, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return tensor::Tensor::RandomNormal(std::move(shape), rng, 0.0f, stddev);
+}
+
+void DenseFans(int64_t in, int64_t out, int64_t* fan_in, int64_t* fan_out) {
+  *fan_in = in;
+  *fan_out = out;
+}
+
+void ConvFans(int64_t cout, int64_t cin, int64_t kh, int64_t kw,
+              int64_t* fan_in, int64_t* fan_out) {
+  *fan_in = cin * kh * kw;
+  *fan_out = cout * kh * kw;
+}
+
+}  // namespace musenet::nn

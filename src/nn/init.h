@@ -1,0 +1,26 @@
+#ifndef MUSENET_NN_INIT_H_
+#define MUSENET_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace musenet::nn {
+
+/// Glorot/Xavier uniform initialization: U(−a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)). Suits tanh/sigmoid layers.
+tensor::Tensor GlorotUniform(tensor::Shape shape, int64_t fan_in,
+                             int64_t fan_out, Rng& rng);
+
+/// He/Kaiming normal initialization: N(0, 2 / fan_in). Suits ReLU layers.
+tensor::Tensor HeNormal(tensor::Shape shape, int64_t fan_in, Rng& rng);
+
+/// Fan-in/out of a dense weight [in, out].
+void DenseFans(int64_t in, int64_t out, int64_t* fan_in, int64_t* fan_out);
+
+/// Fan-in/out of a conv weight [cout, cin, kh, kw].
+void ConvFans(int64_t cout, int64_t cin, int64_t kh, int64_t kw,
+              int64_t* fan_in, int64_t* fan_out);
+
+}  // namespace musenet::nn
+
+#endif  // MUSENET_NN_INIT_H_

@@ -1,0 +1,31 @@
+#include "nn/layer_norm.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace musenet::nn {
+
+namespace ag = musenet::autograd;
+
+LayerNorm::LayerNorm(int64_t features, float epsilon)
+    : features_(features), epsilon_(epsilon) {
+  MUSE_CHECK_GT(features, 0);
+  gamma_ = RegisterParameter(
+      "gamma", tensor::Tensor::Ones(tensor::Shape({features})));
+  beta_ = RegisterParameter(
+      "beta", tensor::Tensor::Zeros(tensor::Shape({features})));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) {
+  const int last = x.value().rank() - 1;
+  MUSE_CHECK_EQ(x.value().dim(last), features_);
+  ag::Variable mu = ag::Mean(x, last, /*keepdims=*/true);
+  ag::Variable centered = ag::Sub(x, mu);
+  ag::Variable variance =
+      ag::Mean(ag::Square(centered), last, /*keepdims=*/true);
+  ag::Variable denom = ag::Sqrt(ag::AddScalar(variance, epsilon_));
+  ag::Variable normalized = ag::Div(centered, denom);
+  return ag::Add(ag::Mul(normalized, gamma_), beta_);
+}
+
+}  // namespace musenet::nn

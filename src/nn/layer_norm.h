@@ -1,0 +1,27 @@
+#ifndef MUSENET_NN_LAYER_NORM_H_
+#define MUSENET_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+
+namespace musenet::nn {
+
+/// Layer normalization over the last axis with learnable affine parameters:
+/// y = γ ⊙ (x − μ)/√(σ² + ε) + β, where μ/σ² are per-row statistics.
+class LayerNorm : public UnaryModule {
+ public:
+  explicit LayerNorm(int64_t features, float epsilon = 1e-5f);
+
+  autograd::Variable Forward(const autograd::Variable& x) override;
+
+  int64_t features() const { return features_; }
+
+ private:
+  int64_t features_;
+  float epsilon_;
+  autograd::Variable gamma_;  ///< [features], ones.
+  autograd::Variable beta_;   ///< [features], zeros.
+};
+
+}  // namespace musenet::nn
+
+#endif  // MUSENET_NN_LAYER_NORM_H_

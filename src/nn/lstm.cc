@@ -1,0 +1,58 @@
+#include "nn/lstm.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace musenet::nn {
+
+namespace ag = musenet::autograd;
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  MUSE_CHECK_GT(input_size, 0);
+  MUSE_CHECK_GT(hidden_size, 0);
+  w_ = RegisterParameter(
+      "w", GlorotUniform(tensor::Shape({input_size, 4 * hidden_size}),
+                         input_size, hidden_size, rng));
+  u_ = RegisterParameter(
+      "u", GlorotUniform(tensor::Shape({hidden_size, 4 * hidden_size}),
+                         hidden_size, hidden_size, rng));
+  // Forget-gate bias (block 1) starts at 1 so the cell initially remembers.
+  tensor::Tensor bias = tensor::Tensor::Zeros(
+      tensor::Shape({4 * hidden_size}));
+  for (int64_t j = hidden_size; j < 2 * hidden_size; ++j) {
+    bias.flat(j) = 1.0f;
+  }
+  b_ = RegisterParameter("b", std::move(bias));
+}
+
+LstmCell::State LstmCell::Step(const ag::Variable& x, const State& state) {
+  MUSE_CHECK_EQ(x.value().dim(1), input_size_);
+  MUSE_CHECK_EQ(state.h.value().dim(1), hidden_size_);
+  const int64_t hs = hidden_size_;
+
+  ag::Variable gates =
+      ag::Add(ag::Add(ag::MatMul(x, w_), ag::MatMul(state.h, u_)), b_);
+
+  ag::Variable i = ag::Sigmoid(ag::Slice(gates, 1, 0, hs));
+  ag::Variable f = ag::Sigmoid(ag::Slice(gates, 1, hs, hs));
+  ag::Variable g = ag::Tanh(ag::Slice(gates, 1, 2 * hs, hs));
+  ag::Variable o = ag::Sigmoid(ag::Slice(gates, 1, 3 * hs, hs));
+
+  State next;
+  next.c = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  next.h = ag::Mul(o, ag::Tanh(next.c));
+  return next;
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  State state;
+  state.h = ag::Constant(
+      tensor::Tensor::Zeros(tensor::Shape({batch, hidden_size_})));
+  state.c = ag::Constant(
+      tensor::Tensor::Zeros(tensor::Shape({batch, hidden_size_})));
+  return state;
+}
+
+}  // namespace musenet::nn

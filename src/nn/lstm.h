@@ -1,0 +1,53 @@
+#ifndef MUSENET_NN_LSTM_H_
+#define MUSENET_NN_LSTM_H_
+
+#include <utility>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace musenet::nn {
+
+/// Long Short-Term Memory cell (Hochreiter & Schmidhuber, 1997) — the other
+/// classic recurrent unit of the paper's related-work section (LSTM-based
+/// forecasters [8]). Provided alongside GruCell for substrate completeness.
+///
+/// One step, with x:[B,in], h:[B,H], c:[B,H]:
+///   i = σ(x W_i + h U_i + b_i)         (input gate)
+///   f = σ(x W_f + h U_f + b_f)         (forget gate)
+///   g = tanh(x W_g + h U_g + b_g)      (candidate)
+///   o = σ(x W_o + h U_o + b_o)         (output gate)
+///   c' = f ⊙ c + i ⊙ g
+///   h' = o ⊙ tanh(c')
+/// Gate weights are packed as W:[in,4H], U:[H,4H], b:[4H] in order
+/// (i, f, g, o). The forget-gate bias is initialized to 1 (standard trick
+/// so memories survive early training).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  struct State {
+    autograd::Variable h;  ///< Hidden state [B, H].
+    autograd::Variable c;  ///< Cell state [B, H].
+  };
+
+  /// Advances the recurrence by one step.
+  State Step(const autograd::Variable& x, const State& state);
+
+  /// Zero initial state for a batch.
+  State InitialState(int64_t batch) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  autograd::Variable w_;  ///< [in, 4H].
+  autograd::Variable u_;  ///< [H, 4H].
+  autograd::Variable b_;  ///< [4H].
+};
+
+}  // namespace musenet::nn
+
+#endif  // MUSENET_NN_LSTM_H_

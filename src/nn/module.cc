@@ -1,0 +1,132 @@
+#include "nn/module.h"
+
+#include "util/check.h"
+
+namespace musenet::nn {
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  CollectNamedParameters("", &out);
+  return out;
+}
+
+void Module::CollectNamedParameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, autograd::Variable>>* out) const {
+  for (const auto& [name, var] : params_) {
+    out->emplace_back(prefix + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamedParameters(prefix + name + ".", out);
+  }
+}
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (auto& [name, var] : NamedParameters()) {
+    (void)name;
+    out.push_back(var);
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& var : Parameters()) var.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& var : Parameters()) total += var.value().num_elements();
+  return total;
+}
+
+void Module::CollectNamedBuffers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, tensor::Tensor*>>* out) const {
+  for (const auto& [name, buffer] : buffers_) {
+    out->emplace_back(prefix + name, buffer);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamedBuffers(prefix + name + ".", out);
+  }
+}
+
+std::map<std::string, tensor::Tensor> Module::StateDict() const {
+  std::map<std::string, tensor::Tensor> state;
+  for (const auto& [name, var] : NamedParameters()) {
+    const bool inserted = state.emplace(name, var.value()).second;
+    MUSE_CHECK(inserted) << "duplicate parameter name " << name;
+  }
+  std::vector<std::pair<std::string, tensor::Tensor*>> buffers;
+  CollectNamedBuffers("", &buffers);
+  for (const auto& [name, buffer] : buffers) {
+    const bool inserted = state.emplace(name, *buffer).second;
+    MUSE_CHECK(inserted) << "duplicate buffer name " << name;
+  }
+  return state;
+}
+
+Status Module::LoadStateDict(
+    const std::map<std::string, tensor::Tensor>& state) {
+  auto named = NamedParameters();
+  std::vector<std::pair<std::string, tensor::Tensor*>> buffers;
+  CollectNamedBuffers("", &buffers);
+  if (state.size() != named.size() + buffers.size()) {
+    return Status::InvalidArgument(
+        "state dict has " + std::to_string(state.size()) +
+        " entries, model has " +
+        std::to_string(named.size() + buffers.size()));
+  }
+  for (auto& [name, var] : named) {
+    auto it = state.find(name);
+    if (it == state.end()) {
+      return Status::NotFound("missing parameter " + name);
+    }
+    if (it->second.shape() != var.value().shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": checkpoint " +
+          it->second.shape().ToString() + " vs model " +
+          var.value().shape().ToString());
+    }
+    var.mutable_value() = it->second;
+  }
+  for (auto& [name, buffer] : buffers) {
+    auto it = state.find(name);
+    if (it == state.end()) {
+      return Status::NotFound("missing buffer " + name);
+    }
+    if (it->second.shape() != buffer->shape()) {
+      return Status::InvalidArgument("shape mismatch for buffer " + name);
+    }
+    *buffer = it->second;
+  }
+  return Status::OK();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) {
+    (void)name;
+    child->SetTraining(training);
+  }
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             tensor::Tensor init) {
+  autograd::Variable var(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), var);
+  return var;
+}
+
+void Module::RegisterSubmodule(std::string name, Module* child) {
+  MUSE_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::RegisterBuffer(std::string name, tensor::Tensor* buffer) {
+  MUSE_CHECK(buffer != nullptr);
+  buffers_.emplace_back(std::move(name), buffer);
+}
+
+}  // namespace musenet::nn

@@ -1,0 +1,50 @@
+#ifndef MUSENET_NN_SEQUENTIAL_H_
+#define MUSENET_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace musenet::nn {
+
+/// Chain of UnaryModules applied in order.
+///
+/// Layers are added with `Emplace<T>(ctor args...)`, which constructs the
+/// layer in place, registers it for parameter traversal and returns a
+/// reference:
+///
+///   Sequential stack;
+///   stack.Emplace<Conv2d>(8, 16, rng);
+///   stack.Emplace<Dense>(64, 10, rng);
+class Sequential : public UnaryModule {
+ public:
+  Sequential() = default;
+
+  template <typename T, typename... Args>
+  T& Emplace(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *layer;
+    RegisterSubmodule("layer" + std::to_string(layers_.size()), layer.get());
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  autograd::Variable Forward(const autograd::Variable& x) override {
+    autograd::Variable y = x;
+    for (auto& layer : layers_) y = layer->Forward(y);
+    return y;
+  }
+
+  size_t size() const { return layers_.size(); }
+  bool empty() const { return layers_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<UnaryModule>> layers_;
+};
+
+}  // namespace musenet::nn
+
+#endif  // MUSENET_NN_SEQUENTIAL_H_

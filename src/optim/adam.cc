@@ -1,0 +1,57 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace musenet::optim {
+
+Adam::Adam(std::vector<autograd::Variable> params, double learning_rate)
+    : Adam(std::move(params), learning_rate, Options{}) {}
+
+Adam::Adam(std::vector<autograd::Variable> params, double learning_rate,
+           Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  MUSE_CHECK(options.beta1 >= 0.0 && options.beta1 < 1.0);
+  MUSE_CHECK(options.beta2 >= 0.0 && options.beta2 < 1.0);
+  set_learning_rate(learning_rate);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(tensor::Tensor::Zeros(p.value().shape()));
+    v_.emplace_back(tensor::Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(step_count_));
+  const double lr = learning_rate();
+  const double eps = options_.epsilon;
+  const float wd = static_cast<float>(options_.weight_decay);
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const tensor::Tensor& g = p.grad();
+    tensor::Tensor& theta = p.mutable_value();
+    float* pm = m_[i].mutable_data();
+    float* pv = v_[i].mutable_data();
+    float* pt = theta.mutable_data();
+    const float* pg = g.data();
+    const int64_t n = theta.num_elements();
+    for (int64_t j = 0; j < n; ++j) {
+      const double grad = pg[j] + wd * pt[j];
+      pm[j] = static_cast<float>(b1 * pm[j] + (1.0 - b1) * grad);
+      pv[j] = static_cast<float>(b2 * pv[j] + (1.0 - b2) * grad * grad);
+      const double m_hat = pm[j] / bias1;
+      const double v_hat = pv[j] / bias2;
+      pt[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+    }
+  }
+}
+
+}  // namespace musenet::optim

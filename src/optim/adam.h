@@ -1,0 +1,40 @@
+#ifndef MUSENET_OPTIM_ADAM_H_
+#define MUSENET_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace musenet::optim {
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the optimizer the paper
+/// trains MUSE-Net with (lr = 2e-4 in the paper's setup).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;  ///< L2 penalty added to the gradient.
+  };
+
+  Adam(std::vector<autograd::Variable> params, double learning_rate,
+       Options options);
+  /// Defaults: β1=0.9, β2=0.999, ε=1e-8, no weight decay.
+  Adam(std::vector<autograd::Variable> params, double learning_rate);
+
+  void Step() override;
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  Options options_;
+  int64_t step_count_ = 0;
+  std::vector<tensor::Tensor> m_;  ///< First-moment estimates.
+  std::vector<tensor::Tensor> v_;  ///< Second-moment estimates.
+};
+
+}  // namespace musenet::optim
+
+#endif  // MUSENET_OPTIM_ADAM_H_

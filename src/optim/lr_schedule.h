@@ -1,0 +1,85 @@
+#ifndef MUSENET_OPTIM_LR_SCHEDULE_H_
+#define MUSENET_OPTIM_LR_SCHEDULE_H_
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace musenet::optim {
+
+/// Learning-rate schedules. Each maps an epoch index to a learning rate;
+/// trainers call `LearningRateAt` before every epoch and pass the result to
+/// `Optimizer::set_learning_rate`.
+///
+/// Schedules are value types so TrainConfig-style structs can embed them.
+struct LrSchedule {
+  enum class Kind {
+    kConstant,
+    /// lr · decay^(epoch / step_size) (staircase).
+    kStepDecay,
+    /// Cosine annealing from lr to min_lr over total_epochs.
+    kCosine,
+    /// Linear warmup over warmup_epochs, then constant.
+    kWarmup,
+  };
+
+  Kind kind = Kind::kConstant;
+  double base_lr = 1e-3;
+  double decay = 0.5;       ///< kStepDecay factor per step.
+  int step_size = 10;       ///< kStepDecay epochs per step.
+  double min_lr = 1e-5;     ///< kCosine floor.
+  int total_epochs = 100;   ///< kCosine horizon.
+  int warmup_epochs = 5;    ///< kWarmup ramp length.
+
+  /// Learning rate for the given (0-based) epoch.
+  double LearningRateAt(int epoch) const {
+    MUSE_CHECK_GE(epoch, 0);
+    switch (kind) {
+      case Kind::kConstant:
+        return base_lr;
+      case Kind::kStepDecay:
+        return base_lr * std::pow(decay, epoch / step_size);
+      case Kind::kCosine: {
+        const double progress =
+            std::min(1.0, static_cast<double>(epoch) /
+                              std::max(1, total_epochs - 1));
+        return min_lr +
+               0.5 * (base_lr - min_lr) * (1.0 + std::cos(M_PI * progress));
+      }
+      case Kind::kWarmup:
+        if (epoch >= warmup_epochs) return base_lr;
+        return base_lr * (epoch + 1) / std::max(1, warmup_epochs);
+    }
+    MUSE_CHECK(false) << "unreachable schedule kind";
+    return base_lr;
+  }
+
+  static LrSchedule Constant(double lr) {
+    return LrSchedule{.kind = Kind::kConstant, .base_lr = lr};
+  }
+  static LrSchedule StepDecay(double lr, double decay, int step_size) {
+    return LrSchedule{.kind = Kind::kStepDecay,
+                      .base_lr = lr,
+                      .decay = decay,
+                      .step_size = step_size};
+  }
+  static LrSchedule Cosine(double lr, double min_lr, int total_epochs) {
+    LrSchedule s;
+    s.kind = Kind::kCosine;
+    s.base_lr = lr;
+    s.min_lr = min_lr;
+    s.total_epochs = total_epochs;
+    return s;
+  }
+  static LrSchedule Warmup(double lr, int warmup_epochs) {
+    LrSchedule s;
+    s.kind = Kind::kWarmup;
+    s.base_lr = lr;
+    s.warmup_epochs = warmup_epochs;
+    return s;
+  }
+};
+
+}  // namespace musenet::optim
+
+#endif  // MUSENET_OPTIM_LR_SCHEDULE_H_

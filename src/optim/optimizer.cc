@@ -1,0 +1,37 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace musenet::optim {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+double ClipGradNorm(const std::vector<autograd::Variable>& params,
+                    double max_norm) {
+  double sq_norm = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    const tensor::Tensor& g = p.grad();
+    const float* pg = g.data();
+    const int64_t n = g.num_elements();
+    for (int64_t i = 0; i < n; ++i) {
+      sq_norm += static_cast<double>(pg[i]) * pg[i];
+    }
+  }
+  const double norm = std::sqrt(sq_norm);
+  if (norm <= max_norm || norm == 0.0) return norm;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (auto& p : params) {
+    if (!p.has_grad()) continue;
+    // Scale in place through the node: grad is stored on the shared node.
+    auto node = p.node();
+    float* pg = node->grad.mutable_data();
+    const int64_t n = node->grad.num_elements();
+    for (int64_t i = 0; i < n; ++i) pg[i] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace musenet::optim

@@ -1,0 +1,50 @@
+#ifndef MUSENET_OPTIM_OPTIMIZER_H_
+#define MUSENET_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace musenet::optim {
+
+/// Base class of first-order optimizers.
+///
+/// An optimizer holds handles to the parameter Variables (shared graph nodes,
+/// so updates are visible to the model) and consumes the gradients that a
+/// Backward pass accumulated into them. Parameters whose gradient was not
+/// reached by the last backward pass are skipped.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients (call after Step, before next forward).
+  void ZeroGrad();
+
+  /// Current learning rate.
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  double learning_rate_ = 1e-3;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm. No-op (returns the norm) when already
+/// within bounds or when no parameter has a gradient.
+double ClipGradNorm(const std::vector<autograd::Variable>& params,
+                    double max_norm);
+
+}  // namespace musenet::optim
+
+#endif  // MUSENET_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,38 @@
+#include "optim/sgd.h"
+
+#include "util/check.h"
+
+namespace musenet::optim {
+
+Sgd::Sgd(std::vector<autograd::Variable> params, double learning_rate,
+         double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  MUSE_CHECK_GE(momentum, 0.0);
+  set_learning_rate(learning_rate);
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(tensor::Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(learning_rate());
+  const float mu = static_cast<float>(momentum_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const tensor::Tensor& g = p.grad();
+    tensor::Tensor& v = velocity_[i];
+    tensor::Tensor& theta = p.mutable_value();
+    float* pv = v.mutable_data();
+    float* pt = theta.mutable_data();
+    const float* pg = g.data();
+    const int64_t n = theta.num_elements();
+    for (int64_t j = 0; j < n; ++j) {
+      pv[j] = mu * pv[j] + pg[j];
+      pt[j] -= lr * pv[j];
+    }
+  }
+}
+
+}  // namespace musenet::optim

@@ -1,0 +1,27 @@
+#ifndef MUSENET_OPTIM_SGD_H_
+#define MUSENET_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace musenet::optim {
+
+/// Stochastic gradient descent with optional classical momentum:
+///   v ← μ v + g;  θ ← θ − lr · v.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, double learning_rate,
+      double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<tensor::Tensor> velocity_;  ///< One per parameter.
+};
+
+}  // namespace musenet::optim
+
+#endif  // MUSENET_OPTIM_SGD_H_

@@ -1,0 +1,238 @@
+#include "sim/city.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rasterize.h"
+#include "util/check.h"
+
+namespace musenet::sim {
+
+namespace {
+
+/// Unnormalized Gaussian bump centred at (ch, cw) with radius `sigma`.
+double Blob(double h, double w, double ch, double cw, double sigma) {
+  const double dh = h - ch;
+  const double dw = w - cw;
+  return std::exp(-(dh * dh + dw * dw) / (2.0 * sigma * sigma));
+}
+
+void Normalize(std::vector<double>* weights) {
+  double total = 0.0;
+  for (double v : *weights) total += v;
+  MUSE_CHECK_GT(total, 0.0);
+  for (double& v : *weights) v /= total;
+}
+
+std::vector<double> PrefixSums(const std::vector<double>& weights) {
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cdf[i] = acc;
+  }
+  return cdf;
+}
+
+}  // namespace
+
+City::City(CityConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  const GridSpec& grid = config_.grid;
+  MUSE_CHECK_GT(grid.num_regions(), 0);
+  MUSE_CHECK_GE(config_.num_business_centers, 1);
+  const int64_t regions = grid.num_regions();
+  residential_.assign(static_cast<size_t>(regions), 0.0);
+  business_.assign(static_cast<size_t>(regions), 0.0);
+
+  // Business blobs cluster near the centre; residential mass spreads across
+  // the periphery with a few of its own blobs. Layout is seeded so each
+  // dataset preset gets a distinct but reproducible city.
+  Rng layout = rng_.Fork(1);
+  const double ch = (grid.height - 1) / 2.0;
+  const double cw = (grid.width - 1) / 2.0;
+  std::vector<std::pair<double, double>> business_centers;
+  for (int c = 0; c < config_.num_business_centers; ++c) {
+    business_centers.emplace_back(
+        ch + layout.Normal(0.0, grid.height / 8.0),
+        cw + layout.Normal(0.0, grid.width / 8.0));
+  }
+  const int num_residential_blobs = 3 + config_.num_business_centers;
+  std::vector<std::pair<double, double>> residential_centers;
+  for (int c = 0; c < num_residential_blobs; ++c) {
+    residential_centers.emplace_back(layout.Uniform(0.0, grid.height - 1.0),
+                                     layout.Uniform(0.0, grid.width - 1.0));
+  }
+
+  const double bus_sigma = std::max(1.0, std::min(grid.height, grid.width) /
+                                             5.0);
+  const double res_sigma = std::max(1.5, std::min(grid.height, grid.width) /
+                                             3.0);
+  for (int64_t h = 0; h < grid.height; ++h) {
+    for (int64_t w = 0; w < grid.width; ++w) {
+      const size_t idx = static_cast<size_t>(grid.RegionIndex(h, w));
+      for (const auto& [bh, bw] : business_centers) {
+        business_[idx] += Blob(static_cast<double>(h),
+                               static_cast<double>(w), bh, bw, bus_sigma);
+      }
+      for (const auto& [rh, rw] : residential_centers) {
+        residential_[idx] += Blob(static_cast<double>(h),
+                                  static_cast<double>(w), rh, rw, res_sigma);
+      }
+      // Floor keeps every region reachable.
+      business_[idx] += 0.02;
+      residential_[idx] += 0.05;
+    }
+  }
+  Normalize(&business_);
+  Normalize(&residential_);
+  business_cdf_ = PrefixSums(business_);
+  residential_cdf_ = PrefixSums(residential_);
+
+  // Day-level demand wobble: an AR(1)-correlated lognormal multiplier, so
+  // consecutive days are mildly similar (weather fronts span days).
+  Rng wobble = rng_.Fork(2);
+  day_multiplier_.resize(static_cast<size_t>(config_.days), 1.0);
+  double state = 0.0;
+  for (int day = 0; day < config_.days; ++day) {
+    state = 0.5 * state + wobble.Normal(0.0, config_.daily_wobble_sigma);
+    day_multiplier_[static_cast<size_t>(day)] = std::exp(state);
+  }
+}
+
+double City::ProfileAt(int64_t t) const {
+  const double hour = 24.0 *
+                      static_cast<double>(t % config_.intervals_per_day) /
+                      config_.intervals_per_day;
+  const int64_t day = t / config_.intervals_per_day;
+  const int weekday = static_cast<int>((config_.start_weekday + day) % 7);
+  const bool weekend = weekday >= 5;
+
+  // Two commute peaks on weekdays (8am / 6pm), suppressed on weekends.
+  const double commute =
+      config_.commute_amplitude *
+      (Blob(hour, 0.0, 8.0, 0.0, 1.1) + Blob(hour, 0.0, 18.0, 0.0, 1.3)) *
+      (weekend ? 0.25 : 1.0);
+  // Broad daytime leisure bump (peaks mid-afternoon), stronger on weekends.
+  const double leisure = config_.leisure_amplitude *
+                         Blob(hour, 0.0, 14.5, 0.0, 4.5) *
+                         (weekend ? 1.4 : 1.0);
+  double profile = config_.night_level + commute + leisure;
+  if (weekend) profile *= config_.weekend_factor;
+  return profile;
+}
+
+void City::MixtureAt(int64_t t, double* origin_res, double* origin_bus,
+                     double* dest_res, double* dest_bus) const {
+  const double hour = 24.0 *
+                      static_cast<double>(t % config_.intervals_per_day) /
+                      config_.intervals_per_day;
+  // Morning bias: residential → business; evening bias: business →
+  // residential; otherwise a balanced mixture.
+  const double morning = Blob(hour, 0.0, 8.0, 0.0, 1.5);
+  const double evening = Blob(hour, 0.0, 18.0, 0.0, 1.8);
+  *origin_res = 0.4 + 0.55 * morning - 0.3 * evening;
+  *origin_bus = 1.0 - *origin_res;
+  *dest_bus = 0.4 + 0.55 * morning - 0.3 * evening;
+  *dest_res = 1.0 - *dest_bus;
+  *origin_res = std::clamp(*origin_res, 0.05, 0.95);
+  *origin_bus = std::clamp(*origin_bus, 0.05, 0.95);
+  *dest_res = std::clamp(*dest_res, 0.05, 0.95);
+  *dest_bus = std::clamp(*dest_bus, 0.05, 0.95);
+}
+
+int64_t City::SampleFromCdf(const std::vector<double>& cdf) {
+  const double target = rng_.Uniform() * cdf.back();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), target);
+  return static_cast<int64_t>(std::distance(cdf.begin(), it));
+}
+
+Trajectory City::MakeTrip(int64_t t, Region origin,
+                          Region destination) const {
+  const double dist = std::max(std::fabs(static_cast<double>(origin.h) -
+                                         destination.h),
+                               std::fabs(static_cast<double>(origin.w) -
+                                         destination.w));
+  int64_t duration = static_cast<int64_t>(
+      std::ceil(dist / std::max(config_.cells_per_interval, 1e-9)));
+  duration = std::clamp<int64_t>(duration, 1, config_.max_trip_intervals);
+
+  Trajectory trip;
+  trip.points.reserve(static_cast<size_t>(duration) + 1);
+  for (int64_t step = 0; step <= duration; ++step) {
+    const double frac = static_cast<double>(step) / duration;
+    Region pos{
+        .h = static_cast<int64_t>(std::lround(
+            origin.h + frac * (destination.h - origin.h))),
+        .w = static_cast<int64_t>(std::lround(
+            origin.w + frac * (destination.w - origin.w)))};
+    trip.points.push_back(TrajectoryPoint{.interval = t + step, .region = pos});
+  }
+  return trip;
+}
+
+std::vector<Trajectory> City::GenerateTripsForInterval(int64_t t) {
+  const GridSpec& grid = config_.grid;
+  double lambda = config_.trips_per_interval * ProfileAt(t) *
+                  LevelMultiplierAt(config_.shifts, t);
+  const int64_t day = t / config_.intervals_per_day;
+  if (day >= 0 && day < static_cast<int64_t>(day_multiplier_.size())) {
+    lambda *= day_multiplier_[static_cast<size_t>(day)];
+  }
+  if (config_.demand_noise_sigma > 0.0) {
+    lambda *= std::exp(rng_.Normal(0.0, config_.demand_noise_sigma));
+  }
+
+  std::vector<Trajectory> trips;
+  const int n = rng_.Poisson(lambda);
+  trips.reserve(static_cast<size_t>(n));
+
+  double origin_res = 0.0, origin_bus = 0.0, dest_res = 0.0, dest_bus = 0.0;
+  MixtureAt(t, &origin_res, &origin_bus, &dest_res, &dest_bus);
+
+  auto sample_region = [&](double res_weight) {
+    const std::vector<double>& cdf = rng_.Uniform() < res_weight
+                                         ? residential_cdf_
+                                         : business_cdf_;
+    const int64_t idx = SampleFromCdf(cdf);
+    return Region{.h = idx / grid.width, .w = idx % grid.width};
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const Region origin = sample_region(origin_res);
+    Region destination = sample_region(dest_res);
+    if (origin == destination) {
+      // Nudge to a neighbour so the trip crosses at least one boundary.
+      destination.w = destination.w + 1 < grid.width ? destination.w + 1
+                                                     : destination.w - 1;
+    }
+    trips.push_back(MakeTrip(t, origin, destination));
+  }
+
+  // Point-shift events: localized bursts departing from the event region.
+  for (const ShiftEvent& event : config_.shifts) {
+    if (event.kind != ShiftEvent::Kind::kPoint || !event.Covers(t)) continue;
+    const int burst =
+        rng_.Poisson(event.magnitude * config_.trips_per_interval);
+    for (int i = 0; i < burst; ++i) {
+      const Region destination = sample_region(dest_res);
+      if (destination == event.region) continue;
+      trips.push_back(MakeTrip(t, event.region, destination));
+    }
+  }
+  return trips;
+}
+
+SimulationResult City::Simulate() {
+  FlowSeries flows(config_.grid, config_.intervals_per_day,
+                   config_.start_weekday, config_.num_intervals());
+  int64_t num_trips = 0;
+  for (int64_t t = 0; t < config_.num_intervals(); ++t) {
+    const std::vector<Trajectory> trips = GenerateTripsForInterval(t);
+    num_trips += static_cast<int64_t>(trips.size());
+    for (const Trajectory& trip : trips) RasterizeTrajectory(trip, &flows);
+  }
+  return SimulationResult{.flows = std::move(flows), .num_trips = num_trips};
+}
+
+}  // namespace musenet::sim

@@ -1,0 +1,116 @@
+#ifndef MUSENET_SIM_CITY_H_
+#define MUSENET_SIM_CITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/flow_series.h"
+#include "sim/grid.h"
+#include "sim/shifts.h"
+#include "sim/trajectory.h"
+#include "util/rng.h"
+
+namespace musenet::sim {
+
+/// Demand configuration of a simulated city.
+///
+/// Trips are generated per interval from a Poisson process whose rate follows
+/// a daily commute/leisure profile modulated by weekday/weekend factors,
+/// multiplicative noise, and the shift events. Origins/destinations are drawn
+/// from residential/business attraction maps whose mixing varies with the
+/// time of day (morning: residential → business; evening: reverse), which
+/// creates the multi-periodic structure the paper's datasets exhibit.
+struct CityConfig {
+  GridSpec grid{.height = 10, .width = 20};
+  int intervals_per_day = 48;   ///< f; 48 = 30-minute intervals.
+  int start_weekday = 4;        ///< 0 = Monday; 4 matches NYC-Bike 07/01/2016.
+  int days = 60;
+
+  /// Mean trips per interval when the daily profile is at 1.0.
+  double trips_per_interval = 400.0;
+  /// Weekend demand relative to weekdays.
+  double weekend_factor = 0.8;
+  /// Relative amplitude of the two commute peaks (weekdays).
+  double commute_amplitude = 1.6;
+  /// Relative amplitude of the broad daytime leisure component.
+  double leisure_amplitude = 0.7;
+  /// Overnight base demand level.
+  double night_level = 0.08;
+  /// Lognormal demand noise sigma per interval (0 disables).
+  double demand_noise_sigma = 0.12;
+  /// Lognormal day-level demand multiplier sigma (0 disables). Models
+  /// weather-like conditions that persist through a day: they make every day
+  /// deviate from the periodic mean, so purely periodic predictors carry a
+  /// systematic error that closeness-aware models can correct — a mild,
+  /// pervasive form of the paper's Fig. 1 "distribution shift".
+  double daily_wobble_sigma = 0.15;
+  /// Number of business centers (Gaussian attraction blobs).
+  int num_business_centers = 2;
+  /// Maximum trip speed in cells per interval (bounds trip duration).
+  double cells_per_interval = 4.0;
+  int max_trip_intervals = 4;
+
+  /// External-factor perturbations (level / point shifts).
+  std::vector<ShiftEvent> shifts;
+
+  int64_t num_intervals() const {
+    return static_cast<int64_t>(days) * intervals_per_day;
+  }
+};
+
+/// Aggregate output of a simulation run.
+struct SimulationResult {
+  FlowSeries flows;
+  int64_t num_trips = 0;
+};
+
+/// Grid-city trip simulator: the substrate standing in for the paper's
+/// NYC-Bike / NYC-Taxi / TaxiBJ trajectory datasets.
+class City {
+ public:
+  City(CityConfig config, uint64_t seed);
+
+  /// Daily demand profile at interval t (deterministic part, before noise
+  /// and shift events). Exposed for tests and the Fig. 1/2 illustrations.
+  double ProfileAt(int64_t t) const;
+
+  /// Generates the trips that depart in interval t. Each trip is a full
+  /// trajectory (one point per interval from departure to arrival).
+  std::vector<Trajectory> GenerateTripsForInterval(int64_t t);
+
+  /// Runs the simulation over the configured span and rasterizes all
+  /// trajectories into a FlowSeries per Definition 2.
+  SimulationResult Simulate();
+
+  const CityConfig& config() const { return config_; }
+
+  /// Attraction maps (normalized to sum 1), exposed for inspection.
+  const std::vector<double>& residential_weights() const {
+    return residential_;
+  }
+  const std::vector<double>& business_weights() const { return business_; }
+
+ private:
+  /// Samples a region index from a precomputed CDF.
+  int64_t SampleFromCdf(const std::vector<double>& cdf);
+
+  /// Mixture weights of (residential, business, uniform) for origins and
+  /// destinations as a function of the interval-of-day.
+  void MixtureAt(int64_t t, double* origin_res, double* origin_bus,
+                 double* dest_res, double* dest_bus) const;
+
+  /// Builds one trip trajectory departing at interval t.
+  Trajectory MakeTrip(int64_t t, Region origin, Region destination) const;
+
+  CityConfig config_;
+  Rng rng_;
+  std::vector<double> day_multiplier_;   ///< Per-day demand wobble.
+  std::vector<double> residential_;      ///< Per-region weight, sums to 1.
+  std::vector<double> business_;         ///< Per-region weight, sums to 1.
+  std::vector<double> residential_cdf_;  ///< Prefix sums for sampling.
+  std::vector<double> business_cdf_;
+};
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_CITY_H_

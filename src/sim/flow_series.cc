@@ -1,0 +1,91 @@
+#include "sim/flow_series.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace musenet::sim {
+
+FlowSeries::FlowSeries(GridSpec grid, int intervals_per_day,
+                       int start_weekday, int64_t num_intervals)
+    : grid_(grid),
+      intervals_per_day_(intervals_per_day),
+      start_weekday_(start_weekday),
+      num_intervals_(num_intervals),
+      data_(static_cast<size_t>(num_intervals * 2 * grid.num_regions()),
+            0.0f) {
+  MUSE_CHECK_GT(grid.height, 0);
+  MUSE_CHECK_GT(grid.width, 0);
+  MUSE_CHECK_GT(intervals_per_day, 0);
+  MUSE_CHECK(start_weekday >= 0 && start_weekday < 7);
+  MUSE_CHECK_GT(num_intervals, 0);
+}
+
+int64_t FlowSeries::Offset(int64_t t, int flow, int64_t h, int64_t w) const {
+  MUSE_DCHECK(t >= 0 && t < num_intervals_);
+  MUSE_DCHECK(flow == kOutflow || flow == kInflow);
+  return ((t * 2 + flow) * grid_.height + h) * grid_.width + w;
+}
+
+float FlowSeries::at(int64_t t, int flow, int64_t h, int64_t w) const {
+  return data_[static_cast<size_t>(Offset(t, flow, h, w))];
+}
+
+float& FlowSeries::at(int64_t t, int flow, int64_t h, int64_t w) {
+  return data_[static_cast<size_t>(Offset(t, flow, h, w))];
+}
+
+tensor::Tensor FlowSeries::Frame(int64_t t) const {
+  MUSE_CHECK(t >= 0 && t < num_intervals_);
+  const int64_t frame_size = 2 * grid_.num_regions();
+  std::vector<float> frame(
+      data_.begin() + static_cast<int64_t>(t * frame_size),
+      data_.begin() + static_cast<int64_t>((t + 1) * frame_size));
+  return tensor::Tensor(tensor::Shape({2, grid_.height, grid_.width}),
+                        std::move(frame));
+}
+
+int FlowSeries::IntervalOfDay(int64_t t) const {
+  return static_cast<int>(t % intervals_per_day_);
+}
+
+int FlowSeries::WeekdayOf(int64_t t) const {
+  const int64_t day = t / intervals_per_day_;
+  return static_cast<int>((start_weekday_ + day) % 7);
+}
+
+bool FlowSeries::IsWeekend(int64_t t) const { return WeekdayOf(t) >= 5; }
+
+double FlowSeries::HourOfDay(int64_t t) const {
+  return 24.0 * IntervalOfDay(t) / intervals_per_day_;
+}
+
+float FlowSeries::MaxValue() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float FlowSeries::MinValue() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double FlowSeries::MeanValue() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return data_.empty() ? 0.0 : total / static_cast<double>(data_.size());
+}
+
+FlowSeries FlowSeries::Subrange(int64_t start, int64_t len) const {
+  MUSE_CHECK(start >= 0 && len > 0 && start + len <= num_intervals_);
+  const int start_day = static_cast<int>(start / intervals_per_day_);
+  // Subranges must start on a day boundary to keep interval-of-day intact.
+  MUSE_CHECK_EQ(start % intervals_per_day_, 0)
+      << "Subrange must start on a day boundary";
+  FlowSeries out(grid_, intervals_per_day_,
+                 (start_weekday_ + start_day) % 7, len);
+  const int64_t frame_size = 2 * grid_.num_regions();
+  std::copy(data_.begin() + start * frame_size,
+            data_.begin() + (start + len) * frame_size, out.data_.begin());
+  return out;
+}
+
+}  // namespace musenet::sim

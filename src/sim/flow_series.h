@@ -1,0 +1,75 @@
+#ifndef MUSENET_SIM_FLOW_SERIES_H_
+#define MUSENET_SIM_FLOW_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/grid.h"
+#include "tensor/tensor.h"
+
+namespace musenet::sim {
+
+/// Flow channel indices within a frame (paper Definition 2).
+inline constexpr int kOutflow = 0;
+inline constexpr int kInflow = 1;
+
+/// City-wide inflow/outflow volumes over time: a dense [T, 2, H, W] series
+/// with calendar metadata (sampling frequency, weekday of the first frame).
+///
+/// This is the interchange type between the simulator (which writes it), the
+/// data pipeline (which intercepts it into closeness/period/trend samples)
+/// and the evaluation splitters (which need interval-of-day / weekday).
+class FlowSeries {
+ public:
+  /// Zero-initialized series of `num_intervals` frames.
+  FlowSeries(GridSpec grid, int intervals_per_day, int start_weekday,
+             int64_t num_intervals);
+
+  const GridSpec& grid() const { return grid_; }
+  /// Sampling frequency f: frames per day.
+  int intervals_per_day() const { return intervals_per_day_; }
+  /// Weekday of frame 0 (0 = Monday … 6 = Sunday).
+  int start_weekday() const { return start_weekday_; }
+  int64_t num_intervals() const { return num_intervals_; }
+
+  /// Element access; `flow` is kOutflow or kInflow.
+  float at(int64_t t, int flow, int64_t h, int64_t w) const;
+  float& at(int64_t t, int flow, int64_t h, int64_t w);
+
+  /// One frame as a [2, H, W] tensor (copy).
+  tensor::Tensor Frame(int64_t t) const;
+
+  /// Calendar helpers.
+  int IntervalOfDay(int64_t t) const;
+  int WeekdayOf(int64_t t) const;  ///< 0 = Monday … 6 = Sunday.
+  bool IsWeekend(int64_t t) const;
+  /// Hour-of-day in [0, 24) of the start of interval t.
+  double HourOfDay(int64_t t) const;
+
+  /// Largest value in the series (used by Min-Max scaling).
+  float MaxValue() const;
+  float MinValue() const;
+
+  /// Mean of all values (diagnostics).
+  double MeanValue() const;
+
+  /// Copies frames [start, start+len) into a new series whose frame 0
+  /// keeps the correct weekday alignment.
+  FlowSeries Subrange(int64_t start, int64_t len) const;
+
+  /// Raw storage, laid out [t][flow][h][w].
+  const std::vector<float>& storage() const { return data_; }
+
+ private:
+  int64_t Offset(int64_t t, int flow, int64_t h, int64_t w) const;
+
+  GridSpec grid_;
+  int intervals_per_day_;
+  int start_weekday_;
+  int64_t num_intervals_;
+  std::vector<float> data_;
+};
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_FLOW_SERIES_H_

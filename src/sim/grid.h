@@ -1,0 +1,45 @@
+#ifndef MUSENET_SIM_GRID_H_
+#define MUSENET_SIM_GRID_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace musenet::sim {
+
+/// Grid partition of a city (paper Definition 1): H×W equally sized regions
+/// indexed (h, w) with h ∈ [0, H), w ∈ [0, W).
+struct GridSpec {
+  int64_t height = 0;
+  int64_t width = 0;
+
+  int64_t num_regions() const { return height * width; }
+
+  int64_t RegionIndex(int64_t h, int64_t w) const {
+    MUSE_DCHECK(h >= 0 && h < height);
+    MUSE_DCHECK(w >= 0 && w < width);
+    return h * width + w;
+  }
+
+  bool Contains(int64_t h, int64_t w) const {
+    return h >= 0 && h < height && w >= 0 && w < width;
+  }
+
+  bool operator==(const GridSpec& other) const {
+    return height == other.height && width == other.width;
+  }
+};
+
+/// A region coordinate.
+struct Region {
+  int64_t h = 0;
+  int64_t w = 0;
+
+  bool operator==(const Region& other) const {
+    return h == other.h && w == other.w;
+  }
+};
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_GRID_H_

@@ -1,0 +1,183 @@
+#include "sim/presets.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace musenet::sim {
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kNycBike:
+      return "NYC-Bike";
+    case DatasetId::kNycTaxi:
+      return "NYC-Taxi";
+    case DatasetId::kTaxiBj:
+      return "TaxiBJ";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-dataset paper-scale parameters.
+struct PresetParams {
+  GridSpec paper_grid;
+  GridSpec default_grid;
+  int paper_days;
+  int default_days;
+  int start_weekday;
+  double trips_per_region;  ///< Demand density (trips/interval/region).
+  double commute_amplitude;
+  double leisure_amplitude;
+  double night_level;
+  int num_business_centers;
+  double level_event_rate;  ///< Expected level events per 10 days.
+  double point_event_rate;  ///< Expected point events per day.
+  double daily_wobble;      ///< Day-level demand wobble sigma (weather).
+};
+
+PresetParams ParamsFor(DatasetId id) {
+  switch (id) {
+    case DatasetId::kNycBike:
+      // Low-volume bike sharing: soft commute peaks, leisure heavy, weather
+      // sensitive (frequent level shifts).
+      return PresetParams{.paper_grid = {10, 20},
+                          .default_grid = {4, 6},
+                          .paper_days = 60,
+                          .default_days = 42,
+                          .start_weekday = 4,  // Fri 07/01/2016.
+                          .trips_per_region = 6.0,
+                          .commute_amplitude = 1.2,
+                          .leisure_amplitude = 0.9,
+                          .night_level = 0.04,
+                          .num_business_centers = 2,
+                          .level_event_rate = 2.0,
+                          .point_event_rate = 0.10,
+                          .daily_wobble = 0.28};  // Bikes are weather-bound.
+    case DatasetId::kNycTaxi:
+      // High-volume taxi: sharp commute peaks, active nightlife, localized
+      // incidents (point shifts).
+      return PresetParams{.paper_grid = {10, 20},
+                          .default_grid = {4, 6},
+                          .paper_days = 60,
+                          .default_days = 42,
+                          .start_weekday = 3,  // Thu 01/01/2015.
+                          .trips_per_region = 15.0,
+                          .commute_amplitude = 1.8,
+                          .leisure_amplitude = 0.8,
+                          .night_level = 0.20,
+                          .num_business_centers = 2,
+                          .level_event_rate = 1.0,
+                          .point_event_rate = 0.35,
+                          .daily_wobble = 0.15};
+    case DatasetId::kTaxiBj:
+      // Beijing taxi: large grid, several business districts, very strong
+      // commute structure.
+      return PresetParams{.paper_grid = {32, 32},
+                          .default_grid = {6, 6},
+                          .paper_days = 120,
+                          .default_days = 42,
+                          .start_weekday = 1,  // Tue 01/01/2013.
+                          .trips_per_region = 12.0,
+                          .commute_amplitude = 2.0,
+                          .leisure_amplitude = 0.7,
+                          .night_level = 0.10,
+                          .num_business_centers = 4,
+                          .level_event_rate = 1.5,
+                          .point_event_rate = 0.20,
+                          .daily_wobble = 0.18};
+  }
+  MUSE_CHECK(false) << "unreachable dataset id";
+  return PresetParams{};
+}
+
+/// Draws the level/point event schedule for the whole span.
+std::vector<ShiftEvent> MakeShiftSchedule(const PresetParams& params,
+                                          const CityConfig& config,
+                                          Rng& rng) {
+  std::vector<ShiftEvent> events;
+  const int f = config.intervals_per_day;
+
+  // Level shifts: weather/holiday windows of 0.5–2 days.
+  const double expected_level =
+      params.level_event_rate * config.days / 10.0;
+  const int num_level = rng.Poisson(expected_level);
+  for (int i = 0; i < num_level; ++i) {
+    ShiftEvent event;
+    event.kind = ShiftEvent::Kind::kLevel;
+    event.start_interval =
+        static_cast<int64_t>(rng.UniformInt(
+            static_cast<uint64_t>(config.num_intervals())));
+    event.duration = static_cast<int64_t>(f * rng.Uniform(0.5, 2.0));
+    // 75% suppressions (rain: ×0.35–0.65), 25% boosts (events: ×1.3–1.6).
+    event.magnitude = rng.Bernoulli(0.75) ? rng.Uniform(0.35, 0.65)
+                                          : rng.Uniform(1.3, 1.6);
+    events.push_back(event);
+  }
+
+  // Point shifts: short localized bursts (1–3 intervals).
+  const double expected_point = params.point_event_rate * config.days;
+  const int num_point = rng.Poisson(expected_point);
+  for (int i = 0; i < num_point; ++i) {
+    ShiftEvent event;
+    event.kind = ShiftEvent::Kind::kPoint;
+    event.start_interval =
+        static_cast<int64_t>(rng.UniformInt(
+            static_cast<uint64_t>(config.num_intervals())));
+    event.duration = 1 + static_cast<int64_t>(rng.UniformInt(3));
+    event.magnitude = rng.Uniform(0.4, 1.2);
+    event.region =
+        Region{.h = static_cast<int64_t>(rng.UniformInt(
+                   static_cast<uint64_t>(config.grid.height))),
+               .w = static_cast<int64_t>(rng.UniformInt(
+                   static_cast<uint64_t>(config.grid.width)))};
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace
+
+CityConfig MakeCityConfig(DatasetId id, const BenchScale& scale,
+                          uint64_t seed) {
+  const PresetParams params = ParamsFor(id);
+  CityConfig config;
+  config.intervals_per_day = 48;
+  config.start_weekday = params.start_weekday;
+
+  if (scale.name == "paper") {
+    config.grid = params.paper_grid;
+    config.days = params.paper_days;
+  } else {
+    config.grid = params.default_grid;
+    config.days = params.default_days;
+  }
+  // Explicit overrides win (the smoke scale sets 4×4 × 32 days).
+  if (scale.grid_h > 0 && scale.grid_w > 0) {
+    config.grid = GridSpec{.height = scale.grid_h, .width = scale.grid_w};
+  }
+  if (scale.days > 0) config.days = scale.days;
+
+  config.trips_per_interval =
+      params.trips_per_region * static_cast<double>(config.grid.num_regions());
+  config.commute_amplitude = params.commute_amplitude;
+  config.leisure_amplitude = params.leisure_amplitude;
+  config.night_level = params.night_level;
+  config.num_business_centers = params.num_business_centers;
+  config.daily_wobble_sigma = params.daily_wobble;
+
+  // Mix the dataset id into the seed so the three cities differ even under
+  // one bench seed.
+  Rng schedule_rng(seed * 1000003ULL + static_cast<uint64_t>(id) * 97ULL + 13);
+  config.shifts = MakeShiftSchedule(params, config, schedule_rng);
+  return config;
+}
+
+FlowSeries GenerateDatasetFlows(DatasetId id, const BenchScale& scale,
+                                uint64_t seed) {
+  const CityConfig config = MakeCityConfig(id, scale, seed);
+  City city(config, seed * 7919ULL + static_cast<uint64_t>(id) + 1);
+  return city.Simulate().flows;
+}
+
+}  // namespace musenet::sim

@@ -1,0 +1,43 @@
+#ifndef MUSENET_SIM_PRESETS_H_
+#define MUSENET_SIM_PRESETS_H_
+
+#include <string>
+
+#include "sim/city.h"
+#include "util/bench_config.h"
+
+namespace musenet::sim {
+
+/// The three benchmark datasets of the paper's evaluation, reproduced as
+/// simulator presets with matching grid geometry, calendar and qualitative
+/// demand structure (volumes, commute strength, shift frequency).
+enum class DatasetId {
+  kNycBike,  ///< 10×20 grid, 60 days from Fri 07/01/2016, low volume.
+  kNycTaxi,  ///< 10×20 grid, 60 days from Thu 01/01/2015, high volume.
+  kTaxiBj,   ///< 32×32 grid, long span, very high volume.
+};
+
+/// "NYC-Bike" / "NYC-Taxi" / "TaxiBJ".
+std::string DatasetName(DatasetId id);
+
+/// All three datasets, in the paper's column order.
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::kNycBike, DatasetId::kNycTaxi, DatasetId::kTaxiBj};
+
+/// Builds the city configuration for a dataset at the requested bench scale:
+/// "paper" keeps the paper geometry, "default" shrinks the grid/span to the
+/// calibrated single-core reproduction size, "smoke" is minimal. Explicit
+/// grid/day overrides in `scale` win over the preset.
+///
+/// The returned config includes a seeded schedule of level- and point-shift
+/// events (distribution-shift phenomena, paper Fig. 1).
+CityConfig MakeCityConfig(DatasetId id, const BenchScale& scale,
+                          uint64_t seed);
+
+/// Simulates the dataset and returns its flow series.
+FlowSeries GenerateDatasetFlows(DatasetId id, const BenchScale& scale,
+                                uint64_t seed);
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_PRESETS_H_

@@ -1,0 +1,33 @@
+#include "sim/rasterize.h"
+
+#include "util/check.h"
+
+namespace musenet::sim {
+
+void RasterizeTrajectory(const Trajectory& trajectory, FlowSeries* flows) {
+  MUSE_CHECK(flows != nullptr);
+  [[maybe_unused]] const GridSpec& grid = flows->grid();  // DCHECK-only use.
+  for (size_t i = 1; i < trajectory.points.size(); ++i) {
+    const TrajectoryPoint& prev = trajectory.points[i - 1];
+    const TrajectoryPoint& curr = trajectory.points[i];
+    MUSE_DCHECK(curr.interval == prev.interval + 1);
+    if (curr.interval < 0 || curr.interval >= flows->num_intervals()) continue;
+    if (prev.region == curr.region) continue;
+    MUSE_DCHECK(grid.Contains(prev.region.h, prev.region.w));
+    MUSE_DCHECK(grid.Contains(curr.region.h, curr.region.w));
+    // Left prev.region: its outflow at interval i increments (Eq. 1).
+    flows->at(curr.interval, kOutflow, prev.region.h, prev.region.w) += 1.0f;
+    // Entered curr.region: its inflow at interval i increments (Eq. 2).
+    flows->at(curr.interval, kInflow, curr.region.h, curr.region.w) += 1.0f;
+  }
+}
+
+FlowSeries RasterizeTrajectories(const std::vector<Trajectory>& trajectories,
+                                 GridSpec grid, int intervals_per_day,
+                                 int start_weekday, int64_t num_intervals) {
+  FlowSeries flows(grid, intervals_per_day, start_weekday, num_intervals);
+  for (const Trajectory& t : trajectories) RasterizeTrajectory(t, &flows);
+  return flows;
+}
+
+}  // namespace musenet::sim

@@ -1,0 +1,25 @@
+#ifndef MUSENET_SIM_RASTERIZE_H_
+#define MUSENET_SIM_RASTERIZE_H_
+
+#include <vector>
+
+#include "sim/flow_series.h"
+#include "sim/trajectory.h"
+
+namespace musenet::sim {
+
+/// Accumulates one trajectory into `flows` following exactly the paper's
+/// Eqs. (1)–(2): for every pair of consecutive points (u_{i−1}, u_i) with
+/// u_{i−1} in region r and u_i outside it, region r's *outflow* at interval i
+/// increments; symmetrically the entered region's *inflow* increments.
+/// Points outside [0, flows->num_intervals()) are ignored.
+void RasterizeTrajectory(const Trajectory& trajectory, FlowSeries* flows);
+
+/// Rasterizes a batch of trajectories into a fresh series.
+FlowSeries RasterizeTrajectories(const std::vector<Trajectory>& trajectories,
+                                 GridSpec grid, int intervals_per_day,
+                                 int start_weekday, int64_t num_intervals);
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_RASTERIZE_H_

@@ -1,0 +1,62 @@
+#include "sim/serialize.h"
+
+#include <map>
+
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace musenet::sim {
+
+namespace ts = musenet::tensor;
+
+Status SaveFlowSeries(const std::string& path, const FlowSeries& flows) {
+  const GridSpec& grid = flows.grid();
+  ts::Tensor data(
+      ts::Shape({flows.num_intervals(), 2, grid.height, grid.width}),
+      flows.storage());
+  ts::Tensor meta = ts::Tensor::FromVector(
+      {static_cast<float>(flows.intervals_per_day()),
+       static_cast<float>(flows.start_weekday())});
+  std::map<std::string, ts::Tensor> blob;
+  blob.emplace("flows", std::move(data));
+  blob.emplace("meta", std::move(meta));
+  return ts::SaveTensors(path, blob);
+}
+
+Result<FlowSeries> LoadFlowSeries(const std::string& path) {
+  MUSE_ASSIGN_OR_RETURN(auto blob, ts::LoadTensors(path));
+  auto flows_it = blob.find("flows");
+  auto meta_it = blob.find("meta");
+  if (flows_it == blob.end() || meta_it == blob.end()) {
+    return Status::IoError(path + ": missing flows/meta records");
+  }
+  const ts::Tensor& data = flows_it->second;
+  if (data.rank() != 4 || data.dim(1) != 2) {
+    return Status::IoError(path + ": flows record has wrong shape " +
+                           data.shape().ToString());
+  }
+  const ts::Tensor& meta = meta_it->second;
+  if (meta.num_elements() != 2) {
+    return Status::IoError(path + ": bad metadata record");
+  }
+  const int intervals_per_day = static_cast<int>(meta.flat(0));
+  const int start_weekday = static_cast<int>(meta.flat(1));
+  if (intervals_per_day <= 0 || start_weekday < 0 || start_weekday > 6) {
+    return Status::IoError(path + ": metadata out of range");
+  }
+
+  FlowSeries flows(GridSpec{data.dim(2), data.dim(3)}, intervals_per_day,
+                   start_weekday, data.dim(0));
+  for (int64_t t = 0; t < data.dim(0); ++t) {
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < data.dim(2); ++h) {
+        for (int64_t w = 0; w < data.dim(3); ++w) {
+          flows.at(t, flow, h, w) = data.at({t, flow, h, w});
+        }
+      }
+    }
+  }
+  return flows;
+}
+
+}  // namespace musenet::sim

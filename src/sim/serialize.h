@@ -1,0 +1,21 @@
+#ifndef MUSENET_SIM_SERIALIZE_H_
+#define MUSENET_SIM_SERIALIZE_H_
+
+#include <string>
+
+#include "sim/flow_series.h"
+#include "util/status.h"
+
+namespace musenet::sim {
+
+/// Persists a FlowSeries to disk (tensor-container format: the [T,2,H,W]
+/// data plus a metadata record), so simulated datasets can be generated
+/// once and shared between tools.
+Status SaveFlowSeries(const std::string& path, const FlowSeries& flows);
+
+/// Loads a FlowSeries written by SaveFlowSeries.
+Result<FlowSeries> LoadFlowSeries(const std::string& path);
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_SERIALIZE_H_

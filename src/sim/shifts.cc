@@ -1,0 +1,16 @@
+#include "sim/shifts.h"
+
+namespace musenet::sim {
+
+double LevelMultiplierAt(const std::vector<ShiftEvent>& events,
+                         int64_t interval) {
+  double multiplier = 1.0;
+  for (const ShiftEvent& event : events) {
+    if (event.kind == ShiftEvent::Kind::kLevel && event.Covers(interval)) {
+      multiplier *= event.magnitude;
+    }
+  }
+  return multiplier;
+}
+
+}  // namespace musenet::sim

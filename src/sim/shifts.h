@@ -1,0 +1,40 @@
+#ifndef MUSENET_SIM_SHIFTS_H_
+#define MUSENET_SIM_SHIFTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/grid.h"
+
+namespace musenet::sim {
+
+/// External-factor events that perturb travel demand, producing the two
+/// distribution-shift phenomena of the paper's Fig. 1:
+///   - kLevel: a sustained multiplicative change of city-wide demand
+///     (weather, holidays) → "level shift" between sub-series.
+///   - kPoint: a short, localized burst of trips from one region
+///     (incidents, stadium events) → outliers, the "point shift".
+struct ShiftEvent {
+  enum class Kind { kLevel, kPoint };
+
+  Kind kind = Kind::kLevel;
+  int64_t start_interval = 0;
+  int64_t duration = 1;  ///< In intervals.
+  /// kLevel: demand multiplier (0.4 = heavy rain). kPoint: burst size as a
+  /// multiple of the per-interval base trip rate, emitted from `region`.
+  double magnitude = 1.0;
+  Region region;  ///< kPoint only.
+
+  bool Covers(int64_t interval) const {
+    return interval >= start_interval &&
+           interval < start_interval + duration;
+  }
+};
+
+/// Product of all level-event multipliers covering `interval`.
+double LevelMultiplierAt(const std::vector<ShiftEvent>& events,
+                         int64_t interval);
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_SHIFTS_H_

@@ -1,0 +1,26 @@
+#ifndef MUSENET_SIM_TRAJECTORY_H_
+#define MUSENET_SIM_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/grid.h"
+
+namespace musenet::sim {
+
+/// One sampled position of a moving object: where it is at the start of a
+/// time interval.
+struct TrajectoryPoint {
+  int64_t interval = 0;
+  Region region;
+};
+
+/// A trajectory M_r : u_1 → u_2 → … (paper Definition 2): consecutive
+/// region-resolution positions, one per time interval.
+struct Trajectory {
+  std::vector<TrajectoryPoint> points;
+};
+
+}  // namespace musenet::sim
+
+#endif  // MUSENET_SIM_TRAJECTORY_H_

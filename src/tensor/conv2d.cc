@@ -1,0 +1,169 @@
+#include "tensor/conv2d.h"
+
+#include "util/check.h"
+
+namespace musenet::tensor {
+
+int64_t Conv2dOutputDim(int64_t in, int64_t kernel, const Conv2dSpec& spec) {
+  const int64_t padded = in + 2 * spec.pad;
+  MUSE_CHECK_GE(padded, kernel);
+  return (padded - kernel) / spec.stride + 1;
+}
+
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Conv2dSpec& spec) {
+  MUSE_CHECK_EQ(input.rank(), 4);
+  MUSE_CHECK_EQ(weight.rank(), 4);
+  MUSE_CHECK_EQ(input.dim(1), weight.dim(1))
+      << "input channels vs weight channels";
+  MUSE_CHECK_GE(spec.stride, 1);
+  MUSE_CHECK_GE(spec.pad, 0);
+
+  const int64_t batch = input.dim(0);
+  const int64_t cin = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t cout = weight.dim(0);
+  const int64_t kh = weight.dim(2);
+  const int64_t kw = weight.dim(3);
+  const int64_t oh = Conv2dOutputDim(h, kh, spec);
+  const int64_t ow = Conv2dOutputDim(w, kw, spec);
+
+  Tensor out(Shape({batch, cout, oh, ow}));
+  const float* pin = input.data();
+  const float* pw = weight.data();
+  float* po = out.mutable_data();
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* out_plane = po + (b * cout + co) * oh * ow;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* in_plane = pin + (b * cin + ci) * h * w;
+        const float* w_plane = pw + (co * cin + ci) * kh * kw;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const float wval = w_plane[ky * kw + kx];
+            if (wval == 0.0f) continue;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              const int64_t iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              const float* in_row = in_plane + iy * w;
+              float* out_row = out_plane + oy * ow;
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= w) continue;
+                out_row[ox] += wval * in_row[ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
+                           const Shape& input_shape, const Conv2dSpec& spec) {
+  MUSE_CHECK_EQ(grad_out.rank(), 4);
+  MUSE_CHECK_EQ(input_shape.rank(), 4);
+  const int64_t batch = input_shape.dim(0);
+  const int64_t cin = input_shape.dim(1);
+  const int64_t h = input_shape.dim(2);
+  const int64_t w = input_shape.dim(3);
+  const int64_t cout = weight.dim(0);
+  const int64_t kh = weight.dim(2);
+  const int64_t kw = weight.dim(3);
+  const int64_t oh = grad_out.dim(2);
+  const int64_t ow = grad_out.dim(3);
+  MUSE_CHECK_EQ(grad_out.dim(0), batch);
+  MUSE_CHECK_EQ(grad_out.dim(1), cout);
+  MUSE_CHECK_EQ(weight.dim(1), cin);
+
+  Tensor grad_in(input_shape);
+  const float* pg = grad_out.data();
+  const float* pw = weight.data();
+  float* pi = grad_in.mutable_data();
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* g_plane = pg + (b * cout + co) * oh * ow;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        float* in_plane = pi + (b * cin + ci) * h * w;
+        const float* w_plane = pw + (co * cin + ci) * kh * kw;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const float wval = w_plane[ky * kw + kx];
+            if (wval == 0.0f) continue;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              const int64_t iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              const float* g_row = g_plane + oy * ow;
+              float* in_row = in_plane + iy * w;
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= w) continue;
+                in_row[ix] += wval * g_row[ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
+                            const Shape& weight_shape,
+                            const Conv2dSpec& spec) {
+  MUSE_CHECK_EQ(grad_out.rank(), 4);
+  MUSE_CHECK_EQ(input.rank(), 4);
+  const int64_t batch = input.dim(0);
+  const int64_t cin = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t cout = weight_shape.dim(0);
+  const int64_t kh = weight_shape.dim(2);
+  const int64_t kw = weight_shape.dim(3);
+  const int64_t oh = grad_out.dim(2);
+  const int64_t ow = grad_out.dim(3);
+  MUSE_CHECK_EQ(grad_out.dim(0), batch);
+  MUSE_CHECK_EQ(grad_out.dim(1), cout);
+  MUSE_CHECK_EQ(weight_shape.dim(1), cin);
+
+  Tensor grad_w(weight_shape);
+  const float* pg = grad_out.data();
+  const float* pin = input.data();
+  float* pw = grad_w.mutable_data();
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* g_plane = pg + (b * cout + co) * oh * ow;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* in_plane = pin + (b * cin + ci) * h * w;
+        float* w_plane = pw + (co * cin + ci) * kh * kw;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            double acc = 0.0;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              const int64_t iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              const float* g_row = g_plane + oy * ow;
+              const float* in_row = in_plane + iy * w;
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(g_row[ox]) * in_row[ix];
+              }
+            }
+            w_plane[ky * kw + kx] += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+  return grad_w;
+}
+
+}  // namespace musenet::tensor

@@ -1,0 +1,36 @@
+#ifndef MUSENET_TENSOR_CONV2D_H_
+#define MUSENET_TENSOR_CONV2D_H_
+
+#include "tensor/tensor.h"
+
+namespace musenet::tensor {
+
+/// Hyper-parameters of a 2-D convolution. Only square stride/padding are
+/// needed by the models in this library.
+struct Conv2dSpec {
+  int64_t stride = 1;
+  int64_t pad = 0;  ///< Symmetric zero padding on both spatial sides.
+};
+
+/// Output spatial size for one dimension: (in + 2·pad − k) / stride + 1.
+int64_t Conv2dOutputDim(int64_t in, int64_t kernel, const Conv2dSpec& spec);
+
+/// Direct 2-D convolution (cross-correlation, as in deep-learning usage).
+///
+/// input  [B, Cin, H, W], weight [Cout, Cin, kh, kw] →
+/// output [B, Cout, H', W'] with H' = Conv2dOutputDim(H, kh, spec).
+/// Bias is intentionally not fused; add it at the autograd layer.
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Conv2dSpec& spec);
+
+/// Gradient w.r.t. the input: the adjoint of Conv2dForward.
+Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
+                           const Shape& input_shape, const Conv2dSpec& spec);
+
+/// Gradient w.r.t. the weight.
+Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
+                            const Shape& weight_shape, const Conv2dSpec& spec);
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_CONV2D_H_

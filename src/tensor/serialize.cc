@@ -1,0 +1,89 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace musenet::tensor {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'S', 'E', 'T', 'N', 'S', 'R'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveTensors(const std::string& path,
+                   const std::map<std::string, Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    WritePod(out, static_cast<uint64_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WritePod(out, static_cast<uint32_t>(t.rank()));
+    for (int i = 0; i < t.rank(); ++i) WritePod(out, t.dim(i));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.num_elements() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("failed while writing " + path);
+  return Status::OK();
+}
+
+Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path + " for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(path + ": bad magic");
+  }
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::IoError(path + ": unsupported version");
+  }
+  if (!ReadPod(in, &count)) return Status::IoError(path + ": truncated");
+
+  std::map<std::string, Tensor> tensors;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > (1u << 20)) {
+      return Status::IoError(path + ": bad name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint32_t rank = 0;
+    if (!in || !ReadPod(in, &rank) || rank > 16) {
+      return Status::IoError(path + ": bad rank");
+    }
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(in, &dims[d]) || dims[d] <= 0) {
+        return Status::IoError(path + ": bad dimension");
+      }
+    }
+    Shape shape(std::move(dims));
+    std::vector<float> data(static_cast<size_t>(shape.num_elements()));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) return Status::IoError(path + ": truncated tensor data");
+    tensors.emplace(std::move(name), Tensor(std::move(shape), std::move(data)));
+  }
+  return tensors;
+}
+
+}  // namespace musenet::tensor

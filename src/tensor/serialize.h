@@ -1,0 +1,24 @@
+#ifndef MUSENET_TENSOR_SERIALIZE_H_
+#define MUSENET_TENSOR_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace musenet::tensor {
+
+/// Writes named tensors to a little-endian binary container:
+///   magic "MUSETNSR", u32 version, u64 count, then per tensor:
+///   u64 name_len, name bytes, u32 rank, i64 dims..., f32 data...
+/// Used for model checkpoints and dataset caching.
+Status SaveTensors(const std::string& path,
+                   const std::map<std::string, Tensor>& tensors);
+
+/// Reads a container written by SaveTensors.
+Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path);
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_SERIALIZE_H_

@@ -1,0 +1,90 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace musenet::tensor {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) MUSE_CHECK_GT(d, 0) << "in shape " << ToString();
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) MUSE_CHECK_GT(d, 0) << "in shape " << ToString();
+}
+
+int64_t Shape::dim(int axis) const {
+  MUSE_CHECK_GE(axis, 0);
+  MUSE_CHECK_LT(axis, rank());
+  return dims_[axis];
+}
+
+int64_t Shape::num_elements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size(), 1);
+  for (int axis = rank() - 2; axis >= 0; --axis) {
+    strides[axis] = strides[axis + 1] * dims_[axis + 1];
+  }
+  return strides;
+}
+
+int64_t Shape::FlatIndex(const std::vector<int64_t>& index) const {
+  MUSE_CHECK_EQ(index.size(), dims_.size());
+  int64_t flat = 0;
+  for (int axis = 0; axis < rank(); ++axis) {
+    MUSE_DCHECK(index[axis] >= 0 && index[axis] < dims_[axis]);
+    flat = flat * dims_[axis] + index[axis];
+  }
+  return flat;
+}
+
+std::vector<int64_t> Shape::MultiIndex(int64_t flat) const {
+  MUSE_DCHECK(flat >= 0 && flat < num_elements());
+  std::vector<int64_t> index(dims_.size(), 0);
+  for (int axis = rank() - 1; axis >= 0; --axis) {
+    index[axis] = flat % dims_[axis];
+    flat /= dims_[axis];
+  }
+  return index;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+bool Shape::BroadcastCompatible(const Shape& a, const Shape& b) {
+  const int rank = std::max(a.rank(), b.rank());
+  for (int i = 0; i < rank; ++i) {
+    const int64_t da = i < a.rank() ? a.dims_[a.rank() - 1 - i] : 1;
+    const int64_t db = i < b.rank() ? b.dims_[b.rank() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape Shape::BroadcastResult(const Shape& a, const Shape& b) {
+  MUSE_CHECK(BroadcastCompatible(a, b))
+      << "cannot broadcast " << a.ToString() << " with " << b.ToString();
+  const int rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(rank, 1);
+  for (int i = 0; i < rank; ++i) {
+    const int64_t da = i < a.rank() ? a.dims_[a.rank() - 1 - i] : 1;
+    const int64_t db = i < b.rank() ? b.dims_[b.rank() - 1 - i] : 1;
+    dims[rank - 1 - i] = std::max(da, db);
+  }
+  return Shape(std::move(dims));
+}
+
+}  // namespace musenet::tensor

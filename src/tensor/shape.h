@@ -1,0 +1,60 @@
+#ifndef MUSENET_TENSOR_SHAPE_H_
+#define MUSENET_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace musenet::tensor {
+
+/// Dimension sizes of a dense row-major tensor.
+///
+/// A rank-0 shape (no dimensions) denotes a scalar with one element. All
+/// dimensions must be strictly positive; shape arithmetic is validated with
+/// MUSE_CHECK because shape bugs are programming errors, not runtime inputs.
+class Shape {
+ public:
+  /// Scalar shape.
+  Shape() = default;
+
+  /// Shape from explicit dimensions, e.g. `Shape({2, 3, 4})`.
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int axis) const;
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Product of all dimensions (1 for scalars).
+  int64_t num_elements() const;
+
+  /// Row-major strides in elements (innermost dimension has stride 1).
+  std::vector<int64_t> Strides() const;
+
+  /// Flat row-major offset of a multi-index. Requires matching rank and
+  /// in-range indices (debug-checked).
+  int64_t FlatIndex(const std::vector<int64_t>& index) const;
+
+  /// Inverse of FlatIndex.
+  std::vector<int64_t> MultiIndex(int64_t flat) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  /// "[2, 3, 4]" (or "[]" for scalars).
+  std::string ToString() const;
+
+  /// NumPy-style broadcast of two shapes: dimensions are aligned from the
+  /// trailing side; each pair must be equal or contain a 1.
+  /// Returns an error for incompatible shapes.
+  static bool BroadcastCompatible(const Shape& a, const Shape& b);
+  static Shape BroadcastResult(const Shape& a, const Shape& b);
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_SHAPE_H_

@@ -1,0 +1,107 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace musenet::tensor {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  MUSE_CHECK_EQ(static_cast<int64_t>(data_.size()), shape_.num_elements())
+      << "data size does not match shape " << shape_.ToString();
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = value;
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  Shape shape({static_cast<int64_t>(values.size())});
+  return Tensor(std::move(shape), std::move(values));
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  MUSE_CHECK_GT(n, 0);
+  Tensor t(Shape({n}));
+  for (int64_t i = 0; i < n; ++i) t.data_[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Normal(mean, stddev));
+  return t;
+}
+
+float Tensor::flat(int64_t i) const {
+  MUSE_DCHECK(i >= 0 && i < num_elements());
+  return data_[static_cast<size_t>(i)];
+}
+
+float& Tensor::flat(int64_t i) {
+  MUSE_DCHECK(i >= 0 && i < num_elements());
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return data_[static_cast<size_t>(
+      shape_.FlatIndex(std::vector<int64_t>(index)))];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> index) {
+  return data_[static_cast<size_t>(
+      shape_.FlatIndex(std::vector<int64_t>(index)))];
+}
+
+float Tensor::scalar() const {
+  MUSE_CHECK_EQ(num_elements(), 1)
+      << "scalar() on tensor of shape " << shape_.ToString();
+  return data_[0];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  MUSE_CHECK_EQ(new_shape.num_elements(), shape_.num_elements())
+      << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  return Tensor(std::move(new_shape), data_);
+}
+
+bool Tensor::AllClose(const Tensor& other, float rtol, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const float a = data_[i];
+    const float b = other.data_[i];
+    if (std::isnan(a) || std::isnan(b)) return false;
+    if (std::fabs(a - b) > atol + rtol * std::fabs(b)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::string out = "Tensor" + shape_.ToString() + " {";
+  const int64_t n = std::min<int64_t>(num_elements(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(data_[static_cast<size_t>(i)], 4);
+  }
+  if (n < num_elements()) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace musenet::tensor

@@ -1,0 +1,96 @@
+#ifndef MUSENET_TENSOR_TENSOR_H_
+#define MUSENET_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace musenet::tensor {
+
+/// Dense row-major float32 N-dimensional array.
+///
+/// Value semantics: copies are deep, moves are O(1). Every operation in
+/// `tensor_ops.h` allocates a fresh output; views are intentionally absent —
+/// slicing materializes — which keeps aliasing out of the autograd layer at
+/// the cost of some copies (acceptable at the model sizes this library
+/// targets).
+class Tensor {
+ public:
+  /// Scalar zero tensor.
+  Tensor() : shape_(), data_(1, 0.0f) {}
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+
+  /// Tensor with explicit contents; `data.size()` must match the shape.
+  Tensor(Shape shape, std::vector<float> data);
+
+  // --- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+  static Tensor Full(Shape shape, float value);
+  /// Rank-0 scalar.
+  static Tensor Scalar(float value);
+  /// 1-D tensor from a list: `Tensor::FromVector({1, 2, 3})`.
+  static Tensor FromVector(std::vector<float> values);
+  /// Values 0, 1, ..., n-1 as a 1-D tensor.
+  static Tensor Arange(int64_t n);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor RandomUniform(Shape shape, Rng& rng, float lo = 0.0f,
+                              float hi = 1.0f);
+  /// I.i.d. N(mean, stddev²) entries.
+  static Tensor RandomNormal(Shape shape, Rng& rng, float mean = 0.0f,
+                             float stddev = 1.0f);
+
+  // --- Accessors -----------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  int rank() const { return shape_.rank(); }
+  int64_t dim(int axis) const { return shape_.dim(axis); }
+  int64_t num_elements() const { return shape_.num_elements(); }
+
+  const float* data() const { return data_.data(); }
+  float* mutable_data() { return data_.data(); }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Flat element access (row-major).
+  float flat(int64_t i) const;
+  float& flat(int64_t i);
+
+  /// Multi-index element access, e.g. `t.at({b, c, h, w})`.
+  float at(std::initializer_list<int64_t> index) const;
+  float& at(std::initializer_list<int64_t> index);
+
+  /// Value of a rank-0 or single-element tensor.
+  float scalar() const;
+
+  // --- Shape manipulation (metadata only; element order preserved) ---------
+
+  /// Returns a tensor with the same elements and a new shape of equal size.
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Collapses to rank-1.
+  Tensor Flatten() const { return Reshape(Shape({num_elements()})); }
+
+  /// True when shapes match and all elements are within `atol` + `rtol`·|b|.
+  bool AllClose(const Tensor& other, float rtol = 1e-5f,
+                float atol = 1e-6f) const;
+
+  /// Human-readable preview: shape plus up to `max_elements` values.
+  std::string ToString(int64_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_TENSOR_H_

@@ -1,0 +1,530 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace musenet::tensor {
+
+namespace {
+
+/// Strides for reading an operand of shape `s` as if it had the broadcast
+/// result shape `out` (rank-aligned from the right); broadcast axes get
+/// stride 0 so the same element is re-read.
+std::vector<int64_t> BroadcastStrides(const Shape& s, const Shape& out) {
+  std::vector<int64_t> strides(out.rank(), 0);
+  const std::vector<int64_t> own = s.Strides();
+  const int offset = out.rank() - s.rank();
+  for (int axis = 0; axis < s.rank(); ++axis) {
+    strides[offset + axis] = s.dim(axis) == 1 ? 0 : own[axis];
+  }
+  return strides;
+}
+
+template <typename Fn>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.mutable_data();
+    const int64_t n = a.num_elements();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  // Fast path: scalar operand.
+  if (b.num_elements() == 1) {
+    Tensor out(a.shape());
+    const float s = b.flat(0);
+    const float* pa = a.data();
+    float* po = out.mutable_data();
+    const int64_t n = a.num_elements();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], s);
+    return out;
+  }
+  if (a.num_elements() == 1) {
+    Tensor out(b.shape());
+    const float s = a.flat(0);
+    const float* pb = b.data();
+    float* po = out.mutable_data();
+    const int64_t n = b.num_elements();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(s, pb[i]);
+    return out;
+  }
+
+  const Shape out_shape = Shape::BroadcastResult(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
+  const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+  const int rank = out_shape.rank();
+  std::vector<int64_t> index(rank, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  const int64_t n = out_shape.num_elements();
+  int64_t offset_a = 0;
+  int64_t offset_b = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = fn(pa[offset_a], pb[offset_b]);
+    // Odometer increment over the output multi-index.
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      ++index[axis];
+      offset_a += sa[axis];
+      offset_b += sb[axis];
+      if (index[axis] < out_shape.dim(axis)) break;
+      index[axis] = 0;
+      offset_a -= sa[axis] * out_shape.dim(axis);
+      offset_b -= sb[axis] * out_shape.dim(axis);
+    }
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor Unary(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x + s; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return Unary(a, [](float x) { return -x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return Unary(a, [](float x) { return std::log(x); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Unary(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return Unary(a, [alpha](float x) { return x > 0.0f ? x : alpha * x; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(a, [](float x) {
+    // Stable in both tails.
+    if (x >= 0.0f) {
+      const float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+
+Tensor Softplus(const Tensor& a) {
+  return Unary(a, [](float x) {
+    // log(1+e^x) = max(x,0) + log1p(e^{-|x|}).
+    return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+  });
+}
+
+Tensor Abs(const Tensor& a) {
+  return Unary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor Square(const Tensor& a) {
+  return Unary(a, [](float x) { return x * x; });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  MUSE_CHECK_LE(lo, hi);
+  return Unary(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+
+Tensor SumAll(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.data();
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) total += pa[i];
+  return Tensor::Scalar(static_cast<float>(total));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  return Tensor::Scalar(SumAll(a).scalar() /
+                        static_cast<float>(a.num_elements()));
+}
+
+float MaxValue(const Tensor& a) {
+  const float* pa = a.data();
+  float best = pa[0];
+  const int64_t n = a.num_elements();
+  for (int64_t i = 1; i < n; ++i) best = std::max(best, pa[i]);
+  return best;
+}
+
+float MinValue(const Tensor& a) {
+  const float* pa = a.data();
+  float best = pa[0];
+  const int64_t n = a.num_elements();
+  for (int64_t i = 1; i < n; ++i) best = std::min(best, pa[i]);
+  return best;
+}
+
+Tensor Sum(const Tensor& a, int axis, bool keepdims) {
+  MUSE_CHECK_GE(axis, 0);
+  MUSE_CHECK_LT(axis, a.rank());
+  // Decompose the index space as outer × axis × inner.
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= a.dim(i);
+  const int64_t mid = a.dim(axis);
+  int64_t inner = 1;
+  for (int i = axis + 1; i < a.rank(); ++i) inner *= a.dim(i);
+
+  std::vector<int64_t> out_dims;
+  for (int i = 0; i < a.rank(); ++i) {
+    if (i == axis) {
+      if (keepdims) out_dims.push_back(1);
+    } else {
+      out_dims.push_back(a.dim(i));
+    }
+  }
+  Tensor out(Shape(std::move(out_dims)));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      double total = 0.0;
+      for (int64_t m = 0; m < mid; ++m) {
+        total += pa[(o * mid + m) * inner + in];
+      }
+      po[o * inner + in] = static_cast<float>(total);
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int axis, bool keepdims) {
+  return MulScalar(Sum(a, axis, keepdims),
+                   1.0f / static_cast<float>(a.dim(axis)));
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  MUSE_CHECK(Shape::BroadcastCompatible(t.shape(), target))
+      << t.shape().ToString() << " vs " << target.ToString();
+  Tensor current = t;
+  // Collapse leading extra axes.
+  while (current.rank() > target.rank()) {
+    current = Sum(current, 0, /*keepdims=*/false);
+  }
+  // Sum axes where the target kept size 1.
+  for (int axis = 0; axis < target.rank(); ++axis) {
+    if (target.dim(axis) == 1 && current.dim(axis) != 1) {
+      current = Sum(current, axis, /*keepdims=*/true);
+    }
+  }
+  MUSE_CHECK(current.shape() == target)
+      << "reduced to " << current.shape().ToString() << ", wanted "
+      << target.ToString();
+  return current;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 2);
+  MUSE_CHECK_EQ(b.rank(), 2);
+  MUSE_CHECK_EQ(a.dim(1), b.dim(0))
+      << a.shape().ToString() << " x " << b.shape().ToString();
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  Tensor out(Shape({m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  // i-k-j loop order: streams through b and out row-wise (cache friendly,
+  // auto-vectorizable inner loop).
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      if (aval == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += aval * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulBatched(const Tensor& a, const Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 3);
+  MUSE_CHECK_EQ(b.rank(), 3);
+  MUSE_CHECK_EQ(a.dim(0), b.dim(0));
+  MUSE_CHECK_EQ(a.dim(2), b.dim(1));
+  const int64_t batch = a.dim(0);
+  const int64_t m = a.dim(1);
+  const int64_t k = a.dim(2);
+  const int64_t n = b.dim(2);
+  Tensor out(Shape({batch, m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* ba = pa + bi * m * k;
+    const float* bb = pb + bi * k * n;
+    float* bo = po + bi * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aval = ba[i * k + kk];
+        if (aval == 0.0f) continue;
+        const float* b_row = bb + kk * n;
+        float* out_row = bo + i * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += aval * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  MUSE_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out(Shape({n, m}));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  MUSE_CHECK_EQ(a.rank(), 3);
+  const int64_t batch = a.dim(0);
+  const int64_t m = a.dim(1);
+  const int64_t n = a.dim(2);
+  Tensor out(Shape({batch, n, m}));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* src = pa + b * m * n;
+    float* dst = po + b * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) dst[j * m + i] = src[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxLastAxis(const Tensor& a) {
+  MUSE_CHECK_GE(a.rank(), 1);
+  const int64_t n = a.dim(a.rank() - 1);
+  const int64_t rows = a.num_elements() / n;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * n;
+    float* dst = po + r * n;
+    float max_val = row[0];
+    for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
+    double total = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      dst[j] = std::exp(row[j] - max_val);
+      total += dst[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t j = 0; j < n; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  MUSE_CHECK(!parts.empty());
+  const Shape& first = parts[0].shape();
+  MUSE_CHECK_GE(axis, 0);
+  MUSE_CHECK_LT(axis, first.rank());
+  int64_t axis_total = 0;
+  for (const Tensor& p : parts) {
+    MUSE_CHECK_EQ(p.rank(), first.rank());
+    for (int i = 0; i < first.rank(); ++i) {
+      if (i != axis) {
+        MUSE_CHECK_EQ(p.dim(i), first.dim(i))
+            << "Concat mismatch on axis " << i;
+      }
+    }
+    axis_total += p.dim(axis);
+  }
+  std::vector<int64_t> out_dims = first.dims();
+  out_dims[axis] = axis_total;
+  Tensor out(Shape(std::move(out_dims)));
+
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= first.dim(i);
+  int64_t inner = 1;
+  for (int i = axis + 1; i < first.rank(); ++i) inner *= first.dim(i);
+
+  float* po = out.mutable_data();
+  const int64_t out_axis_stride = axis_total * inner;
+  int64_t axis_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t mid = p.dim(axis);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(pp + o * mid * inner, pp + (o + 1) * mid * inner,
+                po + o * out_axis_stride + axis_offset * inner);
+    }
+    axis_offset += mid;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len) {
+  MUSE_CHECK_GE(axis, 0);
+  MUSE_CHECK_LT(axis, a.rank());
+  MUSE_CHECK_GE(start, 0);
+  MUSE_CHECK_GT(len, 0);
+  MUSE_CHECK_LE(start + len, a.dim(axis));
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[axis] = len;
+  Tensor out(Shape(std::move(out_dims)));
+
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= a.dim(i);
+  int64_t inner = 1;
+  for (int i = axis + 1; i < a.rank(); ++i) inner *= a.dim(i);
+  const int64_t mid = a.dim(axis);
+
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(pa + (o * mid + start) * inner,
+              pa + (o * mid + start + len) * inner, po + o * len * inner);
+  }
+  return out;
+}
+
+Tensor BroadcastTo(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  return Add(a, Tensor::Zeros(target));
+}
+
+namespace {
+
+/// Shared window-walk for the 2-D poolers.
+template <typename Fn>
+void ForEachWindow(const Tensor& a, int64_t window, Fn fn) {
+  MUSE_CHECK_EQ(a.rank(), 4);
+  MUSE_CHECK_GT(window, 0);
+  const int64_t h = a.dim(2);
+  const int64_t w = a.dim(3);
+  MUSE_CHECK_EQ(h % window, 0) << "H not divisible by pooling window";
+  MUSE_CHECK_EQ(w % window, 0) << "W not divisible by pooling window";
+  const int64_t planes = a.dim(0) * a.dim(1);
+  const int64_t oh = h / window;
+  const int64_t ow = w / window;
+  for (int64_t p = 0; p < planes; ++p) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        fn(p, oy, ox);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor AvgPool2d(const Tensor& a, int64_t window) {
+  const int64_t h = a.dim(2);
+  const int64_t w = a.dim(3);
+  Tensor out(Shape({a.dim(0), a.dim(1), h / window, w / window}));
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t ow = w / window;
+  const float inv = 1.0f / static_cast<float>(window * window);
+  ForEachWindow(a, window, [&](int64_t p, int64_t oy, int64_t ox) {
+    double acc = 0.0;
+    for (int64_t ky = 0; ky < window; ++ky) {
+      for (int64_t kx = 0; kx < window; ++kx) {
+        acc += pa[(p * h + oy * window + ky) * w + ox * window + kx];
+      }
+    }
+    po[(p * (h / window) + oy) * ow + ox] = static_cast<float>(acc) * inv;
+  });
+  return out;
+}
+
+Tensor MaxPool2d(const Tensor& a, int64_t window,
+                 std::vector<int64_t>* argmax) {
+  const int64_t h = a.dim(2);
+  const int64_t w = a.dim(3);
+  Tensor out(Shape({a.dim(0), a.dim(1), h / window, w / window}));
+  if (argmax != nullptr) {
+    argmax->assign(static_cast<size_t>(out.num_elements()), 0);
+  }
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t ow = w / window;
+  ForEachWindow(a, window, [&](int64_t p, int64_t oy, int64_t ox) {
+    float best = -std::numeric_limits<float>::infinity();
+    int64_t best_idx = 0;
+    for (int64_t ky = 0; ky < window; ++ky) {
+      for (int64_t kx = 0; kx < window; ++kx) {
+        const int64_t idx =
+            (p * h + oy * window + ky) * w + ox * window + kx;
+        if (pa[idx] > best) {
+          best = pa[idx];
+          best_idx = idx;
+        }
+      }
+    }
+    const int64_t out_idx = (p * (h / window) + oy) * ow + ox;
+    po[out_idx] = best;
+    if (argmax != nullptr) (*argmax)[static_cast<size_t>(out_idx)] = best_idx;
+  });
+  return out;
+}
+
+}  // namespace musenet::tensor

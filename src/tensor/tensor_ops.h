@@ -1,0 +1,107 @@
+#ifndef MUSENET_TENSOR_TENSOR_OPS_H_
+#define MUSENET_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace musenet::tensor {
+
+// Kernel layer: raw, non-differentiable tensor math. The autograd layer
+// (src/autograd) composes these kernels into differentiable ops. All
+// functions allocate fresh outputs and validate shapes with MUSE_CHECK.
+
+// --- Elementwise binary (NumPy-style broadcasting) --------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Elementwise quotient; division by zero follows IEEE semantics (±inf/NaN).
+Tensor Div(const Tensor& a, const Tensor& b);
+/// max(a, b) elementwise with broadcasting.
+Tensor Maximum(const Tensor& a, const Tensor& b);
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// --- Elementwise unary -------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; non-positive entries follow IEEE semantics (-inf/NaN).
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// max(x, alpha·x) with alpha in (0,1): ReLU that keeps a small negative
+/// slope so units cannot die.
+Tensor LeakyRelu(const Tensor& a, float alpha = 0.1f);
+Tensor Sigmoid(const Tensor& a);
+/// log(1 + exp(x)) computed stably.
+Tensor Softplus(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+/// Clamps every element into [lo, hi].
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// --- Reductions --------------------------------------------------------------
+
+/// Sum of all elements as a rank-0 tensor.
+Tensor SumAll(const Tensor& a);
+/// Mean of all elements as a rank-0 tensor.
+Tensor MeanAll(const Tensor& a);
+float MaxValue(const Tensor& a);
+float MinValue(const Tensor& a);
+
+/// Sum along `axis`. With keepdims the reduced axis stays as size 1;
+/// otherwise it is removed (a fully reduced tensor becomes rank-0).
+Tensor Sum(const Tensor& a, int axis, bool keepdims = false);
+Tensor Mean(const Tensor& a, int axis, bool keepdims = false);
+
+/// Sums `t` down to `target` shape by reducing the axes that broadcasting
+/// expanded. This is the adjoint of broadcasting and is used by every
+/// broadcast-aware backward pass. `target` must be broadcast-compatible with
+/// (and no larger than) `t.shape()`.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// --- Linear algebra ----------------------------------------------------------
+
+/// [m,k] × [k,n] → [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Batched [B,m,k] × [B,k,n] → [B,m,n].
+Tensor MatMulBatched(const Tensor& a, const Tensor& b);
+/// [m,n] → [n,m].
+Tensor Transpose2d(const Tensor& a);
+/// Swaps the last two axes of a rank-3 tensor: [B,m,n] → [B,n,m].
+Tensor TransposeLast2(const Tensor& a);
+
+/// Numerically stable softmax over the last axis.
+Tensor SoftmaxLastAxis(const Tensor& a);
+
+// --- Structural ----------------------------------------------------------------
+
+/// Concatenates tensors along `axis`; all other dimensions must match.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+/// Copies `len` indices starting at `start` along `axis` into a new tensor.
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len);
+
+/// Broadcasts `a` to `target` shape (materialized).
+Tensor BroadcastTo(const Tensor& a, const Shape& target);
+
+// --- Pooling -------------------------------------------------------------------
+
+/// Non-overlapping window average pooling over the last two axes of a
+/// [B, C, H, W] tensor. H and W must be divisible by `window`.
+Tensor AvgPool2d(const Tensor& a, int64_t window);
+
+/// Non-overlapping window max pooling (same contract as AvgPool2d).
+/// When `argmax` is non-null it receives, per output element, the flat input
+/// offset of the winning element — the backward pass scatters through it.
+Tensor MaxPool2d(const Tensor& a, int64_t window,
+                 std::vector<int64_t>* argmax = nullptr);
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,53 @@
+#include "util/bench_config.h"
+
+#include <cstdlib>
+
+namespace musenet {
+
+std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+BenchScale ResolveBenchScale() {
+  const std::string name = GetEnvOr("MUSE_BENCH_SCALE", "default");
+  const uint64_t seed =
+      static_cast<uint64_t>(std::strtoull(
+          GetEnvOr("MUSE_BENCH_SEED", "7").c_str(), nullptr, 10));
+
+  if (name == "smoke") {
+    return BenchScale{.name = "smoke",
+                      .epochs = 2,
+                      .grid_h = 4,
+                      .grid_w = 4,
+                      .days = 32,
+                      .repr_dim = 8,
+                      .dist_dim = 8,
+                      .batch_size = 8,
+                      .seed = seed};
+  }
+  if (name == "paper") {
+    return BenchScale{.name = "paper",
+                      .epochs = 350,
+                      .grid_h = 0,  // dataset presets: 10×20 / 10×20 / 32×32
+                      .grid_w = 0,
+                      .days = 0,    // dataset presets: 60 / 60 / 120 days
+                      .repr_dim = 64,
+                      .dist_dim = 128,
+                      .batch_size = 8,
+                      .seed = seed};
+  }
+  // "default": the calibrated reproduction scale.
+  return BenchScale{.name = "default",
+                    .epochs = 120,
+                    .grid_h = 0,  // dataset presets pick a reduced grid
+                    .grid_w = 0,
+                    .days = 0,    // dataset presets pick a reduced span
+                    .repr_dim = 12,
+                    .dist_dim = 32,
+                    .batch_size = 8,
+                    .seed = seed};
+}
+
+}  // namespace musenet

@@ -1,0 +1,67 @@
+#ifndef MUSENET_UTIL_CHECK_H_
+#define MUSENET_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace musenet::internal {
+
+/// Prints a fatal check failure and aborts. Used by the MUSE_CHECK macros on
+/// hot paths where returning a Status would be impractical (indexing, shape
+/// invariants inside kernels). Never returns.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "MUSE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+/// Stream sink for the `MUSE_CHECK(...) << "context"` syntax.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace musenet::internal
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build types:
+/// kernel invariants guard memory safety, so they stay on in Release.
+#define MUSE_CHECK(cond)                                                  \
+  while (!(cond))                                                         \
+  ::musenet::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define MUSE_CHECK_EQ(a, b) MUSE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MUSE_CHECK_NE(a, b) MUSE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MUSE_CHECK_LT(a, b) MUSE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MUSE_CHECK_LE(a, b) MUSE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MUSE_CHECK_GT(a, b) MUSE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MUSE_CHECK_GE(a, b) MUSE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Cheaper checks compiled out of Release builds (per-element index guards).
+#ifdef NDEBUG
+#define MUSE_DCHECK(cond) \
+  while (false) ::musenet::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#else
+#define MUSE_DCHECK(cond) MUSE_CHECK(cond)
+#endif
+
+#endif  // MUSENET_UTIL_CHECK_H_

@@ -1,0 +1,148 @@
+#ifndef MUSENET_UTIL_STATUS_H_
+#define MUSENET_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace musenet {
+
+/// Machine-readable category of a Status.
+///
+/// The set is intentionally small: it mirrors the categories that appear in
+/// practice in this library (argument validation, shape validation, I/O and
+/// missing functionality). Add codes only when callers need to branch on them.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object for fallible library-boundary APIs.
+///
+/// Library code never throws; functions that can fail return `Status` (or
+/// `Result<T>` when they also produce a value). The OK status carries no
+/// allocation and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status result type (a lightweight `arrow::Result` analogue).
+///
+/// Invariant: exactly one of {value, non-OK status} is present. Accessing
+/// `value()` on an error result aborts in debug builds and is undefined in
+/// release builds; call `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — enables `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a (necessarily non-OK) status — enables
+  /// `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Moves the value out, or returns `fallback` when in error state.
+  T value_or(T fallback) && {
+    return ok() ? *std::move(value_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status to the caller: `MUSE_RETURN_IF_ERROR(DoIt());`.
+#define MUSE_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::musenet::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Unwraps a Result<T> into `lhs` or propagates its error status.
+#define MUSE_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto MUSE_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!MUSE_CONCAT_(_res_, __LINE__).ok())     \
+    return MUSE_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MUSE_CONCAT_(_res_, __LINE__)).value()
+
+#define MUSE_CONCAT_IMPL_(a, b) a##b
+#define MUSE_CONCAT_(a, b) MUSE_CONCAT_IMPL_(a, b)
+
+}  // namespace musenet
+
+#endif  // MUSENET_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef MUSENET_UTIL_STRING_UTIL_H_
+#define MUSENET_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace musenet {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" → {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats `fraction` (e.g. 0.2128) as a percent string "21.28%".
+std::string FormatPercent(double fraction, int digits = 2);
+
+}  // namespace musenet
+
+#endif  // MUSENET_UTIL_STRING_UTIL_H_

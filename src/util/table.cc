@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace musenet {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+std::string TablePrinter::ToString() const {
+  size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+
+  std::vector<size_t> widths(columns, 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const Row& row : rows_) {
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_rule = [&]() {
+    std::string line = "+";
+    for (size_t c = 0; c < columns; ++c) {
+      line += std::string(widths[c] + 2, '-') + "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_rule() + render_line(header_) + render_rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? render_rule() : render_line(row.cells);
+  }
+  out += render_rule();
+  return out;
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  auto write_row = [&file](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) file << ',';
+      file << CsvEscape(cells[c]);
+    }
+    file << '\n';
+  };
+  write_row(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) write_row(row.cells);
+  }
+  if (!file) return Status::IoError("failed while writing " + path);
+  return Status::OK();
+}
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace musenet

@@ -1,0 +1,53 @@
+#ifndef MUSENET_UTIL_TABLE_H_
+#define MUSENET_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace musenet {
+
+/// Fixed-width text table used by the benchmark harness to print paper-style
+/// result tables, with an optional CSV export for downstream plotting.
+///
+/// Usage:
+///   TablePrinter t({"Method", "RMSE", "MAE"});
+///   t.AddRow({"MUSE-Net", "2.89", "1.11"});
+///   std::cout << t.ToString();
+///   t.WriteCsv("results/table2.csv");
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells, long rows widen
+  /// the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row (rendered as dashes).
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with column-aligned cells and a header rule.
+  std::string ToString() const;
+
+  /// Writes header + rows (separators skipped) as RFC-4180-ish CSV.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Escapes a CSV field (quotes fields containing comma/quote/newline).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace musenet
+
+#endif  // MUSENET_UTIL_TABLE_H_

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/mutual_info.h"
+#include "analysis/similarity.h"
+#include "analysis/tsne.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace musenet::analysis {
+namespace {
+
+namespace ts = musenet::tensor;
+
+// --- Cosine similarity ----------------------------------------------------------------
+
+TEST(CosineTest, KnownVectors) {
+  const float a[] = {1.0f, 0.0f};
+  const float b[] = {0.0f, 1.0f};
+  const float c[] = {1.0f, 1.0f};
+  const float d[] = {-1.0f, 0.0f};
+  EXPECT_NEAR(CosineSimilarity(a, a, 2), 1.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, b, 2), 0.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c, 2), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, d, 2), -1.0, 1e-6);
+}
+
+TEST(CosineTest, ZeroVectorYieldsZero) {
+  const float a[] = {0.0f, 0.0f};
+  const float b[] = {1.0f, 2.0f};
+  EXPECT_EQ(CosineSimilarity(a, b, 2), 0.0);
+}
+
+TEST(CosineTest, MatrixShapeAndSymmetry) {
+  Rng rng(1);
+  ts::Tensor points = ts::Tensor::RandomNormal(ts::Shape({5, 3}), rng);
+  ts::Tensor m = CosineSimilarityMatrix(points, points);
+  EXPECT_EQ(m.shape(), ts::Shape({5, 5}));
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(m.at({i, i}), 1.0f, 1e-5);
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(m.at({i, j}), m.at({j, i}), 1e-5);
+      EXPECT_LE(std::fabs(m.at({i, j})), 1.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(CosineTest, DiagonalMatchesMatrix) {
+  Rng rng(2);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({4, 6}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({4, 6}), rng);
+  ts::Tensor m = CosineSimilarityMatrix(a, b);
+  std::vector<double> diag = CosineSimilarityDiagonal(a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(diag[static_cast<size_t>(i)], m.at({i, i}), 1e-6);
+  }
+}
+
+TEST(FractionAboveTest, Counts) {
+  ts::Tensor m = ts::Tensor::FromVector({-0.5f, 0.0f, 0.2f, 0.9f});
+  EXPECT_DOUBLE_EQ(FractionAbove(m, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAbove(m, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(m, 0.95), 0.0);
+}
+
+// --- Silhouette ----------------------------------------------------------------
+
+TEST(SilhouetteTest, WellSeparatedClustersScoreHigh) {
+  Rng rng(3);
+  ts::Tensor points(ts::Shape({40, 2}));
+  std::vector<int> labels(40);
+  for (int64_t i = 0; i < 40; ++i) {
+    const bool second = i >= 20;
+    labels[static_cast<size_t>(i)] = second ? 1 : 0;
+    points.at({i, 0}) =
+        static_cast<float>((second ? 10.0 : 0.0) + rng.Normal(0, 0.3));
+    points.at({i, 1}) = static_cast<float>(rng.Normal(0, 0.3));
+  }
+  EXPECT_GT(SilhouetteScore(points, labels), 0.8);
+}
+
+TEST(SilhouetteTest, RandomLabelsScoreNearZero) {
+  Rng rng(4);
+  ts::Tensor points = ts::Tensor::RandomNormal(ts::Shape({60, 2}), rng);
+  std::vector<int> labels(60);
+  for (auto& l : labels) l = static_cast<int>(rng.UniformInt(3));
+  EXPECT_LT(std::fabs(SilhouetteScore(points, labels)), 0.25);
+}
+
+// --- t-SNE ----------------------------------------------------------------
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(5);
+  ts::Tensor points = ts::Tensor::RandomNormal(ts::Shape({30, 10}), rng);
+  TsneOptions options;
+  options.iterations = 50;
+  ts::Tensor embedded = RunTsne(points, options);
+  EXPECT_EQ(embedded.shape(), ts::Shape({30, 2}));
+  for (int64_t i = 0; i < embedded.num_elements(); ++i) {
+    EXPECT_TRUE(std::isfinite(embedded.flat(i)));
+  }
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  Rng rng(6);
+  ts::Tensor points = ts::Tensor::RandomNormal(ts::Shape({20, 5}), rng);
+  TsneOptions options;
+  options.iterations = 30;
+  options.seed = 9;
+  EXPECT_TRUE(RunTsne(points, options).AllClose(RunTsne(points, options)));
+}
+
+TEST(TsneTest, PreservesClusterStructure) {
+  // Two well-separated 8-D clusters must stay separated in 2-D.
+  Rng rng(7);
+  const int64_t per_cluster = 30;
+  ts::Tensor points(ts::Shape({2 * per_cluster, 8}));
+  std::vector<int> labels(static_cast<size_t>(2 * per_cluster));
+  for (int64_t i = 0; i < 2 * per_cluster; ++i) {
+    const bool second = i >= per_cluster;
+    labels[static_cast<size_t>(i)] = second ? 1 : 0;
+    for (int64_t d = 0; d < 8; ++d) {
+      points.at({i, d}) = static_cast<float>(
+          (second && d == 0 ? 20.0 : 0.0) + rng.Normal(0, 1.0));
+    }
+  }
+  TsneOptions options;
+  options.iterations = 250;
+  options.perplexity = 10.0;
+  ts::Tensor embedded = RunTsne(points, options);
+  EXPECT_GT(SilhouetteScore(embedded, labels), 0.3);
+}
+
+// --- KSG mutual information ----------------------------------------------------------------
+
+TEST(MutualInfoTest, IndependentVariablesNearZero) {
+  Rng rng(8);
+  const int64_t n = 500;
+  ts::Tensor x = ts::Tensor::RandomNormal(ts::Shape({n, 1}), rng);
+  ts::Tensor y = ts::Tensor::RandomNormal(ts::Shape({n, 1}), rng);
+  EXPECT_LT(EstimateMutualInformationKsg(x, y), 0.1);
+}
+
+TEST(MutualInfoTest, PerfectlyDependentIsLarge) {
+  Rng rng(9);
+  const int64_t n = 500;
+  ts::Tensor x = ts::Tensor::RandomNormal(ts::Shape({n, 1}), rng);
+  ts::Tensor y(ts::Shape({n, 1}));
+  for (int64_t i = 0; i < n; ++i) y.flat(i) = 2.0f * x.flat(i);
+  EXPECT_GT(EstimateMutualInformationKsg(x, y), 1.5);
+}
+
+TEST(MutualInfoTest, MatchesGaussianClosedFormOrdering) {
+  // For bivariate Gaussians, I = −½ log(1−ρ²); check the monotone ordering
+  // ρ = 0.3 < 0.9 and rough magnitudes.
+  Rng rng(10);
+  const int64_t n = 800;
+  auto correlated = [&](double rho) {
+    ts::Tensor x(ts::Shape({n, 1}));
+    ts::Tensor y(ts::Shape({n, 1}));
+    for (int64_t i = 0; i < n; ++i) {
+      const double a = rng.Normal();
+      const double b = rng.Normal();
+      x.flat(i) = static_cast<float>(a);
+      y.flat(i) =
+          static_cast<float>(rho * a + std::sqrt(1 - rho * rho) * b);
+    }
+    return EstimateMutualInformationKsg(x, y);
+  };
+  const double mi_low = correlated(0.3);
+  const double mi_high = correlated(0.9);
+  EXPECT_LT(mi_low, mi_high);
+  const double expected_high = -0.5 * std::log(1 - 0.81);
+  EXPECT_NEAR(mi_high, expected_high, 0.25);
+}
+
+TEST(MutualInfoTest, MultivariateBlocks) {
+  // MI between a 2-D block and a copy of one of its coordinates is large;
+  // against an independent 2-D block it is near zero.
+  Rng rng(11);
+  const int64_t n = 400;
+  ts::Tensor x = ts::Tensor::RandomNormal(ts::Shape({n, 2}), rng);
+  ts::Tensor y_dep(ts::Shape({n, 1}));
+  for (int64_t i = 0; i < n; ++i) y_dep.flat(i) = x.at({i, 0});
+  ts::Tensor y_ind = ts::Tensor::RandomNormal(ts::Shape({n, 2}), rng);
+  EXPECT_GT(EstimateMutualInformationKsg(x, y_dep),
+            EstimateMutualInformationKsg(x, y_ind) + 0.5);
+}
+
+}  // namespace
+}  // namespace musenet::analysis

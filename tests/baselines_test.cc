@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/convgcn.h"
+#include "baselines/deepstn.h"
+#include "baselines/historical_average.h"
+#include "baselines/registry.h"
+#include "baselines/rnn.h"
+#include "baselines/seq2seq.h"
+#include "baselines/stgsp.h"
+#include "baselines/stnorm.h"
+#include "eval/evaluate.h"
+#include "eval/training.h"
+#include "tensor/tensor_ops.h"
+
+namespace musenet::baselines {
+namespace {
+
+namespace ts = musenet::tensor;
+
+data::PeriodicitySpec TinySpec() {
+  return data::PeriodicitySpec{.len_closeness = 2, .len_period = 2,
+                               .len_trend = 1};
+}
+
+data::Batch TinyBatch(const data::PeriodicitySpec& spec, int64_t h, int64_t w,
+                      uint64_t seed, int64_t batch = 2) {
+  Rng rng(seed);
+  data::Batch b;
+  b.closeness = ts::Tensor::RandomUniform(
+      ts::Shape({batch, spec.ClosenessChannels(), h, w}), rng, -1.0f, 1.0f);
+  b.period = ts::Tensor::RandomUniform(
+      ts::Shape({batch, spec.PeriodChannels(), h, w}), rng, -1.0f, 1.0f);
+  b.trend = ts::Tensor::RandomUniform(
+      ts::Shape({batch, spec.TrendChannels(), h, w}), rng, -1.0f, 1.0f);
+  b.target = ts::Tensor::RandomUniform(ts::Shape({batch, 2, h, w}), rng,
+                                       -1.0f, 1.0f);
+  for (int64_t i = 0; i < batch; ++i) b.target_indices.push_back(200 + i);
+  return b;
+}
+
+/// A learnable dataset with daily periodicity, used by convergence tests.
+data::TrafficDataset LearnableDataset(uint64_t seed) {
+  const int f = 24;
+  sim::FlowSeries flows(sim::GridSpec{3, 4}, f, 0, 14 * f);
+  Rng noise(seed);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    const double base =
+        6.0 + 5.0 * std::sin(2.0 * M_PI * flows.IntervalOfDay(t) / f);
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < 3; ++h) {
+        for (int64_t w = 0; w < 4; ++w) {
+          flows.at(t, flow, h, w) = static_cast<float>(
+              std::max(0.0, base * (1.0 + 0.15 * h) + noise.Normal(0, 0.4)));
+        }
+      }
+    }
+  }
+  data::DatasetOptions options;
+  options.spec = TinySpec();
+  options.test_days = 3;
+  return data::TrafficDataset(std::move(flows), options);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(RegistryTest, AllNamesConstructible) {
+  BaselineSizing sizing;
+  sizing.grid_h = 3;
+  sizing.grid_w = 4;
+  sizing.spec = TinySpec();
+  sizing.hidden = 4;
+  for (const std::string& name : AllBaselineNames()) {
+    auto model = MakeBaseline(name, sizing);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+  }
+  EXPECT_EQ(MakeBaseline("NoSuchModel", sizing), nullptr);
+}
+
+TEST(RegistryTest, MakeAllBaselinesMatchesNameList) {
+  BaselineSizing sizing;
+  sizing.grid_h = 3;
+  sizing.grid_w = 4;
+  sizing.spec = TinySpec();
+  sizing.hidden = 4;
+  auto models = MakeAllBaselines(sizing);
+  EXPECT_EQ(models.size(), AllBaselineNames().size());
+}
+
+// --- Per-model forward shape/range checks (parameterized) ------------------------
+
+class BaselineShapeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineShapeTest, PredictionShapeAndRange) {
+  BaselineSizing sizing;
+  sizing.grid_h = 3;
+  sizing.grid_w = 4;
+  sizing.spec = TinySpec();
+  sizing.hidden = 4;
+  sizing.seed = 11;
+  auto model = MakeBaseline(GetParam(), sizing);
+  ASSERT_NE(model, nullptr);
+  if (GetParam() == "HistoricalAverage") {
+    GTEST_SKIP() << "needs Train() before Predict()";
+  }
+  data::Batch batch = TinyBatch(TinySpec(), 3, 4, 13);
+  ts::Tensor pred = model->Predict(batch);
+  EXPECT_EQ(pred.shape(), ts::Shape({2, 2, 3, 4}));
+  EXPECT_LE(ts::MaxValue(pred), 1.0f);
+  EXPECT_GE(ts::MinValue(pred), -1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, BaselineShapeTest,
+    ::testing::Values("RNN", "Seq2Seq", "CONVGCN", "GMAN", "ST-Norm",
+                      "ST-SSL", "STGSP", "DeepSTN+", "HistoricalAverage"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+// --- Per-model training convergence (parameterized) -------------------------------
+
+class BaselineTrainingTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineTrainingTest, TrainingBeatsUntrainedModel) {
+  data::TrafficDataset ds = LearnableDataset(21);
+  BaselineSizing sizing;
+  sizing.grid_h = 3;
+  sizing.grid_w = 4;
+  sizing.spec = TinySpec();
+  sizing.hidden = 6;
+  sizing.seed = 3;
+
+  auto untrained = MakeBaseline(GetParam(), sizing);
+  auto trained = MakeBaseline(GetParam(), sizing);
+  eval::TrainConfig tc;
+  tc.epochs = 6;
+  tc.learning_rate = 2e-3;
+  tc.seed = 3;
+  trained->Train(ds, tc);
+
+  if (GetParam() == "HistoricalAverage") {
+    // HA "trains" by averaging; untrained HA cannot predict at all, so just
+    // check that it produces sane errors after Train.
+    eval::FlowMetrics m = eval::EvaluateOnTest(*trained, ds, 8);
+    EXPECT_LT(m.outflow.rmse, 3.0);
+    return;
+  }
+  // Untrained baseline: a freshly initialized net (epochs = 0 keeps weights).
+  eval::TrainConfig none;
+  none.epochs = 0;
+  untrained->Train(ds, none);
+  const double before = eval::EvaluateOnTest(*untrained, ds, 8).outflow.rmse;
+  const double after = eval::EvaluateOnTest(*trained, ds, 8).outflow.rmse;
+  EXPECT_LT(after, before) << GetParam() << ": " << after << " vs " << before;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, BaselineTrainingTest,
+    ::testing::Values("RNN", "Seq2Seq", "CONVGCN", "GMAN", "ST-Norm",
+                      "ST-SSL", "STGSP", "DeepSTN+", "HistoricalAverage"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+// --- HistoricalAverage specifics ----------------------------------------------------------------
+
+TEST(HistoricalAverageTest, PredictsSlotAverageExactly) {
+  // Flows depend only on (slot, weekend): HA must be near-exact on test.
+  const int f = 24;
+  sim::FlowSeries flows(sim::GridSpec{2, 2}, f, 0, 21 * f);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    const float value = static_cast<float>(
+        10 + flows.IntervalOfDay(t) % 5 + (flows.IsWeekend(t) ? 3 : 0));
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < 2; ++h) {
+        for (int64_t w = 0; w < 2; ++w) flows.at(t, flow, h, w) = value;
+      }
+    }
+  }
+  data::DatasetOptions options;
+  options.spec = TinySpec();
+  options.test_days = 7;  // Covers both weekday and weekend slots.
+  data::TrafficDataset ds(std::move(flows), options);
+  HistoricalAverage ha;
+  eval::TrainConfig tc;
+  ha.Train(ds, tc);
+  eval::FlowMetrics m = eval::EvaluateOnTest(ha, ds, 8);
+  EXPECT_NEAR(m.outflow.rmse, 0.0, 0.1);
+  EXPECT_NEAR(m.inflow.rmse, 0.0, 0.1);
+}
+
+// --- DeepSTN+ vs MUSE-Net structural relationship -----------------------------------
+
+TEST(DeepStnTest, SharesResPlusHeadShape) {
+  Rng rng(5);
+  DeepStnPlus model(3, 4, TinySpec(), /*channels=*/4, /*blocks=*/1, 5);
+  data::Batch batch = TinyBatch(TinySpec(), 3, 4, 6);
+  EXPECT_EQ(model.Predict(batch).shape(), ts::Shape({2, 2, 3, 4}));
+  EXPECT_GT(model.NumParameters(), 0);
+}
+
+TEST(ConvGcnTest, AggregationKernelIsCrossShaped) {
+  // The fixed graph-aggregation kernel must not mix channels and must have
+  // the normalized cross structure.
+  ConvGcn model(3, 4, TinySpec(), /*channels=*/3, 7);
+  data::Batch batch = TinyBatch(TinySpec(), 3, 4, 8);
+  // Constant input per channel stays constant under the cross kernel in the
+  // interior (0.5 + 4·0.125 = 1 row sum) — prediction must be finite/bounded.
+  ts::Tensor pred = model.Predict(batch);
+  for (int64_t i = 0; i < pred.num_elements(); ++i) {
+    EXPECT_TRUE(std::isfinite(pred.flat(i)));
+  }
+}
+
+}  // namespace
+}  // namespace musenet::baselines

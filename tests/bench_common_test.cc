@@ -1,0 +1,103 @@
+// Tests for the benchmark harness plumbing in bench/bench_common.* —
+// context resolution, model factory coverage, and the cached-series metric
+// computation that Tables II/IV/V share.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "tensor/tensor_ops.h"
+
+namespace musenet::bench {
+namespace {
+
+namespace ts = musenet::tensor;
+
+ExperimentContext SmokeContext() {
+  setenv("MUSE_BENCH_SCALE", "smoke", 1);
+  setenv("MUSE_BENCH_RESULTS_DIR", ::testing::TempDir().c_str(), 1);
+  ExperimentContext ctx = MakeContext("bench_common_test");
+  unsetenv("MUSE_BENCH_SCALE");
+  unsetenv("MUSE_BENCH_RESULTS_DIR");
+  return ctx;
+}
+
+TEST(BenchCommonTest, ContextReflectsScale) {
+  ExperimentContext ctx = SmokeContext();
+  EXPECT_EQ(ctx.scale.name, "smoke");
+  EXPECT_EQ(ctx.train.epochs, ctx.scale.epochs);
+  EXPECT_GT(ctx.max_train_samples, 0);
+}
+
+TEST(BenchCommonTest, LoadDatasetHonoursScaleGeometry) {
+  ExperimentContext ctx = SmokeContext();
+  data::TrafficDataset ds = LoadDataset(sim::DatasetId::kNycBike, ctx);
+  EXPECT_EQ(ds.grid_height(), ctx.scale.grid_h);
+  EXPECT_EQ(ds.grid_width(), ctx.scale.grid_w);
+  EXPECT_LE(static_cast<int64_t>(ds.train_indices().size()),
+            ctx.max_train_samples);
+}
+
+TEST(BenchCommonTest, MakeModelCoversAllTableNames) {
+  ExperimentContext ctx = SmokeContext();
+  data::TrafficDataset ds = LoadDataset(sim::DatasetId::kNycBike, ctx);
+  for (const std::string& name :
+       {std::string("MUSE-Net"), std::string("MUSE-Net-w/o-Spatial"),
+        std::string("MUSE-Net-w/o-MultiDisentangle"),
+        std::string("MUSE-Net-w/o-SemanticPushing"),
+        std::string("MUSE-Net-w/o-SemanticPulling")}) {
+    auto model = MakeModel(name, ds, ctx);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), name);
+  }
+  for (const std::string& name : baselines::AllBaselineNames()) {
+    EXPECT_EQ(MakeModel(name, ds, ctx)->name(), name);
+  }
+}
+
+TEST(BenchCommonTest, MetricsFromSeriesMatchesDirectComputation) {
+  ExperimentContext ctx = SmokeContext();
+  data::TrafficDataset ds = LoadDataset(sim::DatasetId::kNycBike, ctx);
+
+  // Build a synthetic series: predictions = truths + 2.0 in raw units.
+  const auto& test = ds.test_indices();
+  const int64_t n = std::min<int64_t>(16, static_cast<int64_t>(test.size()));
+  eval::PredictionSeries series;
+  std::vector<ts::Tensor> truths;
+  for (int64_t i = 0; i < n; ++i) {
+    ts::Tensor frame = ds.flows().Frame(test[static_cast<size_t>(i)]);
+    truths.push_back(frame.Reshape(ts::Shape(
+        {1, frame.dim(0), frame.dim(1), frame.dim(2)})));
+    series.target_indices.push_back(test[static_cast<size_t>(i)]);
+  }
+  series.truths = ts::Concat(truths, 0);
+  series.predictions = ts::AddScalar(series.truths, 2.0f);
+
+  eval::FlowMetrics m =
+      MetricsFromSeries(series, ds, eval::TimeBucket::kAll);
+  EXPECT_NEAR(m.outflow.rmse, 2.0, 1e-4);
+  EXPECT_NEAR(m.outflow.mae, 2.0, 1e-4);
+  EXPECT_NEAR(m.inflow.rmse, 2.0, 1e-4);
+
+  // Bucketed metrics partition the samples: bucket counts add up.
+  eval::FlowMetrics peak =
+      MetricsFromSeries(series, ds, eval::TimeBucket::kPeak);
+  eval::FlowMetrics off =
+      MetricsFromSeries(series, ds, eval::TimeBucket::kNonPeak);
+  // Constant error ⇒ same RMSE in every non-empty bucket.
+  if (peak.outflow.rmse > 0.0) {
+    EXPECT_NEAR(peak.outflow.rmse, 2.0, 1e-4);
+  }
+  if (off.outflow.rmse > 0.0) {
+    EXPECT_NEAR(off.outflow.rmse, 2.0, 1e-4);
+  }
+}
+
+TEST(BenchCommonTest, Formatters) {
+  EXPECT_EQ(F2(3.14159), "3.14");
+  EXPECT_EQ(Pct(0.2128), "21.28%");
+}
+
+}  // namespace
+}  // namespace musenet::bench

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "eval/evaluate.h"
+#include "eval/metrics.h"
+#include "eval/splits.h"
+#include "eval/training.h"
+#include "tensor/tensor_ops.h"
+#include "sim/flow_series.h"
+
+namespace musenet::eval {
+namespace {
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, HandComputedValues) {
+  MetricAccumulator acc;
+  acc.Add(3.0, 1.0);   // err 2
+  acc.Add(1.0, 2.0);   // err −1
+  acc.Add(5.0, 5.0);   // err 0
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_NEAR(acc.Rmse(), std::sqrt((4.0 + 1.0 + 0.0) / 3.0), 1e-9);
+  EXPECT_NEAR(acc.Mae(), (2.0 + 1.0 + 0.0) / 3.0, 1e-9);
+  // MAPE over all (all truths ≥ threshold 1): (2/1 + 1/2 + 0/5)/3.
+  EXPECT_NEAR(acc.Mape(), (2.0 + 0.5 + 0.0) / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, MapeSkipsSmallTruths) {
+  MetricAccumulator acc(/*mape_threshold=*/1.0);
+  acc.Add(1.0, 0.0);   // Truth below threshold: contributes to RMSE only.
+  acc.Add(4.0, 2.0);
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_NEAR(acc.Mape(), 1.0, 1e-9);  // Only the second pair: 2/2.
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricAccumulator acc;
+  EXPECT_EQ(acc.Rmse(), 0.0);
+  EXPECT_EQ(acc.Mae(), 0.0);
+  EXPECT_EQ(acc.Mape(), 0.0);
+}
+
+TEST(MetricsTest, MergeEqualsCombined) {
+  MetricAccumulator a;
+  MetricAccumulator b;
+  MetricAccumulator both;
+  a.Add(2.0, 1.0);
+  both.Add(2.0, 1.0);
+  b.Add(7.0, 4.0);
+  both.Add(7.0, 4.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Rmse(), both.Rmse());
+  EXPECT_DOUBLE_EQ(a.Mae(), both.Mae());
+  EXPECT_DOUBLE_EQ(a.Mape(), both.Mape());
+}
+
+TEST(MetricsTest, AddTensor) {
+  MetricAccumulator acc;
+  acc.AddTensor(tensor::Tensor::FromVector({2.0f, 4.0f}),
+                tensor::Tensor::FromVector({1.0f, 6.0f}));
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_NEAR(acc.Mae(), 1.5, 1e-6);
+}
+
+TEST(MetricsTest, ImprovementMatchesPaperDefinition) {
+  // (baseline − ours)/baseline: Table II reports (3.63−2.89)/3.63 ≈ 20%.
+  EXPECT_NEAR(Improvement(3.63, 2.89), 0.2038, 1e-3);
+  EXPECT_EQ(Improvement(0.0, 1.0), 0.0);
+  EXPECT_LT(Improvement(1.0, 2.0), 0.0);  // Worse than baseline → negative.
+}
+
+// --- Splits ----------------------------------------------------------------
+
+TEST(SplitsTest, PeakWindows) {
+  // f = 48 (30-minute): 7:00 = interval 14, 9:00 = 18, 17:00 = 34, 19:00 = 38.
+  sim::FlowSeries flows(sim::GridSpec{1, 1}, 48, 0, 48 * 7);
+  EXPECT_FALSE(IsPeakInterval(flows, 13));  // 6:30.
+  EXPECT_TRUE(IsPeakInterval(flows, 14));   // 7:00.
+  EXPECT_TRUE(IsPeakInterval(flows, 17));   // 8:30.
+  EXPECT_FALSE(IsPeakInterval(flows, 18));  // 9:00 — end exclusive.
+  EXPECT_TRUE(IsPeakInterval(flows, 34));   // 17:00.
+  EXPECT_FALSE(IsPeakInterval(flows, 38));  // 19:00.
+}
+
+TEST(SplitsTest, WeekdayBucket) {
+  sim::FlowSeries flows(sim::GridSpec{1, 1}, 48, /*start_weekday=*/0,
+                        48 * 7);
+  EXPECT_TRUE(IsWeekdayInterval(flows, 0));        // Monday.
+  EXPECT_TRUE(IsWeekdayInterval(flows, 48 * 4));   // Friday.
+  EXPECT_FALSE(IsWeekdayInterval(flows, 48 * 5));  // Saturday.
+  EXPECT_FALSE(IsWeekdayInterval(flows, 48 * 6));  // Sunday.
+}
+
+TEST(SplitsTest, BucketsPartitionTime) {
+  sim::FlowSeries flows(sim::GridSpec{1, 1}, 48, 2, 48 * 14);
+  for (int64_t t = 0; t < flows.num_intervals(); t += 7) {
+    EXPECT_TRUE(InBucket(flows, t, TimeBucket::kAll));
+    EXPECT_NE(InBucket(flows, t, TimeBucket::kPeak),
+              InBucket(flows, t, TimeBucket::kNonPeak));
+    EXPECT_NE(InBucket(flows, t, TimeBucket::kWeekday),
+              InBucket(flows, t, TimeBucket::kWeekend));
+  }
+}
+
+// --- Training helpers ----------------------------------------------------------------
+
+TEST(TrainingTest, EpochBatchesCoverPoolOnce) {
+  std::vector<int64_t> pool;
+  for (int64_t i = 0; i < 53; ++i) pool.push_back(i * 10);
+  Rng rng(3);
+  auto batches = MakeEpochBatches(pool, 8, rng);
+  EXPECT_EQ(batches.size(), 7u);  // ⌈53/8⌉.
+  std::multiset<int64_t> seen;
+  for (const auto& batch : batches) {
+    EXPECT_LE(batch.size(), 8u);
+    seen.insert(batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen.size(), pool.size());
+  for (int64_t v : pool) EXPECT_EQ(seen.count(v), 1u);
+}
+
+TEST(TrainingTest, ShuffleIsSeedDeterministic) {
+  std::vector<int64_t> pool(40);
+  for (int64_t i = 0; i < 40; ++i) pool[static_cast<size_t>(i)] = i;
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(MakeEpochBatches(pool, 8, a), MakeEpochBatches(pool, 8, b));
+  Rng c(6);
+  EXPECT_NE(MakeEpochBatches(pool, 8, a), MakeEpochBatches(pool, 8, c));
+}
+
+TEST(TrainingTest, MseOf) {
+  EXPECT_NEAR(MseOf(tensor::Tensor::FromVector({1.0f, 3.0f}),
+                    tensor::Tensor::FromVector({0.0f, 1.0f})),
+              (1.0 + 4.0) / 2.0, 1e-6);
+}
+
+// --- Evaluate with a controllable forecaster --------------------------------------
+
+/// Predicts the truth plus a constant offset in scaled space.
+class OffsetForecaster : public Forecaster {
+ public:
+  explicit OffsetForecaster(float offset) : offset_(offset) {}
+  std::string name() const override { return "Offset"; }
+  void Train(const data::TrafficDataset&, const TrainConfig&) override {}
+  tensor::Tensor Predict(const data::Batch& batch) override {
+    return tensor::AddScalar(batch.target, offset_);
+  }
+
+ private:
+  float offset_;
+};
+
+data::TrafficDataset EvalDataset() {
+  const int f = 24;
+  sim::FlowSeries flows(sim::GridSpec{2, 2}, f, 0, 16 * f);
+  Rng rng(11);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < 2; ++h) {
+        for (int64_t w = 0; w < 2; ++w) {
+          flows.at(t, flow, h, w) =
+              static_cast<float>(rng.UniformInt(20) + 5);
+        }
+      }
+    }
+  }
+  data::DatasetOptions options;
+  options.spec = data::PeriodicitySpec{.len_closeness = 3, .len_period = 2,
+                                       .len_trend = 1};
+  options.test_days = 4;
+  return data::TrafficDataset(std::move(flows), options);
+}
+
+TEST(EvaluateTest, PerfectForecasterScoresZero) {
+  data::TrafficDataset ds = EvalDataset();
+  OffsetForecaster perfect(0.0f);
+  FlowMetrics m = EvaluateOnTest(perfect, ds, 8);
+  EXPECT_NEAR(m.outflow.rmse, 0.0, 1e-4);
+  EXPECT_NEAR(m.inflow.mae, 0.0, 1e-4);
+}
+
+TEST(EvaluateTest, KnownOffsetYieldsKnownError) {
+  data::TrafficDataset ds = EvalDataset();
+  // Scaled offset of ε corresponds to ε·(max−min)/2 raw error everywhere.
+  const float eps = 0.1f;
+  OffsetForecaster off(eps);
+  FlowMetrics m = EvaluateOnTest(off, ds, 8);
+  const double expected =
+      eps * (ds.scaler().max_value() - ds.scaler().min_value()) / 2.0;
+  EXPECT_NEAR(m.outflow.rmse, expected, 1e-3);
+  EXPECT_NEAR(m.outflow.mae, expected, 1e-3);
+  EXPECT_NEAR(m.inflow.rmse, expected, 1e-3);
+}
+
+TEST(EvaluateTest, BucketsPartitionTestMetrics) {
+  data::TrafficDataset ds = EvalDataset();
+  OffsetForecaster off(0.05f);
+  FlowMetrics weekday = EvaluateOnIndices(off, ds, ds.test_indices(),
+                                          TimeBucket::kWeekday, 8);
+  FlowMetrics weekend = EvaluateOnIndices(off, ds, ds.test_indices(),
+                                          TimeBucket::kWeekend, 8);
+  // Constant scaled offset → identical error in every bucket.
+  EXPECT_NEAR(weekday.outflow.rmse, weekend.outflow.rmse, 1e-3);
+}
+
+TEST(EvaluateTest, ValidationMseMatchesOffset) {
+  data::TrafficDataset ds = EvalDataset();
+  OffsetForecaster off(0.2f);
+  EXPECT_NEAR(ValidationMse(off, ds, 8), 0.04, 1e-4);
+}
+
+TEST(EvaluateTest, CollectPredictionsRescales) {
+  data::TrafficDataset ds = EvalDataset();
+  OffsetForecaster perfect(0.0f);
+  std::vector<int64_t> subset(ds.test_indices().begin(),
+                              ds.test_indices().begin() + 10);
+  PredictionSeries series = CollectPredictions(perfect, ds, subset, 4);
+  EXPECT_EQ(series.predictions.dim(0), 10);
+  EXPECT_EQ(series.target_indices.size(), 10u);
+  // Perfect forecaster: predictions equal truths, in raw units.
+  EXPECT_TRUE(series.predictions.AllClose(series.truths, 1e-3f, 1e-2f));
+  // Truths equal the raw flow frames.
+  const auto& flows = ds.flows();
+  EXPECT_NEAR(series.truths.at({0, 0, 0, 0}),
+              flows.at(series.target_indices[0], 0, 0, 0), 0.05);
+}
+
+}  // namespace
+}  // namespace musenet::eval

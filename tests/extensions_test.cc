@@ -1,0 +1,136 @@
+// Tests for substrate extensions: pooling ops (kernel + autograd) and
+// learning-rate schedules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "optim/lr_schedule.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace musenet {
+namespace {
+
+namespace ts = musenet::tensor;
+namespace ag = musenet::autograd;
+
+// --- Pooling kernels ----------------------------------------------------------------
+
+TEST(PoolingTest, AvgPoolHandComputed) {
+  // 4×4 plane of 0..15; 2×2 windows average to the window means.
+  ts::Tensor a = ts::Tensor::Arange(16).Reshape(ts::Shape({1, 1, 4, 4}));
+  ts::Tensor out = ts::AvgPool2d(a, 2);
+  EXPECT_EQ(out.shape(), ts::Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 0}), (0 + 1 + 4 + 5) / 4.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), (10 + 11 + 14 + 15) / 4.0f);
+}
+
+TEST(PoolingTest, MaxPoolHandComputedWithArgmax) {
+  ts::Tensor a = ts::Tensor::Arange(16).Reshape(ts::Shape({1, 1, 4, 4}));
+  std::vector<int64_t> argmax;
+  ts::Tensor out = ts::MaxPool2d(a, 2, &argmax);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), 15.0f);
+  ASSERT_EQ(argmax.size(), 4u);
+  EXPECT_EQ(argmax[0], 5);   // Flat index of value 5.
+  EXPECT_EQ(argmax[3], 15);
+}
+
+TEST(PoolingTest, PoolingPreservesChannelIndependence) {
+  Rng rng(1);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({2, 3, 4, 4}), rng);
+  ts::Tensor avg = ts::AvgPool2d(a, 2);
+  // Per-(batch,channel) means are preserved by average pooling.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t c = 0; c < 3; ++c) {
+      double in_mean = 0.0, out_mean = 0.0;
+      for (int64_t y = 0; y < 4; ++y)
+        for (int64_t x = 0; x < 4; ++x) in_mean += a.at({b, c, y, x});
+      for (int64_t y = 0; y < 2; ++y)
+        for (int64_t x = 0; x < 2; ++x) out_mean += avg.at({b, c, y, x});
+      EXPECT_NEAR(in_mean / 16.0, out_mean / 4.0, 1e-5);
+    }
+  }
+}
+
+TEST(PoolingTest, WindowOneIsIdentity) {
+  Rng rng(2);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({1, 2, 3, 3}), rng);
+  EXPECT_TRUE(ts::AvgPool2d(a, 1).AllClose(a));
+  EXPECT_TRUE(ts::MaxPool2d(a, 1).AllClose(a));
+}
+
+// --- Pooling autograd ----------------------------------------------------------------
+
+TEST(PoolingGradTest, AvgPoolGradCheck) {
+  Rng rng(3);
+  auto fn = [](const std::vector<ag::Variable>& in) {
+    return ag::SumAll(ag::Square(ag::AvgPool2d(in[0], 2)));
+  };
+  auto result = ag::CheckGradients(
+      fn, {ts::Tensor::RandomNormal(ts::Shape({1, 2, 4, 4}), rng)});
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(PoolingGradTest, MaxPoolRoutesGradToArgmax) {
+  // Input with a strict max per window: gradient lands only there.
+  ts::Tensor a = ts::Tensor::Arange(16).Reshape(ts::Shape({1, 1, 4, 4}));
+  ag::Variable v(a, /*requires_grad=*/true);
+  ag::Backward(ag::SumAll(ag::MaxPool2d(v, 2)));
+  const ts::Tensor& g = v.grad();
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < g.num_elements(); ++i) {
+    if (g.flat(i) != 0.0f) {
+      ++nonzero;
+      EXPECT_FLOAT_EQ(g.flat(i), 1.0f);
+    }
+  }
+  EXPECT_EQ(nonzero, 4);
+  EXPECT_FLOAT_EQ(g.flat(5), 1.0f);
+  EXPECT_FLOAT_EQ(g.flat(15), 1.0f);
+}
+
+// --- LR schedules ----------------------------------------------------------------
+
+TEST(LrScheduleTest, ConstantIsConstant) {
+  auto s = optim::LrSchedule::Constant(0.01);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(0), 0.01);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(1000), 0.01);
+}
+
+TEST(LrScheduleTest, StepDecayStaircase) {
+  auto s = optim::LrSchedule::StepDecay(1.0, 0.5, 10);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(9), 1.0);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(10), 0.5);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(25), 0.25);
+}
+
+TEST(LrScheduleTest, CosineEndpointsAndMonotonicity) {
+  auto s = optim::LrSchedule::Cosine(1.0, 0.1, 50);
+  EXPECT_NEAR(s.LearningRateAt(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.LearningRateAt(49), 0.1, 1e-9);
+  // Monotone decreasing over the horizon.
+  double prev = s.LearningRateAt(0);
+  for (int epoch = 1; epoch < 50; ++epoch) {
+    const double lr = s.LearningRateAt(epoch);
+    EXPECT_LE(lr, prev + 1e-12);
+    prev = lr;
+  }
+  // Beyond the horizon: clamped at the floor.
+  EXPECT_NEAR(s.LearningRateAt(200), 0.1, 1e-9);
+}
+
+TEST(LrScheduleTest, WarmupRampsLinearly) {
+  auto s = optim::LrSchedule::Warmup(1.0, 4);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(0), 0.25);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(3), 1.0);
+  EXPECT_DOUBLE_EQ(s.LearningRateAt(10), 1.0);
+}
+
+}  // namespace
+}  // namespace musenet

@@ -1,0 +1,187 @@
+// End-to-end integration tests: simulator → dataset → training → evaluation,
+// exercising the same pipeline the benchmark harness runs, at miniature
+// scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/registry.h"
+#include "data/dataset.h"
+#include "eval/evaluate.h"
+#include "muse/model.h"
+#include "sim/presets.h"
+#include "tensor/serialize.h"
+#include "util/bench_config.h"
+
+namespace musenet {
+namespace {
+
+BenchScale TinyScale() {
+  BenchScale scale;
+  scale.name = "smoke";
+  scale.epochs = 3;
+  scale.grid_h = 3;
+  scale.grid_w = 4;
+  scale.days = 31;
+  scale.repr_dim = 6;
+  scale.dist_dim = 8;
+  scale.batch_size = 8;
+  scale.seed = 5;
+  return scale;
+}
+
+data::TrafficDataset TinyDataset(sim::DatasetId id = sim::DatasetId::kNycTaxi) {
+  BenchScale scale = TinyScale();
+  sim::FlowSeries flows = sim::GenerateDatasetFlows(id, scale, scale.seed);
+  data::DatasetOptions options;
+  options.max_train_samples = 96;
+  return data::TrafficDataset(std::move(flows), options);
+}
+
+eval::TrainConfig TinyTrain() {
+  eval::TrainConfig train;
+  train.epochs = 3;
+  train.batch_size = 8;
+  train.seed = 5;
+  train.learning_rate = 2e-3;
+  return train;
+}
+
+TEST(IntegrationTest, SimulatorToDatasetPipeline) {
+  data::TrafficDataset ds = TinyDataset();
+  EXPECT_GT(ds.train_indices().size(), 0u);
+  EXPECT_GT(ds.test_indices().size(), 0u);
+  data::Batch batch = ds.MakeBatch(
+      {ds.train_indices().front(), ds.train_indices().back()});
+  EXPECT_EQ(batch.batch_size(), 2);
+  EXPECT_EQ(batch.closeness.dim(1), 6);  // 2·L_c with L_c = 3.
+  EXPECT_EQ(batch.period.dim(1), 8);
+  EXPECT_EQ(batch.trend.dim(1), 8);
+}
+
+TEST(IntegrationTest, MuseNetFullCycle) {
+  data::TrafficDataset ds = TinyDataset();
+  muse::MuseNetConfig config;
+  config.grid_h = ds.grid_height();
+  config.grid_w = ds.grid_width();
+  config.repr_dim = 6;
+  config.dist_dim = 8;
+  muse::MuseNet model(config, 5);
+
+  model.Train(ds, TinyTrain());
+  eval::FlowMetrics m = eval::EvaluateOnTest(model, ds, 8);
+  EXPECT_TRUE(std::isfinite(m.outflow.rmse));
+  EXPECT_GT(m.outflow.rmse, 0.0);
+  // A trained model must beat the worst-case constant-zero predictor by a
+  // wide margin on this dataset.
+  EXPECT_LT(m.outflow.rmse, ds.flows().MaxValue());
+}
+
+TEST(IntegrationTest, TrainingIsSeedReproducible) {
+  data::TrafficDataset ds = TinyDataset();
+  auto run = [&ds]() {
+    muse::MuseNetConfig config;
+    config.grid_h = ds.grid_height();
+    config.grid_w = ds.grid_width();
+    config.repr_dim = 6;
+    config.dist_dim = 8;
+    muse::MuseNet model(config, 5);
+    model.Train(ds, TinyTrain());
+    return eval::EvaluateOnTest(model, ds, 8).outflow.rmse;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(IntegrationTest, CheckpointRestoresExactPredictions) {
+  data::TrafficDataset ds = TinyDataset();
+  muse::MuseNetConfig config;
+  config.grid_h = ds.grid_height();
+  config.grid_w = ds.grid_width();
+  config.repr_dim = 6;
+  config.dist_dim = 8;
+  muse::MuseNet model(config, 5);
+  model.Train(ds, TinyTrain());
+
+  const std::string path = ::testing::TempDir() + "/integration_ckpt.bin";
+  ASSERT_TRUE(tensor::SaveTensors(path, model.StateDict()).ok());
+
+  muse::MuseNet restored(config, 999);
+  auto loaded = tensor::LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(restored.LoadStateDict(*loaded).ok());
+  restored.SetTraining(false);
+  model.SetTraining(false);
+
+  data::Batch batch = ds.MakeBatch({ds.test_indices().front()});
+  EXPECT_TRUE(model.Predict(batch).AllClose(restored.Predict(batch)));
+}
+
+TEST(IntegrationTest, AblationVariantsAllTrain) {
+  data::TrafficDataset ds = TinyDataset(sim::DatasetId::kNycBike);
+  muse::MuseNetConfig config;
+  config.grid_h = ds.grid_height();
+  config.grid_w = ds.grid_width();
+  config.repr_dim = 6;
+  config.dist_dim = 8;
+  for (muse::MuseVariant variant :
+       {muse::MuseVariant::kFull, muse::MuseVariant::kWithoutSpatial,
+        muse::MuseVariant::kWithoutMultiDisentangle,
+        muse::MuseVariant::kWithoutSemanticPushing,
+        muse::MuseVariant::kWithoutSemanticPulling}) {
+    auto model = muse::MakeMuseVariant(config, variant, 5);
+    eval::TrainConfig train = TinyTrain();
+    train.epochs = 1;
+    model->Train(ds, train);
+    eval::FlowMetrics m = eval::EvaluateOnTest(*model, ds, 8);
+    EXPECT_TRUE(std::isfinite(m.outflow.rmse))
+        << muse::VariantName(variant);
+  }
+}
+
+TEST(IntegrationTest, MultiHorizonDatasetsTrain) {
+  for (int64_t horizon_offset : {0, 1, 2}) {
+    BenchScale scale = TinyScale();
+    sim::FlowSeries flows =
+        sim::GenerateDatasetFlows(sim::DatasetId::kNycTaxi, scale,
+                                  scale.seed);
+    data::DatasetOptions options;
+    options.horizon_offset = horizon_offset;
+    options.max_train_samples = 64;
+    data::TrafficDataset ds(std::move(flows), options);
+    baselines::BaselineSizing sizing;
+    sizing.grid_h = ds.grid_height();
+    sizing.grid_w = ds.grid_width();
+    sizing.hidden = 6;
+    sizing.seed = 5;
+    auto model = baselines::MakeBaseline("DeepSTN+", sizing);
+    eval::TrainConfig train = TinyTrain();
+    train.epochs = 1;
+    model->Train(ds, train);
+    EXPECT_TRUE(std::isfinite(
+        eval::EvaluateOnTest(*model, ds, 8).outflow.rmse));
+  }
+}
+
+TEST(IntegrationTest, AllModelsProduceBoundedPredictionsOnRealData) {
+  data::TrafficDataset ds = TinyDataset();
+  baselines::BaselineSizing sizing;
+  sizing.grid_h = ds.grid_height();
+  sizing.grid_w = ds.grid_width();
+  sizing.hidden = 6;
+  sizing.seed = 5;
+  data::Batch batch = ds.MakeBatchFromPool(ds.test_indices(), 0, 4);
+  for (auto& model : baselines::MakeAllBaselines(sizing)) {
+    eval::TrainConfig train = TinyTrain();
+    train.epochs = 1;
+    model->Train(ds, train);
+    tensor::Tensor pred = model->Predict(batch);
+    for (int64_t i = 0; i < pred.num_elements(); ++i) {
+      ASSERT_TRUE(std::isfinite(pred.flat(i))) << model->name();
+      ASSERT_LE(std::fabs(pred.flat(i)), 1.0f + 1e-5f) << model->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace musenet

@@ -1,0 +1,170 @@
+// LSTM cell tests plus a randomized autograd "fuzz" suite: random op-graph
+// compositions whose analytic gradients are verified against finite
+// differences — the property that every composition of verified ops is
+// itself correctly differentiated.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "optim/adam.h"
+#include "tensor/tensor_ops.h"
+
+namespace musenet {
+namespace {
+
+namespace ts = musenet::tensor;
+namespace ag = musenet::autograd;
+
+// --- LSTM ----------------------------------------------------------------
+
+TEST(LstmTest, StepShapes) {
+  Rng rng(1);
+  nn::LstmCell cell(3, 5, rng);
+  auto state = cell.InitialState(2);
+  ag::Variable x = ag::Constant(ts::Tensor::Ones(ts::Shape({2, 3})));
+  auto next = cell.Step(x, state);
+  EXPECT_EQ(next.h.value().shape(), ts::Shape({2, 5}));
+  EXPECT_EQ(next.c.value().shape(), ts::Shape({2, 5}));
+}
+
+TEST(LstmTest, ForgetBiasInitializedToOne) {
+  Rng rng(2);
+  nn::LstmCell cell(2, 3, rng);
+  const ts::Tensor& bias = cell.NamedParameters()[2].second.value();
+  // Blocks: i [0,3), f [3,6), g [6,9), o [9,12).
+  EXPECT_FLOAT_EQ(bias.flat(0), 0.0f);
+  EXPECT_FLOAT_EQ(bias.flat(3), 1.0f);
+  EXPECT_FLOAT_EQ(bias.flat(5), 1.0f);
+  EXPECT_FLOAT_EQ(bias.flat(6), 0.0f);
+}
+
+TEST(LstmTest, HiddenStateBounded) {
+  // h = o ⊙ tanh(c) with σ-bounded o ⇒ |h| < 1 always.
+  Rng rng(3);
+  nn::LstmCell cell(2, 4, rng);
+  auto state = cell.InitialState(1);
+  for (int step = 0; step < 40; ++step) {
+    ts::Tensor x = ts::Tensor::RandomNormal(ts::Shape({1, 2}), rng, 0, 4);
+    state = cell.Step(ag::Constant(x), state);
+  }
+  EXPECT_LT(ts::MaxValue(state.h.value()), 1.0f);
+  EXPECT_GT(ts::MinValue(state.h.value()), -1.0f);
+}
+
+TEST(LstmTest, GradientsFlowThroughTime) {
+  Rng rng(4);
+  nn::LstmCell cell(2, 3, rng);
+  auto state = cell.InitialState(2);
+  for (int step = 0; step < 6; ++step) {
+    ts::Tensor x = ts::Tensor::RandomNormal(ts::Shape({2, 2}), rng);
+    state = cell.Step(ag::Constant(x), state);
+  }
+  ag::Backward(ag::SumAll(ag::Square(state.h)));
+  for (auto& p : cell.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(LstmTest, LearnsToRememberInput) {
+  // Same memory task as the GRU test: output the first input after a gap.
+  Rng rng(5);
+  nn::LstmCell cell(1, 8, rng);
+  nn::Dense readout(8, 1, rng);
+  std::vector<ag::Variable> params = cell.Parameters();
+  for (auto& p : readout.Parameters()) params.push_back(p);
+  optim::Adam opt(params, 0.02);
+  Rng data_rng(6);
+  float final_loss = 1e9f;
+  for (int step = 0; step < 400; ++step) {
+    ts::Tensor first =
+        ts::Tensor::RandomUniform(ts::Shape({8, 1}), data_rng, -1.0f, 1.0f);
+    auto state = cell.InitialState(8);
+    state = cell.Step(ag::Constant(first), state);
+    for (int pad = 0; pad < 3; ++pad) {
+      state = cell.Step(
+          ag::Constant(ts::Tensor::Zeros(ts::Shape({8, 1}))), state);
+    }
+    ag::Variable pred = readout.Forward(state.h);
+    ag::Variable loss =
+        ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(first))));
+    cell.ZeroGrad();
+    readout.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+    final_loss = loss.value().scalar();
+  }
+  EXPECT_LT(final_loss, 0.05f);
+}
+
+// --- Autograd fuzz: random graph compositions -------------------------------------
+
+/// Applies a randomly chosen unary op. Only smooth ops: finite differences
+/// are invalid near the kinks of relu-family ops, which deep compositions
+/// hit with non-negligible probability.
+ag::Variable RandomUnary(Rng& rng, const ag::Variable& v) {
+  switch (rng.UniformInt(5)) {
+    case 0:
+      return ag::Tanh(v);
+    case 1:
+      return ag::Sigmoid(v);
+    case 2:
+      return ag::Softplus(v);
+    case 3:
+      return ag::Square(v);
+    default:
+      return ag::Exp(ag::MulScalar(v, 0.3f));  // Keep magnitudes tame.
+  }
+}
+
+/// Applies a randomly chosen binary combiner.
+ag::Variable RandomBinary(Rng& rng, const ag::Variable& a,
+                          const ag::Variable& b) {
+  switch (rng.UniformInt(3)) {
+    case 0:
+      return ag::Add(a, b);
+    case 1:
+      return ag::Sub(a, b);
+    default:
+      return ag::Mul(a, b);
+  }
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutogradFuzzTest, RandomCompositionGradientsMatchFiniteDifference) {
+  const uint64_t seed = GetParam();
+  auto fn = [seed](const std::vector<ag::Variable>& inputs) {
+    Rng graph_rng(seed);  // Same graph every invocation (pure function).
+    std::vector<ag::Variable> frontier = inputs;
+    for (int depth = 0; depth < 6; ++depth) {
+      const size_t i = graph_rng.UniformInt(frontier.size());
+      const size_t j = graph_rng.UniformInt(frontier.size());
+      ag::Variable combined =
+          RandomBinary(graph_rng, frontier[i], frontier[j]);
+      frontier.push_back(RandomUnary(graph_rng, combined));
+    }
+    ag::Variable total = frontier[0];
+    for (size_t k = 1; k < frontier.size(); ++k) {
+      total = ag::Add(total, ag::MeanAll(frontier[k]));
+    }
+    return ag::MeanAll(total);
+  };
+
+  Rng data_rng(seed ^ 0xF00DULL);
+  std::vector<ts::Tensor> inputs;
+  inputs.push_back(
+      ts::Tensor::RandomUniform(ts::Shape({2, 3}), data_rng, -1.0f, 1.0f));
+  inputs.push_back(
+      ts::Tensor::RandomUniform(ts::Shape({2, 3}), data_rng, -1.0f, 1.0f));
+  auto result = ag::CheckGradients(fn, inputs);
+  EXPECT_TRUE(result.passed) << "seed " << seed << ": " << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace musenet

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/city.h"
+#include "sim/flow_series.h"
+#include "sim/grid.h"
+#include "sim/presets.h"
+#include "sim/rasterize.h"
+#include "sim/serialize.h"
+#include "tensor/serialize.h"
+#include "sim/shifts.h"
+#include "util/bench_config.h"
+
+namespace musenet::sim {
+namespace {
+
+// --- Grid ----------------------------------------------------------------
+
+TEST(GridTest, RegionIndexRowMajor) {
+  GridSpec grid{.height = 3, .width = 5};
+  EXPECT_EQ(grid.num_regions(), 15);
+  EXPECT_EQ(grid.RegionIndex(0, 0), 0);
+  EXPECT_EQ(grid.RegionIndex(1, 2), 7);
+  EXPECT_EQ(grid.RegionIndex(2, 4), 14);
+}
+
+TEST(GridTest, Contains) {
+  GridSpec grid{.height = 2, .width = 2};
+  EXPECT_TRUE(grid.Contains(0, 0));
+  EXPECT_TRUE(grid.Contains(1, 1));
+  EXPECT_FALSE(grid.Contains(-1, 0));
+  EXPECT_FALSE(grid.Contains(0, 2));
+}
+
+// --- FlowSeries calendar ----------------------------------------------------------------
+
+TEST(FlowSeriesTest, CalendarMath) {
+  // 48 intervals/day, starting Friday (weekday 4).
+  FlowSeries flows(GridSpec{2, 2}, 48, 4, 48 * 10);
+  EXPECT_EQ(flows.IntervalOfDay(0), 0);
+  EXPECT_EQ(flows.IntervalOfDay(49), 1);
+  EXPECT_EQ(flows.WeekdayOf(0), 4);            // Friday.
+  EXPECT_EQ(flows.WeekdayOf(48), 5);           // Saturday.
+  EXPECT_EQ(flows.WeekdayOf(48 * 3), 0);       // Monday.
+  EXPECT_TRUE(flows.IsWeekend(48));            // Saturday.
+  EXPECT_FALSE(flows.IsWeekend(48 * 3));       // Monday.
+  EXPECT_DOUBLE_EQ(flows.HourOfDay(0), 0.0);
+  EXPECT_DOUBLE_EQ(flows.HourOfDay(16), 8.0);  // Interval 16 → 8:00.
+  EXPECT_DOUBLE_EQ(flows.HourOfDay(48 + 34), 17.0);
+}
+
+TEST(FlowSeriesTest, AccessAndFrame) {
+  FlowSeries flows(GridSpec{2, 3}, 24, 0, 5);
+  flows.at(2, kInflow, 1, 2) = 7.5f;
+  EXPECT_FLOAT_EQ(flows.at(2, kInflow, 1, 2), 7.5f);
+  tensor::Tensor frame = flows.Frame(2);
+  EXPECT_EQ(frame.shape(), tensor::Shape({2, 2, 3}));
+  EXPECT_FLOAT_EQ(frame.at({kInflow, 1, 2}), 7.5f);
+  EXPECT_FLOAT_EQ(frame.at({kOutflow, 1, 2}), 0.0f);
+}
+
+TEST(FlowSeriesTest, Stats) {
+  FlowSeries flows(GridSpec{1, 1}, 24, 0, 2);
+  flows.at(0, 0, 0, 0) = 2.0f;
+  flows.at(1, 1, 0, 0) = -1.0f;
+  EXPECT_FLOAT_EQ(flows.MaxValue(), 2.0f);
+  EXPECT_FLOAT_EQ(flows.MinValue(), -1.0f);
+  EXPECT_NEAR(flows.MeanValue(), 0.25, 1e-9);
+}
+
+TEST(FlowSeriesTest, SubrangeKeepsCalendarAlignment) {
+  FlowSeries flows(GridSpec{1, 1}, 24, 4, 24 * 6);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    flows.at(t, 0, 0, 0) = static_cast<float>(t);
+  }
+  FlowSeries sub = flows.Subrange(24 * 2, 24 * 2);
+  EXPECT_EQ(sub.num_intervals(), 48);
+  EXPECT_EQ(sub.start_weekday(), 6);  // Friday + 2 days = Sunday.
+  EXPECT_FLOAT_EQ(sub.at(0, 0, 0, 0), 48.0f);
+  EXPECT_EQ(sub.IntervalOfDay(0), 0);
+}
+
+// --- Rasterization (Definition 2) ----------------------------------------------------------------
+
+TEST(RasterizeTest, SingleCrossingIncrementsOutflowAndInflow) {
+  // Trajectory (0,0) → (0,1) across intervals 3→4.
+  Trajectory traj;
+  traj.points = {{3, {0, 0}}, {4, {0, 1}}};
+  FlowSeries flows(GridSpec{1, 2}, 24, 0, 10);
+  RasterizeTrajectory(traj, &flows);
+  EXPECT_FLOAT_EQ(flows.at(4, kOutflow, 0, 0), 1.0f);  // Left (0,0) (Eq. 1).
+  EXPECT_FLOAT_EQ(flows.at(4, kInflow, 0, 1), 1.0f);   // Entered (0,1) (Eq. 2).
+  // Nothing else.
+  EXPECT_FLOAT_EQ(flows.at(4, kInflow, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(flows.at(4, kOutflow, 0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(flows.at(3, kOutflow, 0, 0), 0.0f);
+}
+
+TEST(RasterizeTest, StayingPutProducesNoFlow) {
+  Trajectory traj;
+  traj.points = {{0, {1, 1}}, {1, {1, 1}}, {2, {1, 1}}};
+  FlowSeries flows(GridSpec{2, 2}, 24, 0, 5);
+  RasterizeTrajectory(traj, &flows);
+  EXPECT_FLOAT_EQ(flows.MaxValue(), 0.0f);
+}
+
+TEST(RasterizeTest, MultiHopTrajectory) {
+  // (0,0) → (0,1) → (0,2): two crossings at intervals 1 and 2.
+  Trajectory traj;
+  traj.points = {{0, {0, 0}}, {1, {0, 1}}, {2, {0, 2}}};
+  FlowSeries flows(GridSpec{1, 3}, 24, 0, 5);
+  RasterizeTrajectory(traj, &flows);
+  EXPECT_FLOAT_EQ(flows.at(1, kOutflow, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(flows.at(1, kInflow, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(flows.at(2, kOutflow, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(flows.at(2, kInflow, 0, 2), 1.0f);
+}
+
+TEST(RasterizeTest, OutOfRangeIntervalsIgnored) {
+  Trajectory traj;
+  traj.points = {{8, {0, 0}}, {9, {0, 1}}, {10, {0, 0}}};
+  FlowSeries flows(GridSpec{1, 2}, 24, 0, 10);  // Valid t: 0..9.
+  RasterizeTrajectory(traj, &flows);
+  EXPECT_FLOAT_EQ(flows.at(9, kOutflow, 0, 0), 1.0f);
+  // The 9→10 crossing is clipped without crashing.
+}
+
+TEST(RasterizeProperty, TotalInflowEqualsTotalOutflowPerInterval) {
+  // Every boundary crossing increments exactly one inflow and one outflow at
+  // the same interval, so the city-wide totals must match per interval.
+  Rng rng(77);
+  GridSpec grid{4, 4};
+  std::vector<Trajectory> trajectories;
+  for (int i = 0; i < 500; ++i) {
+    Trajectory traj;
+    int64_t t = static_cast<int64_t>(rng.UniformInt(20));
+    Region pos{static_cast<int64_t>(rng.UniformInt(4)),
+               static_cast<int64_t>(rng.UniformInt(4))};
+    const int len = 1 + static_cast<int>(rng.UniformInt(5));
+    traj.points.push_back({t, pos});
+    for (int s = 0; s < len; ++s) {
+      Region next{static_cast<int64_t>(rng.UniformInt(4)),
+                  static_cast<int64_t>(rng.UniformInt(4))};
+      traj.points.push_back({++t, next});
+    }
+    trajectories.push_back(std::move(traj));
+  }
+  FlowSeries flows = RasterizeTrajectories(trajectories, grid, 24, 0, 30);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    double in_total = 0.0, out_total = 0.0;
+    for (int64_t h = 0; h < 4; ++h) {
+      for (int64_t w = 0; w < 4; ++w) {
+        in_total += flows.at(t, kInflow, h, w);
+        out_total += flows.at(t, kOutflow, h, w);
+      }
+    }
+    EXPECT_DOUBLE_EQ(in_total, out_total) << "at interval " << t;
+  }
+}
+
+// --- Shift events ----------------------------------------------------------------
+
+TEST(ShiftTest, LevelMultiplierComposition) {
+  std::vector<ShiftEvent> events;
+  events.push_back({ShiftEvent::Kind::kLevel, 10, 5, 0.5, {}});
+  events.push_back({ShiftEvent::Kind::kLevel, 12, 5, 2.0, {}});
+  events.push_back({ShiftEvent::Kind::kPoint, 10, 5, 9.0, {}});  // Ignored.
+  EXPECT_DOUBLE_EQ(LevelMultiplierAt(events, 5), 1.0);
+  EXPECT_DOUBLE_EQ(LevelMultiplierAt(events, 10), 0.5);
+  EXPECT_DOUBLE_EQ(LevelMultiplierAt(events, 13), 1.0);  // 0.5 × 2.0.
+  EXPECT_DOUBLE_EQ(LevelMultiplierAt(events, 16), 2.0);
+  EXPECT_DOUBLE_EQ(LevelMultiplierAt(events, 17), 1.0);
+}
+
+TEST(ShiftTest, Covers) {
+  ShiftEvent e{ShiftEvent::Kind::kLevel, 10, 3, 1.0, {}};
+  EXPECT_FALSE(e.Covers(9));
+  EXPECT_TRUE(e.Covers(10));
+  EXPECT_TRUE(e.Covers(12));
+  EXPECT_FALSE(e.Covers(13));
+}
+
+// --- City simulator ----------------------------------------------------------------
+
+CityConfig SmallCity() {
+  CityConfig config;
+  config.grid = {4, 4};
+  config.start_weekday = 0;  // Monday, so day indices map directly.
+  config.days = 8;
+  config.trips_per_interval = 60.0;
+  config.demand_noise_sigma = 0.0;
+  config.daily_wobble_sigma = 0.0;
+  return config;
+}
+
+TEST(CityTest, DeterministicForSameSeed) {
+  City a(SmallCity(), 42);
+  City b(SmallCity(), 42);
+  SimulationResult ra = a.Simulate();
+  SimulationResult rb = b.Simulate();
+  EXPECT_EQ(ra.num_trips, rb.num_trips);
+  EXPECT_EQ(ra.flows.storage(), rb.flows.storage());
+}
+
+TEST(CityTest, DifferentSeedsDiffer) {
+  City a(SmallCity(), 1);
+  City b(SmallCity(), 2);
+  EXPECT_NE(a.Simulate().flows.storage(), b.Simulate().flows.storage());
+}
+
+TEST(CityTest, CommuteProfilePeaksOnWeekdayMornings) {
+  City city(SmallCity(), 3);
+  // Interval 16 of a weekday (config starts Monday) = 8:00; 3:00 = interval 6.
+  const double peak = city.ProfileAt(16);
+  const double night = city.ProfileAt(6);
+  EXPECT_GT(peak, 3.0 * night);
+  // Weekend morning (day 5 = Saturday) below weekday morning.
+  const double saturday_peak = city.ProfileAt(5 * 48 + 16);
+  EXPECT_GT(peak, saturday_peak);
+}
+
+TEST(CityTest, AttractionMapsNormalized) {
+  City city(SmallCity(), 4);
+  double res_total = 0.0, bus_total = 0.0;
+  for (double v : city.residential_weights()) res_total += v;
+  for (double v : city.business_weights()) bus_total += v;
+  EXPECT_NEAR(res_total, 1.0, 1e-9);
+  EXPECT_NEAR(bus_total, 1.0, 1e-9);
+}
+
+TEST(CityTest, LevelShiftSuppressesDemand) {
+  CityConfig config = SmallCity();
+  // Suppress day 3 entirely.
+  config.shifts.push_back(
+      {ShiftEvent::Kind::kLevel, 3 * 48, 48, 0.2, {}});
+  City city(config, 5);
+  FlowSeries flows = city.Simulate().flows;
+  auto day_total = [&](int day) {
+    double total = 0.0;
+    for (int64_t t = day * 48; t < (day + 1) * 48; ++t) {
+      for (int64_t h = 0; h < 4; ++h)
+        for (int64_t w = 0; w < 4; ++w)
+          total += flows.at(t, kOutflow, h, w);
+    }
+    return total;
+  };
+  // Day 3 (suppressed, a Thursday) ≪ day 2 (a Wednesday).
+  EXPECT_LT(day_total(3), 0.5 * day_total(2));
+}
+
+TEST(CityTest, PointShiftCreatesLocalizedBurst) {
+  CityConfig config = SmallCity();
+  const int64_t event_t = 2 * 48 + 20;
+  config.shifts.push_back({ShiftEvent::Kind::kPoint, event_t, 2, 2.0,
+                           Region{2, 2}});
+  City with_event(config, 6);
+  City without_event(SmallCity(), 6);
+  FlowSeries fe = with_event.Simulate().flows;
+  FlowSeries fn = without_event.Simulate().flows;
+  // Outflow from the event region during the burst is far above baseline.
+  double burst = 0.0, baseline = 0.0;
+  for (int64_t t = event_t; t < event_t + 3; ++t) {
+    burst += fe.at(t, kOutflow, 2, 2);
+    baseline += fn.at(t, kOutflow, 2, 2);
+  }
+  EXPECT_GT(burst, baseline + 30.0);
+}
+
+TEST(CityTest, TripCountTracksConfiguredRate) {
+  CityConfig config = SmallCity();
+  City city(config, 7);
+  SimulationResult result = city.Simulate();
+  // Mean profile is well below peak; just sanity-bound the volume.
+  EXPECT_GT(result.num_trips, 1000);
+  EXPECT_LT(result.num_trips,
+            static_cast<int64_t>(config.trips_per_interval) *
+                config.num_intervals() * 4);
+  EXPECT_GT(result.flows.MeanValue(), 0.0);
+}
+
+TEST(CityTest, TrajectoriesAreContiguousInTime) {
+  CityConfig config = SmallCity();
+  City city(config, 8);
+  for (const Trajectory& trip : city.GenerateTripsForInterval(100)) {
+    ASSERT_GE(trip.points.size(), 2u);
+    for (size_t i = 1; i < trip.points.size(); ++i) {
+      EXPECT_EQ(trip.points[i].interval, trip.points[i - 1].interval + 1);
+      EXPECT_TRUE(config.grid.Contains(trip.points[i].region.h,
+                                       trip.points[i].region.w));
+    }
+  }
+}
+
+// --- Serialization ----------------------------------------------------------------
+
+TEST(FlowSerializeTest, RoundTrip) {
+  FlowSeries flows(GridSpec{2, 3}, 24, 4, 50);
+  Rng rng(5);
+  for (int64_t t = 0; t < 50; ++t) {
+    for (int f2 = 0; f2 < 2; ++f2) {
+      for (int64_t h = 0; h < 2; ++h) {
+        for (int64_t w = 0; w < 3; ++w) {
+          flows.at(t, f2, h, w) = static_cast<float>(rng.UniformInt(30));
+        }
+      }
+    }
+  }
+  const std::string path = ::testing::TempDir() + "/flows_roundtrip.bin";
+  ASSERT_TRUE(SaveFlowSeries(path, flows).ok());
+  auto loaded = LoadFlowSeries(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->grid(), flows.grid());
+  EXPECT_EQ(loaded->intervals_per_day(), 24);
+  EXPECT_EQ(loaded->start_weekday(), 4);
+  EXPECT_EQ(loaded->num_intervals(), 50);
+  EXPECT_EQ(loaded->storage(), flows.storage());
+}
+
+TEST(FlowSerializeTest, MissingFileFails) {
+  EXPECT_FALSE(LoadFlowSeries("/nonexistent_zz/f.bin").ok());
+}
+
+TEST(FlowSerializeTest, WrongContainerFails) {
+  // A tensor container without the expected records must be rejected.
+  const std::string path = ::testing::TempDir() + "/not_flows.bin";
+  ASSERT_TRUE(tensor::SaveTensors(
+                  path, {{"other", tensor::Tensor::Arange(4)}})
+                  .ok());
+  EXPECT_FALSE(LoadFlowSeries(path).ok());
+}
+
+// --- Presets ----------------------------------------------------------------
+
+TEST(PresetTest, DatasetNames) {
+  EXPECT_EQ(DatasetName(DatasetId::kNycBike), "NYC-Bike");
+  EXPECT_EQ(DatasetName(DatasetId::kNycTaxi), "NYC-Taxi");
+  EXPECT_EQ(DatasetName(DatasetId::kTaxiBj), "TaxiBJ");
+}
+
+TEST(PresetTest, PaperScaleMatchesPaperGeometry) {
+  BenchScale scale;
+  scale.name = "paper";
+  scale.seed = 1;
+  CityConfig bike = MakeCityConfig(DatasetId::kNycBike, scale, 1);
+  EXPECT_EQ(bike.grid.height, 10);  // 10×20 grid (Section V-A).
+  EXPECT_EQ(bike.grid.width, 20);
+  EXPECT_EQ(bike.days, 60);
+  EXPECT_EQ(bike.intervals_per_day, 48);  // 30-minute intervals.
+  CityConfig bj = MakeCityConfig(DatasetId::kTaxiBj, scale, 1);
+  EXPECT_EQ(bj.grid.height, 32);  // 32×32 grid.
+  EXPECT_EQ(bj.grid.width, 32);
+}
+
+TEST(PresetTest, ExplicitOverridesWin) {
+  BenchScale scale;
+  scale.name = "default";
+  scale.grid_h = 3;
+  scale.grid_w = 7;
+  scale.days = 9;
+  CityConfig config = MakeCityConfig(DatasetId::kNycTaxi, scale, 1);
+  EXPECT_EQ(config.grid.height, 3);
+  EXPECT_EQ(config.grid.width, 7);
+  EXPECT_EQ(config.days, 9);
+}
+
+TEST(PresetTest, DatasetsDifferUnderSameSeed) {
+  BenchScale scale;
+  scale.name = "default";
+  scale.grid_h = 4;
+  scale.grid_w = 4;
+  scale.days = 31;
+  FlowSeries bike = GenerateDatasetFlows(DatasetId::kNycBike, scale, 5);
+  FlowSeries taxi = GenerateDatasetFlows(DatasetId::kNycTaxi, scale, 5);
+  EXPECT_NE(bike.storage(), taxi.storage());
+  // Taxi volume is higher by construction.
+  EXPECT_GT(taxi.MeanValue(), bike.MeanValue());
+}
+
+TEST(PresetTest, GenerationIsDeterministic) {
+  BenchScale scale;
+  scale.name = "default";
+  scale.grid_h = 4;
+  scale.grid_w = 4;
+  scale.days = 30;
+  FlowSeries a = GenerateDatasetFlows(DatasetId::kNycBike, scale, 9);
+  FlowSeries b = GenerateDatasetFlows(DatasetId::kNycBike, scale, 9);
+  EXPECT_EQ(a.storage(), b.storage());
+}
+
+}  // namespace
+}  // namespace musenet::sim

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/bench_config.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace musenet {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "invalid argument: bad shape");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kIoError,
+        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<std::string> ok = std::string("x");
+  EXPECT_EQ(std::move(ok).value_or("y"), "x");
+  Result<std::string> err = Status::NotFound("gone");
+  EXPECT_EQ(std::move(err).value_or("y"), "y");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UsePositive(int v, int* out) {
+  MUSE_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UsePositive(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(UsePositive(-1, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// --- String utilities ----------------------------------------------------------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(StrTrim("  x y \t\n"), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("musenet", "muse"));
+  EXPECT_FALSE(StartsWith("muse", "musenet"));
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
+  EXPECT_EQ(FormatPercent(0.2128), "21.28%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+// --- TablePrinter ----------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Method", "RMSE"});
+  t.AddRow({"MUSE-Net", "2.89"});
+  t.AddRow({"RNN", "12.79"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| MUSE-Net | 2.89  |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| RNN      | 12.79 |"), std::string::npos) << s;
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find("| x |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WritesCsv) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"plain", "1"});
+  t.AddSeparator();
+  t.AddRow({"with,comma", "quote\"d"});
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);  // Separator skipped in CSV.
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"d\"");
+}
+
+TEST(TablePrinterTest, CsvToBadPathFails) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.WriteCsv("/nonexistent_dir_zz/x.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvEscapeTest, OnlyQuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvEscape("a\nb"), "\"a\nb\"");
+}
+
+// --- Rng ----------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedCoverage) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanSmallLambda) {
+  Rng rng(9);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeLambda) {
+  Rng rng(9);
+  const int n = 5000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(200.0);
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZero) {
+  Rng rng(9);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(11);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a.NextUint64() == child_b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// --- Bench config ----------------------------------------------------------------
+
+TEST(BenchConfigTest, DefaultScale) {
+  unsetenv("MUSE_BENCH_SCALE");
+  unsetenv("MUSE_BENCH_SEED");
+  BenchScale s = ResolveBenchScale();
+  EXPECT_EQ(s.name, "default");
+  EXPECT_GT(s.epochs, 0);
+  EXPECT_EQ(s.seed, 7u);
+}
+
+TEST(BenchConfigTest, SmokeScale) {
+  setenv("MUSE_BENCH_SCALE", "smoke", 1);
+  setenv("MUSE_BENCH_SEED", "99", 1);
+  BenchScale s = ResolveBenchScale();
+  EXPECT_EQ(s.name, "smoke");
+  EXPECT_EQ(s.grid_h, 4);
+  EXPECT_EQ(s.seed, 99u);
+  unsetenv("MUSE_BENCH_SCALE");
+  unsetenv("MUSE_BENCH_SEED");
+}
+
+TEST(BenchConfigTest, PaperScaleMatchesPaperHyperparameters) {
+  setenv("MUSE_BENCH_SCALE", "paper", 1);
+  BenchScale s = ResolveBenchScale();
+  EXPECT_EQ(s.epochs, 350);
+  EXPECT_EQ(s.repr_dim, 64);   // d = 64 (Section IV-E).
+  EXPECT_EQ(s.dist_dim, 128);  // k = 128.
+  EXPECT_EQ(s.batch_size, 8);
+  unsetenv("MUSE_BENCH_SCALE");
+}
+
+TEST(BenchConfigTest, GetEnvOr) {
+  unsetenv("MUSE_TEST_ENV_XYZ");
+  EXPECT_EQ(GetEnvOr("MUSE_TEST_ENV_XYZ", "fallback"), "fallback");
+  setenv("MUSE_TEST_ENV_XYZ", "value", 1);
+  EXPECT_EQ(GetEnvOr("MUSE_TEST_ENV_XYZ", "fallback"), "value");
+  unsetenv("MUSE_TEST_ENV_XYZ");
+}
+
+}  // namespace
+}  // namespace musenet

@@ -1,0 +1,209 @@
+// Command-line front end to the MUSE-Net library.
+//
+//   musenet simulate --dataset taxi --out flows.bin [--days N] [--seed S]
+//   musenet train    --flows flows.bin --ckpt model.ckpt [--epochs N] ...
+//   musenet evaluate --flows flows.bin --ckpt model.ckpt
+//   musenet predict  --flows flows.bin --ckpt model.ckpt --index I
+//
+// `simulate` writes a FlowSeries container; `train` fits MUSE-Net on it and
+// writes a checkpoint; `evaluate` reports test metrics; `predict` prints one
+// frame's forecast next to the ground truth. Model hyper-parameters at train
+// and load time must match (the checkpoint loader validates shapes).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/evaluate.h"
+#include "muse/model.h"
+#include "sim/presets.h"
+#include "sim/serialize.h"
+#include "tensor/serialize.h"
+#include "util/bench_config.h"
+#include "util/string_util.h"
+
+namespace musenet {
+namespace {
+
+/// Minimal --flag value parser; flags are position-independent.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (StartsWith(argv[i], "--")) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+sim::DatasetId ParseDataset(const std::string& name) {
+  if (name == "bike") return sim::DatasetId::kNycBike;
+  if (name == "bj") return sim::DatasetId::kTaxiBj;
+  return sim::DatasetId::kNycTaxi;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Simulate(const Args& args) {
+  BenchScale scale = ResolveBenchScale();
+  scale.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  if (args.GetInt("days", 0) > 0) scale.days = args.GetInt("days", 0);
+  const sim::DatasetId id = ParseDataset(args.Get("dataset", "taxi"));
+  const std::string out = args.Get("out", "flows.bin");
+
+  sim::FlowSeries flows = sim::GenerateDatasetFlows(id, scale, scale.seed);
+  const Status status = sim::SaveFlowSeries(out, flows);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s: %lld intervals, %lldx%lld grid, mean flow %.2f\n",
+              out.c_str(), static_cast<long long>(flows.num_intervals()),
+              static_cast<long long>(flows.grid().height),
+              static_cast<long long>(flows.grid().width), flows.MeanValue());
+  return 0;
+}
+
+struct LoadedDataset {
+  data::TrafficDataset dataset;
+  muse::MuseNetConfig config;
+};
+
+Result<LoadedDataset> LoadForModel(const Args& args) {
+  MUSE_ASSIGN_OR_RETURN(sim::FlowSeries flows,
+                        sim::LoadFlowSeries(args.Get("flows", "flows.bin")));
+  data::DatasetOptions options;
+  options.max_train_samples = args.GetInt("max_train_samples", 320);
+  data::TrafficDataset dataset(std::move(flows), options);
+
+  muse::MuseNetConfig config;
+  config.grid_h = dataset.grid_height();
+  config.grid_w = dataset.grid_width();
+  config.repr_dim = args.GetInt("d", 12);
+  config.dist_dim = args.GetInt("k", 32);
+  return LoadedDataset{std::move(dataset), config};
+}
+
+int Train(const Args& args) {
+  auto loaded = LoadForModel(args);
+  if (!loaded.ok()) return Fail(loaded.status());
+  muse::MuseNet model(loaded->config,
+                      static_cast<uint64_t>(args.GetInt("seed", 7)));
+
+  eval::TrainConfig train;
+  train.epochs = args.GetInt("epochs", 60);
+  train.patience = args.GetInt("patience", 15);
+  train.learning_rate = std::atof(args.Get("lr", "1e-3").c_str());
+  train.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  train.verbose = args.GetInt("verbose", 1) != 0;
+  model.Train(loaded->dataset, train);
+
+  const std::string ckpt = args.Get("ckpt", "model.ckpt");
+  const Status status = tensor::SaveTensors(ckpt, model.StateDict());
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s (%lld parameters)\n", ckpt.c_str(),
+              static_cast<long long>(model.NumParameters()));
+  return 0;
+}
+
+Result<std::unique_ptr<muse::MuseNet>> LoadModel(
+    const Args& args, const muse::MuseNetConfig& config) {
+  auto model = std::make_unique<muse::MuseNet>(
+      config, static_cast<uint64_t>(args.GetInt("seed", 7)));
+  MUSE_ASSIGN_OR_RETURN(auto state,
+                        tensor::LoadTensors(args.Get("ckpt", "model.ckpt")));
+  MUSE_RETURN_IF_ERROR(model->LoadStateDict(state));
+  model->SetTraining(false);
+  return model;
+}
+
+int Evaluate(const Args& args) {
+  auto loaded = LoadForModel(args);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto model = LoadModel(args, loaded->config);
+  if (!model.ok()) return Fail(model.status());
+
+  eval::FlowMetrics m = eval::EvaluateOnTest(**model, loaded->dataset, 8);
+  std::printf("test outflow: RMSE %.2f  MAE %.2f  MAPE %s\n", m.outflow.rmse,
+              m.outflow.mae, FormatPercent(m.outflow.mape).c_str());
+  std::printf("test inflow:  RMSE %.2f  MAE %.2f  MAPE %s\n", m.inflow.rmse,
+              m.inflow.mae, FormatPercent(m.inflow.mape).c_str());
+  return 0;
+}
+
+int Predict(const Args& args) {
+  auto loaded = LoadForModel(args);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto model = LoadModel(args, loaded->config);
+  if (!model.ok()) return Fail(model.status());
+
+  const auto& test = loaded->dataset.test_indices();
+  const int index = args.GetInt("index", 0);
+  if (index < 0 || index >= static_cast<int>(test.size())) {
+    std::fprintf(stderr, "error: --index must be in [0, %zu)\n", test.size());
+    return 1;
+  }
+  data::Batch batch =
+      loaded->dataset.MakeBatch({test[static_cast<size_t>(index)]});
+  tensor::Tensor pred =
+      loaded->dataset.scaler().Inverse((*model)->Predict(batch));
+  tensor::Tensor truth = loaded->dataset.scaler().Inverse(batch.target);
+
+  const auto& flows = loaded->dataset.flows();
+  std::printf("forecast for interval %lld (hour %.1f, weekday %d):\n",
+              static_cast<long long>(batch.target_indices[0]),
+              flows.HourOfDay(batch.target_indices[0]),
+              flows.WeekdayOf(batch.target_indices[0]));
+  for (int64_t h = 0; h < pred.dim(2); ++h) {
+    for (int64_t w = 0; w < pred.dim(3); ++w) {
+      std::printf("  region (%lld,%lld): out %.1f (truth %.1f)  in %.1f "
+                  "(truth %.1f)\n",
+                  static_cast<long long>(h), static_cast<long long>(w),
+                  pred.at({0, 0, h, w}), truth.at({0, 0, h, w}),
+                  pred.at({0, 1, h, w}), truth.at({0, 1, h, w}));
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: musenet <command> [--flag value ...]\n"
+      "  simulate  --dataset bike|taxi|bj --out FILE [--days N] [--seed S]\n"
+      "  train     --flows FILE --ckpt FILE [--epochs N] [--patience P]\n"
+      "            [--lr LR] [--d D] [--k K] [--seed S]\n"
+      "  evaluate  --flows FILE --ckpt FILE [--d D] [--k K]\n"
+      "  predict   --flows FILE --ckpt FILE --index I [--d D] [--k K]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace musenet
+
+int main(int argc, char** argv) {
+  using namespace musenet;
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "simulate") return Simulate(args);
+  if (command == "train") return Train(args);
+  if (command == "evaluate") return Evaluate(args);
+  if (command == "predict") return Predict(args);
+  return Usage();
+}
