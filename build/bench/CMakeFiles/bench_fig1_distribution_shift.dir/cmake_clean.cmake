@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_distribution_shift.dir/bench_fig1_distribution_shift.cc.o"
+  "CMakeFiles/bench_fig1_distribution_shift.dir/bench_fig1_distribution_shift.cc.o.d"
+  "bench_fig1_distribution_shift"
+  "bench_fig1_distribution_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_distribution_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

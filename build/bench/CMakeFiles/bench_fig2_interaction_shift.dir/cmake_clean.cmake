@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_interaction_shift.dir/bench_fig2_interaction_shift.cc.o"
+  "CMakeFiles/bench_fig2_interaction_shift.dir/bench_fig2_interaction_shift.cc.o.d"
+  "bench_fig2_interaction_shift"
+  "bench_fig2_interaction_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_interaction_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

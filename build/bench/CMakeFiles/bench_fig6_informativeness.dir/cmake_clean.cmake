@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_informativeness.dir/bench_fig6_informativeness.cc.o"
+  "CMakeFiles/bench_fig6_informativeness.dir/bench_fig6_informativeness.cc.o.d"
+  "bench_fig6_informativeness"
+  "bench_fig6_informativeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_informativeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

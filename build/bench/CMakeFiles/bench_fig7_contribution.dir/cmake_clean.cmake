@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_contribution.dir/bench_fig7_contribution.cc.o"
+  "CMakeFiles/bench_fig7_contribution.dir/bench_fig7_contribution.cc.o.d"
+  "bench_fig7_contribution"
+  "bench_fig7_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

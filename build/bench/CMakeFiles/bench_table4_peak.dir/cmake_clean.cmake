@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_peak.dir/bench_table4_peak.cc.o"
+  "CMakeFiles/bench_table4_peak.dir/bench_table4_peak.cc.o.d"
+  "bench_table4_peak"
+  "bench_table4_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

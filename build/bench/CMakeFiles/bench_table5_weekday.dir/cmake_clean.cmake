@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_weekday.dir/bench_table5_weekday.cc.o"
+  "CMakeFiles/bench_table5_weekday.dir/bench_table5_weekday.cc.o.d"
+  "bench_table5_weekday"
+  "bench_table5_weekday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_weekday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libmusenet_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disentangle_analysis.dir/disentangle_analysis.cpp.o"
+  "CMakeFiles/disentangle_analysis.dir/disentangle_analysis.cpp.o.d"
+  "disentangle_analysis"
+  "disentangle_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disentangle_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_analysis.dir/mutual_info.cc.o"
+  "CMakeFiles/musenet_analysis.dir/mutual_info.cc.o.d"
+  "CMakeFiles/musenet_analysis.dir/similarity.cc.o"
+  "CMakeFiles/musenet_analysis.dir/similarity.cc.o.d"
+  "CMakeFiles/musenet_analysis.dir/tsne.cc.o"
+  "CMakeFiles/musenet_analysis.dir/tsne.cc.o.d"
+  "libmusenet_analysis.a"
+  "libmusenet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

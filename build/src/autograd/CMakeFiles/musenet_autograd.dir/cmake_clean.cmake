@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/musenet_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/musenet_autograd.dir/ops.cc.o"
+  "CMakeFiles/musenet_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/musenet_autograd.dir/variable.cc.o"
+  "CMakeFiles/musenet_autograd.dir/variable.cc.o.d"
+  "libmusenet_autograd.a"
+  "libmusenet_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

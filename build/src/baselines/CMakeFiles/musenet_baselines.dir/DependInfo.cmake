@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/convgcn.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/convgcn.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/convgcn.cc.o.d"
+  "/root/repo/src/baselines/deepstn.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/deepstn.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/deepstn.cc.o.d"
+  "/root/repo/src/baselines/gman.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/gman.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/gman.cc.o.d"
+  "/root/repo/src/baselines/historical_average.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/historical_average.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/historical_average.cc.o.d"
+  "/root/repo/src/baselines/neural_forecaster.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/neural_forecaster.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/neural_forecaster.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/rnn.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/rnn.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/rnn.cc.o.d"
+  "/root/repo/src/baselines/seq2seq.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/seq2seq.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/seq2seq.cc.o.d"
+  "/root/repo/src/baselines/stgsp.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/stgsp.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/stgsp.cc.o.d"
+  "/root/repo/src/baselines/stnorm.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/stnorm.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/stnorm.cc.o.d"
+  "/root/repo/src/baselines/stssl.cc" "src/baselines/CMakeFiles/musenet_baselines.dir/stssl.cc.o" "gcc" "src/baselines/CMakeFiles/musenet_baselines.dir/stssl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/musenet_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/muse/CMakeFiles/musenet_muse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/musenet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/musenet_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/musenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/musenet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/musenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/musenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/musenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

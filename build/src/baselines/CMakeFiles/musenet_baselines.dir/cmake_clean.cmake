@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_baselines.dir/convgcn.cc.o"
+  "CMakeFiles/musenet_baselines.dir/convgcn.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/deepstn.cc.o"
+  "CMakeFiles/musenet_baselines.dir/deepstn.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/gman.cc.o"
+  "CMakeFiles/musenet_baselines.dir/gman.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/historical_average.cc.o"
+  "CMakeFiles/musenet_baselines.dir/historical_average.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/neural_forecaster.cc.o"
+  "CMakeFiles/musenet_baselines.dir/neural_forecaster.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/registry.cc.o"
+  "CMakeFiles/musenet_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/rnn.cc.o"
+  "CMakeFiles/musenet_baselines.dir/rnn.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/seq2seq.cc.o"
+  "CMakeFiles/musenet_baselines.dir/seq2seq.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/stgsp.cc.o"
+  "CMakeFiles/musenet_baselines.dir/stgsp.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/stnorm.cc.o"
+  "CMakeFiles/musenet_baselines.dir/stnorm.cc.o.d"
+  "CMakeFiles/musenet_baselines.dir/stssl.cc.o"
+  "CMakeFiles/musenet_baselines.dir/stssl.cc.o.d"
+  "libmusenet_baselines.a"
+  "libmusenet_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

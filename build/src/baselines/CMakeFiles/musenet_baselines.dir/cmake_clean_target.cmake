@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmusenet_baselines.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_data.dir/dataset.cc.o"
+  "CMakeFiles/musenet_data.dir/dataset.cc.o.d"
+  "CMakeFiles/musenet_data.dir/interception.cc.o"
+  "CMakeFiles/musenet_data.dir/interception.cc.o.d"
+  "CMakeFiles/musenet_data.dir/scaler.cc.o"
+  "CMakeFiles/musenet_data.dir/scaler.cc.o.d"
+  "libmusenet_data.a"
+  "libmusenet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

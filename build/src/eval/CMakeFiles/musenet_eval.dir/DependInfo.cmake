@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluate.cc" "src/eval/CMakeFiles/musenet_eval.dir/evaluate.cc.o" "gcc" "src/eval/CMakeFiles/musenet_eval.dir/evaluate.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/musenet_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/musenet_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/splits.cc" "src/eval/CMakeFiles/musenet_eval.dir/splits.cc.o" "gcc" "src/eval/CMakeFiles/musenet_eval.dir/splits.cc.o.d"
+  "/root/repo/src/eval/training.cc" "src/eval/CMakeFiles/musenet_eval.dir/training.cc.o" "gcc" "src/eval/CMakeFiles/musenet_eval.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/musenet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/musenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/musenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/musenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_eval.dir/evaluate.cc.o"
+  "CMakeFiles/musenet_eval.dir/evaluate.cc.o.d"
+  "CMakeFiles/musenet_eval.dir/metrics.cc.o"
+  "CMakeFiles/musenet_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/musenet_eval.dir/splits.cc.o"
+  "CMakeFiles/musenet_eval.dir/splits.cc.o.d"
+  "CMakeFiles/musenet_eval.dir/training.cc.o"
+  "CMakeFiles/musenet_eval.dir/training.cc.o.d"
+  "libmusenet_eval.a"
+  "libmusenet_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_muse.dir/config.cc.o"
+  "CMakeFiles/musenet_muse.dir/config.cc.o.d"
+  "CMakeFiles/musenet_muse.dir/decoders.cc.o"
+  "CMakeFiles/musenet_muse.dir/decoders.cc.o.d"
+  "CMakeFiles/musenet_muse.dir/encoders.cc.o"
+  "CMakeFiles/musenet_muse.dir/encoders.cc.o.d"
+  "CMakeFiles/musenet_muse.dir/gaussian.cc.o"
+  "CMakeFiles/musenet_muse.dir/gaussian.cc.o.d"
+  "CMakeFiles/musenet_muse.dir/model.cc.o"
+  "CMakeFiles/musenet_muse.dir/model.cc.o.d"
+  "CMakeFiles/musenet_muse.dir/resplus.cc.o"
+  "CMakeFiles/musenet_muse.dir/resplus.cc.o.d"
+  "libmusenet_muse.a"
+  "libmusenet_muse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_muse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

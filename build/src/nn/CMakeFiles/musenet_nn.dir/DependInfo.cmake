@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/musenet_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/batch_norm.cc" "src/nn/CMakeFiles/musenet_nn.dir/batch_norm.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/batch_norm.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/musenet_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/musenet_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/musenet_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/musenet_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/musenet_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/musenet_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/musenet_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/musenet_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/musenet_nn.dir/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/musenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/musenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/musenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_nn.dir/activations.cc.o"
+  "CMakeFiles/musenet_nn.dir/activations.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/batch_norm.cc.o"
+  "CMakeFiles/musenet_nn.dir/batch_norm.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/conv.cc.o"
+  "CMakeFiles/musenet_nn.dir/conv.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/dense.cc.o"
+  "CMakeFiles/musenet_nn.dir/dense.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/dropout.cc.o"
+  "CMakeFiles/musenet_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/gru.cc.o"
+  "CMakeFiles/musenet_nn.dir/gru.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/init.cc.o"
+  "CMakeFiles/musenet_nn.dir/init.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/musenet_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/lstm.cc.o"
+  "CMakeFiles/musenet_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/musenet_nn.dir/module.cc.o"
+  "CMakeFiles/musenet_nn.dir/module.cc.o.d"
+  "libmusenet_nn.a"
+  "libmusenet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cc" "src/optim/CMakeFiles/musenet_optim.dir/adam.cc.o" "gcc" "src/optim/CMakeFiles/musenet_optim.dir/adam.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/optim/CMakeFiles/musenet_optim.dir/optimizer.cc.o" "gcc" "src/optim/CMakeFiles/musenet_optim.dir/optimizer.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/optim/CMakeFiles/musenet_optim.dir/sgd.cc.o" "gcc" "src/optim/CMakeFiles/musenet_optim.dir/sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/musenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/musenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/musenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

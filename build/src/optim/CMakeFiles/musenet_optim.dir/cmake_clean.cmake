@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_optim.dir/adam.cc.o"
+  "CMakeFiles/musenet_optim.dir/adam.cc.o.d"
+  "CMakeFiles/musenet_optim.dir/optimizer.cc.o"
+  "CMakeFiles/musenet_optim.dir/optimizer.cc.o.d"
+  "CMakeFiles/musenet_optim.dir/sgd.cc.o"
+  "CMakeFiles/musenet_optim.dir/sgd.cc.o.d"
+  "libmusenet_optim.a"
+  "libmusenet_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

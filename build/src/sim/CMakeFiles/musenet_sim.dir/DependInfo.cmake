@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/city.cc" "src/sim/CMakeFiles/musenet_sim.dir/city.cc.o" "gcc" "src/sim/CMakeFiles/musenet_sim.dir/city.cc.o.d"
+  "/root/repo/src/sim/flow_series.cc" "src/sim/CMakeFiles/musenet_sim.dir/flow_series.cc.o" "gcc" "src/sim/CMakeFiles/musenet_sim.dir/flow_series.cc.o.d"
+  "/root/repo/src/sim/presets.cc" "src/sim/CMakeFiles/musenet_sim.dir/presets.cc.o" "gcc" "src/sim/CMakeFiles/musenet_sim.dir/presets.cc.o.d"
+  "/root/repo/src/sim/rasterize.cc" "src/sim/CMakeFiles/musenet_sim.dir/rasterize.cc.o" "gcc" "src/sim/CMakeFiles/musenet_sim.dir/rasterize.cc.o.d"
+  "/root/repo/src/sim/serialize.cc" "src/sim/CMakeFiles/musenet_sim.dir/serialize.cc.o" "gcc" "src/sim/CMakeFiles/musenet_sim.dir/serialize.cc.o.d"
+  "/root/repo/src/sim/shifts.cc" "src/sim/CMakeFiles/musenet_sim.dir/shifts.cc.o" "gcc" "src/sim/CMakeFiles/musenet_sim.dir/shifts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/musenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/musenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_sim.dir/city.cc.o"
+  "CMakeFiles/musenet_sim.dir/city.cc.o.d"
+  "CMakeFiles/musenet_sim.dir/flow_series.cc.o"
+  "CMakeFiles/musenet_sim.dir/flow_series.cc.o.d"
+  "CMakeFiles/musenet_sim.dir/presets.cc.o"
+  "CMakeFiles/musenet_sim.dir/presets.cc.o.d"
+  "CMakeFiles/musenet_sim.dir/rasterize.cc.o"
+  "CMakeFiles/musenet_sim.dir/rasterize.cc.o.d"
+  "CMakeFiles/musenet_sim.dir/serialize.cc.o"
+  "CMakeFiles/musenet_sim.dir/serialize.cc.o.d"
+  "CMakeFiles/musenet_sim.dir/shifts.cc.o"
+  "CMakeFiles/musenet_sim.dir/shifts.cc.o.d"
+  "libmusenet_sim.a"
+  "libmusenet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

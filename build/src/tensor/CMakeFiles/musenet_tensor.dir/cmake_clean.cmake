@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_tensor.dir/conv2d.cc.o"
+  "CMakeFiles/musenet_tensor.dir/conv2d.cc.o.d"
+  "CMakeFiles/musenet_tensor.dir/serialize.cc.o"
+  "CMakeFiles/musenet_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/musenet_tensor.dir/shape.cc.o"
+  "CMakeFiles/musenet_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/musenet_tensor.dir/tensor.cc.o"
+  "CMakeFiles/musenet_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/musenet_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/musenet_tensor.dir/tensor_ops.cc.o.d"
+  "libmusenet_tensor.a"
+  "libmusenet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet_util.dir/bench_config.cc.o"
+  "CMakeFiles/musenet_util.dir/bench_config.cc.o.d"
+  "CMakeFiles/musenet_util.dir/rng.cc.o"
+  "CMakeFiles/musenet_util.dir/rng.cc.o.d"
+  "CMakeFiles/musenet_util.dir/status.cc.o"
+  "CMakeFiles/musenet_util.dir/status.cc.o.d"
+  "CMakeFiles/musenet_util.dir/string_util.cc.o"
+  "CMakeFiles/musenet_util.dir/string_util.cc.o.d"
+  "CMakeFiles/musenet_util.dir/table.cc.o"
+  "CMakeFiles/musenet_util.dir/table.cc.o.d"
+  "libmusenet_util.a"
+  "libmusenet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

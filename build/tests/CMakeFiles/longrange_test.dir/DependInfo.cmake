@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/longrange_test.cc" "tests/CMakeFiles/longrange_test.dir/longrange_test.cc.o" "gcc" "tests/CMakeFiles/longrange_test.dir/longrange_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/musenet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/musenet_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/muse/CMakeFiles/musenet_muse.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/musenet_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/musenet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/musenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/musenet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/musenet_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/musenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/musenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/musenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longrange_test.dir/longrange_test.cc.o"
+  "CMakeFiles/longrange_test.dir/longrange_test.cc.o.d"
+  "longrange_test"
+  "longrange_test.pdb"
+  "longrange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longrange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_fuzz_test.dir/lstm_fuzz_test.cc.o"
+  "CMakeFiles/lstm_fuzz_test.dir/lstm_fuzz_test.cc.o.d"
+  "lstm_fuzz_test"
+  "lstm_fuzz_test.pdb"
+  "lstm_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muse_test.dir/muse_test.cc.o"
+  "CMakeFiles/muse_test.dir/muse_test.cc.o.d"
+  "muse_test"
+  "muse_test.pdb"
+  "muse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

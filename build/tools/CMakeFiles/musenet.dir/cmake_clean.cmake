@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musenet.dir/musenet_cli.cc.o"
+  "CMakeFiles/musenet.dir/musenet_cli.cc.o.d"
+  "musenet"
+  "musenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
