@@ -5,11 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "autograd/ops.h"
 #include "muse/model.h"
 #include "nn/conv.h"
 #include "optim/adam.h"
 #include "tensor/conv2d.h"
+#include "tensor/im2col.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
 
@@ -43,6 +46,32 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(128);
 
+// Rectangular shapes that actually occur in MUSE-Net and the baselines: the
+// dense head projecting a flattened feature map (B·HW × hidden → repr), and
+// the attention-style token projection.
+void BM_MatMulDenseHead(benchmark::State& state) {
+  Rng rng(21);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({8, 1024}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({1024, 128}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 1024 * 128);
+}
+BENCHMARK(BM_MatMulDenseHead);
+
+void BM_MatMulTokenProj(benchmark::State& state) {
+  Rng rng(22);
+  // 256 grid tokens × 64 dims projected to 64 (GMAN/STGSP-style attention).
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({256, 64}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({64, 64}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 64 * 64);
+}
+BENCHMARK(BM_MatMulTokenProj);
+
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(3);
   const int64_t hw = state.range(0);
@@ -57,6 +86,35 @@ void BM_Conv2dForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8 * 12 * 12 * 9 * hw * hw);
 }
 BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16);
+
+// Paper-scale residual block: a 16×16 traffic grid at C=64 (TaxiBJ-like
+// width), the shape the ResPlus/DeepSTN+ stacks spend their time on.
+void BM_Conv2dForwardC64(benchmark::State& state) {
+  Rng rng(23);
+  ts::Tensor input = ts::Tensor::RandomNormal(ts::Shape({8, 64, 16, 16}), rng);
+  ts::Tensor weight = ts::Tensor::RandomNormal(ts::Shape({64, 64, 3, 3}), rng);
+  const ts::Conv2dSpec spec{.stride = 1, .pad = 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Conv2dForward(input, weight, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 64 * 64 * 9 * 16 * 16);
+}
+BENCHMARK(BM_Conv2dForwardC64);
+
+void BM_Im2col(benchmark::State& state) {
+  Rng rng(24);
+  const int64_t cin = 64, hw = 16, k = 3;
+  ts::Tensor input = ts::Tensor::RandomNormal(ts::Shape({cin, hw, hw}), rng);
+  std::vector<float> col(static_cast<size_t>(cin * k * k * hw * hw));
+  for (auto _ : state) {
+    ts::Im2col(input.data(), cin, hw, hw, k, k, /*stride=*/1, /*pad=*/1, hw,
+               hw, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size()));
+}
+BENCHMARK(BM_Im2col);
 
 void BM_Conv2dBackward(benchmark::State& state) {
   Rng rng(4);

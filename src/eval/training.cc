@@ -1,10 +1,20 @@
 #include "eval/training.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace musenet::eval {
+
+// Threading model for training/evaluation. Per-sample forward/backward
+// within a batch fans out inside the kernels: conv2d and batched matmul
+// partition the batch dimension across the pool, and the GEMM row-partitions
+// each sample's work (see DESIGN.md "Performance substrate"). The epoch loop
+// itself stays sequential — gradient accumulation into shared parameter
+// nodes and the per-model dropout RNG stream are ordered state — so this
+// file parallelizes only the order-free dense reductions below.
 
 std::vector<std::vector<int64_t>> MakeEpochBatches(
     const std::vector<int64_t>& pool, int batch_size, Rng& rng) {
@@ -27,14 +37,25 @@ std::vector<std::vector<int64_t>> MakeEpochBatches(
 
 double MseOf(const tensor::Tensor& prediction, const tensor::Tensor& truth) {
   MUSE_CHECK(prediction.shape() == truth.shape());
-  double total = 0.0;
   const float* pp = prediction.data();
   const float* pt = truth.data();
   const int64_t n = prediction.num_elements();
-  for (int64_t i = 0; i < n; ++i) {
-    const double err = static_cast<double>(pp[i]) - pt[i];
-    total += err * err;
-  }
+  // Fixed-size chunks with per-chunk partials combined in chunk order: the
+  // reduction tree depends only on n, so the value is identical at every
+  // MUSENET_NUM_THREADS.
+  constexpr int64_t kGrain = 1 << 14;
+  const int64_t num_chunks = (n + kGrain - 1) / kGrain;
+  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+  util::ActivePool().ParallelFor(0, n, kGrain, [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      const double err = static_cast<double>(pp[i]) - pt[i];
+      acc += err * err;
+    }
+    partial[static_cast<size_t>(lo / kGrain)] = acc;
+  });
+  double total = 0.0;
+  for (const double p : partial) total += p;
   return total / static_cast<double>(n);
 }
 

@@ -1,8 +1,22 @@
 #include "tensor/conv2d.h"
 
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace musenet::tensor {
+
+// All three kernels lower convolution to GEMM via im2col/col2im (see
+// tensor/im2col.h for the layout). Forward and backward-input parallelize
+// over the batch dimension — each sample's column matrix and output plane
+// are private to one chunk — which is where per-sample fan-out inside a
+// training batch happens. Backward-weight keeps the batch loop sequential so
+// the per-sample contributions accumulate into the shared weight gradient in
+// a fixed order (determinism policy in DESIGN.md); its parallelism comes
+// from the row-partitioned GEMM instead.
 
 int64_t Conv2dOutputDim(int64_t in, int64_t kernel, const Conv2dSpec& spec) {
   const int64_t padded = in + 2 * spec.pad;
@@ -28,38 +42,25 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
   const int64_t kw = weight.dim(3);
   const int64_t oh = Conv2dOutputDim(h, kh, spec);
   const int64_t ow = Conv2dOutputDim(w, kw, spec);
+  const int64_t kdim = cin * kh * kw;
+  const int64_t osp = oh * ow;
 
   Tensor out(Shape({batch, cout, oh, ow}));
   const float* pin = input.data();
   const float* pw = weight.data();
   float* po = out.mutable_data();
 
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < cout; ++co) {
-      float* out_plane = po + (b * cout + co) * oh * ow;
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        const float* in_plane = pin + (b * cin + ci) * h * w;
-        const float* w_plane = pw + (co * cin + ci) * kh * kw;
-        for (int64_t ky = 0; ky < kh; ++ky) {
-          for (int64_t kx = 0; kx < kw; ++kx) {
-            const float wval = w_plane[ky * kw + kx];
-            if (wval == 0.0f) continue;
-            for (int64_t oy = 0; oy < oh; ++oy) {
-              const int64_t iy = oy * spec.stride + ky - spec.pad;
-              if (iy < 0 || iy >= h) continue;
-              const float* in_row = in_plane + iy * w;
-              float* out_row = out_plane + oy * ow;
-              for (int64_t ox = 0; ox < ow; ++ox) {
-                const int64_t ix = ox * spec.stride + kx - spec.pad;
-                if (ix < 0 || ix >= w) continue;
-                out_row[ox] += wval * in_row[ix];
-              }
-            }
-          }
-        }
-      }
+  util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    std::vector<float> col(static_cast<size_t>(kdim * osp));
+    for (int64_t b = b0; b < b1; ++b) {
+      Im2col(pin + b * cin * h * w, cin, h, w, kh, kw, spec.stride, spec.pad,
+             oh, ow, col.data());
+      // out_b [cout, osp] = W_flat [cout, kdim] · col [kdim, osp]; out is
+      // zero-initialized, so accumulate == assign.
+      GemmAccF32(cout, osp, kdim, pw, kdim, col.data(), osp,
+                 po + b * cout * osp, osp);
     }
-  }
+  });
   return out;
 }
 
@@ -79,38 +80,33 @@ Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
   MUSE_CHECK_EQ(grad_out.dim(0), batch);
   MUSE_CHECK_EQ(grad_out.dim(1), cout);
   MUSE_CHECK_EQ(weight.dim(1), cin);
+  const int64_t kdim = cin * kh * kw;
+  const int64_t osp = oh * ow;
 
   Tensor grad_in(input_shape);
   const float* pg = grad_out.data();
   const float* pw = weight.data();
   float* pi = grad_in.mutable_data();
 
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < cout; ++co) {
-      const float* g_plane = pg + (b * cout + co) * oh * ow;
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        float* in_plane = pi + (b * cin + ci) * h * w;
-        const float* w_plane = pw + (co * cin + ci) * kh * kw;
-        for (int64_t ky = 0; ky < kh; ++ky) {
-          for (int64_t kx = 0; kx < kw; ++kx) {
-            const float wval = w_plane[ky * kw + kx];
-            if (wval == 0.0f) continue;
-            for (int64_t oy = 0; oy < oh; ++oy) {
-              const int64_t iy = oy * spec.stride + ky - spec.pad;
-              if (iy < 0 || iy >= h) continue;
-              const float* g_row = g_plane + oy * ow;
-              float* in_row = in_plane + iy * w;
-              for (int64_t ox = 0; ox < ow; ++ox) {
-                const int64_t ix = ox * spec.stride + kx - spec.pad;
-                if (ix < 0 || ix >= w) continue;
-                in_row[ix] += wval * g_row[ox];
-              }
-            }
-          }
-        }
-      }
+  // W^T [kdim, cout], shared read-only across the batch fan-out.
+  std::vector<float> wt(static_cast<size_t>(kdim * cout));
+  for (int64_t co = 0; co < cout; ++co) {
+    for (int64_t r = 0; r < kdim; ++r) {
+      wt[static_cast<size_t>(r * cout + co)] = pw[co * kdim + r];
     }
   }
+
+  util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    std::vector<float> col(static_cast<size_t>(kdim * osp));
+    for (int64_t b = b0; b < b1; ++b) {
+      std::fill(col.begin(), col.end(), 0.0f);
+      // col_grad [kdim, osp] = W^T · grad_out_b [cout, osp].
+      GemmAccF32(kdim, osp, cout, wt.data(), cout, pg + b * cout * osp, osp,
+                 col.data(), osp);
+      Col2imAdd(col.data(), cin, h, w, kh, kw, spec.stride, spec.pad, oh, ow,
+                pi + b * cin * h * w);
+    }
+  });
   return grad_in;
 }
 
@@ -131,37 +127,29 @@ Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
   MUSE_CHECK_EQ(grad_out.dim(0), batch);
   MUSE_CHECK_EQ(grad_out.dim(1), cout);
   MUSE_CHECK_EQ(weight_shape.dim(1), cin);
+  const int64_t kdim = cin * kh * kw;
+  const int64_t osp = oh * ow;
 
   Tensor grad_w(weight_shape);
   const float* pg = grad_out.data();
   const float* pin = input.data();
   float* pw = grad_w.mutable_data();
 
+  // Sequential over the batch: per-sample contributions land on the shared
+  // weight gradient in ascending-sample order at every thread count.
+  std::vector<float> col(static_cast<size_t>(kdim * osp));
+  std::vector<float> colt(static_cast<size_t>(osp * kdim));
   for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < cout; ++co) {
-      const float* g_plane = pg + (b * cout + co) * oh * ow;
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        const float* in_plane = pin + (b * cin + ci) * h * w;
-        float* w_plane = pw + (co * cin + ci) * kh * kw;
-        for (int64_t ky = 0; ky < kh; ++ky) {
-          for (int64_t kx = 0; kx < kw; ++kx) {
-            double acc = 0.0;
-            for (int64_t oy = 0; oy < oh; ++oy) {
-              const int64_t iy = oy * spec.stride + ky - spec.pad;
-              if (iy < 0 || iy >= h) continue;
-              const float* g_row = g_plane + oy * ow;
-              const float* in_row = in_plane + iy * w;
-              for (int64_t ox = 0; ox < ow; ++ox) {
-                const int64_t ix = ox * spec.stride + kx - spec.pad;
-                if (ix < 0 || ix >= w) continue;
-                acc += static_cast<double>(g_row[ox]) * in_row[ix];
-              }
-            }
-            w_plane[ky * kw + kx] += static_cast<float>(acc);
-          }
-        }
+    Im2col(pin + b * cin * h * w, cin, h, w, kh, kw, spec.stride, spec.pad,
+           oh, ow, col.data());
+    for (int64_t r = 0; r < kdim; ++r) {
+      for (int64_t o = 0; o < osp; ++o) {
+        colt[static_cast<size_t>(o * kdim + r)] = col[static_cast<size_t>(r * osp + o)];
       }
     }
+    // grad_w [cout, kdim] += grad_out_b [cout, osp] · col^T [osp, kdim].
+    GemmAccF32(cout, kdim, osp, pg + b * cout * osp, osp, colt.data(), kdim,
+               pw, kdim);
   }
   return grad_w;
 }

@@ -1,0 +1,145 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace musenet::tensor {
+
+namespace {
+
+// Micro-kernel tile. NR spans whole SIMD vectors so the j-loops vectorize;
+// MR×(NR/width) accumulators must fit the register file, hence the
+// ISA-dependent sizing.
+#if defined(__AVX512F__)
+constexpr int64_t kMr = 8;
+constexpr int64_t kNr = 32;
+#elif defined(__AVX2__) || defined(__AVX__)
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 16;
+#else
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 8;
+#endif
+
+/// K-panel height: one packed panel strip (kKc × kNr floats) stays L1/L2
+/// resident while the micro-kernel streams over it.
+constexpr int64_t kKc = 256;
+
+/// Rows of C per ParallelFor chunk. Fixed (never derived from the thread
+/// count) so chunk boundaries — and therefore results — are identical at
+/// every MUSENET_NUM_THREADS.
+constexpr int64_t kRowChunk = 32;
+
+/// Below this flop count the packing overhead outweighs the tiled kernel;
+/// fall through to the plain i-k-j nest (same accumulation order, so the
+/// cutover is invisible numerically).
+constexpr int64_t kSmallProblem = 32 * 1024;
+
+void GemmSmall(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+               const float* b, int64_t ldb, float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * lda;
+    float* c_row = c + i * ldc;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      const float* b_row = b + kk * ldb;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+/// Packs B[0:kc, 0:n] into kNr-wide column strips, k-major within a strip,
+/// zero-padding the last strip to full width. Packing only copies values, so
+/// it cannot perturb results.
+void PackB(const float* b, int64_t ldb, int64_t kc, int64_t n, float* out) {
+  for (int64_t js = 0; js < n; js += kNr) {
+    const int64_t nr = std::min(kNr, n - js);
+    float* strip = out + (js / kNr) * kc * kNr;
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* src = b + kk * ldb + js;
+      float* dst = strip + kk * kNr;
+      for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+      for (int64_t j = nr; j < kNr; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+/// C-tile [mr≤kMr, nr≤kNr] += A-rows · packed-B-strip over one K-panel.
+/// Accumulators live in registers; lanes past `nr` compute on the packed
+/// zeros and are never stored.
+void MicroKernel(const float* a, int64_t lda, const float* bp, float* c,
+                 int64_t ldc, int64_t mr, int64_t nr, int64_t kc) {
+  if (mr == kMr && nr == kNr) {
+    // Full tile: constant loop bounds so the compiler unrolls and keeps the
+    // accumulators in vector registers.
+    float acc[kMr][kNr];
+    for (int64_t r = 0; r < kMr; ++r) {
+      for (int64_t j = 0; j < kNr; ++j) acc[r][j] = c[r * ldc + j];
+    }
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* b_row = bp + kk * kNr;
+      for (int64_t r = 0; r < kMr; ++r) {
+        const float av = a[r * lda + kk];
+        for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * b_row[j];
+      }
+    }
+    for (int64_t r = 0; r < kMr; ++r) {
+      for (int64_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+    }
+    return;
+  }
+  // Edge tile (bottom rows / right columns).
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) {
+      acc[r][j] = j < nr ? c[r * ldc + j] : 0.0f;
+    }
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* b_row = bp + kk * kNr;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = a[r * lda + kk];
+      for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * b_row[j];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+}  // namespace
+
+void GemmAccF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * n * k <= kSmallProblem) {
+    GemmSmall(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  const int64_t packed_width = (n + kNr - 1) / kNr * kNr;
+  std::vector<float> packed(
+      static_cast<size_t>(std::min(kKc, k) * packed_width));
+
+  for (int64_t kp = 0; kp < k; kp += kKc) {
+    const int64_t kc = std::min(kKc, k - kp);
+    PackB(b + kp * ldb, ldb, kc, n, packed.data());
+    const float* bp = packed.data();
+    util::ActivePool().ParallelFor(
+        0, m, kRowChunk, [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; i += kMr) {
+            const int64_t mr = std::min(kMr, r1 - i);
+            const float* a_panel = a + i * lda + kp;
+            for (int64_t js = 0; js < n; js += kNr) {
+              const int64_t nr = std::min(kNr, n - js);
+              MicroKernel(a_panel, lda, bp + (js / kNr) * kc * kNr,
+                          c + i * ldc + js, ldc, mr, nr, kc);
+            }
+          }
+        });
+  }
+}
+
+}  // namespace musenet::tensor

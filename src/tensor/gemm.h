@@ -1,0 +1,26 @@
+#ifndef MUSENET_TENSOR_GEMM_H_
+#define MUSENET_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace musenet::tensor {
+
+// Cache-blocked, register-tiled single-precision GEMM — the compute core
+// behind MatMul, MatMulBatched and the im2col convolution path.
+//
+// Determinism contract: for every output element C[i,j] the accumulation
+// visits k in ascending order with a single running chain (the micro-kernel
+// reloads C between K-panels), so the arithmetic sequence is identical to a
+// naive i-k-j loop nest and identical at every thread count. Rows of C are
+// partitioned across the thread pool in fixed-size chunks; no two threads
+// write the same row.
+
+/// C[m,n] += A[m,k] · B[k,n], row-major with leading dimensions `lda`,
+/// `ldb`, `ldc`. Callers that want plain assignment pass a zeroed C (Tensor
+/// storage is zero-initialized, so fresh outputs qualify).
+void GemmAccF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc);
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_GEMM_H_

@@ -4,11 +4,33 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/gemm.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace musenet::tensor {
 
 namespace {
+
+/// Element count above which elementwise/reduction kernels fan out over the
+/// thread pool. Below it, loop overhead beats the dispatch.
+constexpr int64_t kParallelThreshold = 1 << 15;
+/// Fixed chunk size for parallel loops; chunk boundaries depend only on the
+/// problem size, never the thread count, so partial-sum slots (and therefore
+/// results) are identical at every MUSENET_NUM_THREADS.
+constexpr int64_t kParallelGrain = 1 << 14;
+
+/// Runs `fn(lo, hi)` over [0, n): chunked across the pool for large n,
+/// inline otherwise (one whole-range call, which equals the chunked result
+/// for kernels whose per-element work is independent).
+template <typename Fn>
+void MaybeParallelFor(int64_t n, Fn&& fn) {
+  if (n >= kParallelThreshold) {
+    util::ActivePool().ParallelFor(0, n, kParallelGrain, fn);
+  } else {
+    fn(0, n);
+  }
+}
 
 /// Strides for reading an operand of shape `s` as if it had the broadcast
 /// result shape `out` (rank-aligned from the right); broadcast axes get
@@ -31,8 +53,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.mutable_data();
-    const int64_t n = a.num_elements();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    MaybeParallelFor(a.num_elements(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+    });
     return out;
   }
   // Fast path: scalar operand.
@@ -41,8 +64,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     const float s = b.flat(0);
     const float* pa = a.data();
     float* po = out.mutable_data();
-    const int64_t n = a.num_elements();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], s);
+    MaybeParallelFor(a.num_elements(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], s);
+    });
     return out;
   }
   if (a.num_elements() == 1) {
@@ -50,8 +74,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     const float s = a.flat(0);
     const float* pb = b.data();
     float* po = out.mutable_data();
-    const int64_t n = b.num_elements();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(s, pb[i]);
+    MaybeParallelFor(b.num_elements(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(s, pb[i]);
+    });
     return out;
   }
 
@@ -60,26 +85,35 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
   const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
   const int rank = out_shape.rank();
-  std::vector<int64_t> index(rank, 0);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
-  const int64_t n = out_shape.num_elements();
-  int64_t offset_a = 0;
-  int64_t offset_b = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = fn(pa[offset_a], pb[offset_b]);
-    // Odometer increment over the output multi-index.
+  MaybeParallelFor(out_shape.num_elements(), [&](int64_t lo, int64_t hi) {
+    // Seed the odometer at flat index `lo`.
+    std::vector<int64_t> index(rank, 0);
+    int64_t offset_a = 0;
+    int64_t offset_b = 0;
+    int64_t rem = lo;
     for (int axis = rank - 1; axis >= 0; --axis) {
-      ++index[axis];
-      offset_a += sa[axis];
-      offset_b += sb[axis];
-      if (index[axis] < out_shape.dim(axis)) break;
-      index[axis] = 0;
-      offset_a -= sa[axis] * out_shape.dim(axis);
-      offset_b -= sb[axis] * out_shape.dim(axis);
+      index[axis] = rem % out_shape.dim(axis);
+      rem /= out_shape.dim(axis);
+      offset_a += index[axis] * sa[axis];
+      offset_b += index[axis] * sb[axis];
     }
-  }
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = fn(pa[offset_a], pb[offset_b]);
+      // Odometer increment over the output multi-index.
+      for (int axis = rank - 1; axis >= 0; --axis) {
+        ++index[axis];
+        offset_a += sa[axis];
+        offset_b += sb[axis];
+        if (index[axis] < out_shape.dim(axis)) break;
+        index[axis] = 0;
+        offset_a -= sa[axis] * out_shape.dim(axis);
+        offset_b -= sb[axis] * out_shape.dim(axis);
+      }
+    }
+  });
   return out;
 }
 
@@ -88,8 +122,9 @@ Tensor Unary(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.mutable_data();
-  const int64_t n = a.num_elements();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  MaybeParallelFor(a.num_elements(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+  });
   return out;
 }
 
@@ -184,10 +219,21 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
 }
 
 Tensor SumAll(const Tensor& a) {
-  double total = 0.0;
   const float* pa = a.data();
   const int64_t n = a.num_elements();
-  for (int64_t i = 0; i < n; ++i) total += pa[i];
+  // Per-chunk partials combined in chunk order. Chunk boundaries are fixed
+  // by kParallelGrain, so the summation tree — and the result — is the same
+  // at every thread count.
+  const int64_t num_chunks =
+      n >= kParallelThreshold ? (n + kParallelGrain - 1) / kParallelGrain : 1;
+  std::vector<double> partial(static_cast<size_t>(num_chunks), 0.0);
+  MaybeParallelFor(n, [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += pa[i];
+    partial[static_cast<size_t>(lo / kParallelGrain)] = acc;
+  });
+  double total = 0.0;
+  for (const double p : partial) total += p;
   return Tensor::Scalar(static_cast<float>(total));
 }
 
@@ -233,15 +279,19 @@ Tensor Sum(const Tensor& a, int axis, bool keepdims) {
   Tensor out(Shape(std::move(out_dims)));
   const float* pa = a.data();
   float* po = out.mutable_data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
+  // Parallel over output elements; each element's reduction over `mid` stays
+  // a single sequential chain, so results are thread-count independent.
+  MaybeParallelFor(outer * inner, [&](int64_t lo, int64_t hi) {
+    for (int64_t e = lo; e < hi; ++e) {
+      const int64_t o = e / inner;
+      const int64_t in = e % inner;
       double total = 0.0;
       for (int64_t m = 0; m < mid; ++m) {
         total += pa[(o * mid + m) * inner + in];
       }
-      po[o * inner + in] = static_cast<float>(total);
+      po[e] = static_cast<float>(total);
     }
-  }
+  });
   return out;
 }
 
@@ -280,20 +330,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t k = a.dim(1);
   const int64_t n = b.dim(1);
   Tensor out(Shape({m, n}));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.mutable_data();
-  // i-k-j loop order: streams through b and out row-wise (cache friendly,
-  // auto-vectorizable inner loop).
-  for (int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aval = pa[i * k + kk];
-      if (aval == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += aval * b_row[j];
-    }
-  }
+  // Cache-blocked, register-tiled, row-parallel GEMM; out is
+  // zero-initialized so accumulate == assign.
+  GemmAccF32(m, n, k, a.data(), k, b.data(), n, out.mutable_data(), n);
   return out;
 }
 
@@ -310,20 +349,14 @@ Tensor MatMulBatched(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    const float* ba = pa + bi * m * k;
-    const float* bb = pb + bi * k * n;
-    float* bo = po + bi * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aval = ba[i * k + kk];
-        if (aval == 0.0f) continue;
-        const float* b_row = bb + kk * n;
-        float* out_row = bo + i * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += aval * b_row[j];
-      }
+  // Per-sample fan-out: each batch slice is an independent GEMM (the nested
+  // GEMM row-parallelism degrades to inline inside a pool worker).
+  util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      GemmAccF32(m, n, k, pa + bi * m * k, k, pb + bi * k * n, n,
+                 po + bi * m * n, n);
     }
-  }
+  });
   return out;
 }
 
@@ -365,19 +398,22 @@ Tensor SoftmaxLastAxis(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.mutable_data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * n;
-    float* dst = po + r * n;
-    float max_val = row[0];
-    for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
-    double total = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      dst[j] = std::exp(row[j] - max_val);
-      total += dst[j];
+  // Parallel over rows; each row's max/sum/normalize stays sequential.
+  MaybeParallelFor(rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = pa + r * n;
+      float* dst = po + r * n;
+      float max_val = row[0];
+      for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
+      double total = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        dst[j] = std::exp(row[j] - max_val);
+        total += dst[j];
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      for (int64_t j = 0; j < n; ++j) dst[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int64_t j = 0; j < n; ++j) dst[j] *= inv;
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,163 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "util/check.h"
+
+namespace musenet::util {
+
+namespace {
+
+// Set while a thread is executing chunks; nested ParallelFor calls detect it
+// and run inline.
+thread_local bool t_inside_parallel_region = false;
+
+int EnvNumThreads() {
+  const char* env = std::getenv("MUSENET_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return std::min(parsed, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, 256));
+}
+
+}  // namespace
+
+/// One parallel-for invocation. Workers keep a shared_ptr while they touch
+/// it, so a late-waking worker can never observe freed memory. Completion is
+/// tracked per chunk: the caller returns once every chunk has been executed,
+/// regardless of how many workers joined in.
+struct ThreadPool::Job {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> chunks_done{0};
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  const bool was_inside = t_inside_parallel_region;
+  t_inside_parallel_region = true;
+  int64_t done = 0;
+  for (;;) {
+    const int64_t chunk =
+        job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.num_chunks) break;
+    const int64_t lo = job.begin + chunk * job.grain;
+    const int64_t hi = std::min(job.end, lo + job.grain);
+    (*job.fn)(lo, hi);
+    ++done;
+  }
+  t_inside_parallel_region = was_inside;
+  if (done > 0 &&
+      job.chunks_done.fetch_add(done, std::memory_order_acq_rel) + done ==
+          job.num_chunks) {
+    // Last chunk finished: wake the caller. The lock orders the notify
+    // against the caller entering its wait.
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      job = current_job_;  // May already be null if the job finished.
+    }
+    if (job != nullptr) RunChunks(*job);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Sequential path: single-thread pool, a single chunk, or a nested call
+  // from inside a parallel region. Chunk boundaries are identical to the
+  // parallel path, so reduction kernels see the same partial slots.
+  if (num_threads_ == 1 || num_chunks == 1 || t_inside_parallel_region) {
+    for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const int64_t lo = begin + chunk * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      fn(lo, hi);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_job_ = job;
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(*job);  // The calling thread is one of the pool's threads.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->chunks_done.load(std::memory_order_acquire) == num_chunks;
+    });
+    if (current_job_ == job) current_job_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(EnvNumThreads());
+  return *pool;
+}
+
+namespace {
+ThreadPool* g_active_pool = nullptr;
+}  // namespace
+
+ThreadPool& ActivePool() {
+  return g_active_pool != nullptr ? *g_active_pool : ThreadPool::Global();
+}
+
+ScopedActivePool::ScopedActivePool(ThreadPool* pool)
+    : previous_(g_active_pool) {
+  g_active_pool = pool;
+}
+
+ScopedActivePool::~ScopedActivePool() { g_active_pool = previous_; }
+
+}  // namespace musenet::util

@@ -1,0 +1,88 @@
+#ifndef MUSENET_UTIL_THREAD_POOL_H_
+#define MUSENET_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace musenet::util {
+
+/// Fixed-size worker pool for data-parallel kernels.
+///
+/// The only entry point is `ParallelFor`, which splits an index range into
+/// chunks of exactly `grain` indices and executes them across the workers
+/// plus the calling thread. Chunk boundaries depend only on (begin, end,
+/// grain) — never on the thread count — so a kernel that writes disjoint
+/// chunks, or combines per-chunk partials in chunk order, produces
+/// bit-identical results at every thread count. See "Performance substrate"
+/// in DESIGN.md for the determinism policy built on this property.
+///
+/// Nested calls (ParallelFor issued from inside a worker) degrade to inline
+/// sequential execution, so kernels may parallelize freely without tracking
+/// whether a caller already fanned out.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller participates as the last
+  /// thread). `num_threads` is clamped to at least 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes `fn(chunk_begin, chunk_end)` for every grain-sized chunk of
+  /// [begin, end), in parallel, and blocks until all chunks finished.
+  /// `fn` must be safe to call concurrently on disjoint chunks. The chunk
+  /// index of a call is `(chunk_begin - begin) / grain` — reduction kernels
+  /// use it to address per-chunk partial slots.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Process-wide pool. Sized from MUSENET_NUM_THREADS when set (clamped to
+  /// [1, 256]), otherwise std::thread::hardware_concurrency(). Constructed
+  /// on first use.
+  static ThreadPool& Global();
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  void RunChunks(Job& job);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> current_job_;
+  uint64_t job_generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Pool used by the tensor/NN kernels: the global pool unless overridden.
+ThreadPool& ActivePool();
+
+/// RAII override of `ActivePool()`, for tests that compare thread counts
+/// within one process. Not thread-safe against concurrent overrides.
+class ScopedActivePool {
+ public:
+  explicit ScopedActivePool(ThreadPool* pool);
+  ~ScopedActivePool();
+
+  ScopedActivePool(const ScopedActivePool&) = delete;
+  ScopedActivePool& operator=(const ScopedActivePool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+}  // namespace musenet::util
+
+#endif  // MUSENET_UTIL_THREAD_POOL_H_

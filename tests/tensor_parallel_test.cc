@@ -1,0 +1,391 @@
+// Correctness of the parallel, cache-blocked compute substrate against
+// naive reference kernels: (a) at 1 thread the tiled GEMM keeps a per-output
+// accumulation order identical to the naive i-k-j nest, so results must be
+// bit-exact; (b) at 4 threads, MatMul and Conv2d forward/backward must agree
+// with the references within AllClose across odd sizes, stride=2 and pad=0.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/conv2d.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace musenet {
+namespace {
+
+namespace ts = musenet::tensor;
+using musenet::util::ScopedActivePool;
+using musenet::util::ThreadPool;
+
+// --- Reference kernels: the seed implementations, kept verbatim -------------
+
+ts::Tensor NaiveMatMul(const ts::Tensor& a, const ts::Tensor& b) {
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  ts::Tensor out(ts::Shape({m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      const float* b_row = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += aval * b_row[j];
+    }
+  }
+  return out;
+}
+
+ts::Tensor NaiveConv2dForward(const ts::Tensor& input, const ts::Tensor& weight,
+                              const ts::Conv2dSpec& spec) {
+  const int64_t batch = input.dim(0);
+  const int64_t cin = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t cout = weight.dim(0);
+  const int64_t kh = weight.dim(2);
+  const int64_t kw = weight.dim(3);
+  const int64_t oh = ts::Conv2dOutputDim(h, kh, spec);
+  const int64_t ow = ts::Conv2dOutputDim(w, kw, spec);
+  ts::Tensor out(ts::Shape({batch, cout, oh, ow}));
+  const float* pin = input.data();
+  const float* pw = weight.data();
+  float* po = out.mutable_data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* out_plane = po + (b * cout + co) * oh * ow;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* in_plane = pin + (b * cin + ci) * h * w;
+        const float* w_plane = pw + (co * cin + ci) * kh * kw;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const float wval = w_plane[ky * kw + kx];
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              const int64_t iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              const float* in_row = in_plane + iy * w;
+              float* out_row = out_plane + oy * ow;
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= w) continue;
+                out_row[ox] += wval * in_row[ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ts::Tensor NaiveConv2dBackwardInput(const ts::Tensor& grad_out,
+                                    const ts::Tensor& weight,
+                                    const ts::Shape& input_shape,
+                                    const ts::Conv2dSpec& spec) {
+  const int64_t batch = input_shape.dim(0);
+  const int64_t cin = input_shape.dim(1);
+  const int64_t h = input_shape.dim(2);
+  const int64_t w = input_shape.dim(3);
+  const int64_t cout = weight.dim(0);
+  const int64_t kh = weight.dim(2);
+  const int64_t kw = weight.dim(3);
+  const int64_t oh = grad_out.dim(2);
+  const int64_t ow = grad_out.dim(3);
+  ts::Tensor grad_in(input_shape);
+  const float* pg = grad_out.data();
+  const float* pw = weight.data();
+  float* pi = grad_in.mutable_data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* g_plane = pg + (b * cout + co) * oh * ow;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        float* in_plane = pi + (b * cin + ci) * h * w;
+        const float* w_plane = pw + (co * cin + ci) * kh * kw;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const float wval = w_plane[ky * kw + kx];
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              const int64_t iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              const float* g_row = g_plane + oy * ow;
+              float* in_row = in_plane + iy * w;
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= w) continue;
+                in_row[ix] += wval * g_row[ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+ts::Tensor NaiveConv2dBackwardWeight(const ts::Tensor& grad_out,
+                                     const ts::Tensor& input,
+                                     const ts::Shape& weight_shape,
+                                     const ts::Conv2dSpec& spec) {
+  const int64_t batch = input.dim(0);
+  const int64_t cin = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t cout = weight_shape.dim(0);
+  const int64_t kh = weight_shape.dim(2);
+  const int64_t kw = weight_shape.dim(3);
+  const int64_t oh = grad_out.dim(2);
+  const int64_t ow = grad_out.dim(3);
+  ts::Tensor grad_w(weight_shape);
+  const float* pg = grad_out.data();
+  const float* pin = input.data();
+  float* pw = grad_w.mutable_data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* g_plane = pg + (b * cout + co) * oh * ow;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* in_plane = pin + (b * cin + ci) * h * w;
+        float* w_plane = pw + (co * cin + ci) * kh * kw;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            double acc = 0.0;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+              const int64_t iy = oy * spec.stride + ky - spec.pad;
+              if (iy < 0 || iy >= h) continue;
+              const float* g_row = g_plane + oy * ow;
+              const float* in_row = in_plane + iy * w;
+              for (int64_t ox = 0; ox < ow; ++ox) {
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(g_row[ox]) * in_row[ix];
+              }
+            }
+            w_plane[ky * kw + kx] += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+  return grad_w;
+}
+
+bool BitExact(const ts::Tensor& a, const ts::Tensor& b) {
+  if (!(a.shape() == b.shape())) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.num_elements()) * sizeof(float)) == 0;
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, 1000, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesFollowGrain) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelFor(10, 95, 20, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 5u);  // ceil(85 / 20)
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ((lo - 10) % 20, 0);
+    EXPECT_EQ(hi, std::min<int64_t>(95, lo + 20));
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pool.ParallelFor(0, 10, 2, [&](int64_t l2, int64_t h2) {
+        total += static_cast<int>(h2 - l2);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+// --- (a) 1-thread bit-exactness against the naive references ---------------
+
+TEST(TensorParallelTest, MatMulBitExactSingleThread) {
+  ThreadPool single(1);
+  ScopedActivePool scoped(&single);
+  Rng rng(101);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int64_t m = 1 + rng.UniformInt(70);
+    const int64_t k = 1 + rng.UniformInt(70);
+    const int64_t n = 1 + rng.UniformInt(70);
+    ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({m, k}), rng);
+    ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({k, n}), rng);
+    EXPECT_TRUE(BitExact(ts::MatMul(a, b), NaiveMatMul(a, b)))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+  // Shapes large enough to engage packing, K-blocking and edge tiles.
+  for (const auto& [m, k, n] :
+       std::vector<std::array<int64_t, 3>>{{128, 128, 128},
+                                           {129, 300, 65},
+                                           {8, 1024, 128},
+                                           {33, 517, 47}}) {
+    ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({m, k}), rng);
+    ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({k, n}), rng);
+    EXPECT_TRUE(BitExact(ts::MatMul(a, b), NaiveMatMul(a, b)))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(TensorParallelTest, Conv2dForwardBitExactSingleThread) {
+  ThreadPool single(1);
+  ScopedActivePool scoped(&single);
+  Rng rng(102);
+  for (const auto& spec :
+       std::vector<ts::Conv2dSpec>{{.stride = 1, .pad = 1},
+                                   {.stride = 1, .pad = 0},
+                                   {.stride = 2, .pad = 1}}) {
+    ts::Tensor input = ts::Tensor::RandomNormal(ts::Shape({3, 5, 11, 13}), rng);
+    ts::Tensor weight = ts::Tensor::RandomNormal(ts::Shape({7, 5, 3, 3}), rng);
+    EXPECT_TRUE(BitExact(ts::Conv2dForward(input, weight, spec),
+                         NaiveConv2dForward(input, weight, spec)))
+        << "stride=" << spec.stride << " pad=" << spec.pad;
+  }
+}
+
+// --- (b) 4-thread agreement, including odd sizes / stride=2 / pad=0 --------
+
+TEST(TensorParallelTest, MatMulFourThreadsMatchesNaive) {
+  ThreadPool four(4);
+  ScopedActivePool scoped(&four);
+  Rng rng(103);
+  for (const auto& [m, k, n] :
+       std::vector<std::array<int64_t, 3>>{{64, 64, 64},
+                                           {127, 63, 129},
+                                           {8, 1024, 128},
+                                           {257, 31, 17}}) {
+    ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({m, k}), rng);
+    ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({k, n}), rng);
+    EXPECT_TRUE(ts::MatMul(a, b).AllClose(NaiveMatMul(a, b), 1e-4f, 1e-4f))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(TensorParallelTest, MatMulBatchedFourThreadsMatchesNaive) {
+  ThreadPool four(4);
+  ScopedActivePool scoped(&four);
+  Rng rng(104);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({6, 33, 47}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({6, 47, 29}), rng);
+  ts::Tensor got = ts::MatMulBatched(a, b);
+  for (int64_t bi = 0; bi < 6; ++bi) {
+    ts::Tensor sa = ts::Slice(a, 0, bi, 1).Reshape(ts::Shape({33, 47}));
+    ts::Tensor sb = ts::Slice(b, 0, bi, 1).Reshape(ts::Shape({47, 29}));
+    ts::Tensor sg = ts::Slice(got, 0, bi, 1).Reshape(ts::Shape({33, 29}));
+    EXPECT_TRUE(sg.AllClose(NaiveMatMul(sa, sb), 1e-4f, 1e-4f)) << "b=" << bi;
+  }
+}
+
+TEST(TensorParallelTest, Conv2dFourThreadsMatchesNaive) {
+  ThreadPool four(4);
+  ScopedActivePool scoped(&four);
+  Rng rng(105);
+  for (const auto& spec :
+       std::vector<ts::Conv2dSpec>{{.stride = 1, .pad = 1},
+                                   {.stride = 1, .pad = 0},
+                                   {.stride = 2, .pad = 1},
+                                   {.stride = 2, .pad = 0}}) {
+    // Odd spatial sizes and a channel count that is not a tile multiple.
+    ts::Tensor input = ts::Tensor::RandomNormal(ts::Shape({5, 3, 15, 17}), rng);
+    ts::Tensor weight = ts::Tensor::RandomNormal(ts::Shape({9, 3, 3, 3}), rng);
+    const ts::Tensor out = ts::Conv2dForward(input, weight, spec);
+    EXPECT_TRUE(out.AllClose(NaiveConv2dForward(input, weight, spec), 1e-4f,
+                             1e-4f))
+        << "forward stride=" << spec.stride << " pad=" << spec.pad;
+
+    ts::Tensor grad_out = ts::Tensor::RandomNormal(out.shape(), rng);
+    EXPECT_TRUE(
+        ts::Conv2dBackwardInput(grad_out, weight, input.shape(), spec)
+            .AllClose(NaiveConv2dBackwardInput(grad_out, weight, input.shape(),
+                                               spec),
+                      1e-4f, 1e-4f))
+        << "backward-input stride=" << spec.stride << " pad=" << spec.pad;
+    EXPECT_TRUE(
+        ts::Conv2dBackwardWeight(grad_out, input, weight.shape(), spec)
+            .AllClose(NaiveConv2dBackwardWeight(grad_out, input,
+                                                weight.shape(), spec),
+                      1e-3f, 1e-3f))
+        << "backward-weight stride=" << spec.stride << " pad=" << spec.pad;
+  }
+}
+
+// --- Thread-count invariance of the reduction / elementwise paths ----------
+
+TEST(TensorParallelTest, LargeElementwiseAndReduceThreadCountInvariant) {
+  Rng rng(106);
+  // Above kParallelThreshold so the parallel paths engage.
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({130, 517}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({130, 517}), rng);
+  ts::Tensor bias = ts::Tensor::RandomNormal(ts::Shape({517}), rng);
+
+  ThreadPool single(1);
+  ThreadPool four(4);
+  ts::Tensor add1, add4, bcast1, bcast4, sum1, sum4, ax1, ax4;
+  {
+    ScopedActivePool scoped(&single);
+    add1 = ts::Add(a, b);
+    bcast1 = ts::Mul(a, bias);
+    sum1 = ts::SumAll(a);
+    ax1 = ts::Sum(a, 1);
+  }
+  {
+    ScopedActivePool scoped(&four);
+    add4 = ts::Add(a, b);
+    bcast4 = ts::Mul(a, bias);
+    sum4 = ts::SumAll(a);
+    ax4 = ts::Sum(a, 1);
+  }
+  EXPECT_TRUE(BitExact(add1, add4));
+  EXPECT_TRUE(BitExact(bcast1, bcast4));
+  EXPECT_TRUE(BitExact(sum1, sum4));
+  EXPECT_TRUE(BitExact(ax1, ax4));
+}
+
+TEST(TensorParallelTest, MatMulThreadCountInvariant) {
+  Rng rng(107);
+  ts::Tensor a = ts::Tensor::RandomNormal(ts::Shape({129, 257}), rng);
+  ts::Tensor b = ts::Tensor::RandomNormal(ts::Shape({257, 95}), rng);
+  ThreadPool single(1);
+  ThreadPool four(4);
+  ts::Tensor r1, r4;
+  {
+    ScopedActivePool scoped(&single);
+    r1 = ts::MatMul(a, b);
+  }
+  {
+    ScopedActivePool scoped(&four);
+    r4 = ts::MatMul(a, b);
+  }
+  EXPECT_TRUE(BitExact(r1, r4));
+}
+
+}  // namespace
+}  // namespace musenet

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds bench_micro_substrate and dumps its results to BENCH_substrate.json
+# at the repo root, seeding the performance trajectory across PRs.
+#
+# Usage: tools/run_substrate_bench.sh [build_dir] [extra benchmark flags...]
+# e.g.   tools/run_substrate_bench.sh build --benchmark_filter='BM_MatMul.*'
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+  build_dir="$1"
+  shift
+fi
+
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_micro_substrate -j"$(nproc)"
+
+"$build_dir/bench/bench_micro_substrate" \
+  --benchmark_out="$repo_root/BENCH_substrate.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $repo_root/BENCH_substrate.json"
