@@ -1,0 +1,110 @@
+// End-to-end training-step benchmark: the full forward + backward +
+// clipped-Adam update that `Train()` runs per mini-batch, measured for
+// MUSE-Net and for the strongest CNN baseline (DeepSTN+) at two batch sizes
+// on a TaxiBJ-like 16×16 grid. This is the number the perf trajectory tracks
+// across PRs — kernel microbenchmarks live in bench_micro_substrate, while
+// this binary answers "how many training samples per second does a realistic
+// step sustain end to end" (allocation, autograd bookkeeping and optimizer
+// included). `tools/run_training_bench.sh` records the results to
+// BENCH_training.json at the repo root.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "baselines/deepstn.h"
+#include "data/dataset.h"
+#include "muse/model.h"
+#include "optim/adam.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace musenet {
+namespace {
+
+namespace ts = musenet::tensor;
+namespace ag = musenet::autograd;
+
+constexpr int64_t kGridH = 16;
+constexpr int64_t kGridW = 16;
+constexpr double kClipNorm = 5.0;  // eval::TrainConfig default.
+
+/// Synthetic scaled batch matching the dataset pipeline's output shapes.
+data::Batch MakeSyntheticBatch(int64_t batch_size,
+                               const data::PeriodicitySpec& spec) {
+  Rng rng(6);
+  data::Batch batch;
+  batch.closeness = ts::Tensor::RandomUniform(
+      ts::Shape({batch_size, spec.ClosenessChannels(), kGridH, kGridW}), rng,
+      -1.0f, 1.0f);
+  batch.period = ts::Tensor::RandomUniform(
+      ts::Shape({batch_size, spec.PeriodChannels(), kGridH, kGridW}), rng,
+      -1.0f, 1.0f);
+  batch.trend = ts::Tensor::RandomUniform(
+      ts::Shape({batch_size, spec.TrendChannels(), kGridH, kGridW}), rng,
+      -1.0f, 1.0f);
+  batch.target = ts::Tensor::RandomUniform(
+      ts::Shape({batch_size, 2, kGridH, kGridW}), rng, -1.0f, 1.0f);
+  for (int64_t i = 0; i < batch_size; ++i) batch.target_indices.push_back(i);
+  return batch;
+}
+
+void BM_MuseNetTrainStep(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  muse::MuseNetConfig config;
+  config.grid_h = kGridH;
+  config.grid_w = kGridW;
+  config.repr_dim = 12;
+  config.dist_dim = 32;
+  muse::MuseNet model(config, 7);
+  optim::Adam optimizer(model.Parameters(), 2e-4);
+  data::Batch batch = MakeSyntheticBatch(batch_size, config.periodicity);
+
+  for (auto _ : state) {
+    auto forward = model.Forward(batch, /*stochastic=*/true);
+    ag::Variable loss = model.ComputeLoss(forward, batch, nullptr);
+    model.ZeroGrad();
+    ag::Backward(loss);
+    optim::ClipGradNorm(optimizer.params(), kClipNorm);
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().scalar());
+    ag::ReleaseGraph(loss);  // As Train() does between batches.
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_MuseNetTrainStep)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Exposes the protected differentiable forward so the bench can drive the
+/// exact per-batch step that NeuralForecaster::Train runs.
+struct BenchDeepStn : baselines::DeepStnPlus {
+  using DeepStnPlus::DeepStnPlus;
+  using DeepStnPlus::ForwardPredict;
+};
+
+void BM_DeepStnTrainStep(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  data::PeriodicitySpec spec;
+  BenchDeepStn model(kGridH, kGridW, spec, /*channels=*/16,
+                     /*resplus_blocks=*/2, /*seed=*/7);
+  optim::Adam optimizer(model.Parameters(), 2e-4);
+  data::Batch batch = MakeSyntheticBatch(batch_size, spec);
+
+  for (auto _ : state) {
+    ag::Variable pred = model.ForwardPredict(batch);
+    ag::Variable loss =
+        ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(batch.target))));
+    model.ZeroGrad();
+    ag::Backward(loss);
+    optim::ClipGradNorm(optimizer.params(), kClipNorm);
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().scalar());
+    ag::ReleaseGraph(loss);  // As Train() does between batches.
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_DeepStnTrainStep)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace musenet
+
+BENCHMARK_MAIN();

@@ -32,15 +32,35 @@ Variable MakeOp(const char* name, ts::Tensor value,
   return Variable(std::move(node));
 }
 
-/// Accumulates `g` into `target` after summing over broadcast axes.
+/// Accumulates `g` into `target` after summing over broadcast axes. When no
+/// reduction is needed the tensor is forwarded as-is (the rvalue overload
+/// then moves it straight into a first-contribution accumulator).
 void AccumulateBroadcast(Node& target, const ts::Tensor& g) {
   if (!target.requires_grad) return;
-  AccumulateGrad(target, ts::ReduceToShape(g, target.value.shape()));
+  if (g.shape() == target.value.shape()) {
+    AccumulateGrad(target, g);
+  } else {
+    AccumulateGrad(target, ts::ReduceToShape(g, target.value.shape()));
+  }
+}
+
+void AccumulateBroadcast(Node& target, ts::Tensor&& g) {
+  if (!target.requires_grad) return;
+  if (g.shape() == target.value.shape()) {
+    AccumulateGrad(target, std::move(g));
+  } else {
+    AccumulateGrad(target, ts::ReduceToShape(g, target.value.shape()));
+  }
 }
 
 void AccumulateIfNeeded(Node& target, const ts::Tensor& g) {
   if (!target.requires_grad) return;
   AccumulateGrad(target, g);
+}
+
+void AccumulateIfNeeded(Node& target, ts::Tensor&& g) {
+  if (!target.requires_grad) return;
+  AccumulateGrad(target, std::move(g));
 }
 
 }  // namespace
@@ -52,14 +72,18 @@ Variable Constant(tensor::Tensor value) {
 Variable Add(const Variable& a, const Variable& b) {
   return MakeOp("add", ts::Add(a.value(), b.value()), {a, b}, [](Node& n) {
     AccumulateBroadcast(*n.inputs[0], n.grad);
-    AccumulateBroadcast(*n.inputs[1], n.grad);
+    // Last use of this interior node's gradient: steal the buffer. (If both
+    // inputs alias, the accumulator was initialized above and the rvalue
+    // path adds in place without moving.)
+    AccumulateBroadcast(*n.inputs[1], std::move(n.grad));
   });
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   return MakeOp("sub", ts::Sub(a.value(), b.value()), {a, b}, [](Node& n) {
-    AccumulateBroadcast(*n.inputs[0], n.grad);
-    AccumulateBroadcast(*n.inputs[1], ts::Neg(n.grad));
+    ts::Tensor gb = ts::Neg(n.grad);
+    AccumulateBroadcast(*n.inputs[0], std::move(n.grad));
+    AccumulateBroadcast(*n.inputs[1], std::move(gb));
   });
 }
 
@@ -77,13 +101,13 @@ Variable Div(const Variable& a, const Variable& b) {
     // d/db (a/b) = -a / b².
     ts::Tensor gb = ts::Neg(
         ts::Div(ts::Mul(n.grad, n.inputs[0]->value), ts::Square(bv)));
-    AccumulateBroadcast(*n.inputs[1], gb);
+    AccumulateBroadcast(*n.inputs[1], std::move(gb));
   });
 }
 
 Variable AddScalar(const Variable& a, float s) {
   return MakeOp("add_scalar", ts::AddScalar(a.value(), s), {a}, [](Node& n) {
-    AccumulateIfNeeded(*n.inputs[0], n.grad);
+    AccumulateIfNeeded(*n.inputs[0], std::move(n.grad));
   });
 }
 
@@ -97,9 +121,9 @@ Variable MulScalar(const Variable& a, float s) {
 Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
 
 Variable Exp(const Variable& a) {
-  ts::Tensor out = ts::Exp(a.value());
-  return MakeOp("exp", out, {a}, [out](Node& n) {
-    AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, out));
+  // d exp(x) = exp(x) = the node's own value (valid until ReleaseGraph).
+  return MakeOp("exp", ts::Exp(a.value()), {a}, [](Node& n) {
+    AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, n.value));
   });
 }
 
@@ -110,80 +134,67 @@ Variable Log(const Variable& a) {
 }
 
 Variable Sqrt(const Variable& a) {
-  ts::Tensor out = ts::Sqrt(a.value());
-  return MakeOp("sqrt", out, {a}, [out](Node& n) {
-    // d sqrt(x) = 0.5 / sqrt(x).
+  return MakeOp("sqrt", ts::Sqrt(a.value()), {a}, [](Node& n) {
+    // d sqrt(x) = 0.5 / sqrt(x); sqrt(x) is the node's own value.
     AccumulateIfNeeded(*n.inputs[0],
-                       ts::Div(ts::MulScalar(n.grad, 0.5f), out));
+                       ts::Div(ts::MulScalar(n.grad, 0.5f), n.value));
   });
 }
 
 Variable Tanh(const Variable& a) {
-  ts::Tensor out = ts::Tanh(a.value());
-  return MakeOp("tanh", out, {a}, [out](Node& n) {
-    ts::Tensor one_minus_sq =
-        ts::Sub(ts::Tensor::Ones(out.shape()), ts::Square(out));
-    AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, one_minus_sq));
+  return MakeOp("tanh", ts::Tanh(a.value()), {a}, [](Node& n) {
+    // Fused g·(1 − tanh²), one pass instead of the Ones/Square/Sub/Mul
+    // chain (bit-identical — see fused_ops.cc).
+    AccumulateIfNeeded(*n.inputs[0], ts::ActBackwardFromOutput(
+                                         n.grad, n.value, ts::ActKind::kTanh));
   });
 }
 
 Variable Relu(const Variable& a) {
   return MakeOp("relu", ts::Relu(a.value()), {a}, [](Node& n) {
-    const ts::Tensor& in = n.inputs[0]->value;
-    ts::Tensor g(in.shape());
-    const float* pin = in.data();
-    const float* pg = n.grad.data();
-    float* po = g.mutable_data();
-    const int64_t count = in.num_elements();
-    for (int64_t i = 0; i < count; ++i) po[i] = pin[i] > 0.0f ? pg[i] : 0.0f;
-    AccumulateIfNeeded(*n.inputs[0], g);
+    // out > 0 ⟺ in > 0, so the mask can read the output.
+    AccumulateIfNeeded(*n.inputs[0], ts::ActBackwardFromOutput(
+                                         n.grad, n.value, ts::ActKind::kRelu));
   });
 }
 
 Variable LeakyRelu(const Variable& a, float alpha) {
   return MakeOp("leaky_relu", ts::LeakyRelu(a.value(), alpha), {a},
                 [alpha](Node& n) {
-                  const ts::Tensor& in = n.inputs[0]->value;
-                  ts::Tensor g(in.shape());
-                  const float* pin = in.data();
-                  const float* pg = n.grad.data();
-                  float* po = g.mutable_data();
-                  const int64_t count = in.num_elements();
-                  for (int64_t i = 0; i < count; ++i) {
-                    po[i] = pin[i] > 0.0f ? pg[i] : alpha * pg[i];
-                  }
-                  AccumulateIfNeeded(*n.inputs[0], g);
+                  AccumulateIfNeeded(
+                      *n.inputs[0],
+                      ts::ActBackwardFromOutput(
+                          n.grad, n.value, ts::ActKind::kLeakyRelu, alpha));
                 });
 }
 
 Variable Sigmoid(const Variable& a) {
-  ts::Tensor out = ts::Sigmoid(a.value());
-  return MakeOp("sigmoid", out, {a}, [out](Node& n) {
-    ts::Tensor deriv =
-        ts::Mul(out, ts::Sub(ts::Tensor::Ones(out.shape()), out));
-    AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, deriv));
+  return MakeOp("sigmoid", ts::Sigmoid(a.value()), {a}, [](Node& n) {
+    // Fused g·out·(1 − out), one pass (bit-identical to the unfused chain).
+    AccumulateIfNeeded(
+        *n.inputs[0],
+        ts::ActBackwardFromOutput(n.grad, n.value, ts::ActKind::kSigmoid));
   });
 }
 
 Variable Softplus(const Variable& a) {
   return MakeOp("softplus", ts::Softplus(a.value()), {a}, [](Node& n) {
     AccumulateIfNeeded(*n.inputs[0],
-                       ts::Mul(n.grad, ts::Sigmoid(n.inputs[0]->value)));
+                       ts::SoftplusBackward(n.grad, n.inputs[0]->value));
   });
 }
 
 Variable Square(const Variable& a) {
   return MakeOp("square", ts::Square(a.value()), {a}, [](Node& n) {
-    AccumulateIfNeeded(
-        *n.inputs[0],
-        ts::Mul(n.grad, ts::MulScalar(n.inputs[0]->value, 2.0f)));
+    AccumulateIfNeeded(*n.inputs[0],
+                       ts::SquareBackward(n.grad, n.inputs[0]->value));
   });
 }
 
 Variable Abs(const Variable& a) {
   return MakeOp("abs", ts::Abs(a.value()), {a}, [](Node& n) {
     const ts::Tensor& in = n.inputs[0]->value;
-    ts::Tensor g(in.shape());
+    ts::Tensor g = ts::Tensor::Uninitialized(in.shape());
     const float* pin = in.data();
     const float* pg = n.grad.data();
     float* po = g.mutable_data();
@@ -191,7 +202,7 @@ Variable Abs(const Variable& a) {
     for (int64_t i = 0; i < count; ++i) {
       po[i] = pin[i] > 0.0f ? pg[i] : (pin[i] < 0.0f ? -pg[i] : 0.0f);
     }
-    AccumulateIfNeeded(*n.inputs[0], g);
+    AccumulateIfNeeded(*n.inputs[0], std::move(g));
   });
 }
 
@@ -199,7 +210,7 @@ Variable Clamp(const Variable& a, float lo, float hi) {
   return MakeOp("clamp", ts::Clamp(a.value(), lo, hi), {a},
                 [lo, hi](Node& n) {
                   const ts::Tensor& in = n.inputs[0]->value;
-                  ts::Tensor g(in.shape());
+                  ts::Tensor g = ts::Tensor::Uninitialized(in.shape());
                   const float* pin = in.data();
                   const float* pg = n.grad.data();
                   float* po = g.mutable_data();
@@ -207,7 +218,34 @@ Variable Clamp(const Variable& a, float lo, float hi) {
                   for (int64_t i = 0; i < count; ++i) {
                     po[i] = (pin[i] >= lo && pin[i] <= hi) ? pg[i] : 0.0f;
                   }
-                  AccumulateIfNeeded(*n.inputs[0], g);
+                  AccumulateIfNeeded(*n.inputs[0], std::move(g));
+                });
+}
+
+Variable BiasActivation(const Variable& x, const Variable& bias,
+                        ts::ActKind act, float alpha) {
+  return MakeOp("bias_act", ts::BiasAct(x.value(), bias.value(), act, alpha),
+                {x, bias}, [act, alpha](Node& n) {
+                  // Pre-activation gradient from the output alone, then the
+                  // usual broadcast-aware Add backward for the bias.
+                  ts::Tensor g_pre = ts::ActBackwardFromOutput(
+                      n.grad, n.value, act, alpha);
+                  AccumulateBroadcast(*n.inputs[1], g_pre);
+                  AccumulateIfNeeded(*n.inputs[0], std::move(g_pre));
+                });
+}
+
+Variable FusedMulAdd(const Variable& a, const Variable& b,
+                     const Variable& c) {
+  return MakeOp("mul_add", ts::MulAdd(a.value(), b.value(), c.value()),
+                {a, b, c}, [](Node& n) {
+                  // Products first, then steal the gradient buffer for `a`;
+                  // accumulation order (a, b, c) is preserved for aliasing.
+                  ts::Tensor gb = ts::Mul(n.grad, n.inputs[2]->value);
+                  ts::Tensor gc = ts::Mul(n.grad, n.inputs[1]->value);
+                  AccumulateIfNeeded(*n.inputs[0], std::move(n.grad));
+                  AccumulateIfNeeded(*n.inputs[1], std::move(gb));
+                  AccumulateIfNeeded(*n.inputs[2], std::move(gc));
                 });
 }
 
@@ -250,11 +288,11 @@ Variable MatMul(const Variable& a, const Variable& b) {
                   const ts::Tensor& bv = n.inputs[1]->value;
                   if (n.inputs[0]->requires_grad) {
                     AccumulateGrad(*n.inputs[0],
-                                   ts::MatMul(n.grad, ts::Transpose2d(bv)));
+                                   ts::MatMulTransB(n.grad, bv));
                   }
                   if (n.inputs[1]->requires_grad) {
                     AccumulateGrad(*n.inputs[1],
-                                   ts::MatMul(ts::Transpose2d(av), n.grad));
+                                   ts::MatMulTransA(av, n.grad));
                   }
                 });
 }
@@ -266,12 +304,10 @@ Variable MatMulBatched(const Variable& a, const Variable& b) {
         const ts::Tensor& av = n.inputs[0]->value;
         const ts::Tensor& bv = n.inputs[1]->value;
         if (n.inputs[0]->requires_grad) {
-          AccumulateGrad(*n.inputs[0],
-                         ts::MatMulBatched(n.grad, ts::TransposeLast2(bv)));
+          AccumulateGrad(*n.inputs[0], ts::MatMulBatchedTransB(n.grad, bv));
         }
         if (n.inputs[1]->requires_grad) {
-          AccumulateGrad(*n.inputs[1],
-                         ts::MatMulBatched(ts::TransposeLast2(av), n.grad));
+          AccumulateGrad(*n.inputs[1], ts::MatMulBatchedTransA(av, n.grad));
         }
       });
 }
@@ -291,13 +327,12 @@ Variable TransposeLast2(const Variable& a) {
 }
 
 Variable SoftmaxLastAxis(const Variable& a) {
-  ts::Tensor out = ts::SoftmaxLastAxis(a.value());
-  return MakeOp("softmax", out, {a}, [out](Node& n) {
-    // dx = y ⊙ (g − Σ_j g_j y_j) per row of the last axis.
+  return MakeOp("softmax", ts::SoftmaxLastAxis(a.value()), {a}, [](Node& n) {
+    // dx = y ⊙ (g − Σ_j g_j y_j) per row of the last axis; y = n.value.
+    const ts::Tensor& out = n.value;
     ts::Tensor gy = ts::Mul(n.grad, out);
     ts::Tensor row_sum = ts::Sum(gy, out.rank() - 1, /*keepdims=*/true);
-    ts::Tensor g_in = ts::Mul(out, ts::Sub(n.grad, row_sum));
-    AccumulateIfNeeded(*n.inputs[0], g_in);
+    AccumulateIfNeeded(*n.inputs[0], ts::Mul(out, ts::Sub(n.grad, row_sum)));
   });
 }
 
@@ -379,7 +414,7 @@ Variable AvgPool2d(const Variable& a, int64_t window) {
   return MakeOp("avg_pool2d", std::move(out), {a}, [window](Node& n) {
     // Each input element receives grad/out · 1/window².
     const ts::Shape& in_shape = n.inputs[0]->value.shape();
-    ts::Tensor g(in_shape);
+    ts::Tensor g = ts::Tensor::Uninitialized(in_shape);
     const int64_t h = in_shape.dim(2);
     const int64_t w = in_shape.dim(3);
     const int64_t ow = w / window;

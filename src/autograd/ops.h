@@ -5,6 +5,7 @@
 
 #include "autograd/variable.h"
 #include "tensor/conv2d.h"
+#include "tensor/tensor_ops.h"
 
 namespace musenet::autograd {
 
@@ -25,6 +26,19 @@ Variable Div(const Variable& a, const Variable& b);
 
 Variable AddScalar(const Variable& a, float s);
 Variable MulScalar(const Variable& a, float s);
+
+// --- Fused -------------------------------------------------------------------
+
+/// act(x + bias) as one node/kernel. Bit-identical to
+/// ApplyActivation(Add(x, bias)); `bias` must broadcast against `x` with at
+/// most one non-unit axis. Softplus is not representable here (its derivative
+/// needs the pre-activation, which the fused node never materializes).
+Variable BiasActivation(const Variable& x, const Variable& bias,
+                        tensor::ActKind act, float alpha = 0.1f);
+
+/// a + b ⊙ c as one node/kernel; shapes must match exactly. Bit-identical to
+/// Add(a, Mul(b, c)).
+Variable FusedMulAdd(const Variable& a, const Variable& b, const Variable& c);
 
 // --- Elementwise unary -------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "autograd/variable.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
@@ -15,7 +16,21 @@ void AccumulateGrad(Node& node, const tensor::Tensor& g) {
     node.grad = g;
     node.grad_initialized = true;
   } else {
-    node.grad = tensor::Add(node.grad, g);
+    // In place: same element order and rounding as grad = Add(grad, g)
+    // without allocating a fresh accumulator per contribution.
+    tensor::AddInPlace(node.grad, g);
+  }
+}
+
+void AccumulateGrad(Node& node, tensor::Tensor&& g) {
+  MUSE_CHECK(g.shape() == node.value.shape())
+      << "gradient shape " << g.shape().ToString() << " vs value shape "
+      << node.value.shape().ToString() << " (op " << node.op_name << ")";
+  if (!node.grad_initialized) {
+    node.grad = std::move(g);
+    node.grad_initialized = true;
+  } else {
+    tensor::AddInPlace(node.grad, g);
   }
 }
 
@@ -114,6 +129,19 @@ void Backward(const Variable& output) {
 Variable Detach(const Variable& v) {
   MUSE_CHECK(v.defined());
   return Variable(v.value(), /*requires_grad=*/false);
+}
+
+void ReleaseGraph(const Variable& root) {
+  MUSE_CHECK(root.defined());
+  for (Node* node : TopologicalOrder(root.node().get())) {
+    const bool is_leaf = node->inputs.empty() && !node->backward;
+    if (is_leaf) continue;  // Parameters and constants stay usable.
+    if (node != root.node().get()) node->value = tensor::Tensor();
+    node->grad = tensor::Tensor();
+    node->grad_initialized = false;
+    node->backward = nullptr;
+    node->inputs.clear();
+  }
 }
 
 }  // namespace musenet::autograd

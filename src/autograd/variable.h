@@ -26,9 +26,12 @@ struct Node {
   const char* op_name = "leaf";
 };
 
-/// Adds `g` into `node`'s gradient accumulator (allocating it on first use).
-/// `g` must match the node value's shape.
+/// Adds `g` into `node`'s gradient accumulator. `g` must match the node
+/// value's shape. The first contribution initializes the accumulator (the
+/// rvalue overload moves it in without a copy); later contributions add in
+/// place — no per-accumulation allocation either way.
 void AccumulateGrad(Node& node, const tensor::Tensor& g);
+void AccumulateGrad(Node& node, tensor::Tensor&& g);
 
 /// Shared handle to a computation-graph node; the user-facing autograd type.
 ///
@@ -86,6 +89,14 @@ void BackwardWithSeed(const Variable& output, const tensor::Tensor& seed);
 
 /// Returns a leaf copy of `v` that blocks gradient flow.
 Variable Detach(const Variable& v);
+
+/// Tears down the graph below `root` once a training step is done with it:
+/// every interior node's value, gradient, inputs and backward closure are
+/// dropped (returning their buffers to the storage pool immediately and
+/// breaking the ownership DAG). Leaves — parameters and constants — and
+/// `root`'s own value stay usable; any other Variable still pointing into
+/// the graph must not be read afterwards.
+void ReleaseGraph(const Variable& root);
 
 }  // namespace musenet::autograd
 

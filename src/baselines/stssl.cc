@@ -68,9 +68,12 @@ void StSslLite::Train(const data::TrafficDataset& dataset,
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
-    for (const auto& indices : eval::MakeEpochBatches(
-             dataset.train_indices(), config.batch_size, epoch_rng)) {
-      data::Batch batch = dataset.MakeBatch(indices);
+    const std::vector<int64_t> shuffled =
+        eval::ShuffleEpochPool(dataset.train_indices(), epoch_rng);
+    for (size_t begin = 0; begin < shuffled.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      data::Batch batch = dataset.MakeBatchFromPool(
+          shuffled, begin, static_cast<size_t>(config.batch_size));
 
       // Main forecasting branch.
       ag::Variable features = Encode(ag::Constant(batch.closeness),
@@ -84,7 +87,7 @@ void StSslLite::Train(const data::TrafficDataset& dataset,
       ag::Variable raw =
           ag::Concat({ag::Constant(batch.closeness),
                       ag::Constant(batch.period)}, 1);
-      ts::Tensor mask(raw.value().shape());
+      ts::Tensor mask = ts::Tensor::Uninitialized(raw.value().shape());
       float* pm = mask.mutable_data();
       for (int64_t i = 0; i < mask.num_elements(); ++i) {
         pm[i] = mask_rng_.Bernoulli(mask_rate_) ? 0.0f : 1.0f;
@@ -105,6 +108,8 @@ void StSslLite::Train(const data::TrafficDataset& dataset,
       optimizer.Step();
       epoch_loss += loss.value().scalar();
       ++num_batches;
+      // Return the step's graph buffers to the storage pool.
+      ag::ReleaseGraph(loss);
     }
     const double val_mse =
         eval::ValidationMse(*this, dataset, config.batch_size);

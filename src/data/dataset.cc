@@ -58,7 +58,7 @@ TrafficDataset::TrafficDataset(sim::FlowSeries flows, DatasetOptions options)
   scaler_.Fit(flows_, test_start);
 }
 
-Batch TrafficDataset::MakeBatch(const std::vector<int64_t>& base_indices) const {
+Batch TrafficDataset::MakeBatch(std::span<const int64_t> base_indices) const {
   MUSE_CHECK(!base_indices.empty());
   std::vector<tensor::Tensor> closeness;
   std::vector<tensor::Tensor> period;
@@ -90,12 +90,10 @@ Batch TrafficDataset::MakeBatch(const std::vector<int64_t>& base_indices) const 
   return batch;
 }
 
-Batch TrafficDataset::MakeBatchFromPool(const std::vector<int64_t>& pool,
+Batch TrafficDataset::MakeBatchFromPool(std::span<const int64_t> pool,
                                         size_t begin, size_t count) const {
   MUSE_CHECK_LT(begin, pool.size());
-  const size_t end = std::min(pool.size(), begin + count);
-  return MakeBatch(std::vector<int64_t>(pool.begin() + begin,
-                                        pool.begin() + end));
+  return MakeBatch(pool.subspan(begin, std::min(count, pool.size() - begin)));
 }
 
 }  // namespace musenet::data

@@ -2,6 +2,7 @@
 #define MUSENET_DATA_DATASET_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/interception.h"
@@ -52,12 +53,17 @@ class TrafficDataset {
   const std::vector<int64_t>& val_indices() const { return val_; }
   const std::vector<int64_t>& test_indices() const { return test_; }
 
-  /// Materializes a scaled batch for the given base indices.
-  Batch MakeBatch(const std::vector<int64_t>& base_indices) const;
+  /// Materializes a scaled batch for the given base indices. The span
+  /// overload lets callers batch a window of an existing index pool without
+  /// copying indices into a fresh vector.
+  Batch MakeBatch(std::span<const int64_t> base_indices) const;
+  Batch MakeBatch(const std::vector<int64_t>& base_indices) const {
+    return MakeBatch(std::span<const int64_t>(base_indices));
+  }
 
   /// Convenience: batch `count` indices of `pool` starting at `begin`
   /// (clamped to the pool size).
-  Batch MakeBatchFromPool(const std::vector<int64_t>& pool, size_t begin,
+  Batch MakeBatchFromPool(std::span<const int64_t> pool, size_t begin,
                           size_t count) const;
 
   const MinMaxScaler& scaler() const { return scaler_; }

@@ -16,15 +16,21 @@ namespace musenet::eval {
 // nodes and the per-model dropout RNG stream are ordered state — so this
 // file parallelizes only the order-free dense reductions below.
 
-std::vector<std::vector<int64_t>> MakeEpochBatches(
-    const std::vector<int64_t>& pool, int batch_size, Rng& rng) {
-  MUSE_CHECK_GT(batch_size, 0);
+std::vector<int64_t> ShuffleEpochPool(const std::vector<int64_t>& pool,
+                                      Rng& rng) {
   std::vector<int64_t> shuffled = pool;
   // Fisher–Yates with the library Rng for cross-platform determinism.
   for (size_t i = shuffled.size(); i > 1; --i) {
     const size_t j = static_cast<size_t>(rng.UniformInt(i));
     std::swap(shuffled[i - 1], shuffled[j]);
   }
+  return shuffled;
+}
+
+std::vector<std::vector<int64_t>> MakeEpochBatches(
+    const std::vector<int64_t>& pool, int batch_size, Rng& rng) {
+  MUSE_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> shuffled = ShuffleEpochPool(pool, rng);
   std::vector<std::vector<int64_t>> batches;
   for (size_t begin = 0; begin < shuffled.size();
        begin += static_cast<size_t>(batch_size)) {
@@ -67,10 +73,9 @@ double ValidationMse(Forecaster& model, const data::TrafficDataset& dataset,
   int64_t count = 0;
   for (size_t begin = 0; begin < val.size();
        begin += static_cast<size_t>(batch_size)) {
-    const size_t end =
-        std::min(val.size(), begin + static_cast<size_t>(batch_size));
-    data::Batch batch = dataset.MakeBatch(
-        std::vector<int64_t>(val.begin() + begin, val.begin() + end));
+    // Span window into the validation pool — no per-batch index copy.
+    data::Batch batch = dataset.MakeBatchFromPool(
+        val, begin, static_cast<size_t>(batch_size));
     tensor::Tensor pred = model.Predict(batch);
     const int64_t n = pred.num_elements();
     total += MseOf(pred, batch.target) * static_cast<double>(n);

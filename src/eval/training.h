@@ -10,8 +10,16 @@
 
 namespace musenet::eval {
 
+/// Returns a shuffled copy of the index pool (Fisher–Yates with the library
+/// Rng for cross-platform determinism). One call per epoch; train loops
+/// window over the result with MakeBatchFromPool instead of materializing
+/// per-batch index vectors.
+std::vector<int64_t> ShuffleEpochPool(const std::vector<int64_t>& pool,
+                                      Rng& rng);
+
 /// Shuffles the index pool and chunks it into mini-batches of `batch_size`
-/// (last batch may be short). One call per epoch.
+/// (last batch may be short). Same shuffle order as ShuffleEpochPool; kept
+/// for callers that want owned per-batch vectors.
 std::vector<std::vector<int64_t>> MakeEpochBatches(
     const std::vector<int64_t>& pool, int batch_size, Rng& rng);
 

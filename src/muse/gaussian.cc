@@ -12,7 +12,8 @@ ag::Variable Reparameterize(const DiagGaussian& dist, Rng& rng,
   tensor::Tensor eps =
       tensor::Tensor::RandomNormal(dist.mu.value().shape(), rng);
   ag::Variable sigma = ag::Exp(ag::MulScalar(dist.logvar, 0.5f));
-  return ag::Add(dist.mu, ag::Mul(sigma, ag::Constant(std::move(eps))));
+  // μ + σ ⊙ ε in one node/kernel (bit-identical to Add(μ, Mul(σ, ε))).
+  return ag::FusedMulAdd(dist.mu, sigma, ag::Constant(std::move(eps)));
 }
 
 ag::Variable KlToStandard(const DiagGaussian& dist) {

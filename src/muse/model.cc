@@ -292,9 +292,12 @@ void MuseNet::Train(const data::TrafficDataset& dataset,
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
-    for (const auto& indices : eval::MakeEpochBatches(
-             dataset.train_indices(), config.batch_size, epoch_rng)) {
-      data::Batch batch = dataset.MakeBatch(indices);
+    const std::vector<int64_t> shuffled =
+        eval::ShuffleEpochPool(dataset.train_indices(), epoch_rng);
+    for (size_t begin = 0; begin < shuffled.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      data::Batch batch = dataset.MakeBatchFromPool(
+          shuffled, begin, static_cast<size_t>(config.batch_size));
       ForwardResult forward = Forward(batch, /*stochastic=*/true);
       LossBreakdown parts;
       ag::Variable loss = ComputeLoss(forward, batch, &parts);
@@ -306,6 +309,9 @@ void MuseNet::Train(const data::TrafficDataset& dataset,
       optimizer.Step();
       epoch_loss += parts.total;
       ++num_batches;
+      // Return the step's graph buffers to the storage pool before the next
+      // batch allocates (parts was filled at loss-build time).
+      ag::ReleaseGraph(loss);
     }
     const double val_mse = eval::ValidationMse(*this, dataset,
                                                config.batch_size);

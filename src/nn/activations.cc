@@ -24,6 +24,30 @@ autograd::Variable ApplyActivation(const autograd::Variable& x,
   return x;
 }
 
+bool FusableActKind(Activation activation, tensor::ActKind* kind) {
+  switch (activation) {
+    case Activation::kNone:
+      *kind = tensor::ActKind::kIdentity;
+      return true;
+    case Activation::kRelu:
+      *kind = tensor::ActKind::kRelu;
+      return true;
+    case Activation::kLeakyRelu:
+      *kind = tensor::ActKind::kLeakyRelu;
+      return true;
+    case Activation::kTanh:
+      *kind = tensor::ActKind::kTanh;
+      return true;
+    case Activation::kSigmoid:
+      *kind = tensor::ActKind::kSigmoid;
+      return true;
+    case Activation::kSoftplus:
+      return false;
+  }
+  MUSE_CHECK(false) << "unreachable activation";
+  return false;
+}
+
 Activation ActivationFromString(const std::string& name) {
   if (name == "none") return Activation::kNone;
   if (name == "relu") return Activation::kRelu;

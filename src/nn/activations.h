@@ -3,6 +3,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
+#include "tensor/tensor_ops.h"
 
 namespace musenet::nn {
 
@@ -22,6 +23,11 @@ autograd::Variable ApplyActivation(const autograd::Variable& x,
 
 /// Parses "none"/"relu"/"tanh"/"sigmoid"/"softplus"; aborts on other input.
 Activation ActivationFromString(const std::string& name);
+
+/// Maps `activation` onto the fused bias+activation kernel's selector when it
+/// has one. Returns false for softplus, whose derivative needs the
+/// pre-activation and therefore stays on the unfused path.
+bool FusableActKind(Activation activation, tensor::ActKind* kind);
 
 }  // namespace musenet::nn
 

@@ -54,9 +54,15 @@ ag::Variable Conv2d::Forward(const ag::Variable& x) {
   MUSE_CHECK_EQ(x.value().dim(1), in_channels_);
   ag::Variable y = ag::Conv2d(x, weight_, spec_);
   if (options_.use_bias) {
-    // [Cout] → [1,Cout,1,1] broadcasts over batch and space.
+    // [Cout] → [1,Cout,1,1] broadcasts over batch and space. use_bias
+    // implies no batch norm (the ctor clears it), so the activation can
+    // fuse into the same node when it has a fused kind.
     ag::Variable b =
         ag::Reshape(bias_, tensor::Shape({1, out_channels_, 1, 1}));
+    tensor::ActKind kind;
+    if (FusableActKind(options_.activation, &kind)) {
+      return ag::BiasActivation(y, b, kind);
+    }
     y = ag::Add(y, b);
   }
   if (batch_norm_ != nullptr) y = batch_norm_->Forward(y);

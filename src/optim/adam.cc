@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernel_util.h"
 #include "util/check.h"
 
 namespace musenet::optim {
@@ -38,19 +39,32 @@ void Adam::Step() {
     if (!p.has_grad()) continue;
     const tensor::Tensor& g = p.grad();
     tensor::Tensor& theta = p.mutable_value();
-    float* pm = m_[i].mutable_data();
-    float* pv = v_[i].mutable_data();
-    float* pt = theta.mutable_data();
-    const float* pg = g.data();
-    const int64_t n = theta.num_elements();
-    for (int64_t j = 0; j < n; ++j) {
-      const double grad = pg[j] + wd * pt[j];
-      pm[j] = static_cast<float>(b1 * pm[j] + (1.0 - b1) * grad);
-      pv[j] = static_cast<float>(b2 * pv[j] + (1.0 - b2) * grad * grad);
-      const double m_hat = pm[j] / bias1;
-      const double v_hat = pv[j] / bias2;
-      pt[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
-    }
+    MUSE_CHECK(m_[i].shape() == theta.shape() && v_[i].shape() == theta.shape())
+        << "Adam state shape " << m_[i].shape().ToString()
+        << " does not match parameter shape " << theta.shape().ToString()
+        << " (param " << i << ")";
+    MUSE_CHECK(g.shape() == theta.shape())
+        << "Adam gradient shape " << g.shape().ToString()
+        << " does not match parameter shape " << theta.shape().ToString();
+    // __restrict lets the compiler vectorize the loop; each element's update
+    // is independent and uses only correctly rounded operations
+    // (+,*,/,sqrt), so chunked parallel execution is bit-identical to the
+    // sequential loop.
+    float* __restrict pm = m_[i].mutable_data();
+    float* __restrict pv = v_[i].mutable_data();
+    float* __restrict pt = theta.mutable_data();
+    const float* __restrict pg = g.data();
+    tensor::MaybeParallelFor(
+        theta.num_elements(), [&](int64_t lo, int64_t hi) {
+          for (int64_t j = lo; j < hi; ++j) {
+            const double grad = pg[j] + wd * pt[j];
+            pm[j] = static_cast<float>(b1 * pm[j] + (1.0 - b1) * grad);
+            pv[j] = static_cast<float>(b2 * pv[j] + (1.0 - b2) * grad * grad);
+            const double m_hat = pm[j] / bias1;
+            const double v_hat = pv[j] / bias2;
+            pt[j] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+          }
+        });
   }
 }
 

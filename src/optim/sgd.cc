@@ -24,6 +24,10 @@ void Sgd::Step() {
     const tensor::Tensor& g = p.grad();
     tensor::Tensor& v = velocity_[i];
     tensor::Tensor& theta = p.mutable_value();
+    MUSE_CHECK(v.shape() == theta.shape())
+        << "SGD velocity shape " << v.shape().ToString()
+        << " does not match parameter shape " << theta.shape().ToString()
+        << " (param " << i << ")";
     float* pv = v.mutable_data();
     float* pt = theta.mutable_data();
     const float* pg = g.data();

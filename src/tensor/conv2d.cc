@@ -4,6 +4,7 @@
 
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
+#include "tensor/storage_pool.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -51,7 +52,12 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
   float* po = out.mutable_data();
 
   util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
-    std::vector<float> col(static_cast<size_t>(kdim * osp));
+    // Pooled, uninitialized scratch: Im2col writes every element (padding
+    // becomes literal zeros). These column matrices are large enough that a
+    // fresh heap allocation per call costs real time (mmap + page faults).
+    StoragePool& pool = StoragePool::Instance();
+    std::vector<float> col =
+        pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
     for (int64_t b = b0; b < b1; ++b) {
       Im2col(pin + b * cin * h * w, cin, h, w, kh, kw, spec.stride, spec.pad,
              oh, ow, col.data());
@@ -60,6 +66,7 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
       GemmAccF32(cout, osp, kdim, pw, kdim, col.data(), osp,
                  po + b * cout * osp, osp);
     }
+    pool.Release(std::move(col));
   });
   return out;
 }
@@ -88,24 +95,20 @@ Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
   const float* pw = weight.data();
   float* pi = grad_in.mutable_data();
 
-  // W^T [kdim, cout], shared read-only across the batch fan-out.
-  std::vector<float> wt(static_cast<size_t>(kdim * cout));
-  for (int64_t co = 0; co < cout; ++co) {
-    for (int64_t r = 0; r < kdim; ++r) {
-      wt[static_cast<size_t>(r * cout + co)] = pw[co * kdim + r];
-    }
-  }
-
   util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
-    std::vector<float> col(static_cast<size_t>(kdim * osp));
+    StoragePool& pool = StoragePool::Instance();
+    std::vector<float> col =
+        pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
     for (int64_t b = b0; b < b1; ++b) {
       std::fill(col.begin(), col.end(), 0.0f);
-      // col_grad [kdim, osp] = W^T · grad_out_b [cout, osp].
-      GemmAccF32(kdim, osp, cout, wt.data(), cout, pg + b * cout * osp, osp,
-                 col.data(), osp);
+      // col_grad [kdim, osp] = Wᵀ · grad_out_b [cout, osp]; the GEMM reads
+      // W [cout, kdim] through strides instead of a materialized Wᵀ.
+      GemmAccF32TransA(kdim, osp, cout, pw, kdim, pg + b * cout * osp, osp,
+                       col.data(), osp);
       Col2imAdd(col.data(), cin, h, w, kh, kw, spec.stride, spec.pad, oh, ow,
                 pi + b * cin * h * w);
     }
+    pool.Release(std::move(col));
   });
   return grad_in;
 }
@@ -137,20 +140,18 @@ Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
 
   // Sequential over the batch: per-sample contributions land on the shared
   // weight gradient in ascending-sample order at every thread count.
-  std::vector<float> col(static_cast<size_t>(kdim * osp));
-  std::vector<float> colt(static_cast<size_t>(osp * kdim));
+  StoragePool& pool = StoragePool::Instance();
+  std::vector<float> col =
+      pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
   for (int64_t b = 0; b < batch; ++b) {
     Im2col(pin + b * cin * h * w, cin, h, w, kh, kw, spec.stride, spec.pad,
            oh, ow, col.data());
-    for (int64_t r = 0; r < kdim; ++r) {
-      for (int64_t o = 0; o < osp; ++o) {
-        colt[static_cast<size_t>(o * kdim + r)] = col[static_cast<size_t>(r * osp + o)];
-      }
-    }
-    // grad_w [cout, kdim] += grad_out_b [cout, osp] · col^T [osp, kdim].
-    GemmAccF32(cout, kdim, osp, pg + b * cout * osp, osp, colt.data(), kdim,
-               pw, kdim);
+    // grad_w [cout, kdim] += grad_out_b [cout, osp] · colᵀ; the GEMM reads
+    // col [kdim, osp] through strides instead of a materialized transpose.
+    GemmAccF32TransB(cout, kdim, osp, pg + b * cout * osp, osp, col.data(),
+                     osp, pw, kdim);
   }
+  pool.Release(std::move(col));
   return grad_w;
 }
 

@@ -21,6 +21,25 @@ namespace musenet::tensor {
 void GemmAccF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
                 const float* b, int64_t ldb, float* c, int64_t ldc);
 
+// Transposed-operand variants. The transposed operand is read through
+// strides during packing / broadcast instead of being materialized, which
+// removes a full write+read pass over it; values, accumulation order and
+// results are bit-identical to transposing first and calling GemmAccF32.
+// Backward passes (grad = g·Bᵀ, grad = Aᵀ·g, im2col weight gradients) are
+// the intended callers.
+
+/// C[m,n] += A[m,k] · Bᵀ where B is stored transposed: bt[n,k] row-major
+/// with leading dimension `ldbt` (B[kk][j] = bt[j·ldbt + kk]).
+void GemmAccF32TransB(int64_t m, int64_t n, int64_t k, const float* a,
+                      int64_t lda, const float* bt, int64_t ldbt, float* c,
+                      int64_t ldc);
+
+/// C[m,n] += Aᵀ · B[k,n] where A is stored transposed: at[k,m] row-major
+/// with leading dimension `ldat` (A[i][kk] = at[kk·ldat + i]).
+void GemmAccF32TransA(int64_t m, int64_t n, int64_t k, const float* at,
+                      int64_t ldat, const float* b, int64_t ldb, float* c,
+                      int64_t ldc);
+
 }  // namespace musenet::tensor
 
 #endif  // MUSENET_TENSOR_GEMM_H_

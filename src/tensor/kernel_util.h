@@ -1,0 +1,46 @@
+#ifndef MUSENET_TENSOR_KERNEL_UTIL_H_
+#define MUSENET_TENSOR_KERNEL_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace musenet::tensor {
+
+/// Element count above which elementwise/reduction kernels fan out over the
+/// thread pool. Below it, loop overhead beats the dispatch.
+inline constexpr int64_t kParallelThreshold = 1 << 15;
+
+/// Fixed chunk size for parallel loops; chunk boundaries depend only on the
+/// problem size, never the thread count, so partial-sum slots (and therefore
+/// results) are identical at every MUSENET_NUM_THREADS.
+inline constexpr int64_t kParallelGrain = 1 << 14;
+
+/// Runs `fn(lo, hi)` over [0, n): chunked across the pool for large n,
+/// inline otherwise (one whole-range call, which equals the chunked result
+/// for kernels whose per-element work is independent).
+template <typename Fn>
+void MaybeParallelFor(int64_t n, Fn&& fn) {
+  if (n >= kParallelThreshold) {
+    util::ActivePool().ParallelFor(0, n, kParallelGrain, fn);
+  } else {
+    fn(0, n);
+  }
+}
+
+/// Numerically stable logistic, shared by the unary Sigmoid kernel and the
+/// fused bias+activation path so both round identically.
+inline float SigmoidScalar(float x) {
+  // Stable in both tails.
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_KERNEL_UTIL_H_

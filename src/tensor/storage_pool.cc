@@ -1,0 +1,159 @@
+#include "tensor/storage_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+
+namespace musenet::tensor {
+
+namespace {
+
+/// Smallest c with 2^c >= n (the class an acquisition looks in).
+int RequestClass(size_t n) {
+  if (n <= 1) return 0;
+  return static_cast<int>(std::bit_width(n - 1));
+}
+
+/// Largest c with 2^c <= capacity (the class a buffer parks in).
+int CapacityClass(size_t capacity) {
+  return static_cast<int>(std::bit_width(capacity)) - 1;
+}
+
+int64_t CapacityBytes(const std::vector<float>& buf) {
+  return static_cast<int64_t>(buf.capacity()) *
+         static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace
+
+StoragePool& StoragePool::Instance() {
+  static StoragePool* pool = new StoragePool();  // Leaked; see header.
+  return *pool;
+}
+
+StoragePool::StoragePool() {
+  const char* disable = std::getenv("MUSENET_DISABLE_POOL");
+  env_disabled_ = disable != nullptr && disable[0] != '\0';
+  if (const char* cap = std::getenv("MUSENET_POOL_MAX_MB")) {
+    max_pooled_bytes_ = std::atoll(cap) * (int64_t{1} << 20);
+  }
+}
+
+void StoragePool::NoteCheckout(int64_t bytes) {
+  stats_.bytes_live += bytes;
+  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+}
+
+std::vector<float> StoragePool::PopBuffer(size_t n) {
+  const int cls = RequestClass(n);
+  bool round_up = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool pooling =
+        !env_disabled_ && disable_depth_ == 0 && cls < kNumClasses;
+    if (pooling && !free_lists_[cls].empty()) {
+      std::vector<float> buf = std::move(free_lists_[cls].back());
+      free_lists_[cls].pop_back();
+      const int64_t bytes = CapacityBytes(buf);
+      ++stats_.pool_reuses;
+      stats_.bytes_pooled = std::max<int64_t>(0, stats_.bytes_pooled - bytes);
+      NoteCheckout(bytes);
+      return buf;
+    }
+    ++stats_.fresh_allocs;
+    // Fresh buffers get class-sized capacity (2^cls ≥ n) so that on release
+    // they park in exactly the class a same-size acquisition looks in —
+    // capacity n would round *down* and never be found again.
+    round_up = pooling;
+    const size_t capacity = round_up ? (size_t{1} << cls) : n;
+    NoteCheckout(static_cast<int64_t>(capacity) *
+                 static_cast<int64_t>(sizeof(float)));
+  }
+  std::vector<float> buf;  // Allocated outside the lock.
+  if (round_up) buf.reserve(size_t{1} << cls);
+  return buf;
+}
+
+std::vector<float> StoragePool::Acquire(size_t n, bool zero) {
+  std::vector<float> buf = PopBuffer(n);
+  if (zero) {
+    buf.assign(n, 0.0f);
+  } else {
+    // Shrinking writes nothing; growing zero-fills only the tail beyond the
+    // recycled size (empty in steady state, where sizes recur exactly).
+    buf.resize(n);
+  }
+  return buf;
+}
+
+std::vector<float> StoragePool::AcquireCopy(const float* src, size_t n) {
+  std::vector<float> buf = PopBuffer(n);
+  buf.assign(src, src + n);
+  return buf;
+}
+
+void StoragePool::Release(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  const int64_t bytes = CapacityBytes(buf);
+  const int cls = CapacityClass(buf.capacity());
+  std::vector<float> dropped;  // Freed outside the lock when not parked.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.releases;
+    stats_.bytes_live = std::max<int64_t>(0, stats_.bytes_live - bytes);
+    const bool over_cap = max_pooled_bytes_ > 0 &&
+                          stats_.bytes_pooled + bytes > max_pooled_bytes_;
+    if (env_disabled_ || disable_depth_ > 0 || cls >= kNumClasses ||
+        over_cap) {
+      dropped = std::move(buf);
+    } else {
+      stats_.bytes_pooled += bytes;
+      free_lists_[cls].push_back(std::move(buf));
+    }
+  }
+}
+
+void StoragePool::Trim() {
+  std::vector<std::vector<float>> dropped;  // Freed outside the lock.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& list : free_lists_) {
+    for (auto& buf : list) dropped.push_back(std::move(buf));
+    list.clear();
+  }
+  stats_.bytes_pooled = 0;
+}
+
+StoragePoolStats StoragePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void StoragePool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t pooled = stats_.bytes_pooled;
+  const int64_t live = stats_.bytes_live;
+  stats_ = StoragePoolStats{};
+  // Byte gauges track real buffer state and survive a counter reset.
+  stats_.bytes_pooled = pooled;
+  stats_.bytes_live = live;
+  stats_.bytes_peak = live;
+}
+
+bool StoragePool::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !env_disabled_ && disable_depth_ == 0;
+}
+
+ScopedPoolDisable::ScopedPoolDisable() {
+  StoragePool& pool = StoragePool::Instance();
+  std::lock_guard<std::mutex> lock(pool.mu_);
+  ++pool.disable_depth_;
+}
+
+ScopedPoolDisable::~ScopedPoolDisable() {
+  StoragePool& pool = StoragePool::Instance();
+  std::lock_guard<std::mutex> lock(pool.mu_);
+  --pool.disable_depth_;
+}
+
+}  // namespace musenet::tensor

@@ -1,0 +1,108 @@
+#ifndef MUSENET_TENSOR_STORAGE_POOL_H_
+#define MUSENET_TENSOR_STORAGE_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace musenet::tensor {
+
+/// Counters describing pool behaviour. Byte figures count buffer capacity
+/// (what the allocator actually holds), not requested sizes.
+struct StoragePoolStats {
+  int64_t fresh_allocs = 0;  ///< Acquires served by a new heap allocation.
+  int64_t pool_reuses = 0;   ///< Acquires served from a free list.
+  int64_t releases = 0;      ///< Buffers handed back (parked or dropped).
+  int64_t bytes_live = 0;    ///< Capacity bytes currently checked out.
+  int64_t bytes_pooled = 0;  ///< Capacity bytes parked on free lists.
+  int64_t bytes_peak = 0;    ///< High-water mark of bytes_live.
+};
+
+/// Process-wide recycler for tensor storage.
+///
+/// Freed `std::vector<float>` buffers are parked on power-of-two size-class
+/// free lists and handed back to later acquisitions of the same class, so a
+/// steady-state training loop stops hitting the heap allocator (and, for the
+/// large batch tensors, glibc's per-allocation mmap/munmap path). Pooling is
+/// invisible to Tensor's value semantics and bit-exact: a recycled buffer is
+/// always resized/overwritten to the requested contents before use.
+///
+/// Thread safety: all methods are mutex-protected; buffers may be acquired
+/// and released from pool worker threads (e.g. conv im2col scratch).
+///
+/// Escape hatches: the `MUSENET_DISABLE_POOL` environment variable (read
+/// once, any non-empty value) makes the pool a pass-through to the heap, and
+/// `ScopedPoolDisable` does the same temporarily for in-process A/B tests.
+/// `MUSENET_POOL_MAX_MB` optionally caps the parked bytes; buffers released
+/// beyond the cap are freed instead of parked.
+class StoragePool {
+ public:
+  /// Leaked singleton: tensors with static storage duration may release
+  /// their buffers during program teardown, after any non-leaked pool would
+  /// have been destroyed.
+  static StoragePool& Instance();
+
+  /// Returns a buffer with size() == n: zero-filled when `zero`, otherwise
+  /// recycled contents are unspecified (callers must overwrite every
+  /// element). A fresh allocation is made when the size class is empty.
+  std::vector<float> Acquire(size_t n, bool zero);
+
+  /// Returns a buffer with size() == n holding a copy of [src, src + n).
+  std::vector<float> AcquireCopy(const float* src, size_t n);
+
+  /// Hands `buf` back to its size class (freed instead when pooling is
+  /// disabled or the park cap is exceeded). Zero-capacity buffers are a
+  /// no-op.
+  void Release(std::vector<float>&& buf);
+
+  /// Frees every parked buffer (counters other than bytes_pooled keep their
+  /// values).
+  void Trim();
+
+  StoragePoolStats stats() const;
+  void ResetStats();
+
+  /// False when MUSENET_DISABLE_POOL is set or a ScopedPoolDisable is alive.
+  bool enabled() const;
+
+ private:
+  friend class ScopedPoolDisable;
+
+  StoragePool();
+
+  /// Pops a parked buffer whose capacity covers `n`, or returns an empty
+  /// vector (and counts a fresh allocation) when none is parked.
+  std::vector<float> PopBuffer(size_t n);
+
+  /// Accounting for a buffer entering / leaving the checked-out state.
+  void NoteCheckout(int64_t bytes);
+
+  // Buffers whose capacity is in [2^c, 2^(c+1)) park in class c, so any
+  // buffer found in the class for ceil(log2 n) is guaranteed to hold n
+  // elements without reallocating.
+  static constexpr int kNumClasses = 48;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<float>> free_lists_[kNumClasses];
+  StoragePoolStats stats_;
+  int disable_depth_ = 0;
+  bool env_disabled_ = false;
+  int64_t max_pooled_bytes_ = 0;  ///< 0 = uncapped.
+};
+
+/// RAII guard that turns the pool into a heap pass-through for its lifetime,
+/// letting tests compare pooled and unpooled runs within one process.
+/// Guards may nest; releases while disabled free their buffers.
+class ScopedPoolDisable {
+ public:
+  ScopedPoolDisable();
+  ~ScopedPoolDisable();
+
+  ScopedPoolDisable(const ScopedPoolDisable&) = delete;
+  ScopedPoolDisable& operator=(const ScopedPoolDisable&) = delete;
+};
+
+}  // namespace musenet::tensor
+
+#endif  // MUSENET_TENSOR_STORAGE_POOL_H_

@@ -2,10 +2,35 @@
 
 #include <cmath>
 
+#include "tensor/storage_pool.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace musenet::tensor {
+
+const std::vector<float>& Tensor::ZeroScalarStorage() {
+  static const std::vector<float>* zero = new std::vector<float>(1, 0.0f);
+  return *zero;
+}
+
+void Tensor::Materialize() {
+  if (data_.empty()) {
+    data_ = StoragePool::Instance().Acquire(
+        static_cast<size_t>(shape_.num_elements()), /*zero=*/true);
+  }
+}
+
+void Tensor::ReleaseStorage() {
+  if (data_.capacity() != 0) {
+    StoragePool::Instance().Release(std::move(data_));
+    data_.clear();
+  }
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_ = StoragePool::Instance().Acquire(
+      static_cast<size_t>(shape_.num_elements()), /*zero=*/true);
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -13,14 +38,55 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
       << "data size does not match shape " << shape_.ToString();
 }
 
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  if (!other.data_.empty()) {
+    data_ = StoragePool::Instance().AcquireCopy(other.data_.data(),
+                                                other.data_.size());
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (other.data_.empty()) {
+    ReleaseStorage();
+  } else if (data_.capacity() >= other.data_.size()) {
+    // In-place copy: no pool round-trip needed.
+    data_.assign(other.data_.begin(), other.data_.end());
+  } else {
+    ReleaseStorage();
+    data_ = StoragePool::Instance().AcquireCopy(other.data_.data(),
+                                                other.data_.size());
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    ReleaseStorage();
+    shape_ = std::exchange(other.shape_, Shape());
+    data_ = std::move(other.data_);
+    other.data_.clear();
+  }
+  return *this;
+}
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = StoragePool::Instance().Acquire(
+      static_cast<size_t>(t.shape_.num_elements()), /*zero=*/false);
+  return t;
+}
+
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   for (auto& v : t.data_) v = value;
   return t;
 }
 
 Tensor Tensor::Scalar(float value) {
-  Tensor t;
+  Tensor t = Uninitialized(Shape());
   t.data_[0] = value;
   return t;
 }
@@ -32,60 +98,67 @@ Tensor Tensor::FromVector(std::vector<float> values) {
 
 Tensor Tensor::Arange(int64_t n) {
   MUSE_CHECK_GT(n, 0);
-  Tensor t(Shape({n}));
+  Tensor t = Uninitialized(Shape({n}));
   for (int64_t i = 0; i < n; ++i) t.data_[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::RandomUniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   for (auto& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
   return t;
 }
 
 Tensor Tensor::RandomNormal(Shape shape, Rng& rng, float mean, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   for (auto& v : t.data_) v = static_cast<float>(rng.Normal(mean, stddev));
   return t;
 }
 
 float Tensor::flat(int64_t i) const {
   MUSE_DCHECK(i >= 0 && i < num_elements());
-  return data_[static_cast<size_t>(i)];
+  return data()[i];
 }
 
 float& Tensor::flat(int64_t i) {
   MUSE_DCHECK(i >= 0 && i < num_elements());
-  return data_[static_cast<size_t>(i)];
+  return mutable_data()[i];
 }
 
 float Tensor::at(std::initializer_list<int64_t> index) const {
-  return data_[static_cast<size_t>(
-      shape_.FlatIndex(std::vector<int64_t>(index)))];
+  return data()[shape_.FlatIndex(std::vector<int64_t>(index))];
 }
 
 float& Tensor::at(std::initializer_list<int64_t> index) {
-  return data_[static_cast<size_t>(
-      shape_.FlatIndex(std::vector<int64_t>(index)))];
+  return mutable_data()[shape_.FlatIndex(std::vector<int64_t>(index))];
 }
 
 float Tensor::scalar() const {
   MUSE_CHECK_EQ(num_elements(), 1)
       << "scalar() on tensor of shape " << shape_.ToString();
-  return data_[0];
+  return data()[0];
 }
 
 Tensor Tensor::Reshape(Shape new_shape) const {
   MUSE_CHECK_EQ(new_shape.num_elements(), shape_.num_elements())
       << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
-  return Tensor(std::move(new_shape), data_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  if (!data_.empty()) {
+    out.data_ =
+        StoragePool::Instance().AcquireCopy(data_.data(), data_.size());
+  }
+  return out;
 }
 
 bool Tensor::AllClose(const Tensor& other, float rtol, float atol) const {
   if (shape_ != other.shape_) return false;
-  for (size_t i = 0; i < data_.size(); ++i) {
-    const float a = data_[i];
-    const float b = other.data_[i];
+  const float* pa = data();
+  const float* pb = other.data();
+  const int64_t n = num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = pa[i];
+    const float b = pb[i];
     if (std::isnan(a) || std::isnan(b)) return false;
     if (std::fabs(a - b) > atol + rtol * std::fabs(b)) return false;
   }
@@ -95,9 +168,10 @@ bool Tensor::AllClose(const Tensor& other, float rtol, float atol) const {
 std::string Tensor::ToString(int64_t max_elements) const {
   std::string out = "Tensor" + shape_.ToString() + " {";
   const int64_t n = std::min<int64_t>(num_elements(), max_elements);
+  const float* pa = data();
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) out += ", ";
-    out += FormatDouble(data_[static_cast<size_t>(i)], 4);
+    out += FormatDouble(pa[i], 4);
   }
   if (n < num_elements()) out += ", ...";
   out += "}";

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/shape.h"
@@ -18,24 +19,44 @@ namespace musenet::tensor {
 /// slicing materializes — which keeps aliasing out of the autograd layer at
 /// the cost of some copies (acceptable at the model sizes this library
 /// targets).
+///
+/// Storage comes from the process-wide `StoragePool` (storage_pool.h):
+/// destructors and reassignments park their buffers on size-class free lists
+/// for later tensors to recycle, so steady-state training loops stop hitting
+/// the heap allocator. Pooling is invisible here — contents and semantics
+/// are identical with `MUSENET_DISABLE_POOL` set. A default-constructed
+/// tensor is a scalar zero that owns no buffer at all until first written
+/// (autograd nodes hold many such placeholders).
 class Tensor {
  public:
-  /// Scalar zero tensor.
-  Tensor() : shape_(), data_(1, 0.0f) {}
+  /// Scalar zero tensor; lazy — no storage until mutated.
+  Tensor() = default;
 
   /// Zero-filled tensor of the given shape.
-  explicit Tensor(Shape shape)
-      : shape_(std::move(shape)),
-        data_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+  explicit Tensor(Shape shape);
 
   /// Tensor with explicit contents; `data.size()` must match the shape.
   Tensor(Shape shape, std::vector<float> data);
+
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::exchange(other.shape_, Shape())),
+        data_(std::move(other.data_)) {
+    other.data_.clear();  // Moved-from tensor reads as a lazy scalar zero.
+  }
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() { ReleaseStorage(); }
 
   // --- Factories -----------------------------------------------------------
 
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
   static Tensor Full(Shape shape, float value);
+  /// Tensor whose elements are NOT initialized (recycled buffer contents).
+  /// Only for kernels that overwrite every element before the tensor
+  /// escapes; anything that accumulates into its output must use Zeros.
+  static Tensor Uninitialized(Shape shape);
   /// Rank-0 scalar.
   static Tensor Scalar(float value);
   /// 1-D tensor from a list: `Tensor::FromVector({1, 2, 3})`.
@@ -56,9 +77,16 @@ class Tensor {
   int64_t dim(int axis) const { return shape_.dim(axis); }
   int64_t num_elements() const { return shape_.num_elements(); }
 
-  const float* data() const { return data_.data(); }
-  float* mutable_data() { return data_.data(); }
-  const std::vector<float>& storage() const { return data_; }
+  const float* data() const {
+    return data_.empty() ? ZeroScalarStorage().data() : data_.data();
+  }
+  float* mutable_data() {
+    Materialize();
+    return data_.data();
+  }
+  const std::vector<float>& storage() const {
+    return data_.empty() ? ZeroScalarStorage() : data_;
+  }
 
   /// Flat element access (row-major).
   float flat(int64_t i) const;
@@ -87,6 +115,13 @@ class Tensor {
   std::string ToString(int64_t max_elements = 16) const;
 
  private:
+  /// Allocates the lazy scalar's single element before mutable access.
+  void Materialize();
+  /// Parks the buffer back on the storage pool and empties this tensor.
+  void ReleaseStorage();
+  /// Backing store every lazy scalar zero reads through.
+  static const std::vector<float>& ZeroScalarStorage();
+
   Shape shape_;
   std::vector<float> data_;
 };

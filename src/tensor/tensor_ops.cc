@@ -5,32 +5,13 @@
 #include <limits>
 
 #include "tensor/gemm.h"
+#include "tensor/kernel_util.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace musenet::tensor {
 
 namespace {
-
-/// Element count above which elementwise/reduction kernels fan out over the
-/// thread pool. Below it, loop overhead beats the dispatch.
-constexpr int64_t kParallelThreshold = 1 << 15;
-/// Fixed chunk size for parallel loops; chunk boundaries depend only on the
-/// problem size, never the thread count, so partial-sum slots (and therefore
-/// results) are identical at every MUSENET_NUM_THREADS.
-constexpr int64_t kParallelGrain = 1 << 14;
-
-/// Runs `fn(lo, hi)` over [0, n): chunked across the pool for large n,
-/// inline otherwise (one whole-range call, which equals the chunked result
-/// for kernels whose per-element work is independent).
-template <typename Fn>
-void MaybeParallelFor(int64_t n, Fn&& fn) {
-  if (n >= kParallelThreshold) {
-    util::ActivePool().ParallelFor(0, n, kParallelGrain, fn);
-  } else {
-    fn(0, n);
-  }
-}
 
 /// Strides for reading an operand of shape `s` as if it had the broadcast
 /// result shape `out` (rank-aligned from the right); broadcast axes get
@@ -45,11 +26,44 @@ std::vector<int64_t> BroadcastStrides(const Shape& s, const Shape& out) {
   return strides;
 }
 
+/// Lengths of the trailing output run over which an operand's offset stays
+/// fixed (all broadcast strides 0) or advances by exactly 1 per element
+/// (contiguous suffix). Both lengths are products of trailing output dims,
+/// so the minimum across operands still lands on clean run boundaries.
+struct TrailingRuns {
+  int64_t fixed = 1;
+  int64_t contig = 1;
+};
+
+TrailingRuns ComputeTrailingRuns(const std::vector<int64_t>& strides,
+                                 const Shape& out) {
+  TrailingRuns runs;
+  for (int axis = out.rank() - 1; axis >= 0; --axis) {
+    if (out.dim(axis) != 1 && strides[axis] != 0) break;
+    runs.fixed *= out.dim(axis);
+  }
+  int64_t expect = 1;
+  for (int axis = out.rank() - 1; axis >= 0; --axis) {
+    if (out.dim(axis) != 1 && strides[axis] != expect) break;
+    runs.contig *= out.dim(axis);
+    expect *= out.dim(axis);
+  }
+  return runs;
+}
+
+/// Number of leading axes left outside a trailing run of length `run`.
+int OuterRank(const Shape& out, int64_t run) {
+  int axis = out.rank();
+  int64_t covered = 1;
+  while (axis > 0 && covered < run) covered *= out.dim(--axis);
+  return axis;
+}
+
 template <typename Fn>
 Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.mutable_data();
@@ -60,7 +74,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   }
   // Fast path: scalar operand.
   if (b.num_elements() == 1) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const float s = b.flat(0);
     const float* pa = a.data();
     float* po = out.mutable_data();
@@ -70,7 +84,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     return out;
   }
   if (a.num_elements() == 1) {
-    Tensor out(b.shape());
+    Tensor out = Tensor::Uninitialized(b.shape());
     const float s = a.flat(0);
     const float* pb = b.data();
     float* po = out.mutable_data();
@@ -81,13 +95,68 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   }
 
   const Shape out_shape = Shape::BroadcastResult(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
   const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
   const int rank = out_shape.rank();
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.mutable_data();
+
+  // Blocked path: whenever both operands are uniform — fixed or contiguous —
+  // over a trailing run, the inner loop is a plain vector op and the odometer
+  // only ticks once per run. This covers the training hot spots (per-channel
+  // scale/shift [1,C,1,1] and keepdim-sum gradients [..,1]).
+  const TrailingRuns ta = ComputeTrailingRuns(sa, out_shape);
+  const TrailingRuns tb = ComputeTrailingRuns(sb, out_shape);
+  const int64_t run = std::min(std::max(ta.fixed, ta.contig),
+                               std::max(tb.fixed, tb.contig));
+  if (run > 1) {
+    const bool a_fixed = ta.fixed >= run;
+    const bool b_fixed = tb.fixed >= run;
+    const int outer_rank = OuterRank(out_shape, run);
+    const int64_t num_runs = out_shape.num_elements() / run;
+    MaybeParallelFor(num_runs, [&](int64_t lo, int64_t hi) {
+      std::vector<int64_t> index(outer_rank, 0);
+      int64_t offset_a = 0;
+      int64_t offset_b = 0;
+      int64_t rem = lo;
+      for (int axis = outer_rank - 1; axis >= 0; --axis) {
+        index[axis] = rem % out_shape.dim(axis);
+        rem /= out_shape.dim(axis);
+        offset_a += index[axis] * sa[axis];
+        offset_b += index[axis] * sb[axis];
+      }
+      for (int64_t r = lo; r < hi; ++r) {
+        float* dst = po + r * run;
+        const float* ra = pa + offset_a;
+        const float* rb = pb + offset_b;
+        if (a_fixed && b_fixed) {
+          const float v = fn(*ra, *rb);
+          for (int64_t i = 0; i < run; ++i) dst[i] = v;
+        } else if (b_fixed) {
+          const float s = *rb;
+          for (int64_t i = 0; i < run; ++i) dst[i] = fn(ra[i], s);
+        } else if (a_fixed) {
+          const float s = *ra;
+          for (int64_t i = 0; i < run; ++i) dst[i] = fn(s, rb[i]);
+        } else {
+          for (int64_t i = 0; i < run; ++i) dst[i] = fn(ra[i], rb[i]);
+        }
+        for (int axis = outer_rank - 1; axis >= 0; --axis) {
+          ++index[axis];
+          offset_a += sa[axis];
+          offset_b += sb[axis];
+          if (index[axis] < out_shape.dim(axis)) break;
+          index[axis] = 0;
+          offset_a -= sa[axis] * out_shape.dim(axis);
+          offset_b -= sb[axis] * out_shape.dim(axis);
+        }
+      }
+    });
+    return out;
+  }
+
   MaybeParallelFor(out_shape.num_elements(), [&](int64_t lo, int64_t hi) {
     // Seed the odometer at flat index `lo`.
     std::vector<int64_t> index(rank, 0);
@@ -119,7 +188,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
 
 template <typename Fn>
 Tensor Unary(const Tensor& a, Fn fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.mutable_data();
   MaybeParallelFor(a.num_elements(), [&](int64_t lo, int64_t hi) {
@@ -187,15 +256,7 @@ Tensor LeakyRelu(const Tensor& a, float alpha) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return Unary(a, [](float x) {
-    // Stable in both tails.
-    if (x >= 0.0f) {
-      const float z = std::exp(-x);
-      return 1.0f / (1.0f + z);
-    }
-    const float z = std::exp(x);
-    return z / (1.0f + z);
-  });
+  return Unary(a, [](float x) { return SigmoidScalar(x); });
 }
 
 Tensor Softplus(const Tensor& a) {
@@ -276,7 +337,7 @@ Tensor Sum(const Tensor& a, int axis, bool keepdims) {
       out_dims.push_back(a.dim(i));
     }
   }
-  Tensor out(Shape(std::move(out_dims)));
+  Tensor out = Tensor::Uninitialized(Shape(std::move(out_dims)));
   const float* pa = a.data();
   float* po = out.mutable_data();
   // Parallel over output elements; each element's reduction over `mid` stays
@@ -336,6 +397,32 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 2);
+  MUSE_CHECK_EQ(b.rank(), 2);
+  MUSE_CHECK_EQ(a.dim(1), b.dim(1))
+      << a.shape().ToString() << " x " << b.shape().ToString() << "^T";
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(0);
+  Tensor out(Shape({m, n}));
+  GemmAccF32TransB(m, n, k, a.data(), k, b.data(), k, out.mutable_data(), n);
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 2);
+  MUSE_CHECK_EQ(b.rank(), 2);
+  MUSE_CHECK_EQ(a.dim(0), b.dim(0))
+      << a.shape().ToString() << "^T x " << b.shape().ToString();
+  const int64_t m = a.dim(1);
+  const int64_t k = a.dim(0);
+  const int64_t n = b.dim(1);
+  Tensor out(Shape({m, n}));
+  GemmAccF32TransA(m, n, k, a.data(), m, b.data(), n, out.mutable_data(), n);
+  return out;
+}
+
 Tensor MatMulBatched(const Tensor& a, const Tensor& b) {
   MUSE_CHECK_EQ(a.rank(), 3);
   MUSE_CHECK_EQ(b.rank(), 3);
@@ -360,11 +447,55 @@ Tensor MatMulBatched(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor MatMulBatchedTransB(const Tensor& a, const Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 3);
+  MUSE_CHECK_EQ(b.rank(), 3);
+  MUSE_CHECK_EQ(a.dim(0), b.dim(0));
+  MUSE_CHECK_EQ(a.dim(2), b.dim(2));
+  const int64_t batch = a.dim(0);
+  const int64_t m = a.dim(1);
+  const int64_t k = a.dim(2);
+  const int64_t n = b.dim(1);
+  Tensor out(Shape({batch, m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      GemmAccF32TransB(m, n, k, pa + bi * m * k, k, pb + bi * n * k, k,
+                       po + bi * m * n, n);
+    }
+  });
+  return out;
+}
+
+Tensor MatMulBatchedTransA(const Tensor& a, const Tensor& b) {
+  MUSE_CHECK_EQ(a.rank(), 3);
+  MUSE_CHECK_EQ(b.rank(), 3);
+  MUSE_CHECK_EQ(a.dim(0), b.dim(0));
+  MUSE_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t batch = a.dim(0);
+  const int64_t m = a.dim(2);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(2);
+  Tensor out(Shape({batch, m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      GemmAccF32TransA(m, n, k, pa + bi * k * m, m, pb + bi * k * n, n,
+                       po + bi * m * n, n);
+    }
+  });
+  return out;
+}
+
 Tensor Transpose2d(const Tensor& a) {
   MUSE_CHECK_EQ(a.rank(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  Tensor out(Shape({n, m}));
+  Tensor out = Tensor::Uninitialized(Shape({n, m}));
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t i = 0; i < m; ++i) {
@@ -378,7 +509,7 @@ Tensor TransposeLast2(const Tensor& a) {
   const int64_t batch = a.dim(0);
   const int64_t m = a.dim(1);
   const int64_t n = a.dim(2);
-  Tensor out(Shape({batch, n, m}));
+  Tensor out = Tensor::Uninitialized(Shape({batch, n, m}));
   const float* pa = a.data();
   float* po = out.mutable_data();
   for (int64_t b = 0; b < batch; ++b) {
@@ -395,7 +526,7 @@ Tensor SoftmaxLastAxis(const Tensor& a) {
   MUSE_CHECK_GE(a.rank(), 1);
   const int64_t n = a.dim(a.rank() - 1);
   const int64_t rows = a.num_elements() / n;
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.mutable_data();
   // Parallel over rows; each row's max/sum/normalize stays sequential.
@@ -435,7 +566,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   }
   std::vector<int64_t> out_dims = first.dims();
   out_dims[axis] = axis_total;
-  Tensor out(Shape(std::move(out_dims)));
+  Tensor out = Tensor::Uninitialized(Shape(std::move(out_dims)));
 
   int64_t outer = 1;
   for (int i = 0; i < axis; ++i) outer *= first.dim(i);
@@ -465,7 +596,7 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len) {
   MUSE_CHECK_LE(start + len, a.dim(axis));
   std::vector<int64_t> out_dims = a.shape().dims();
   out_dims[axis] = len;
-  Tensor out(Shape(std::move(out_dims)));
+  Tensor out = Tensor::Uninitialized(Shape(std::move(out_dims)));
 
   int64_t outer = 1;
   for (int i = 0; i < axis; ++i) outer *= a.dim(i);
@@ -484,7 +615,83 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len) {
 
 Tensor BroadcastTo(const Tensor& a, const Shape& target) {
   if (a.shape() == target) return a;
-  return Add(a, Tensor::Zeros(target));
+  MUSE_CHECK(Shape::BroadcastCompatible(a.shape(), target) &&
+             Shape::BroadcastResult(a.shape(), target) == target)
+      << "cannot broadcast " << a.shape().ToString() << " to "
+      << target.ToString();
+  // One pass instead of Add(a, Zeros(target)) — no zero-filled temporary.
+  // `+ 0.0f` keeps the old Add semantics exactly (it normalizes -0 to +0).
+  Tensor out = Tensor::Uninitialized(target);
+  float* po = out.mutable_data();
+  const float* pa = a.data();
+  if (a.num_elements() == 1) {
+    const float s = a.flat(0);
+    MaybeParallelFor(target.num_elements(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = s + 0.0f;
+    });
+    return out;
+  }
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), target);
+  const int rank = target.rank();
+
+  // Blocked path (see BroadcastBinary): fill or copy whole trailing runs.
+  const TrailingRuns ta = ComputeTrailingRuns(sa, target);
+  const int64_t run = std::max(ta.fixed, ta.contig);
+  if (run > 1) {
+    const bool fixed = ta.fixed >= run;
+    const int outer_rank = OuterRank(target, run);
+    const int64_t num_runs = target.num_elements() / run;
+    MaybeParallelFor(num_runs, [&](int64_t lo, int64_t hi) {
+      std::vector<int64_t> index(outer_rank, 0);
+      int64_t offset_a = 0;
+      int64_t rem = lo;
+      for (int axis = outer_rank - 1; axis >= 0; --axis) {
+        index[axis] = rem % target.dim(axis);
+        rem /= target.dim(axis);
+        offset_a += index[axis] * sa[axis];
+      }
+      for (int64_t r = lo; r < hi; ++r) {
+        float* dst = po + r * run;
+        const float* src = pa + offset_a;
+        if (fixed) {
+          const float v = *src + 0.0f;
+          for (int64_t i = 0; i < run; ++i) dst[i] = v;
+        } else {
+          for (int64_t i = 0; i < run; ++i) dst[i] = src[i] + 0.0f;
+        }
+        for (int axis = outer_rank - 1; axis >= 0; --axis) {
+          ++index[axis];
+          offset_a += sa[axis];
+          if (index[axis] < target.dim(axis)) break;
+          index[axis] = 0;
+          offset_a -= sa[axis] * target.dim(axis);
+        }
+      }
+    });
+    return out;
+  }
+
+  MaybeParallelFor(target.num_elements(), [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> index(rank, 0);
+    int64_t offset_a = 0;
+    int64_t rem = lo;
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      index[axis] = rem % target.dim(axis);
+      rem /= target.dim(axis);
+      offset_a += index[axis] * sa[axis];
+    }
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = pa[offset_a] + 0.0f;
+      for (int axis = rank - 1; axis >= 0; --axis) {
+        ++index[axis];
+        offset_a += sa[axis];
+        if (index[axis] < target.dim(axis)) break;
+        index[axis] = 0;
+        offset_a -= sa[axis] * target.dim(axis);
+      }
+    }
+  });
+  return out;
 }
 
 namespace {
@@ -515,7 +722,8 @@ void ForEachWindow(const Tensor& a, int64_t window, Fn fn) {
 Tensor AvgPool2d(const Tensor& a, int64_t window) {
   const int64_t h = a.dim(2);
   const int64_t w = a.dim(3);
-  Tensor out(Shape({a.dim(0), a.dim(1), h / window, w / window}));
+  Tensor out =
+      Tensor::Uninitialized(Shape({a.dim(0), a.dim(1), h / window, w / window}));
   const float* pa = a.data();
   float* po = out.mutable_data();
   const int64_t ow = w / window;
@@ -536,7 +744,8 @@ Tensor MaxPool2d(const Tensor& a, int64_t window,
                  std::vector<int64_t>* argmax) {
   const int64_t h = a.dim(2);
   const int64_t w = a.dim(3);
-  Tensor out(Shape({a.dim(0), a.dim(1), h / window, w / window}));
+  Tensor out =
+      Tensor::Uninitialized(Shape({a.dim(0), a.dim(1), h / window, w / window}));
   if (argmax != nullptr) {
     argmax->assign(static_cast<size_t>(out.num_elements()), 0);
   }

@@ -10,7 +10,9 @@ namespace musenet::tensor {
 
 // Kernel layer: raw, non-differentiable tensor math. The autograd layer
 // (src/autograd) composes these kernels into differentiable ops. All
-// functions allocate fresh outputs and validate shapes with MUSE_CHECK.
+// functions allocate fresh outputs (recycled through the storage pool) and
+// validate shapes with MUSE_CHECK, except the explicitly in-place kernels
+// below.
 
 // --- Elementwise binary (NumPy-style broadcasting) --------------------------
 
@@ -24,6 +26,45 @@ Tensor Maximum(const Tensor& a, const Tensor& b);
 
 Tensor AddScalar(const Tensor& a, float s);
 Tensor MulScalar(const Tensor& a, float s);
+
+// --- In-place / fused -------------------------------------------------------
+
+/// a += b elementwise; shapes must match exactly. Element order and rounding
+/// are identical to `a = Add(a, b)` without the fresh allocation (the
+/// gradient-accumulation hot path).
+void AddInPlace(Tensor& a, const Tensor& b);
+
+/// a *= s elementwise in place.
+void ScaleInPlace(Tensor& a, float s);
+
+/// a + b ⊙ c in one pass; all three shapes must match exactly. Bit-identical
+/// to Add(a, Mul(b, c)).
+Tensor MulAdd(const Tensor& a, const Tensor& b, const Tensor& c);
+
+/// Activation selector for the fused bias+activation kernels. Mirrors the
+/// subset of nn::Activation whose derivative is expressible from the
+/// activation output alone (softplus is not; it stays on the unfused path).
+enum class ActKind { kIdentity, kRelu, kLeakyRelu, kTanh, kSigmoid };
+
+/// act(x + bias) in one pass. `bias` must broadcast against `x` with at most
+/// one non-unit axis (e.g. [C] against [B,C], or [1,C,1,1] against
+/// [B,C,H,W]). Bit-identical to the unfused Add + activation composition.
+Tensor BiasAct(const Tensor& x, const Tensor& bias, ActKind act,
+               float alpha = 0.1f);
+
+/// g ⊙ act'(out) where `out` is the activation's output — the fused backward
+/// for BiasAct and for the plain activations, bit-identical to the unfused
+/// derivative chains (e.g. g·(1 − out²) for tanh).
+Tensor ActBackwardFromOutput(const Tensor& g, const Tensor& out, ActKind act,
+                             float alpha = 0.1f);
+
+/// g ⊙ 2x in one pass — the Square backward, bit-identical to
+/// Mul(g, MulScalar(x, 2)).
+Tensor SquareBackward(const Tensor& g, const Tensor& x);
+
+/// g ⊙ sigmoid(x) in one pass — the Softplus backward, bit-identical to
+/// Mul(g, Sigmoid(x)).
+Tensor SoftplusBackward(const Tensor& g, const Tensor& x);
 
 // --- Elementwise unary -------------------------------------------------------
 
@@ -69,8 +110,19 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target);
 
 /// [m,k] × [k,n] → [m,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
+/// [m,k] × [n,k]ᵀ → [m,n]. Reads `b` through strides instead of
+/// materializing the transpose; bit-identical to MatMul(a, Transpose2d(b)).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+/// [k,m]ᵀ × [k,n] → [m,n]; bit-identical to MatMul(Transpose2d(a), b).
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
 /// Batched [B,m,k] × [B,k,n] → [B,m,n].
 Tensor MatMulBatched(const Tensor& a, const Tensor& b);
+/// Batched [B,m,k] × ([B,n,k] transposed per sample) → [B,m,n];
+/// bit-identical to MatMulBatched(a, TransposeLast2(b)).
+Tensor MatMulBatchedTransB(const Tensor& a, const Tensor& b);
+/// Batched ([B,k,m] transposed per sample) × [B,k,n] → [B,m,n];
+/// bit-identical to MatMulBatched(TransposeLast2(a), b).
+Tensor MatMulBatchedTransA(const Tensor& a, const Tensor& b);
 /// [m,n] → [n,m].
 Tensor Transpose2d(const Tensor& a);
 /// Swaps the last two axes of a rank-3 tensor: [B,m,n] → [B,n,m].

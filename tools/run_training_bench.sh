@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Builds bench_training_step and records end-to-end training-step throughput
+# to BENCH_training.json at the repo root. The file also carries the fixed
+# pre-PR baseline (measured on the same machine immediately before the pooled
+# storage + fused training path landed) and the speedup against it, so the
+# performance claim stays auditable.
+#
+# Usage: tools/run_training_bench.sh [build_dir] [extra benchmark flags...]
+# e.g.   tools/run_training_bench.sh build --benchmark_min_time=5
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+  build_dir="$1"
+  shift
+fi
+
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_training_step -j"$(nproc)"
+
+raw_json="$(mktemp)"
+trap 'rm -f "$raw_json"' EXIT
+
+"$build_dir/bench/bench_training_step" \
+  --benchmark_out="$raw_json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=2 \
+  "$@"
+
+python3 - "$raw_json" "$repo_root/BENCH_training.json" <<'PY'
+import json, sys
+
+# Pre-PR throughput (items/s), measured with this same benchmark at the
+# commit before the pooled storage + fused training path changes.
+BASELINE = {
+    "BM_MuseNetTrainStep/8": 79.06,
+    "BM_MuseNetTrainStep/32": 101.19,
+    "BM_DeepStnTrainStep/8": 209.49,
+    "BM_DeepStnTrainStep/32": 233.27,
+}
+
+raw = json.load(open(sys.argv[1]))
+out = {"context": raw["context"], "benchmarks": []}
+for bench in raw["benchmarks"]:
+    entry = dict(bench)
+    base = BASELINE.get(bench["name"])
+    if base is not None:
+        entry["baseline_items_per_second"] = base
+        entry["speedup_vs_baseline"] = round(
+            bench["items_per_second"] / base, 3)
+    out["benchmarks"].append(entry)
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(f"Wrote {sys.argv[2]}")
+for b in out["benchmarks"]:
+    if "speedup_vs_baseline" in b:
+        print(f"  {b['name']:28s} {b['items_per_second']:8.2f} items/s "
+              f"({b['speedup_vs_baseline']}x vs baseline)")
+PY
