@@ -1,72 +1,34 @@
 #include "baselines/neural_forecaster.h"
 
-#include <cstdio>
-#include <limits>
-
-#include "eval/training.h"
-#include "optim/adam.h"
-#include "optim/optimizer.h"
+#include "eval/train_loop.h"
 #include "util/check.h"
 
 namespace musenet::baselines {
 
 namespace ag = musenet::autograd;
 
+eval::TrainDriver NeuralForecaster::MakeTrainDriver() {
+  eval::TrainDriver driver;
+  driver.module = this;
+  driver.forecaster = this;
+  driver.shuffle_salt = 0xBA5E11BEULL;  // Historical shuffle stream.
+  driver.batch_loss = [this](const data::Batch& batch) {
+    ag::Variable pred = ForwardPredict(batch);
+    return ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(batch.target))));
+  };
+  return driver;
+}
+
+Status NeuralForecaster::TrainWithReport(const data::TrafficDataset& dataset,
+                                         const eval::TrainConfig& config,
+                                         eval::TrainReport* report) {
+  return eval::RunTraining(MakeTrainDriver(), dataset, config, report);
+}
+
 void NeuralForecaster::Train(const data::TrafficDataset& dataset,
                              const eval::TrainConfig& config) {
-  SetTraining(true);
-  Rng epoch_rng(config.seed ^ 0xBA5E11BEULL);
-  optim::Adam optimizer(Parameters(), config.learning_rate);
-
-  double best_val = std::numeric_limits<double>::infinity();
-  int epochs_since_best = 0;
-  std::map<std::string, tensor::Tensor> best_state;
-
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    double epoch_loss = 0.0;
-    int64_t num_batches = 0;
-    const std::vector<int64_t> shuffled =
-        eval::ShuffleEpochPool(dataset.train_indices(), epoch_rng);
-    for (size_t begin = 0; begin < shuffled.size();
-         begin += static_cast<size_t>(config.batch_size)) {
-      data::Batch batch = dataset.MakeBatchFromPool(
-          shuffled, begin, static_cast<size_t>(config.batch_size));
-      ag::Variable pred = ForwardPredict(batch);
-      ag::Variable loss =
-          ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(batch.target))));
-      ZeroGrad();
-      ag::Backward(loss);
-      if (config.clip_norm > 0.0) {
-        optim::ClipGradNorm(optimizer.params(), config.clip_norm);
-      }
-      optimizer.Step();
-      epoch_loss += loss.value().scalar();
-      ++num_batches;
-      // Return the step's graph buffers to the storage pool before the next
-      // batch allocates (the root's own value stays readable, but the scalar
-      // was already taken above).
-      ag::ReleaseGraph(loss);
-    }
-    const double val_mse =
-        eval::ValidationMse(*this, dataset, config.batch_size);
-    if (config.verbose) {
-      std::fprintf(stderr, "[%s] epoch %d/%d  train MSE %.5f  val MSE %.5f\n",
-                   name().c_str(), epoch + 1, config.epochs,
-                   epoch_loss / std::max<int64_t>(1, num_batches), val_mse);
-    }
-    if (val_mse < best_val) {
-      best_val = val_mse;
-      best_state = StateDict();
-      epochs_since_best = 0;
-    } else if (config.patience > 0 && ++epochs_since_best > config.patience) {
-      break;  // Early stopping: validation plateaued.
-    }
-  }
-  if (!best_state.empty()) {
-    const Status status = LoadStateDict(best_state);
-    MUSE_CHECK(status.ok()) << status.ToString();
-  }
-  SetTraining(false);
+  const Status status = TrainWithReport(dataset, config, nullptr);
+  MUSE_CHECK(status.ok()) << status.ToString();
 }
 
 tensor::Tensor NeuralForecaster::Predict(const data::Batch& batch) {

@@ -6,15 +6,18 @@
 #include "autograd/ops.h"
 #include "data/dataset.h"
 #include "eval/forecaster.h"
+#include "eval/train_loop.h"
 #include "nn/module.h"
 
 namespace musenet::baselines {
 
-/// Base class of the neural baselines: supplies the generic MSE training
-/// loop (Adam, shuffled mini-batches, best-on-validation weight selection) so
-/// each baseline only implements its forward pass. All baselines therefore
-/// receive exactly the training budget that MUSE-Net does, which keeps the
-/// comparison tables fair.
+/// Base class of the neural baselines: each baseline implements only its
+/// forward pass (and optionally auxiliary losses) and delegates training to
+/// the shared fault-tolerant loop in eval/train_loop.h — Adam, shuffled
+/// mini-batches, best-on-validation weight selection, checkpoint/resume and
+/// numeric-health guards. All baselines therefore receive exactly the
+/// training budget that MUSE-Net does, which keeps the comparison tables
+/// fair.
 class NeuralForecaster : public nn::Module, public eval::Forecaster {
  public:
   explicit NeuralForecaster(std::string name) : name_(std::move(name)) {}
@@ -24,11 +27,23 @@ class NeuralForecaster : public nn::Module, public eval::Forecaster {
   void Train(const data::TrafficDataset& dataset,
              const eval::TrainConfig& config) override;
 
+  /// As Train, but surfaces training faults (numeric blow-ups under
+  /// FailurePolicy::kAbort, exhausted rollback budgets) as a Status instead
+  /// of aborting, and reports loop counters. Used by tests and tools.
+  Status TrainWithReport(const data::TrafficDataset& dataset,
+                         const eval::TrainConfig& config,
+                         eval::TrainReport* report);
+
   tensor::Tensor Predict(const data::Batch& batch) override;
 
  protected:
   /// Differentiable prediction [B, 2, H, W] in [-1, 1].
   virtual autograd::Variable ForwardPredict(const data::Batch& batch) = 0;
+
+  /// Driver handed to eval::RunTraining. The default trains on prediction
+  /// MSE with this class's historical shuffle salt; baselines with auxiliary
+  /// losses (e.g. ST-SSL) override to supply their own loss and salt.
+  virtual eval::TrainDriver MakeTrainDriver();
 
  private:
   std::string name_;

@@ -1,11 +1,5 @@
 #include "baselines/stssl.h"
 
-#include <cstdio>
-#include <limits>
-
-#include "eval/training.h"
-#include "optim/adam.h"
-#include "optim/optimizer.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -42,6 +36,10 @@ StSslLite::StSslLite(int64_t grid_h, int64_t grid_w,
   RegisterSubmodule("conv2", &conv2_);
   RegisterSubmodule("out_conv", &out_conv_);
   RegisterSubmodule("ssl_head", &ssl_head_);
+  // The mask stream advances every training batch; registering it puts it
+  // in checkpoints, so resumed runs draw the same masks (init_rng_ is spent
+  // at construction and needs no snapshot).
+  RegisterRng("mask", &mask_rng_);
 }
 
 ag::Variable StSslLite::Encode(const ag::Variable& closeness,
@@ -55,82 +53,36 @@ ag::Variable StSslLite::ForwardPredict(const data::Batch& batch) {
       Encode(ag::Constant(batch.closeness), ag::Constant(batch.period)));
 }
 
-void StSslLite::Train(const data::TrafficDataset& dataset,
-                      const eval::TrainConfig& config) {
-  SetTraining(true);
-  Rng epoch_rng(config.seed ^ 0x57551ULL);
-  optim::Adam optimizer(Parameters(), config.learning_rate);
+eval::TrainDriver StSslLite::MakeTrainDriver() {
+  eval::TrainDriver driver;
+  driver.module = this;
+  driver.forecaster = this;
+  driver.shuffle_salt = 0x57551ULL;  // Historical shuffle stream.
+  driver.batch_loss = [this](const data::Batch& batch) {
+    // Main forecasting branch.
+    ag::Variable features = Encode(ag::Constant(batch.closeness),
+                                   ag::Constant(batch.period));
+    ag::Variable pred = out_conv_.Forward(features);
+    ag::Variable loss =
+        ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(batch.target))));
 
-  double best_val = std::numeric_limits<double>::infinity();
-  int epochs_since_best = 0;
-  std::map<std::string, ts::Tensor> best_state;
-
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    double epoch_loss = 0.0;
-    int64_t num_batches = 0;
-    const std::vector<int64_t> shuffled =
-        eval::ShuffleEpochPool(dataset.train_indices(), epoch_rng);
-    for (size_t begin = 0; begin < shuffled.size();
-         begin += static_cast<size_t>(config.batch_size)) {
-      data::Batch batch = dataset.MakeBatchFromPool(
-          shuffled, begin, static_cast<size_t>(config.batch_size));
-
-      // Main forecasting branch.
-      ag::Variable features = Encode(ag::Constant(batch.closeness),
-                                     ag::Constant(batch.period));
-      ag::Variable pred = out_conv_.Forward(features);
-      ag::Variable loss =
-          ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(batch.target))));
-
-      // Self-supervised branch: zero out a random cell mask, reconstruct the
-      // unmasked inputs from the masked view's features.
-      ag::Variable raw =
-          ag::Concat({ag::Constant(batch.closeness),
-                      ag::Constant(batch.period)}, 1);
-      ts::Tensor mask = ts::Tensor::Uninitialized(raw.value().shape());
-      float* pm = mask.mutable_data();
-      for (int64_t i = 0; i < mask.num_elements(); ++i) {
-        pm[i] = mask_rng_.Bernoulli(mask_rate_) ? 0.0f : 1.0f;
-      }
-      ag::Variable masked = ag::Mul(raw, ag::Constant(std::move(mask)));
-      ag::Variable masked_features =
-          conv2_.Forward(conv1_.Forward(masked));
-      ag::Variable recon = ssl_head_.Forward(masked_features);
-      ag::Variable ssl_loss = ag::MeanAll(ag::Square(ag::Sub(recon, raw)));
-      loss = ag::Add(loss,
-                     ag::MulScalar(ssl_loss, static_cast<float>(ssl_weight_)));
-
-      ZeroGrad();
-      ag::Backward(loss);
-      if (config.clip_norm > 0.0) {
-        optim::ClipGradNorm(optimizer.params(), config.clip_norm);
-      }
-      optimizer.Step();
-      epoch_loss += loss.value().scalar();
-      ++num_batches;
-      // Return the step's graph buffers to the storage pool.
-      ag::ReleaseGraph(loss);
+    // Self-supervised branch: zero out a random cell mask, reconstruct the
+    // unmasked inputs from the masked view's features.
+    ag::Variable raw = ag::Concat(
+        {ag::Constant(batch.closeness), ag::Constant(batch.period)}, 1);
+    ts::Tensor mask = ts::Tensor::Uninitialized(raw.value().shape());
+    float* pm = mask.mutable_data();
+    for (int64_t i = 0; i < mask.num_elements(); ++i) {
+      pm[i] = mask_rng_.Bernoulli(mask_rate_) ? 0.0f : 1.0f;
     }
-    const double val_mse =
-        eval::ValidationMse(*this, dataset, config.batch_size);
-    if (config.verbose) {
-      std::fprintf(stderr, "[ST-SSL] epoch %d/%d  loss %.5f  val %.5f\n",
-                   epoch + 1, config.epochs,
-                   epoch_loss / std::max<int64_t>(1, num_batches), val_mse);
-    }
-    if (val_mse < best_val) {
-      best_val = val_mse;
-      best_state = StateDict();
-      epochs_since_best = 0;
-    } else if (config.patience > 0 && ++epochs_since_best > config.patience) {
-      break;  // Early stopping: validation plateaued.
-    }
-  }
-  if (!best_state.empty()) {
-    const Status status = LoadStateDict(best_state);
-    MUSE_CHECK(status.ok()) << status.ToString();
-  }
-  SetTraining(false);
+    ag::Variable masked = ag::Mul(raw, ag::Constant(std::move(mask)));
+    ag::Variable masked_features = conv2_.Forward(conv1_.Forward(masked));
+    ag::Variable recon = ssl_head_.Forward(masked_features);
+    ag::Variable ssl_loss = ag::MeanAll(ag::Square(ag::Sub(recon, raw)));
+    return ag::Add(loss,
+                   ag::MulScalar(ssl_loss, static_cast<float>(ssl_weight_)));
+  };
+  return driver;
 }
 
 }  // namespace musenet::baselines

@@ -19,13 +19,13 @@ class StSslLite : public NeuralForecaster {
             const data::PeriodicitySpec& spec, int64_t channels,
             double mask_rate, double ssl_weight, uint64_t seed);
 
-  /// Overridden to add the self-supervised reconstruction term during
-  /// training (NeuralForecaster's loop only optimizes plain MSE).
-  void Train(const data::TrafficDataset& dataset,
-             const eval::TrainConfig& config) override;
-
  protected:
   autograd::Variable ForwardPredict(const data::Batch& batch) override;
+
+  /// Overridden to add the self-supervised reconstruction term to the
+  /// training loss (NeuralForecaster's default optimizes plain MSE) and to
+  /// keep this model's historical shuffle stream.
+  eval::TrainDriver MakeTrainDriver() override;
 
  private:
   /// Encoder over (possibly masked) inputs.

@@ -9,6 +9,20 @@
 
 namespace musenet::eval {
 
+/// What the training loop does when the numeric-health guards catch a
+/// non-finite loss or gradient (see eval/train_loop.h).
+enum class FailurePolicy {
+  /// Stop training and surface an Internal Status naming the epoch, step
+  /// and offending parameter. The default: blow-ups should be loud.
+  kAbort,
+  /// Drop the poisoned update (no optimizer step) and continue with the
+  /// next batch. Right for transient faults (injected or cosmic).
+  kSkipBatch,
+  /// Reload the newest valid checkpoint and continue from there; gives up
+  /// (aborts) after `max_rollbacks` or when no checkpoint exists.
+  kRollback,
+};
+
 /// Training budget shared by every model in a comparison table, so that the
 /// baselines and MUSE-Net see identical data and optimization effort.
 struct TrainConfig {
@@ -23,6 +37,23 @@ struct TrainConfig {
   /// while slow- and fast-converging models each train to their own plateau.
   int patience = 0;
   bool verbose = false;         ///< Per-epoch loss logging to stderr.
+
+  // --- Fault tolerance (consumed by eval::RunTraining) ----------------------
+
+  /// Directory for crash-safe training checkpoints; empty disables
+  /// checkpointing (and resume). Created if absent.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;  ///< Epochs between periodic checkpoints.
+  int keep_last = 3;         ///< Periodic checkpoints retained (>= 1).
+  /// Resume from the newest valid checkpoint in `checkpoint_dir` (corrupt
+  /// files are skipped with a warning, falling back to older ones). A
+  /// resumed run is bit-identical to one that never stopped.
+  bool resume = false;
+  /// Per-step NaN/Inf scan over the loss and every gradient. The scan is a
+  /// single parallel pass, cheap next to backward.
+  bool guard_numerics = true;
+  FailurePolicy on_non_finite = FailurePolicy::kAbort;
+  int max_rollbacks = 2;  ///< kRollback budget before giving up.
 };
 
 /// Common interface of all traffic-flow forecasting models in this library

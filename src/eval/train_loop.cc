@@ -1,0 +1,556 @@
+#include "eval/train_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "eval/training.h"
+#include "optim/adam.h"
+#include "optim/optimizer.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/fault_injector.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace musenet::eval {
+
+namespace ag = musenet::autograd;
+namespace fs = std::filesystem;
+namespace ts = musenet::tensor;
+
+namespace {
+
+constexpr uint64_t kTrainStateFormat = 1;
+
+/// Mutable training progress serialized into every checkpoint, alongside the
+/// model weights, optimizer slots and RNG streams (which live in their
+/// owners and are captured at save time).
+struct TrainState {
+  int epoch = 0;    ///< Epochs completed; training resumes here.
+  int64_t step = 0; ///< Global optimizer-step counter (all epochs).
+  double best_val = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+  std::map<std::string, ts::Tensor> best_state;  ///< Empty until a best.
+};
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Checkpoint record layout (one tensor container, see tensor/serialize.h):
+//   "meta"             packed words: format, epoch, step, best_val bits,
+//                      epochs_since_best, has_best
+//   "rng/epoch"        epoch-shuffle Rng state
+//   "rng/model/<name>" each Module::RegisterRng stream
+//   "model/<name>"     current weights (Module::StateDict)
+//   "best/<name>"      best-epoch weights, present iff has_best
+//   "optim/<kind>/<r>" optimizer slots (Optimizer::StateTensors)
+constexpr size_t kMetaWords = 6;
+
+Status SaveTrainState(const std::string& path, const TrainDriver& driver,
+                      const optim::Optimizer& optimizer, const Rng& epoch_rng,
+                      const TrainState& state) {
+  std::map<std::string, ts::Tensor> records;
+  records.emplace(
+      "meta",
+      ts::PackWords64({kTrainStateFormat, static_cast<uint64_t>(state.epoch),
+                       static_cast<uint64_t>(state.step),
+                       DoubleBits(state.best_val),
+                       static_cast<uint64_t>(state.epochs_since_best),
+                       state.best_state.empty() ? 0ULL : 1ULL}));
+  records.emplace("rng/epoch", ts::PackWords64(epoch_rng.SaveState()));
+  for (const auto& [name, rng] : driver.module->NamedRngs()) {
+    records.emplace("rng/model/" + name, ts::PackWords64(rng->SaveState()));
+  }
+  for (auto& [name, tensor] : driver.module->StateDict()) {
+    records.emplace("model/" + name, std::move(tensor));
+  }
+  for (const auto& [name, tensor] : state.best_state) {
+    records.emplace("best/" + name, tensor);
+  }
+  const std::string optim_prefix =
+      std::string("optim/") + std::string(optimizer.kind()) + "/";
+  for (auto& [name, tensor] : optimizer.StateTensors()) {
+    records.emplace(optim_prefix + name, std::move(tensor));
+  }
+  return ts::SaveTensors(path, records);
+}
+
+/// Splits `records` into the sub-maps behind each prefix. Returns records
+/// that match no known prefix (besides "meta"/"rng/") as leftovers so the
+/// caller can reject unrecognized content.
+struct SplitRecords {
+  std::map<std::string, ts::Tensor> model;
+  std::map<std::string, ts::Tensor> best;
+  std::map<std::string, ts::Tensor> optim;  ///< Keys without kind prefix.
+  std::map<std::string, std::vector<uint64_t>> rngs;  ///< Model streams.
+  std::vector<uint64_t> epoch_rng_words;
+  std::vector<uint64_t> meta;
+  std::string optim_kind;
+};
+
+Status SplitCheckpointRecords(std::map<std::string, ts::Tensor> records,
+                              SplitRecords* out) {
+  for (auto& [name, tensor] : records) {
+    if (name == "meta") {
+      MUSE_ASSIGN_OR_RETURN(out->meta, ts::UnpackWords64(tensor));
+    } else if (name == "rng/epoch") {
+      MUSE_ASSIGN_OR_RETURN(out->epoch_rng_words, ts::UnpackWords64(tensor));
+    } else if (name.rfind("rng/model/", 0) == 0) {
+      MUSE_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                            ts::UnpackWords64(tensor));
+      out->rngs.emplace(name.substr(10), std::move(words));
+    } else if (name.rfind("model/", 0) == 0) {
+      out->model.emplace(name.substr(6), std::move(tensor));
+    } else if (name.rfind("best/", 0) == 0) {
+      out->best.emplace(name.substr(5), std::move(tensor));
+    } else if (name.rfind("optim/", 0) == 0) {
+      const size_t slash = name.find('/', 6);
+      if (slash == std::string::npos) {
+        return Status::InvalidArgument("malformed optimizer record '" + name +
+                                       "' in checkpoint");
+      }
+      const std::string kind = name.substr(6, slash - 6);
+      if (out->optim_kind.empty()) {
+        out->optim_kind = kind;
+      } else if (out->optim_kind != kind) {
+        return Status::InvalidArgument(
+            "checkpoint mixes optimizer kinds '" + out->optim_kind +
+            "' and '" + kind + "'");
+      }
+      out->optim.emplace(name.substr(slash + 1), std::move(tensor));
+    } else {
+      return Status::InvalidArgument("unrecognized checkpoint record '" +
+                                     name + "'");
+    }
+  }
+  if (out->meta.size() != kMetaWords) {
+    return Status::InvalidArgument(
+        "checkpoint 'meta' record missing or wrong size");
+  }
+  if (out->meta[0] != kTrainStateFormat) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format " + std::to_string(out->meta[0]) +
+        " (this build reads format " + std::to_string(kTrainStateFormat) +
+        ")");
+  }
+  return Status::OK();
+}
+
+/// Loads a checkpoint into the module/optimizer/RNG streams. Each component
+/// is restored all-or-nothing, and everything cheap to validate is checked
+/// before the first mutation; on a non-OK return the caller either falls
+/// back to an older checkpoint (which overwrites every component again) or
+/// restores the pre-resume snapshot.
+Status LoadTrainState(const std::string& path, const TrainDriver& driver,
+                      optim::Optimizer* optimizer, Rng* epoch_rng,
+                      TrainState* state) {
+  using TensorMap = std::map<std::string, ts::Tensor>;
+  MUSE_ASSIGN_OR_RETURN(TensorMap records, ts::LoadTensors(path));
+  SplitRecords split;
+  MUSE_RETURN_IF_ERROR(SplitCheckpointRecords(std::move(records), &split));
+
+  const bool has_best = split.meta[5] != 0;
+  if (has_best == split.best.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint meta/best mismatch: has_best flag is " +
+        std::to_string(has_best) + " but " +
+        std::to_string(split.best.size()) + " best/ records present");
+  }
+  if (!split.optim_kind.empty() &&
+      split.optim_kind != optimizer->kind()) {
+    return Status::InvalidArgument(
+        "checkpoint optimizer kind '" + split.optim_kind +
+        "' does not match running optimizer '" +
+        std::string(optimizer->kind()) + "'");
+  }
+  // Validate RNG snapshots before touching anything.
+  if (split.epoch_rng_words.size() != Rng::kStateWords) {
+    return Status::InvalidArgument("checkpoint 'rng/epoch' has wrong size");
+  }
+  const auto named_rngs = driver.module->NamedRngs();
+  for (const auto& [name, rng] : named_rngs) {
+    (void)rng;
+    auto it = split.rngs.find(name);
+    if (it == split.rngs.end()) {
+      return Status::InvalidArgument("checkpoint missing RNG stream '" +
+                                     name + "'");
+    }
+    if (it->second.size() != Rng::kStateWords) {
+      return Status::InvalidArgument("checkpoint RNG stream '" + name +
+                                     "' has wrong size");
+    }
+  }
+  if (split.rngs.size() != named_rngs.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(split.rngs.size()) +
+        " model RNG streams, model has " +
+        std::to_string(named_rngs.size()));
+  }
+
+  // Mutations begin. Each call below replaces its component wholesale.
+  MUSE_RETURN_IF_ERROR(driver.module->LoadStateDict(split.model));
+  MUSE_RETURN_IF_ERROR(optimizer->LoadStateTensors(split.optim));
+  epoch_rng->LoadState(split.epoch_rng_words);
+  for (const auto& [name, rng] : named_rngs) {
+    rng->LoadState(split.rngs.at(name));
+  }
+  state->epoch = static_cast<int>(split.meta[1]);
+  state->step = static_cast<int64_t>(split.meta[2]);
+  state->best_val = DoubleFromBits(split.meta[3]);
+  state->epochs_since_best = static_cast<int>(split.meta[4]);
+  state->best_state = std::move(split.best);
+  return Status::OK();
+}
+
+/// Pre-resume snapshot of every component a checkpoint load mutates, so a
+/// run whose checkpoints are ALL corrupt can fall back to a genuinely fresh
+/// start instead of a half-loaded one.
+struct FreshSnapshot {
+  std::map<std::string, ts::Tensor> model;
+  std::map<std::string, ts::Tensor> optim;
+  std::vector<uint64_t> epoch_rng;
+  std::map<std::string, std::vector<uint64_t>> rngs;
+};
+
+FreshSnapshot TakeSnapshot(const TrainDriver& driver,
+                           const optim::Optimizer& optimizer,
+                           const Rng& epoch_rng) {
+  FreshSnapshot snap;
+  snap.model = driver.module->StateDict();
+  snap.optim = optimizer.StateTensors();
+  snap.epoch_rng = epoch_rng.SaveState();
+  for (const auto& [name, rng] : driver.module->NamedRngs()) {
+    snap.rngs.emplace(name, rng->SaveState());
+  }
+  return snap;
+}
+
+void RestoreSnapshot(const FreshSnapshot& snap, const TrainDriver& driver,
+                     optim::Optimizer* optimizer, Rng* epoch_rng) {
+  // These loads restore state this process produced moments ago; failure
+  // would be a programming error, so surface it loudly.
+  Status status = driver.module->LoadStateDict(snap.model);
+  MUSE_CHECK(status.ok()) << status.ToString();
+  status = optimizer->LoadStateTensors(snap.optim);
+  MUSE_CHECK(status.ok()) << status.ToString();
+  epoch_rng->LoadState(snap.epoch_rng);
+  for (const auto& [name, rng] : driver.module->NamedRngs()) {
+    rng->LoadState(snap.rngs.at(name));
+  }
+}
+
+/// Tries checkpoints newest-first; corrupt or unreadable files are skipped
+/// with a warning. Returns the epoch resumed from, or NotFound when no file
+/// loaded (with the pre-call state restored).
+Result<int> ResumeFromNewest(const std::string& dir,
+                             const TrainDriver& driver,
+                             optim::Optimizer* optimizer, Rng* epoch_rng,
+                             TrainState* state) {
+  std::vector<int> epochs = ListCheckpointEpochs(dir);
+  if (epochs.empty()) return Status::NotFound("no checkpoints in " + dir);
+  const FreshSnapshot snap = TakeSnapshot(driver, *optimizer, *epoch_rng);
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    const std::string path = CheckpointPath(dir, *it);
+    const Status status =
+        LoadTrainState(path, driver, optimizer, epoch_rng, state);
+    if (status.ok()) return *it;
+    std::fprintf(stderr,
+                 "[%s] warning: skipping unusable checkpoint %s: %s\n",
+                 driver.forecaster->name().c_str(), path.c_str(),
+                 status.ToString().c_str());
+  }
+  // Every candidate failed; a partial load may have touched the model, so
+  // roll everything back to the fresh state.
+  RestoreSnapshot(snap, driver, optimizer, epoch_rng);
+  return Status::NotFound("no usable checkpoint in " + dir);
+}
+
+/// Deletes periodic checkpoints beyond the newest `keep_last`.
+void PruneCheckpoints(const std::string& dir, int keep_last) {
+  std::vector<int> epochs = ListCheckpointEpochs(dir);
+  if (keep_last < 1) keep_last = 1;
+  if (epochs.size() <= static_cast<size_t>(keep_last)) return;
+  for (size_t i = 0; i + static_cast<size_t>(keep_last) < epochs.size();
+       ++i) {
+    std::error_code ec;
+    fs::remove(CheckpointPath(dir, epochs[i]), ec);  // Best-effort.
+  }
+}
+
+/// Writes NaN into the first gradient element (deterministic target), for
+/// the fault-injection harness.
+void PoisonOneGradient(const std::vector<ag::Variable>& params) {
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    auto node = p.node();
+    if (node->grad.num_elements() == 0) continue;
+    node->grad.mutable_data()[0] = std::numeric_limits<float>::quiet_NaN();
+    return;
+  }
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, int epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06d.muse", epoch);
+  return (fs::path(dir) / name).string();
+}
+
+std::string BestCheckpointPath(const std::string& dir) {
+  return (fs::path(dir) / "best.muse").string();
+}
+
+std::vector<int> ListCheckpointEpochs(const std::string& dir) {
+  std::vector<int> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    int epoch = 0;
+    char trailing = 0;
+    if (std::sscanf(name.c_str(), "ckpt-%d.mus%c", &epoch, &trailing) != 2 ||
+        trailing != 'e' || epoch < 0) {
+      continue;
+    }
+    // Exact-name check: ignores leftovers like "ckpt-000001.muse.tmp.1234"
+    // from a crashed atomic write, which the sscanf prefix match accepts.
+    if (fs::path(CheckpointPath(dir, epoch)).filename().string() == name) {
+      epochs.push_back(epoch);
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status RunTraining(const TrainDriver& driver,
+                   const data::TrafficDataset& dataset,
+                   const TrainConfig& config, TrainReport* report) {
+  if (driver.module == nullptr || driver.forecaster == nullptr ||
+      !driver.batch_loss) {
+    return Status::InvalidArgument(
+        "TrainDriver needs module, forecaster and batch_loss");
+  }
+  if (config.batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  TrainReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = TrainReport{};
+
+  const std::string& model_name = driver.forecaster->name();
+  const bool ckpt_on = !config.checkpoint_dir.empty();
+  if (ckpt_on) {
+    std::error_code ec;
+    fs::create_directories(config.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint dir '" +
+                             config.checkpoint_dir + "': " + ec.message());
+    }
+    if (config.checkpoint_every <= 0) {
+      return Status::InvalidArgument("checkpoint_every must be positive");
+    }
+  }
+
+  driver.module->SetTraining(true);
+  Rng epoch_rng(config.seed ^ driver.shuffle_salt);
+  optim::Adam optimizer(driver.module->Parameters(), config.learning_rate);
+  TrainState st;
+
+  if (ckpt_on && config.resume) {
+    Result<int> resumed = ResumeFromNewest(config.checkpoint_dir, driver,
+                                           &optimizer, &epoch_rng, &st);
+    if (resumed.ok()) {
+      report->resumed_from_epoch = *resumed;
+      if (config.verbose) {
+        std::fprintf(stderr, "[%s] resumed from checkpoint at epoch %d\n",
+                     model_name.c_str(), *resumed);
+      }
+    }
+    // NotFound just means a fresh start; nothing to do.
+  }
+
+  util::FaultInjector& faults = util::FaultInjector::Instance();
+  int rollbacks_left = config.max_rollbacks;
+  int epoch = st.epoch;
+  bool stop_early = false;
+
+  while (epoch < config.epochs && !stop_early) {
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    std::string fault_diag;
+    const std::vector<int64_t> shuffled =
+        ShuffleEpochPool(dataset.train_indices(), epoch_rng);
+    for (size_t begin = 0;
+         begin < shuffled.size() && fault_diag.empty();
+         begin += static_cast<size_t>(config.batch_size)) {
+      data::Batch batch = dataset.MakeBatchFromPool(
+          shuffled, begin, static_cast<size_t>(config.batch_size));
+      ag::Variable loss = driver.batch_loss(batch);
+      driver.module->ZeroGrad();
+      ag::Backward(loss);
+      if (faults.TakeNanGradient(st.step)) {
+        PoisonOneGradient(optimizer.params());
+      }
+
+      bool bad = false;
+      const float loss_value = loss.value().scalar();
+      if (config.guard_numerics) {
+        if (!std::isfinite(loss_value)) {
+          bad = true;
+          fault_diag = "loss is non-finite (" +
+                       std::to_string(loss_value) + ")";
+        } else {
+          const Status grads = optim::CheckGradsFinite(optimizer.params());
+          if (!grads.ok()) {
+            bad = true;
+            fault_diag = grads.message();
+          }
+        }
+      }
+      if (bad) {
+        fault_diag = "numeric fault at epoch " + std::to_string(epoch) +
+                     " step " + std::to_string(st.step) + ": " + fault_diag;
+        if (config.on_non_finite == FailurePolicy::kSkipBatch) {
+          std::fprintf(stderr, "[%s] warning: %s; skipping batch\n",
+                       model_name.c_str(), fault_diag.c_str());
+          ++report->skipped_batches;
+          fault_diag.clear();  // Handled; no optimizer step for this batch.
+        } else if (config.on_non_finite == FailurePolicy::kRollback &&
+                   ckpt_on &&
+                   !ListCheckpointEpochs(config.checkpoint_dir).empty()) {
+          // fault_diag stays set: the epoch loop below performs the
+          // rollback after the graph is released.
+        } else {
+          const char* why =
+              config.on_non_finite == FailurePolicy::kRollback
+                  ? " (policy: rollback, but no checkpoint to roll back to)"
+                  : " (policy: abort)";
+          driver.module->SetTraining(false);
+          ag::ReleaseGraph(loss);
+          return Status::Internal("[" + model_name + "] " + fault_diag +
+                                  why);
+        }
+      } else {
+        if (config.clip_norm > 0.0) {
+          optim::ClipGradNorm(optimizer.params(), config.clip_norm);
+        }
+        optimizer.Step();
+        epoch_loss += loss_value;
+      }
+      ++num_batches;
+      ++st.step;
+      // Return the step's graph buffers to the storage pool before the next
+      // batch allocates (the scalar was already taken above).
+      ag::ReleaseGraph(loss);
+    }
+
+    if (!fault_diag.empty()) {
+      // kRollback with at least one checkpoint on disk: reload and retry.
+      if (rollbacks_left <= 0) {
+        driver.module->SetTraining(false);
+        return Status::Internal("[" + model_name + "] " + fault_diag +
+                                " (policy: rollback, budget of " +
+                                std::to_string(config.max_rollbacks) +
+                                " exhausted)");
+      }
+      --rollbacks_left;
+      Result<int> resumed = ResumeFromNewest(config.checkpoint_dir, driver,
+                                             &optimizer, &epoch_rng, &st);
+      if (!resumed.ok()) {
+        driver.module->SetTraining(false);
+        return Status::Internal("[" + model_name + "] " + fault_diag +
+                                " (policy: rollback, but " +
+                                resumed.status().message() + ")");
+      }
+      ++report->rollbacks;
+      std::fprintf(stderr,
+                   "[%s] warning: %s; rolled back to checkpoint at epoch "
+                   "%d\n",
+                   model_name.c_str(), fault_diag.c_str(), *resumed);
+      epoch = st.epoch;
+      continue;
+    }
+
+    const double val_mse =
+        ValidationMse(*driver.forecaster, dataset, config.batch_size);
+    if (config.verbose) {
+      std::fprintf(stderr, "[%s] epoch %d/%d  train loss %.5f  val MSE "
+                   "%.5f\n",
+                   model_name.c_str(), epoch + 1, config.epochs,
+                   epoch_loss / std::max<int64_t>(1, num_batches), val_mse);
+    }
+    bool improved = false;
+    if (val_mse < st.best_val) {
+      st.best_val = val_mse;
+      st.best_state = driver.module->StateDict();
+      st.epochs_since_best = 0;
+      improved = true;
+    } else if (config.patience > 0 &&
+               ++st.epochs_since_best > config.patience) {
+      stop_early = true;  // Early stopping: validation plateaued.
+    }
+    ++epoch;
+    st.epoch = epoch;
+    ++report->epochs_run;
+
+    if (ckpt_on) {
+      const bool due = epoch % config.checkpoint_every == 0 ||
+                       epoch == config.epochs || stop_early;
+      if (due) {
+        const std::string path =
+            CheckpointPath(config.checkpoint_dir, epoch);
+        const Status saved =
+            SaveTrainState(path, driver, optimizer, epoch_rng, st);
+        if (saved.ok()) {
+          PruneCheckpoints(config.checkpoint_dir, config.keep_last);
+        } else {
+          ++report->checkpoint_write_failures;
+          std::fprintf(stderr,
+                       "[%s] warning: checkpoint write failed (%s); "
+                       "continuing without it\n",
+                       model_name.c_str(), saved.ToString().c_str());
+        }
+      }
+      if (improved) {
+        const Status saved = ts::SaveTensors(
+            BestCheckpointPath(config.checkpoint_dir), st.best_state);
+        if (!saved.ok()) {
+          ++report->checkpoint_write_failures;
+          std::fprintf(stderr,
+                       "[%s] warning: best-weights write failed (%s)\n",
+                       model_name.c_str(), saved.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  if (!st.best_state.empty()) {
+    MUSE_RETURN_IF_ERROR(driver.module->LoadStateDict(st.best_state));
+  }
+  driver.module->SetTraining(false);
+  report->steps = st.step;
+  report->best_val = st.best_val;
+  return Status::OK();
+}
+
+}  // namespace musenet::eval

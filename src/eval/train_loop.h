@@ -1,0 +1,70 @@
+#ifndef MUSENET_EVAL_TRAIN_LOOP_H_
+#define MUSENET_EVAL_TRAIN_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "nn/module.h"
+
+namespace musenet::eval {
+
+/// Everything a model hands the shared fault-tolerant training loop. The
+/// loop owns the epoch/batch schedule, the Adam optimizer, numeric-health
+/// guards, checkpoint/resume and best-epoch tracking; the model supplies
+/// only its loss.
+struct TrainDriver {
+  nn::Module* module = nullptr;      ///< Parameters, state dict, RNG streams.
+  Forecaster* forecaster = nullptr;  ///< Validation predictions + name.
+  /// Builds the differentiable loss for one training batch (the module is in
+  /// training mode). May draw from RNG streams registered via RegisterRng —
+  /// those are checkpointed, so a resumed run replays the same draws.
+  std::function<autograd::Variable(const data::Batch&)> batch_loss;
+  /// Per-model salt XOR'd into `config.seed` for the epoch-shuffle stream;
+  /// keeps each model's historical shuffle order.
+  uint64_t shuffle_salt = 0;
+};
+
+/// Counters filled in by RunTraining, for logging and tests.
+struct TrainReport {
+  int epochs_run = 0;    ///< Epochs completed in THIS call (excl. resumed).
+  int64_t steps = 0;     ///< Global optimizer-step counter at exit.
+  int resumed_from_epoch = -1;  ///< Epoch loaded from checkpoint; -1 = fresh.
+  int skipped_batches = 0;      ///< kSkipBatch activations.
+  int rollbacks = 0;            ///< kRollback activations.
+  int checkpoint_write_failures = 0;  ///< Failed saves (warned, non-fatal).
+  double best_val = std::numeric_limits<double>::infinity();
+};
+
+/// Runs the shared training loop: per-epoch shuffle, Adam steps with
+/// optional gradient clipping, validation-MSE best-epoch selection with
+/// early stopping — plus the fault-tolerance features configured in
+/// `TrainConfig` (crash-safe checkpoints, resume, NaN/Inf guards with an
+/// abort/skip/rollback policy). On success the module holds the best-epoch
+/// weights and is back in eval mode. Training faults and unrecoverable
+/// checkpoint problems come back as a descriptive non-OK Status; checkpoint
+/// WRITE failures only warn (training is worth more than a checkpoint).
+Status RunTraining(const TrainDriver& driver,
+                   const data::TrafficDataset& dataset,
+                   const TrainConfig& config, TrainReport* report = nullptr);
+
+/// Periodic checkpoint path for a given completed-epoch count:
+/// `<dir>/ckpt-NNNNNN.muse`.
+std::string CheckpointPath(const std::string& dir, int epoch);
+
+/// Best-validation weights artifact (plain model state dict, loadable with
+/// LoadStateDict): `<dir>/best.muse`.
+std::string BestCheckpointPath(const std::string& dir);
+
+/// Completed-epoch counts of the periodic checkpoints present in `dir`,
+/// sorted ascending. Unparseable filenames are ignored.
+std::vector<int> ListCheckpointEpochs(const std::string& dir);
+
+}  // namespace musenet::eval
+
+#endif  // MUSENET_EVAL_TRAIN_LOOP_H_

@@ -30,6 +30,10 @@ constexpr int kReconPairFor[3] = {0 /*c→(c,p)*/, 2 /*p→(p,t)*/,
 
 MuseNet::MuseNet(MuseNetConfig config, uint64_t seed)
     : config_(config), rng_(seed) {
+  // The reparameterization stream advances every stochastic forward pass;
+  // registering it puts it in checkpoints, so resumed runs draw the same
+  // noise.
+  RegisterRng("reparam", &rng_);
   const int64_t spatial = config_.grid_h * config_.grid_w;
   const int64_t d = config_.repr_dim;
   const int64_t k = config_.dist_dim;
@@ -279,60 +283,25 @@ ag::Variable MuseNet::ComputeLoss(const ForwardResult& result,
   return total;
 }
 
+Status MuseNet::TrainWithReport(const data::TrafficDataset& dataset,
+                                const eval::TrainConfig& config,
+                                eval::TrainReport* report) {
+  eval::TrainDriver driver;
+  driver.module = this;
+  driver.forecaster = this;
+  driver.shuffle_salt = 0x5EEDF00DULL;  // Historical shuffle stream.
+  driver.batch_loss = [this](const data::Batch& batch) {
+    ForwardResult forward = Forward(batch, /*stochastic=*/true);
+    LossBreakdown parts;
+    return ComputeLoss(forward, batch, &parts);
+  };
+  return eval::RunTraining(driver, dataset, config, report);
+}
+
 void MuseNet::Train(const data::TrafficDataset& dataset,
                     const eval::TrainConfig& config) {
-  SetTraining(true);
-  Rng epoch_rng(config.seed ^ 0x5EEDF00DULL);
-  optim::Adam optimizer(Parameters(), config.learning_rate);
-
-  double best_val = std::numeric_limits<double>::infinity();
-  int epochs_since_best = 0;
-  std::map<std::string, ts::Tensor> best_state;
-
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    double epoch_loss = 0.0;
-    int64_t num_batches = 0;
-    const std::vector<int64_t> shuffled =
-        eval::ShuffleEpochPool(dataset.train_indices(), epoch_rng);
-    for (size_t begin = 0; begin < shuffled.size();
-         begin += static_cast<size_t>(config.batch_size)) {
-      data::Batch batch = dataset.MakeBatchFromPool(
-          shuffled, begin, static_cast<size_t>(config.batch_size));
-      ForwardResult forward = Forward(batch, /*stochastic=*/true);
-      LossBreakdown parts;
-      ag::Variable loss = ComputeLoss(forward, batch, &parts);
-      ZeroGrad();
-      ag::Backward(loss);
-      if (config.clip_norm > 0.0) {
-        optim::ClipGradNorm(optimizer.params(), config.clip_norm);
-      }
-      optimizer.Step();
-      epoch_loss += parts.total;
-      ++num_batches;
-      // Return the step's graph buffers to the storage pool before the next
-      // batch allocates (parts was filled at loss-build time).
-      ag::ReleaseGraph(loss);
-    }
-    const double val_mse = eval::ValidationMse(*this, dataset,
-                                               config.batch_size);
-    if (config.verbose) {
-      std::fprintf(stderr, "[%s] epoch %d/%d  train loss %.4f  val MSE %.5f\n",
-                   name_.c_str(), epoch + 1, config.epochs,
-                   epoch_loss / std::max<int64_t>(1, num_batches), val_mse);
-    }
-    if (val_mse < best_val) {
-      best_val = val_mse;
-      best_state = StateDict();
-      epochs_since_best = 0;
-    } else if (config.patience > 0 && ++epochs_since_best > config.patience) {
-      break;  // Early stopping: validation plateaued.
-    }
-  }
-  if (!best_state.empty()) {
-    const Status status = LoadStateDict(best_state);
-    MUSE_CHECK(status.ok()) << status.ToString();
-  }
-  SetTraining(false);
+  const Status status = TrainWithReport(dataset, config, nullptr);
+  MUSE_CHECK(status.ok()) << status.ToString();
 }
 
 ts::Tensor MuseNet::Predict(const data::Batch& batch) {

@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "eval/forecaster.h"
+#include "eval/train_loop.h"
 #include "muse/config.h"
 #include "muse/decoders.h"
 #include "muse/encoders.h"
@@ -78,6 +79,13 @@ class MuseNet : public nn::Module, public eval::Forecaster {
   void Train(const data::TrafficDataset& dataset,
              const eval::TrainConfig& config) override;
   tensor::Tensor Predict(const data::Batch& batch) override;
+
+  /// As Train, but surfaces training faults (numeric blow-ups under
+  /// FailurePolicy::kAbort, exhausted rollback budgets) as a Status instead
+  /// of aborting, and reports loop counters. Used by tests and tools.
+  Status TrainWithReport(const data::TrafficDataset& dataset,
+                         const eval::TrainConfig& config,
+                         eval::TrainReport* report);
 
   /// Overrides the display name (used for ablation variants).
   void set_name(std::string name) { name_ = std::move(name); }

@@ -1,5 +1,7 @@
 #include "nn/module.h"
 
+#include <set>
+
 #include "util/check.h"
 
 namespace musenet::nn {
@@ -67,39 +69,75 @@ std::map<std::string, tensor::Tensor> Module::StateDict() const {
   return state;
 }
 
+namespace {
+
+/// Renders up to `cap` names as "a, b, c (+2 more)" for mismatch messages.
+std::string JoinNames(const std::vector<std::string>& names, size_t cap = 8) {
+  std::string out;
+  for (size_t i = 0; i < names.size() && i < cap; ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  if (names.size() > cap) {
+    out += " (+" + std::to_string(names.size() - cap) + " more)";
+  }
+  return out;
+}
+
+}  // namespace
+
 Status Module::LoadStateDict(
     const std::map<std::string, tensor::Tensor>& state) {
   auto named = NamedParameters();
   std::vector<std::pair<std::string, tensor::Tensor*>> buffers;
   CollectNamedBuffers("", &buffers);
-  if (state.size() != named.size() + buffers.size()) {
-    return Status::InvalidArgument(
-        "state dict has " + std::to_string(state.size()) +
-        " entries, model has " +
-        std::to_string(named.size() + buffers.size()));
-  }
-  for (auto& [name, var] : named) {
+
+  // Validate everything before mutating anything: enumerate every missing,
+  // extra and shape-mismatched name so one error message fully explains a
+  // checkpoint/model mismatch, and a failed load leaves the model untouched.
+  std::vector<std::string> missing, extra, mismatched;
+  std::set<std::string> expected;
+  auto check_entry = [&](const std::string& name,
+                         const tensor::Shape& model_shape) {
+    expected.insert(name);
     auto it = state.find(name);
     if (it == state.end()) {
-      return Status::NotFound("missing parameter " + name);
+      missing.push_back(name);
+    } else if (it->second.shape() != model_shape) {
+      mismatched.push_back(name + " (checkpoint " +
+                           it->second.shape().ToString() + " vs model " +
+                           model_shape.ToString() + ")");
     }
-    if (it->second.shape() != var.value().shape()) {
-      return Status::InvalidArgument(
-          "shape mismatch for " + name + ": checkpoint " +
-          it->second.shape().ToString() + " vs model " +
-          var.value().shape().ToString());
+  };
+  for (const auto& [name, var] : named) check_entry(name, var.value().shape());
+  for (const auto& [name, buffer] : buffers) check_entry(name, buffer->shape());
+  for (const auto& [name, tensor] : state) {
+    (void)tensor;
+    if (expected.find(name) == expected.end()) extra.push_back(name);
+  }
+
+  if (!missing.empty() || !extra.empty() || !mismatched.empty()) {
+    std::string msg = "state dict does not match model (" +
+                      std::to_string(state.size()) + " entries vs " +
+                      std::to_string(expected.size()) + " expected):";
+    if (!missing.empty()) {
+      msg += " missing [" + JoinNames(missing) + "];";
     }
-    var.mutable_value() = it->second;
+    if (!extra.empty()) {
+      msg += " extra [" + JoinNames(extra) + "];";
+    }
+    if (!mismatched.empty()) {
+      msg += " shape mismatch [" + JoinNames(mismatched) + "];";
+    }
+    msg.pop_back();  // Trailing ';'.
+    return Status::InvalidArgument(std::move(msg));
+  }
+
+  for (auto& [name, var] : named) {
+    var.mutable_value() = state.find(name)->second;
   }
   for (auto& [name, buffer] : buffers) {
-    auto it = state.find(name);
-    if (it == state.end()) {
-      return Status::NotFound("missing buffer " + name);
-    }
-    if (it->second.shape() != buffer->shape()) {
-      return Status::InvalidArgument("shape mismatch for buffer " + name);
-    }
-    *buffer = it->second;
+    *buffer = state.find(name)->second;
   }
   return Status::OK();
 }
@@ -127,6 +165,28 @@ void Module::RegisterSubmodule(std::string name, Module* child) {
 void Module::RegisterBuffer(std::string name, tensor::Tensor* buffer) {
   MUSE_CHECK(buffer != nullptr);
   buffers_.emplace_back(std::move(name), buffer);
+}
+
+void Module::RegisterRng(std::string name, Rng* rng) {
+  MUSE_CHECK(rng != nullptr);
+  rngs_.emplace_back(std::move(name), rng);
+}
+
+void Module::CollectNamedRngs(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Rng*>>* out) const {
+  for (const auto& [name, rng] : rngs_) {
+    out->emplace_back(prefix + name, rng);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamedRngs(prefix + name + ".", out);
+  }
+}
+
+std::vector<std::pair<std::string, Rng*>> Module::NamedRngs() const {
+  std::vector<std::pair<std::string, Rng*>> out;
+  CollectNamedRngs("", &out);
+  return out;
 }
 
 }  // namespace musenet::nn

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace musenet::nn {
@@ -50,8 +51,19 @@ class Module {
   std::map<std::string, tensor::Tensor> StateDict() const;
 
   /// Loads parameter and buffer tensors by name. Every entry must be present
-  /// with a matching shape; extra entries in `state` are an error.
+  /// with a matching shape; extra entries in `state` are an error. On
+  /// failure the Status message enumerates exactly which names are missing,
+  /// extra, or shape-mismatched (with both shapes), so a checkpoint/model
+  /// mismatch is diagnosable from the error alone. The model is only
+  /// modified when validation passes — a failed load never leaves it half
+  /// loaded.
   Status LoadStateDict(const std::map<std::string, tensor::Tensor>& state);
+
+  /// RNG streams that advance while the model trains (reparameterization
+  /// noise, augmentation masks), with dotted path names, depth-first. The
+  /// training runtime checkpoints these alongside the weights so a resumed
+  /// run replays the exact noise sequence of an uninterrupted one.
+  std::vector<std::pair<std::string, Rng*>> NamedRngs() const;
 
   /// Train/eval mode (affects Dropout); recurses into sub-modules.
   void SetTraining(bool training);
@@ -69,6 +81,12 @@ class Module {
   /// statistics). `buffer` must outlive `this` (normally a data member).
   void RegisterBuffer(std::string name, tensor::Tensor* buffer);
 
+  /// Registers an RNG stream consumed during training (surfaced by
+  /// NamedRngs for checkpointing). `rng` must outlive `this` (normally a
+  /// data member). Init-only RNGs, fully drained in the constructor, need
+  /// not be registered.
+  void RegisterRng(std::string name, Rng* rng);
+
  private:
   void CollectNamedParameters(
       const std::string& prefix,
@@ -76,9 +94,12 @@ class Module {
   void CollectNamedBuffers(
       const std::string& prefix,
       std::vector<std::pair<std::string, tensor::Tensor*>>* out) const;
+  void CollectNamedRngs(const std::string& prefix,
+                        std::vector<std::pair<std::string, Rng*>>* out) const;
 
   std::vector<std::pair<std::string, autograd::Variable>> params_;
   std::vector<std::pair<std::string, tensor::Tensor*>> buffers_;
+  std::vector<std::pair<std::string, Rng*>> rngs_;
   std::vector<std::pair<std::string, Module*>> children_;
   bool training_ = true;
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/kernel_util.h"
+#include "tensor/serialize.h"
 #include "util/check.h"
 
 namespace musenet::optim {
@@ -22,6 +23,35 @@ Adam::Adam(std::vector<autograd::Variable> params, double learning_rate,
     m_.emplace_back(tensor::Tensor::Zeros(p.value().shape()));
     v_.emplace_back(tensor::Tensor::Zeros(p.value().shape()));
   }
+}
+
+std::map<std::string, tensor::Tensor> Adam::StateTensors() const {
+  std::map<std::string, tensor::Tensor> state;
+  SaveSlotTensors("m", m_, &state);
+  SaveSlotTensors("v", v_, &state);
+  state.emplace("step",
+                tensor::PackWords64({static_cast<uint64_t>(step_count_)}));
+  return state;
+}
+
+Status Adam::LoadStateTensors(
+    const std::map<std::string, tensor::Tensor>& state) {
+  auto step_it = state.find("step");
+  if (step_it == state.end()) {
+    return Status::InvalidArgument("adam state missing 'step' record");
+  }
+  MUSE_ASSIGN_OR_RETURN(const std::vector<uint64_t> step_words,
+                        tensor::UnpackWords64(step_it->second));
+  if (step_words.size() != 1) {
+    return Status::InvalidArgument("adam 'step' record has wrong size");
+  }
+  std::vector<tensor::Tensor> m, v;
+  MUSE_RETURN_IF_ERROR(LoadSlotTensors(state, "m", params_, &m));
+  MUSE_RETURN_IF_ERROR(LoadSlotTensors(state, "v", params_, &v));
+  m_ = std::move(m);
+  v_ = std::move(v);
+  step_count_ = static_cast<int64_t>(step_words[0]);
+  return Status::OK();
 }
 
 void Adam::Step() {

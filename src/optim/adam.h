@@ -26,6 +26,15 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  std::string_view kind() const override { return "adam"; }
+
+  /// Records: "m/NNNN", "v/NNNN" (one pair per parameter) and "step" (packed
+  /// step counter). Restoring them and re-running a step is bit-identical to
+  /// never having paused (see train_resume_test).
+  std::map<std::string, tensor::Tensor> StateTensors() const override;
+  Status LoadStateTensors(
+      const std::map<std::string, tensor::Tensor>& state) override;
+
   int64_t step_count() const { return step_count_; }
 
  private:

@@ -1,6 +1,9 @@
 #include "optim/optimizer.h"
 
 #include <cmath>
+#include <cstdio>
+
+#include "tensor/tensor_ops.h"
 
 namespace musenet::optim {
 
@@ -32,6 +35,69 @@ double ClipGradNorm(const std::vector<autograd::Variable>& params,
     for (int64_t i = 0; i < n; ++i) pg[i] *= scale;
   }
   return norm;
+}
+
+Status CheckGradsFinite(const std::vector<autograd::Variable>& params) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!params[i].has_grad()) continue;
+    const tensor::NonFiniteReport report =
+        tensor::CountNonFinite(params[i].grad());
+    if (report.count > 0) {
+      return Status::Internal(
+          "non-finite gradient in parameter " + std::to_string(i) + " (shape " +
+          params[i].value().shape().ToString() + "): " +
+          std::to_string(report.count) + " of " +
+          std::to_string(params[i].grad().num_elements()) +
+          " elements NaN/Inf, first at flat index " +
+          std::to_string(report.first_index));
+    }
+  }
+  return Status::OK();
+}
+
+std::string SlotRecordName(std::string_view slot, size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s/%04zu", std::string(slot).c_str(),
+                index);
+  return buf;
+}
+
+void SaveSlotTensors(std::string_view slot,
+                     const std::vector<tensor::Tensor>& buffers,
+                     std::map<std::string, tensor::Tensor>* out) {
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    out->emplace(SlotRecordName(slot, i), buffers[i]);
+  }
+}
+
+Status LoadSlotTensors(const std::map<std::string, tensor::Tensor>& state,
+                       std::string_view slot,
+                       const std::vector<autograd::Variable>& params,
+                       std::vector<tensor::Tensor>* out) {
+  std::vector<tensor::Tensor> loaded;
+  loaded.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const std::string key = SlotRecordName(slot, i);
+    auto it = state.find(key);
+    if (it == state.end()) {
+      return Status::InvalidArgument("optimizer state record '" + key +
+                                     "' missing (checkpoint has " +
+                                     std::to_string(state.size()) +
+                                     " records for " +
+                                     std::to_string(params.size()) +
+                                     " parameters)");
+    }
+    if (it->second.shape() != params[i].value().shape()) {
+      return Status::InvalidArgument(
+          "optimizer state record '" + key + "' has shape " +
+          it->second.shape().ToString() + " but parameter " +
+          std::to_string(i) + " has shape " +
+          params[i].value().shape().ToString());
+    }
+    loaded.push_back(it->second);
+  }
+  *out = std::move(loaded);
+  return Status::OK();
 }
 
 }  // namespace musenet::optim

@@ -1,9 +1,13 @@
 #ifndef MUSENET_OPTIM_OPTIMIZER_H_
 #define MUSENET_OPTIM_OPTIMIZER_H_
 
+#include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/status.h"
 
 namespace musenet::optim {
 
@@ -25,6 +29,22 @@ class Optimizer {
   /// Applies one update using the currently accumulated gradients.
   virtual void Step() = 0;
 
+  /// Algorithm name ("adam", "sgd"); keys checkpoint records so a resume
+  /// with a different optimizer fails loudly instead of silently reusing
+  /// foreign moment buffers.
+  virtual std::string_view kind() const = 0;
+
+  /// Serializes the optimizer's internal state (moment buffers, step
+  /// counters) as named tensors; together with the model StateDict and RNG
+  /// snapshots this makes an interrupted run bit-exactly resumable.
+  virtual std::map<std::string, tensor::Tensor> StateTensors() const = 0;
+
+  /// Restores state written by StateTensors. Validates record names and
+  /// every buffer shape against the current parameter list; on mismatch the
+  /// Status names the offending record and nothing is modified.
+  virtual Status LoadStateTensors(
+      const std::map<std::string, tensor::Tensor>& state) = 0;
+
   /// Clears all parameter gradients (call after Step, before next forward).
   void ZeroGrad();
 
@@ -44,6 +64,28 @@ class Optimizer {
 /// within bounds or when no parameter has a gradient.
 double ClipGradNorm(const std::vector<autograd::Variable>& params,
                     double max_norm);
+
+/// Scans every parameter gradient for NaN/Inf. Returns OK when all finite;
+/// otherwise an Internal status naming the first offending parameter index,
+/// its non-finite element count and the flat index of the first bad element
+/// — the diagnostics the training loop's FailurePolicy surfaces.
+Status CheckGradsFinite(const std::vector<autograd::Variable>& params);
+
+/// "m/0007"-style record name for per-parameter optimizer state slots.
+std::string SlotRecordName(std::string_view slot, size_t index);
+
+/// Writes one tensor per parameter into `out` under SlotRecordName keys.
+void SaveSlotTensors(std::string_view slot,
+                     const std::vector<tensor::Tensor>& buffers,
+                     std::map<std::string, tensor::Tensor>* out);
+
+/// Reads back a SaveSlotTensors record set, validating that every record is
+/// present with the matching parameter shape. `out` is only modified on
+/// success.
+Status LoadSlotTensors(const std::map<std::string, tensor::Tensor>& state,
+                       std::string_view slot,
+                       const std::vector<autograd::Variable>& params,
+                       std::vector<tensor::Tensor>* out);
 
 }  // namespace musenet::optim
 

@@ -15,6 +15,20 @@ Sgd::Sgd(std::vector<autograd::Variable> params, double learning_rate,
   }
 }
 
+std::map<std::string, tensor::Tensor> Sgd::StateTensors() const {
+  std::map<std::string, tensor::Tensor> state;
+  SaveSlotTensors("vel", velocity_, &state);
+  return state;
+}
+
+Status Sgd::LoadStateTensors(
+    const std::map<std::string, tensor::Tensor>& state) {
+  std::vector<tensor::Tensor> velocity;
+  MUSE_RETURN_IF_ERROR(LoadSlotTensors(state, "vel", params_, &velocity));
+  velocity_ = std::move(velocity);
+  return Status::OK();
+}
+
 void Sgd::Step() {
   const float lr = static_cast<float>(learning_rate());
   const float mu = static_cast<float>(momentum_);

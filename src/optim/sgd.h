@@ -17,6 +17,13 @@ class Sgd : public Optimizer {
 
   void Step() override;
 
+  std::string_view kind() const override { return "sgd"; }
+
+  /// Records: "vel/NNNN", one velocity buffer per parameter.
+  std::map<std::string, tensor::Tensor> StateTensors() const override;
+  Status LoadStateTensors(
+      const std::map<std::string, tensor::Tensor>& state) override;
+
  private:
   double momentum_;
   std::vector<tensor::Tensor> velocity_;  ///< One per parameter.

@@ -8,12 +8,17 @@
 
 namespace musenet::sim {
 
-/// Persists a FlowSeries to disk (tensor-container format: the [T,2,H,W]
+/// Persists a FlowSeries to disk (tensor-container format v2: the [T,2,H,W]
 /// data plus a metadata record), so simulated datasets can be generated
-/// once and shared between tools.
+/// once and shared between tools. The container layer gives the dataset
+/// cache the same integrity guarantees as model checkpoints: per-record
+/// CRC32 and an atomic temp-file + fsync + rename write.
 Status SaveFlowSeries(const std::string& path, const FlowSeries& flows);
 
-/// Loads a FlowSeries written by SaveFlowSeries.
+/// Loads a FlowSeries written by SaveFlowSeries. Truncated, short-read or
+/// bit-flipped cache files surface as a descriptive IoError (never a crash
+/// or a silently corrupted dataset); stale caches from older builds (v1, no
+/// CRC) still load.
 Result<FlowSeries> LoadFlowSeries(const std::string& path);
 
 }  // namespace musenet::sim

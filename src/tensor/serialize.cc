@@ -1,89 +1,281 @@
 #include "tensor/serialize.h"
 
 #include <cstring>
-#include <fstream>
-#include <vector>
+#include <limits>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/fault_injector.h"
+#include "util/io.h"
 
 namespace musenet::tensor {
 
 namespace {
 
 constexpr char kMagic[8] = {'M', 'U', 'S', 'E', 'T', 'N', 'S', 'R'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;  ///< Legacy: no CRCs, non-atomic writes.
+constexpr uint32_t kVersion = 2;
+
+/// Caps that bound what a (possibly corrupted) header can make us allocate.
+constexpr uint64_t kMaxNameLen = 1u << 20;
+constexpr uint32_t kMaxRank = 16;
+constexpr int64_t kMaxElements = int64_t{1} << 40;  // 4 TiB of f32.
 
 template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
+/// Bounds-checked reader over the in-memory file image. Every failed read
+/// reports how far into the file it got and what it was reading, so
+/// truncation errors pinpoint the torn record.
+class Cursor {
+ public:
+  Cursor(const std::string& path, const std::string& bytes)
+      : path_(path), data_(bytes.data()), size_(bytes.size()) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return size_ - offset_; }
+  const char* here() const { return data_ + offset_; }
+
+  /// Advances past `n` bytes, or reports which `what` was truncated.
+  Status Skip(size_t n, const std::string& what) {
+    if (remaining() < n) {
+      return Status::IoError(path_ + ": truncated reading " + what +
+                             " at byte " + std::to_string(offset_) + ": need " +
+                             std::to_string(n) + " bytes, " +
+                             std::to_string(remaining()) + " remain");
+    }
+    offset_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPod(T* value, const std::string& what) {
+    const char* src = here();
+    MUSE_RETURN_IF_ERROR(Skip(sizeof(T), what));
+    std::memcpy(value, src, sizeof(T));
+    return Status::OK();
+  }
+
+ private:
+  const std::string& path_;
+  const char* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+/// Checked product of dims; fails on non-positive or absurdly large shapes
+/// (a corrupted dim must not drive a multi-terabyte allocation).
+Result<int64_t> CheckedNumElements(const std::string& path,
+                                   const std::vector<int64_t>& dims,
+                                   const std::string& record) {
+  int64_t n = 1;
+  for (const int64_t d : dims) {
+    if (d <= 0) {
+      return Status::IoError(path + ": " + record + ": bad dimension " +
+                             std::to_string(d));
+    }
+    if (n > kMaxElements / d) {
+      return Status::IoError(path + ": " + record +
+                             ": implausible element count (corrupted dims?)");
+    }
+    n *= d;
+  }
+  return n;
+}
+
+/// Parses one tensor record at the cursor. `checked` selects the v2 layout
+/// (with CRC fields) over the legacy v1 layout.
+Status ReadRecord(const std::string& path, Cursor* cursor, uint64_t index,
+                  bool checked, std::map<std::string, Tensor>* out) {
+  const std::string record = "tensor " + std::to_string(index);
+  const size_t meta_begin = cursor->offset();
+
+  uint64_t name_len = 0;
+  MUSE_RETURN_IF_ERROR(cursor->ReadPod(&name_len, record + " name length"));
+  if (name_len > kMaxNameLen) {
+    return Status::IoError(path + ": " + record + ": bad name length " +
+                           std::to_string(name_len));
+  }
+  const char* name_src = cursor->here();
+  MUSE_RETURN_IF_ERROR(
+      cursor->Skip(static_cast<size_t>(name_len), record + " name"));
+  std::string name(name_src, static_cast<size_t>(name_len));
+  const std::string label = record + " ('" + name + "')";
+
+  uint32_t rank = 0;
+  MUSE_RETURN_IF_ERROR(cursor->ReadPod(&rank, label + " rank"));
+  if (rank > kMaxRank) {
+    return Status::IoError(path + ": " + label + ": bad rank " +
+                           std::to_string(rank));
+  }
+  std::vector<int64_t> dims(rank);
+  for (uint32_t d = 0; d < rank; ++d) {
+    MUSE_RETURN_IF_ERROR(cursor->ReadPod(&dims[d], label + " dims"));
+  }
+  MUSE_ASSIGN_OR_RETURN(const int64_t num_elements,
+                        CheckedNumElements(path, dims, label));
+  const size_t meta_size = cursor->offset() - meta_begin;
+
+  uint32_t stored_payload_crc = 0;
+  if (checked) {
+    uint32_t stored_meta_crc = 0;
+    MUSE_RETURN_IF_ERROR(
+        cursor->ReadPod(&stored_meta_crc, label + " metadata CRC"));
+    MUSE_RETURN_IF_ERROR(
+        cursor->ReadPod(&stored_payload_crc, label + " payload CRC"));
+    const uint32_t meta_crc = util::Crc32(
+        cursor->here() - meta_size - 2 * sizeof(uint32_t), meta_size);
+    if (meta_crc != stored_meta_crc) {
+      return Status::IoError(path + ": " + label +
+                             ": metadata CRC mismatch (corrupted header)");
+    }
+  }
+
+  const size_t payload_bytes = static_cast<size_t>(num_elements) * sizeof(float);
+  const char* payload_src = cursor->here();
+  MUSE_RETURN_IF_ERROR(cursor->Skip(payload_bytes, label + " payload"));
+  if (checked) {
+    const uint32_t payload_crc = util::Crc32(payload_src, payload_bytes);
+    if (payload_crc != stored_payload_crc) {
+      return Status::IoError(path + ": " + label +
+                             ": payload CRC mismatch (corrupted data)");
+    }
+  }
+
+  std::vector<float> data(static_cast<size_t>(num_elements));
+  std::memcpy(data.data(), payload_src, payload_bytes);
+  const bool inserted =
+      out->emplace(std::move(name), Tensor(Shape(std::move(dims)),
+                                           std::move(data)))
+          .second;
+  if (!inserted) {
+    return Status::IoError(path + ": " + label + ": duplicate tensor name");
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
 Status SaveTensors(const std::string& path,
                    const std::map<std::string, Tensor>& tensors) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(tensors.size()));
-  for (const auto& [name, t] : tensors) {
-    WritePod(out, static_cast<uint64_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    WritePod(out, static_cast<uint32_t>(t.rank()));
-    for (int i = 0; i < t.rank(); ++i) WritePod(out, t.dim(i));
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.num_elements() * sizeof(float)));
+  if (util::FaultInjector::Instance().TakeAllocFailure()) {
+    return Status::IoError("injected allocation failure serializing " + path);
   }
-  if (!out) return Status::IoError("failed while writing " + path);
-  return Status::OK();
+
+  std::string out;
+  // Reserve the exact size up front so serialization is one allocation.
+  size_t total = sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+  for (const auto& [name, t] : tensors) {
+    total += sizeof(uint64_t) + name.size() + sizeof(uint32_t) +
+             static_cast<size_t>(t.rank()) * sizeof(int64_t) +
+             2 * sizeof(uint32_t) +
+             static_cast<size_t>(t.num_elements()) * sizeof(float);
+  }
+  try {
+    out.reserve(total);
+  } catch (const std::bad_alloc&) {
+    return Status::IoError("out of memory serializing " + path + " (" +
+                           std::to_string(total) + " bytes)");
+  }
+
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod(&out, kVersion);
+  AppendPod(&out, static_cast<uint64_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    const size_t meta_begin = out.size();
+    AppendPod(&out, static_cast<uint64_t>(name.size()));
+    out.append(name);
+    AppendPod(&out, static_cast<uint32_t>(t.rank()));
+    for (int i = 0; i < t.rank(); ++i) AppendPod(&out, t.dim(i));
+    const uint32_t meta_crc =
+        util::Crc32(out.data() + meta_begin, out.size() - meta_begin);
+    const size_t payload_bytes =
+        static_cast<size_t>(t.num_elements()) * sizeof(float);
+    const uint32_t payload_crc = util::Crc32(t.data(), payload_bytes);
+    AppendPod(&out, meta_crc);
+    AppendPod(&out, payload_crc);
+    out.append(reinterpret_cast<const char*>(t.data()), payload_bytes);
+  }
+  return util::AtomicWriteFile(path, out);
 }
 
 Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path + " for reading");
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IoError(path + ": bad magic");
+  MUSE_ASSIGN_OR_RETURN(const std::string bytes, util::ReadFileToString(path));
+  Cursor cursor(path, bytes);
+
+  const char* magic_src = cursor.here();
+  MUSE_RETURN_IF_ERROR(cursor.Skip(sizeof(kMagic), "magic"));
+  if (std::memcmp(magic_src, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(path +
+                           ": bad magic (not a MUSETNSR tensor container)");
   }
   uint32_t version = 0;
-  uint64_t count = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::IoError(path + ": unsupported version");
+  MUSE_RETURN_IF_ERROR(cursor.ReadPod(&version, "version"));
+  if (version != kVersionV1 && version != kVersion) {
+    return Status::IoError(
+        path + ": unsupported container version " + std::to_string(version) +
+        " (this build reads v1-v" + std::to_string(kVersion) +
+        "; file may be from a newer build or corrupted)");
   }
-  if (!ReadPod(in, &count)) return Status::IoError(path + ": truncated");
+  const bool checked = version >= kVersion;
+  uint64_t count = 0;
+  MUSE_RETURN_IF_ERROR(cursor.ReadPod(&count, "tensor count"));
 
   std::map<std::string, Tensor> tensors;
   for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > (1u << 20)) {
-      return Status::IoError(path + ": bad name length");
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    uint32_t rank = 0;
-    if (!in || !ReadPod(in, &rank) || rank > 16) {
-      return Status::IoError(path + ": bad rank");
-    }
-    std::vector<int64_t> dims(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      if (!ReadPod(in, &dims[d]) || dims[d] <= 0) {
-        return Status::IoError(path + ": bad dimension");
-      }
-    }
-    Shape shape(std::move(dims));
-    std::vector<float> data(static_cast<size_t>(shape.num_elements()));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) return Status::IoError(path + ": truncated tensor data");
-    tensors.emplace(std::move(name), Tensor(std::move(shape), std::move(data)));
+    MUSE_RETURN_IF_ERROR(ReadRecord(path, &cursor, i, checked, &tensors));
+  }
+  if (cursor.remaining() != 0) {
+    return Status::IoError(path + ": " + std::to_string(cursor.remaining()) +
+                           " trailing bytes after last tensor record");
   }
   return tensors;
+}
+
+Tensor PackWords(const std::vector<uint32_t>& words) {
+  static_assert(sizeof(float) == sizeof(uint32_t));
+  std::vector<float> data(words.size());
+  if (!words.empty()) {
+    std::memcpy(data.data(), words.data(), words.size() * sizeof(uint32_t));
+  }
+  return Tensor(Shape({static_cast<int64_t>(words.size())}), std::move(data));
+}
+
+Result<std::vector<uint32_t>> UnpackWords(const Tensor& tensor) {
+  if (tensor.rank() != 1) {
+    return Status::InvalidArgument("packed-word tensor has rank " +
+                                   std::to_string(tensor.rank()) +
+                                   ", expected 1");
+  }
+  std::vector<uint32_t> words(static_cast<size_t>(tensor.num_elements()));
+  if (!words.empty()) {
+    std::memcpy(words.data(), tensor.data(), words.size() * sizeof(uint32_t));
+  }
+  return words;
+}
+
+Tensor PackWords64(const std::vector<uint64_t>& words) {
+  std::vector<uint32_t> half(words.size() * 2);
+  if (!words.empty()) {
+    std::memcpy(half.data(), words.data(), words.size() * sizeof(uint64_t));
+  }
+  return PackWords(half);
+}
+
+Result<std::vector<uint64_t>> UnpackWords64(const Tensor& tensor) {
+  MUSE_ASSIGN_OR_RETURN(const std::vector<uint32_t> half, UnpackWords(tensor));
+  if (half.size() % 2 != 0) {
+    return Status::InvalidArgument(
+        "packed 64-bit word tensor has odd element count " +
+        std::to_string(half.size()));
+  }
+  std::vector<uint64_t> words(half.size() / 2);
+  if (!words.empty()) {
+    std::memcpy(words.data(), half.data(), words.size() * sizeof(uint64_t));
+  }
+  return words;
 }
 
 }  // namespace musenet::tensor

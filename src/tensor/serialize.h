@@ -1,23 +1,49 @@
 #ifndef MUSENET_TENSOR_SERIALIZE_H_
 #define MUSENET_TENSOR_SERIALIZE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.h"
 #include "util/status.h"
 
 namespace musenet::tensor {
 
-/// Writes named tensors to a little-endian binary container:
+/// Writes named tensors to a little-endian binary container (format v2):
 ///   magic "MUSETNSR", u32 version, u64 count, then per tensor:
-///   u64 name_len, name bytes, u32 rank, i64 dims..., f32 data...
-/// Used for model checkpoints and dataset caching.
+///   u64 name_len, name bytes, u32 rank, i64 dims...,
+///   u32 metadata CRC32, u32 payload CRC32, f32 data...
+/// The metadata CRC covers the name/rank/dims fields, the payload CRC the
+/// raw f32 bytes, so a flipped bit or torn write anywhere in the record is
+/// detected at load time. The file is written via temp file + fsync +
+/// atomic rename (util::AtomicWriteFile): a crash mid-save leaves the
+/// previous checkpoint intact, never a prefix.
+/// Used for model checkpoints, training state and dataset caching.
 Status SaveTensors(const std::string& path,
                    const std::map<std::string, Tensor>& tensors);
 
-/// Reads a container written by SaveTensors.
+/// Reads a container written by SaveTensors. Legacy v1 files (no CRCs) still
+/// load; v2 files fail with a descriptive IoError naming the offending
+/// record on any corruption, truncation or version mismatch — loading never
+/// aborts the process.
 Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path);
+
+/// Packs raw 32-bit words into a rank-1 tensor, one word per element, via
+/// bit reinterpretation (no float arithmetic touches the values, so every
+/// bit pattern round-trips — including ones that read as NaN). This is how
+/// non-tensor training state (step counters, RNG snapshots, f64 bit
+/// patterns) rides inside the tensor container.
+Tensor PackWords(const std::vector<uint32_t>& words);
+
+/// Inverse of PackWords. Fails on tensors of the wrong rank.
+Result<std::vector<uint32_t>> UnpackWords(const Tensor& tensor);
+
+/// Convenience on top of Pack/UnpackWords for 64-bit payloads (step
+/// counters, RNG lanes, double bit patterns): two little-endian words each.
+Tensor PackWords64(const std::vector<uint64_t>& words);
+Result<std::vector<uint64_t>> UnpackWords64(const Tensor& tensor);
 
 }  // namespace musenet::tensor
 

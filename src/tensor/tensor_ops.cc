@@ -303,6 +303,36 @@ Tensor MeanAll(const Tensor& a) {
                         static_cast<float>(a.num_elements()));
 }
 
+NonFiniteReport CountNonFinite(const Tensor& a) {
+  const float* pa = a.data();
+  const int64_t n = a.num_elements();
+  const int64_t num_chunks =
+      n >= kParallelThreshold ? (n + kParallelGrain - 1) / kParallelGrain : 1;
+  std::vector<int64_t> counts(static_cast<size_t>(num_chunks), 0);
+  std::vector<int64_t> firsts(static_cast<size_t>(num_chunks), -1);
+  MaybeParallelFor(n, [&](int64_t lo, int64_t hi) {
+    int64_t count = 0;
+    int64_t first = -1;
+    for (int64_t i = lo; i < hi; ++i) {
+      if (!std::isfinite(pa[i])) {
+        ++count;
+        if (first < 0) first = i;
+      }
+    }
+    const size_t chunk = static_cast<size_t>(lo / kParallelGrain);
+    counts[chunk] = count;
+    firsts[chunk] = first;
+  });
+  NonFiniteReport report;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    report.count += counts[c];
+    if (report.first_index < 0 && firsts[c] >= 0) {
+      report.first_index = firsts[c];
+    }
+  }
+  return report;
+}
+
 float MaxValue(const Tensor& a) {
   const float* pa = a.data();
   float best = pa[0];

@@ -95,6 +95,17 @@ Tensor MeanAll(const Tensor& a);
 float MaxValue(const Tensor& a);
 float MinValue(const Tensor& a);
 
+/// Number of NaN/Inf elements, and the flat index of the first one (-1 when
+/// clean). Parallel over fixed chunks, so the count is thread-count
+/// invariant; the numeric-health guards in the training loop run this over
+/// the loss and every gradient each step, so the scan stays cheap (one pass,
+/// no allocation beyond the per-chunk partials).
+struct NonFiniteReport {
+  int64_t count = 0;
+  int64_t first_index = -1;
+};
+NonFiniteReport CountNonFinite(const Tensor& a);
+
 /// Sum along `axis`. With keepdims the reduced axis stays as size 1;
 /// otherwise it is removed (a fully reduced tensor becomes rank-0).
 Tensor Sum(const Tensor& a, int axis, bool keepdims = false);

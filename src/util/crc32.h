@@ -1,0 +1,18 @@
+#ifndef MUSENET_UTIL_CRC32_H_
+#define MUSENET_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace musenet::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `len` bytes.
+/// Pass the previous return value as `seed` to checksum data in pieces:
+///   crc = Crc32(a, na); crc = Crc32(b, nb, crc);
+/// equals Crc32 of the concatenation. Used by the tensor container (v2) and
+/// the dataset cache to detect torn writes and bit rot.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace musenet::util
+
+#endif  // MUSENET_UTIL_CRC32_H_

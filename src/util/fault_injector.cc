@@ -1,0 +1,127 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+
+namespace musenet::util {
+
+namespace {
+
+/// Parses a positive integer environment variable; `fallback` when unset or
+/// unparsable.
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+}  // namespace
+
+FaultInjector::WriteFault ParseWriteFault(const std::string& name) {
+  if (name == "truncate") return FaultInjector::WriteFault::kTruncate;
+  if (name == "bitflip") return FaultInjector::WriteFault::kBitFlip;
+  if (name == "crash") return FaultInjector::WriteFault::kCrashBeforeRename;
+  return FaultInjector::WriteFault::kNone;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();  // Leaked: outlives static tensors.
+    fi->ArmFromEnv();
+    return fi;
+  }();
+  return *injector;
+}
+
+void FaultInjector::ArmFromEnv() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t nan_step = EnvInt64("MUSENET_FAULT_NAN_GRAD", -1);
+  if (nan_step >= 0) nan_grad_step_ = nan_step;
+
+  const char* write_kind = std::getenv("MUSENET_FAULT_WRITE");
+  if (write_kind != nullptr && *write_kind != '\0') {
+    const WriteFault fault = ParseWriteFault(write_kind);
+    if (fault != WriteFault::kNone) {
+      write_fault_ = fault;
+      write_trigger_ = EnvInt64("MUSENET_FAULT_WRITE_AT", 1);
+    }
+  }
+
+  const int64_t alloc_at = EnvInt64("MUSENET_FAULT_ALLOC_AT", 0);
+  if (alloc_at > 0) alloc_trigger_ = alloc_at;
+  RecomputeArmed();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nan_grad_step_ = -1;
+  write_fault_ = WriteFault::kNone;
+  write_trigger_ = 0;
+  alloc_trigger_ = 0;
+  stats_ = Stats{};
+  RecomputeArmed();
+}
+
+void FaultInjector::ArmNanGradient(int64_t at_step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nan_grad_step_ = at_step;
+  RecomputeArmed();
+}
+
+bool FaultInjector::TakeNanGradient(int64_t step) {
+  if (!armed_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nan_grad_step_ < 0 || step != nan_grad_step_) return false;
+  nan_grad_step_ = -1;
+  ++stats_.nan_grads;
+  RecomputeArmed();
+  return true;
+}
+
+void FaultInjector::ArmWriteFault(WriteFault fault, int64_t at_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_fault_ = fault;
+  write_trigger_ = fault == WriteFault::kNone ? 0 : at_write;
+  RecomputeArmed();
+}
+
+FaultInjector::WriteFault FaultInjector::TakeWriteFault() {
+  if (!armed_) return WriteFault::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_trigger_ <= 0) return WriteFault::kNone;
+  if (--write_trigger_ > 0) return WriteFault::kNone;
+  const WriteFault fault = write_fault_;
+  write_fault_ = WriteFault::kNone;
+  ++stats_.write_faults;
+  RecomputeArmed();
+  return fault;
+}
+
+void FaultInjector::ArmAllocFailure(int64_t at_alloc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  alloc_trigger_ = at_alloc;
+  RecomputeArmed();
+}
+
+bool FaultInjector::TakeAllocFailure() {
+  if (!armed_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (alloc_trigger_ <= 0) return false;
+  if (--alloc_trigger_ > 0) return false;
+  ++stats_.alloc_failures;
+  RecomputeArmed();
+  return true;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjector::RecomputeArmed() {
+  armed_ = nan_grad_step_ >= 0 || write_trigger_ > 0 || alloc_trigger_ > 0;
+}
+
+}  // namespace musenet::util

@@ -1,0 +1,121 @@
+#ifndef MUSENET_UTIL_FAULT_INJECTOR_H_
+#define MUSENET_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace musenet::util {
+
+/// Deterministic fault-injection harness for exercising the recovery paths
+/// of the training runtime (see DESIGN.md "Fault tolerance & checkpointing").
+///
+/// Faults are armed either programmatically (tests) or from environment
+/// variables (CI smoke jobs); every fault fires exactly once, at an exactly
+/// specified trigger point, so failing runs replay bit-identically:
+///
+///   MUSENET_FAULT_NAN_GRAD=<step>     poison a gradient at global step N
+///   MUSENET_FAULT_WRITE=truncate|bitflip|crash
+///   MUSENET_FAULT_WRITE_AT=<n>        ...on the n-th atomic file write
+///                                     (1-based; default 1)
+///   MUSENET_FAULT_ALLOC_AT=<n>        fail the n-th guarded I/O allocation
+///
+/// The injector is a process-wide singleton; the hook points live in
+/// `util::AtomicWriteFile` / `util::ReadFileToString` (write and allocation
+/// faults) and `eval::RunTraining` (gradient faults). All methods are
+/// thread-safe. When nothing is armed every hook is a single relaxed load.
+class FaultInjector {
+ public:
+  /// Kinds of checkpoint-write fault.
+  enum class WriteFault {
+    kNone = 0,
+    /// The final file holds only a prefix of the payload (torn write on a
+    /// non-atomic filesystem / power loss mid-write).
+    kTruncate,
+    /// One bit of the payload is flipped in the final file (bit rot, bad
+    /// DMA).
+    kBitFlip,
+    /// The process "dies" after writing the temp file but before the atomic
+    /// rename: the write call reports an IoError and the destination path is
+    /// left untouched.
+    kCrashBeforeRename,
+  };
+
+  /// Counts of faults actually fired (for test assertions).
+  struct Stats {
+    int64_t nan_grads = 0;
+    int64_t write_faults = 0;
+    int64_t alloc_failures = 0;
+  };
+
+  static FaultInjector& Instance();
+
+  /// Arms faults from the MUSENET_FAULT_* environment variables (unset
+  /// variables leave the corresponding fault disarmed). Called once lazily by
+  /// Instance(); tests use the Arm* setters directly.
+  void ArmFromEnv();
+
+  /// Disarms every fault and clears the stats and trigger counters.
+  void Reset();
+
+  // --- Gradient faults -------------------------------------------------------
+
+  /// Arms a NaN-gradient fault at training step `at_step` (0-based global
+  /// batch counter). Fires once.
+  void ArmNanGradient(int64_t at_step);
+
+  /// True exactly once, when `step` matches the armed trigger. The caller
+  /// (the training loop) poisons a gradient in response.
+  bool TakeNanGradient(int64_t step);
+
+  // --- Checkpoint-write faults ----------------------------------------------
+
+  /// Arms `fault` to fire on the `at_write`-th call (1-based) to
+  /// AtomicWriteFile from now on.
+  void ArmWriteFault(WriteFault fault, int64_t at_write = 1);
+
+  /// Called by AtomicWriteFile on every write; returns the fault to apply to
+  /// this call (usually kNone) and disarms it once fired.
+  WriteFault TakeWriteFault();
+
+  // --- Allocation faults -----------------------------------------------------
+
+  /// Arms a simulated allocation failure on the `at_alloc`-th guarded
+  /// allocation (1-based) from now on.
+  void ArmAllocFailure(int64_t at_alloc = 1);
+
+  /// Called at guarded allocation sites; true exactly once when the armed
+  /// trigger is reached (the site then reports an IoError instead of
+  /// allocating).
+  bool TakeAllocFailure();
+
+  Stats stats() const;
+
+  /// True when any fault is currently armed (cheap pre-check for hot paths).
+  bool armed() const { return armed_; }
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+
+  int64_t nan_grad_step_ = -1;  ///< -1 = disarmed.
+
+  WriteFault write_fault_ = WriteFault::kNone;
+  int64_t write_trigger_ = 0;  ///< Writes remaining before firing; 0 = off.
+  int64_t alloc_trigger_ = 0;  ///< Allocations remaining; 0 = off.
+
+  Stats stats_;
+
+  void RecomputeArmed();  // Caller holds mu_.
+};
+
+/// Parses a WriteFault name ("truncate", "bitflip", "crash"); kNone for
+/// anything else.
+FaultInjector::WriteFault ParseWriteFault(const std::string& name);
+
+}  // namespace musenet::util
+
+#endif  // MUSENET_UTIL_FAULT_INJECTOR_H_

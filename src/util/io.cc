@@ -1,0 +1,151 @@
+#include "util/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include "util/fault_injector.h"
+
+namespace musenet::util {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+/// Writes all of `bytes` to `fd`, retrying on partial writes and EINTR.
+Status WriteAll(int fd, std::string_view bytes, const std::string& path) {
+  const char* p = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, p, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write " + path));
+    }
+    p += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path` so a completed rename survives a
+/// crash. Best-effort: some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open " + path + " for reading"));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("stat " + path));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (FaultInjector::Instance().TakeAllocFailure()) {
+    ::close(fd);
+    return Status::IoError("injected allocation failure reading " + path +
+                           " (" + std::to_string(size) + " bytes)");
+  }
+  std::string contents;
+  try {
+    contents.resize(size);
+  } catch (const std::bad_alloc&) {
+    ::close(fd);
+    return Status::IoError("out of memory reading " + path + " (" +
+                           std::to_string(size) + " bytes)");
+  }
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::read(fd, contents.data() + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError(ErrnoMessage("read " + path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;  // EOF before st_size: file shrank under us.
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (off != size) {
+    return Status::IoError("short read on " + path + ": got " +
+                           std::to_string(off) + " of " +
+                           std::to_string(size) + " bytes");
+  }
+  return contents;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const FaultInjector::WriteFault fault =
+      FaultInjector::Instance().TakeWriteFault();
+
+  // Simulated torn / bit-rotted writes bypass the temp-file protocol on
+  // purpose: they model the failure the protocol exists to prevent (a
+  // pre-atomic writer, a lying disk), so recovery must come from the
+  // reader's CRC checks instead.
+  std::string corrupted;
+  std::string_view payload = bytes;
+  if (fault == FaultInjector::WriteFault::kTruncate) {
+    payload = bytes.substr(0, bytes.size() / 2);
+  } else if (fault == FaultInjector::WriteFault::kBitFlip) {
+    corrupted.assign(bytes);
+    if (!corrupted.empty()) {
+      // Flip a payload bit past any header; deterministic position.
+      corrupted[corrupted.size() * 3 / 4] ^= 0x10;
+    }
+    payload = corrupted;
+  }
+
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open " + tmp + " for writing"));
+  }
+  Status status = WriteAll(fd, payload, tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError(ErrnoMessage("fsync " + tmp));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IoError(ErrnoMessage("close " + tmp));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  if (fault == FaultInjector::WriteFault::kCrashBeforeRename) {
+    // Simulated process death between fsync and rename: the destination is
+    // untouched; the orphaned temp file is what a real crash would leave.
+    return Status::IoError("injected crash before rename of " + tmp +
+                           " onto " + path);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_status =
+        Status::IoError(ErrnoMessage("rename " + tmp + " -> " + path));
+    ::unlink(tmp.c_str());
+    return rename_status;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+}  // namespace musenet::util

@@ -1,0 +1,31 @@
+#ifndef MUSENET_UTIL_IO_H_
+#define MUSENET_UTIL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace musenet::util {
+
+/// Reads an entire file into a string. Short reads (the file shrinking under
+/// us, I/O errors mid-read) are reported as IoError, never returned as a
+/// silently truncated buffer. Allocation of the read buffer is a guarded
+/// fault-injection site (MUSENET_FAULT_ALLOC_AT).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe whole-file write:
+///   1. write `bytes` to `<path>.tmp.<pid>`,
+///   2. fsync the temp file (data durable before it becomes visible),
+///   3. rename it over `path` (atomic on POSIX),
+///   4. fsync the parent directory (the rename itself durable).
+/// A crash at any point leaves either the complete old file or the complete
+/// new file at `path` — never a prefix. The temp file is unlinked on any
+/// failure. This is a fault-injection site (MUSENET_FAULT_WRITE): torn and
+/// bit-flipped writes and crash-before-rename can be simulated
+/// deterministically to exercise checkpoint-recovery paths.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+}  // namespace musenet::util
+
+#endif  // MUSENET_UTIL_IO_H_

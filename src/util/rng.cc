@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/check.h"
 
@@ -113,6 +114,23 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     if (target < 0.0) return i;
   }
   return weights.size() - 1;  // Numerical edge: land on the last bucket.
+}
+
+std::vector<uint64_t> Rng::SaveState() const {
+  std::vector<uint64_t> words(kStateWords);
+  for (int i = 0; i < 4; ++i) words[static_cast<size_t>(i)] = state_[i];
+  words[4] = has_cached_normal_ ? 1 : 0;
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  std::memcpy(&words[5], &cached_normal_, sizeof(uint64_t));
+  return words;
+}
+
+bool Rng::LoadState(const std::vector<uint64_t>& words) {
+  if (words.size() != kStateWords) return false;
+  for (int i = 0; i < 4; ++i) state_[i] = words[static_cast<size_t>(i)];
+  has_cached_normal_ = words[4] != 0;
+  std::memcpy(&cached_normal_, &words[5], sizeof(uint64_t));
+  return true;
 }
 
 Rng Rng::Fork(uint64_t stream_id) {

@@ -54,6 +54,19 @@ class Rng {
   /// decorrelated from each other and from the parent.
   Rng Fork(uint64_t stream_id);
 
+  /// Number of words in a serialized state snapshot.
+  static constexpr size_t kStateWords = 6;
+
+  /// Full generator snapshot — the four engine lanes plus the Box–Muller
+  /// cache (flag and value bit pattern) — as `kStateWords` words. Restoring
+  /// the snapshot with LoadState resumes the stream exactly, which is what
+  /// lets a resumed training run replay the same noise/shuffle sequence as
+  /// an uninterrupted one.
+  std::vector<uint64_t> SaveState() const;
+
+  /// Restores a SaveState snapshot. Rejects snapshots of the wrong length.
+  bool LoadState(const std::vector<uint64_t>& words);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

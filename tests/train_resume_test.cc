@@ -1,0 +1,426 @@
+// End-to-end fault tolerance of the shared training loop
+// (eval::RunTraining): crash-safe checkpoints, kill-and-resume bit
+// exactness, retention, corrupt-checkpoint fallback and the three
+// non-finite-failure policies. Building blocks are covered in
+// checkpoint_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/stssl.h"
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "eval/train_loop.h"
+#include "muse/config.h"
+#include "muse/model.h"
+#include "sim/flow_series.h"
+#include "tensor/serialize.h"
+#include "util/fault_injector.h"
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace musenet {
+namespace {
+
+namespace fs = std::filesystem;
+namespace ts = musenet::tensor;
+
+/// RAII: every test leaves the process-wide injector disarmed.
+struct InjectorGuard {
+  InjectorGuard() { util::FaultInjector::Instance().Reset(); }
+  ~InjectorGuard() { util::FaultInjector::Instance().Reset(); }
+};
+
+/// Fresh empty checkpoint directory under the test temp dir.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+data::PeriodicitySpec TinySpec() {
+  return data::PeriodicitySpec{.len_closeness = 2, .len_period = 2,
+                               .len_trend = 1};
+}
+
+/// The tiny-but-real synthetic dataset also used by muse_test: 14 days of
+/// sinusoidal daily structure on a 3x4 grid. Deterministic, so every
+/// process (or simulated restart) rebuilds the identical dataset.
+data::TrafficDataset TinyDataset() {
+  const int f = 24;
+  sim::FlowSeries flows(sim::GridSpec{3, 4}, f, 0, 14 * f);
+  Rng noise(9);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    const double base =
+        5.0 + 4.0 * std::sin(2.0 * M_PI * flows.IntervalOfDay(t) / f);
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < 3; ++h) {
+        for (int64_t w = 0; w < 4; ++w) {
+          flows.at(t, flow, h, w) =
+              static_cast<float>(std::max(0.0, base + noise.Normal(0, 0.5)));
+        }
+      }
+    }
+  }
+  data::DatasetOptions options;
+  options.spec = TinySpec();
+  options.test_days = 3;
+  return data::TrafficDataset(std::move(flows), options);
+}
+
+muse::MuseNetConfig TinyConfig() {
+  muse::MuseNetConfig config;
+  config.grid_h = 3;
+  config.grid_w = 4;
+  config.periodicity = TinySpec();
+  config.repr_dim = 4;
+  config.dist_dim = 8;
+  config.resplus_blocks = 1;
+  return config;
+}
+
+eval::TrainConfig BaseTrainConfig() {
+  eval::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 8;
+  tc.learning_rate = 1e-3;
+  return tc;
+}
+
+void ExpectStateDictsBitEqual(const std::map<std::string, ts::Tensor>& a,
+                              const std::map<std::string, ts::Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, tensor] : a) {
+    ASSERT_TRUE(b.count(name)) << name;
+    const ts::Tensor& other = b.at(name);
+    ASSERT_EQ(tensor.shape(), other.shape()) << name;
+    EXPECT_EQ(0, std::memcmp(tensor.data(), other.data(),
+                             sizeof(float) * tensor.num_elements()))
+        << "parameter " << name << " differs";
+  }
+}
+
+std::string ReadBytes(const std::string& path) {
+  auto contents = util::ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status().ToString();
+  return std::move(contents).value_or(std::string());
+}
+
+void CorruptFile(const std::string& path, size_t at, char xor_mask) {
+  std::string bytes = ReadBytes(path);
+  ASSERT_LT(at, bytes.size());
+  bytes[at] ^= xor_mask;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// --- Checkpoint production -------------------------------------------------------------
+
+TEST(TrainCheckpointTest, WritesPeriodicAndBestCheckpoints) {
+  data::TrafficDataset ds = TinyDataset();
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.checkpoint_dir = FreshDir("ckpt_writes");
+  tc.keep_last = 10;  // Retain everything for this assertion.
+
+  eval::TrainReport report;
+  ASSERT_TRUE(model.TrainWithReport(ds, tc, &report).ok());
+  EXPECT_EQ(report.epochs_run, tc.epochs);
+  EXPECT_EQ(eval::ListCheckpointEpochs(tc.checkpoint_dir),
+            (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(fs::exists(eval::BestCheckpointPath(tc.checkpoint_dir)));
+
+  // The best-weights artifact is a plain state dict the model can load.
+  auto best = ts::LoadTensors(eval::BestCheckpointPath(tc.checkpoint_dir));
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  muse::MuseNet other(TinyConfig(), 99);
+  EXPECT_TRUE(other.LoadStateDict(*best).ok());
+  // Training restores the best epoch's weights at exit, and best.muse holds
+  // exactly those.
+  ExpectStateDictsBitEqual(model.StateDict(), other.StateDict());
+}
+
+TEST(TrainCheckpointTest, KeepLastPrunesOldCheckpoints) {
+  data::TrafficDataset ds = TinyDataset();
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.epochs = 5;
+  tc.checkpoint_dir = FreshDir("ckpt_retention");
+  tc.keep_last = 2;
+
+  ASSERT_TRUE(model.TrainWithReport(ds, tc, nullptr).ok());
+  EXPECT_EQ(eval::ListCheckpointEpochs(tc.checkpoint_dir),
+            (std::vector<int>{4, 5}));
+  // best.muse is not subject to retention.
+  EXPECT_TRUE(fs::exists(eval::BestCheckpointPath(tc.checkpoint_dir)));
+}
+
+// --- Kill and resume -------------------------------------------------------------------
+
+/// Trains a fresh MuseNet for `epochs` epochs (optionally resuming) and
+/// returns its final state dict.
+std::map<std::string, ts::Tensor> TrainMuse(const data::TrafficDataset& ds,
+                                            const eval::TrainConfig& tc,
+                                            eval::TrainReport* report) {
+  muse::MuseNet model(TinyConfig(), 2);
+  const Status status = model.TrainWithReport(ds, tc, report);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return model.StateDict();
+}
+
+TEST(TrainResumeTest, ResumedRunIsBitIdenticalToUninterruptedRun) {
+  data::TrafficDataset ds = TinyDataset();
+
+  // Reference: 4 epochs straight through.
+  eval::TrainConfig tc_full = BaseTrainConfig();
+  tc_full.checkpoint_dir = FreshDir("resume_full");
+  const auto full = TrainMuse(ds, tc_full, nullptr);
+
+  // "Killed" run: stop after 2 epochs...
+  eval::TrainConfig tc_half = BaseTrainConfig();
+  tc_half.epochs = 2;
+  tc_half.checkpoint_dir = FreshDir("resume_half");
+  TrainMuse(ds, tc_half, nullptr);
+
+  // ...then a brand-new process picks up from the checkpoint directory.
+  eval::TrainConfig tc_rest = BaseTrainConfig();
+  tc_rest.checkpoint_dir = tc_half.checkpoint_dir;
+  tc_rest.resume = true;
+  eval::TrainReport report;
+  const auto resumed = TrainMuse(ds, tc_rest, &report);
+
+  EXPECT_EQ(report.resumed_from_epoch, 2);
+  EXPECT_EQ(report.epochs_run, 2);  // Only the remaining epochs ran.
+  ExpectStateDictsBitEqual(full, resumed);
+
+  // Byte-level determinism: the final checkpoint and best-weights files of
+  // the two histories are identical on disk.
+  EXPECT_EQ(ReadBytes(eval::CheckpointPath(tc_full.checkpoint_dir, 4)),
+            ReadBytes(eval::CheckpointPath(tc_rest.checkpoint_dir, 4)));
+  EXPECT_EQ(ReadBytes(eval::BestCheckpointPath(tc_full.checkpoint_dir)),
+            ReadBytes(eval::BestCheckpointPath(tc_rest.checkpoint_dir)));
+}
+
+TEST(TrainResumeTest, StSslMaskStreamResumesExactly) {
+  // ST-SSL draws a Bernoulli mask every batch; the registered RNG stream
+  // must resume mid-sequence for bit-exact continuation.
+  data::TrafficDataset ds = TinyDataset();
+  auto make_model = [&] {
+    return baselines::StSslLite(3, 4, TinySpec(), /*channels=*/4,
+                                /*mask_rate=*/0.2, /*ssl_weight=*/0.5,
+                                /*seed=*/3);
+  };
+
+  eval::TrainConfig tc_full = BaseTrainConfig();
+  tc_full.epochs = 3;
+  auto model_full = make_model();
+  ASSERT_TRUE(model_full.TrainWithReport(ds, tc_full, nullptr).ok());
+
+  eval::TrainConfig tc_half = BaseTrainConfig();
+  tc_half.epochs = 1;
+  tc_half.checkpoint_dir = FreshDir("stssl_resume");
+  auto model_half = make_model();
+  ASSERT_TRUE(model_half.TrainWithReport(ds, tc_half, nullptr).ok());
+
+  eval::TrainConfig tc_rest = BaseTrainConfig();
+  tc_rest.epochs = 3;
+  tc_rest.checkpoint_dir = tc_half.checkpoint_dir;
+  tc_rest.resume = true;
+  auto model_rest = make_model();
+  ASSERT_TRUE(model_rest.TrainWithReport(ds, tc_rest, nullptr).ok());
+
+  ExpectStateDictsBitEqual(model_full.StateDict(), model_rest.StateDict());
+}
+
+TEST(TrainResumeTest, CorruptNewestCheckpointFallsBackToOlder) {
+  data::TrafficDataset ds = TinyDataset();
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.epochs = 3;
+  tc.checkpoint_dir = FreshDir("resume_fallback");
+  tc.keep_last = 10;
+  TrainMuse(ds, tc, nullptr);
+
+  // Bit-rot the newest checkpoint's tail (payload bytes).
+  const std::string newest = eval::CheckpointPath(tc.checkpoint_dir, 3);
+  const size_t size = ReadBytes(newest).size();
+  CorruptFile(newest, size - 5, 0x04);
+
+  eval::TrainConfig tc_resume = BaseTrainConfig();
+  tc_resume.epochs = 4;
+  tc_resume.checkpoint_dir = tc.checkpoint_dir;
+  tc_resume.resume = true;
+  eval::TrainReport report;
+  TrainMuse(ds, tc_resume, &report);
+  EXPECT_EQ(report.resumed_from_epoch, 2)
+      << "resume should skip the corrupt epoch-3 file and use epoch 2";
+}
+
+TEST(TrainResumeTest, AllCheckpointsCorruptMeansFreshStart) {
+  data::TrafficDataset ds = TinyDataset();
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.epochs = 2;
+  tc.checkpoint_dir = FreshDir("resume_all_corrupt");
+  tc.keep_last = 10;
+  TrainMuse(ds, tc, nullptr);
+  for (int epoch : eval::ListCheckpointEpochs(tc.checkpoint_dir)) {
+    const std::string path = eval::CheckpointPath(tc.checkpoint_dir, epoch);
+    CorruptFile(path, ReadBytes(path).size() - 5, 0x04);
+  }
+
+  // A fresh-start resume trains from scratch and matches a run that never
+  // had a checkpoint directory at all.
+  eval::TrainConfig tc_resume = BaseTrainConfig();
+  tc_resume.checkpoint_dir = tc.checkpoint_dir;
+  tc_resume.resume = true;
+  eval::TrainReport report;
+  const auto resumed = TrainMuse(ds, tc_resume, &report);
+  EXPECT_EQ(report.resumed_from_epoch, -1);
+
+  eval::TrainConfig tc_clean = BaseTrainConfig();
+  const auto clean = TrainMuse(ds, tc_clean, nullptr);
+  ExpectStateDictsBitEqual(clean, resumed);
+}
+
+// --- Numeric-health guards and failure policies ----------------------------------------
+
+int64_t StepsPerEpoch(const data::TrafficDataset& ds, int batch_size) {
+  const int64_t n = static_cast<int64_t>(ds.train_indices().size());
+  return (n + batch_size - 1) / batch_size;
+}
+
+TEST(FailurePolicyTest, AbortSurfacesDescriptiveStatus) {
+  InjectorGuard guard;
+  data::TrafficDataset ds = TinyDataset();
+  util::FaultInjector::Instance().ArmNanGradient(/*at_step=*/2);
+
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.on_non_finite = eval::FailurePolicy::kAbort;
+  const Status status = model.TrainWithReport(ds, tc, nullptr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("numeric fault"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("step 2"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(util::FaultInjector::Instance().stats().nan_grads, 1);
+}
+
+TEST(FailurePolicyTest, SkipBatchRecoversAndCompletes) {
+  InjectorGuard guard;
+  data::TrafficDataset ds = TinyDataset();
+  util::FaultInjector::Instance().ArmNanGradient(/*at_step=*/1);
+
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.on_non_finite = eval::FailurePolicy::kSkipBatch;
+  eval::TrainReport report;
+  ASSERT_TRUE(model.TrainWithReport(ds, tc, &report).ok());
+  EXPECT_EQ(report.skipped_batches, 1);
+  EXPECT_EQ(report.epochs_run, tc.epochs);
+
+  // The weights stayed finite throughout.
+  for (const auto& [name, tensor] : model.StateDict()) {
+    EXPECT_EQ(ts::CountNonFinite(tensor).count, 0) << name;
+  }
+}
+
+TEST(FailurePolicyTest, RollbackReplaysToCleanRunBitExactly) {
+  InjectorGuard guard;
+  data::TrafficDataset ds = TinyDataset();
+
+  // Clean reference run with checkpoints.
+  eval::TrainConfig tc_clean = BaseTrainConfig();
+  tc_clean.checkpoint_dir = FreshDir("rollback_clean");
+  const auto clean = TrainMuse(ds, tc_clean, nullptr);
+
+  // Faulty run: poison a gradient mid-epoch-2; the loop rolls back to the
+  // epoch-1 checkpoint, and since the injector is one-shot the replay is
+  // clean — the final state must match the reference bit for bit.
+  const int64_t spe = StepsPerEpoch(ds, BaseTrainConfig().batch_size);
+  util::FaultInjector::Instance().ArmNanGradient(spe + spe / 2);
+
+  eval::TrainConfig tc_faulty = BaseTrainConfig();
+  tc_faulty.checkpoint_dir = FreshDir("rollback_faulty");
+  tc_faulty.on_non_finite = eval::FailurePolicy::kRollback;
+  eval::TrainReport report;
+  const auto recovered = TrainMuse(ds, tc_faulty, &report);
+
+  EXPECT_EQ(report.rollbacks, 1);
+  EXPECT_EQ(util::FaultInjector::Instance().stats().nan_grads, 1);
+  ExpectStateDictsBitEqual(clean, recovered);
+}
+
+TEST(FailurePolicyTest, RollbackWithoutCheckpointAborts) {
+  InjectorGuard guard;
+  data::TrafficDataset ds = TinyDataset();
+  util::FaultInjector::Instance().ArmNanGradient(/*at_step=*/0);
+
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.on_non_finite = eval::FailurePolicy::kRollback;  // No checkpoint_dir.
+  const Status status = model.TrainWithReport(ds, tc, nullptr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("no checkpoint"), std::string::npos)
+      << status.ToString();
+}
+
+// --- Checkpoint-write faults during training -------------------------------------------
+
+TEST(TrainWriteFaultTest, CrashDuringCheckpointWriteIsWarnAndContinue) {
+  InjectorGuard guard;
+  data::TrafficDataset ds = TinyDataset();
+  // First atomic write (the epoch-1 periodic checkpoint) "crashes" before
+  // the rename; training must keep going and later checkpoints land.
+  util::FaultInjector::Instance().ArmWriteFault(
+      util::FaultInjector::WriteFault::kCrashBeforeRename);
+
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.epochs = 2;
+  tc.checkpoint_dir = FreshDir("write_crash");
+  tc.keep_last = 10;
+  eval::TrainReport report;
+  ASSERT_TRUE(model.TrainWithReport(ds, tc, &report).ok());
+  EXPECT_GE(report.checkpoint_write_failures, 1);
+  // Epoch 1's file is missing; epoch 2's arrived.
+  const std::vector<int> epochs =
+      eval::ListCheckpointEpochs(tc.checkpoint_dir);
+  EXPECT_EQ(epochs, (std::vector<int>{2}));
+}
+
+TEST(TrainWriteFaultTest, TornCheckpointIsSkippedAtResume) {
+  InjectorGuard guard;
+  data::TrafficDataset ds = TinyDataset();
+  // The epoch-2 periodic write is torn mid-file (bypassing the atomic
+  // protocol, as a power cut on a non-atomic filesystem would). Writes:
+  // 1 = ckpt-1, 2 = best (epoch 1), 3 = ckpt-2.
+  util::FaultInjector::Instance().ArmWriteFault(
+      util::FaultInjector::WriteFault::kTruncate, /*at_write=*/3);
+
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.epochs = 2;
+  tc.checkpoint_dir = FreshDir("write_torn");
+  tc.keep_last = 10;
+  TrainMuse(ds, tc, nullptr);
+
+  eval::TrainConfig tc_resume = BaseTrainConfig();
+  tc_resume.epochs = 3;
+  tc_resume.checkpoint_dir = tc.checkpoint_dir;
+  tc_resume.resume = true;
+  eval::TrainReport report;
+  TrainMuse(ds, tc_resume, &report);
+  EXPECT_EQ(report.resumed_from_epoch, 1)
+      << "the torn epoch-2 checkpoint must be detected and skipped";
+}
+
+}  // namespace
+}  // namespace musenet

@@ -111,7 +111,37 @@ int Train(const Args& args) {
   train.learning_rate = std::atof(args.Get("lr", "1e-3").c_str());
   train.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
   train.verbose = args.GetInt("verbose", 1) != 0;
-  model.Train(loaded->dataset, train);
+
+  // Fault tolerance: periodic crash-safe checkpoints, resume, and the
+  // non-finite policy (see eval/train_loop.h).
+  train.checkpoint_dir = args.Get("checkpoint-dir", "");
+  train.checkpoint_every = args.GetInt("checkpoint-every", 1);
+  train.keep_last = args.GetInt("keep-last", 3);
+  train.resume = args.GetInt("resume", 0) != 0;
+  const std::string policy = args.Get("on-nonfinite", "abort");
+  if (policy == "skip") {
+    train.on_non_finite = eval::FailurePolicy::kSkipBatch;
+  } else if (policy == "rollback") {
+    train.on_non_finite = eval::FailurePolicy::kRollback;
+  } else if (policy == "abort") {
+    train.on_non_finite = eval::FailurePolicy::kAbort;
+  } else {
+    std::fprintf(stderr,
+                 "error: --on-nonfinite must be abort, skip or rollback\n");
+    return 2;
+  }
+
+  eval::TrainReport report;
+  const Status trained = model.TrainWithReport(loaded->dataset, train,
+                                               &report);
+  if (!trained.ok()) return Fail(trained);
+  if (report.resumed_from_epoch >= 0) {
+    std::printf("resumed from epoch %d\n", report.resumed_from_epoch);
+  }
+  if (report.skipped_batches > 0 || report.rollbacks > 0) {
+    std::printf("recovered from faults: %d skipped batches, %d rollbacks\n",
+                report.skipped_batches, report.rollbacks);
+  }
 
   const std::string ckpt = args.Get("ckpt", "model.ckpt");
   const Status status = tensor::SaveTensors(ckpt, model.StateDict());
@@ -188,6 +218,9 @@ int Usage() {
       "  simulate  --dataset bike|taxi|bj --out FILE [--days N] [--seed S]\n"
       "  train     --flows FILE --ckpt FILE [--epochs N] [--patience P]\n"
       "            [--lr LR] [--d D] [--k K] [--seed S]\n"
+      "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "            [--keep-last K] [--resume 0|1]\n"
+      "            [--on-nonfinite abort|skip|rollback]\n"
       "  evaluate  --flows FILE --ckpt FILE [--d D] [--k K]\n"
       "  predict   --flows FILE --ckpt FILE --index I [--d D] [--k K]\n");
   return 2;
