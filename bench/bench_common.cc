@@ -140,7 +140,7 @@ eval::PredictionSeries GetOrComputePredictions(sim::DatasetId id,
   data::TrafficDataset dataset = LoadDataset(id, ctx, horizon_offset);
   std::unique_ptr<eval::Forecaster> model =
       MakeModel(model_name, dataset, ctx);
-  Stopwatch watch;
+  util::Stopwatch watch;
   model->Train(dataset, ctx.train);
   eval::PredictionSeries series = eval::CollectPredictions(
       *model, dataset, dataset.test_indices(), ctx.train.batch_size);
@@ -189,7 +189,7 @@ std::unique_ptr<muse::MuseNet> GetOrTrainMuse(sim::DatasetId id,
       return model;
     }
   }
-  Stopwatch watch;
+  util::Stopwatch watch;
   model->Train(ds, ctx.train);
   std::printf("  [MUSE-Net @ %s] trained in %.0fs\n",
               sim::DatasetName(id).c_str(), watch.ElapsedSeconds());

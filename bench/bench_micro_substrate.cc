@@ -10,6 +10,8 @@
 #include "autograd/ops.h"
 #include "muse/model.h"
 #include "nn/conv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "tensor/conv2d.h"
 #include "tensor/im2col.h"
@@ -216,6 +218,55 @@ void BM_MuseNetInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MuseNetInference);
+
+// --- Observability overhead -------------------------------------------------
+//
+// The obs layer's disabled-mode contract (DESIGN.md "Observability"): a
+// ScopedSpan with tracing off must cost a single relaxed atomic load and a
+// predictable branch — no clock read, no allocation. These benchmarks pin
+// that down; the obs_test allocation assertions cover the no-allocation half.
+
+void BM_DisabledSpanOverhead(benchmark::State& state) {
+  // Tracing is off unless MUSENET_TRACE was exported into the bench run.
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.disabled_span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisabledSpanOverhead);
+
+void BM_DisabledSpanWithArg(benchmark::State& state) {
+  int64_t i = 0;
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.disabled_span_arg", "i", i++);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisabledSpanWithArg);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd)->ThreadRange(1, 4);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram& hist =
+      obs::GetHistogram("bench.histogram", obs::LatencyBucketsMs());
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.Observe(v);
+    v += 0.125;
+    if (v > 1000.0) v = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve)->ThreadRange(1, 4);
 
 }  // namespace
 }  // namespace musenet

@@ -39,7 +39,7 @@ data::Batch RandomBatch(const data::PeriodicitySpec& spec, int64_t h,
 double MeasureForwardMillis(eval::Forecaster& model, const data::Batch& b) {
   // Warm-up then timed runs.
   model.Predict(b);
-  Stopwatch watch;
+  util::Stopwatch watch;
   const int runs = 5;
   for (int i = 0; i < runs; ++i) model.Predict(b);
   return watch.ElapsedMillis() / runs;

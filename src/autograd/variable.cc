@@ -3,6 +3,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -107,15 +109,30 @@ void BackwardWithSeed(const Variable& output, const tensor::Tensor& seed) {
       << "seed shape mismatch in BackwardWithSeed";
 
   std::vector<Node*> order = TopologicalOrder(root);
+
+  obs::ScopedSpan span("autograd.Backward", "nodes",
+                       static_cast<int64_t>(order.size()));
+  static obs::Counter& backward_calls =
+      obs::GetCounter("autograd.backward.calls");
+  static obs::Counter& backward_nodes =
+      obs::GetCounter("autograd.backward.nodes");
+  static obs::Counter& backward_ops =
+      obs::GetCounter("autograd.backward.ops");
+  backward_calls.Add();
+  backward_nodes.Add(static_cast<int64_t>(order.size()));
+
   AccumulateGrad(*root, seed);
   // Reverse topological order: every node's gradient is complete before its
   // backward fires (all consumers inside this graph appear later in `order`).
+  int64_t ops_fired = 0;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
     if (node->backward && node->grad_initialized) {
       node->backward(*node);
+      ++ops_fired;
     }
   }
+  backward_ops.Add(ops_fired);
 }
 
 void Backward(const Variable& output) {
@@ -133,6 +150,7 @@ Variable Detach(const Variable& v) {
 
 void ReleaseGraph(const Variable& root) {
   MUSE_CHECK(root.defined());
+  obs::ScopedSpan span("autograd.ReleaseGraph");
   for (Node* node : TopologicalOrder(root.node().get())) {
     const bool is_leaf = node->inputs.empty() && !node->backward;
     if (is_leaf) continue;  // Parameters and constants stay usable.

@@ -54,6 +54,17 @@ struct TrainConfig {
   bool guard_numerics = true;
   FailurePolicy on_non_finite = FailurePolicy::kAbort;
   int max_rollbacks = 2;  ///< kRollback budget before giving up.
+
+  // --- Run telemetry (consumed by eval::RunTraining) ------------------------
+
+  /// JSONL run-log path (per-step loss/grad-norm, per-epoch summaries,
+  /// checkpoint and fault events); empty disables. Appended on resume,
+  /// truncated on a fresh run.
+  std::string run_log_path;
+  /// Include wall-clock fields (step_ms, checkpoint_ms) in the run log.
+  /// Disable to get byte-identical logs across thread counts for
+  /// deterministic runs.
+  bool run_log_timings = true;
 };
 
 /// Common interface of all traffic-flow forecasting models in this library

@@ -7,12 +7,16 @@
 #include <filesystem>
 #include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <system_error>
 #include <utility>
 #include <vector>
 
 #include "eval/training.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
 #include "optim/adam.h"
 #include "optim/optimizer.h"
 #include "tensor/serialize.h"
@@ -21,6 +25,7 @@
 #include "util/fault_injector.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace musenet::eval {
 
@@ -309,6 +314,32 @@ void PoisonOneGradient(const std::vector<ag::Variable>& params) {
   }
 }
 
+/// Training-loop instruments, interned once per process. Every TrainReport
+/// field has a registry twin so long-lived processes (benchmarks, servers)
+/// can watch training health without plumbing the report around.
+struct TrainMetrics {
+  obs::Counter& steps = obs::GetCounter("train.steps");
+  obs::Counter& epochs = obs::GetCounter("train.epochs_run");
+  obs::Counter& skipped = obs::GetCounter("train.skipped_batches");
+  obs::Counter& rollbacks = obs::GetCounter("train.rollbacks");
+  obs::Counter& ckpt_failures = obs::GetCounter("train.checkpoint_failures");
+  obs::Counter& resumes = obs::GetCounter("train.resumes");
+  obs::Gauge& best_val = obs::GetGauge("train.best_val");
+  obs::Gauge& last_loss = obs::GetGauge("train.last_loss");
+  obs::Gauge& resumed_from = obs::GetGauge("train.resumed_from_epoch");
+  obs::Histogram& step_ms =
+      obs::GetHistogram("train.step_ms", obs::LatencyBucketsMs());
+  obs::Histogram& validate_ms =
+      obs::GetHistogram("train.validate_ms", obs::LatencyBucketsMs());
+  obs::Histogram& checkpoint_ms =
+      obs::GetHistogram("train.checkpoint_ms", obs::LatencyBucketsMs());
+
+  static TrainMetrics& Get() {
+    static TrainMetrics* metrics = new TrainMetrics();  // Leaked singleton.
+    return *metrics;
+  }
+};
+
 }  // namespace
 
 std::string CheckpointPath(const std::string& dir, int epoch) {
@@ -357,6 +388,12 @@ Status RunTraining(const TrainDriver& driver,
   if (report == nullptr) report = &local_report;
   *report = TrainReport{};
 
+  // Idempotent: picks up MUSENET_TRACE for embedded callers that never
+  // touch the obs API directly.
+  obs::AutoInitFromEnv();
+  TrainMetrics& tm = TrainMetrics::Get();
+  obs::ScopedSpan run_span("train.RunTraining", "epochs", config.epochs);
+
   const std::string& model_name = driver.forecaster->name();
   const bool ckpt_on = !config.checkpoint_dir.empty();
   if (ckpt_on) {
@@ -376,11 +413,29 @@ Status RunTraining(const TrainDriver& driver,
   optim::Adam optimizer(driver.module->Parameters(), config.learning_rate);
   TrainState st;
 
+  // The run log opens before resume so the resume event itself is recorded.
+  // A path that cannot open is a configuration error worth failing on;
+  // write errors after this point only disable the log (see RunLog::Append).
+  std::optional<obs::RunLog> run_log;
+  if (!config.run_log_path.empty()) {
+    MUSE_ASSIGN_OR_RETURN(
+        obs::RunLog opened,
+        obs::RunLog::Open(config.run_log_path, /*truncate=*/!config.resume,
+                          config.run_log_timings));
+    run_log.emplace(std::move(opened));
+  }
+
   if (ckpt_on && config.resume) {
     Result<int> resumed = ResumeFromNewest(config.checkpoint_dir, driver,
                                            &optimizer, &epoch_rng, &st);
     if (resumed.ok()) {
       report->resumed_from_epoch = *resumed;
+      tm.resumes.Add();
+      tm.resumed_from.Set(*resumed);
+      obs::TraceInstant("train.resume", "epoch", *resumed);
+      if (run_log) {
+        (void)run_log->Append(obs::RunRecord("resume").Int("epoch", *resumed));
+      }
       if (config.verbose) {
         std::fprintf(stderr, "[%s] resumed from checkpoint at epoch %d\n",
                      model_name.c_str(), *resumed);
@@ -395,6 +450,7 @@ Status RunTraining(const TrainDriver& driver,
   bool stop_early = false;
 
   while (epoch < config.epochs && !stop_early) {
+    obs::ScopedSpan epoch_span("train.epoch", "epoch", epoch);
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
     std::string fault_diag;
@@ -403,6 +459,10 @@ Status RunTraining(const TrainDriver& driver,
     for (size_t begin = 0;
          begin < shuffled.size() && fault_diag.empty();
          begin += static_cast<size_t>(config.batch_size)) {
+      util::Stopwatch step_watch;
+      obs::ScopedSpan step_span("train.step", "step", st.step);
+      bool stepped = false;
+      double grad_norm = -1.0;  ///< < 0 = not computed this step.
       data::Batch batch = dataset.MakeBatchFromPool(
           shuffled, begin, static_cast<size_t>(config.batch_size));
       ag::Variable loss = driver.batch_loss(batch);
@@ -430,21 +490,42 @@ Status RunTraining(const TrainDriver& driver,
       if (bad) {
         fault_diag = "numeric fault at epoch " + std::to_string(epoch) +
                      " step " + std::to_string(st.step) + ": " + fault_diag;
+        obs::TraceInstant("train.numeric_fault", "step", st.step);
         if (config.on_non_finite == FailurePolicy::kSkipBatch) {
           std::fprintf(stderr, "[%s] warning: %s; skipping batch\n",
                        model_name.c_str(), fault_diag.c_str());
           ++report->skipped_batches;
+          tm.skipped.Add();
+          if (run_log) {
+            (void)run_log->Append(obs::RunRecord("numeric_fault")
+                                      .Int("epoch", epoch)
+                                      .Int("step", st.step)
+                                      .Str("action", "skip_batch"));
+          }
           fault_diag.clear();  // Handled; no optimizer step for this batch.
         } else if (config.on_non_finite == FailurePolicy::kRollback &&
                    ckpt_on &&
                    !ListCheckpointEpochs(config.checkpoint_dir).empty()) {
           // fault_diag stays set: the epoch loop below performs the
           // rollback after the graph is released.
+          if (run_log) {
+            (void)run_log->Append(obs::RunRecord("numeric_fault")
+                                      .Int("epoch", epoch)
+                                      .Int("step", st.step)
+                                      .Str("action", "rollback"));
+          }
         } else {
           const char* why =
               config.on_non_finite == FailurePolicy::kRollback
                   ? " (policy: rollback, but no checkpoint to roll back to)"
                   : " (policy: abort)";
+          if (run_log) {
+            (void)run_log->Append(obs::RunRecord("numeric_fault")
+                                      .Int("epoch", epoch)
+                                      .Int("step", st.step)
+                                      .Str("action", "abort")
+                                      .Str("detail", fault_diag));
+          }
           driver.module->SetTraining(false);
           ag::ReleaseGraph(loss);
           return Status::Internal("[" + model_name + "] " + fault_diag +
@@ -452,16 +533,36 @@ Status RunTraining(const TrainDriver& driver,
         }
       } else {
         if (config.clip_norm > 0.0) {
-          optim::ClipGradNorm(optimizer.params(), config.clip_norm);
+          grad_norm = optim::ClipGradNorm(optimizer.params(),
+                                          config.clip_norm);
+        } else if (run_log) {
+          // Norm-only pass (an infinite cap never rescales): the log is
+          // opt-in, so the extra gradient sweep is paid only when asked for.
+          grad_norm = optim::ClipGradNorm(
+              optimizer.params(), std::numeric_limits<double>::infinity());
         }
         optimizer.Step();
         epoch_loss += loss_value;
+        tm.last_loss.Set(loss_value);
+        stepped = true;
       }
       ++num_batches;
       ++st.step;
+      tm.steps.Add();
       // Return the step's graph buffers to the storage pool before the next
       // batch allocates (the scalar was already taken above).
       ag::ReleaseGraph(loss);
+      tm.step_ms.Observe(step_watch.ElapsedMillis());
+      if (run_log && stepped) {
+        obs::RunRecord rec("step");
+        rec.Int("epoch", epoch).Int("step", st.step - 1)
+            .Double("loss", loss_value);
+        if (grad_norm >= 0.0) rec.Double("grad_norm", grad_norm);
+        if (run_log->include_timings()) {
+          rec.Double("step_ms", step_watch.ElapsedMillis());
+        }
+        (void)run_log->Append(rec);
+      }
     }
 
     if (!fault_diag.empty()) {
@@ -483,6 +584,12 @@ Status RunTraining(const TrainDriver& driver,
                                 resumed.status().message() + ")");
       }
       ++report->rollbacks;
+      tm.rollbacks.Add();
+      obs::TraceInstant("train.rollback", "to_epoch", *resumed);
+      if (run_log) {
+        (void)run_log->Append(
+            obs::RunRecord("rollback").Int("to_epoch", *resumed));
+      }
       std::fprintf(stderr,
                    "[%s] warning: %s; rolled back to checkpoint at epoch "
                    "%d\n",
@@ -491,8 +598,13 @@ Status RunTraining(const TrainDriver& driver,
       continue;
     }
 
-    const double val_mse =
-        ValidationMse(*driver.forecaster, dataset, config.batch_size);
+    double val_mse = 0.0;
+    {
+      obs::ScopedSpan val_span("train.validate", "epoch", epoch);
+      util::Stopwatch val_watch;
+      val_mse = ValidationMse(*driver.forecaster, dataset, config.batch_size);
+      tm.validate_ms.Observe(val_watch.ElapsedMillis());
+    }
     if (config.verbose) {
       std::fprintf(stderr, "[%s] epoch %d/%d  train loss %.5f  val MSE "
                    "%.5f\n",
@@ -512,6 +624,18 @@ Status RunTraining(const TrainDriver& driver,
     ++epoch;
     st.epoch = epoch;
     ++report->epochs_run;
+    tm.epochs.Add();
+    tm.best_val.Set(st.best_val);
+    if (run_log) {
+      (void)run_log->Append(
+          obs::RunRecord("epoch")
+              .Int("epoch", epoch)
+              .Double("train_loss",
+                      epoch_loss / std::max<int64_t>(1, num_batches))
+              .Double("val_mse", val_mse)
+              .Double("best_val", st.best_val)
+              .Bool("improved", improved));
+    }
 
     if (ckpt_on) {
       const bool due = epoch % config.checkpoint_every == 0 ||
@@ -519,12 +643,26 @@ Status RunTraining(const TrainDriver& driver,
       if (due) {
         const std::string path =
             CheckpointPath(config.checkpoint_dir, epoch);
-        const Status saved =
-            SaveTrainState(path, driver, optimizer, epoch_rng, st);
+        util::Stopwatch ckpt_watch;
+        Status saved;
+        {
+          obs::ScopedSpan ckpt_span("train.checkpoint", "epoch", epoch);
+          saved = SaveTrainState(path, driver, optimizer, epoch_rng, st);
+        }
+        tm.checkpoint_ms.Observe(ckpt_watch.ElapsedMillis());
+        if (run_log) {
+          obs::RunRecord rec("checkpoint");
+          rec.Int("epoch", epoch).Bool("ok", saved.ok());
+          if (run_log->include_timings()) {
+            rec.Double("checkpoint_ms", ckpt_watch.ElapsedMillis());
+          }
+          (void)run_log->Append(rec);
+        }
         if (saved.ok()) {
           PruneCheckpoints(config.checkpoint_dir, config.keep_last);
         } else {
           ++report->checkpoint_write_failures;
+          tm.ckpt_failures.Add();
           std::fprintf(stderr,
                        "[%s] warning: checkpoint write failed (%s); "
                        "continuing without it\n",
@@ -532,10 +670,12 @@ Status RunTraining(const TrainDriver& driver,
         }
       }
       if (improved) {
+        obs::ScopedSpan best_span("train.checkpoint", "epoch", epoch);
         const Status saved = ts::SaveTensors(
             BestCheckpointPath(config.checkpoint_dir), st.best_state);
         if (!saved.ok()) {
           ++report->checkpoint_write_failures;
+          tm.ckpt_failures.Add();
           std::fprintf(stderr,
                        "[%s] warning: best-weights write failed (%s)\n",
                        model_name.c_str(), saved.ToString().c_str());
@@ -550,6 +690,17 @@ Status RunTraining(const TrainDriver& driver,
   driver.module->SetTraining(false);
   report->steps = st.step;
   report->best_val = st.best_val;
+  tm.best_val.Set(st.best_val);
+  if (run_log) {
+    (void)run_log->Append(
+        obs::RunRecord("done")
+            .Int("epochs_run", report->epochs_run)
+            .Int("steps", report->steps)
+            .Double("best_val", report->best_val)
+            .Int("skipped_batches", report->skipped_batches)
+            .Int("rollbacks", report->rollbacks)
+            .Int("checkpoint_failures", report->checkpoint_write_failures));
+  }
   return Status::OK();
 }
 

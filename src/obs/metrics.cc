@@ -1,0 +1,349 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace musenet::obs {
+
+namespace internal {
+
+int ThisThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+using internal::kShards;
+using internal::Shard;
+
+// --- Counter -----------------------------------------------------------------
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Gauge -------------------------------------------------------------------
+
+uint64_t Gauge::Bits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::FromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double Gauge::Value() const {
+  return FromBits(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::Add(double delta) {
+  uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(observed,
+                                      Bits(FromBits(observed) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::KeepMax(double candidate) {
+  uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (FromBits(observed) < candidate &&
+         !bits_.compare_exchange_weak(observed, Bits(candidate),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(static_cast<size_t>(kShards) * (bounds_.size() + 1)) {}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  const size_t stride = bounds_.size() + 1;
+  const int shard = internal::ThisThreadShard();
+  counts_[static_cast<size_t>(shard) * stride + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  // Sum is a CAS loop over double bits (no atomic<double>::fetch_add until
+  // C++20 libstdc++ catches up); contention is spread by the shard index.
+  std::atomic<int64_t>& sum = sum_bits_[shard].value;
+  int64_t observed = sum.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    const double updated = current + value;
+    int64_t updated_bits;
+    std::memcpy(&updated_bits, &updated, sizeof(updated_bits));
+    if (sum.compare_exchange_weak(observed, updated_bits,
+                                  std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const Shard& shard : counts_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& shard : sum_bits_) {
+    const int64_t bits = shard.value.load(std::memory_order_relaxed);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    total += value;
+  }
+  return total;
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  const size_t stride = bounds_.size() + 1;
+  std::vector<int64_t> merged(stride, 0);
+  for (int shard = 0; shard < kShards; ++shard) {
+    for (size_t bucket = 0; bucket < stride; ++bucket) {
+      merged[bucket] +=
+          counts_[static_cast<size_t>(shard) * stride + bucket].value.load(
+              std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : counts_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+  for (Shard& shard : sum_bits_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Registry ----------------------------------------------------------------
+
+namespace {
+
+/// Interned instruments, heap-owned so element addresses are stable across
+/// registration — which is what lets hot paths cache the references.
+struct RegistryState {
+  std::mutex mu;
+  std::map<std::string, Counter*> counters;
+  std::map<std::string, Gauge*> gauges;
+  std::map<std::string, Histogram*> histograms;
+  std::deque<std::unique_ptr<Counter>> counter_storage;
+  std::deque<std::unique_ptr<Gauge>> gauge_storage;
+  std::deque<std::unique_ptr<Histogram>> histogram_storage;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();  // Leaked singleton.
+  return *state;
+}
+
+}  // namespace
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.counters.find(name);
+  if (it != state.counters.end()) return *it->second;
+  state.counter_storage.emplace_back(new Counter());
+  Counter* fresh = state.counter_storage.back().get();
+  state.counters.emplace(name, fresh);
+  return *fresh;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.gauges.find(name);
+  if (it != state.gauges.end()) return *it->second;
+  state.gauge_storage.emplace_back(new Gauge());
+  Gauge* fresh = state.gauge_storage.back().get();
+  state.gauges.emplace(name, fresh);
+  return *fresh;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::vector<double>& bounds) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.histograms.find(name);
+  if (it != state.histograms.end()) return *it->second;
+  state.histogram_storage.emplace_back(new Histogram(bounds));
+  Histogram* fresh = state.histogram_storage.back().get();
+  state.histograms.emplace(name, fresh);
+  return *fresh;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : state.counters) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : state.histograms) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram->bounds();
+    data.counts = histogram->BucketCounts();
+    data.total = histogram->TotalCount();
+    data.sum = histogram->Sum();
+    snapshot.histograms.emplace(name, std::move(data));
+  }
+  return snapshot;
+}
+
+void Registry::ResetCountersAndHistograms() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& [name, counter] : state.counters) counter->Reset();
+  for (const auto& [name, histogram] : state.histograms) histogram->Reset();
+}
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Instance().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return Registry::Instance().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name,
+                        const std::vector<double>& bounds) {
+  return Registry::Instance().GetHistogram(name, bounds);
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  // 0.01ms .. ~164s, factor 2: 24 buckets + overflow.
+  static const std::vector<double>* buckets = [] {
+    auto* b = new std::vector<double>();
+    double edge = 0.01;
+    for (int i = 0; i < 24; ++i) {
+      b->push_back(edge);
+      edge *= 2.0;
+    }
+    return b;
+  }();
+  return *buckets;
+}
+
+// --- Export ------------------------------------------------------------------
+
+namespace {
+
+/// Shortest round-trip formatting of a double (%.17g trimmed would jitter;
+/// %g at 17 significant digits round-trips and is deterministic for
+/// identical bit patterns — which the substrate's determinism contract
+/// guarantees across thread counts).
+std::string JsonDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + JsonDouble(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"total\": " + std::to_string(data.total) +
+           ", \"sum\": " + JsonDouble(data.sum) + ", \"bounds\": [";
+    for (size_t i = 0; i < data.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonDouble(data.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(data.counts[i]);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void DumpMetrics(std::FILE* out) {
+  const MetricsSnapshot snapshot = Registry::Instance().Snapshot();
+  size_t width = 8;
+  for (const auto& [name, value] : snapshot.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    width = std::max(width, name.size());
+  }
+  const int w = static_cast<int>(width);
+  std::fprintf(out, "--- metrics ---\n");
+  for (const auto& [name, value] : snapshot.counters) {
+    std::fprintf(out, "%-*s  %lld\n", w, name.c_str(),
+                 static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::fprintf(out, "%-*s  %.6g\n", w, name.c_str(), value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    std::fprintf(out, "%-*s  count=%lld sum=%.6g mean=%.6g\n", w,
+                 name.c_str(), static_cast<long long>(data.total), data.sum,
+                 data.total > 0 ? data.sum / static_cast<double>(data.total)
+                                : 0.0);
+  }
+}
+
+}  // namespace musenet::obs

@@ -1,0 +1,152 @@
+#ifndef MUSENET_OBS_METRICS_H_
+#define MUSENET_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace musenet::obs {
+
+// Process-wide registry of named counters, gauges and fixed-bucket
+// histograms.
+//
+// Writes are wait-free after the one-time registry lookup: counters and
+// histograms are striped across cache-line-padded shards indexed by a
+// per-thread slot, so concurrent updates from pool workers never contend on
+// one cache line; a snapshot merges the shards. Instruments are interned by
+// name — repeated Get*() calls return the same object, whose address is
+// stable for the life of the process (hot paths look up once and keep the
+// reference).
+//
+// Naming convention: lowercase dotted paths grouped by subsystem, e.g.
+// "tensor.pool.reuses", "train.steps", "autograd.backward.nodes".
+
+namespace internal {
+inline constexpr int kShards = 16;
+
+struct alignas(64) Shard {
+  std::atomic<int64_t> value{0};
+};
+
+/// Small dense per-thread shard index (round-robin assigned), so threads
+/// spread across shards without hashing.
+int ThisThreadShard();
+}  // namespace internal
+
+/// Monotonic event count (resettable for tests and per-run scoping).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const;
+  void Reset();
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  internal::Shard shards_[internal::kShards];
+};
+
+/// Last-written value (double so byte and loss gauges share one type).
+/// Set/Add/KeepMax are individually atomic; concurrent Add and Set race by
+/// design (gauges record state, not history).
+class Gauge {
+ public:
+  void Set(double value) { bits_.store(Bits(value), std::memory_order_relaxed); }
+  void Add(double delta);
+  /// Monotonic high-water mark: value() = max(value(), candidate).
+  void KeepMax(double candidate);
+  double Value() const;
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  static uint64_t Bits(double v);
+  static double FromBits(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};  ///< IEEE-754 bits of the double value.
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
+/// an implicit overflow bucket. Bounds are set at first registration.
+class Histogram {
+ public:
+  void Observe(double value);
+  int64_t TotalCount() const;
+  double Sum() const;
+  /// Per-bucket counts, length bounds().size() + 1 (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  /// shard-major: counts_[shard * (bounds+1) + bucket].
+  std::vector<internal::Shard> counts_;
+  internal::Shard sum_bits_[internal::kShards];  ///< CAS-added doubles.
+};
+
+/// Merged point-in-time view of every registered instrument.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;  ///< bounds.size() + 1 entries.
+    int64_t total = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, HistogramData> histograms;
+};
+
+class Registry {
+ public:
+  static Registry& Instance();
+
+  /// Interns and returns the instrument named `name`. Never fails; the
+  /// returned reference is valid for the process lifetime.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` (ascending upper edges) is consulted only on first
+  /// registration of `name`; later calls return the existing histogram.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter and histogram (gauges keep their values: they
+  /// describe current state, e.g. pool bytes live). Test/bench scoping.
+  void ResetCountersAndHistograms();
+
+ private:
+  Registry() = default;
+};
+
+/// Convenience wrappers over Registry::Instance().
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name,
+                        const std::vector<double>& bounds);
+
+/// Exponential millisecond buckets (0.01ms .. ~164s) shared by the latency
+/// histograms (step time, checkpoint writes, validation).
+const std::vector<double>& LatencyBucketsMs();
+
+/// Deterministic JSON document (keys sorted, fixed float formatting) of a
+/// snapshot — what `musenet train --metrics-out` writes.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Aligned human-readable table of the current snapshot, for debugging:
+///   DumpMetrics(stderr);
+void DumpMetrics(std::FILE* out);
+
+}  // namespace musenet::obs
+
+#endif  // MUSENET_OBS_METRICS_H_

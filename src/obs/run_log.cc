@@ -1,0 +1,197 @@
+#include "obs/run_log.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/io.h"
+
+namespace musenet::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(ch);
+    } else if (c < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out->append(hex);
+    } else {
+      out->push_back(ch);
+    }
+  }
+}
+
+}  // namespace
+
+RunRecord::RunRecord(const std::string& event) {
+  line_ = "{\"event\":\"";
+  AppendEscaped(&line_, event);
+  line_ += "\"";
+}
+
+RunRecord& RunRecord::Int(const std::string& key, int64_t value) {
+  line_ += ",\"" + key + "\":" + std::to_string(value);
+  return *this;
+}
+
+RunRecord& RunRecord::Double(const std::string& key, double value) {
+  // JSON has no inf/nan literals; null keeps the line parseable (an infinite
+  // best_val just means "no validation epoch yet").
+  if (!std::isfinite(value)) {
+    line_ += ",\"" + key + "\":null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  line_ += ",\"" + key + "\":" + buf;
+  return *this;
+}
+
+RunRecord& RunRecord::Str(const std::string& key, const std::string& value) {
+  line_ += ",\"" + key + "\":\"";
+  AppendEscaped(&line_, value);
+  line_ += "\"";
+  return *this;
+}
+
+RunRecord& RunRecord::Bool(const std::string& key, bool value) {
+  line_ += ",\"" + key + "\":";
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+RunLog::RunLog(std::FILE* file, std::string path, bool include_timings)
+    : file_(file), path_(std::move(path)), include_timings_(include_timings) {}
+
+RunLog::RunLog(RunLog&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      include_timings_(other.include_timings_) {
+  other.file_ = nullptr;
+}
+
+RunLog& RunLog::operator=(RunLog&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    include_timings_ = other.include_timings_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+RunLog::~RunLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<RunLog> RunLog::Open(const std::string& path, bool truncate,
+                            bool include_timings) {
+  std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open run log '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return RunLog(file, path, include_timings);
+}
+
+Status RunLog::Append(const RunRecord& record) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("run log '" + path_ +
+                                      "' is closed (earlier write error)");
+  }
+  const std::string line = record.Json() + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::IoError("run log write to '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::pair<std::string, std::string>>>>
+ReadRunLog(const std::string& path) {
+  MUSE_ASSIGN_OR_RETURN(const std::string contents,
+                        util::ReadFileToString(path));
+  std::vector<std::vector<std::pair<std::string, std::string>>> records;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < contents.size()) {
+    size_t end = contents.find('\n', pos);
+    if (end == std::string::npos) end = contents.size();
+    const std::string line = contents.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}') {
+      return Status::InvalidArgument("run log '" + path + "' line " +
+                                     std::to_string(line_no) +
+                                     " is not a JSON object: " + line);
+    }
+    // Flat parse of {"k":v,...}: keys are unescaped identifiers in practice;
+    // values run to the next top-level comma (no nested objects in RunLog
+    // output).
+    std::vector<std::pair<std::string, std::string>> fields;
+    size_t i = 1;
+    while (i < line.size() - 1) {
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] != '"') {
+        return Status::InvalidArgument("run log '" + path + "' line " +
+                                       std::to_string(line_no) +
+                                       ": expected key at offset " +
+                                       std::to_string(i));
+      }
+      const size_t key_end = line.find('"', i + 1);
+      if (key_end == std::string::npos || line[key_end + 1] != ':') {
+        return Status::InvalidArgument("run log '" + path + "' line " +
+                                       std::to_string(line_no) +
+                                       ": malformed key");
+      }
+      const std::string key = line.substr(i + 1, key_end - i - 1);
+      size_t value_begin = key_end + 2;
+      size_t value_end = value_begin;
+      std::string value;
+      if (line[value_begin] == '"') {
+        // String value: strip the quotes and undo Str()'s escaping, so the
+        // parsed field equals the original value (round-trip).
+        value_end = value_begin + 1;
+        while (value_end < line.size() - 1 && line[value_end] != '"') {
+          if (line[value_end] == '\\' && value_end + 1 < line.size() - 1) {
+            ++value_end;  // Escaped character: take the next char verbatim.
+          }
+          value.push_back(line[value_end]);
+          ++value_end;
+        }
+        ++value_end;  // Past the closing quote.
+      } else {
+        while (value_end < line.size() - 1 && line[value_end] != ',') {
+          ++value_end;
+        }
+        value = line.substr(value_begin, value_end - value_begin);
+      }
+      fields.emplace_back(key, std::move(value));
+      i = value_end;
+    }
+    records.push_back(std::move(fields));
+  }
+  return records;
+}
+
+Status WriteMetricsSnapshot(const std::string& path) {
+  return util::AtomicWriteFile(
+      path, MetricsToJson(Registry::Instance().Snapshot()));
+}
+
+}  // namespace musenet::obs

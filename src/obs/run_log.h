@@ -1,0 +1,90 @@
+#ifndef MUSENET_OBS_RUN_LOG_H_
+#define MUSENET_OBS_RUN_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace musenet::obs {
+
+/// One structured run-log record under construction: an ordered list of
+/// key/value fields serialized as a single JSON object line. Field order is
+/// insertion order, and doubles are formatted with a fixed round-trippable
+/// format, so a record built from identical values is byte-identical —
+/// the property the cross-thread-count stability test pins down.
+class RunRecord {
+ public:
+  /// Every record starts with {"event": <event>}.
+  explicit RunRecord(const std::string& event);
+
+  RunRecord& Int(const std::string& key, int64_t value);
+  RunRecord& Double(const std::string& key, double value);
+  RunRecord& Str(const std::string& key, const std::string& value);
+  RunRecord& Bool(const std::string& key, bool value);
+
+  /// The finished single-line JSON object (no trailing newline).
+  std::string Json() const { return line_ + "}"; }
+
+ private:
+  std::string line_;
+};
+
+/// Append-only JSONL run log (`metrics.jsonl`-style): one JSON object per
+/// line, flushed to disk after every Append so a crashed run keeps every
+/// completed record. The training loop writes per-step loss/grad-norm/time,
+/// per-epoch train/val summaries, checkpoint durations and fault events
+/// through this (see eval::RunTraining and DESIGN.md "Observability").
+///
+/// Timing fields are the caller's responsibility: pass
+/// `include_timings() == false` records only (the loop consults the flag) to
+/// get byte-stable logs across thread counts for deterministic runs.
+class RunLog {
+ public:
+  /// Opens `path` for appending, truncating first when `truncate` (a fresh
+  /// run); append mode preserves records across resume.
+  static Result<RunLog> Open(const std::string& path, bool truncate,
+                             bool include_timings = true);
+
+  RunLog(RunLog&& other) noexcept;
+  RunLog& operator=(RunLog&& other) noexcept;
+  ~RunLog();
+
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+
+  /// Writes the record's line plus '\n' and flushes. Write errors are
+  /// reported once as a Status and the log disables itself (telemetry must
+  /// never kill a training run).
+  Status Append(const RunRecord& record);
+
+  /// When false the producer should omit wall-clock fields (step_ms etc.)
+  /// so the log depends only on the deterministic computation.
+  bool include_timings() const { return include_timings_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  RunLog(std::FILE* file, std::string path, bool include_timings);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool include_timings_ = true;
+};
+
+/// Parses a JSONL file produced by RunLog into one RunRecord-shaped map per
+/// line — flat string→string (numbers unparsed), enough for tests and the
+/// CI smoke check to round-trip records without a JSON library.
+Result<std::vector<std::vector<std::pair<std::string, std::string>>>>
+ReadRunLog(const std::string& path);
+
+/// Snapshot of the process-wide metrics registry as a JSON document written
+/// crash-safely via util::AtomicWriteFile (`--metrics-out`).
+Status WriteMetricsSnapshot(const std::string& path);
+
+}  // namespace musenet::obs
+
+#endif  // MUSENET_OBS_RUN_LOG_H_

@@ -1,0 +1,274 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/io.h"
+#include "util/stopwatch.h"
+
+namespace musenet::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+using internal::TraceEvent;
+
+/// Per-thread event buffer. Owned jointly by the thread (thread_local
+/// shared_ptr) and the registry, so events survive thread exit until the
+/// next flush. The mutex is only ever contended by a flush racing a live
+/// span, both off the disabled fast path.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int64_t dropped = 0;
+  int tid = 0;
+
+  void Append(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (static_cast<int64_t>(events.size()) >= kMaxEventsPerThread) {
+      ++dropped;
+      return;
+    }
+    events.push_back(event);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // Leaked: see StoragePool.
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    fresh->tid = registry.next_tid++;
+    // Events capacity is reserved up front so Append never reallocates
+    // mid-trace (predictable cost, and the no-allocation claim of the
+    // disabled path extends to "no reallocation storms" when enabled).
+    fresh->events.reserve(static_cast<size_t>(kMaxEventsPerThread));
+    registry.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+struct MergedEvent {
+  TraceEvent event;
+  int tid;
+};
+
+std::vector<MergedEvent> MergeAndSort() {
+  std::vector<MergedEvent> merged;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const TraceEvent& event : buffer->events) {
+      merged.push_back({event, buffer->tid});
+    }
+  }
+  // Strict global order: by timestamp, then longer spans first so an
+  // enclosing span precedes children that opened the same nanosecond, then
+  // by tid for a total order of identical (ts, dur) pairs.
+  std::sort(merged.begin(), merged.end(),
+            [](const MergedEvent& a, const MergedEvent& b) {
+              if (a.event.ts_ns != b.event.ts_ns) {
+                return a.event.ts_ns < b.event.ts_ns;
+              }
+              if (a.event.dur_ns != b.event.dur_ns) {
+                return a.event.dur_ns > b.event.dur_ns;
+              }
+              return a.tid < b.tid;
+            });
+  return merged;
+}
+
+void ClearBuffers() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+int64_t DroppedLocked() {
+  int64_t dropped = 0;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+/// Escapes `s` for a JSON string value. Span names are plain identifiers in
+/// practice; this keeps the output valid even if one ever is not.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out->append(hex);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+}
+
+/// One event per line: "ts" / "dur" are microseconds (the unit the
+/// trace_event format specifies); three decimals keep full ns resolution.
+void AppendEventJson(std::string* out, const MergedEvent& merged) {
+  const TraceEvent& event = merged.event;
+  char buf[96];
+  out->append("{\"name\":\"");
+  AppendJsonEscaped(out, event.name);
+  if (event.dur_ns >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%lld.%03lld,\"dur\":%lld.%03lld",
+                  static_cast<long long>(event.ts_ns / 1000),
+                  static_cast<long long>(event.ts_ns % 1000),
+                  static_cast<long long>(event.dur_ns / 1000),
+                  static_cast<long long>(event.dur_ns % 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%lld.%03lld",
+                  static_cast<long long>(event.ts_ns / 1000),
+                  static_cast<long long>(event.ts_ns % 1000));
+  }
+  out->append(buf);
+  std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%d", merged.tid);
+  out->append(buf);
+  if (event.arg_name != nullptr) {
+    out->append(",\"args\":{\"");
+    AppendJsonEscaped(out, event.arg_name);
+    std::snprintf(buf, sizeof(buf), "\":%lld}",
+                  static_cast<long long>(event.arg_value));
+    out->append(buf);
+  }
+  out->push_back('}');
+}
+
+std::string BuildTraceJson() {
+  const std::vector<MergedEvent> merged = MergeAndSort();
+  std::string out;
+  out.reserve(merged.size() * 96 + 256);
+  out.append("{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n");
+  for (size_t i = 0; i < merged.size(); ++i) {
+    AppendEventJson(&out, merged[i]);
+    if (i + 1 < merged.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "],\n\"droppedEvents\":%lld}\n",
+                static_cast<long long>(DroppedLocked()));
+  out.append(tail);
+  return out;
+}
+
+std::string& AtExitTracePath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void WriteTraceAtExit() {
+  const Status status = StopTracingAndWrite(AtExitTracePath());
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: trace write failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+namespace internal {
+void AppendEvent(const TraceEvent& event) { LocalBuffer().Append(event); }
+}  // namespace internal
+
+void ScopedSpan::Begin(const char* name, const char* arg_name,
+                       int64_t arg_value) {
+  event_.name = name;
+  event_.arg_name = arg_name;
+  event_.arg_value = arg_value;
+  event_.ts_ns = util::MonotonicNowNanos();
+  active_ = true;
+}
+
+void ScopedSpan::End() {
+  event_.dur_ns = util::MonotonicNowNanos() - event_.ts_ns;
+  internal::AppendEvent(event_);
+}
+
+void TraceInstant(const char* name) {
+  if (TracingEnabled()) [[unlikely]] {
+    TraceInstant(name, nullptr, 0);
+  }
+}
+
+void TraceInstant(const char* name, const char* arg_name, int64_t arg_value) {
+  if (!TracingEnabled()) return;
+  internal::TraceEvent event;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.arg_value = arg_value;
+  event.ts_ns = util::MonotonicNowNanos();
+  event.dur_ns = -1;
+  internal::AppendEvent(event);
+}
+
+void StartTracing() {
+  ClearBuffers();
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::string TraceToJson() { return BuildTraceJson(); }
+
+int64_t DroppedEventCount() { return DroppedLocked(); }
+
+Status StopTracingAndWrite(const std::string& path) {
+  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+  // Spans still open on other threads will append after this point only if
+  // they observed the flag as set at construction; the per-buffer mutex in
+  // MergeAndSort makes those appends safe, they just miss this flush.
+  const std::string json = BuildTraceJson();
+  MUSE_RETURN_IF_ERROR(util::AtomicWriteFile(path, json));
+  ClearBuffers();
+  return Status::OK();
+}
+
+void AutoInitFromEnv() {
+  static const bool initialized = [] {
+    const char* path = std::getenv("MUSENET_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      AtExitTracePath() = path;
+      StartTracing();
+      std::atexit(WriteTraceAtExit);
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
+}  // namespace musenet::obs

@@ -1,0 +1,121 @@
+#ifndef MUSENET_OBS_TRACE_H_
+#define MUSENET_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace musenet::obs {
+
+// Scoped-span tracing with per-thread ring buffers, flushed to the Chrome /
+// Perfetto `trace_event` JSON format (open the file at ui.perfetto.dev or
+// chrome://tracing).
+//
+// Cost model (see DESIGN.md "Observability"): with tracing disabled a
+// ScopedSpan is one relaxed atomic load and a predictable branch — no
+// allocation, no clock read, no stores beyond `active_ = false`. Enabled
+// spans read the steady clock twice and append one fixed-size event to a
+// thread-local ring buffer under an uncontended per-thread mutex. Buffers
+// are bounded (kMaxEventsPerThread); events beyond the cap are dropped and
+// counted, never reallocated, so a traced run cannot OOM.
+//
+// Span names must be string literals (or otherwise outlive the flush): the
+// event record stores the pointer, not a copy.
+
+/// Events a single thread can buffer before new events are dropped
+/// (~24 MB/thread at sizeof(TraceEvent) == 48).
+inline constexpr int64_t kMaxEventsPerThread = int64_t{1} << 19;
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+
+/// One buffered event. `dur_ns < 0` marks an instant event.
+struct TraceEvent {
+  const char* name;
+  const char* arg_name;  ///< nullptr when the event carries no argument.
+  int64_t arg_value;
+  int64_t ts_ns;   ///< MonotonicNowNanos() at span open.
+  int64_t dur_ns;  ///< Span duration; -1 for instant events.
+};
+
+void AppendEvent(const TraceEvent& event);
+}  // namespace internal
+
+/// True while spans are being collected. Single relaxed load; the hot-path
+/// guard every instrumentation site starts with.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts collecting spans (clears previously buffered events). Idempotent.
+void StartTracing();
+
+/// Stops collection, merges every thread's buffer into one strictly
+/// ts-ordered `trace_event` JSON document and writes it crash-safely
+/// (util::AtomicWriteFile) to `path`. Buffers are cleared on success.
+Status StopTracingAndWrite(const std::string& path);
+
+/// The merged trace JSON without writing it anywhere (used by tests).
+/// Does not stop collection or clear buffers.
+std::string TraceToJson();
+
+/// Events dropped so far because a thread's ring buffer was full.
+int64_t DroppedEventCount();
+
+/// Reads MUSENET_TRACE once: when set (to the output path), tracing starts
+/// now and the trace is written at process exit. Idempotent and cheap after
+/// the first call; RunTraining and the CLI call it so `MUSENET_TRACE=t.json
+/// musenet train ...` needs no code changes anywhere else.
+void AutoInitFromEnv();
+
+/// RAII span. Construct with a string literal:
+///   obs::ScopedSpan span("train.step");
+/// or, carrying one integer argument (shown under "args" in the viewer):
+///   obs::ScopedSpan span("autograd.backward", "nodes", graph_size);
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) [[unlikely]] {
+      Begin(name, nullptr, 0);
+    }
+  }
+  ScopedSpan(const char* name, const char* arg_name, int64_t arg_value) {
+    if (TracingEnabled()) [[unlikely]] {
+      Begin(name, arg_name, arg_value);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) [[unlikely]] {
+      End();
+    }
+  }
+
+  /// Attaches/overwrites the span's argument after construction (e.g. a
+  /// count known only at scope exit). No-op when tracing was off at entry.
+  void SetArg(const char* arg_name, int64_t arg_value) {
+    if (active_) {
+      event_.arg_name = arg_name;
+      event_.arg_value = arg_value;
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Begin(const char* name, const char* arg_name, int64_t arg_value);
+  void End();
+
+  internal::TraceEvent event_;  ///< Untouched unless tracing was enabled.
+  bool active_ = false;
+};
+
+/// Zero-duration marker event (fault activations, rollbacks, resume points).
+void TraceInstant(const char* name);
+void TraceInstant(const char* name, const char* arg_name, int64_t arg_value);
+
+}  // namespace musenet::obs
+
+#endif  // MUSENET_OBS_TRACE_H_

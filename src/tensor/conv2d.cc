@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/storage_pool.h"
@@ -9,6 +11,17 @@
 #include "util/thread_pool.h"
 
 namespace musenet::tensor {
+
+namespace {
+
+/// Counts conv kernel invocations (forward + both backward passes share one
+/// counter; per-direction detail lives in the trace span names).
+void NoteConv() {
+  static obs::Counter& calls = obs::GetCounter("conv2d.calls");
+  calls.Add();
+}
+
+}  // namespace
 
 // All three kernels lower convolution to GEMM via im2col/col2im (see
 // tensor/im2col.h for the layout). Forward and backward-input parallelize
@@ -45,6 +58,9 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
   const int64_t ow = Conv2dOutputDim(w, kw, spec);
   const int64_t kdim = cin * kh * kw;
   const int64_t osp = oh * ow;
+  obs::ScopedSpan span("conv2d.Forward", "flops",
+                       2 * batch * cout * kdim * osp);
+  NoteConv();
 
   Tensor out(Shape({batch, cout, oh, ow}));
   const float* pin = input.data();
@@ -89,6 +105,9 @@ Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
   MUSE_CHECK_EQ(weight.dim(1), cin);
   const int64_t kdim = cin * kh * kw;
   const int64_t osp = oh * ow;
+  obs::ScopedSpan span("conv2d.BackwardInput", "flops",
+                       2 * batch * cout * kdim * osp);
+  NoteConv();
 
   Tensor grad_in(input_shape);
   const float* pg = grad_out.data();
@@ -132,6 +151,9 @@ Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
   MUSE_CHECK_EQ(weight_shape.dim(1), cin);
   const int64_t kdim = cin * kh * kw;
   const int64_t osp = oh * ow;
+  obs::ScopedSpan span("conv2d.BackwardWeight", "flops",
+                       2 * batch * cout * kdim * osp);
+  NoteConv();
 
   Tensor grad_w(weight_shape);
   const float* pg = grad_out.data();

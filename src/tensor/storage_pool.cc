@@ -31,7 +31,13 @@ StoragePool& StoragePool::Instance() {
   return *pool;
 }
 
-StoragePool::StoragePool() {
+StoragePool::StoragePool()
+    : fresh_allocs_(obs::GetCounter("tensor.pool.fresh_allocs")),
+      pool_reuses_(obs::GetCounter("tensor.pool.reuses")),
+      releases_(obs::GetCounter("tensor.pool.releases")),
+      live_gauge_(obs::GetGauge("tensor.pool.bytes_live")),
+      pooled_gauge_(obs::GetGauge("tensor.pool.bytes_pooled")),
+      peak_gauge_(obs::GetGauge("tensor.pool.bytes_peak")) {
   const char* disable = std::getenv("MUSENET_DISABLE_POOL");
   env_disabled_ = disable != nullptr && disable[0] != '\0';
   if (const char* cap = std::getenv("MUSENET_POOL_MAX_MB")) {
@@ -40,8 +46,10 @@ StoragePool::StoragePool() {
 }
 
 void StoragePool::NoteCheckout(int64_t bytes) {
-  stats_.bytes_live += bytes;
-  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+  bytes_live_ += bytes;
+  bytes_peak_ = std::max(bytes_peak_, bytes_live_);
+  live_gauge_.Set(static_cast<double>(bytes_live_));
+  peak_gauge_.Set(static_cast<double>(bytes_peak_));
 }
 
 std::vector<float> StoragePool::PopBuffer(size_t n) {
@@ -55,12 +63,13 @@ std::vector<float> StoragePool::PopBuffer(size_t n) {
       std::vector<float> buf = std::move(free_lists_[cls].back());
       free_lists_[cls].pop_back();
       const int64_t bytes = CapacityBytes(buf);
-      ++stats_.pool_reuses;
-      stats_.bytes_pooled = std::max<int64_t>(0, stats_.bytes_pooled - bytes);
+      pool_reuses_.Add();
+      bytes_pooled_ = std::max<int64_t>(0, bytes_pooled_ - bytes);
+      pooled_gauge_.Set(static_cast<double>(bytes_pooled_));
       NoteCheckout(bytes);
       return buf;
     }
-    ++stats_.fresh_allocs;
+    fresh_allocs_.Add();
     // Fresh buffers get class-sized capacity (2^cls ≥ n) so that on release
     // they park in exactly the class a same-size acquisition looks in —
     // capacity n would round *down* and never be found again.
@@ -99,15 +108,17 @@ void StoragePool::Release(std::vector<float>&& buf) {
   std::vector<float> dropped;  // Freed outside the lock when not parked.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.releases;
-    stats_.bytes_live = std::max<int64_t>(0, stats_.bytes_live - bytes);
+    releases_.Add();
+    bytes_live_ = std::max<int64_t>(0, bytes_live_ - bytes);
+    live_gauge_.Set(static_cast<double>(bytes_live_));
     const bool over_cap = max_pooled_bytes_ > 0 &&
-                          stats_.bytes_pooled + bytes > max_pooled_bytes_;
+                          bytes_pooled_ + bytes > max_pooled_bytes_;
     if (env_disabled_ || disable_depth_ > 0 || cls >= kNumClasses ||
         over_cap) {
       dropped = std::move(buf);
     } else {
-      stats_.bytes_pooled += bytes;
+      bytes_pooled_ += bytes;
+      pooled_gauge_.Set(static_cast<double>(bytes_pooled_));
       free_lists_[cls].push_back(std::move(buf));
     }
   }
@@ -120,23 +131,30 @@ void StoragePool::Trim() {
     for (auto& buf : list) dropped.push_back(std::move(buf));
     list.clear();
   }
-  stats_.bytes_pooled = 0;
+  bytes_pooled_ = 0;
+  pooled_gauge_.Set(0.0);
 }
 
 StoragePoolStats StoragePool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  StoragePoolStats stats;
+  stats.fresh_allocs = fresh_allocs_.Value();
+  stats.pool_reuses = pool_reuses_.Value();
+  stats.releases = releases_.Value();
+  stats.bytes_live = bytes_live_;
+  stats.bytes_pooled = bytes_pooled_;
+  stats.bytes_peak = bytes_peak_;
+  return stats;
 }
 
 void StoragePool::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
-  const int64_t pooled = stats_.bytes_pooled;
-  const int64_t live = stats_.bytes_live;
-  stats_ = StoragePoolStats{};
+  fresh_allocs_.Reset();
+  pool_reuses_.Reset();
+  releases_.Reset();
   // Byte gauges track real buffer state and survive a counter reset.
-  stats_.bytes_pooled = pooled;
-  stats_.bytes_live = live;
-  stats_.bytes_peak = live;
+  bytes_peak_ = bytes_live_;
+  peak_gauge_.Set(static_cast<double>(bytes_peak_));
 }
 
 bool StoragePool::enabled() const {

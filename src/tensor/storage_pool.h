@@ -6,10 +6,18 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace musenet::tensor {
 
 /// Counters describing pool behaviour. Byte figures count buffer capacity
 /// (what the allocator actually holds), not requested sizes.
+///
+/// Deprecated as a bespoke surface: the pool now publishes through the
+/// process-wide metrics registry (counters `tensor.pool.fresh_allocs` /
+/// `.reuses` / `.releases`, gauges `tensor.pool.bytes_live` /
+/// `.bytes_pooled` / `.bytes_peak`); `stats()` is a compatibility view
+/// reconstructed from those instruments. Prefer obs::Registry::Snapshot().
 struct StoragePoolStats {
   int64_t fresh_allocs = 0;  ///< Acquires served by a new heap allocation.
   int64_t pool_reuses = 0;   ///< Acquires served from a free list.
@@ -60,7 +68,11 @@ class StoragePool {
   /// values).
   void Trim();
 
+  /// Deprecated compatibility view assembled from the metrics registry
+  /// instruments listed on StoragePoolStats.
   StoragePoolStats stats() const;
+  /// Zeroes the three pool counters and resets the peak gauge to the live
+  /// gauge; byte gauges track real buffer state and are preserved.
   void ResetStats();
 
   /// False when MUSENET_DISABLE_POOL is set or a ScopedPoolDisable is alive.
@@ -85,10 +97,22 @@ class StoragePool {
 
   mutable std::mutex mu_;
   std::vector<std::vector<float>> free_lists_[kNumClasses];
-  StoragePoolStats stats_;
   int disable_depth_ = 0;
   bool env_disabled_ = false;
   int64_t max_pooled_bytes_ = 0;  ///< 0 = uncapped.
+
+  // Byte accounting lives in int64 under mu_ (the cap check needs exact
+  // arithmetic) and is mirrored into the gauges after every change; the
+  // event counters go straight to the registry.
+  int64_t bytes_live_ = 0;
+  int64_t bytes_pooled_ = 0;
+  int64_t bytes_peak_ = 0;
+  obs::Counter& fresh_allocs_;
+  obs::Counter& pool_reuses_;
+  obs::Counter& releases_;
+  obs::Gauge& live_gauge_;
+  obs::Gauge& pooled_gauge_;
+  obs::Gauge& peak_gauge_;
 };
 
 /// RAII guard that turns the pool into a heap pass-through for its lifetime,

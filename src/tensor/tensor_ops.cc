@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/kernel_util.h"
 #include "util/check.h"
@@ -12,6 +14,16 @@
 namespace musenet::tensor {
 
 namespace {
+
+/// One call and the flop count of a GEMM entry point. Registry lookups
+/// resolve once; afterwards this is two relaxed fetch_adds on thread-striped
+/// shards, cheap enough to leave on unconditionally.
+void NoteGemm(int64_t flops) {
+  static obs::Counter& calls = obs::GetCounter("gemm.calls");
+  static obs::Counter& total_flops = obs::GetCounter("gemm.flops");
+  calls.Add();
+  total_flops.Add(flops);
+}
 
 /// Strides for reading an operand of shape `s` as if it had the broadcast
 /// result shape `out` (rank-aligned from the right); broadcast axes get
@@ -423,6 +435,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor out(Shape({m, n}));
   // Cache-blocked, register-tiled, row-parallel GEMM; out is
   // zero-initialized so accumulate == assign.
+  obs::ScopedSpan span("gemm.MatMul", "flops", 2 * m * n * k);
+  NoteGemm(2 * m * n * k);
   GemmAccF32(m, n, k, a.data(), k, b.data(), n, out.mutable_data(), n);
   return out;
 }
@@ -436,6 +450,8 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t k = a.dim(1);
   const int64_t n = b.dim(0);
   Tensor out(Shape({m, n}));
+  obs::ScopedSpan span("gemm.MatMulTransB", "flops", 2 * m * n * k);
+  NoteGemm(2 * m * n * k);
   GemmAccF32TransB(m, n, k, a.data(), k, b.data(), k, out.mutable_data(), n);
   return out;
 }
@@ -449,6 +465,8 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t k = a.dim(0);
   const int64_t n = b.dim(1);
   Tensor out(Shape({m, n}));
+  obs::ScopedSpan span("gemm.MatMulTransA", "flops", 2 * m * n * k);
+  NoteGemm(2 * m * n * k);
   GemmAccF32TransA(m, n, k, a.data(), m, b.data(), n, out.mutable_data(), n);
   return out;
 }
@@ -462,6 +480,8 @@ Tensor MatMulBatched(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(1);
   const int64_t k = a.dim(2);
   const int64_t n = b.dim(2);
+  obs::ScopedSpan span("gemm.MatMulBatched", "flops", 2 * batch * m * n * k);
+  NoteGemm(2 * batch * m * n * k);
   Tensor out(Shape({batch, m, n}));
   const float* pa = a.data();
   const float* pb = b.data();
@@ -486,6 +506,8 @@ Tensor MatMulBatchedTransB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(1);
   const int64_t k = a.dim(2);
   const int64_t n = b.dim(1);
+  obs::ScopedSpan span("gemm.MatMulBatchedTransB", "flops", 2 * batch * m * n * k);
+  NoteGemm(2 * batch * m * n * k);
   Tensor out(Shape({batch, m, n}));
   const float* pa = a.data();
   const float* pb = b.data();
@@ -508,6 +530,8 @@ Tensor MatMulBatchedTransA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(2);
   const int64_t k = a.dim(1);
   const int64_t n = b.dim(2);
+  obs::ScopedSpan span("gemm.MatMulBatchedTransA", "flops", 2 * batch * m * n * k);
+  NoteGemm(2 * batch * m * n * k);
   Tensor out(Shape({batch, m, n}));
   const float* pa = a.data();
   const float* pb = b.data();

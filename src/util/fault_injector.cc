@@ -2,7 +2,22 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace musenet::util {
+
+namespace {
+
+/// Every fired fault leaves a mark in the telemetry: an instant event in the
+/// trace (visible as a pin in Perfetto at the exact step/write it hit) and a
+/// monotonic counter, so a recovered-from fault is never invisible.
+void NoteActivation(const char* span_name, const char* counter_name) {
+  obs::TraceInstant(span_name);
+  obs::GetCounter(counter_name).Add();
+}
+
+}  // namespace
 
 namespace {
 
@@ -77,6 +92,7 @@ bool FaultInjector::TakeNanGradient(int64_t step) {
   nan_grad_step_ = -1;
   ++stats_.nan_grads;
   RecomputeArmed();
+  NoteActivation("fault.nan_grad", "faults.nan_grads");
   return true;
 }
 
@@ -96,6 +112,7 @@ FaultInjector::WriteFault FaultInjector::TakeWriteFault() {
   write_fault_ = WriteFault::kNone;
   ++stats_.write_faults;
   RecomputeArmed();
+  NoteActivation("fault.write", "faults.writes");
   return fault;
 }
 
@@ -112,6 +129,7 @@ bool FaultInjector::TakeAllocFailure() {
   if (--alloc_trigger_ > 0) return false;
   ++stats_.alloc_failures;
   RecomputeArmed();
+  NoteActivation("fault.alloc", "faults.allocs");
   return true;
 }
 

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <new>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 
 namespace musenet::util {
@@ -93,6 +95,13 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  obs::ScopedSpan span("io.AtomicWriteFile", "bytes",
+                       static_cast<int64_t>(bytes.size()));
+  static obs::Counter& writes = obs::GetCounter("io.atomic_writes");
+  static obs::Counter& written_bytes = obs::GetCounter("io.atomic_write_bytes");
+  writes.Add();
+  written_bytes.Add(static_cast<int64_t>(bytes.size()));
+
   const FaultInjector::WriteFault fault =
       FaultInjector::Instance().TakeWriteFault();
 

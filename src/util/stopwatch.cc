@@ -1,0 +1,15 @@
+#include "util/stopwatch.h"
+
+namespace musenet::util {
+
+int64_t MonotonicNowNanos() {
+  // Anchored at the first call so trace timestamps start near zero (easier
+  // to read in Perfetto than nanoseconds since boot).
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - anchor)
+      .count();
+}
+
+}  // namespace musenet::util

@@ -2,10 +2,15 @@
 #define MUSENET_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
-namespace musenet {
+namespace musenet::util {
 
-/// Monotonic wall-clock stopwatch for coarse experiment timing.
+/// Monotonic stopwatch over std::chrono::steady_clock with nanosecond
+/// resolution. Used for everything from coarse experiment timing (seconds)
+/// to span timestamps in the obs tracing layer (nanoseconds); keeping a
+/// single clock source means trace spans, bench timings and run-log
+/// durations are directly comparable.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -13,19 +18,39 @@ class Stopwatch {
   /// Resets the start point to now.
   void Restart() { start_ = Clock::now(); }
 
-  /// Seconds elapsed since construction or the last Restart().
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Seconds elapsed.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// Milliseconds elapsed.
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 
+/// Nanoseconds since an arbitrary process-wide anchor (the first call in the
+/// process). All threads share the anchor, so timestamps from different
+/// threads are mutually ordered — the property the trace merger relies on.
+int64_t MonotonicNowNanos();
+
+}  // namespace musenet::util
+
+namespace musenet {
+// Historical spelling: the stopwatch predates the util:: move and is used
+// unqualified throughout bench/ and examples/.
+using util::Stopwatch;
 }  // namespace musenet
 
 #endif  // MUSENET_UTIL_STOPWATCH_H_

@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace musenet::util {
@@ -62,6 +64,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::RunChunks(Job& job) {
   const bool was_inside = t_inside_parallel_region;
   t_inside_parallel_region = true;
+  // One span per task batch: the chunks THIS thread claimed from the job.
+  // Worker idle gaps and load imbalance show up directly as staggered
+  // "parallel_for.batch" spans across tids in the trace viewer.
+  obs::ScopedSpan span("parallel_for.batch");
   int64_t done = 0;
   for (;;) {
     const int64_t chunk =
@@ -72,6 +78,7 @@ void ThreadPool::RunChunks(Job& job) {
     (*job.fn)(lo, hi);
     ++done;
   }
+  span.SetArg("chunks", done);
   t_inside_parallel_region = was_inside;
   if (done > 0 &&
       job.chunks_done.fetch_add(done, std::memory_order_acq_rel) + done ==
@@ -105,6 +112,13 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (end <= begin) return;
   grain = std::max<int64_t>(1, grain);
   const int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Registry lookups resolve once; afterwards this is two relaxed
+  // fetch_adds on thread-striped shards per call.
+  static obs::Counter& calls_counter = obs::GetCounter("parallel_for.calls");
+  static obs::Counter& chunks_counter = obs::GetCounter("parallel_for.chunks");
+  calls_counter.Add();
+  chunks_counter.Add(num_chunks);
 
   // Sequential path: single-thread pool, a single chunk, or a nested call
   // from inside a parallel region. Chunk boundaries are identical to the

@@ -1,0 +1,446 @@
+// Observability-layer coverage (src/obs/, see DESIGN.md "Observability"):
+// (a) tracing — span nesting and cross-thread merge produce a valid,
+//     ts-ordered Chrome trace_event document, and a *disabled* span performs
+//     no heap allocation (the near-zero-cost contract);
+// (b) metrics — counter/histogram shard merges, gauge semantics, and the
+//     deterministic JSON snapshot;
+// (c) run telemetry — RunRecord/RunLog round-trips through ReadRunLog, and
+//     a deterministic training run writes a byte-identical metrics.jsonl at
+//     1 and 4 threads when timings are off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "muse/config.h"
+#include "muse/model.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
+#include "sim/flow_series.h"
+#include "tensor/storage_pool.h"
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+// --- Global allocation counter ----------------------------------------------
+//
+// Counts every operator-new in the process so tests can assert that a code
+// region allocates nothing. Relaxed atomics: the asserting tests run their
+// region single-threaded.
+
+namespace {
+std::atomic<int64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace musenet {
+namespace {
+
+namespace ts = musenet::tensor;
+
+// --- Tracing ---------------------------------------------------------------
+
+/// Extracts every `"key":<number>` occurrence from a trace document, in
+/// order. Good enough to check ordering without a JSON parser.
+std::vector<double> ExtractNumbers(const std::string& json,
+                                   const std::string& key) {
+  std::vector<double> values;
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    values.push_back(std::strtod(json.c_str() + pos, nullptr));
+  }
+  return values;
+}
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(TraceTest, NestedSpansProduceOrderedCompleteEvents) {
+  obs::StartTracing();
+  {
+    obs::ScopedSpan outer("outer_span", "level", 0);
+    obs::ScopedSpan inner("inner_span");
+    obs::TraceInstant("instant_mark", "step", 42);
+  }
+  const std::string json = obs::TraceToJson();
+  obs::internal::g_tracing_enabled.store(false);
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(1, CountOccurrences(json, "\"outer_span\""));
+  EXPECT_EQ(1, CountOccurrences(json, "\"inner_span\""));
+  EXPECT_EQ(1, CountOccurrences(json, "\"instant_mark\""));
+  EXPECT_NE(json.find("\"args\":{\"level\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"step\":42}"), std::string::npos);
+  // The instant is "ph":"i"; the spans are complete events "ph":"X".
+  EXPECT_EQ(2, CountOccurrences(json, "\"ph\":\"X\""));
+  EXPECT_EQ(1, CountOccurrences(json, "\"ph\":\"i\""));
+
+  // Timestamps are globally non-decreasing (the strict-merge contract), and
+  // the outer span opened no later than the inner one.
+  const std::vector<double> ts = ExtractNumbers(json, "ts");
+  ASSERT_EQ(ts.size(), 3u);
+  for (size_t i = 1; i < ts.size(); ++i) EXPECT_GE(ts[i], ts[i - 1]);
+  const std::vector<double> durs = ExtractNumbers(json, "dur");
+  ASSERT_EQ(durs.size(), 2u);
+  EXPECT_GE(durs[0], durs[1]);  // Outer encloses inner.
+}
+
+TEST(TraceTest, MergesSpansFromManyThreadsInTimestampOrder) {
+  obs::StartTracing();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::ScopedSpan span("worker_span", "i", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string json = obs::TraceToJson();
+  obs::internal::g_tracing_enabled.store(false);
+
+  EXPECT_EQ(kThreads * kSpansPerThread,
+            CountOccurrences(json, "\"worker_span\""));
+  const std::vector<double> ts = ExtractNumbers(json, "ts");
+  EXPECT_EQ(ts.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  for (size_t i = 1; i < ts.size(); ++i) EXPECT_GE(ts[i], ts[i - 1]);
+  EXPECT_EQ(obs::DroppedEventCount(), 0);
+}
+
+TEST(TraceTest, StopTracingWritesDocumentAndClearsBuffers) {
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  obs::StartTracing();
+  { obs::ScopedSpan span("flushed_span"); }
+  ASSERT_TRUE(obs::StopTracingAndWrite(path).ok());
+  EXPECT_FALSE(obs::TracingEnabled());
+
+  auto contents = util::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->front(), '{');
+  EXPECT_NE(contents->find("\"flushed_span\""), std::string::npos);
+  EXPECT_NE(contents->find("\"droppedEvents\":0"), std::string::npos);
+
+  // Buffers were cleared: a fresh trace no longer holds the old span.
+  obs::StartTracing();
+  const std::string fresh = obs::TraceToJson();
+  obs::internal::g_tracing_enabled.store(false);
+  EXPECT_EQ(fresh.find("\"flushed_span\""), std::string::npos);
+}
+
+TEST(TraceTest, DisabledSpansDoNotAllocate) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  // Warm up the thread-local buffer registration path (it allocates once per
+  // thread, on first *enabled* use only — but keep the test independent of
+  // that detail).
+  { obs::ScopedSpan warmup("warmup"); }
+
+  const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    obs::ScopedSpan span("disabled_span", "i", i);
+    obs::TraceInstant("disabled_instant");
+  }
+  const int64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after) << "disabled spans must not touch the heap";
+}
+
+TEST(TraceTest, CounterUpdatesDoNotAllocate) {
+  obs::Counter& counter = obs::GetCounter("obs_test.noalloc_counter");
+  obs::Histogram& hist =
+      obs::GetHistogram("obs_test.noalloc_hist", obs::LatencyBucketsMs());
+  counter.Add();        // Warm-up: shard assignment for this thread.
+  hist.Observe(1.0);
+  const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    counter.Add(2);
+    hist.Observe(static_cast<double>(i % 100));
+  }
+  const int64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after) << "counter/histogram updates must not allocate";
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(MetricsTest, CounterMergesShardsAcrossThreads) {
+  obs::Counter& counter = obs::GetCounter("obs_test.threaded_counter");
+  counter.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsTest, GaugeSetAddKeepMax) {
+  obs::Gauge& gauge = obs::GetGauge("obs_test.gauge");
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4.0);
+  gauge.KeepMax(3.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4.0);  // Lower candidate ignored.
+  gauge.KeepMax(10.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 10.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  obs::Histogram& hist =
+      obs::GetHistogram("obs_test.hist", {1.0, 10.0, 100.0});
+  hist.Reset();
+  hist.Observe(0.5);    // bucket 0 (<= 1)
+  hist.Observe(1.0);    // bucket 0 (<= 1, inclusive upper edge)
+  hist.Observe(5.0);    // bucket 1
+  hist.Observe(50.0);   // bucket 2
+  hist.Observe(1000.0); // overflow
+  EXPECT_EQ(hist.TotalCount(), 5);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 1056.5);
+  const std::vector<int64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(MetricsTest, SnapshotJsonIsDeterministic) {
+  obs::GetCounter("obs_test.json_counter").Add(7);
+  obs::GetGauge("obs_test.json_gauge").Set(0.25);
+  const std::string a = obs::MetricsToJson(obs::Registry::Instance().Snapshot());
+  const std::string b = obs::MetricsToJson(obs::Registry::Instance().Snapshot());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.front(), '{');
+  EXPECT_EQ(a.back(), '\n');
+  EXPECT_NE(a.find("\"obs_test.json_counter\":"), std::string::npos);
+  EXPECT_NE(a.find("\"obs_test.json_gauge\": 0.25"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetClearsCountersButKeepsGauges) {
+  obs::Counter& counter = obs::GetCounter("obs_test.reset_counter");
+  obs::Gauge& gauge = obs::GetGauge("obs_test.reset_gauge");
+  counter.Add(5);
+  gauge.Set(3.5);
+  obs::Registry::Instance().ResetCountersAndHistograms();
+  EXPECT_EQ(counter.Value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+}
+
+TEST(MetricsTest, PoolStatsAreMirroredInRegistry) {
+  ts::StoragePool& pool = ts::StoragePool::Instance();
+  const ts::StoragePoolStats before = pool.stats();
+  {
+    std::vector<float> buf = pool.Acquire(1024, /*zero=*/true);
+    pool.Release(std::move(buf));
+  }
+  const ts::StoragePoolStats after = pool.stats();
+  EXPECT_EQ(after.releases, before.releases + 1);
+  EXPECT_EQ(after.fresh_allocs + after.pool_reuses,
+            before.fresh_allocs + before.pool_reuses + 1);
+
+  // stats() is a view over the registry instruments: both agree exactly.
+  const obs::MetricsSnapshot snap = obs::Registry::Instance().Snapshot();
+  EXPECT_EQ(snap.counters.at("tensor.pool.releases"), after.releases);
+  EXPECT_EQ(snap.counters.at("tensor.pool.fresh_allocs"), after.fresh_allocs);
+  EXPECT_EQ(snap.counters.at("tensor.pool.reuses"), after.pool_reuses);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("tensor.pool.bytes_live"),
+                   static_cast<double>(after.bytes_live));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("tensor.pool.bytes_pooled"),
+                   static_cast<double>(after.bytes_pooled));
+}
+
+// --- Run log ---------------------------------------------------------------
+
+TEST(RunLogTest, RecordsRoundTripThroughReader) {
+  const std::string path = ::testing::TempDir() + "/obs_run_log.jsonl";
+  {
+    auto log = obs::RunLog::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ASSERT_TRUE(log->Append(obs::RunRecord("step")
+                                .Int("epoch", 0)
+                                .Int("step", 12)
+                                .Double("loss", 0.125)
+                                .Bool("improved", true))
+                    .ok());
+    ASSERT_TRUE(log->Append(obs::RunRecord("epoch")
+                                .Double("val_mse", 1.5)
+                                .Str("note", "hello \"quoted\" world"))
+                    .ok());
+  }
+  auto records = obs::ReadRunLog(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+
+  const auto& step = (*records)[0];
+  ASSERT_GE(step.size(), 5u);
+  EXPECT_EQ(step[0].first, "event");
+  EXPECT_EQ(step[0].second, "step");
+  EXPECT_EQ(step[2].first, "step");
+  EXPECT_EQ(step[2].second, "12");
+  EXPECT_EQ(step[3].second, "0.125");
+  EXPECT_EQ(step[4].second, "true");
+
+  const auto& epoch = (*records)[1];
+  EXPECT_EQ(epoch[0].second, "epoch");
+  EXPECT_EQ(epoch[1].second, "1.5");
+  EXPECT_EQ(epoch[2].second, "hello \"quoted\" world");
+}
+
+TEST(RunLogTest, NonFiniteDoublesBecomeNull) {
+  const obs::RunRecord rec =
+      obs::RunRecord("probe").Double("inf", INFINITY).Double("nan", NAN);
+  EXPECT_NE(rec.Json().find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(rec.Json().find("\"nan\":null"), std::string::npos);
+}
+
+TEST(RunLogTest, AppendModePreservesExistingRecords) {
+  const std::string path = ::testing::TempDir() + "/obs_run_log_append.jsonl";
+  {
+    auto log = obs::RunLog::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(obs::RunRecord("first")).ok());
+  }
+  {
+    auto log = obs::RunLog::Open(path, /*truncate=*/false);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(obs::RunRecord("second")).ok());
+  }
+  auto records = obs::ReadRunLog(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0][0].second, "first");
+  EXPECT_EQ((*records)[1][0].second, "second");
+}
+
+// --- Run-log byte stability across thread counts ---------------------------
+
+data::PeriodicitySpec TinySpec() {
+  return data::PeriodicitySpec{.len_closeness = 2, .len_period = 2,
+                               .len_trend = 1};
+}
+
+/// The tiny deterministic dataset used across the training tests: 14 days of
+/// sinusoidal daily structure on a 3x4 grid.
+data::TrafficDataset TinyDataset() {
+  const int f = 24;
+  sim::FlowSeries flows(sim::GridSpec{3, 4}, f, 0, 14 * f);
+  Rng noise(9);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    const double base =
+        5.0 + 4.0 * std::sin(2.0 * M_PI * flows.IntervalOfDay(t) / f);
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < 3; ++h) {
+        for (int64_t w = 0; w < 4; ++w) {
+          flows.at(t, flow, h, w) =
+              static_cast<float>(std::max(0.0, base + noise.Normal(0, 0.5)));
+        }
+      }
+    }
+  }
+  data::DatasetOptions options;
+  options.spec = TinySpec();
+  options.test_days = 3;
+  return data::TrafficDataset(std::move(flows), options);
+}
+
+muse::MuseNetConfig TinyConfig() {
+  muse::MuseNetConfig config;
+  config.grid_h = 3;
+  config.grid_w = 4;
+  config.periodicity = TinySpec();
+  config.repr_dim = 4;
+  config.dist_dim = 8;
+  config.resplus_blocks = 1;
+  return config;
+}
+
+/// Trains the tiny model for 2 epochs at `num_threads`, returns the raw
+/// bytes of the produced run log (timings off).
+std::string TrainAndReadRunLog(int num_threads, const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_stability_" + tag + ".jsonl";
+  util::ThreadPool pool(num_threads);
+  util::ScopedActivePool guard(&pool);
+
+  data::TrafficDataset ds = TinyDataset();
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  tc.learning_rate = 1e-3;
+  tc.run_log_path = path;
+  tc.run_log_timings = false;  // Deterministic fields only.
+  EXPECT_TRUE(model.TrainWithReport(ds, tc, nullptr).ok());
+
+  auto contents = util::ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status().ToString();
+  return std::move(contents).value_or(std::string());
+}
+
+TEST(RunLogTest, ByteStableAcrossThreadCounts) {
+  const std::string log1 = TrainAndReadRunLog(1, "t1");
+  const std::string log4 = TrainAndReadRunLog(4, "t4");
+  ASSERT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log4)
+      << "run log with timings off must be byte-identical at any thread "
+         "count (the determinism contract)";
+  // Sanity: the log carries per-step and per-epoch records plus the summary.
+  EXPECT_NE(log1.find("\"event\":\"step\""), std::string::npos);
+  EXPECT_NE(log1.find("\"event\":\"epoch\""), std::string::npos);
+  EXPECT_NE(log1.find("\"event\":\"done\""), std::string::npos);
+  EXPECT_NE(log1.find("\"grad_norm\":"), std::string::npos);
+}
+
+TEST(RunLogTest, WriteMetricsSnapshotProducesJsonFile) {
+  const std::string path = ::testing::TempDir() + "/obs_metrics.json";
+  obs::GetCounter("obs_test.snapshot_counter").Add();
+  ASSERT_TRUE(obs::WriteMetricsSnapshot(path).ok());
+  auto contents = util::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->front(), '{');
+  EXPECT_NE(contents->find("\"counters\""), std::string::npos);
+  EXPECT_NE(contents->find("\"obs_test.snapshot_counter\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace musenet

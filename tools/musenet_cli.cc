@@ -17,6 +17,8 @@
 
 #include "data/dataset.h"
 #include "eval/evaluate.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
 #include "muse/model.h"
 #include "sim/presets.h"
 #include "sim/serialize.h"
@@ -118,6 +120,15 @@ int Train(const Args& args) {
   train.checkpoint_every = args.GetInt("checkpoint-every", 1);
   train.keep_last = args.GetInt("keep-last", 3);
   train.resume = args.GetInt("resume", 0) != 0;
+
+  // Observability (see DESIGN.md "Observability"): --run-log streams JSONL
+  // training telemetry; --trace-out and --metrics-out write a Perfetto
+  // trace and a metrics snapshot at the end of the run.
+  train.run_log_path = args.Get("run-log", "");
+  train.run_log_timings = args.GetInt("run-log-timings", 1) != 0;
+  const std::string trace_out = args.Get("trace-out", "");
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!trace_out.empty()) obs::StartTracing();
   const std::string policy = args.Get("on-nonfinite", "abort");
   if (policy == "skip") {
     train.on_non_finite = eval::FailurePolicy::kSkipBatch;
@@ -134,14 +145,27 @@ int Train(const Args& args) {
   eval::TrainReport report;
   const Status trained = model.TrainWithReport(loaded->dataset, train,
                                                &report);
+  if (!trace_out.empty()) {
+    const Status wrote = obs::StopTracingAndWrite(trace_out);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote trace %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const Status wrote = obs::WriteMetricsSnapshot(metrics_out);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
+  }
   if (!trained.ok()) return Fail(trained);
   if (report.resumed_from_epoch >= 0) {
     std::printf("resumed from epoch %d\n", report.resumed_from_epoch);
   }
-  if (report.skipped_batches > 0 || report.rollbacks > 0) {
-    std::printf("recovered from faults: %d skipped batches, %d rollbacks\n",
-                report.skipped_batches, report.rollbacks);
-  }
+  // One-line run summary: everything the report knows, greppable in CI logs.
+  std::printf(
+      "train summary: epochs=%d steps=%lld best_val=%.6f "
+      "skipped_batches=%d rollbacks=%d checkpoint_failures=%d\n",
+      report.epochs_run, static_cast<long long>(report.steps),
+      report.best_val, report.skipped_batches, report.rollbacks,
+      report.checkpoint_write_failures);
 
   const std::string ckpt = args.Get("ckpt", "model.ckpt");
   const Status status = tensor::SaveTensors(ckpt, model.StateDict());
@@ -221,6 +245,8 @@ int Usage() {
       "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "            [--keep-last K] [--resume 0|1]\n"
       "            [--on-nonfinite abort|skip|rollback]\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
+      "            [--run-log FILE] [--run-log-timings 0|1]\n"
       "  evaluate  --flows FILE --ckpt FILE [--d D] [--k K]\n"
       "  predict   --flows FILE --ckpt FILE --index I [--d D] [--k K]\n");
   return 2;
