@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "infer/engine.h"
 #include "tensor/serialize.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -142,8 +143,12 @@ eval::PredictionSeries GetOrComputePredictions(sim::DatasetId id,
       MakeModel(model_name, dataset, ctx);
   util::Stopwatch watch;
   model->Train(dataset, ctx.train);
+  // Test-set predictions run through the graph-free inference engine (one
+  // planning pass, then static replay); unplannable models fall back to
+  // their own Predict inside the wrapper.
+  infer::EngineForecaster planned(*model);
   eval::PredictionSeries series = eval::CollectPredictions(
-      *model, dataset, dataset.test_indices(), ctx.train.batch_size);
+      planned, dataset, dataset.test_indices(), ctx.train.batch_size);
   std::printf("  [%s @ %s h=%lld] trained in %.0fs\n", model_name.c_str(),
               sim::DatasetName(id).c_str(),
               static_cast<long long>(horizon_offset),

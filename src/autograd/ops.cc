@@ -14,12 +14,27 @@ namespace {
 
 /// Creates the output node for an op. `backward` is dropped when no input
 /// requires gradients, which prunes constant sub-graphs from the tape.
-Variable MakeOp(const char* name, ts::Tensor value,
+/// Every op funnels through here, which is what lets NoGradGuard intercept
+/// graph construction globally and the planner trust `kind`/`attrs` on every
+/// non-leaf node.
+Variable MakeOp(const char* name, OpKind kind, ts::Tensor value,
                 std::vector<Variable> inputs,
-                std::function<void(Node&)> backward) {
+                std::function<void(Node&)> backward, OpAttrs attrs = {}) {
+  MUSE_CHECK(!NoGradGuard::ForbidActive())
+      << "autograd op '" << name
+      << "' constructed inside a forbid-mode NoGradGuard (the inference "
+         "engine must never build graph nodes)";
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->op_name = name;
+  node->kind = kind;
+  node->attrs = attrs;
+  if (NoGradGuard::Active()) {
+    // Value-only node: inputs are not retained and no backward is recorded,
+    // so the graph above this point is free to die as soon as the caller
+    // drops its handles.
+    return Variable(std::move(node));
+  }
   bool needs_grad = false;
   node->inputs.reserve(inputs.size());
   for (const Variable& v : inputs) {
@@ -70,7 +85,8 @@ Variable Constant(tensor::Tensor value) {
 }
 
 Variable Add(const Variable& a, const Variable& b) {
-  return MakeOp("add", ts::Add(a.value(), b.value()), {a, b}, [](Node& n) {
+  return MakeOp("add", OpKind::kAdd, ts::Add(a.value(), b.value()), {a, b},
+                [](Node& n) {
     AccumulateBroadcast(*n.inputs[0], n.grad);
     // Last use of this interior node's gradient: steal the buffer. (If both
     // inputs alias, the accumulator was initialized above and the rvalue
@@ -80,7 +96,8 @@ Variable Add(const Variable& a, const Variable& b) {
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
-  return MakeOp("sub", ts::Sub(a.value(), b.value()), {a, b}, [](Node& n) {
+  return MakeOp("sub", OpKind::kSub, ts::Sub(a.value(), b.value()), {a, b},
+                [](Node& n) {
     ts::Tensor gb = ts::Neg(n.grad);
     AccumulateBroadcast(*n.inputs[0], std::move(n.grad));
     AccumulateBroadcast(*n.inputs[1], std::move(gb));
@@ -88,14 +105,16 @@ Variable Sub(const Variable& a, const Variable& b) {
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
-  return MakeOp("mul", ts::Mul(a.value(), b.value()), {a, b}, [](Node& n) {
+  return MakeOp("mul", OpKind::kMul, ts::Mul(a.value(), b.value()), {a, b},
+                [](Node& n) {
     AccumulateBroadcast(*n.inputs[0], ts::Mul(n.grad, n.inputs[1]->value));
     AccumulateBroadcast(*n.inputs[1], ts::Mul(n.grad, n.inputs[0]->value));
   });
 }
 
 Variable Div(const Variable& a, const Variable& b) {
-  return MakeOp("div", ts::Div(a.value(), b.value()), {a, b}, [](Node& n) {
+  return MakeOp("div", OpKind::kDiv, ts::Div(a.value(), b.value()), {a, b},
+                [](Node& n) {
     const ts::Tensor& bv = n.inputs[1]->value;
     AccumulateBroadcast(*n.inputs[0], ts::Div(n.grad, bv));
     // d/db (a/b) = -a / b².
@@ -106,35 +125,39 @@ Variable Div(const Variable& a, const Variable& b) {
 }
 
 Variable AddScalar(const Variable& a, float s) {
-  return MakeOp("add_scalar", ts::AddScalar(a.value(), s), {a}, [](Node& n) {
-    AccumulateIfNeeded(*n.inputs[0], std::move(n.grad));
-  });
+  return MakeOp(
+      "add_scalar", OpKind::kAddScalar, ts::AddScalar(a.value(), s), {a},
+      [](Node& n) { AccumulateIfNeeded(*n.inputs[0], std::move(n.grad)); },
+      {.f0 = s});
 }
 
 Variable MulScalar(const Variable& a, float s) {
-  return MakeOp("mul_scalar", ts::MulScalar(a.value(), s), {a},
-                [s](Node& n) {
-                  AccumulateIfNeeded(*n.inputs[0], ts::MulScalar(n.grad, s));
-                });
+  return MakeOp(
+      "mul_scalar", OpKind::kMulScalar, ts::MulScalar(a.value(), s), {a},
+      [s](Node& n) {
+        AccumulateIfNeeded(*n.inputs[0], ts::MulScalar(n.grad, s));
+      },
+      {.f0 = s});
 }
 
 Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
 
 Variable Exp(const Variable& a) {
   // d exp(x) = exp(x) = the node's own value (valid until ReleaseGraph).
-  return MakeOp("exp", ts::Exp(a.value()), {a}, [](Node& n) {
+  return MakeOp("exp", OpKind::kExp, ts::Exp(a.value()), {a}, [](Node& n) {
     AccumulateIfNeeded(*n.inputs[0], ts::Mul(n.grad, n.value));
   });
 }
 
 Variable Log(const Variable& a) {
-  return MakeOp("log", ts::Log(a.value()), {a}, [](Node& n) {
+  return MakeOp("log", OpKind::kLog, ts::Log(a.value()), {a}, [](Node& n) {
     AccumulateIfNeeded(*n.inputs[0], ts::Div(n.grad, n.inputs[0]->value));
   });
 }
 
 Variable Sqrt(const Variable& a) {
-  return MakeOp("sqrt", ts::Sqrt(a.value()), {a}, [](Node& n) {
+  return MakeOp("sqrt", OpKind::kSqrt, ts::Sqrt(a.value()), {a},
+                [](Node& n) {
     // d sqrt(x) = 0.5 / sqrt(x); sqrt(x) is the node's own value.
     AccumulateIfNeeded(*n.inputs[0],
                        ts::Div(ts::MulScalar(n.grad, 0.5f), n.value));
@@ -142,7 +165,8 @@ Variable Sqrt(const Variable& a) {
 }
 
 Variable Tanh(const Variable& a) {
-  return MakeOp("tanh", ts::Tanh(a.value()), {a}, [](Node& n) {
+  return MakeOp("tanh", OpKind::kTanh, ts::Tanh(a.value()), {a},
+                [](Node& n) {
     // Fused g·(1 − tanh²), one pass instead of the Ones/Square/Sub/Mul
     // chain (bit-identical — see fused_ops.cc).
     AccumulateIfNeeded(*n.inputs[0], ts::ActBackwardFromOutput(
@@ -151,7 +175,8 @@ Variable Tanh(const Variable& a) {
 }
 
 Variable Relu(const Variable& a) {
-  return MakeOp("relu", ts::Relu(a.value()), {a}, [](Node& n) {
+  return MakeOp("relu", OpKind::kRelu, ts::Relu(a.value()), {a},
+                [](Node& n) {
     // out > 0 ⟺ in > 0, so the mask can read the output.
     AccumulateIfNeeded(*n.inputs[0], ts::ActBackwardFromOutput(
                                          n.grad, n.value, ts::ActKind::kRelu));
@@ -159,17 +184,20 @@ Variable Relu(const Variable& a) {
 }
 
 Variable LeakyRelu(const Variable& a, float alpha) {
-  return MakeOp("leaky_relu", ts::LeakyRelu(a.value(), alpha), {a},
-                [alpha](Node& n) {
-                  AccumulateIfNeeded(
-                      *n.inputs[0],
-                      ts::ActBackwardFromOutput(
-                          n.grad, n.value, ts::ActKind::kLeakyRelu, alpha));
-                });
+  return MakeOp(
+      "leaky_relu", OpKind::kLeakyRelu, ts::LeakyRelu(a.value(), alpha), {a},
+      [alpha](Node& n) {
+        AccumulateIfNeeded(*n.inputs[0],
+                           ts::ActBackwardFromOutput(
+                               n.grad, n.value, ts::ActKind::kLeakyRelu,
+                               alpha));
+      },
+      {.f0 = alpha});
 }
 
 Variable Sigmoid(const Variable& a) {
-  return MakeOp("sigmoid", ts::Sigmoid(a.value()), {a}, [](Node& n) {
+  return MakeOp("sigmoid", OpKind::kSigmoid, ts::Sigmoid(a.value()), {a},
+                [](Node& n) {
     // Fused g·out·(1 − out), one pass (bit-identical to the unfused chain).
     AccumulateIfNeeded(
         *n.inputs[0],
@@ -178,21 +206,23 @@ Variable Sigmoid(const Variable& a) {
 }
 
 Variable Softplus(const Variable& a) {
-  return MakeOp("softplus", ts::Softplus(a.value()), {a}, [](Node& n) {
+  return MakeOp("softplus", OpKind::kSoftplus, ts::Softplus(a.value()), {a},
+                [](Node& n) {
     AccumulateIfNeeded(*n.inputs[0],
                        ts::SoftplusBackward(n.grad, n.inputs[0]->value));
   });
 }
 
 Variable Square(const Variable& a) {
-  return MakeOp("square", ts::Square(a.value()), {a}, [](Node& n) {
+  return MakeOp("square", OpKind::kSquare, ts::Square(a.value()), {a},
+                [](Node& n) {
     AccumulateIfNeeded(*n.inputs[0],
                        ts::SquareBackward(n.grad, n.inputs[0]->value));
   });
 }
 
 Variable Abs(const Variable& a) {
-  return MakeOp("abs", ts::Abs(a.value()), {a}, [](Node& n) {
+  return MakeOp("abs", OpKind::kAbs, ts::Abs(a.value()), {a}, [](Node& n) {
     const ts::Tensor& in = n.inputs[0]->value;
     ts::Tensor g = ts::Tensor::Uninitialized(in.shape());
     const float* pin = in.data();
@@ -207,37 +237,43 @@ Variable Abs(const Variable& a) {
 }
 
 Variable Clamp(const Variable& a, float lo, float hi) {
-  return MakeOp("clamp", ts::Clamp(a.value(), lo, hi), {a},
-                [lo, hi](Node& n) {
-                  const ts::Tensor& in = n.inputs[0]->value;
-                  ts::Tensor g = ts::Tensor::Uninitialized(in.shape());
-                  const float* pin = in.data();
-                  const float* pg = n.grad.data();
-                  float* po = g.mutable_data();
-                  const int64_t count = in.num_elements();
-                  for (int64_t i = 0; i < count; ++i) {
-                    po[i] = (pin[i] >= lo && pin[i] <= hi) ? pg[i] : 0.0f;
-                  }
-                  AccumulateIfNeeded(*n.inputs[0], std::move(g));
-                });
+  return MakeOp(
+      "clamp", OpKind::kClamp, ts::Clamp(a.value(), lo, hi), {a},
+      [lo, hi](Node& n) {
+        const ts::Tensor& in = n.inputs[0]->value;
+        ts::Tensor g = ts::Tensor::Uninitialized(in.shape());
+        const float* pin = in.data();
+        const float* pg = n.grad.data();
+        float* po = g.mutable_data();
+        const int64_t count = in.num_elements();
+        for (int64_t i = 0; i < count; ++i) {
+          po[i] = (pin[i] >= lo && pin[i] <= hi) ? pg[i] : 0.0f;
+        }
+        AccumulateIfNeeded(*n.inputs[0], std::move(g));
+      },
+      {.f0 = lo, .f1 = hi});
 }
 
 Variable BiasActivation(const Variable& x, const Variable& bias,
                         ts::ActKind act, float alpha) {
-  return MakeOp("bias_act", ts::BiasAct(x.value(), bias.value(), act, alpha),
-                {x, bias}, [act, alpha](Node& n) {
-                  // Pre-activation gradient from the output alone, then the
-                  // usual broadcast-aware Add backward for the bias.
-                  ts::Tensor g_pre = ts::ActBackwardFromOutput(
-                      n.grad, n.value, act, alpha);
-                  AccumulateBroadcast(*n.inputs[1], g_pre);
-                  AccumulateIfNeeded(*n.inputs[0], std::move(g_pre));
-                });
+  return MakeOp(
+      "bias_act", OpKind::kBiasAct,
+      ts::BiasAct(x.value(), bias.value(), act, alpha), {x, bias},
+      [act, alpha](Node& n) {
+        // Pre-activation gradient from the output alone, then the
+        // usual broadcast-aware Add backward for the bias.
+        ts::Tensor g_pre =
+            ts::ActBackwardFromOutput(n.grad, n.value, act, alpha);
+        AccumulateBroadcast(*n.inputs[1], g_pre);
+        AccumulateIfNeeded(*n.inputs[0], std::move(g_pre));
+      },
+      {.f0 = alpha, .i0 = static_cast<int64_t>(act)});
 }
 
 Variable FusedMulAdd(const Variable& a, const Variable& b,
                      const Variable& c) {
-  return MakeOp("mul_add", ts::MulAdd(a.value(), b.value(), c.value()),
+  return MakeOp("mul_add", OpKind::kMulAddFused,
+                ts::MulAdd(a.value(), b.value(), c.value()),
                 {a, b, c}, [](Node& n) {
                   // Products first, then steal the gradient buffer for `a`;
                   // accumulation order (a, b, c) is preserved for aliasing.
@@ -250,7 +286,8 @@ Variable FusedMulAdd(const Variable& a, const Variable& b,
 }
 
 Variable SumAll(const Variable& a) {
-  return MakeOp("sum_all", ts::SumAll(a.value()), {a}, [](Node& n) {
+  return MakeOp("sum_all", OpKind::kSumAll, ts::SumAll(a.value()), {a},
+                [](Node& n) {
     const ts::Shape& in_shape = n.inputs[0]->value.shape();
     AccumulateIfNeeded(
         *n.inputs[0],
@@ -265,15 +302,18 @@ Variable MeanAll(const Variable& a) {
 
 Variable Sum(const Variable& a, int axis, bool keepdims) {
   ts::Tensor out = ts::Sum(a.value(), axis, keepdims);
-  return MakeOp("sum_axis", std::move(out), {a}, [axis](Node& n) {
-    const ts::Shape& in_shape = n.inputs[0]->value.shape();
-    // Re-insert the reduced axis as size 1 (no-op when keepdims was true),
-    // then broadcast back to the input shape.
-    std::vector<int64_t> keep_dims = in_shape.dims();
-    keep_dims[axis] = 1;
-    ts::Tensor g = n.grad.Reshape(ts::Shape(std::move(keep_dims)));
-    AccumulateIfNeeded(*n.inputs[0], ts::BroadcastTo(g, in_shape));
-  });
+  return MakeOp(
+      "sum_axis", OpKind::kSumAxis, std::move(out), {a},
+      [axis](Node& n) {
+        const ts::Shape& in_shape = n.inputs[0]->value.shape();
+        // Re-insert the reduced axis as size 1 (no-op when keepdims was
+        // true), then broadcast back to the input shape.
+        std::vector<int64_t> keep_dims = in_shape.dims();
+        keep_dims[axis] = 1;
+        ts::Tensor g = n.grad.Reshape(ts::Shape(std::move(keep_dims)));
+        AccumulateIfNeeded(*n.inputs[0], ts::BroadcastTo(g, in_shape));
+      },
+      {.i0 = axis, .i1 = keepdims ? 1 : 0});
 }
 
 Variable Mean(const Variable& a, int axis, bool keepdims) {
@@ -282,8 +322,8 @@ Variable Mean(const Variable& a, int axis, bool keepdims) {
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
-  return MakeOp("matmul", ts::MatMul(a.value(), b.value()), {a, b},
-                [](Node& n) {
+  return MakeOp("matmul", OpKind::kMatMul, ts::MatMul(a.value(), b.value()),
+                {a, b}, [](Node& n) {
                   const ts::Tensor& av = n.inputs[0]->value;
                   const ts::Tensor& bv = n.inputs[1]->value;
                   if (n.inputs[0]->requires_grad) {
@@ -299,7 +339,8 @@ Variable MatMul(const Variable& a, const Variable& b) {
 
 Variable MatMulBatched(const Variable& a, const Variable& b) {
   return MakeOp(
-      "matmul_batched", ts::MatMulBatched(a.value(), b.value()), {a, b},
+      "matmul_batched", OpKind::kMatMulBatched,
+      ts::MatMulBatched(a.value(), b.value()), {a, b},
       [](Node& n) {
         const ts::Tensor& av = n.inputs[0]->value;
         const ts::Tensor& bv = n.inputs[1]->value;
@@ -313,13 +354,15 @@ Variable MatMulBatched(const Variable& a, const Variable& b) {
 }
 
 Variable Transpose2d(const Variable& a) {
-  return MakeOp("transpose2d", ts::Transpose2d(a.value()), {a}, [](Node& n) {
+  return MakeOp("transpose2d", OpKind::kTranspose2d,
+                ts::Transpose2d(a.value()), {a}, [](Node& n) {
     AccumulateIfNeeded(*n.inputs[0], ts::Transpose2d(n.grad));
   });
 }
 
 Variable TransposeLast2(const Variable& a) {
-  return MakeOp("transpose_last2", ts::TransposeLast2(a.value()), {a},
+  return MakeOp("transpose_last2", OpKind::kTransposeLast2,
+                ts::TransposeLast2(a.value()), {a},
                 [](Node& n) {
                   AccumulateIfNeeded(*n.inputs[0],
                                      ts::TransposeLast2(n.grad));
@@ -327,7 +370,8 @@ Variable TransposeLast2(const Variable& a) {
 }
 
 Variable SoftmaxLastAxis(const Variable& a) {
-  return MakeOp("softmax", ts::SoftmaxLastAxis(a.value()), {a}, [](Node& n) {
+  return MakeOp("softmax", OpKind::kSoftmax, ts::SoftmaxLastAxis(a.value()),
+                {a}, [](Node& n) {
     // dx = y ⊙ (g − Σ_j g_j y_j) per row of the last axis; y = n.value.
     const ts::Tensor& out = n.value;
     ts::Tensor gy = ts::Mul(n.grad, out);
@@ -337,29 +381,34 @@ Variable SoftmaxLastAxis(const Variable& a) {
 }
 
 Variable Conv2d(const Variable& input, const Variable& weight,
-                const tensor::Conv2dSpec& spec) {
+                const tensor::Conv2dSpec& spec, tensor::Conv2dWorkspace* ws) {
+  // `ws` is layer-owned scratch (see nn::Conv2d); the layer outlives every
+  // graph built from it, so the backward closure may capture the pointer.
   return MakeOp(
-      "conv2d", ts::Conv2dForward(input.value(), weight.value(), spec),
-      {input, weight}, [spec](Node& n) {
+      "conv2d", OpKind::kConv2d,
+      ts::Conv2dForward(input.value(), weight.value(), spec, ws),
+      {input, weight}, [spec, ws](Node& n) {
         const ts::Tensor& in = n.inputs[0]->value;
         const ts::Tensor& w = n.inputs[1]->value;
         if (n.inputs[0]->requires_grad) {
           AccumulateGrad(*n.inputs[0], ts::Conv2dBackwardInput(
-                                           n.grad, w, in.shape(), spec));
+                                           n.grad, w, in.shape(), spec, ws));
         }
         if (n.inputs[1]->requires_grad) {
           AccumulateGrad(*n.inputs[1], ts::Conv2dBackwardWeight(
-                                           n.grad, in, w.shape(), spec));
+                                           n.grad, in, w.shape(), spec, ws));
         }
-      });
+      },
+      {.i0 = spec.stride, .i1 = spec.pad});
 }
 
 Variable Reshape(const Variable& a, tensor::Shape new_shape) {
   ts::Tensor out = a.value().Reshape(new_shape);
-  return MakeOp("reshape", std::move(out), {a}, [](Node& n) {
-    AccumulateIfNeeded(*n.inputs[0],
-                       n.grad.Reshape(n.inputs[0]->value.shape()));
-  });
+  return MakeOp("reshape", OpKind::kReshape, std::move(out), {a},
+                [](Node& n) {
+                  AccumulateIfNeeded(*n.inputs[0],
+                                     n.grad.Reshape(n.inputs[0]->value.shape()));
+                });
 }
 
 Variable Flatten2d(const Variable& a) {
@@ -375,43 +424,53 @@ Variable Concat(const std::vector<Variable>& parts, int axis) {
   values.reserve(parts.size());
   for (const Variable& p : parts) values.push_back(p.value());
   ts::Tensor out = ts::Concat(values, axis);
-  return MakeOp("concat", std::move(out), parts, [axis](Node& n) {
-    int64_t offset = 0;
-    for (auto& input : n.inputs) {
-      const int64_t len = input->value.dim(axis);
-      if (input->requires_grad) {
-        AccumulateGrad(*input, ts::Slice(n.grad, axis, offset, len));
-      }
-      offset += len;
-    }
-  });
+  return MakeOp(
+      "concat", OpKind::kConcat, std::move(out), parts,
+      [axis](Node& n) {
+        int64_t offset = 0;
+        for (auto& input : n.inputs) {
+          const int64_t len = input->value.dim(axis);
+          if (input->requires_grad) {
+            AccumulateGrad(*input, ts::Slice(n.grad, axis, offset, len));
+          }
+          offset += len;
+        }
+      },
+      {.i0 = axis});
 }
 
 Variable Slice(const Variable& a, int axis, int64_t start, int64_t len) {
   ts::Tensor out = ts::Slice(a.value(), axis, start, len);
-  return MakeOp("slice", std::move(out), {a}, [axis, start, len](Node& n) {
-    const ts::Shape& in_shape = n.inputs[0]->value.shape();
-    if (!n.inputs[0]->requires_grad) return;
-    // Scatter the slice gradient back into a zero tensor of the input shape.
-    ts::Tensor g(in_shape);
-    int64_t outer = 1;
-    for (int i = 0; i < axis; ++i) outer *= in_shape.dim(i);
-    int64_t inner = 1;
-    for (int i = axis + 1; i < in_shape.rank(); ++i) inner *= in_shape.dim(i);
-    const int64_t mid = in_shape.dim(axis);
-    const float* pg = n.grad.data();
-    float* po = g.mutable_data();
-    for (int64_t o = 0; o < outer; ++o) {
-      std::copy(pg + o * len * inner, pg + (o + 1) * len * inner,
-                po + (o * mid + start) * inner);
-    }
-    AccumulateGrad(*n.inputs[0], g);
-  });
+  return MakeOp(
+      "slice", OpKind::kSlice, std::move(out), {a},
+      [axis, start, len](Node& n) {
+        const ts::Shape& in_shape = n.inputs[0]->value.shape();
+        if (!n.inputs[0]->requires_grad) return;
+        // Scatter the slice gradient back into a zero tensor of the input
+        // shape.
+        ts::Tensor g(in_shape);
+        int64_t outer = 1;
+        for (int i = 0; i < axis; ++i) outer *= in_shape.dim(i);
+        int64_t inner = 1;
+        for (int i = axis + 1; i < in_shape.rank(); ++i) {
+          inner *= in_shape.dim(i);
+        }
+        const int64_t mid = in_shape.dim(axis);
+        const float* pg = n.grad.data();
+        float* po = g.mutable_data();
+        for (int64_t o = 0; o < outer; ++o) {
+          std::copy(pg + o * len * inner, pg + (o + 1) * len * inner,
+                    po + (o * mid + start) * inner);
+        }
+        AccumulateGrad(*n.inputs[0], g);
+      },
+      {.i0 = axis, .i1 = start, .i2 = len});
 }
 
 Variable AvgPool2d(const Variable& a, int64_t window) {
   ts::Tensor out = ts::AvgPool2d(a.value(), window);
-  return MakeOp("avg_pool2d", std::move(out), {a}, [window](Node& n) {
+  return MakeOp("avg_pool2d", OpKind::kAvgPool, std::move(out), {a},
+                [window](Node& n) {
     // Each input element receives grad/out · 1/window².
     const ts::Shape& in_shape = n.inputs[0]->value.shape();
     ts::Tensor g = ts::Tensor::Uninitialized(in_shape);
@@ -431,21 +490,25 @@ Variable AvgPool2d(const Variable& a, int64_t window) {
       }
     }
     AccumulateIfNeeded(*n.inputs[0], g);
-  });
+  },
+  {.i0 = window});
 }
 
 Variable MaxPool2d(const Variable& a, int64_t window) {
   auto argmax = std::make_shared<std::vector<int64_t>>();
   ts::Tensor out = ts::MaxPool2d(a.value(), window, argmax.get());
-  return MakeOp("max_pool2d", std::move(out), {a}, [argmax](Node& n) {
-    ts::Tensor g(n.inputs[0]->value.shape());
-    float* po = g.mutable_data();
-    const float* pg = n.grad.data();
-    for (size_t i = 0; i < argmax->size(); ++i) {
-      po[(*argmax)[i]] += pg[static_cast<int64_t>(i)];
-    }
-    AccumulateIfNeeded(*n.inputs[0], g);
-  });
+  return MakeOp(
+      "max_pool2d", OpKind::kMaxPool, std::move(out), {a},
+      [argmax](Node& n) {
+        ts::Tensor g(n.inputs[0]->value.shape());
+        float* po = g.mutable_data();
+        const float* pg = n.grad.data();
+        for (size_t i = 0; i < argmax->size(); ++i) {
+          po[(*argmax)[i]] += pg[static_cast<int64_t>(i)];
+        }
+        AccumulateIfNeeded(*n.inputs[0], g);
+      },
+      {.i0 = window});
 }
 
 }  // namespace musenet::autograd

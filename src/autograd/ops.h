@@ -72,9 +72,12 @@ Variable Transpose2d(const Variable& a);
 Variable TransposeLast2(const Variable& a);
 Variable SoftmaxLastAxis(const Variable& a);
 
-/// 2-D convolution: input [B,Cin,H,W] ⊛ weight [Cout,Cin,kh,kw].
+/// 2-D convolution: input [B,Cin,H,W] ⊛ weight [Cout,Cin,kh,kw]. `ws`
+/// (optional, layer-owned, must outlive the graph) reuses im2col scratch
+/// across calls instead of borrowing from the storage pool.
 Variable Conv2d(const Variable& input, const Variable& weight,
-                const tensor::Conv2dSpec& spec);
+                const tensor::Conv2dSpec& spec,
+                tensor::Conv2dWorkspace* ws = nullptr);
 
 // --- Structural ----------------------------------------------------------------
 

@@ -36,6 +36,51 @@ void AccumulateGrad(Node& node, tensor::Tensor&& g) {
   }
 }
 
+namespace {
+// Depth counters instead of booleans so scopes nest without bookkeeping.
+thread_local int t_no_grad_depth = 0;
+thread_local int t_forbid_depth = 0;
+thread_local int t_enable_depth = 0;
+}  // namespace
+
+NoGradGuard::NoGradGuard(Mode mode) : mode_(mode) {
+  switch (mode_) {
+    case Mode::kSkip:
+      ++t_no_grad_depth;
+      break;
+    case Mode::kForbid:
+      ++t_no_grad_depth;
+      ++t_forbid_depth;
+      break;
+    case Mode::kEnable:
+      ++t_enable_depth;
+      break;
+  }
+}
+
+NoGradGuard::~NoGradGuard() {
+  switch (mode_) {
+    case Mode::kSkip:
+      --t_no_grad_depth;
+      break;
+    case Mode::kForbid:
+      --t_no_grad_depth;
+      --t_forbid_depth;
+      break;
+    case Mode::kEnable:
+      --t_enable_depth;
+      break;
+  }
+}
+
+bool NoGradGuard::Active() {
+  // Forbid always wins; otherwise an enable scope re-arms graph building.
+  if (t_forbid_depth > 0) return true;
+  return t_no_grad_depth > 0 && t_enable_depth == 0;
+}
+
+bool NoGradGuard::ForbidActive() { return t_forbid_depth > 0; }
+
 Variable::Variable(tensor::Tensor value, bool requires_grad)
     : node_(std::make_shared<Node>()) {
   node_->value = std::move(value);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "autograd/op_kind.h"
 #include "tensor/tensor.h"
 
 namespace musenet::autograd {
@@ -24,6 +25,8 @@ struct Node {
   std::vector<std::shared_ptr<Node>> inputs;
   std::function<void(Node&)> backward;  ///< Null for leaves.
   const char* op_name = "leaf";
+  OpKind kind = OpKind::kLeaf;  ///< Machine-readable op identity (op_kind.h).
+  OpAttrs attrs;                ///< Scalar attributes for `kind`.
 };
 
 /// Adds `g` into `node`'s gradient accumulator. `g` must match the node
@@ -77,6 +80,43 @@ class Variable {
 
  private:
   std::shared_ptr<Node> node_;
+};
+
+/// Scoped suppression (or prohibition) of graph construction, per thread.
+///
+/// In the default `kSkip` mode, every differentiable op inside the scope
+/// produces a value-only node: no inputs, no backward closure,
+/// requires_grad=false. Forward math is unchanged; Backward through such a
+/// node is simply a no-op past it. Use it around evaluation so offline
+/// prediction stops retaining graphs.
+///
+/// `kForbid` mode turns any op creation inside the scope into a hard error
+/// (MUSE_CHECK failure). The inference engine runs under a forbid scope:
+/// graph-free execution is a contract there, not an optimization, and a
+/// stray autograd op would silently reintroduce allocations.
+///
+/// `kEnable` mode re-enables graph construction inside an enclosing kSkip
+/// scope (the planner's one-time trace needs full graphs even when called
+/// from a no-grad evaluation loop). It does not override kForbid.
+///
+/// Scopes nest arbitrarily; forbid dominates everything while active.
+class NoGradGuard {
+ public:
+  enum class Mode { kSkip, kForbid, kEnable };
+
+  explicit NoGradGuard(Mode mode = Mode::kSkip);
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// True when any guard is active on this thread (ops skip graph building).
+  static bool Active();
+  /// True when a forbid-mode guard is active on this thread.
+  static bool ForbidActive();
+
+ private:
+  Mode mode_;
 };
 
 /// Runs reverse-mode differentiation from `output`, which must be a scalar

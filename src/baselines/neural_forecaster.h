@@ -36,6 +36,12 @@ class NeuralForecaster : public nn::Module, public eval::Forecaster {
 
   tensor::Tensor Predict(const data::Batch& batch) override;
 
+  /// Every neural baseline shares ForwardPredict, so the inference planner
+  /// traces them all through this one hook.
+  autograd::Variable PlanForward(const data::Batch& batch) override {
+    return ForwardPredict(batch);
+  }
+
  protected:
   /// Differentiable prediction [B, 2, H, W] in [-1, 1].
   virtual autograd::Variable ForwardPredict(const data::Batch& batch) = 0;

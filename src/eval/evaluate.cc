@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "autograd/variable.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -12,6 +13,9 @@ FlowMetrics EvaluateOnIndices(Forecaster& model,
                               const std::vector<int64_t>& base_indices,
                               TimeBucket bucket, int batch_size) {
   MUSE_CHECK_GT(batch_size, 0);
+  // Evaluation never backpropagates; skip-mode keeps Predict's graphs from
+  // retaining inputs/backward closures (planned engines build none at all).
+  autograd::NoGradGuard no_grad(autograd::NoGradGuard::Mode::kSkip);
   MetricAccumulator out_acc;
   MetricAccumulator in_acc;
   const auto& flows = dataset.flows();
@@ -58,6 +62,7 @@ PredictionSeries CollectPredictions(Forecaster& model,
                                     const std::vector<int64_t>& base_indices,
                                     int batch_size) {
   MUSE_CHECK_GT(batch_size, 0);
+  autograd::NoGradGuard no_grad(autograd::NoGradGuard::Mode::kSkip);
   PredictionSeries series;
   std::vector<tensor::Tensor> preds;
   std::vector<tensor::Tensor> truths;

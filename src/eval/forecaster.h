@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "autograd/variable.h"
 #include "data/dataset.h"
 #include "tensor/tensor.h"
 
@@ -82,6 +83,19 @@ class Forecaster {
 
   /// Predicts the scaled ([-1,1]) target frames for a batch: [B, 2, H, W].
   virtual tensor::Tensor Predict(const data::Batch& batch) = 0;
+
+  /// Planning hook for the graph-free inference engine (musenet::infer).
+  ///
+  /// Runs the model's deterministic eval-mode forward on `batch` and returns
+  /// the prediction Variable with its graph intact, so the planner can walk
+  /// the producing ops and compile a static execution plan. The returned
+  /// value must equal Predict(batch) on the same inputs. Models without a
+  /// traceable forward (e.g. HistoricalAverage) keep the default empty
+  /// Variable, which makes the engine fall back to Predict.
+  virtual autograd::Variable PlanForward(const data::Batch& batch) {
+    (void)batch;
+    return autograd::Variable();
+  }
 };
 
 }  // namespace musenet::eval

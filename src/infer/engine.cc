@@ -1,0 +1,287 @@
+#include "infer/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "infer/kernels.h"
+#include "nn/module.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace musenet::infer {
+
+namespace ag = musenet::autograd;
+namespace ts = musenet::tensor;
+
+Engine::Engine(eval::Forecaster& model)
+    : model_(model),
+      // Cached once: registry lookups build std::string keys, which would
+      // break the zero-allocation contract if done per run.
+      runs_(&obs::GetCounter("infer.engine.runs")),
+      sharded_runs_(&obs::GetCounter("infer.engine.sharded_runs")),
+      fallbacks_(&obs::GetCounter("infer.engine.fallbacks")) {}
+
+bool Engine::BuildInstance(const data::Batch& batch, PlanInstance* inst) {
+  // One-time planning pass: put the model in eval mode (deterministic
+  // BN/dropout behavior — also what Predict uses), trace the forward with
+  // the graph intact, and compile it.
+  obs::ScopedSpan span("infer.plan.build", "batch", batch.batch_size());
+  if (auto* module = dynamic_cast<nn::Module*>(&model_)) {
+    module->SetTraining(false);
+  }
+  // The trace needs node->inputs intact even when the caller (an evaluation
+  // loop) holds a skip-mode NoGradGuard.
+  ag::NoGradGuard enable_graph(ag::NoGradGuard::Mode::kEnable);
+  ag::Variable traced = model_.PlanForward(batch);
+  if (!traced.defined()) return false;
+  Result<Plan> plan = BuildPlan(traced, batch);
+  // !ok: an op outside the planner's kind set; callers fall back.
+  if (!plan.ok()) return false;
+  inst->plan = std::move(plan).value();
+  inst->arena.resize(static_cast<size_t>(inst->plan.arena_elems));
+  inst->ptrs.resize(inst->plan.buffers.size(), nullptr);
+  // Arena and constant pointers never move; resolve them once. Weights and
+  // inputs are refreshed every run, aliases after that.
+  for (size_t i = 0; i < inst->plan.buffers.size(); ++i) {
+    PlanBuffer& buf = inst->plan.buffers[i];
+    if (buf.loc == BufLoc::kArena) {
+      inst->ptrs[i] = inst->arena.data() + buf.arena_offset;
+    } else if (buf.loc == BufLoc::kConstant) {
+      inst->ptrs[i] = buf.constant.data();
+    }
+  }
+  return true;
+}
+
+Engine::PlanInstance* Engine::GetOrBuild(const data::Batch& batch) {
+  const int64_t bsz = batch.batch_size();
+  auto it = plans_.find(bsz);
+  if (it != plans_.end()) return &it->second;
+  if (fallback_.count(bsz) != 0) return nullptr;
+
+  PlanInstance inst;
+  if (!BuildInstance(batch, &inst)) {
+    fallback_[bsz] = true;
+    return nullptr;
+  }
+  auto [pos, inserted] = plans_.emplace(bsz, std::move(inst));
+  MUSE_CHECK(inserted);
+  return &pos->second;
+}
+
+int64_t Engine::PickLanes(int64_t batch_size, int64_t threads) {
+  if (threads <= 1 || batch_size <= 1) return 1;
+  for (int64_t lanes = std::min(batch_size, threads); lanes >= 2; --lanes) {
+    if (batch_size % lanes == 0) return lanes;
+  }
+  return 1;
+}
+
+Engine::ShardSet* Engine::GetOrBuildShards(const data::Batch& batch) {
+  const int64_t bsz = batch.batch_size();
+  auto it = shard_sets_.find(bsz);
+  if (it != shard_sets_.end()) return &it->second;
+  if (shard_fallback_.count(bsz) != 0) return nullptr;
+  const int64_t lanes =
+      PickLanes(bsz, util::ActivePool().num_threads());
+  if (lanes <= 1) return nullptr;
+
+  // Trace once per lane on the leading shard of the batch; every lane gets
+  // an identical plan but a private arena + pointer table, so the lanes can
+  // replay concurrently without sharing any mutable state.
+  obs::ScopedSpan span("infer.plan.shard_build", "lanes", lanes);
+  const int64_t shard = bsz / lanes;
+  data::Batch sub;
+  sub.closeness = ts::Slice(batch.closeness, 0, 0, shard);
+  sub.period = ts::Slice(batch.period, 0, 0, shard);
+  sub.trend = ts::Slice(batch.trend, 0, 0, shard);
+  sub.target = ts::Slice(batch.target, 0, 0, shard);
+  const int64_t idx_take = std::min<int64_t>(
+      shard, static_cast<int64_t>(batch.target_indices.size()));
+  sub.target_indices.assign(batch.target_indices.begin(),
+                            batch.target_indices.begin() + idx_take);
+  ShardSet set;
+  set.shard_size = shard;
+  set.lanes.resize(static_cast<size_t>(lanes));
+  for (PlanInstance& lane : set.lanes) {
+    if (!BuildInstance(sub, &lane)) {
+      shard_fallback_[bsz] = true;
+      return nullptr;
+    }
+  }
+  std::vector<int64_t> dims = set.lanes[0].plan.out_shape.dims();
+  dims[0] = bsz;
+  set.out_shape = ts::Shape(std::move(dims));
+
+  // Validate the per-sample-purity assumption end-to-end before trusting the
+  // sharded path: a graph with any cross-sample op (a batch-axis reduction,
+  // train-mode BN, ...) produces different numbers when split, and must run
+  // on the full-batch plan instead.
+  ts::Tensor got = ts::Tensor::Uninitialized(set.out_shape);
+  RunSharded(set, batch, got.mutable_data());
+  const ts::Tensor ref = model_.Predict(batch);
+  float worst = 0.0f;
+  for (int64_t i = 0; i < ref.num_elements(); ++i) {
+    worst = std::max(worst, std::abs(got.flat(i) - ref.flat(i)));
+  }
+  if (!(worst <= 1e-5f)) {
+    shard_fallback_[bsz] = true;
+    return nullptr;
+  }
+  auto [pos, inserted] = shard_sets_.emplace(bsz, std::move(set));
+  MUSE_CHECK(inserted);
+  return &pos->second;
+}
+
+void Engine::Run(PlanInstance& inst, const data::Batch& batch, float* out) {
+  const float* inputs[3] = {batch.closeness.data(), batch.period.data(),
+                            batch.trend.data()};
+  RunWithInputs(inst, inputs, out);
+  runs_->Add();
+}
+
+void Engine::RunWithInputs(PlanInstance& inst, const float* const inputs[3],
+                           float* out) {
+  // Hard error if anything inside the engine touches autograd: MakeOp
+  // checks this guard and aborts, so a planned run provably builds no
+  // graph nodes. The guard is thread-local, so it lives here (inside the
+  // shard lane) rather than in the dispatching thread.
+  ag::NoGradGuard no_graph(ag::NoGradGuard::Mode::kForbid);
+  obs::ScopedSpan span("infer.run", "steps",
+                       static_cast<int64_t>(inst.plan.steps.size()));
+
+  for (size_t i = 0; i < inst.plan.buffers.size(); ++i) {
+    const PlanBuffer& buf = inst.plan.buffers[i];
+    switch (buf.loc) {
+      case BufLoc::kArena:
+      case BufLoc::kConstant:
+        break;  // Resolved at build time; storage never moves.
+      case BufLoc::kWeight:
+        // The kernels never write through input pointers; const_cast only
+        // reuses the shared float* buffer table.
+        inst.ptrs[i] = const_cast<float*>(buf.weight->value.data());
+        break;
+      case BufLoc::kInput:
+        inst.ptrs[i] = const_cast<float*>(inputs[buf.input_index]);
+        break;
+      case BufLoc::kAlias:
+        inst.ptrs[i] = inst.ptrs[buf.alias_of];  // alias_of < i always.
+        break;
+    }
+  }
+  for (const Step& step : inst.plan.steps) {
+    // Near-zero-cost when tracing is off (one relaxed atomic load); with
+    // --trace-out every plan stage shows up as its own span.
+    obs::ScopedSpan step_span(step.op_name);
+    RunStep(step, inst.ptrs.data());
+  }
+  const PlanBuffer& root = inst.plan.buffers[inst.plan.root];
+  std::memcpy(out, inst.ptrs[inst.plan.root],
+              sizeof(float) * static_cast<size_t>(root.elems));
+}
+
+void Engine::RunSharded(ShardSet& set, const data::Batch& batch, float* out) {
+  const int64_t lanes = static_cast<int64_t>(set.lanes.size());
+  obs::ScopedSpan span("infer.run.sharded", "lanes", lanes);
+  const int64_t n = batch.batch_size();
+  // Axis-0 slices of the contiguous [B, C, H, W] inputs are contiguous, so
+  // each lane's inputs are plain base-pointer offsets — no gather needed.
+  const int64_t per[3] = {batch.closeness.num_elements() / n,
+                          batch.period.num_elements() / n,
+                          batch.trend.num_elements() / n};
+  const float* base[3] = {batch.closeness.data(), batch.period.data(),
+                          batch.trend.data()};
+  const int64_t shard = set.shard_size;
+  const int64_t out_per_lane =
+      set.lanes[0].plan.buffers[set.lanes[0].plan.root].elems;
+  // One pool dispatch for the whole inference. Kernels inside a lane see a
+  // nested parallel region and run inline, so per-op dispatch overhead —
+  // which dominates at serving tensor sizes — is paid exactly once.
+  util::ActivePool().ParallelFor(0, lanes, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t lane = lo; lane < hi; ++lane) {
+      const float* inputs[3] = {base[0] + lane * shard * per[0],
+                                base[1] + lane * shard * per[1],
+                                base[2] + lane * shard * per[2]};
+      RunWithInputs(set.lanes[static_cast<size_t>(lane)], inputs,
+                    out + lane * out_per_lane);
+    }
+  });
+  runs_->Add();
+  sharded_runs_->Add();
+}
+
+tensor::Tensor Engine::Predict(const data::Batch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ShardSet* set = GetOrBuildShards(batch)) {
+    ts::Tensor out = ts::Tensor::Uninitialized(set->out_shape);
+    RunSharded(*set, batch, out.mutable_data());
+    return out;
+  }
+  PlanInstance* inst = GetOrBuild(batch);
+  if (inst == nullptr) {
+    fallbacks_->Add();
+    return model_.Predict(batch);
+  }
+  ts::Tensor out = ts::Tensor::Uninitialized(inst->plan.out_shape);
+  Run(*inst, batch, out.mutable_data());
+  return out;
+}
+
+Status Engine::PredictInto(const data::Batch& batch, tensor::Tensor* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sit = shard_sets_.find(batch.batch_size());
+  if (sit != shard_sets_.end()) {
+    if (!(out->shape() == sit->second.out_shape)) {
+      return Status::InvalidArgument("PredictInto: output shape mismatch");
+    }
+    RunSharded(sit->second, batch, out->mutable_data());
+    return Status::OK();
+  }
+  auto it = plans_.find(batch.batch_size());
+  if (it == plans_.end()) {
+    return Status::FailedPrecondition(
+        "PredictInto requires a warm plan: call Predict once first");
+  }
+  PlanInstance& inst = it->second;
+  if (!(out->shape() == inst.plan.out_shape)) {
+    return Status::InvalidArgument("PredictInto: output shape mismatch");
+  }
+  Run(inst, batch, out->mutable_data());
+  return Status::OK();
+}
+
+void Engine::InvalidatePlans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  shard_sets_.clear();
+  fallback_.clear();
+  shard_fallback_.clear();
+}
+
+const Plan* Engine::plan_for(int64_t batch_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(batch_size);
+  return it == plans_.end() ? nullptr : &it->second.plan;
+}
+
+int64_t Engine::shard_lanes_for(int64_t batch_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shard_sets_.find(batch_size);
+  return it == shard_sets_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.lanes.size());
+}
+
+bool Engine::fallback_for(int64_t batch_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fallback_.count(batch_size) != 0;
+}
+
+}  // namespace musenet::infer

@@ -1,0 +1,170 @@
+#ifndef MUSENET_INFER_ENGINE_H_
+#define MUSENET_INFER_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "infer/plan.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace musenet::obs {
+class Counter;
+}  // namespace musenet::obs
+
+namespace musenet::infer {
+
+/// Graph-free inference engine over a forecaster.
+///
+/// The first Predict at a given batch size traces the model's eval-mode
+/// forward once (PlanForward), compiles it to a static Plan, and sizes a
+/// private arena for it. Every later run at that batch size replays the flat
+/// step list under a forbid-mode autograd::NoGradGuard — building a graph
+/// node inside the engine is a hard error — and performs zero heap
+/// allocations (see PredictInto). Weight pointers are re-resolved from the
+/// traced parameter nodes on every run, so optimizer steps and
+/// LoadStateDict take effect without replanning; structural changes require
+/// InvalidatePlans().
+///
+/// Models whose PlanForward returns an empty Variable (HistoricalAverage) or
+/// whose graph contains an op outside the planner's kind set fall back to
+/// the model's own Predict, so the engine is safe to wrap around any
+/// Forecaster.
+///
+/// Batched requests scale across threads by sharding, not by intra-op
+/// parallelism: at serving tensor sizes a per-op ParallelFor dispatch costs
+/// more than the op itself, so a batch of n is split into `lanes`
+/// equal shards (lanes = largest divisor of n ≤ the active pool's thread
+/// count), each lane replaying a shard-sized plan sequentially on its own
+/// private arena — one pool dispatch per inference instead of one per op.
+/// Sharding assumes the eval forward treats axis 0 as a pure batch axis
+/// (true for every model here: eval-mode BN uses running stats and no op
+/// reduces across samples). The assumption is not trusted: the first sharded
+/// run at a batch size is validated against the model's own Predict at plan
+/// build time, and on mismatch the engine permanently falls back to the
+/// unsharded full-batch plan for that size.
+class Engine {
+ public:
+  explicit Engine(eval::Forecaster& model);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Planned prediction for `batch`; plans lazily on first use per batch
+  /// size. Falls back to `model.Predict` when the model is not plannable.
+  tensor::Tensor Predict(const data::Batch& batch);
+
+  /// Zero-allocation planned prediction into a caller-owned tensor. Requires
+  /// a warm plan for this batch size (a prior Predict) and `out` already
+  /// materialized at the plan's output shape; fails with FailedPrecondition
+  /// otherwise instead of silently allocating.
+  Status PredictInto(const data::Batch& batch, tensor::Tensor* out);
+
+  /// Drops all compiled plans (e.g. after structural model changes or
+  /// further training with a different architecture). Plans rebuild lazily.
+  void InvalidatePlans();
+
+  /// Plan compiled for `batch_size`, or nullptr (not yet built / fallback).
+  const Plan* plan_for(int64_t batch_size) const;
+
+  /// Number of shard lanes serving `batch_size`, or 0 when that size runs
+  /// unsharded (full-batch plan, fallback, or not yet built).
+  int64_t shard_lanes_for(int64_t batch_size) const;
+
+  /// True when the last Predict at this batch size used the model fallback.
+  bool fallback_for(int64_t batch_size) const;
+
+ private:
+  struct PlanInstance {
+    Plan plan;
+    std::vector<float> arena;
+    std::vector<float*> ptrs;  ///< Resolved per run; sized to plan.buffers.
+  };
+
+  /// Independent replay lanes for one batch size: lane i computes samples
+  /// [i·shard_size, (i+1)·shard_size) on its own plan instance and arena.
+  struct ShardSet {
+    int64_t shard_size = 0;
+    tensor::Shape out_shape;  ///< Full-batch prediction shape.
+    std::vector<PlanInstance> lanes;
+  };
+
+  /// Traces + compiles a plan for `batch` into `inst`. False when the model
+  /// is unplannable at this shape (caller decides how to fall back).
+  bool BuildInstance(const data::Batch& batch, PlanInstance* inst);
+
+  /// Returns the instance for the batch's size, building it on first use.
+  /// nullptr means "use the model fallback" (also cached).
+  PlanInstance* GetOrBuild(const data::Batch& batch);
+
+  /// Returns the shard set for the batch's size, building (and validating)
+  /// it on first use. nullptr means "run unsharded": single-threaded pool,
+  /// indivisible batch, unplannable model, or failed validation.
+  ShardSet* GetOrBuildShards(const data::Batch& batch);
+
+  /// Replays the step list into `out` (the plan's output storage).
+  void Run(PlanInstance& inst, const data::Batch& batch, float* out);
+
+  /// Core replay: refreshes the pointer table from `inputs` (per-sample
+  /// base pointers for closeness/period/trend) and executes the steps.
+  void RunWithInputs(PlanInstance& inst, const float* const inputs[3],
+                     float* out);
+
+  /// Replays every lane of `set` across the active pool (one dispatch).
+  void RunSharded(ShardSet& set, const data::Batch& batch, float* out);
+
+  /// Largest divisor of `batch_size` that is ≤ `threads` (1 = don't shard).
+  static int64_t PickLanes(int64_t batch_size, int64_t threads);
+
+  eval::Forecaster& model_;
+  mutable std::mutex mu_;
+  std::map<int64_t, PlanInstance> plans_;
+  std::map<int64_t, ShardSet> shard_sets_;
+  std::map<int64_t, bool> fallback_;  ///< Batch sizes that are unplannable.
+  std::map<int64_t, bool> shard_fallback_;  ///< Failed shard validation.
+  obs::Counter* runs_;                ///< infer.engine.runs
+  obs::Counter* sharded_runs_;        ///< infer.engine.sharded_runs
+  obs::Counter* fallbacks_;           ///< infer.engine.fallbacks
+};
+
+/// Drop-in Forecaster that routes Predict through an Engine while delegating
+/// everything else to the wrapped model. Train invalidates compiled plans
+/// (training may be preceded by architecture-affecting setup); weight-only
+/// updates would not have required it, but retraining is rare and replanning
+/// is one forward pass.
+class EngineForecaster : public eval::Forecaster {
+ public:
+  explicit EngineForecaster(eval::Forecaster& inner)
+      : inner_(inner), engine_(inner) {}
+
+  std::string name() const override { return inner_.name(); }
+
+  void Train(const data::TrafficDataset& dataset,
+             const eval::TrainConfig& config) override {
+    inner_.Train(dataset, config);
+    engine_.InvalidatePlans();
+  }
+
+  tensor::Tensor Predict(const data::Batch& batch) override {
+    return engine_.Predict(batch);
+  }
+
+  autograd::Variable PlanForward(const data::Batch& batch) override {
+    return inner_.PlanForward(batch);
+  }
+
+  Engine& engine() { return engine_; }
+
+ private:
+  eval::Forecaster& inner_;
+  Engine engine_;
+};
+
+}  // namespace musenet::infer
+
+#endif  // MUSENET_INFER_ENGINE_H_

@@ -1,0 +1,535 @@
+#include "infer/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/kernel_util.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace musenet::infer {
+
+namespace ag = musenet::autograd;
+namespace ts = musenet::tensor;
+
+namespace {
+
+// Every kernel here mirrors its tensor_ops.cc / fused_ops.cc counterpart's
+// per-element arithmetic exactly (same scalar formulas, same accumulation
+// chains, same GEMM entry points), so a planned run is bit-identical to the
+// autograd forward it was traced from. Parallel fan-out is used only where
+// elements are independent or where the training kernels fan out the same
+// way (per-sample conv/batched-GEMM), which keeps results thread-count
+// independent as well.
+
+template <typename Fn>
+void UnaryMap(const Step& step, float* const* bufs, Fn fn) {
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  ts::MaybeParallelFor(step.geom.n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+  });
+}
+
+// True when strides `s` address an operand that is dense over the full
+// output shape (stride equals the suffix product wherever the dim is > 1).
+inline bool ContigOver(const StepGeom& geom, const int64_t* s) {
+  int64_t expect = 1;
+  for (int axis = geom.rank - 1; axis >= 0; --axis) {
+    if (geom.dims[axis] > 1 && s[axis] != expect) return false;
+    expect *= geom.dims[axis];
+  }
+  return true;
+}
+
+// True when strides `s` address a per-channel operand — one broadcast axis
+// carrying a dense vector ([1, C, 1, 1] against [N, C, H, W]), zeros
+// everywhere else. The operand's element for flat output index i is then
+// `(i / inner) % period`, the same indexing RunBiasAct uses.
+inline bool PeriodicOver(const StepGeom& geom, const int64_t* s,
+                         int64_t* inner, int64_t* period) {
+  int cax = -1;
+  int64_t suffix = 1;
+  int64_t cax_inner = 0;
+  for (int axis = geom.rank - 1; axis >= 0; --axis) {
+    if (s[axis] != 0 && geom.dims[axis] > 1) {
+      if (cax != -1 || s[axis] != 1) return false;
+      cax = axis;
+      cax_inner = suffix;
+    }
+    suffix *= geom.dims[axis];
+  }
+  if (cax == -1) return false;
+  *inner = cax_inner;
+  *period = geom.dims[cax];
+  return true;
+}
+
+template <typename Fn>
+void BinaryMap(const Step& step, float* const* bufs, Fn fn) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  const float* pb = bufs[step.in[1]];
+  float* po = bufs[step.out];
+  if (geom.same_shape) {
+    ts::MaybeParallelFor(geom.n, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+    });
+    return;
+  }
+  if (geom.a_scalar) {
+    const float s = pa[0];
+    ts::MaybeParallelFor(geom.n, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(s, pb[i]);
+    });
+    return;
+  }
+  if (geom.b_scalar) {
+    const float s = pb[0];
+    ts::MaybeParallelFor(geom.n, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], s);
+    });
+    return;
+  }
+  // Channel-broadcast fast paths: eval-mode BN folds to chains of
+  // (x − mean)·inv_std·γ + β with [1, C, 1, 1] operands, which dominate the
+  // non-conv time of a planned run; the generic odometer below walks a
+  // multi-index per element and runs ~4x slower. Per-element values are
+  // identical either way (no accumulation), so results stay bit-equal.
+  int64_t inner = 0;
+  int64_t period = 0;
+  if (ContigOver(geom, geom.sa) &&
+      PeriodicOver(geom, geom.sb, &inner, &period)) {
+    ts::MaybeParallelFor(geom.n, [&](int64_t lo, int64_t hi) {
+      int64_t i = lo;
+      while (i < hi) {
+        const int64_t block = i / inner;
+        const float bv = pb[block % period];
+        const int64_t stop = std::min(hi, (block + 1) * inner);
+        for (; i < stop; ++i) po[i] = fn(pa[i], bv);
+      }
+    });
+    return;
+  }
+  if (ContigOver(geom, geom.sb) &&
+      PeriodicOver(geom, geom.sa, &inner, &period)) {
+    ts::MaybeParallelFor(geom.n, [&](int64_t lo, int64_t hi) {
+      int64_t i = lo;
+      while (i < hi) {
+        const int64_t block = i / inner;
+        const float av = pa[block % period];
+        const int64_t stop = std::min(hi, (block + 1) * inner);
+        for (; i < stop; ++i) po[i] = fn(av, pb[i]);
+      }
+    });
+    return;
+  }
+  // General broadcast: odometer over the output multi-index, seeded per
+  // chunk (mirrors BroadcastBinary's generic path; each element's value is
+  // fn of its two source elements, so the blocked fast paths it also has
+  // cannot change results).
+  const int rank = geom.rank;
+  ts::MaybeParallelFor(geom.n, [&](int64_t lo, int64_t hi) {
+    int64_t index[8] = {0};
+    int64_t offset_a = 0;
+    int64_t offset_b = 0;
+    int64_t rem = lo;
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      index[axis] = rem % geom.dims[axis];
+      rem /= geom.dims[axis];
+      offset_a += index[axis] * geom.sa[axis];
+      offset_b += index[axis] * geom.sb[axis];
+    }
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = fn(pa[offset_a], pb[offset_b]);
+      for (int axis = rank - 1; axis >= 0; --axis) {
+        ++index[axis];
+        offset_a += geom.sa[axis];
+        offset_b += geom.sb[axis];
+        if (index[axis] < geom.dims[axis]) break;
+        index[axis] = 0;
+        offset_a -= geom.sa[axis] * geom.dims[axis];
+        offset_b -= geom.sb[axis] * geom.dims[axis];
+      }
+    }
+  });
+}
+
+void RunBiasAct(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const auto act = static_cast<ts::ActKind>(step.attrs.i0);
+  const float alpha = step.attrs.f0;
+  const float* px = bufs[step.in[0]];
+  const float* pb = bufs[step.in[1]];
+  float* po = bufs[step.out];
+  const int64_t channels = geom.channels;
+  const int64_t inner = geom.bias_inner;
+  ts::MaybeParallelFor(geom.n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float pre = px[i] + pb[(i / inner) % channels];
+      switch (act) {
+        case ts::ActKind::kIdentity:
+          po[i] = pre;
+          break;
+        case ts::ActKind::kRelu:
+          po[i] = pre > 0.0f ? pre : 0.0f;
+          break;
+        case ts::ActKind::kLeakyRelu:
+          po[i] = pre > 0.0f ? pre : alpha * pre;
+          break;
+        case ts::ActKind::kTanh:
+          po[i] = std::tanh(pre);
+          break;
+        case ts::ActKind::kSigmoid:
+          po[i] = ts::SigmoidScalar(pre);
+          break;
+      }
+    }
+  });
+}
+
+void RunSumAll(const Step& step, float* const* bufs) {
+  // Same summation tree as tensor_ops::SumAll (fixed kParallelGrain chunk
+  // partials combined in chunk order), evaluated without the partial vector.
+  const float* pa = bufs[step.in[0]];
+  const int64_t n = step.geom.n;
+  double total = 0.0;
+  for (int64_t lo = 0; lo < n; lo += ts::kParallelGrain) {
+    const int64_t hi = std::min(n, lo + ts::kParallelGrain);
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += pa[i];
+    total += acc;
+  }
+  bufs[step.out][0] = static_cast<float>(total);
+}
+
+void RunSumAxis(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  const int64_t mid = geom.mid;
+  const int64_t inner = geom.inner;
+  ts::MaybeParallelFor(geom.outer * inner, [&](int64_t lo, int64_t hi) {
+    for (int64_t e = lo; e < hi; ++e) {
+      const int64_t o = e / inner;
+      const int64_t in = e % inner;
+      double total = 0.0;
+      for (int64_t m = 0; m < mid; ++m) {
+        total += pa[(o * mid + m) * inner + in];
+      }
+      po[e] = static_cast<float>(total);
+    }
+  });
+}
+
+void RunSoftmax(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  const int64_t n = geom.mid;
+  ts::MaybeParallelFor(geom.outer, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = pa + r * n;
+      float* dst = po + r * n;
+      float max_val = row[0];
+      for (int64_t j = 1; j < n; ++j) max_val = std::max(max_val, row[j]);
+      double total = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        dst[j] = std::exp(row[j] - max_val);
+        total += dst[j];
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      for (int64_t j = 0; j < n; ++j) dst[j] *= inv;
+    }
+  });
+}
+
+void RunMatMul(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  float* po = bufs[step.out];
+  std::memset(po, 0, sizeof(float) * static_cast<size_t>(geom.m * geom.cols));
+  float* pack = step.scratch >= 0 ? bufs[step.scratch] : nullptr;
+  ts::GemmAccF32(geom.m, geom.cols, geom.k, bufs[step.in[0]], geom.k,
+                 bufs[step.in[1]], geom.cols, po, geom.cols, pack);
+}
+
+void RunMatMulBatched(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  const float* pb = bufs[step.in[1]];
+  float* po = bufs[step.out];
+  float* scratch = step.scratch >= 0 ? bufs[step.scratch] : nullptr;
+  const int64_t m = geom.m;
+  const int64_t k = geom.k;
+  const int64_t n = geom.cols;
+  std::memset(po, 0,
+              sizeof(float) * static_cast<size_t>(geom.batch * m * n));
+  util::ActivePool().ParallelFor(0, geom.batch, 1,
+                                 [&](int64_t b0, int64_t b1) {
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      float* pack =
+          scratch != nullptr ? scratch + bi * geom.pack_elems : nullptr;
+      ts::GemmAccF32(m, n, k, pa + bi * m * k, k, pb + bi * k * n, n,
+                     po + bi * m * n, n, pack);
+    }
+  });
+}
+
+void RunConv2d(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pin = bufs[step.in[0]];
+  const float* pw = bufs[step.in[1]];
+  float* po = bufs[step.out];
+  float* scratch = bufs[step.scratch];
+  const int64_t kdim = geom.cin * geom.kh * geom.kw;
+  const int64_t osp = geom.oh * geom.ow;
+  const int64_t stride = step.attrs.i0;
+  const int64_t pad = step.attrs.i1;
+  const int64_t per_sample = geom.col_elems + geom.pack_elems;
+  std::memset(po, 0, sizeof(float) * static_cast<size_t>(
+                         geom.batch * geom.cout * osp));
+  util::ActivePool().ParallelFor(0, geom.batch, 1,
+                                 [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      float* col = scratch + b * per_sample;
+      float* pack = geom.pack_elems > 0 ? col + geom.col_elems : nullptr;
+      ts::Im2col(pin + b * geom.cin * geom.h * geom.w, geom.cin, geom.h,
+                 geom.w, geom.kh, geom.kw, stride, pad, geom.oh, geom.ow,
+                 col);
+      ts::GemmAccF32(geom.cout, osp, kdim, pw, kdim, col, osp,
+                     po + b * geom.cout * osp, osp, pack);
+    }
+  });
+}
+
+void RunTranspose2d(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  for (int64_t i = 0; i < geom.m; ++i) {
+    for (int64_t j = 0; j < geom.cols; ++j) {
+      po[j * geom.m + i] = pa[i * geom.cols + j];
+    }
+  }
+}
+
+void RunTransposeLast2(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  const int64_t m = geom.m;
+  const int64_t n = geom.cols;
+  for (int64_t b = 0; b < geom.batch; ++b) {
+    const float* src = pa + b * m * n;
+    float* dst = po + b * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) dst[j * m + i] = src[i * n + j];
+    }
+  }
+}
+
+void RunConcat(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  float* po = bufs[step.out];
+  const int64_t out_axis_stride = geom.mid * geom.inner;
+  int64_t axis_offset = 0;
+  for (size_t p = 0; p < step.in.size(); ++p) {
+    const float* pp = bufs[step.in[p]];
+    const int64_t mid = geom.aux[p];
+    for (int64_t o = 0; o < geom.outer; ++o) {
+      std::copy(pp + o * mid * geom.inner, pp + (o + 1) * mid * geom.inner,
+                po + o * out_axis_stride + axis_offset * geom.inner);
+    }
+    axis_offset += mid;
+  }
+}
+
+void RunSlice(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  const int64_t start = step.attrs.i1;
+  const int64_t len = step.attrs.i2;
+  for (int64_t o = 0; o < geom.outer; ++o) {
+    std::copy(pa + (o * geom.mid + start) * geom.inner,
+              pa + (o * geom.mid + start + len) * geom.inner,
+              po + o * len * geom.inner);
+  }
+}
+
+void RunAvgPool(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  const int64_t window = geom.window;
+  const float inv = 1.0f / static_cast<float>(window * window);
+  for (int64_t p = 0; p < geom.batch; ++p) {
+    for (int64_t oy = 0; oy < geom.oh; ++oy) {
+      for (int64_t ox = 0; ox < geom.ow; ++ox) {
+        double acc = 0.0;
+        for (int64_t ky = 0; ky < window; ++ky) {
+          for (int64_t kx = 0; kx < window; ++kx) {
+            acc += pa[(p * geom.h + oy * window + ky) * geom.w +
+                      ox * window + kx];
+          }
+        }
+        po[(p * geom.oh + oy) * geom.ow + ox] =
+            static_cast<float>(acc) * inv;
+      }
+    }
+  }
+}
+
+void RunMaxPool(const Step& step, float* const* bufs) {
+  const StepGeom& geom = step.geom;
+  const float* pa = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  const int64_t window = geom.window;
+  for (int64_t p = 0; p < geom.batch; ++p) {
+    for (int64_t oy = 0; oy < geom.oh; ++oy) {
+      for (int64_t ox = 0; ox < geom.ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int64_t ky = 0; ky < window; ++ky) {
+          for (int64_t kx = 0; kx < window; ++kx) {
+            best = std::max(best, pa[(p * geom.h + oy * window + ky) *
+                                         geom.w + ox * window + kx]);
+          }
+        }
+        po[(p * geom.oh + oy) * geom.ow + ox] = best;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunStep(const Step& step, float* const* bufs) {
+  switch (step.kind) {
+    case ag::OpKind::kAdd:
+      BinaryMap(step, bufs, [](float x, float y) { return x + y; });
+      break;
+    case ag::OpKind::kSub:
+      BinaryMap(step, bufs, [](float x, float y) { return x - y; });
+      break;
+    case ag::OpKind::kMul:
+      BinaryMap(step, bufs, [](float x, float y) { return x * y; });
+      break;
+    case ag::OpKind::kDiv:
+      BinaryMap(step, bufs, [](float x, float y) { return x / y; });
+      break;
+    case ag::OpKind::kAddScalar: {
+      const float s = step.attrs.f0;
+      UnaryMap(step, bufs, [s](float x) { return x + s; });
+      break;
+    }
+    case ag::OpKind::kMulScalar: {
+      const float s = step.attrs.f0;
+      UnaryMap(step, bufs, [s](float x) { return x * s; });
+      break;
+    }
+    case ag::OpKind::kBiasAct:
+      RunBiasAct(step, bufs);
+      break;
+    case ag::OpKind::kMulAddFused: {
+      const float* pa = bufs[step.in[0]];
+      const float* pb = bufs[step.in[1]];
+      const float* pc = bufs[step.in[2]];
+      float* po = bufs[step.out];
+      ts::MaybeParallelFor(step.geom.n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + (pb[i] * pc[i]);
+      });
+      break;
+    }
+    case ag::OpKind::kExp:
+      UnaryMap(step, bufs, [](float x) { return std::exp(x); });
+      break;
+    case ag::OpKind::kLog:
+      UnaryMap(step, bufs, [](float x) { return std::log(x); });
+      break;
+    case ag::OpKind::kSqrt:
+      UnaryMap(step, bufs, [](float x) { return std::sqrt(x); });
+      break;
+    case ag::OpKind::kTanh:
+      UnaryMap(step, bufs, [](float x) { return std::tanh(x); });
+      break;
+    case ag::OpKind::kRelu:
+      UnaryMap(step, bufs, [](float x) { return x > 0.0f ? x : 0.0f; });
+      break;
+    case ag::OpKind::kLeakyRelu: {
+      const float alpha = step.attrs.f0;
+      UnaryMap(step, bufs,
+               [alpha](float x) { return x > 0.0f ? x : alpha * x; });
+      break;
+    }
+    case ag::OpKind::kSigmoid:
+      UnaryMap(step, bufs, [](float x) { return ts::SigmoidScalar(x); });
+      break;
+    case ag::OpKind::kSoftplus:
+      UnaryMap(step, bufs, [](float x) {
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      });
+      break;
+    case ag::OpKind::kSquare:
+      UnaryMap(step, bufs, [](float x) { return x * x; });
+      break;
+    case ag::OpKind::kAbs:
+      UnaryMap(step, bufs, [](float x) { return std::fabs(x); });
+      break;
+    case ag::OpKind::kClamp: {
+      const float lo = step.attrs.f0;
+      const float hi = step.attrs.f1;
+      UnaryMap(step, bufs, [lo, hi](float x) {
+        return std::min(std::max(x, lo), hi);
+      });
+      break;
+    }
+    case ag::OpKind::kSumAll:
+      RunSumAll(step, bufs);
+      break;
+    case ag::OpKind::kSumAxis:
+      RunSumAxis(step, bufs);
+      break;
+    case ag::OpKind::kMatMul:
+      RunMatMul(step, bufs);
+      break;
+    case ag::OpKind::kMatMulBatched:
+      RunMatMulBatched(step, bufs);
+      break;
+    case ag::OpKind::kTranspose2d:
+      RunTranspose2d(step, bufs);
+      break;
+    case ag::OpKind::kTransposeLast2:
+      RunTransposeLast2(step, bufs);
+      break;
+    case ag::OpKind::kSoftmax:
+      RunSoftmax(step, bufs);
+      break;
+    case ag::OpKind::kConv2d:
+      RunConv2d(step, bufs);
+      break;
+    case ag::OpKind::kConcat:
+      RunConcat(step, bufs);
+      break;
+    case ag::OpKind::kSlice:
+      RunSlice(step, bufs);
+      break;
+    case ag::OpKind::kAvgPool:
+      RunAvgPool(step, bufs);
+      break;
+    case ag::OpKind::kMaxPool:
+      RunMaxPool(step, bufs);
+      break;
+    case ag::OpKind::kLeaf:
+    case ag::OpKind::kReshape:
+      MUSE_CHECK(false) << "non-executable step kind for op "
+                        << step.op_name;
+      break;
+  }
+}
+
+}  // namespace musenet::infer

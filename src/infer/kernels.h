@@ -1,0 +1,18 @@
+#ifndef MUSENET_INFER_KERNELS_H_
+#define MUSENET_INFER_KERNELS_H_
+
+#include "infer/plan.h"
+
+namespace musenet::infer {
+
+/// Executes one plan step against resolved buffer pointers: `bufs[i]` is the
+/// storage of plan buffer `i` (arena slot, weight data, batch input or baked
+/// constant — aliases already resolved to their base). Dispatches into the
+/// same tiled GEMM / im2col / fused kernels the autograd ops use, with
+/// identical accumulation orders, so planned outputs match the traced
+/// forward bit for bit. Performs no heap allocation.
+void RunStep(const Step& step, float* const* bufs);
+
+}  // namespace musenet::infer
+
+#endif  // MUSENET_INFER_KERNELS_H_

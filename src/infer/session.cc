@@ -1,0 +1,137 @@
+#include "infer/session.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace musenet::infer {
+
+namespace ts = musenet::tensor;
+
+InferenceSession::InferenceSession(eval::Forecaster& model,
+                                   SessionOptions options)
+    : engine_(model), options_(options) {
+  MUSE_CHECK(options_.max_batch >= 1) << "max_batch must be >= 1";
+  MUSE_CHECK(options_.max_wait_ms >= 0.0) << "max_wait_ms must be >= 0";
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+InferenceSession::~InferenceSession() { Shutdown(); }
+
+std::future<tensor::Tensor> InferenceSession::Submit(data::Batch request) {
+  MUSE_CHECK(request.batch_size() == 1)
+      << "InferenceSession::Submit takes single-grid requests; got batch "
+      << request.batch_size();
+  Pending pending;
+  pending.batch = std::move(request);
+  pending.enqueue_ns = util::MonotonicNowNanos();
+  std::future<tensor::Tensor> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("InferenceSession is shut down")));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceSession::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      if (dispatcher_.joinable()) dispatcher_.join();
+      return;
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void InferenceSession::DispatchLoop() {
+  auto& requests = obs::GetCounter("infer.requests");
+  auto& batches = obs::GetCounter("infer.batches");
+  auto& batch_size_hist = obs::GetHistogram(
+      "infer.batch_size", {1, 2, 4, 8, 16, 32, 64});
+  auto& latency_hist =
+      obs::GetHistogram("infer.latency_ms", obs::LatencyBucketsMs());
+  const auto wait = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(options_.max_wait_ms));
+
+  for (;;) {
+    std::vector<Pending> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      // Hold the batch open for stragglers, but never past the deadline
+      // set by the oldest queued request.
+      const auto deadline =
+          std::chrono::steady_clock::now() + wait;
+      cv_.wait_until(lock, deadline, [this] {
+        return shutdown_ ||
+               static_cast<int>(queue_.size()) >= options_.max_batch;
+      });
+      const int take =
+          std::min<int>(options_.max_batch, static_cast<int>(queue_.size()));
+      group.reserve(take);
+      for (int i = 0; i < take; ++i) {
+        group.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    const int64_t n = static_cast<int64_t>(group.size());
+    obs::ScopedSpan span("infer.batch", "size", n);
+    data::Batch merged;
+    if (n == 1) {
+      merged = group[0].batch;
+    } else {
+      std::vector<ts::Tensor> closeness, period, trend, target;
+      closeness.reserve(group.size());
+      period.reserve(group.size());
+      trend.reserve(group.size());
+      target.reserve(group.size());
+      for (Pending& p : group) {
+        closeness.push_back(p.batch.closeness);
+        period.push_back(p.batch.period);
+        trend.push_back(p.batch.trend);
+        target.push_back(p.batch.target);
+        merged.target_indices.insert(merged.target_indices.end(),
+                                     p.batch.target_indices.begin(),
+                                     p.batch.target_indices.end());
+      }
+      merged.closeness = ts::Concat(closeness, 0);
+      merged.period = ts::Concat(period, 0);
+      merged.trend = ts::Concat(trend, 0);
+      merged.target = ts::Concat(target, 0);
+    }
+
+    ts::Tensor prediction = engine_.Predict(merged);
+    const int64_t done_ns = util::MonotonicNowNanos();
+    for (int64_t i = 0; i < n; ++i) {
+      Pending& p = group[static_cast<size_t>(i)];
+      ts::Tensor slice =
+          n == 1 ? prediction : ts::Slice(prediction, 0, i, 1);
+      p.promise.set_value(std::move(slice));
+      latency_hist.Observe(static_cast<double>(done_ns - p.enqueue_ns) /
+                           1e6);
+    }
+    requests.Add(n);
+    batches.Add(1);
+    batch_size_hist.Observe(static_cast<double>(n));
+  }
+}
+
+}  // namespace musenet::infer

@@ -1,0 +1,79 @@
+#ifndef MUSENET_INFER_SESSION_H_
+#define MUSENET_INFER_SESSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "infer/engine.h"
+#include "tensor/tensor.h"
+
+namespace musenet::infer {
+
+/// Batching policy of an InferenceSession.
+struct SessionOptions {
+  /// Largest coalesced batch. Requests beyond this wait for the next batch.
+  int max_batch = 8;
+  /// How long the dispatcher holds an under-full batch open for stragglers
+  /// before running it. 0 runs every request immediately (no coalescing).
+  double max_wait_ms = 2.0;
+};
+
+/// Batched serving harness on top of the inference engine.
+///
+/// Submit enqueues one single-grid request and returns a future; a dispatch
+/// thread coalesces queued requests into batches (up to max_batch, waiting
+/// at most max_wait_ms for the batch to fill), runs the engine once per
+/// batch, and slices the prediction back out per request. Coalescing turns
+/// B single-sample runs into one batch-B run, which the engine's plan cache
+/// compiles once per distinct size.
+///
+/// Observability: counters `infer.requests` / `infer.batches`, histograms
+/// `infer.batch_size` and `infer.latency_ms` (enqueue-to-completion), and an
+/// `infer.batch` span per dispatched batch.
+class InferenceSession {
+ public:
+  explicit InferenceSession(eval::Forecaster& model,
+                            SessionOptions options = {});
+  ~InferenceSession();
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// Enqueues a single-sample request (batch_size() == 1). The future
+  /// resolves to the scaled [1, 2, H, W] prediction.
+  std::future<tensor::Tensor> Submit(data::Batch request);
+
+  /// Drains the queue, stops the dispatch thread, and rejects later
+  /// Submits. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  Engine& engine() { return engine_; }
+
+ private:
+  struct Pending {
+    data::Batch batch;
+    std::promise<tensor::Tensor> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  void DispatchLoop();
+
+  Engine engine_;
+  SessionOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace musenet::infer
+
+#endif  // MUSENET_INFER_SESSION_H_

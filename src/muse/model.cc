@@ -309,6 +309,13 @@ ts::Tensor MuseNet::Predict(const data::Batch& batch) {
   return forward.prediction.value();
 }
 
+autograd::Variable MuseNet::PlanForward(const data::Batch& batch) {
+  // The planner walks back from `prediction` only, so the reconstruction
+  // decoders and regularizer heads — which the prediction does not read —
+  // fall out of the plan by reachability.
+  return Forward(batch, /*stochastic=*/false).prediction;
+}
+
 MuseNet::Representations MuseNet::ExtractRepresentations(
     const data::Batch& batch) {
   ForwardResult forward = Forward(batch, /*stochastic=*/false);

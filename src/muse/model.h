@@ -79,6 +79,7 @@ class MuseNet : public nn::Module, public eval::Forecaster {
   void Train(const data::TrafficDataset& dataset,
              const eval::TrainConfig& config) override;
   tensor::Tensor Predict(const data::Batch& batch) override;
+  autograd::Variable PlanForward(const data::Batch& batch) override;
 
   /// As Train, but surfaces training faults (numeric blow-ups under
   /// FailurePolicy::kAbort, exhausted rollback budgets) as a Status instead

@@ -52,7 +52,7 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, Rng& rng,
 ag::Variable Conv2d::Forward(const ag::Variable& x) {
   MUSE_CHECK_EQ(x.value().rank(), 4);
   MUSE_CHECK_EQ(x.value().dim(1), in_channels_);
-  ag::Variable y = ag::Conv2d(x, weight_, spec_);
+  ag::Variable y = ag::Conv2d(x, weight_, spec_, &workspace_);
   if (options_.use_bias) {
     // [Cout] → [1,Cout,1,1] broadcasts over batch and space. use_bias
     // implies no batch norm (the ctor clears it), so the activation can

@@ -52,6 +52,9 @@ class Conv2d : public UnaryModule {
   autograd::Variable weight_;  ///< [Cout, Cin, k, k].
   autograd::Variable bias_;    ///< [Cout] reshaped to [1,Cout,1,1] on use.
   std::unique_ptr<BatchNorm2d> batch_norm_;  ///< When options_.batch_norm.
+  /// im2col scratch reused across calls (grows to the largest input shape
+  /// seen); the layer outlives every graph built from it.
+  tensor::Conv2dWorkspace workspace_;
 };
 
 }  // namespace musenet::nn

@@ -39,7 +39,7 @@ int64_t Conv2dOutputDim(int64_t in, int64_t kernel, const Conv2dSpec& spec) {
 }
 
 Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
-                     const Conv2dSpec& spec) {
+                     const Conv2dSpec& spec, Conv2dWorkspace* ws) {
   MUSE_CHECK_EQ(input.rank(), 4);
   MUSE_CHECK_EQ(weight.rank(), 4);
   MUSE_CHECK_EQ(input.dim(1), weight.dim(1))
@@ -67,28 +67,38 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
   const float* pw = weight.data();
   float* po = out.mutable_data();
 
+  // Layer-owned workspace: one slab sliced per sample (grain is 1, so
+  // samples never share a chunk). Prepared before the fan-out; steady-state
+  // calls touch neither the pool nor the heap.
+  float* ws_base =
+      ws != nullptr ? ws->Prepare(batch * kdim * osp) : nullptr;
+
   util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
     // Pooled, uninitialized scratch: Im2col writes every element (padding
     // becomes literal zeros). These column matrices are large enough that a
     // fresh heap allocation per call costs real time (mmap + page faults).
     StoragePool& pool = StoragePool::Instance();
-    std::vector<float> col =
-        pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
+    std::vector<float> col;
+    if (ws_base == nullptr) {
+      col = pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
+    }
     for (int64_t b = b0; b < b1; ++b) {
+      float* cptr = ws_base != nullptr ? ws_base + b * kdim * osp : col.data();
       Im2col(pin + b * cin * h * w, cin, h, w, kh, kw, spec.stride, spec.pad,
-             oh, ow, col.data());
+             oh, ow, cptr);
       // out_b [cout, osp] = W_flat [cout, kdim] · col [kdim, osp]; out is
       // zero-initialized, so accumulate == assign.
-      GemmAccF32(cout, osp, kdim, pw, kdim, col.data(), osp,
-                 po + b * cout * osp, osp);
+      GemmAccF32(cout, osp, kdim, pw, kdim, cptr, osp, po + b * cout * osp,
+                 osp);
     }
-    pool.Release(std::move(col));
+    if (ws_base == nullptr) pool.Release(std::move(col));
   });
   return out;
 }
 
 Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
-                           const Shape& input_shape, const Conv2dSpec& spec) {
+                           const Shape& input_shape, const Conv2dSpec& spec,
+                           Conv2dWorkspace* ws) {
   MUSE_CHECK_EQ(grad_out.rank(), 4);
   MUSE_CHECK_EQ(input_shape.rank(), 4);
   const int64_t batch = input_shape.dim(0);
@@ -114,27 +124,33 @@ Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
   const float* pw = weight.data();
   float* pi = grad_in.mutable_data();
 
+  float* ws_base =
+      ws != nullptr ? ws->Prepare(batch * kdim * osp) : nullptr;
+
   util::ActivePool().ParallelFor(0, batch, 1, [&](int64_t b0, int64_t b1) {
     StoragePool& pool = StoragePool::Instance();
-    std::vector<float> col =
-        pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
+    std::vector<float> col;
+    if (ws_base == nullptr) {
+      col = pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
+    }
     for (int64_t b = b0; b < b1; ++b) {
-      std::fill(col.begin(), col.end(), 0.0f);
+      float* cptr = ws_base != nullptr ? ws_base + b * kdim * osp : col.data();
+      std::fill(cptr, cptr + kdim * osp, 0.0f);
       // col_grad [kdim, osp] = Wᵀ · grad_out_b [cout, osp]; the GEMM reads
       // W [cout, kdim] through strides instead of a materialized Wᵀ.
       GemmAccF32TransA(kdim, osp, cout, pw, kdim, pg + b * cout * osp, osp,
-                       col.data(), osp);
-      Col2imAdd(col.data(), cin, h, w, kh, kw, spec.stride, spec.pad, oh, ow,
+                       cptr, osp);
+      Col2imAdd(cptr, cin, h, w, kh, kw, spec.stride, spec.pad, oh, ow,
                 pi + b * cin * h * w);
     }
-    pool.Release(std::move(col));
+    if (ws_base == nullptr) pool.Release(std::move(col));
   });
   return grad_in;
 }
 
 Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
-                            const Shape& weight_shape,
-                            const Conv2dSpec& spec) {
+                            const Shape& weight_shape, const Conv2dSpec& spec,
+                            Conv2dWorkspace* ws) {
   MUSE_CHECK_EQ(grad_out.rank(), 4);
   MUSE_CHECK_EQ(input.rank(), 4);
   const int64_t batch = input.dim(0);
@@ -161,19 +177,26 @@ Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
   float* pw = grad_w.mutable_data();
 
   // Sequential over the batch: per-sample contributions land on the shared
-  // weight gradient in ascending-sample order at every thread count.
+  // weight gradient in ascending-sample order at every thread count. One
+  // column matrix suffices since samples are processed in turn.
   StoragePool& pool = StoragePool::Instance();
-  std::vector<float> col =
-      pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
+  std::vector<float> col;
+  float* cptr;
+  if (ws != nullptr) {
+    cptr = ws->Prepare(kdim * osp);
+  } else {
+    col = pool.Acquire(static_cast<size_t>(kdim * osp), /*zero=*/false);
+    cptr = col.data();
+  }
   for (int64_t b = 0; b < batch; ++b) {
     Im2col(pin + b * cin * h * w, cin, h, w, kh, kw, spec.stride, spec.pad,
-           oh, ow, col.data());
+           oh, ow, cptr);
     // grad_w [cout, kdim] += grad_out_b [cout, osp] · colᵀ; the GEMM reads
     // col [kdim, osp] through strides instead of a materialized transpose.
-    GemmAccF32TransB(cout, kdim, osp, pg + b * cout * osp, osp, col.data(),
-                     osp, pw, kdim);
+    GemmAccF32TransB(cout, kdim, osp, pg + b * cout * osp, osp, cptr, osp, pw,
+                     kdim);
   }
-  pool.Release(std::move(col));
+  if (ws == nullptr) pool.Release(std::move(col));
   return grad_w;
 }
 

@@ -1,6 +1,9 @@
 #ifndef MUSENET_TENSOR_CONV2D_H_
 #define MUSENET_TENSOR_CONV2D_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "tensor/tensor.h"
 
 namespace musenet::tensor {
@@ -12,6 +15,28 @@ struct Conv2dSpec {
   int64_t pad = 0;  ///< Symmetric zero padding on both spatial sides.
 };
 
+/// Grow-only im2col/col2im scratch owned by a layer and reused across calls.
+/// A `nn::Conv2d` layer sees the same input shape every step, so after the
+/// first call Prepare() is a pointer return — no pool traffic, no heap. Not
+/// thread-safe: Prepare() must run before the kernel fans out, and the
+/// kernels slice disjoint per-sample regions from the returned base.
+class Conv2dWorkspace {
+ public:
+  /// Returns a buffer of at least `elems` floats, growing (never shrinking)
+  /// the backing storage. Contents are unspecified; callers overwrite.
+  float* Prepare(int64_t elems) {
+    if (static_cast<int64_t>(buf_.size()) < elems) {
+      buf_.resize(static_cast<size_t>(elems));
+    }
+    return buf_.data();
+  }
+
+  int64_t capacity() const { return static_cast<int64_t>(buf_.size()); }
+
+ private:
+  std::vector<float> buf_;
+};
+
 /// Output spatial size for one dimension: (in + 2·pad − k) / stride + 1.
 int64_t Conv2dOutputDim(int64_t in, int64_t kernel, const Conv2dSpec& spec);
 
@@ -20,16 +45,20 @@ int64_t Conv2dOutputDim(int64_t in, int64_t kernel, const Conv2dSpec& spec);
 /// input  [B, Cin, H, W], weight [Cout, Cin, kh, kw] →
 /// output [B, Cout, H', W'] with H' = Conv2dOutputDim(H, kh, spec).
 /// Bias is intentionally not fused; add it at the autograd layer.
+/// `ws` (optional) supplies the column scratch instead of the storage pool;
+/// results are identical either way.
 Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
-                     const Conv2dSpec& spec);
+                     const Conv2dSpec& spec, Conv2dWorkspace* ws = nullptr);
 
 /// Gradient w.r.t. the input: the adjoint of Conv2dForward.
 Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
-                           const Shape& input_shape, const Conv2dSpec& spec);
+                           const Shape& input_shape, const Conv2dSpec& spec,
+                           Conv2dWorkspace* ws = nullptr);
 
 /// Gradient w.r.t. the weight.
 Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
-                            const Shape& weight_shape, const Conv2dSpec& spec);
+                            const Shape& weight_shape, const Conv2dSpec& spec,
+                            Conv2dWorkspace* ws = nullptr);
 
 }  // namespace musenet::tensor
 

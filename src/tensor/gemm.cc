@@ -249,25 +249,32 @@ void MicroKernel(const float* a, int64_t a_rs, int64_t a_ks, const float* bp,
 
 void GemmDriver(int64_t m, int64_t n, int64_t k, const float* a, int64_t a_rs,
                 int64_t a_ks, const float* b, int64_t b_ks, int64_t b_ns,
-                float* c, int64_t ldc) {
+                float* c, int64_t ldc, float* pack_scratch) {
   if (m <= 0 || n <= 0 || k <= 0) return;
   if (m * n * k <= kSmallProblem) {
     GemmSmall(m, n, k, a, a_rs, a_ks, b, b_ks, b_ns, c, ldc);
     return;
   }
 
-  // Pooled pack buffer: at typical training shapes this is a few hundred KB
-  // reacquired for every GEMM call, which a fresh heap allocation turns into
-  // mmap + page-fault traffic. PackB overwrites every element it reads.
+  // Pack buffer. Preplanned callers (the inference engine) pass arena
+  // scratch; everyone else borrows from the pool — at typical training
+  // shapes this is a few hundred KB reacquired for every GEMM call, which a
+  // fresh heap allocation turns into mmap + page-fault traffic. PackB
+  // overwrites every element it reads, so the buffer is never zeroed.
   const int64_t packed_width = (n + kNr - 1) / kNr * kNr;
   StoragePool& pool = StoragePool::Instance();
-  std::vector<float> packed = pool.Acquire(
-      static_cast<size_t>(std::min(kKc, k) * packed_width), /*zero=*/false);
+  std::vector<float> packed;
+  float* pack = pack_scratch;
+  if (pack == nullptr) {
+    packed = pool.Acquire(
+        static_cast<size_t>(std::min(kKc, k) * packed_width), /*zero=*/false);
+    pack = packed.data();
+  }
 
   for (int64_t kp = 0; kp < k; kp += kKc) {
     const int64_t kc = std::min(kKc, k - kp);
-    PackB(b + kp * b_ks, b_ks, b_ns, kc, n, packed.data());
-    const float* bp = packed.data();
+    PackB(b + kp * b_ks, b_ks, b_ns, kc, n, pack);
+    const float* bp = pack;
     util::ActivePool().ParallelFor(
         0, m, kRowChunk, [&](int64_t r0, int64_t r1) {
           for (int64_t i = r0; i < r1; i += kMr) {
@@ -281,26 +288,33 @@ void GemmDriver(int64_t m, int64_t n, int64_t k, const float* a, int64_t a_rs,
           }
         });
   }
-  pool.Release(std::move(packed));
+  if (pack_scratch == nullptr) pool.Release(std::move(packed));
 }
 
 }  // namespace
 
+int64_t GemmPackScratchElems(int64_t m, int64_t n, int64_t k) {
+  if (m <= 0 || n <= 0 || k <= 0) return 0;
+  if (m * n * k <= kSmallProblem) return 0;
+  return std::min(kKc, k) * ((n + kNr - 1) / kNr * kNr);
+}
+
 void GemmAccF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
-                const float* b, int64_t ldb, float* c, int64_t ldc) {
-  GemmDriver(m, n, k, a, lda, 1, b, ldb, 1, c, ldc);
+                const float* b, int64_t ldb, float* c, int64_t ldc,
+                float* pack_scratch) {
+  GemmDriver(m, n, k, a, lda, 1, b, ldb, 1, c, ldc, pack_scratch);
 }
 
 void GemmAccF32TransB(int64_t m, int64_t n, int64_t k, const float* a,
                       int64_t lda, const float* bt, int64_t ldbt, float* c,
-                      int64_t ldc) {
-  GemmDriver(m, n, k, a, lda, 1, bt, 1, ldbt, c, ldc);
+                      int64_t ldc, float* pack_scratch) {
+  GemmDriver(m, n, k, a, lda, 1, bt, 1, ldbt, c, ldc, pack_scratch);
 }
 
 void GemmAccF32TransA(int64_t m, int64_t n, int64_t k, const float* at,
                       int64_t ldat, const float* b, int64_t ldb, float* c,
-                      int64_t ldc) {
-  GemmDriver(m, n, k, at, 1, ldat, b, ldb, 1, c, ldc);
+                      int64_t ldc, float* pack_scratch) {
+  GemmDriver(m, n, k, at, 1, ldat, b, ldb, 1, c, ldc, pack_scratch);
 }
 
 }  // namespace musenet::tensor

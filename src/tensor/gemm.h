@@ -15,11 +15,21 @@ namespace musenet::tensor {
 // partitioned across the thread pool in fixed-size chunks; no two threads
 // write the same row.
 
+/// Elements of packing scratch the entry points below need for an (m, n, k)
+/// problem: one K-panel of B packed into kNr-wide strips, or 0 when the
+/// problem is small enough that nothing is packed. Callers that preplan
+/// memory (the graph-free inference engine) size an arena slot with this and
+/// pass it as `pack_scratch`; passing nullptr keeps the pooled behaviour.
+int64_t GemmPackScratchElems(int64_t m, int64_t n, int64_t k);
+
 /// C[m,n] += A[m,k] · B[k,n], row-major with leading dimensions `lda`,
 /// `ldb`, `ldc`. Callers that want plain assignment pass a zeroed C (Tensor
-/// storage is zero-initialized, so fresh outputs qualify).
+/// storage is zero-initialized, so fresh outputs qualify). `pack_scratch`
+/// (optional, ≥ GemmPackScratchElems(m, n, k) floats, fully overwritten)
+/// replaces the pooled pack buffer for allocation-free steady state.
 void GemmAccF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
-                const float* b, int64_t ldb, float* c, int64_t ldc);
+                const float* b, int64_t ldb, float* c, int64_t ldc,
+                float* pack_scratch = nullptr);
 
 // Transposed-operand variants. The transposed operand is read through
 // strides during packing / broadcast instead of being materialized, which
@@ -32,13 +42,13 @@ void GemmAccF32(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
 /// with leading dimension `ldbt` (B[kk][j] = bt[j·ldbt + kk]).
 void GemmAccF32TransB(int64_t m, int64_t n, int64_t k, const float* a,
                       int64_t lda, const float* bt, int64_t ldbt, float* c,
-                      int64_t ldc);
+                      int64_t ldc, float* pack_scratch = nullptr);
 
 /// C[m,n] += Aᵀ · B[k,n] where A is stored transposed: at[k,m] row-major
 /// with leading dimension `ldat` (A[i][kk] = at[kk·ldat + i]).
 void GemmAccF32TransA(int64_t m, int64_t n, int64_t k, const float* at,
                       int64_t ldat, const float* b, int64_t ldb, float* c,
-                      int64_t ldc);
+                      int64_t ldc, float* pack_scratch = nullptr);
 
 }  // namespace musenet::tensor
 

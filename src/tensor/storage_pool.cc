@@ -135,18 +135,6 @@ void StoragePool::Trim() {
   pooled_gauge_.Set(0.0);
 }
 
-StoragePoolStats StoragePool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  StoragePoolStats stats;
-  stats.fresh_allocs = fresh_allocs_.Value();
-  stats.pool_reuses = pool_reuses_.Value();
-  stats.releases = releases_.Value();
-  stats.bytes_live = bytes_live_;
-  stats.bytes_pooled = bytes_pooled_;
-  stats.bytes_peak = bytes_peak_;
-  return stats;
-}
-
 void StoragePool::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   fresh_allocs_.Reset();

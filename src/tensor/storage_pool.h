@@ -10,23 +10,6 @@
 
 namespace musenet::tensor {
 
-/// Counters describing pool behaviour. Byte figures count buffer capacity
-/// (what the allocator actually holds), not requested sizes.
-///
-/// Deprecated as a bespoke surface: the pool now publishes through the
-/// process-wide metrics registry (counters `tensor.pool.fresh_allocs` /
-/// `.reuses` / `.releases`, gauges `tensor.pool.bytes_live` /
-/// `.bytes_pooled` / `.bytes_peak`); `stats()` is a compatibility view
-/// reconstructed from those instruments. Prefer obs::Registry::Snapshot().
-struct StoragePoolStats {
-  int64_t fresh_allocs = 0;  ///< Acquires served by a new heap allocation.
-  int64_t pool_reuses = 0;   ///< Acquires served from a free list.
-  int64_t releases = 0;      ///< Buffers handed back (parked or dropped).
-  int64_t bytes_live = 0;    ///< Capacity bytes currently checked out.
-  int64_t bytes_pooled = 0;  ///< Capacity bytes parked on free lists.
-  int64_t bytes_peak = 0;    ///< High-water mark of bytes_live.
-};
-
 /// Process-wide recycler for tensor storage.
 ///
 /// Freed `std::vector<float>` buffers are parked on power-of-two size-class
@@ -68,11 +51,14 @@ class StoragePool {
   /// values).
   void Trim();
 
-  /// Deprecated compatibility view assembled from the metrics registry
-  /// instruments listed on StoragePoolStats.
-  StoragePoolStats stats() const;
   /// Zeroes the three pool counters and resets the peak gauge to the live
   /// gauge; byte gauges track real buffer state and are preserved.
+  ///
+  /// Pool behaviour is observable only through the metrics registry
+  /// (counters `tensor.pool.fresh_allocs` / `.reuses` / `.releases`, gauges
+  /// `tensor.pool.bytes_live` / `.bytes_pooled` / `.bytes_peak`); byte
+  /// figures count buffer capacity, not requested sizes. Read them via
+  /// obs::Registry::Instance().Snapshot().
   void ResetStats();
 
   /// False when MUSENET_DISABLE_POOL is set or a ScopedPoolDisable is alive.

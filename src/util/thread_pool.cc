@@ -1,9 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <memory>
 #include <string>
 
 #include "obs/metrics.h"
@@ -29,20 +27,6 @@ int EnvNumThreads() {
 }
 
 }  // namespace
-
-/// One parallel-for invocation. Workers keep a shared_ptr while they touch
-/// it, so a late-waking worker can never observe freed memory. Completion is
-/// tracked per chunk: the caller returns once every chunk has been executed,
-/// regardless of how many workers joined in.
-struct ThreadPool::Job {
-  int64_t begin = 0;
-  int64_t end = 0;
-  int64_t grain = 1;
-  int64_t num_chunks = 0;
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
-  std::atomic<int64_t> next_chunk{0};
-  std::atomic<int64_t> chunks_done{0};
-};
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
@@ -75,7 +59,7 @@ void ThreadPool::RunChunks(Job& job) {
     if (chunk >= job.num_chunks) break;
     const int64_t lo = job.begin + chunk * job.grain;
     const int64_t hi = std::min(job.end, lo + job.grain);
-    (*job.fn)(lo, hi);
+    job.fn(job.ctx, lo, hi);
     ++done;
   }
   span.SetArg("chunks", done);
@@ -93,7 +77,7 @@ void ThreadPool::RunChunks(Job& job) {
 void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
-    std::shared_ptr<Job> job;
+    bool take = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
@@ -101,14 +85,26 @@ void ThreadPool::WorkerLoop() {
       });
       if (shutdown_) return;
       seen_generation = job_generation_;
-      job = current_job_;  // May already be null if the job finished.
+      // The job may already have retired (all chunks claimed and the caller
+      // cleared the slot) by the time this worker wakes; join only while
+      // the slot is live so the caller's retire wait stays exact.
+      if (job_active_) {
+        ++active_workers_;
+        take = true;
+      }
     }
-    if (job != nullptr) RunChunks(*job);
+    if (!take) continue;
+    RunChunks(job_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    done_cv_.notify_all();
   }
 }
 
-void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                             const std::function<void(int64_t, int64_t)>& fn) {
+void ThreadPool::ParallelForRaw(int64_t begin, int64_t end, int64_t grain,
+                                ChunkFn fn, void* ctx) {
   if (end <= begin) return;
   grain = std::max<int64_t>(1, grain);
   const int64_t num_chunks = (end - begin + grain - 1) / grain;
@@ -127,30 +123,38 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
       const int64_t lo = begin + chunk * grain;
       const int64_t hi = std::min(end, lo + grain);
-      fn(lo, hi);
+      fn(ctx, lo, hi);
     }
     return;
   }
 
-  auto job = std::make_shared<Job>();
-  job->begin = begin;
-  job->end = end;
-  job->grain = grain;
-  job->num_chunks = num_chunks;
-  job->fn = &fn;
+  // One job slot: a concurrent top-level caller queues here until the
+  // current job retires. Nothing below allocates.
+  std::lock_guard<std::mutex> submit(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    current_job_ = job;
+    job_.begin = begin;
+    job_.end = end;
+    job_.grain = grain;
+    job_.num_chunks = num_chunks;
+    job_.fn = fn;
+    job_.ctx = ctx;
+    job_.next_chunk.store(0, std::memory_order_relaxed);
+    job_.chunks_done.store(0, std::memory_order_relaxed);
+    job_active_ = true;
     ++job_generation_;
   }
   work_cv_.notify_all();
-  RunChunks(*job);  // The calling thread is one of the pool's threads.
+  RunChunks(job_);  // The calling thread is one of the pool's threads.
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    // Wait for completion AND for every joined worker to leave RunChunks —
+    // only then can the slot be reused without a worker reading stale state.
     done_cv_.wait(lock, [&] {
-      return job->chunks_done.load(std::memory_order_acquire) == num_chunks;
+      return job_.chunks_done.load(std::memory_order_acquire) == num_chunks &&
+             active_workers_ == 0;
     });
-    if (current_job_ == job) current_job_ = nullptr;
+    job_active_ = false;
   }
 }
 

@@ -1,12 +1,13 @@
 #ifndef MUSENET_UTIL_THREAD_POOL_H_
 #define MUSENET_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace musenet::util {
@@ -24,8 +25,17 @@ namespace musenet::util {
 /// Nested calls (ParallelFor issued from inside a worker) degrade to inline
 /// sequential execution, so kernels may parallelize freely without tracking
 /// whether a caller already fanned out.
+///
+/// Dispatch is allocation-free: the body is passed as a plain function
+/// pointer + context (the template wrapper adapts any callable without
+/// touching std::function), and the pool reuses a single preallocated job
+/// slot instead of heap-allocating per call. Steady-state inference
+/// (musenet::infer) relies on this for its zero-allocation contract.
 class ThreadPool {
  public:
+  /// Raw chunk body: `fn(ctx, chunk_begin, chunk_end)`.
+  using ChunkFn = void (*)(void* ctx, int64_t begin, int64_t end);
+
   /// Spawns `num_threads - 1` workers (the caller participates as the last
   /// thread). `num_threads` is clamped to at least 1.
   explicit ThreadPool(int num_threads);
@@ -41,8 +51,20 @@ class ThreadPool {
   /// `fn` must be safe to call concurrently on disjoint chunks. The chunk
   /// index of a call is `(chunk_begin - begin) / grain` — reduction kernels
   /// use it to address per-chunk partial slots.
-  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& fn);
+  template <typename F>
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain, F&& fn) {
+    using Body = std::remove_reference_t<F>;
+    ParallelForRaw(
+        begin, end, grain,
+        [](void* ctx, int64_t lo, int64_t hi) {
+          (*static_cast<Body*>(ctx))(lo, hi);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
+
+  /// Untemplated core of ParallelFor; `fn(ctx, lo, hi)` per chunk.
+  void ParallelForRaw(int64_t begin, int64_t end, int64_t grain, ChunkFn fn,
+                      void* ctx);
 
   /// Process-wide pool. Sized from MUSENET_NUM_THREADS when set (clamped to
   /// [1, 256]), otherwise std::thread::hardware_concurrency(). Constructed
@@ -50,7 +72,19 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
-  struct Job;
+  /// One parallel-for invocation, reused across calls. Completion is tracked
+  /// per chunk plus a count of workers still inside RunChunks, so the caller
+  /// can retire the slot only once no worker can still be reading it.
+  struct Job {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t num_chunks = 0;
+    ChunkFn fn = nullptr;
+    void* ctx = nullptr;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> chunks_done{0};
+  };
 
   void WorkerLoop();
   void RunChunks(Job& job);
@@ -58,10 +92,17 @@ class ThreadPool {
   const int num_threads_;
   std::vector<std::thread> workers_;
 
+  /// Serializes top-level submissions: the pool owns one job slot, so a
+  /// second concurrent caller waits until the first job retires. Nested
+  /// calls never reach this (they run inline) and cannot deadlock on it.
+  std::mutex submit_mutex_;
+
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::shared_ptr<Job> current_job_;
+  Job job_;
+  bool job_active_ = false;    ///< Guarded by mutex_.
+  int active_workers_ = 0;     ///< Workers inside RunChunks; guarded by mutex_.
   uint64_t job_generation_ = 0;
   bool shutdown_ = false;
 };

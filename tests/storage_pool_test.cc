@@ -19,6 +19,7 @@
 #include "data/dataset.h"
 #include "eval/forecaster.h"
 #include "muse/model.h"
+#include "obs/metrics.h"
 #include "optim/adam.h"
 #include "sim/flow_series.h"
 #include "tensor/storage_pool.h"
@@ -61,9 +62,9 @@ TEST(StoragePoolTest, ReleaseThenAcquireReusesBuffer) {
   // Same size class (ceil log2) — must come back from the free list.
   std::vector<float> again = pool.Acquire(900, /*zero=*/false);
   EXPECT_EQ(again.data(), raw);
-  const ts::StoragePoolStats stats = pool.stats();
-  EXPECT_EQ(stats.fresh_allocs, 1);
-  EXPECT_EQ(stats.pool_reuses, 1);
+  const obs::MetricsSnapshot snap = obs::Registry::Instance().Snapshot();
+  EXPECT_EQ(snap.counters.at("tensor.pool.fresh_allocs"), 1);
+  EXPECT_EQ(snap.counters.at("tensor.pool.reuses"), 1);
   pool.Release(std::move(again));
 }
 
@@ -87,7 +88,9 @@ TEST(StoragePoolTest, ScopedDisableIsHeapPassThrough) {
     std::vector<float> buf = pool.Acquire(4096, /*zero=*/false);
     pool.Release(std::move(buf));
     // Released while disabled — freed, not parked.
-    EXPECT_EQ(pool.stats().bytes_pooled, 0);
+    EXPECT_DOUBLE_EQ(obs::Registry::Instance().Snapshot().gauges.at(
+                         "tensor.pool.bytes_pooled"),
+                     0.0);
   }
   EXPECT_TRUE(pool.enabled());
 }
@@ -126,10 +129,10 @@ TEST(StoragePoolTest, SteadyStateTrainingStopsAllocating) {
   for (int i = 0; i < 3; ++i) step();  // Warm the free lists.
   pool.ResetStats();
   for (int i = 0; i < 3; ++i) step();
-  const ts::StoragePoolStats stats = pool.stats();
-  EXPECT_GT(stats.pool_reuses, 100);
+  const obs::MetricsSnapshot snap = obs::Registry::Instance().Snapshot();
+  EXPECT_GT(snap.counters.at("tensor.pool.reuses"), 100);
   // Steady state: every buffer the step needs was parked by a prior step.
-  EXPECT_LE(stats.fresh_allocs, 5);
+  EXPECT_LE(snap.counters.at("tensor.pool.fresh_allocs"), 5);
 }
 
 // --- Fused kernels: bit-exact against unfused compositions ------------------

@@ -1,22 +1,34 @@
 // Command-line front end to the MUSE-Net library.
 //
-//   musenet simulate --dataset taxi --out flows.bin [--days N] [--seed S]
-//   musenet train    --flows flows.bin --ckpt model.ckpt [--epochs N] ...
-//   musenet evaluate --flows flows.bin --ckpt model.ckpt
-//   musenet predict  --flows flows.bin --ckpt model.ckpt --index I
+//   musenet simulate    --dataset taxi --out flows.bin [--days N] [--seed S]
+//   musenet train       --flows flows.bin --ckpt model.ckpt [--epochs N] ...
+//   musenet evaluate    --flows flows.bin --ckpt model.ckpt
+//   musenet predict     --flows flows.bin --ckpt model.ckpt --index I
+//   musenet serve       --flows flows.bin --ckpt model.ckpt --requests N ...
+//   musenet bench-infer --flows flows.bin --ckpt model.ckpt --iters N ...
 //
 // `simulate` writes a FlowSeries container; `train` fits MUSE-Net on it and
 // writes a checkpoint; `evaluate` reports test metrics; `predict` prints one
-// frame's forecast next to the ground truth. Model hyper-parameters at train
-// and load time must match (the checkpoint loader validates shapes).
+// frame's forecast next to the ground truth; `serve` runs the batched
+// inference session against simulated clients; `bench-infer` times the
+// graph-free engine against the autograd Predict path. Model
+// hyper-parameters at train and load time must match (the checkpoint loader
+// validates shapes).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "data/dataset.h"
 #include "eval/evaluate.h"
+#include "infer/engine.h"
+#include "infer/session.h"
+#include "obs/metrics.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
 #include "muse/model.h"
@@ -24,7 +36,10 @@
 #include "sim/serialize.h"
 #include "tensor/serialize.h"
 #include "util/bench_config.h"
+#include "util/io.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace musenet {
 namespace {
@@ -48,6 +63,10 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
   }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -68,6 +87,8 @@ int Simulate(const Args& args) {
   BenchScale scale = ResolveBenchScale();
   scale.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
   if (args.GetInt("days", 0) > 0) scale.days = args.GetInt("days", 0);
+  if (args.GetInt("grid-h", 0) > 0) scale.grid_h = args.GetInt("grid-h", 0);
+  if (args.GetInt("grid-w", 0) > 0) scale.grid_w = args.GetInt("grid-w", 0);
   const sim::DatasetId id = ParseDataset(args.Get("dataset", "taxi"));
   const std::string out = args.Get("out", "flows.bin");
 
@@ -235,11 +256,181 @@ int Predict(const Args& args) {
   return 0;
 }
 
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double rank = q * static_cast<double>(sorted_ms.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+/// `serve`: drives the batched InferenceSession with simulated clients, each
+/// submitting single-grid requests drawn round-robin from the test split.
+/// Reports throughput and client-observed latency; --trace-out /
+/// --metrics-out dump the obs layer afterwards (infer.requests,
+/// infer.batch_size, infer.latency_ms, infer.batch spans).
+int Serve(const Args& args) {
+  auto loaded = LoadForModel(args);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto model = LoadModel(args, loaded->config);
+  if (!model.ok()) return Fail(model.status());
+
+  const int requests = args.GetInt("requests", 256);
+  const int clients = std::max(1, args.GetInt("clients", 4));
+  infer::SessionOptions options;
+  options.max_batch = args.GetInt("max-batch", 8);
+  options.max_wait_ms = args.GetDouble("max-wait-ms", 2.0);
+  const std::string trace_out = args.Get("trace-out", "");
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!trace_out.empty()) obs::StartTracing();
+
+  const auto& test = loaded->dataset.test_indices();
+  if (test.empty()) {
+    std::fprintf(stderr, "error: dataset has no test samples\n");
+    return 1;
+  }
+
+  infer::InferenceSession session(**model, options);
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  util::Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    const int share = requests / clients + (c < requests % clients ? 1 : 0);
+    workers.emplace_back([&, c, share] {
+      for (int i = 0; i < share; ++i) {
+        const size_t sample = static_cast<size_t>(c + i * clients);
+        data::Batch request =
+            loaded->dataset.MakeBatch({test[sample % test.size()]});
+        util::Stopwatch rtt;
+        tensor::Tensor pred = session.Submit(std::move(request)).get();
+        latencies[static_cast<size_t>(c)].push_back(rtt.ElapsedMillis());
+        (void)pred;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+  session.Shutdown();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  const int64_t batches = obs::GetCounter("infer.batches").Value();
+  std::printf(
+      "served %zu requests from %d clients in %.2fs (%.1f req/s, %lld "
+      "batches, max_batch=%d, max_wait_ms=%.1f)\n",
+      all.size(), clients, elapsed_s,
+      static_cast<double>(all.size()) / elapsed_s,
+      static_cast<long long>(batches), options.max_batch,
+      options.max_wait_ms);
+  std::printf("latency ms: p50 %.3f  p99 %.3f\n", Percentile(all, 0.5),
+              Percentile(all, 0.99));
+
+  if (!trace_out.empty()) {
+    const Status wrote = obs::StopTracingAndWrite(trace_out);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote trace %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const Status wrote = obs::WriteMetricsSnapshot(metrics_out);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+/// `bench-infer`: single-process latency comparison of the planned engine
+/// against the autograd Predict path at a fixed batch size, plus planned
+/// throughput. Writes a JSON record when --out is given (consumed by
+/// tools/run_inference_bench.sh into BENCH_inference.json).
+int BenchInfer(const Args& args) {
+  auto loaded = LoadForModel(args);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto model = LoadModel(args, loaded->config);
+  if (!model.ok()) return Fail(model.status());
+
+  const int iters = std::max(1, args.GetInt("iters", 50));
+  const int batch_size = std::max(1, args.GetInt("batch", 1));
+  const auto& test = loaded->dataset.test_indices();
+  if (test.empty()) {
+    std::fprintf(stderr, "error: dataset has no test samples\n");
+    return 1;
+  }
+  std::vector<int64_t> chunk;
+  for (int b = 0; b < batch_size; ++b) {
+    chunk.push_back(test[static_cast<size_t>(b) % test.size()]);
+  }
+  data::Batch batch = loaded->dataset.MakeBatch(chunk);
+
+  // Autograd path: what Predict cost before the engine existed (graph nodes
+  // built and dropped every call).
+  std::vector<double> autograd_ms;
+  (*model)->Predict(batch);  // Warm the pool.
+  for (int i = 0; i < iters; ++i) {
+    util::Stopwatch watch;
+    (*model)->Predict(batch);
+    autograd_ms.push_back(watch.ElapsedMillis());
+  }
+
+  // Planned engine, steady state (plan compiled once, zero-alloc replay).
+  infer::Engine engine(**model);
+  tensor::Tensor out = engine.Predict(batch);  // Warm: compiles the plan.
+  std::vector<double> engine_ms;
+  util::Stopwatch total;
+  for (int i = 0; i < iters; ++i) {
+    util::Stopwatch watch;
+    const Status run = engine.PredictInto(batch, &out);
+    if (!run.ok()) return Fail(run);
+    engine_ms.push_back(watch.ElapsedMillis());
+  }
+  const double throughput =
+      static_cast<double>(iters) * batch_size / total.ElapsedSeconds();
+
+  const double a50 = Percentile(autograd_ms, 0.5);
+  const double a99 = Percentile(autograd_ms, 0.99);
+  const double e50 = Percentile(engine_ms, 0.5);
+  const double e99 = Percentile(engine_ms, 0.99);
+  const int threads = static_cast<int>(util::ActivePool().num_threads());
+  std::printf(
+      "batch=%d threads=%d iters=%d\n"
+      "autograd Predict ms: p50 %.3f  p99 %.3f\n"
+      "engine   Predict ms: p50 %.3f  p99 %.3f  (%.2fx)\n"
+      "engine throughput: %.1f samples/s\n",
+      batch_size, threads, iters, a50, a99, e50, e99, a50 / e50, throughput);
+
+  const std::string out_path = args.Get("out", "");
+  if (!out_path.empty()) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"batch\": %d,\n"
+        "  \"threads\": %d,\n"
+        "  \"iters\": %d,\n"
+        "  \"autograd_ms\": {\"p50\": %.6f, \"p99\": %.6f},\n"
+        "  \"engine_ms\": {\"p50\": %.6f, \"p99\": %.6f},\n"
+        "  \"speedup_p50\": %.3f,\n"
+        "  \"engine_throughput_rps\": %.3f\n"
+        "}\n",
+        batch_size, threads, iters, a50, a99, e50, e99, a50 / e50,
+        throughput);
+    const Status wrote = util::AtomicWriteFile(out_path, buf);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: musenet <command> [--flag value ...]\n"
       "  simulate  --dataset bike|taxi|bj --out FILE [--days N] [--seed S]\n"
+      "            [--grid-h H] [--grid-w W]\n"
       "  train     --flows FILE --ckpt FILE [--epochs N] [--patience P]\n"
       "            [--lr LR] [--d D] [--k K] [--seed S]\n"
       "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
@@ -248,7 +439,12 @@ int Usage() {
       "            [--trace-out FILE] [--metrics-out FILE]\n"
       "            [--run-log FILE] [--run-log-timings 0|1]\n"
       "  evaluate  --flows FILE --ckpt FILE [--d D] [--k K]\n"
-      "  predict   --flows FILE --ckpt FILE --index I [--d D] [--k K]\n");
+      "  predict   --flows FILE --ckpt FILE --index I [--d D] [--k K]\n"
+      "  serve     --flows FILE --ckpt FILE [--requests N] [--clients C]\n"
+      "            [--max-batch B] [--max-wait-ms W] [--d D] [--k K]\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
+      "  bench-infer --flows FILE --ckpt FILE [--iters N] [--batch B]\n"
+      "            [--d D] [--k K] [--out FILE]\n");
   return 2;
 }
 
@@ -264,5 +460,7 @@ int main(int argc, char** argv) {
   if (command == "train") return Train(args);
   if (command == "evaluate") return Evaluate(args);
   if (command == "predict") return Predict(args);
+  if (command == "serve") return Serve(args);
+  if (command == "bench-infer") return BenchInfer(args);
   return Usage();
 }
