@@ -38,19 +38,43 @@ namespace musenet::infer {
 ///
 /// Batched requests scale across threads by sharding, not by intra-op
 /// parallelism: at serving tensor sizes a per-op ParallelFor dispatch costs
-/// more than the op itself, so a batch of n is split into `lanes`
-/// equal shards (lanes = largest divisor of n ≤ the active pool's thread
-/// count), each lane replaying a shard-sized plan sequentially on its own
-/// private arena — one pool dispatch per inference instead of one per op.
-/// Sharding assumes the eval forward treats axis 0 as a pure batch axis
-/// (true for every model here: eval-mode BN uses running stats and no op
-/// reduces across samples). The assumption is not trusted: the first sharded
-/// run at a batch size is validated against the model's own Predict at plan
-/// build time, and on mismatch the engine permanently falls back to the
+/// more than the op itself, so a batch of n is split into
+/// lanes = min(n, threads) near-equal shards (sizes differ by at most one —
+/// the first n mod lanes lanes take the extra sample, so prime batch sizes
+/// still fan out), each lane replaying a shard-sized plan sequentially on
+/// its own private arena — one pool dispatch per inference instead of one
+/// per op. Sharding assumes the eval forward treats axis 0 as a pure batch
+/// axis (true for every model here: eval-mode BN uses running stats and no
+/// op reduces across samples). The assumption is not trusted: the first
+/// sharded run at a batch size is validated at plan build time (against the
+/// model's own Predict, or against the engine's full-batch plan when
+/// specialization is active, since specialized numerics legitimately differ
+/// from fp32), and on mismatch the engine permanently falls back to the
 /// unsharded full-batch plan for that size.
+///
+/// Plan-time specialization (EngineOptions::specialize) runs SpecializePlan
+/// on every freshly built plan — BN/affine chains folded into weights,
+/// weights repacked into GEMM tiles at the requested precision — then gates
+/// adoption on max |specialized − base| over the planning batch. A plan
+/// that fails the gate is discarded and the base fp32 plan serves instead
+/// (counter infer.engine.spec_rejected). Specialization bakes the weights
+/// into the plan: unlike base plans, in-place weight updates are NOT picked
+/// up until InvalidatePlans() (EngineForecaster::Train does this).
+struct EngineOptions {
+  /// Run SpecializePlan on every built plan and adopt it when it passes the
+  /// accuracy gate.
+  bool specialize = false;
+  /// Weight storage precision of specialized plans.
+  PrecisionMode precision = PrecisionMode::kFp32;
+  /// Accuracy gate: max allowed |specialized − base| element delta on the
+  /// planning batch. Negative selects the per-precision default
+  /// (fp32 1e-4, bf16 5e-2, int8 2.5e-1 — scaled-output units).
+  float max_abs_delta = -1.0f;
+};
+
 class Engine {
  public:
-  explicit Engine(eval::Forecaster& model);
+  explicit Engine(eval::Forecaster& model, EngineOptions options = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -76,8 +100,21 @@ class Engine {
   /// unsharded (full-batch plan, fallback, or not yet built).
   int64_t shard_lanes_for(int64_t batch_size) const;
 
+  /// Per-lane shard sizes for `batch_size` (empty when unsharded). Sizes
+  /// are near-equal (differ by at most one) and sum to the batch size.
+  std::vector<int64_t> shard_sizes_for(int64_t batch_size) const;
+
   /// True when the last Predict at this batch size used the model fallback.
   bool fallback_for(int64_t batch_size) const;
+
+  /// True when the plan serving `batch_size` is a specialized plan that
+  /// passed the accuracy gate (for shards: the first-built lane).
+  bool spec_active_for(int64_t batch_size) const;
+
+  /// Accuracy-gate delta measured for `batch_size` at plan build
+  /// (max |specialized − base| over the planning batch), or -1 when no
+  /// specialization was attempted at that size.
+  float spec_delta_for(int64_t batch_size) const;
 
  private:
   struct PlanInstance {
@@ -86,17 +123,24 @@ class Engine {
     std::vector<float*> ptrs;  ///< Resolved per run; sized to plan.buffers.
   };
 
-  /// Independent replay lanes for one batch size: lane i computes samples
-  /// [i·shard_size, (i+1)·shard_size) on its own plan instance and arena.
+  /// Independent replay lanes for one batch size: lane i computes the
+  /// samples [offsets[i], offsets[i] + sizes[i]) on its own plan instance
+  /// and arena.
   struct ShardSet {
-    int64_t shard_size = 0;
-    tensor::Shape out_shape;  ///< Full-batch prediction shape.
+    std::vector<int64_t> sizes;    ///< Near-equal per-lane batch sizes.
+    std::vector<int64_t> offsets;  ///< Sample offset of each lane.
+    tensor::Shape out_shape;       ///< Full-batch prediction shape.
     std::vector<PlanInstance> lanes;
   };
 
-  /// Traces + compiles a plan for `batch` into `inst`. False when the model
-  /// is unplannable at this shape (caller decides how to fall back).
+  /// Traces + compiles a plan for `batch` into `inst` (specializing it when
+  /// options_.specialize and the accuracy gate passes). False when the
+  /// model is unplannable at this shape (caller decides how to fall back).
   bool BuildInstance(const data::Batch& batch, PlanInstance* inst);
+
+  /// Sizes inst->arena and resolves the build-time-stable pointers (arena,
+  /// constants) for inst->plan.
+  static void FinalizeInstance(PlanInstance* inst);
 
   /// Returns the instance for the batch's size, building it on first use.
   /// nullptr means "use the model fallback" (also cached).
@@ -118,18 +162,25 @@ class Engine {
   /// Replays every lane of `set` across the active pool (one dispatch).
   void RunSharded(ShardSet& set, const data::Batch& batch, float* out);
 
-  /// Largest divisor of `batch_size` that is ≤ `threads` (1 = don't shard).
-  static int64_t PickLanes(int64_t batch_size, int64_t threads);
+  /// Near-equal lane sizes: min(batch_size, threads) lanes, the first
+  /// batch_size mod lanes of them one sample larger. Empty = don't shard.
+  static std::vector<int64_t> PickLaneSizes(int64_t batch_size,
+                                            int64_t threads);
 
   eval::Forecaster& model_;
+  EngineOptions options_;
   mutable std::mutex mu_;
   std::map<int64_t, PlanInstance> plans_;
   std::map<int64_t, ShardSet> shard_sets_;
   std::map<int64_t, bool> fallback_;  ///< Batch sizes that are unplannable.
   std::map<int64_t, bool> shard_fallback_;  ///< Failed shard validation.
+  std::map<int64_t, bool> spec_active_;   ///< Specialized plan adopted.
+  std::map<int64_t, float> spec_delta_;   ///< Gate delta per batch size.
   obs::Counter* runs_;                ///< infer.engine.runs
   obs::Counter* sharded_runs_;        ///< infer.engine.sharded_runs
   obs::Counter* fallbacks_;           ///< infer.engine.fallbacks
+  obs::Counter* spec_builds_;         ///< infer.engine.spec_builds
+  obs::Counter* spec_rejects_;        ///< infer.engine.spec_rejected
 };
 
 /// Drop-in Forecaster that routes Predict through an Engine while delegating
@@ -139,8 +190,9 @@ class Engine {
 /// is one forward pass.
 class EngineForecaster : public eval::Forecaster {
  public:
-  explicit EngineForecaster(eval::Forecaster& inner)
-      : inner_(inner), engine_(inner) {}
+  explicit EngineForecaster(eval::Forecaster& inner,
+                            EngineOptions options = {})
+      : inner_(inner), engine_(inner, options) {}
 
   std::string name() const override { return inner_.name(); }
 

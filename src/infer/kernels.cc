@@ -5,6 +5,11 @@
 #include <cstring>
 #include <limits>
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "infer/precision.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/kernel_util.h"
@@ -406,9 +411,500 @@ void RunMaxPool(const Step& step, float* const* bufs) {
   }
 }
 
+inline float ApplyActScalar(float v, ts::ActKind act, float alpha) {
+  switch (act) {
+    case ts::ActKind::kIdentity:
+      return v;
+    case ts::ActKind::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case ts::ActKind::kLeakyRelu:
+      return v > 0.0f ? v : alpha * v;
+    case ts::ActKind::kTanh:
+      return std::tanh(v);
+    case ts::ActKind::kSigmoid:
+      return ts::SigmoidScalar(v);
+  }
+  return v;
+}
+
+/// row[o] = act(row[o] + bias) over a contiguous row, one branch on the
+/// activation for the whole row so the common cases vectorize — a
+/// per-element switch here costs about as much as the GEMM the epilogue
+/// follows.
+inline void BiasActRow(float* row, int64_t n, float bias, ts::ActKind act,
+                       float alpha) {
+  switch (act) {
+    case ts::ActKind::kIdentity:
+      for (int64_t o = 0; o < n; ++o) row[o] += bias;
+      break;
+    case ts::ActKind::kRelu:
+      for (int64_t o = 0; o < n; ++o) {
+        const float v = row[o] + bias;
+        row[o] = v > 0.0f ? v : 0.0f;
+      }
+      break;
+    case ts::ActKind::kLeakyRelu:
+      for (int64_t o = 0; o < n; ++o) {
+        const float v = row[o] + bias;
+        row[o] = v > 0.0f ? v : alpha * v;
+      }
+      break;
+    default:
+      for (int64_t o = 0; o < n; ++o) {
+        row[o] = ApplyActScalar(row[o] + bias, act, alpha);
+      }
+  }
+}
+
+/// Column-bias variant for dense outputs: row[j] = act(row[j] + bias[j]).
+inline void BiasActRowPerCol(float* row, const float* bias, int64_t n,
+                             ts::ActKind act, float alpha) {
+  switch (act) {
+    case ts::ActKind::kIdentity:
+      for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+      break;
+    case ts::ActKind::kRelu:
+      for (int64_t j = 0; j < n; ++j) {
+        const float v = row[j] + bias[j];
+        row[j] = v > 0.0f ? v : 0.0f;
+      }
+      break;
+    case ts::ActKind::kLeakyRelu:
+      for (int64_t j = 0; j < n; ++j) {
+        const float v = row[j] + bias[j];
+        row[j] = v > 0.0f ? v : alpha * v;
+      }
+      break;
+    default:
+      for (int64_t j = 0; j < n; ++j) {
+        row[j] = ApplyActScalar(row[j] + bias[j], act, alpha);
+      }
+  }
+}
+
+// --- Specialized replay (SpecializePlan rewrites) --------------------------
+//
+// The tiled kernels drive the exported GEMM micro-kernel over pre-tiled
+// weights: K-panels ascend, k ascends within a panel, so the accumulation
+// chain per output element matches GemmAccF32's exactly (fp32 repacking is
+// therefore numerically invisible); the direct conv kernel below reproduces
+// the same panel grouping without the column matrix. int8/bf16 payloads are
+// dequantized into fixed stack buffers (or, for the direct kernel, a
+// plan-sized arena region) and fed to the same fp32 arithmetic — reduced
+// precision changes the stored weights only, never the accumulation, so
+// specialized replay stays deterministic and thread-count independent.
+
+void RunConvPacked(const Step& step, float* const* bufs, const Plan& plan) {
+  const StepGeom& geom = step.geom;
+  const PackedWeight& pw = plan.packed_weights[step.packed];
+  const float* pin = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  float* scratch = bufs[step.scratch];
+  const int64_t kdim = geom.cin * geom.kh * geom.kw;
+  const int64_t osp = geom.oh * geom.ow;
+  const int64_t stride = step.attrs.i0;
+  const int64_t pad = step.attrs.i1;
+  const ts::GemmTile tile = ts::GemmTileShape();
+  const int64_t mr = tile.mr;
+  const int64_t nr = tile.nr;
+  const int64_t ceil_osp = (osp + nr - 1) / nr * nr;
+  const auto act = static_cast<ts::ActKind>(step.spec_act);
+  std::memset(po, 0, sizeof(float) * static_cast<size_t>(
+                         geom.batch * geom.cout * osp));
+  util::ActivePool().ParallelFor(0, geom.batch, 1,
+                                 [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      float* col = scratch + b * geom.col_elems;
+      ts::Im2colPackedTiles(pin + b * geom.cin * geom.h * geom.w, geom.cin,
+                            geom.h, geom.w, geom.kh, geom.kw, stride, pad,
+                            geom.oh, geom.ow, col);
+      float* cbase = po + b * geom.cout * osp;
+      for (int64_t kp = 0; kp < kdim; kp += ts::kGemmKc) {
+        const int64_t kc = std::min(ts::kGemmKc, kdim - kp);
+        const float* bpanel = col + kp * ceil_osp;
+        for (int64_t i0 = 0; i0 < geom.cout; i0 += mr) {
+          const int64_t mr_eff = std::min(mr, geom.cout - i0);
+          // The weight is the GEMM's A operand; one row panel × K-panel
+          // block is at most kGemmMaxMr × kGemmKc floats (8 KB stack).
+          float abuf[ts::kGemmMaxMr * ts::kGemmKc];
+          const float* ap = nullptr;
+          const int64_t abase = i0 * kdim + kp * mr;
+          switch (pw.precision) {
+            case PrecisionMode::kFp32:
+              ap = pw.f32.data() + abase;
+              break;
+            case PrecisionMode::kBf16: {
+              const uint16_t* src = pw.bf16.data() + abase;
+              for (int64_t e = 0; e < kc * mr; ++e) {
+                abuf[e] = F32FromBf16(src[e]);
+              }
+              ap = abuf;
+              break;
+            }
+            case PrecisionMode::kInt8: {
+              const int8_t* src = pw.i8.data() + abase;
+              for (int64_t kk = 0; kk < kc; ++kk) {
+                for (int64_t r = 0; r < mr; ++r) {
+                  abuf[kk * mr + r] = pw.scales[i0 + r] *
+                                      static_cast<float>(src[kk * mr + r]);
+                }
+              }
+              ap = abuf;
+              break;
+            }
+          }
+          for (int64_t js = 0; js < osp; js += nr) {
+            ts::GemmMicroKernelAcc(ap, /*a_rs=*/1, /*a_ks=*/mr,
+                                   bpanel + (js / nr) * kc * nr,
+                                   cbase + i0 * osp + js, osp, mr_eff,
+                                   std::min(nr, osp - js), kc);
+          }
+        }
+      }
+      if (pw.has_epilogue) {
+        for (int64_t c = 0; c < geom.cout; ++c) {
+          BiasActRow(cbase + c * osp, osp, pw.bias[c], act, step.spec_alpha);
+        }
+      }
+    }
+  });
+}
+
+// --- Direct (im2col-free) conv replay --------------------------------------
+//
+// For stride-1 convs the packed column matrix is pure overhead: building it
+// writes kh·kw shifted copies of every input pixel through a lane-wrapping
+// strip layout, and at serving shapes that costs more than the GEMM it
+// feeds. The direct kernel instead zero-pads each input image once
+// (cin·h·(w + 2·pad) floats plus a read-slack margin) and broadcasts
+// weights against shifted input rows, holding an RT × kDirectChunk
+// accumulator block in registers. Accumulators flush into the output at
+// every kGemmKc k-boundary — the same K-panel grouping GemmDriver uses — so
+// every output element sees the exact accumulation chain of the tiled path
+// and fp32 replay stays bit-identical to it.
+
+#if defined(__AVX512F__)
+constexpr int64_t kDirectChunk = 16;  // One 16-lane register per acc row.
+#else
+constexpr int64_t kDirectChunk = 8;
+#endif
+
+inline int64_t DirectPaddedWidth(int64_t w, int64_t pad) {
+  // kDirectChunk slack keeps the widest shifted read in bounds: the kernel
+  // always loads full chunks and discards the lanes past a short tail.
+  return w + 2 * pad + kDirectChunk;
+}
+
+/// Accumulates output channels [r0, r0+RT) over every output pixel of one
+/// sample. `wd` is the direct layout wd[kk·cout + r]; `pin` the padded
+/// sample (row stride pws); `cbase` the sample's output [cout, oh·ow].
+#if defined(__AVX512F__)
+
+// One 16-lane register per output channel; each tap costs one shifted input
+// load plus RT broadcast-FMAs — the same shape as gemm.cc's micro-kernel,
+// without the packed column matrix feeding it.
+template <int RT>
+void DirectConvTileSweep(const float* __restrict wd,
+                         const float* __restrict pin, float* cbase,
+                         int64_t r0, int64_t cout, int64_t cin, int64_t h,
+                         int64_t pws, int64_t kh, int64_t kw, int64_t pad,
+                         int64_t oh, int64_t ow) {
+  const int64_t osp = oh * ow;
+  const int64_t plane = h * pws;
+  const int64_t khkw = kh * kw;
+  const int64_t kdim = cin * khkw;
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox0 = 0; ox0 < ow; ox0 += kDirectChunk) {
+      const int64_t len = std::min(kDirectChunk, ow - ox0);
+      const __mmask16 lanes = static_cast<__mmask16>((1u << len) - 1u);
+      float* crow = cbase + oy * ow + ox0;
+      for (int64_t p0 = 0; p0 < kdim; p0 += ts::kGemmKc) {
+        const int64_t p1 = std::min(kdim, p0 + ts::kGemmKc);
+        // Panels after the first start from C — the same association the
+        // GEMM micro-kernel uses when it reloads the C tile per K-panel.
+        __m512 acc[RT];
+        if (p0 == 0) {
+          for (int r = 0; r < RT; ++r) acc[r] = _mm512_setzero_ps();
+        } else {
+          for (int r = 0; r < RT; ++r) {
+            acc[r] = _mm512_maskz_loadu_ps(lanes, crow + (r0 + r) * osp);
+          }
+        }
+        for (int64_t ci = p0 / khkw; ci < cin && ci * khkw < p1; ++ci) {
+          const int64_t kbase = ci * khkw;
+          const int64_t t0 = std::max<int64_t>(p0 - kbase, 0);
+          const int64_t t1 = std::min(p1 - kbase, khkw);
+          const float* xplane = pin + ci * plane;
+          int64_t ky = t0 / kw;
+          int64_t kx = t0 - ky * kw;
+          for (int64_t t = t0; t < t1; ++t) {
+            const int64_t iy = oy + ky - pad;
+            // Vertically padded taps are exact zeros in the column matrix;
+            // their +0 terms never change an accumulator, so they only
+            // advance the tap counters.
+            if (iy >= 0 && iy < h) {
+              // The chunk-slack margin of the padded image keeps this full
+              // 16-lane load in bounds even at a short tail.
+              const __m512 x = _mm512_loadu_ps(xplane + iy * pws + ox0 + kx);
+              const float* wr = wd + (kbase + t) * cout + r0;
+              for (int r = 0; r < RT; ++r) {
+                acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(wr[r]), x, acc[r]);
+              }
+            }
+            if (++kx == kw) {
+              kx = 0;
+              ++ky;
+            }
+          }
+        }
+        for (int r = 0; r < RT; ++r) {
+          _mm512_mask_storeu_ps(crow + (r0 + r) * osp, lanes, acc[r]);
+        }
+      }
+    }
+  }
+}
+
+#else  // !defined(__AVX512F__)
+
+template <int RT>
+void DirectConvTileSweep(const float* __restrict wd,
+                         const float* __restrict pin, float* cbase,
+                         int64_t r0, int64_t cout, int64_t cin, int64_t h,
+                         int64_t pws, int64_t kh, int64_t kw, int64_t pad,
+                         int64_t oh, int64_t ow) {
+  const int64_t osp = oh * ow;
+  const int64_t plane = h * pws;
+  const int64_t khkw = kh * kw;
+  const int64_t kdim = cin * khkw;
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox0 = 0; ox0 < ow; ox0 += kDirectChunk) {
+      const int64_t len = std::min(kDirectChunk, ow - ox0);
+      float* crow = cbase + oy * ow + ox0;
+      // One accumulator block per K-panel; the address of `acc` never
+      // escapes this scope, so the block can live in vector registers.
+      for (int64_t p0 = 0; p0 < kdim; p0 += ts::kGemmKc) {
+        const int64_t p1 = std::min(kdim, p0 + ts::kGemmKc);
+        // Panels after the first start from C — the same association the
+        // GEMM micro-kernel uses when it reloads the C tile per K-panel.
+        float acc[RT][kDirectChunk] = {};
+        if (p0 != 0) {
+          for (int r = 0; r < RT; ++r) {
+            const float* c = crow + (r0 + r) * osp;
+            for (int64_t j = 0; j < len; ++j) acc[r][j] = c[j];
+          }
+        }
+        for (int64_t ci = p0 / khkw; ci < cin && ci * khkw < p1; ++ci) {
+          const int64_t kbase = ci * khkw;
+          const int64_t t0 = std::max<int64_t>(p0 - kbase, 0);
+          const int64_t t1 = std::min(p1 - kbase, khkw);
+          const float* xplane = pin + ci * plane;
+          int64_t ky = t0 / kw;
+          int64_t kx = t0 - ky * kw;
+          for (int64_t t = t0; t < t1; ++t) {
+            const int64_t iy = oy + ky - pad;
+            // Vertically padded taps are exact zeros in the column matrix;
+            // their +0 terms never change an accumulator, so they only
+            // advance the tap counters.
+            if (iy >= 0 && iy < h) {
+              const float* __restrict x = xplane + iy * pws + ox0 + kx;
+              const float* __restrict wr = wd + (kbase + t) * cout + r0;
+              for (int r = 0; r < RT; ++r) {
+                const float wv = wr[r];
+                for (int64_t j = 0; j < kDirectChunk; ++j) {
+                  acc[r][j] += wv * x[j];
+                }
+              }
+            }
+            if (++kx == kw) {
+              kx = 0;
+              ++ky;
+            }
+          }
+        }
+        // Panel C update: the first panel stores, later panels accumulate —
+        // the K-panel grouping GemmDriver applies.
+        for (int r = 0; r < RT; ++r) {
+          float* __restrict c = crow + (r0 + r) * osp;
+          for (int64_t j = 0; j < len; ++j) c[j] = acc[r][j];
+        }
+      }
+    }
+  }
+}
+
+#endif  // __AVX512F__
+
+void RunConvDirect(const Step& step, float* const* bufs, const Plan& plan) {
+  const StepGeom& geom = step.geom;
+  const PackedWeight& pw = plan.packed_weights[step.packed];
+  const float* pin = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  float* scratch = bufs[step.scratch];
+  const int64_t pad = step.attrs.i1;
+  const int64_t kdim = geom.cin * geom.kh * geom.kw;
+  const int64_t osp = geom.oh * geom.ow;
+  const int64_t pws = DirectPaddedWidth(geom.w, pad);
+  const int64_t padded_elems = geom.cin * geom.h * pws;
+  const auto act = static_cast<ts::ActKind>(step.spec_act);
+
+  // Non-fp32 payloads dequantize once per call into the shared region at
+  // the head of the scratch buffer (the weight is read kh·kw·oh times per
+  // sample, so a single up-front pass beats per-tile dequant); fp32 replays
+  // the stored layout directly.
+  const float* wd = nullptr;
+  int64_t wd_elems = 0;
+  switch (pw.precision) {
+    case PrecisionMode::kFp32:
+      wd = pw.f32.data();
+      break;
+    case PrecisionMode::kBf16:
+      wd_elems = kdim * geom.cout;
+      for (int64_t e = 0; e < wd_elems; ++e) {
+        scratch[e] = F32FromBf16(pw.bf16[static_cast<size_t>(e)]);
+      }
+      wd = scratch;
+      break;
+    case PrecisionMode::kInt8:
+      wd_elems = kdim * geom.cout;
+      for (int64_t kk = 0; kk < kdim; ++kk) {
+        const int8_t* src = pw.i8.data() + kk * geom.cout;
+        float* dst = scratch + kk * geom.cout;
+        for (int64_t r = 0; r < geom.cout; ++r) {
+          dst[r] = pw.scales[static_cast<size_t>(r)] *
+                   static_cast<float>(src[r]);
+        }
+      }
+      wd = scratch;
+      break;
+  }
+  float* padded_base = scratch + wd_elems;
+
+  util::ActivePool().ParallelFor(0, geom.batch, 1,
+                                 [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      // Zero-pad the sample: `pad` columns each side plus chunk slack,
+      // every padded row written exactly once.
+      float* ppad = padded_base + b * padded_elems;
+      const float* sin = pin + b * geom.cin * geom.h * geom.w;
+      for (int64_t ci = 0; ci < geom.cin; ++ci) {
+        for (int64_t y = 0; y < geom.h; ++y) {
+          float* row = ppad + (ci * geom.h + y) * pws;
+          for (int64_t x = 0; x < pad; ++x) row[x] = 0.0f;
+          std::memcpy(row + pad, sin + (ci * geom.h + y) * geom.w,
+                      sizeof(float) * static_cast<size_t>(geom.w));
+          for (int64_t x = pad + geom.w; x < pws; ++x) row[x] = 0.0f;
+        }
+      }
+      float* cbase = po + b * geom.cout * osp;
+      int64_t r0 = 0;
+      while (r0 < geom.cout) {
+        const int64_t rem = geom.cout - r0;
+        if (rem >= 8) {
+          DirectConvTileSweep<8>(wd, ppad, cbase, r0, geom.cout, geom.cin,
+                                 geom.h, pws, geom.kh, geom.kw, pad, geom.oh,
+                                 geom.ow);
+          r0 += 8;
+        } else if (rem >= 4) {
+          DirectConvTileSweep<4>(wd, ppad, cbase, r0, geom.cout, geom.cin,
+                                 geom.h, pws, geom.kh, geom.kw, pad, geom.oh,
+                                 geom.ow);
+          r0 += 4;
+        } else if (rem >= 2) {
+          DirectConvTileSweep<2>(wd, ppad, cbase, r0, geom.cout, geom.cin,
+                                 geom.h, pws, geom.kh, geom.kw, pad, geom.oh,
+                                 geom.ow);
+          r0 += 2;
+        } else {
+          DirectConvTileSweep<1>(wd, ppad, cbase, r0, geom.cout, geom.cin,
+                                 geom.h, pws, geom.kh, geom.kw, pad, geom.oh,
+                                 geom.ow);
+          r0 += 1;
+        }
+      }
+      if (pw.has_epilogue) {
+        for (int64_t c = 0; c < geom.cout; ++c) {
+          BiasActRow(cbase + c * osp, osp, pw.bias[c], act, step.spec_alpha);
+        }
+      }
+    }
+  });
+}
+
+void RunDensePacked(const Step& step, float* const* bufs, const Plan& plan) {
+  const StepGeom& geom = step.geom;
+  const PackedWeight& pw = plan.packed_weights[step.packed];
+  const float* px = bufs[step.in[0]];
+  float* po = bufs[step.out];
+  const int64_t m = geom.m;
+  const int64_t k = geom.k;
+  const int64_t n = geom.cols;
+  const ts::GemmTile tile = ts::GemmTileShape();
+  const int64_t mr = tile.mr;
+  const int64_t nr = tile.nr;
+  const int64_t ceil_n = (n + nr - 1) / nr * nr;
+  const auto act = static_cast<ts::ActKind>(step.spec_act);
+  std::memset(po, 0, sizeof(float) * static_cast<size_t>(m * n));
+  for (int64_t kp = 0; kp < k; kp += ts::kGemmKc) {
+    const int64_t kc = std::min(ts::kGemmKc, k - kp);
+    for (int64_t js = 0; js < n; js += nr) {
+      // One packed strip is at most kGemmKc × kGemmMaxNr floats (32 KB
+      // stack); dequantized once per strip, reused across all row panels.
+      float bbuf[ts::kGemmKc * ts::kGemmMaxNr];
+      const float* bp = nullptr;
+      const int64_t bbase = kp * ceil_n + (js / nr) * kc * nr;
+      switch (pw.precision) {
+        case PrecisionMode::kFp32:
+          bp = pw.f32.data() + bbase;
+          break;
+        case PrecisionMode::kBf16: {
+          const uint16_t* src = pw.bf16.data() + bbase;
+          for (int64_t e = 0; e < kc * nr; ++e) bbuf[e] = F32FromBf16(src[e]);
+          bp = bbuf;
+          break;
+        }
+        case PrecisionMode::kInt8: {
+          const int8_t* src = pw.i8.data() + bbase;
+          for (int64_t kk = 0; kk < kc; ++kk) {
+            for (int64_t j = 0; j < nr; ++j) {
+              bbuf[kk * nr + j] = pw.scales[js + j] *
+                                  static_cast<float>(src[kk * nr + j]);
+            }
+          }
+          bp = bbuf;
+          break;
+        }
+      }
+      for (int64_t i0 = 0; i0 < m; i0 += mr) {
+        ts::GemmMicroKernelAcc(px + i0 * k + kp, /*a_rs=*/k, /*a_ks=*/1, bp,
+                               po + i0 * n + js, n, std::min(mr, m - i0),
+                               std::min(nr, n - js), kc);
+      }
+    }
+  }
+  if (pw.has_epilogue) {
+    for (int64_t i = 0; i < m; ++i) {
+      BiasActRowPerCol(po + i * n, pw.bias.data(), n, act, step.spec_alpha);
+    }
+  }
+}
+
 }  // namespace
 
-void RunStep(const Step& step, float* const* bufs) {
+void RunStep(const Step& step, float* const* bufs, const Plan& plan) {
+  switch (step.spec) {
+    case SpecKind::kNone:
+      break;
+    case SpecKind::kConvPacked:
+      RunConvPacked(step, bufs, plan);
+      return;
+    case SpecKind::kConvDirect:
+      RunConvDirect(step, bufs, plan);
+      return;
+    case SpecKind::kDensePacked:
+      RunDensePacked(step, bufs, plan);
+      return;
+  }
   switch (step.kind) {
     case ag::OpKind::kAdd:
       BinaryMap(step, bufs, [](float x, float y) { return x + y; });
@@ -530,6 +1026,14 @@ void RunStep(const Step& step, float* const* bufs) {
                         << step.op_name;
       break;
   }
+}
+
+int64_t DirectConvScratchElems(const StepGeom& geom, int64_t pad,
+                               PrecisionMode precision) {
+  const int64_t kdim = geom.cin * geom.kh * geom.kw;
+  const int64_t wd =
+      precision == PrecisionMode::kFp32 ? 0 : kdim * geom.cout;
+  return wd + geom.batch * geom.cin * geom.h * DirectPaddedWidth(geom.w, pad);
 }
 
 }  // namespace musenet::infer

@@ -147,22 +147,9 @@ Result<Plan> BuildPlan(const ag::Variable& root, const data::Batch& batch) {
   owners[root.node().get()] = root.node();
 
   std::unordered_map<ag::Node*, int32_t> buf_of;
-  // Per-arena-buffer lifetime: [birth_step, last_step] inclusive; the root's
-  // last_step is pinned past the end so its storage is never recycled.
-  std::vector<int64_t> birth;
-  std::vector<int64_t> last_use;
-
-  auto resolve_base = [&](int32_t idx) {
-    while (plan.buffers[idx].loc == BufLoc::kAlias) {
-      idx = plan.buffers[idx].alias_of;
-    }
-    return idx;
-  };
 
   auto add_buffer = [&](PlanBuffer buffer) {
     plan.buffers.push_back(std::move(buffer));
-    birth.push_back(-1);
-    last_use.push_back(-1);
     return static_cast<int32_t>(plan.buffers.size() - 1);
   };
 
@@ -347,46 +334,65 @@ Result<Plan> BuildPlan(const ag::Variable& root, const data::Batch& batch) {
             std::string("op not plannable: ") + node->op_name);
     }
 
-    const int64_t step_index = static_cast<int64_t>(plan.steps.size());
     buffer.loc = BufLoc::kArena;
     const int32_t out_idx = add_buffer(std::move(buffer));
-    birth[out_idx] = step_index;
-    last_use[out_idx] = step_index;
     buf_of[node] = out_idx;
     step.out = out_idx;
-
-    for (const int32_t in_idx : step.in) {
-      const int32_t base = resolve_base(in_idx);
-      if (plan.buffers[base].loc == BufLoc::kArena) {
-        last_use[base] = std::max(last_use[base], step_index);
-      }
-    }
 
     if (scratch_elems > 0) {
       PlanBuffer scratch;
       scratch.loc = BufLoc::kArena;
       scratch.elems = scratch_elems;
-      const int32_t scratch_idx = add_buffer(std::move(scratch));
-      birth[scratch_idx] = step_index;
-      last_use[scratch_idx] = step_index;
-      step.scratch = scratch_idx;
+      step.scratch = add_buffer(std::move(scratch));
     }
 
     plan.steps.push_back(std::move(step));
   }
 
   plan.root = buf_of.at(root.node().get());
-  {
-    // Pin the prediction buffer (through any trailing Reshape) to the end of
-    // the plan so no later step recycles its storage.
-    const int32_t base = resolve_base(plan.root);
-    if (plan.buffers[base].loc == BufLoc::kArena) {
-      last_use[base] = static_cast<int64_t>(plan.steps.size());
+  LayoutArena(&plan);
+  return plan;
+}
+
+void LayoutArena(Plan* plan) {
+  // Per-arena-buffer lifetime recomputed from the step list: [birth_step,
+  // last_step] inclusive; the root's last_step is pinned past the end so no
+  // step recycles its storage. Buffers no live step touches (folded away by
+  // SpecializePlan) get offset 0 and contribute nothing to the arena.
+  const size_t nbuf = plan->buffers.size();
+  std::vector<int64_t> birth(nbuf, -1);
+  std::vector<int64_t> last_use(nbuf, -1);
+
+  auto resolve_base = [&](int32_t idx) {
+    while (plan->buffers[idx].loc == BufLoc::kAlias) {
+      idx = plan->buffers[idx].alias_of;
+    }
+    return idx;
+  };
+
+  auto touch = [&](int32_t idx, int64_t step_index, bool is_birth) {
+    const int32_t base = resolve_base(idx);
+    if (plan->buffers[base].loc != BufLoc::kArena) return;
+    if (is_birth && birth[base] < 0) birth[base] = step_index;
+    last_use[base] = std::max(last_use[base], step_index);
+  };
+
+  for (size_t s = 0; s < plan->steps.size(); ++s) {
+    const Step& step = plan->steps[s];
+    const int64_t si = static_cast<int64_t>(s);
+    touch(step.out, si, /*is_birth=*/true);
+    if (step.scratch >= 0) touch(step.scratch, si, /*is_birth=*/true);
+    for (const int32_t in_idx : step.in) touch(in_idx, si, false);
+  }
+  if (plan->root >= 0) {
+    const int32_t base = resolve_base(plan->root);
+    if (plan->buffers[base].loc == BufLoc::kArena) {
+      last_use[base] = static_cast<int64_t>(plan->steps.size());
     }
   }
 
-  // Greedy first-fit arena layout over exact lifetimes: place buffers in
-  // birth order at the lowest 64-byte-aligned offset whose previous
+  // Greedy first-fit layout over exact lifetimes: place buffers in index
+  // (≈ birth) order at the lowest 64-byte-aligned offset whose previous
   // occupants' lifetimes are all disjoint from this one.
   struct Placed {
     int64_t offset;
@@ -395,9 +401,14 @@ Result<Plan> BuildPlan(const ag::Variable& root, const data::Batch& batch) {
     int64_t death;
   };
   std::vector<Placed> placed;
-  for (size_t i = 0; i < plan.buffers.size(); ++i) {
-    PlanBuffer& buffer = plan.buffers[i];
+  plan->arena_elems = 0;
+  for (size_t i = 0; i < nbuf; ++i) {
+    PlanBuffer& buffer = plan->buffers[i];
     if (buffer.loc != BufLoc::kArena) continue;
+    if (birth[i] < 0) {
+      buffer.arena_offset = 0;  // Dead: never read or written.
+      continue;
+    }
     const int64_t size = AlignUp(std::max<int64_t>(buffer.elems, 1));
     const int64_t b = birth[i];
     const int64_t d = last_use[i];
@@ -415,10 +426,8 @@ Result<Plan> BuildPlan(const ag::Variable& root, const data::Batch& batch) {
     }
     buffer.arena_offset = offset;
     placed.push_back({offset, offset + size, b, d});
-    plan.arena_elems = std::max(plan.arena_elems, offset + size);
+    plan->arena_elems = std::max(plan->arena_elems, offset + size);
   }
-
-  return plan;
 }
 
 }  // namespace musenet::infer

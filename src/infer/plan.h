@@ -73,6 +73,45 @@ struct StepGeom {
   std::vector<int64_t> aux;  ///< Concat: per-input extents along the axis.
 };
 
+/// Numeric format of a specialized plan's repacked weights. Activations and
+/// accumulation stay fp32 in every mode — reduced precision applies to the
+/// stored weights only (dequantized panel-by-panel into the fp32
+/// micro-kernel), which preserves the engine's determinism contract.
+enum class PrecisionMode : uint8_t {
+  kFp32,  ///< Repacked tiles, full precision.
+  kInt8,  ///< Symmetric per-output-channel int8 weights + fp32 scales.
+  kBf16,  ///< Round-to-nearest-even bf16 weights.
+};
+
+/// How a step was specialized (SpecializePlan); kNone replays the generic
+/// kernel for its OpKind.
+enum class SpecKind : uint8_t {
+  kNone,
+  kConvPacked,   ///< Conv2d with pre-tiled weights + folded bias/act.
+  kConvDirect,   ///< Stride-1 Conv2d, im2col-free direct kernel.
+  kDensePacked,  ///< MatMul with pre-tiled weights + folded bias/act.
+};
+
+/// One plan-time repacked (and optionally quantized) weight. Exactly one of
+/// f32 / bf16 / i8 is populated, matching `precision`; the payload is the
+/// GEMM tile layout (GemmPackATiles for conv — weight is the A operand of
+/// the im2col GEMM — GemmPackBTiles for dense), with BN/affine chains
+/// already folded in. Stride-1 convs use the direct layout instead
+/// (`direct` set): `wd[kk * cout + r]` with kk = (ci·kh + ky)·kw + kx, the
+/// same k order the im2col GEMM reduces in.
+struct PackedWeight {
+  PrecisionMode precision = PrecisionMode::kFp32;
+  bool direct = false;  ///< Direct-conv layout instead of GEMM tiles.
+  std::vector<float> f32;
+  std::vector<uint16_t> bf16;
+  std::vector<int8_t> i8;
+  /// kInt8: per-output-channel dequant scales, padded to the packed extent
+  /// (conv: ceil(cout/mr)·mr, dense: ceil(n/nr)·nr; pad lanes get 1).
+  std::vector<float> scales;
+  std::vector<float> bias;  ///< Folded per-channel shift (β − μ·γ/σ, +bias).
+  bool has_epilogue = false;  ///< Any nonzero bias or non-identity act.
+};
+
 struct Step {
   autograd::OpKind kind = autograd::OpKind::kLeaf;
   autograd::OpAttrs attrs;
@@ -80,17 +119,24 @@ struct Step {
   std::vector<int32_t> in;  ///< Buffer indices of the inputs.
   int32_t out = -1;         ///< Buffer index of the output.
   int32_t scratch = -1;     ///< Arena scratch buffer, or -1.
+  SpecKind spec = SpecKind::kNone;
+  int32_t packed = -1;    ///< Index into Plan::packed_weights (spec only).
+  int32_t spec_act = 0;   ///< tensor::ActKind of the folded epilogue.
+  float spec_alpha = 0;   ///< LeakyRelu slope of the folded epilogue.
   StepGeom geom;
 };
 
 struct Plan {
   std::vector<PlanBuffer> buffers;
   std::vector<Step> steps;
+  std::vector<PackedWeight> packed_weights;  ///< SpecializePlan outputs.
   int32_t root = -1;          ///< Buffer holding the prediction.
   int64_t arena_elems = 0;    ///< Total arena size in floats.
   int64_t batch_size = 0;     ///< Batch size the plan was compiled for.
   tensor::Shape out_shape;    ///< Prediction shape [B, 2, H, W].
   int64_t flops = 0;          ///< GEMM/conv flops per run (for telemetry).
+  PrecisionMode precision = PrecisionMode::kFp32;
+  bool specialized = false;   ///< Any step rewritten by SpecializePlan.
 };
 
 /// Compiles the graph under `root` (a PlanForward result on `batch`) into a
@@ -99,6 +145,13 @@ struct Plan {
 /// the planner's closed kind set (callers then fall back to Predict).
 Result<Plan> BuildPlan(const autograd::Variable& root,
                        const data::Batch& batch);
+
+/// Recomputes arena buffer lifetimes from the current step list and lays the
+/// arena out with the greedy first-fit allocator, updating every kArena
+/// buffer's arena_offset and plan->arena_elems. BuildPlan calls this once;
+/// SpecializePlan calls it again after rewriting steps (folded-away buffers
+/// get offset 0 and cost no arena space, since no live step touches them).
+void LayoutArena(Plan* plan);
 
 }  // namespace musenet::infer
 

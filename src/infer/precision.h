@@ -1,0 +1,29 @@
+#ifndef MUSENET_INFER_PRECISION_H_
+#define MUSENET_INFER_PRECISION_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace musenet::infer {
+
+// bf16 <-> f32 conversion for reduced-precision weight storage. bf16 is the
+// top 16 bits of an IEEE-754 float; encoding rounds to nearest even, so a
+// round trip is the standard bf16 quantization (max relative error 2^-8).
+
+inline uint16_t Bf16FromF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits += 0x7FFFu + ((bits >> 16) & 1u);  // Round to nearest even.
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+inline float F32FromBf16(uint16_t v) {
+  const uint32_t bits = static_cast<uint32_t>(v) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+}  // namespace musenet::infer
+
+#endif  // MUSENET_INFER_PRECISION_H_

@@ -17,7 +17,7 @@ namespace ts = musenet::tensor;
 
 InferenceSession::InferenceSession(eval::Forecaster& model,
                                    SessionOptions options)
-    : engine_(model), options_(options) {
+    : engine_(model, options.engine), options_(options) {
   MUSE_CHECK(options_.max_batch >= 1) << "max_batch must be >= 1";
   MUSE_CHECK(options_.max_wait_ms >= 0.0) << "max_wait_ms must be >= 0";
   dispatcher_ = std::thread([this] { DispatchLoop(); });

@@ -317,4 +317,46 @@ void GemmAccF32TransA(int64_t m, int64_t n, int64_t k, const float* at,
   GemmDriver(m, n, k, at, 1, ldat, b, ldb, 1, c, ldc, pack_scratch);
 }
 
+static_assert(kMr <= kGemmMaxMr && kNr <= kGemmMaxNr,
+              "stack-buffer bounds in packed-replay callers assume this");
+static_assert(kKc == kGemmKc, "packed layouts assume the K-panel height");
+
+GemmTile GemmTileShape() { return {kMr, kNr}; }
+
+int64_t GemmPackedBElems(int64_t k, int64_t n) {
+  return k * ((n + kNr - 1) / kNr * kNr);
+}
+
+void GemmPackBTiles(int64_t k, int64_t n, const float* b, int64_t ldb,
+                    float* out) {
+  const int64_t ceil_n = (n + kNr - 1) / kNr * kNr;
+  for (int64_t kp = 0; kp < k; kp += kKc) {
+    const int64_t kc = std::min(kKc, k - kp);
+    // PackB's strip stride is kc·kNr, exactly the per-panel layout above.
+    PackB(b + kp * ldb, ldb, 1, kc, n, out + kp * ceil_n);
+  }
+}
+
+int64_t GemmPackedAElems(int64_t m, int64_t k) {
+  return (m + kMr - 1) / kMr * kMr * k;
+}
+
+void GemmPackATiles(int64_t m, int64_t k, const float* a, int64_t lda,
+                    float* out) {
+  for (int64_t i0 = 0; i0 < m; i0 += kMr) {
+    float* panel = out + i0 * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      for (int64_t r = 0; r < kMr; ++r) {
+        panel[kk * kMr + r] = i0 + r < m ? a[(i0 + r) * lda + kk] : 0.0f;
+      }
+    }
+  }
+}
+
+void GemmMicroKernelAcc(const float* a, int64_t a_rs, int64_t a_ks,
+                        const float* bp, float* c, int64_t ldc, int64_t mr,
+                        int64_t nr, int64_t kc) {
+  MicroKernel(a, a_rs, a_ks, bp, c, ldc, mr, nr, kc);
+}
+
 }  // namespace musenet::tensor

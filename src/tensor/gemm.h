@@ -50,6 +50,66 @@ void GemmAccF32TransA(int64_t m, int64_t n, int64_t k, const float* at,
                       int64_t ldat, const float* b, int64_t ldb, float* c,
                       int64_t ldc, float* pack_scratch = nullptr);
 
+// --- Tile-layout exports for plan-time weight specialization ---------------
+//
+// The graph-free inference engine repacks weights into the micro-kernel's
+// native tile layout once at plan build, then replays with GemmMicroKernelAcc
+// directly — skipping the per-call PackB pass. The helpers below expose the
+// micro-kernel's tiling so the packed layout can be produced (and consumed)
+// outside this translation unit without duplicating the constants.
+//
+// Accumulation order through GemmMicroKernelAcc is the micro-kernel's own —
+// ascending k within a K-panel, panels in ascending order when the caller
+// loops them that way — i.e. identical to GemmAccF32's, so replaying packed
+// weights is numerically indistinguishable from the unpacked path.
+
+/// Upper bounds on the ISA-selected tile (compile-time constants so callers
+/// can size stack buffers). The actual tile is GemmTileShape().
+inline constexpr int64_t kGemmMaxMr = 8;
+inline constexpr int64_t kGemmMaxNr = 32;
+/// K-panel height shared by every packed layout (kKc in gemm.cc).
+inline constexpr int64_t kGemmKc = 256;
+
+/// The micro-kernel tile selected for this build's ISA.
+struct GemmTile {
+  int64_t mr = 0;  ///< Rows of C per micro-kernel call.
+  int64_t nr = 0;  ///< Columns of C per call (one packed strip width).
+};
+GemmTile GemmTileShape();
+
+/// Elements of a fully packed B operand: every K-panel stores
+/// ceil(n / nr)·nr columns (last strip zero-padded), so the total is
+/// k · ceil(n / nr) · nr.
+int64_t GemmPackedBElems(int64_t k, int64_t n);
+
+/// Packs all of B[k,n] (row-major, leading dimension ldb) into the tiled
+/// layout: K-panel kp (kc_p = min(kGemmKc, k − kp) rows) starts at element
+/// kp · ceil_n; within a panel, strip s = j/nr is kc_p·nr floats, k-major
+/// (element (kk, j) of the panel at s·kc_p·nr + kk·nr + j%nr), right-padded
+/// with zeros to full strip width.
+void GemmPackBTiles(int64_t k, int64_t n, const float* b, int64_t ldb,
+                    float* out);
+
+/// Elements of a fully packed A operand: ceil(m / mr)·mr rows (last row
+/// panel zero-padded) of k columns each.
+int64_t GemmPackedAElems(int64_t m, int64_t k);
+
+/// Packs all of A[m,k] (row-major, leading dimension lda) into row panels of
+/// mr rows: panel starting at row i0 begins at element i0·k; element (r, kk)
+/// within the panel sits at kk·mr + r, so a K-panel slice of the panel
+/// starts at i0·k + kp·mr and is read with strides a_rs = 1, a_ks = mr.
+void GemmPackATiles(int64_t m, int64_t k, const float* a, int64_t lda,
+                    float* out);
+
+/// One micro-kernel call: C-tile [mr ≤ tile.mr, nr ≤ tile.nr] += A-rows ×
+/// one packed B strip over a K-panel of kc rows. `a` is addressed as
+/// A[r][kk] = a[r·a_rs + kk·a_ks]; `bp` is one strip of the packed layout
+/// above (row stride = full tile.nr, zero-padded). Lanes past `nr` compute
+/// on the packed zeros and are never stored. No allocation.
+void GemmMicroKernelAcc(const float* a, int64_t a_rs, int64_t a_ks,
+                        const float* bp, float* c, int64_t ldc, int64_t mr,
+                        int64_t nr, int64_t kc);
+
 }  // namespace musenet::tensor
 
 #endif  // MUSENET_TENSOR_GEMM_H_

@@ -10,7 +10,15 @@
 // (e) the serving session coalesces single-grid requests into batches and
 //     returns per-request slices identical to a direct model Predict;
 // (f) the per-layer Conv2d workspace keeps repeated eval forwards off the
-//     storage pool's fresh-allocation path.
+//     storage pool's fresh-allocation path;
+// (g) plan-time specialization: the BN-folded fp32 plan matches the
+//     unfused engine within 1e-5 for MUSE-Net and every neural baseline
+//     (1 and 4 threads, pooled and unpooled), int8/bf16 replay stays inside
+//     its max-abs-delta and MAE-delta budgets, the accuracy gate rejects
+//     and falls back to the base plan when asked for the impossible, and
+//     specialized replay honors the zero-allocation contract;
+// (h) lane sharding covers every sample for prime batch sizes (near-equal
+//     split, not the old divisor rule that collapsed 7 samples to 1 lane).
 
 #include <atomic>
 #include <cstdlib>
@@ -221,6 +229,7 @@ TEST(InferEngineTest, ShardedBatchMatchesModelAndStaysOffTheHeap) {
   const ts::Tensor ref = model.Predict(batch);
   ts::Tensor out = engine.Predict(batch);
   EXPECT_EQ(engine.shard_lanes_for(8), 4);  // 8 samples over 4 threads.
+  EXPECT_EQ(engine.shard_sizes_for(8), (std::vector<int64_t>{2, 2, 2, 2}));
   EXPECT_LE(MaxAbsDiff(out, ref), 1e-6f);
 
   // The sharded replay path is held to the same zero-allocation contract as
@@ -231,6 +240,28 @@ TEST(InferEngineTest, ShardedBatchMatchesModelAndStaysOffTheHeap) {
     ASSERT_TRUE(engine.PredictInto(batch, &out).ok());
   }
   EXPECT_EQ(before, g_alloc_count.load(std::memory_order_relaxed));
+  EXPECT_LE(MaxAbsDiff(out, ref), 1e-6f);
+}
+
+TEST(InferEngineTest, PrimeBatchShardsAcrossAllLanesAndCoversEverySample) {
+  ThreadPool pool(4);
+  ScopedActivePool scoped(&pool);
+  muse::MuseNet model(TinyMuseConfig(), 5);
+  model.SetTraining(false);
+  infer::Engine engine(model);
+  data::Batch batch = TinyBatch(TinySpec(), 3, 4, 13, /*batch=*/7);
+
+  const ts::Tensor ref = model.Predict(batch);
+  const ts::Tensor out = engine.Predict(batch);
+  // The old divisor rule had no lane count in (1, 7] dividing 7 and ran a
+  // prime batch on a single lane; the near-equal split fans it out over all
+  // four threads, first 7 mod 4 lanes one sample larger.
+  EXPECT_EQ(engine.shard_lanes_for(7), 4);
+  const std::vector<int64_t> sizes = engine.shard_sizes_for(7);
+  EXPECT_EQ(sizes, (std::vector<int64_t>{2, 2, 2, 1}));
+  int64_t covered = 0;
+  for (const int64_t s : sizes) covered += s;
+  EXPECT_EQ(covered, 7);
   EXPECT_LE(MaxAbsDiff(out, ref), 1e-6f);
 }
 
@@ -251,6 +282,171 @@ TEST(InferEngineTest, PredictIntoRequiresWarmPlan) {
   data::Batch batch = TinyBatch(TinySpec(), 3, 4, 13);
   ts::Tensor out(ts::Shape({2, 2, 3, 4}));
   EXPECT_FALSE(engine.PredictInto(batch, &out).ok());
+}
+
+// --- (g) Plan-time specialization --------------------------------------------
+
+/// Builds a specializing engine over `model` and checks its output against
+/// the model's own eval forward on the traced batch and on a batch the plan
+/// never saw, within `tol`. Asserts the specialized plan was actually
+/// adopted (gate passed) rather than silently serving the base plan.
+void CheckSpecializedParity(eval::Forecaster& model, const std::string& label,
+                            infer::PrecisionMode precision, float tol) {
+  data::Batch traced_on = TinyBatch(TinySpec(), 3, 4, 13);
+  data::Batch fresh = TinyBatch(TinySpec(), 3, 4, 29);
+  if (auto* module = dynamic_cast<nn::Module*>(&model)) {
+    module->SetTraining(false);
+  }
+  const ts::Tensor ref_traced = model.Predict(traced_on);
+  const ts::Tensor ref_fresh = model.Predict(fresh);
+
+  infer::EngineOptions options;
+  options.specialize = true;
+  options.precision = precision;
+  infer::Engine engine(model, options);
+  const ts::Tensor got_traced = engine.Predict(traced_on);
+  const int64_t bsz = traced_on.batch_size();
+  ASSERT_FALSE(engine.fallback_for(bsz)) << label;
+  ASSERT_TRUE(engine.spec_active_for(bsz)) << label << " gate rejected plan";
+  EXPECT_GE(engine.spec_delta_for(bsz), 0.0f) << label;
+  const ts::Tensor warm = engine.Predict(traced_on);
+  const ts::Tensor got_fresh = engine.Predict(fresh);
+  EXPECT_LE(MaxAbsDiff(got_traced, ref_traced), tol) << label;
+  EXPECT_LE(MaxAbsDiff(warm, ref_traced), tol) << label;
+  EXPECT_LE(MaxAbsDiff(got_fresh, ref_fresh), tol) << label;
+}
+
+TEST(InferSpecializeTest, Fp32FoldedPlanMatchesModelAcrossThreadsAndPools) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ScopedActivePool scoped(&pool);
+    for (bool pooled : {true, false}) {
+      std::unique_ptr<ts::ScopedPoolDisable> disable;
+      if (!pooled) disable = std::make_unique<ts::ScopedPoolDisable>();
+      muse::MuseNet model(TinyMuseConfig(), 5);
+      CheckSpecializedParity(
+          model,
+          "MUSE-Net spec-fp32 threads=" + std::to_string(threads) +
+              (pooled ? " pooled" : " unpooled"),
+          infer::PrecisionMode::kFp32, 1e-5f);
+    }
+  }
+}
+
+TEST(InferSpecializeTest, Fp32FoldedPlanMatchesEveryNeuralBaseline) {
+  baselines::BaselineSizing sizing;
+  sizing.grid_h = 3;
+  sizing.grid_w = 4;
+  sizing.spec = TinySpec();
+  sizing.hidden = 4;
+  sizing.resplus_blocks = 1;
+  sizing.seed = 11;
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ScopedActivePool scoped(&pool);
+    for (const std::string& name : baselines::AllBaselineNames()) {
+      if (name == "HistoricalAverage") continue;  // Unplannable.
+      auto model = baselines::MakeBaseline(name, sizing);
+      ASSERT_NE(model, nullptr) << name;
+      CheckSpecializedParity(
+          *model, name + " spec-fp32 threads=" + std::to_string(threads),
+          infer::PrecisionMode::kFp32, 1e-5f);
+    }
+  }
+}
+
+TEST(InferSpecializeTest, ReducedPrecisionStaysInsideDeltaAndMaeBudgets) {
+  ThreadPool pool(1);
+  ScopedActivePool scoped(&pool);
+  muse::MuseNet model(TinyMuseConfig(), 5);
+  model.SetTraining(false);
+  data::Batch batch = TinyBatch(TinySpec(), 3, 4, 13);
+  data::Batch held_out = TinyBatch(TinySpec(), 3, 4, 77);
+  const int64_t bsz = batch.batch_size();
+
+  // Reference: the unspecialized fp32 engine, and its error against the
+  // batch targets (the "test-set MAE" at this tiny scale).
+  infer::Engine fp32(model);
+  const ts::Tensor ref = fp32.Predict(held_out);
+  auto mae_vs_target = [&](const ts::Tensor& pred) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < pred.num_elements(); ++i) {
+      acc += std::abs(static_cast<double>(pred.flat(i)) -
+                      static_cast<double>(held_out.target.flat(i)));
+    }
+    return acc / static_cast<double>(pred.num_elements());
+  };
+  const double mae_ref = mae_vs_target(ref);
+
+  struct Case {
+    infer::PrecisionMode mode;
+    float budget;  ///< Engine default gate for the mode; also the MAE cap.
+    const char* name;
+  };
+  for (const Case& c : {Case{infer::PrecisionMode::kBf16, 5e-2f, "bf16"},
+                        Case{infer::PrecisionMode::kInt8, 2.5e-1f, "int8"}}) {
+    infer::EngineOptions options;
+    options.specialize = true;
+    options.precision = c.mode;
+    infer::Engine engine(model, options);
+    engine.Predict(batch);
+    ASSERT_TRUE(engine.spec_active_for(bsz)) << c.name;
+    EXPECT_GE(engine.spec_delta_for(bsz), 0.0f) << c.name;
+    EXPECT_LE(engine.spec_delta_for(bsz), c.budget) << c.name;
+    // Held-out batch: element deltas and the MAE shift both stay inside the
+    // mode's budget (mean |spec − fp32| bounds the MAE delta from above).
+    const ts::Tensor got = engine.Predict(held_out);
+    EXPECT_LE(MaxAbsDiff(got, ref), c.budget) << c.name;
+    EXPECT_LE(std::abs(mae_vs_target(got) - mae_ref),
+              static_cast<double>(c.budget))
+        << c.name;
+  }
+}
+
+TEST(InferSpecializeTest, ImpossibleGateRejectsPlanAndKeepsFp32Numerics) {
+  ThreadPool pool(1);
+  ScopedActivePool scoped(&pool);
+  muse::MuseNet model(TinyMuseConfig(), 5);
+  model.SetTraining(false);
+  infer::EngineOptions options;
+  options.specialize = true;
+  options.precision = infer::PrecisionMode::kInt8;
+  options.max_abs_delta = 0.0f;  // int8 cannot be bit-exact: must reject.
+  infer::Engine engine(model, options);
+  data::Batch batch = TinyBatch(TinySpec(), 3, 4, 13);
+
+  const ts::Tensor ref = model.Predict(batch);
+  const ts::Tensor got = engine.Predict(batch);
+  const int64_t bsz = batch.batch_size();
+  EXPECT_FALSE(engine.spec_active_for(bsz));
+  EXPECT_GT(engine.spec_delta_for(bsz), 0.0f);  // Attempt was measured.
+  // The rejected plan is discarded; the base fp32 plan serves unchanged.
+  EXPECT_LE(MaxAbsDiff(got, ref), 1e-6f);
+}
+
+TEST(InferSpecializeTest, SpecializedReplayStaysOffTheHeap) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ScopedActivePool scoped(&pool);
+    muse::MuseNet model(TinyMuseConfig(), 5);
+    infer::EngineOptions options;
+    options.specialize = true;
+    options.precision = infer::PrecisionMode::kInt8;  // Dequant-heaviest path.
+    infer::Engine engine(model, options);
+    data::Batch batch = TinyBatch(TinySpec(), 3, 4, 13);
+
+    ts::Tensor out = engine.Predict(batch);
+    ASSERT_TRUE(engine.spec_active_for(batch.batch_size()));
+    ASSERT_TRUE(engine.PredictInto(batch, &out).ok());
+
+    const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(engine.PredictInto(batch, &out).ok());
+    }
+    EXPECT_EQ(before, g_alloc_count.load(std::memory_order_relaxed))
+        << "specialized replay must not touch the heap (threads=" << threads
+        << ")";
+  }
 }
 
 // --- (c) NoGradGuard semantics ----------------------------------------------

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Shared provenance stamp for the run_*_bench.sh scripts: emits a JSON object
+# identifying exactly what was measured — git SHA, compiler + the flags the
+# build directory was configured with, and the SIMD tier the GEMM
+# micro-kernel dispatches to on this host (avx512 / avx2 / scalar). Sourced,
+# not executed.
+#
+#   source "$repo_root/tools/bench_provenance.sh"
+#   prov="$(bench_provenance_json "$repo_root" "$build_dir")"
+
+bench_provenance_json() {  # bench_provenance_json <repo_root> <build_dir>
+  local root="$1" bdir="$2"
+  local sha cache cxx compiler flags native isa
+  sha="$(git -C "$root" rev-parse HEAD 2>/dev/null || echo unknown)"
+  cache="$bdir/CMakeCache.txt"
+  cxx="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$cache" 2>/dev/null | head -1)"
+  compiler="$("${cxx:-c++}" --version 2>/dev/null | head -1 || true)"
+  [[ -n "$compiler" ]] || compiler=unknown
+  flags="$(sed -n 's/^CMAKE_CXX_FLAGS_RELEASE:[^=]*=//p' "$cache" 2>/dev/null | head -1)"
+  native="$(sed -n 's/^MUSENET_NATIVE_ARCH:[^=]*=//p' "$cache" 2>/dev/null | head -1)"
+  if [[ "$native" == "ON" ]]; then
+    flags="${flags:+$flags }-march=native"
+  fi
+  # ISA tier of the benchmarked binary. The GEMM micro-kernel selects its
+  # tier at compile time (src/tensor/gemm.cc #if __AVX512F__ / __AVX2__), so
+  # the host CPU only matters when the build targets the host
+  # (-march=native or explicit -mavx* flags); otherwise the binary is the
+  # portable scalar kernel regardless of what the CPU supports.
+  if [[ "$native" == "ON" || "$flags" == *-march=native* ]]; then
+    if grep -qw avx512f /proc/cpuinfo 2>/dev/null; then
+      isa=avx512
+    elif grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+      isa=avx2
+    else
+      isa=scalar
+    fi
+  elif [[ "$flags" == *avx512f* ]]; then
+    isa=avx512
+  elif [[ "$flags" == *avx2* ]]; then
+    isa=avx2
+  else
+    isa=scalar
+  fi
+  printf '{"git_sha": "%s", "compiler": "%s", "cxx_flags": "%s", "isa": "%s"}\n' \
+    "$sha" "$compiler" "$flags" "$isa"
+}

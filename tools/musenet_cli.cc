@@ -16,6 +16,7 @@
 // validates shapes).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -81,6 +82,37 @@ sim::DatasetId ParseDataset(const std::string& name) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Shared --specialize / --precision / --max-abs-delta parsing for serve and
+/// bench-infer. A non-fp32 precision implies --specialize 1. Returns false
+/// (with a message on stderr) on an unknown precision name.
+bool ParseEngineOptions(const Args& args, infer::EngineOptions* out) {
+  const std::string precision = args.Get("precision", "fp32");
+  if (precision == "fp32") {
+    out->precision = infer::PrecisionMode::kFp32;
+  } else if (precision == "int8") {
+    out->precision = infer::PrecisionMode::kInt8;
+  } else if (precision == "bf16") {
+    out->precision = infer::PrecisionMode::kBf16;
+  } else {
+    std::fprintf(stderr, "error: unknown --precision '%s' (fp32|int8|bf16)\n",
+                 precision.c_str());
+    return false;
+  }
+  const bool non_fp32 = out->precision != infer::PrecisionMode::kFp32;
+  out->specialize = args.GetInt("specialize", non_fp32 ? 1 : 0) != 0;
+  out->max_abs_delta =
+      static_cast<float>(args.GetDouble("max-abs-delta", -1.0));
+  return true;
+}
+
+const char* PrecisionName(infer::PrecisionMode mode) {
+  switch (mode) {
+    case infer::PrecisionMode::kInt8: return "int8";
+    case infer::PrecisionMode::kBf16: return "bf16";
+    default: return "fp32";
+  }
 }
 
 int Simulate(const Args& args) {
@@ -282,6 +314,7 @@ int Serve(const Args& args) {
   infer::SessionOptions options;
   options.max_batch = args.GetInt("max-batch", 8);
   options.max_wait_ms = args.GetDouble("max-wait-ms", 2.0);
+  if (!ParseEngineOptions(args, &options.engine)) return 2;
   const std::string trace_out = args.Get("trace-out", "");
   const std::string metrics_out = args.Get("metrics-out", "");
   if (!trace_out.empty()) obs::StartTracing();
@@ -329,6 +362,15 @@ int Serve(const Args& args) {
       options.max_wait_ms);
   std::printf("latency ms: p50 %.3f  p99 %.3f\n", Percentile(all, 0.5),
               Percentile(all, 0.99));
+  if (options.engine.specialize) {
+    std::printf(
+        "specialization: precision=%s plans_adopted=%lld plans_rejected=%lld\n",
+        PrecisionName(options.engine.precision),
+        static_cast<long long>(
+            obs::GetCounter("infer.engine.spec_builds").Value()),
+        static_cast<long long>(
+            obs::GetCounter("infer.engine.spec_rejected").Value()));
+  }
 
   if (!trace_out.empty()) {
     const Status wrote = obs::StopTracingAndWrite(trace_out);
@@ -352,6 +394,9 @@ int BenchInfer(const Args& args) {
   if (!loaded.ok()) return Fail(loaded.status());
   auto model = LoadModel(args, loaded->config);
   if (!model.ok()) return Fail(model.status());
+
+  infer::EngineOptions eopts;
+  if (!ParseEngineOptions(args, &eopts)) return 2;
 
   const int iters = std::max(1, args.GetInt("iters", 50));
   const int batch_size = std::max(1, args.GetInt("batch", 1));
@@ -402,10 +447,67 @@ int BenchInfer(const Args& args) {
       "engine throughput: %.1f samples/s\n",
       batch_size, threads, iters, a50, a99, e50, e99, a50 / e50, throughput);
 
+  // Optional specialized engine: same plan shapes, but BN folded into the
+  // weights and the weights repacked (possibly quantized) at plan time.
+  // Timed against the fp32 engine above, and accuracy-checked on held-out
+  // test batches (max element delta and per-engine MAE in real flow units).
+  double s50 = 0.0, s99 = 0.0;
+  double max_abs_delta = 0.0, mae_fp32 = 0.0, mae_spec = 0.0;
+  bool spec_active = false;
+  if (eopts.specialize) {
+    infer::Engine spec_engine(**model, eopts);
+    tensor::Tensor sout = spec_engine.Predict(batch);  // Warm + gate.
+    spec_active = spec_engine.spec_active_for(batch_size);
+    std::vector<double> spec_ms;
+    for (int i = 0; i < iters; ++i) {
+      util::Stopwatch watch;
+      const Status run = spec_engine.PredictInto(batch, &sout);
+      if (!run.ok()) return Fail(run);
+      spec_ms.push_back(watch.ElapsedMillis());
+    }
+    s50 = Percentile(spec_ms, 0.5);
+    s99 = Percentile(spec_ms, 0.99);
+
+    // Accuracy sweep over held-out test batches (scaler-inverted units).
+    const auto& scaler = loaded->dataset.scaler();
+    const int calib = std::max(1, args.GetInt("calib-batches", 8));
+    double abs_fp32 = 0.0, abs_spec = 0.0;
+    int64_t count = 0;
+    for (int cb = 0; cb < calib; ++cb) {
+      std::vector<int64_t> idx;
+      for (int b = 0; b < batch_size; ++b) {
+        const size_t at = static_cast<size_t>(cb) * batch_size + b;
+        idx.push_back(test[at % test.size()]);
+      }
+      data::Batch probe = loaded->dataset.MakeBatch(idx);
+      tensor::Tensor ref = engine.Predict(probe);
+      tensor::Tensor got = spec_engine.Predict(probe);
+      for (int64_t i = 0; i < ref.num_elements(); ++i) {
+        const double d = std::abs(static_cast<double>(got.flat(i)) -
+                                  static_cast<double>(ref.flat(i)));
+        if (d > max_abs_delta) max_abs_delta = d;
+        abs_fp32 += std::abs(scaler.Inverse(ref.flat(i)) -
+                             scaler.Inverse(probe.target.flat(i)));
+        abs_spec += std::abs(scaler.Inverse(got.flat(i)) -
+                             scaler.Inverse(probe.target.flat(i)));
+      }
+      count += ref.num_elements();
+    }
+    mae_fp32 = abs_fp32 / static_cast<double>(count);
+    mae_spec = abs_spec / static_cast<double>(count);
+    std::printf(
+        "specialized(%s) Predict ms: p50 %.3f  p99 %.3f  (%.2fx vs engine)\n"
+        "specialized accuracy: active=%d max_abs_delta %.6g  "
+        "mae fp32 %.4f vs spec %.4f (delta %.4g)\n",
+        PrecisionName(eopts.precision), s50, s99, e50 / s50,
+        spec_active ? 1 : 0, max_abs_delta, mae_fp32, mae_spec,
+        mae_spec - mae_fp32);
+  }
+
   const std::string out_path = args.Get("out", "");
   if (!out_path.empty()) {
-    char buf[512];
-    std::snprintf(
+    char buf[1280];
+    int len = std::snprintf(
         buf, sizeof(buf),
         "{\n"
         "  \"batch\": %d,\n"
@@ -414,10 +516,32 @@ int BenchInfer(const Args& args) {
         "  \"autograd_ms\": {\"p50\": %.6f, \"p99\": %.6f},\n"
         "  \"engine_ms\": {\"p50\": %.6f, \"p99\": %.6f},\n"
         "  \"speedup_p50\": %.3f,\n"
-        "  \"engine_throughput_rps\": %.3f\n"
-        "}\n",
+        "  \"engine_throughput_rps\": %.3f",
         batch_size, threads, iters, a50, a99, e50, e99, a50 / e50,
         throughput);
+    if (eopts.specialize && len > 0 &&
+        static_cast<size_t>(len) < sizeof(buf)) {
+      len += std::snprintf(
+          buf + len, sizeof(buf) - static_cast<size_t>(len),
+          ",\n"
+          "  \"precision\": \"%s\",\n"
+          "  \"specialized\": {\n"
+          "    \"engine_ms\": {\"p50\": %.6f, \"p99\": %.6f},\n"
+          "    \"speedup_vs_fp32_engine\": %.3f,\n"
+          "    \"spec_active\": %s,\n"
+          "    \"max_abs_delta\": %.6g,\n"
+          "    \"mae_fp32\": %.6f,\n"
+          "    \"mae_spec\": %.6f,\n"
+          "    \"mae_delta\": %.6g\n"
+          "  }",
+          PrecisionName(eopts.precision), s50, s99, e50 / s50,
+          spec_active ? "true" : "false", max_abs_delta, mae_fp32, mae_spec,
+          mae_spec - mae_fp32);
+    }
+    if (len > 0 && static_cast<size_t>(len) < sizeof(buf)) {
+      std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+                    "\n}\n");
+    }
     const Status wrote = util::AtomicWriteFile(out_path, buf);
     if (!wrote.ok()) return Fail(wrote);
     std::printf("wrote %s\n", out_path.c_str());
@@ -442,8 +566,12 @@ int Usage() {
       "  predict   --flows FILE --ckpt FILE --index I [--d D] [--k K]\n"
       "  serve     --flows FILE --ckpt FILE [--requests N] [--clients C]\n"
       "            [--max-batch B] [--max-wait-ms W] [--d D] [--k K]\n"
-      "            [--trace-out FILE] [--metrics-out FILE]\n"
+      "            [--specialize 0|1] [--precision fp32|int8|bf16]\n"
+      "            [--max-abs-delta D] [--trace-out FILE]\n"
+      "            [--metrics-out FILE]\n"
       "  bench-infer --flows FILE --ckpt FILE [--iters N] [--batch B]\n"
+      "            [--specialize 0|1] [--precision fp32|int8|bf16]\n"
+      "            [--max-abs-delta D] [--calib-batches N]\n"
       "            [--d D] [--k K] [--out FILE]\n");
   return 2;
 }

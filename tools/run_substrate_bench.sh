@@ -23,4 +23,16 @@ cmake --build "$build_dir" --target bench_micro_substrate -j"$(nproc)"
   --benchmark_out_format=json \
   "$@"
 
+# Stamp provenance into the google-benchmark JSON so the record identifies
+# the commit, compiler, flags, and GEMM ISA tier it was measured at.
+source "$repo_root/tools/bench_provenance.sh"
+provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
+python3 - "$repo_root/BENCH_substrate.json" "$provenance" <<'PY'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+doc["provenance"] = json.loads(sys.argv[2])
+json.dump(doc, open(path, "w"), indent=2)
+PY
+
 echo "Wrote $repo_root/BENCH_substrate.json"

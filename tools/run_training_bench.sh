@@ -30,7 +30,10 @@ trap 'rm -f "$raw_json"' EXIT
   --benchmark_min_time=2 \
   "$@"
 
-python3 - "$raw_json" "$repo_root/BENCH_training.json" <<'PY'
+source "$repo_root/tools/bench_provenance.sh"
+provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
+
+python3 - "$raw_json" "$repo_root/BENCH_training.json" "$provenance" <<'PY'
 import json, sys
 
 # Pre-PR throughput (items/s), measured with this same benchmark at the
@@ -43,7 +46,9 @@ BASELINE = {
 }
 
 raw = json.load(open(sys.argv[1]))
-out = {"context": raw["context"], "benchmarks": []}
+out = {"context": raw["context"],
+       "provenance": json.loads(sys.argv[3]),
+       "benchmarks": []}
 for bench in raw["benchmarks"]:
     entry = dict(bench)
     base = BASELINE.get(bench["name"])
