@@ -3,9 +3,10 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "infer/engine.h"
+#include "bench/bench_pipeline.h"
 #include "tensor/serialize.h"
 #include "util/check.h"
+#include "util/io.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -101,15 +102,31 @@ std::unique_ptr<eval::Forecaster> MakeModel(const std::string& name,
 
 namespace {
 
-std::string CacheKey(sim::DatasetId id, const std::string& model_name,
-                     int64_t horizon_offset, const ExperimentContext& ctx) {
-  std::string sanitized = model_name;
-  for (char& ch : sanitized) {
-    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+/// Runs a mini pipeline graph and returns the payload of `want_stage`.
+/// Shared by the pipeline-backed bench caches below: the stage cache under
+/// `<results_dir>/cache/pipeline` replaces the old flat .tensors files, so
+/// the table/figure binaries and the `musenet pipeline` verb now reuse each
+/// other's trainings (same content keys → same entries).
+const std::string& RunGraphFor(pipeline::Pipeline& graph, int want_stage,
+                               const ExperimentContext& ctx,
+                               const char* what) {
+  pipeline::Pipeline::RunOptions options;
+  options.cache_dir = PipelineCacheDir(ctx);
+  options.verbose = false;
+  util::Stopwatch watch;
+  auto run = graph.Run(options);
+  MUSE_CHECK(run.ok()) << what << " pipeline failed: "
+                       << run.status().ToString();
+  const pipeline::StageOutcome& oc = graph.outcome(want_stage);
+  if (oc.state == pipeline::StageOutcome::State::kHit) {
+    std::printf("  [%s] cached\n", graph.stage_name(want_stage).c_str());
+  } else {
+    std::printf("  [%s] computed in %.0fs\n",
+                graph.stage_name(want_stage).c_str(),
+                watch.ElapsedSeconds());
   }
-  return ctx.results_dir + "/cache/" + ctx.scale.name + "_s" +
-         std::to_string(ctx.scale.seed) + "_" + sim::DatasetName(id) + "_h" +
-         std::to_string(horizon_offset) + "_" + sanitized + ".tensors";
+  std::fflush(stdout);
+  return graph.payload(want_stage);
 }
 
 }  // namespace
@@ -118,103 +135,50 @@ eval::PredictionSeries GetOrComputePredictions(sim::DatasetId id,
                                                const std::string& model_name,
                                                int64_t horizon_offset,
                                                const ExperimentContext& ctx) {
-  const std::string path = CacheKey(id, model_name, horizon_offset, ctx);
-  const bool cache_enabled = GetEnvOr("MUSE_BENCH_NO_CACHE", "0") != "1";
-  if (cache_enabled) {
-    auto loaded = ts::LoadTensors(path);
-    if (loaded.ok() && loaded->count("predictions") &&
-        loaded->count("truths") && loaded->count("indices")) {
-      eval::PredictionSeries series;
-      series.predictions = loaded->at("predictions");
-      series.truths = loaded->at("truths");
-      const ts::Tensor& idx = loaded->at("indices");
-      for (int64_t i = 0; i < idx.num_elements(); ++i) {
-        series.target_indices.push_back(static_cast<int64_t>(idx.flat(i)));
-      }
-      std::printf("  [%s @ %s h=%lld] cached\n", model_name.c_str(),
-                  sim::DatasetName(id).c_str(),
-                  static_cast<long long>(horizon_offset));
-      return series;
-    }
-  }
-
-  data::TrafficDataset dataset = LoadDataset(id, ctx, horizon_offset);
-  std::unique_ptr<eval::Forecaster> model =
-      MakeModel(model_name, dataset, ctx);
-  util::Stopwatch watch;
-  model->Train(dataset, ctx.train);
-  // Test-set predictions run through the graph-free inference engine (one
-  // planning pass, then static replay); unplannable models fall back to
-  // their own Predict inside the wrapper.
-  infer::EngineForecaster planned(*model);
-  eval::PredictionSeries series = eval::CollectPredictions(
-      planned, dataset, dataset.test_indices(), ctx.train.batch_size);
-  std::printf("  [%s @ %s h=%lld] trained in %.0fs\n", model_name.c_str(),
-              sim::DatasetName(id).c_str(),
-              static_cast<long long>(horizon_offset),
-              watch.ElapsedSeconds());
-  std::fflush(stdout);
-
-  if (cache_enabled) {
-    ts::Tensor idx(ts::Shape(
-        {static_cast<int64_t>(series.target_indices.size())}));
-    for (size_t i = 0; i < series.target_indices.size(); ++i) {
-      idx.flat(static_cast<int64_t>(i)) =
-          static_cast<float>(series.target_indices[i]);
-    }
-    std::map<std::string, ts::Tensor> blob;
-    blob.emplace("predictions", series.predictions);
-    blob.emplace("truths", series.truths);
-    blob.emplace("indices", std::move(idx));
-    const Status status = ts::SaveTensors(path, blob);
-    if (!status.ok()) {
-      std::fprintf(stderr, "cache write failed: %s\n",
-                   status.ToString().c_str());
-    }
-  }
-  return series;
+  pipeline::Pipeline graph;
+  const int sim_stage = AddSimulateStage(&graph, ctx, id);
+  const int ds_stage = AddDatasetStage(&graph, ctx, id, horizon_offset,
+                                       sim_stage);
+  auto train = AddTrainStage(&graph, ctx, id, model_name, horizon_offset,
+                             sim_stage, ds_stage);
+  MUSE_CHECK(train.ok()) << train.status().ToString();
+  const std::string& payload = RunGraphFor(graph, *train, ctx, "train");
+  auto series = ParsePredictionSeries(graph.stage_name(*train), payload);
+  MUSE_CHECK(series.ok()) << series.status().ToString();
+  return std::move(series).value();
 }
 
 std::unique_ptr<muse::MuseNet> GetOrTrainMuse(sim::DatasetId id,
                                               const data::TrafficDataset& ds,
                                               const ExperimentContext& ctx) {
+  pipeline::Pipeline graph;
+  const int sim_stage = AddSimulateStage(&graph, ctx, id);
+  const int ds_stage = AddDatasetStage(&graph, ctx, id, /*horizon_offset=*/0,
+                                       sim_stage);
+  auto train = AddMuseCheckpointStage(&graph, ctx, id, sim_stage, ds_stage);
+  MUSE_CHECK(train.ok()) << train.status().ToString();
+  const std::string& payload = RunGraphFor(graph, *train, ctx, "train-muse");
+  auto state = ts::ParseTensors(graph.stage_name(*train), payload);
+  MUSE_CHECK(state.ok()) << state.status().ToString();
   auto model = std::make_unique<muse::MuseNet>(MakeMuseConfig(ds, ctx),
                                                ctx.scale.seed);
-  const std::string path =
-      ctx.results_dir + "/cache/" + ctx.scale.name + "_s" +
-      std::to_string(ctx.scale.seed) + "_" + sim::DatasetName(id) +
-      "_muse.ckpt";
-  const bool cache_enabled = GetEnvOr("MUSE_BENCH_NO_CACHE", "0") != "1";
-  if (cache_enabled) {
-    auto loaded = ts::LoadTensors(path);
-    if (loaded.ok() && model->LoadStateDict(*loaded).ok()) {
-      model->SetTraining(false);
-      std::printf("  [MUSE-Net @ %s] checkpoint loaded\n",
-                  sim::DatasetName(id).c_str());
-      return model;
-    }
-  }
-  util::Stopwatch watch;
-  model->Train(ds, ctx.train);
-  std::printf("  [MUSE-Net @ %s] trained in %.0fs\n",
-              sim::DatasetName(id).c_str(), watch.ElapsedSeconds());
-  std::fflush(stdout);
-  if (cache_enabled) {
-    const Status status = ts::SaveTensors(path, model->StateDict());
-    if (!status.ok()) {
-      std::fprintf(stderr, "checkpoint write failed: %s\n",
-                   status.ToString().c_str());
-    }
-  }
+  const Status loaded = model->LoadStateDict(*state);
+  MUSE_CHECK(loaded.ok()) << loaded.ToString();
+  model->SetTraining(false);
   return model;
 }
 
 eval::FlowMetrics MetricsFromSeries(const eval::PredictionSeries& series,
                                     const data::TrafficDataset& dataset,
                                     eval::TimeBucket bucket) {
+  return MetricsFromFlows(series, dataset.flows(), bucket);
+}
+
+eval::FlowMetrics MetricsFromFlows(const eval::PredictionSeries& series,
+                                   const sim::FlowSeries& flows,
+                                   eval::TimeBucket bucket) {
   eval::MetricAccumulator out_acc;
   eval::MetricAccumulator in_acc;
-  const auto& flows = dataset.flows();
   const int64_t n = series.predictions.dim(0);
   const int64_t plane =
       series.predictions.dim(2) * series.predictions.dim(3);
@@ -244,6 +208,17 @@ void EmitTable(const ExperimentContext& ctx, const std::string& name,
   std::printf("%s\n", table.ToString().c_str());
   const std::string path = ctx.results_dir + "/" + name + ".csv";
   const Status status = table.WriteCsv(path);
+  if (status.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "CSV write failed: %s\n", status.ToString().c_str());
+  }
+}
+
+void EmitCsv(const ExperimentContext& ctx, const std::string& name,
+             const std::string& csv) {
+  const std::string path = ctx.results_dir + "/" + name + ".csv";
+  const Status status = util::AtomicWriteFile(path, csv);
   if (status.ok()) {
     std::printf("wrote %s\n", path.c_str());
   } else {

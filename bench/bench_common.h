@@ -77,6 +77,13 @@ eval::FlowMetrics MetricsFromSeries(const eval::PredictionSeries& series,
                                     const data::TrafficDataset& dataset,
                                     eval::TimeBucket bucket);
 
+/// As MetricsFromSeries, but from the raw flows (the metrics only need the
+/// series and the bucket calendar; pipeline eval stages call this without
+/// rebuilding a dataset).
+eval::FlowMetrics MetricsFromFlows(const eval::PredictionSeries& series,
+                                   const sim::FlowSeries& flows,
+                                   eval::TimeBucket bucket);
+
 /// Formats helpers for paper-style cells.
 std::string F2(double v);               ///< "12.34".
 std::string Pct(double fraction);       ///< "21.28%".
@@ -84,6 +91,12 @@ std::string Pct(double fraction);       ///< "21.28%".
 /// Prints the table and writes `<results_dir>/<name>.csv`.
 void EmitTable(const ExperimentContext& ctx, const std::string& name,
                TablePrinter& table);
+
+/// Writes pre-rendered CSV bytes to `<results_dir>/<name>.csv` atomically.
+/// Used by the pipeline path, where the table stage's cached payload *is*
+/// the artifact — a warm rerun rewrites it byte-identically.
+void EmitCsv(const ExperimentContext& ctx, const std::string& name,
+             const std::string& csv);
 
 }  // namespace musenet::bench
 

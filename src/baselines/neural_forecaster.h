@@ -34,6 +34,11 @@ class NeuralForecaster : public nn::Module, public eval::Forecaster {
                          const eval::TrainConfig& config,
                          eval::TrainReport* report);
 
+  Status TrainWithStatus(const data::TrafficDataset& dataset,
+                         const eval::TrainConfig& config) override {
+    return TrainWithReport(dataset, config, nullptr);
+  }
+
   tensor::Tensor Predict(const data::Batch& batch) override;
 
   /// Every neural baseline shares ForwardPredict, so the inference planner

@@ -1,12 +1,14 @@
 #ifndef MUSENET_EVAL_FORECASTER_H_
 #define MUSENET_EVAL_FORECASTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "autograd/variable.h"
 #include "data/dataset.h"
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace musenet::eval {
 
@@ -66,6 +68,16 @@ struct TrainConfig {
   /// Disable to get byte-identical logs across thread counts for
   /// deterministic runs.
   bool run_log_timings = true;
+
+  // --- Cooperative cancellation (consumed by eval::RunTraining) -------------
+
+  /// Cancellation token, or nullptr (never cancelled). RunTraining polls it
+  /// at step and epoch boundaries and returns Status::Cancelled once it
+  /// reads true; checkpoints written before the cancellation point stay
+  /// valid, so a cancelled run with `checkpoint_dir` + `resume` set picks up
+  /// where it stopped. The pipeline scheduler flips one shared token from a
+  /// SIGINT handler.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Common interface of all traffic-flow forecasting models in this library
@@ -80,6 +92,18 @@ class Forecaster {
   /// Fits the model on the dataset's training split.
   virtual void Train(const data::TrafficDataset& dataset,
                      const TrainConfig& config) = 0;
+
+  /// As Train, but surfaces training faults and cooperative cancellation as
+  /// a Status instead of aborting the process. Models driven by
+  /// eval::RunTraining override this to forward its Status (notably
+  /// Status::Cancelled when `config.cancel` fires, which the pipeline
+  /// scheduler relies on); the default covers models whose Train cannot
+  /// fail.
+  virtual Status TrainWithStatus(const data::TrafficDataset& dataset,
+                                 const TrainConfig& config) {
+    Train(dataset, config);
+    return Status::OK();
+  }
 
   /// Predicts the scaled ([-1,1]) target frames for a batch: [B, 2, H, W].
   virtual tensor::Tensor Predict(const data::Batch& batch) = 0;

@@ -449,7 +449,34 @@ Status RunTraining(const TrainDriver& driver,
   int epoch = st.epoch;
   bool stop_early = false;
 
+  // Cooperative cancellation: polled at step and epoch boundaries only, so a
+  // cancelled run always stops at a point where no graph is live and every
+  // checkpoint already on disk is complete — rerun with resume=true picks up
+  // from the last finished epoch.
+  const auto cancel_requested = [&config] {
+    return config.cancel != nullptr &&
+           config.cancel->load(std::memory_order_relaxed);
+  };
+  const auto cancelled_status = [&](int at_epoch, int64_t at_step) {
+    driver.module->SetTraining(false);
+    obs::TraceInstant("train.cancelled", "step", at_step);
+    if (run_log) {
+      (void)run_log->Append(obs::RunRecord("cancelled")
+                                .Int("epoch", at_epoch)
+                                .Int("step", at_step));
+    }
+    std::string msg = "[" + model_name + "] training cancelled at epoch " +
+                      std::to_string(at_epoch) + " step " +
+                      std::to_string(at_step);
+    if (ckpt_on) {
+      msg += "; checkpoints in '" + config.checkpoint_dir +
+             "' allow resume";
+    }
+    return Status::Cancelled(std::move(msg));
+  };
+
   while (epoch < config.epochs && !stop_early) {
+    if (cancel_requested()) return cancelled_status(epoch, st.step);
     obs::ScopedSpan epoch_span("train.epoch", "epoch", epoch);
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
@@ -459,6 +486,7 @@ Status RunTraining(const TrainDriver& driver,
     for (size_t begin = 0;
          begin < shuffled.size() && fault_diag.empty();
          begin += static_cast<size_t>(config.batch_size)) {
+      if (cancel_requested()) return cancelled_status(epoch, st.step);
       util::Stopwatch step_watch;
       obs::ScopedSpan step_span("train.step", "step", st.step);
       bool stepped = false;

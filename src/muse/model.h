@@ -88,6 +88,11 @@ class MuseNet : public nn::Module, public eval::Forecaster {
                          const eval::TrainConfig& config,
                          eval::TrainReport* report);
 
+  Status TrainWithStatus(const data::TrafficDataset& dataset,
+                         const eval::TrainConfig& config) override {
+    return TrainWithReport(dataset, config, nullptr);
+  }
+
   /// Overrides the display name (used for ablation variants).
   void set_name(std::string name) { name_ = std::move(name); }
 

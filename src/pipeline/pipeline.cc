@@ -1,0 +1,300 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace musenet::pipeline {
+
+namespace {
+
+const char* StateTag(StageOutcome::State state) {
+  switch (state) {
+    case StageOutcome::State::kHit:       return "HIT ";
+    case StageOutcome::State::kMiss:      return "MISS";
+    case StageOutcome::State::kCancelled: return "CANCELLED";
+    case StageOutcome::State::kFailed:    return "FAILED";
+    case StageOutcome::State::kSkipped:   return "SKIP";
+    case StageOutcome::State::kPending:   return "PENDING";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int Pipeline::AddStage(std::string name, util::Fingerprint config,
+                       std::vector<int> deps, StageFn fn) {
+  const int id = static_cast<int>(stages_.size());
+  MUSE_CHECK(FindStage(name) < 0) << "duplicate stage name " << name;
+  StageNode node;
+  node.name = std::move(name);
+  node.config = std::move(config);
+  node.fn = std::move(fn);
+  node.level = 0;
+  for (const int dep : deps) {
+    MUSE_CHECK(dep >= 0 && dep < id)
+        << "stage " << node.name << ": dependency id " << dep
+        << " is not an earlier stage";
+    node.level = std::max(node.level, stages_[dep].level + 1);
+  }
+  node.deps = std::move(deps);
+  stages_.push_back(std::move(node));
+  return id;
+}
+
+int Pipeline::FindStage(const std::string& name) const {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Pipeline::BuildDescription(const StageNode& stage,
+                                       const std::string& code_salt) const {
+  std::string desc = "stage=" + stage.name + "\ncode_salt=" + code_salt + "\n";
+  // Config fields, prefixed so DiffReason can classify them.
+  const std::string& canonical = stage.config.canonical();
+  size_t begin = 0;
+  while (begin < canonical.size()) {
+    size_t end = canonical.find('\n', begin);
+    if (end == std::string::npos) end = canonical.size() - 1;
+    desc += "cfg:" + canonical.substr(begin, end - begin + 1);
+    begin = end + 1;
+  }
+  for (const int dep : stage.deps) {
+    desc += "dep:" + stages_[dep].name + "=" +
+            util::HashHex(stages_[dep].outcome.output_hash) + "\n";
+  }
+  return desc;
+}
+
+Result<Pipeline::RunReport> Pipeline::Run(const RunOptions& options) {
+  obs::ScopedSpan run_span("pipeline.run", "stages", num_stages());
+  util::Stopwatch wall;
+  StageCache cache(options.cache_dir);
+
+  obs::Counter& hit_counter = obs::GetCounter("pipeline.stage.hit");
+  obs::Counter& miss_counter = obs::GetCounter("pipeline.stage.miss");
+  obs::Counter& cancelled_counter =
+      obs::GetCounter("pipeline.stage.cancelled");
+  obs::Counter& failed_counter = obs::GetCounter("pipeline.stage.failed");
+  obs::Histogram& stage_ms =
+      obs::GetHistogram("pipeline.stage.ms", obs::LatencyBucketsMs());
+  obs::Histogram& hit_ms =
+      obs::GetHistogram("pipeline.stage.hit_ms", obs::LatencyBucketsMs());
+  obs::Histogram& miss_ms =
+      obs::GetHistogram("pipeline.stage.miss_ms", obs::LatencyBucketsMs());
+
+  for (StageNode& stage : stages_) {
+    stage.outcome = StageOutcome();
+    stage.payload.clear();
+    stage.description.clear();
+  }
+
+  const auto cancel_requested = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
+  std::mutex print_mutex;
+  const auto print_outcome = [&](const StageNode& stage) {
+    if (!options.verbose) return;
+    std::lock_guard<std::mutex> lock(print_mutex);
+    const StageOutcome& oc = stage.outcome;
+    if (options.explain && !oc.reason.empty()) {
+      std::printf("[pipeline] %s %s (%s) [%.1f ms]\n", StateTag(oc.state),
+                  stage.name.c_str(), oc.reason.c_str(), oc.wall_ms);
+    } else {
+      std::printf("[pipeline] %s %s [%.1f ms]\n", StateTag(oc.state),
+                  stage.name.c_str(), oc.wall_ms);
+    }
+    std::fflush(stdout);
+  };
+
+  int max_level = 0;
+  for (const StageNode& stage : stages_) {
+    max_level = std::max(max_level, stage.level);
+  }
+
+  bool externally_cancelled = false;
+  for (int level = 0; level <= max_level && !externally_cancelled; ++level) {
+    // --- Probe phase: resolve keys and classify hits/misses ----------------
+    std::vector<int> to_run;
+    for (int id = 0; id < num_stages(); ++id) {
+      StageNode& stage = stages_[static_cast<size_t>(id)];
+      if (stage.level != level) continue;
+
+      // A stage whose dependency did not complete cannot run.
+      bool deps_ok = true;
+      for (const int dep : stage.deps) {
+        const StageOutcome::State ds = stages_[dep].outcome.state;
+        if (ds != StageOutcome::State::kHit &&
+            ds != StageOutcome::State::kMiss) {
+          stage.outcome.state = StageOutcome::State::kSkipped;
+          stage.outcome.reason =
+              "upstream '" + stages_[dep].name + "' did not complete";
+          deps_ok = false;
+          break;
+        }
+      }
+      if (!deps_ok) {
+        print_outcome(stage);
+        continue;
+      }
+
+      stage.description = BuildDescription(stage, options.code_salt);
+      stage.outcome.key = util::Fnv1a64(stage.description);
+
+      util::Stopwatch probe_watch;
+      StageCache::Probe probe =
+          cache.Lookup(stage.name, stage.outcome.key, stage.description);
+      if (probe.hit) {
+        stage.payload = std::move(probe.payload);
+        stage.outcome.state = StageOutcome::State::kHit;
+        stage.outcome.reason = "cached";
+        stage.outcome.output_hash = util::Fnv1a64(stage.payload);
+        stage.outcome.wall_ms = probe_watch.ElapsedMillis();
+        hit_counter.Add();
+        stage_ms.Observe(stage.outcome.wall_ms);
+        hit_ms.Observe(stage.outcome.wall_ms);
+        print_outcome(stage);
+      } else {
+        stage.outcome.reason = probe.miss_reason;
+        to_run.push_back(id);
+      }
+    }
+
+    if (cancel_requested()) {
+      for (const int id : to_run) {
+        StageNode& stage = stages_[static_cast<size_t>(id)];
+        stage.outcome.state = StageOutcome::State::kCancelled;
+        stage.outcome.reason = "cancelled before start";
+        print_outcome(stage);
+      }
+      externally_cancelled = true;
+      break;
+    }
+
+    // --- Execute phase: run this level's misses concurrently ---------------
+    const auto run_stage = [&](int id) {
+      StageNode& stage = stages_[static_cast<size_t>(id)];
+      obs::ScopedSpan span("pipeline.stage", "level", level);
+      util::Stopwatch watch;
+
+      StageContext ctx;
+      for (const int dep : stage.deps) {
+        ctx.dep_payloads.push_back(&stages_[dep].payload);
+      }
+      ctx.cancel = options.cancel;
+      ctx.scratch_dir = cache.ScratchDir(stage.name, stage.outcome.key);
+
+      if (cancel_requested()) {
+        stage.outcome.state = StageOutcome::State::kCancelled;
+        stage.outcome.reason = "cancelled before start";
+        stage.outcome.wall_ms = watch.ElapsedMillis();
+        cancelled_counter.Add();
+        print_outcome(stage);
+        return;
+      }
+
+      Result<std::string> produced = stage.fn(ctx);
+      stage.outcome.wall_ms = watch.ElapsedMillis();
+      stage_ms.Observe(stage.outcome.wall_ms);
+      if (produced.ok()) {
+        stage.payload = std::move(produced).value();
+        stage.outcome.state = StageOutcome::State::kMiss;
+        stage.outcome.output_hash = util::Fnv1a64(stage.payload);
+        miss_counter.Add();
+        miss_ms.Observe(stage.outcome.wall_ms);
+        const Status stored = cache.Store(stage.name, stage.outcome.key,
+                                          stage.description, stage.payload);
+        if (!stored.ok()) {
+          std::fprintf(stderr, "[pipeline] warning: cache write for %s "
+                       "failed: %s\n",
+                       stage.name.c_str(), stored.ToString().c_str());
+        } else {
+          cache.DropScratch(stage.name, stage.outcome.key);
+        }
+      } else if (produced.status().code() == StatusCode::kCancelled) {
+        stage.outcome.state = StageOutcome::State::kCancelled;
+        stage.outcome.error = produced.status();
+        stage.outcome.reason = "cancelled mid-stage (scratch kept for "
+                               "resume)";
+        cancelled_counter.Add();
+      } else {
+        stage.outcome.state = StageOutcome::State::kFailed;
+        stage.outcome.error = produced.status();
+        stage.outcome.reason = produced.status().ToString();
+        failed_counter.Add();
+      }
+      print_outcome(stage);
+    };
+
+    const int jobs = std::max(1, options.jobs);
+    if (jobs > 1 && to_run.size() > 1) {
+      // Local pool: stage bodies fan out here; their inner compute kernels
+      // detect the enclosing parallel region and run their deterministic
+      // sequential path, so `jobs` never changes results. The global
+      // compute pool stays dedicated to single-stage runs (jobs=1), which
+      // keep full kernel parallelism.
+      util::ThreadPool stage_pool(
+          std::min<int>(jobs, static_cast<int>(to_run.size())));
+      stage_pool.ParallelFor(
+          0, static_cast<int64_t>(to_run.size()), 1,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              run_stage(to_run[static_cast<size_t>(i)]);
+            }
+          });
+    } else {
+      for (const int id : to_run) run_stage(id);
+    }
+  }
+
+  // --- Report -----------------------------------------------------------
+  RunReport report;
+  report.stages = num_stages();
+  Status first_error;
+  for (const StageNode& stage : stages_) {
+    switch (stage.outcome.state) {
+      case StageOutcome::State::kHit: ++report.hits; break;
+      case StageOutcome::State::kMiss: ++report.misses; break;
+      case StageOutcome::State::kCancelled: ++report.cancelled; break;
+      case StageOutcome::State::kFailed:
+        ++report.failed;
+        if (first_error.ok()) first_error = stage.outcome.error;
+        break;
+      case StageOutcome::State::kSkipped:
+      case StageOutcome::State::kPending:
+        ++report.skipped;
+        break;
+    }
+  }
+  report.wall_ms = wall.ElapsedMillis();
+  if (options.verbose) {
+    std::printf(
+        "pipeline summary: stages=%d hits=%d misses=%d cancelled=%d "
+        "failed=%d skipped=%d wall_ms=%.1f\n",
+        report.stages, report.hits, report.misses, report.cancelled,
+        report.failed, report.skipped, report.wall_ms);
+    std::fflush(stdout);
+  }
+
+  if (report.failed > 0) return first_error;
+  if (report.cancelled > 0 || externally_cancelled) {
+    return Status::Cancelled(
+        "pipeline cancelled (" + std::to_string(report.hits + report.misses) +
+        " of " + std::to_string(report.stages) +
+        " stages completed; rerun resumes from the cache)");
+  }
+  return report;
+}
+
+}  // namespace musenet::pipeline

@@ -1,0 +1,149 @@
+#ifndef MUSENET_PIPELINE_PIPELINE_H_
+#define MUSENET_PIPELINE_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipeline/stage_cache.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace musenet::pipeline {
+
+/// Bumped whenever a change to stage execution semantics should invalidate
+/// every existing cache entry (the "code-version salt" of the content keys).
+inline constexpr char kDefaultCodeSalt[] = "musenet-pipeline-v1";
+
+/// What happened to one stage during a Run.
+struct StageOutcome {
+  enum class State {
+    kPending,    ///< Not reached (Run not called, or aborted earlier).
+    kHit,        ///< Served from the cache.
+    kMiss,       ///< Recomputed (and committed when a cache dir is set).
+    kCancelled,  ///< Stage observed the cancellation token and stopped.
+    kFailed,     ///< Stage function returned an error.
+    kSkipped,    ///< An upstream stage did not produce output.
+  };
+  State state = State::kPending;
+  std::string reason;     ///< Hit/miss/invalidation explanation.
+  uint64_t key = 0;       ///< Content cache key of this run.
+  uint64_t output_hash = 0;  ///< FNV-1a of the payload (0 until produced).
+  double wall_ms = 0.0;
+  Status error;           ///< Set for kFailed (and kCancelled).
+};
+
+/// Execution context handed to a stage function.
+struct StageContext {
+  /// Payloads of the stage's dependencies, in declaration order. Pointers
+  /// stay valid for the duration of the call.
+  std::vector<const std::string*> dep_payloads;
+  /// Cooperative cancellation token (may be nullptr). Long stages thread it
+  /// into their inner loops (eval::TrainConfig::cancel) and return
+  /// Status::Cancelled promptly once it reads true.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Keyed scratch directory for resumable in-progress state (training
+  /// checkpoints); empty when caching is disabled. Stable across reruns of
+  /// the same content key and removed once the stage commits.
+  std::string scratch_dir;
+};
+
+/// A stage body: pure function of its config and dependency payloads,
+/// returning the serialized output. Purity is what makes content keys
+/// sound — everything the payload depends on must be in the stage's config
+/// fingerprint or in a dependency payload.
+using StageFn = std::function<Result<std::string>(const StageContext&)>;
+
+/// Typed-stage DAG with a content-hashed cache and a parallel, cancellable
+/// scheduler — the incremental engine behind the experiment binaries
+/// (simulate → dataset → per-model train → eval → table).
+///
+/// Content keys: key(stage) = FNV-1a over a canonical description listing
+/// the stage name, the code salt, every config field ("cfg:k=v") and the
+/// output hash of every dependency ("dep:name=hex"). Keys therefore change
+/// exactly when an input changes, and *early cutoff* holds: if an upstream
+/// stage reran but produced byte-identical output, downstream keys are
+/// unchanged and downstream stages hit.
+///
+/// Scheduling: stages are grouped into dependency levels; within a level,
+/// cache probes run first, then the misses execute concurrently on a local
+/// thread pool (`jobs` wide). Stage kernels that use the global compute
+/// pool degrade to their deterministic sequential path inside stage
+/// workers, so results are bit-identical at every `jobs` value.
+///
+/// Cancellation: the run polls `cancel` between stages and hands the token
+/// to every stage body. A cancelled run commits nothing partial — completed
+/// stages are already in the cache, the interrupted stage keeps its scratch
+/// checkpoints — so a rerun resumes without redoing finished work.
+class Pipeline {
+ public:
+  /// Declares a stage. `deps` are ids returned by earlier AddStage calls
+  /// (the DAG is built in topological order by construction). `config`
+  /// must fingerprint every input of `fn` that is not a dependency payload.
+  /// Names must be unique; they key the cache entries and the explain
+  /// output. Returns the stage id.
+  int AddStage(std::string name, util::Fingerprint config,
+               std::vector<int> deps, StageFn fn);
+
+  struct RunOptions {
+    /// Cache directory; empty runs every stage with no persistence.
+    std::string cache_dir;
+    /// Concurrent stage executions per dependency level (clamped to >= 1).
+    int jobs = 1;
+    /// Print per-stage HIT/MISS lines with hit/miss/invalidation reasons.
+    bool explain = false;
+    /// Print stage progress lines and the run summary to stdout.
+    bool verbose = true;
+    /// Cooperative cancellation token (e.g. flipped by a SIGINT handler).
+    const std::atomic<bool>* cancel = nullptr;
+    std::string code_salt = kDefaultCodeSalt;
+  };
+
+  struct RunReport {
+    int stages = 0;
+    int hits = 0;
+    int misses = 0;
+    int cancelled = 0;
+    int failed = 0;
+    int skipped = 0;
+    double wall_ms = 0.0;
+  };
+
+  /// Executes the DAG. Returns the report on success; the first stage error
+  /// on failure; Status::Cancelled when the token fired. Stages downstream
+  /// of a failed/cancelled stage are skipped, independent branches still
+  /// run. Re-runnable: outcomes reset at entry.
+  Result<RunReport> Run(const RunOptions& options);
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const std::string& stage_name(int id) const { return stages_[id].name; }
+  /// Payload produced (or loaded) by the last Run; empty if the stage did
+  /// not complete.
+  const std::string& payload(int id) const { return stages_[id].payload; }
+  const StageOutcome& outcome(int id) const { return stages_[id].outcome; }
+  /// Id of the stage named `name`, or -1.
+  int FindStage(const std::string& name) const;
+
+ private:
+  struct StageNode {
+    std::string name;
+    util::Fingerprint config;
+    std::vector<int> deps;
+    StageFn fn;
+    int level = 0;
+    std::string description;  ///< Canonical text of the last Run.
+    std::string payload;
+    StageOutcome outcome;
+  };
+
+  std::string BuildDescription(const StageNode& stage,
+                               const std::string& code_salt) const;
+
+  std::vector<StageNode> stages_;
+};
+
+}  // namespace musenet::pipeline
+
+#endif  // MUSENET_PIPELINE_PIPELINE_H_

@@ -1,0 +1,81 @@
+#ifndef MUSENET_PIPELINE_STAGE_CACHE_H_
+#define MUSENET_PIPELINE_STAGE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace musenet::pipeline {
+
+/// Content-addressed on-disk cache of pipeline stage outputs.
+///
+/// One entry per (stage name, content key): the key is the FNV-1a digest of
+/// the stage's canonical description (config fields, code salt, upstream
+/// output hashes — see Pipeline), so any input change addresses a different
+/// entry. Entries are written with util::AtomicWriteFile and carry a CRC32
+/// over the payload; a truncated, bit-flipped or wrong-key entry is treated
+/// as a miss (with a reason naming the damage), never as an error — the
+/// stage just recomputes and overwrites it.
+///
+/// Next to the entries, the cache keeps one *manifest* per stage name
+/// holding the canonical description of the last committed run. On a miss,
+/// diffing the new description against the manifest yields the
+/// invalidation reason ("config changed: epochs '8' -> '3'", "upstream
+/// 'simulate/NYC-Taxi' output changed"), which `--explain` surfaces.
+class StageCache {
+ public:
+  /// `dir` is created on first Store; empty disables persistence (every
+  /// Lookup misses with reason "cache disabled").
+  explicit StageCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  struct Probe {
+    bool hit = false;
+    std::string payload;      ///< Valid when hit.
+    std::string miss_reason;  ///< Human-readable; empty when hit.
+  };
+
+  /// Probes the entry for (stage_name, key). `description` is the canonical
+  /// text `key` was hashed from; it is only used to produce the
+  /// invalidation reason on a miss.
+  Probe Lookup(const std::string& stage_name, uint64_t key,
+               const std::string& description) const;
+
+  /// Atomically commits the entry and the stage's manifest. Failures are
+  /// returned (the caller logs and continues — a broken cache write must
+  /// not fail the run, the stage output is already in memory).
+  Status Store(const std::string& stage_name, uint64_t key,
+               const std::string& description, const std::string& payload);
+
+  /// Per-(stage, key) scratch directory for resumable in-progress state
+  /// (training checkpoints). Stable across reruns of the same key, so a
+  /// cancelled stage resumes from what it left behind. Not created here.
+  std::string ScratchDir(const std::string& stage_name, uint64_t key) const;
+
+  /// Removes the scratch directory of a committed stage (best-effort).
+  void DropScratch(const std::string& stage_name, uint64_t key) const;
+
+  /// Filesystem-safe form of a stage name ('/' and other non-alphanumerics
+  /// become '_'; exposed for tests).
+  static std::string Sanitize(const std::string& name);
+
+  /// First human-relevant difference between two canonical descriptions
+  /// (old vs new), classified by line prefix: "cfg:" fields report the field
+  /// and both values, "dep:" lines report the upstream stage, "code_salt"
+  /// reports a code-version change. Empty when the descriptions are equal.
+  static std::string DiffReason(const std::string& old_desc,
+                                const std::string& new_desc);
+
+ private:
+  std::string EntryPath(const std::string& stage_name, uint64_t key) const;
+  std::string ManifestPath(const std::string& stage_name) const;
+
+  std::string dir_;
+};
+
+}  // namespace musenet::pipeline
+
+#endif  // MUSENET_PIPELINE_STAGE_CACHE_H_

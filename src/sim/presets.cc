@@ -1,6 +1,7 @@
 #include "sim/presets.h"
 
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace musenet::sim {
@@ -178,6 +179,36 @@ FlowSeries GenerateDatasetFlows(DatasetId id, const BenchScale& scale,
   const CityConfig config = MakeCityConfig(id, scale, seed);
   City city(config, seed * 7919ULL + static_cast<uint64_t>(id) + 1);
   return city.Simulate().flows;
+}
+
+uint64_t SimConfigHash(DatasetId id, const BenchScale& scale, uint64_t seed) {
+  // Hash the *resolved* CityConfig rather than the scale knobs: two scales
+  // that resolve to the same simulation (e.g. an override equal to the
+  // preset) hash equal, and a preset-table edit changes the hash even though
+  // no caller-visible knob moved. The shift schedule is drawn from
+  // (id, seed, days), all of which are covered below.
+  const CityConfig c = MakeCityConfig(id, scale, seed);
+  util::Fingerprint fp;
+  fp.Add("sim_code_version", 1)
+      .Add("dataset", DatasetName(id))
+      .Add("seed", seed)
+      .Add("grid_h", c.grid.height)
+      .Add("grid_w", c.grid.width)
+      .Add("intervals_per_day", c.intervals_per_day)
+      .Add("start_weekday", c.start_weekday)
+      .Add("days", c.days)
+      .Add("trips_per_interval", c.trips_per_interval)
+      .Add("weekend_factor", c.weekend_factor)
+      .Add("commute_amplitude", c.commute_amplitude)
+      .Add("leisure_amplitude", c.leisure_amplitude)
+      .Add("night_level", c.night_level)
+      .Add("demand_noise_sigma", c.demand_noise_sigma)
+      .Add("daily_wobble_sigma", c.daily_wobble_sigma)
+      .Add("num_business_centers", c.num_business_centers)
+      .Add("cells_per_interval", c.cells_per_interval)
+      .Add("max_trip_intervals", c.max_trip_intervals)
+      .Add("num_shift_events", static_cast<int64_t>(c.shifts.size()));
+  return fp.Digest();
 }
 
 }  // namespace musenet::sim

@@ -38,6 +38,14 @@ CityConfig MakeCityConfig(DatasetId id, const BenchScale& scale,
 FlowSeries GenerateDatasetFlows(DatasetId id, const BenchScale& scale,
                                 uint64_t seed);
 
+/// Content hash of everything that determines GenerateDatasetFlows output:
+/// the resolved CityConfig (grid, span, calendar, demand parameters — so both
+/// preset edits and scale/grid overrides change it), the seed, and a
+/// simulator code-version salt. Stamped into saved flow files as a
+/// provenance record and used as the simulate-stage cache key, so a cached
+/// flows.bin can never be silently reused for a different configuration.
+uint64_t SimConfigHash(DatasetId id, const BenchScale& scale, uint64_t seed);
+
 }  // namespace musenet::sim
 
 #endif  // MUSENET_SIM_PRESETS_H_

@@ -1,15 +1,23 @@
 #include "sim/serialize.h"
 
 #include <map>
+#include <utility>
 
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"
+#include "util/hash.h"
 
 namespace musenet::sim {
 
 namespace ts = musenet::tensor;
 
-Status SaveFlowSeries(const std::string& path, const FlowSeries& flows) {
+namespace {
+
+/// Builds the container records for a series. The provenance record is
+/// optional and separate from "flows"/"meta" so files stamped by this build
+/// still load in builds that only know the two original records.
+std::map<std::string, ts::Tensor> BuildBlob(const FlowSeries& flows,
+                                            uint64_t provenance_hash) {
   const GridSpec& grid = flows.grid();
   ts::Tensor data(
       ts::Shape({flows.num_intervals(), 2, grid.height, grid.width}),
@@ -20,29 +28,44 @@ Status SaveFlowSeries(const std::string& path, const FlowSeries& flows) {
   std::map<std::string, ts::Tensor> blob;
   blob.emplace("flows", std::move(data));
   blob.emplace("meta", std::move(meta));
-  return ts::SaveTensors(path, blob);
+  if (provenance_hash != 0) {
+    blob.emplace("provenance", ts::PackWords64({provenance_hash}));
+  }
+  return blob;
 }
 
-Result<FlowSeries> LoadFlowSeries(const std::string& path) {
-  MUSE_ASSIGN_OR_RETURN(auto blob, ts::LoadTensors(path));
+Result<uint64_t> ProvenanceFromBlob(
+    const std::string& label, const std::map<std::string, ts::Tensor>& blob) {
+  auto it = blob.find("provenance");
+  if (it == blob.end()) return uint64_t{0};  // Legacy unstamped file.
+  MUSE_ASSIGN_OR_RETURN(const std::vector<uint64_t> words,
+                        ts::UnpackWords64(it->second));
+  if (words.size() != 1) {
+    return Status::IoError(label + ": malformed provenance record");
+  }
+  return words[0];
+}
+
+Result<FlowSeries> FlowsFromBlob(const std::string& label,
+                                 const std::map<std::string, ts::Tensor>& blob) {
   auto flows_it = blob.find("flows");
   auto meta_it = blob.find("meta");
   if (flows_it == blob.end() || meta_it == blob.end()) {
-    return Status::IoError(path + ": missing flows/meta records");
+    return Status::IoError(label + ": missing flows/meta records");
   }
   const ts::Tensor& data = flows_it->second;
   if (data.rank() != 4 || data.dim(1) != 2) {
-    return Status::IoError(path + ": flows record has wrong shape " +
+    return Status::IoError(label + ": flows record has wrong shape " +
                            data.shape().ToString());
   }
   const ts::Tensor& meta = meta_it->second;
   if (meta.num_elements() != 2) {
-    return Status::IoError(path + ": bad metadata record");
+    return Status::IoError(label + ": bad metadata record");
   }
   const int intervals_per_day = static_cast<int>(meta.flat(0));
   const int start_weekday = static_cast<int>(meta.flat(1));
   if (intervals_per_day <= 0 || start_weekday < 0 || start_weekday > 6) {
-    return Status::IoError(path + ": metadata out of range");
+    return Status::IoError(label + ": metadata out of range");
   }
 
   FlowSeries flows(GridSpec{data.dim(2), data.dim(3)}, intervals_per_day,
@@ -57,6 +80,56 @@ Result<FlowSeries> LoadFlowSeries(const std::string& path) {
     }
   }
   return flows;
+}
+
+}  // namespace
+
+Status SaveFlowSeries(const std::string& path, const FlowSeries& flows,
+                      uint64_t provenance_hash) {
+  return ts::SaveTensors(path, BuildBlob(flows, provenance_hash));
+}
+
+Result<FlowSeries> LoadFlowSeries(const std::string& path) {
+  MUSE_ASSIGN_OR_RETURN(auto blob, ts::LoadTensors(path));
+  return FlowsFromBlob(path, blob);
+}
+
+Result<FlowSeries> LoadFlowSeriesChecked(const std::string& path,
+                                         uint64_t expected_hash) {
+  MUSE_ASSIGN_OR_RETURN(auto blob, ts::LoadTensors(path));
+  if (expected_hash != 0) {
+    MUSE_ASSIGN_OR_RETURN(const uint64_t stored,
+                          ProvenanceFromBlob(path, blob));
+    if (stored != expected_hash) {
+      const std::string stored_desc =
+          stored == 0 ? "no provenance stamp (written by an older build "
+                        "or an unstamped save)"
+                      : "sim config hash 0x" + util::HashHex(stored);
+      return Status::FailedPrecondition(
+          path + ": flow cache is stale: file has " + stored_desc +
+          " but the requested configuration hashes to 0x" +
+          util::HashHex(expected_hash) +
+          "; regenerate it (musenet simulate) or pass the matching "
+          "scale/seed");
+    }
+  }
+  return FlowsFromBlob(path, blob);
+}
+
+Result<uint64_t> ReadFlowSeriesProvenance(const std::string& path) {
+  MUSE_ASSIGN_OR_RETURN(auto blob, ts::LoadTensors(path));
+  return ProvenanceFromBlob(path, blob);
+}
+
+Result<std::string> SerializeFlowSeries(const FlowSeries& flows,
+                                        uint64_t provenance_hash) {
+  return ts::SerializeTensors(BuildBlob(flows, provenance_hash));
+}
+
+Result<FlowSeries> ParseFlowSeries(const std::string& label,
+                                   const std::string& bytes) {
+  MUSE_ASSIGN_OR_RETURN(auto blob, ts::ParseTensors(label, bytes));
+  return FlowsFromBlob(label, blob);
 }
 
 }  // namespace musenet::sim

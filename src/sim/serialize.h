@@ -1,6 +1,7 @@
 #ifndef MUSENET_SIM_SERIALIZE_H_
 #define MUSENET_SIM_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "sim/flow_series.h"
@@ -13,13 +14,40 @@ namespace musenet::sim {
 /// once and shared between tools. The container layer gives the dataset
 /// cache the same integrity guarantees as model checkpoints: per-record
 /// CRC32 and an atomic temp-file + fsync + rename write.
-Status SaveFlowSeries(const std::string& path, const FlowSeries& flows);
+///
+/// `provenance_hash` (see sim::SimConfigHash) is stamped into a separate
+/// "provenance" record; pass 0 to write an unstamped file. Loaders that
+/// predate the record ignore it, so stamped files stay readable everywhere.
+Status SaveFlowSeries(const std::string& path, const FlowSeries& flows,
+                      uint64_t provenance_hash = 0);
 
-/// Loads a FlowSeries written by SaveFlowSeries. Truncated, short-read or
-/// bit-flipped cache files surface as a descriptive IoError (never a crash
-/// or a silently corrupted dataset); stale caches from older builds (v1, no
-/// CRC) still load.
+/// Loads a FlowSeries written by SaveFlowSeries without checking provenance.
+/// Truncated, short-read or bit-flipped cache files surface as a descriptive
+/// IoError (never a crash or a silently corrupted dataset); stale caches
+/// from older builds (v1, no CRC) still load.
 Result<FlowSeries> LoadFlowSeries(const std::string& path);
+
+/// Loads a FlowSeries and validates its provenance stamp against
+/// `expected_hash` (a SimConfigHash of the configuration the caller is about
+/// to train on). A mismatch — including a legacy file with no stamp — fails
+/// with a FailedPrecondition naming both hashes, so a flows file generated
+/// under a different sim config/seed can never be silently consumed.
+/// `expected_hash` 0 disables the check (same as LoadFlowSeries).
+Result<FlowSeries> LoadFlowSeriesChecked(const std::string& path,
+                                         uint64_t expected_hash);
+
+/// Reads only the provenance stamp of a saved flow file (0 when the file
+/// predates stamping).
+Result<uint64_t> ReadFlowSeriesProvenance(const std::string& path);
+
+/// In-memory variants of Save/LoadFlowSeries over container bytes, for
+/// callers (the pipeline stage cache) that store the serialized series
+/// inside their own checked payloads. `label` stands in for the file path
+/// in error messages.
+Result<std::string> SerializeFlowSeries(const FlowSeries& flows,
+                                        uint64_t provenance_hash);
+Result<FlowSeries> ParseFlowSeries(const std::string& label,
+                                   const std::string& bytes);
 
 }  // namespace musenet::sim
 

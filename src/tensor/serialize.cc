@@ -163,7 +163,12 @@ Status SaveTensors(const std::string& path,
   if (util::FaultInjector::Instance().TakeAllocFailure()) {
     return Status::IoError("injected allocation failure serializing " + path);
   }
+  MUSE_ASSIGN_OR_RETURN(std::string out, SerializeTensors(tensors));
+  return util::AtomicWriteFile(path, out);
+}
 
+Result<std::string> SerializeTensors(
+    const std::map<std::string, Tensor>& tensors) {
   std::string out;
   // Reserve the exact size up front so serialization is one allocation.
   size_t total = sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
@@ -176,7 +181,7 @@ Status SaveTensors(const std::string& path,
   try {
     out.reserve(total);
   } catch (const std::bad_alloc&) {
-    return Status::IoError("out of memory serializing " + path + " (" +
+    return Status::IoError("out of memory serializing tensor container (" +
                            std::to_string(total) + " bytes)");
   }
 
@@ -198,11 +203,16 @@ Status SaveTensors(const std::string& path,
     AppendPod(&out, payload_crc);
     out.append(reinterpret_cast<const char*>(t.data()), payload_bytes);
   }
-  return util::AtomicWriteFile(path, out);
+  return out;
 }
 
 Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
   MUSE_ASSIGN_OR_RETURN(const std::string bytes, util::ReadFileToString(path));
+  return ParseTensors(path, bytes);
+}
+
+Result<std::map<std::string, Tensor>> ParseTensors(const std::string& path,
+                                                   const std::string& bytes) {
   Cursor cursor(path, bytes);
 
   const char* magic_src = cursor.here();

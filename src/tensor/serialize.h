@@ -24,6 +24,18 @@ namespace musenet::tensor {
 Status SaveTensors(const std::string& path,
                    const std::map<std::string, Tensor>& tensors);
 
+/// Serializes named tensors to the in-memory v2 container image SaveTensors
+/// would write — SaveTensors is exactly SerializeTensors + AtomicWriteFile.
+/// Lets callers (e.g. the pipeline stage cache) embed tensor containers
+/// inside their own CRC-checked payloads without touching the filesystem.
+Result<std::string> SerializeTensors(
+    const std::map<std::string, Tensor>& tensors);
+
+/// Parses an in-memory container image (the inverse of SerializeTensors).
+/// `label` stands in for the file path in error messages.
+Result<std::map<std::string, Tensor>> ParseTensors(const std::string& label,
+                                                   const std::string& bytes);
+
 /// Reads a container written by SaveTensors. Legacy v1 files (no CRCs) still
 /// load; v2 files fail with a descriptive IoError naming the offending
 /// record on any corruption, truncation or version mismatch — loading never

@@ -1,0 +1,94 @@
+#ifndef MUSENET_UTIL_HASH_H_
+#define MUSENET_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace musenet::util {
+
+/// 64-bit FNV-1a offset basis / prime (the reference constants).
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// FNV-1a over `len` bytes. Pass a previous digest as `seed` to hash data in
+/// pieces: Fnv1a64(b, nb, Fnv1a64(a, na)) equals the hash of the
+/// concatenation. Deterministic across platforms, runs and thread counts —
+/// the content-addressed experiment pipeline keys its stage cache with it.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = kFnv1aOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+inline uint64_t Fnv1a64(std::string_view text,
+                        uint64_t seed = kFnv1aOffset) {
+  return Fnv1a64(text.data(), text.size(), seed);
+}
+
+/// Fixed-width lowercase hex of a 64-bit digest ("0123456789abcdef").
+inline std::string HashHex(uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, 16);
+}
+
+/// Canonicalized key=value content fingerprint.
+///
+/// Fields are appended as "key=value\n" lines in call order (callers use a
+/// fixed field order, so equal configurations always canonicalize to equal
+/// strings). The digest is FNV-1a over the canonical text, which makes cache
+/// keys stable across runs, platforms and thread counts, and lets the
+/// pipeline diff two canonical strings line-by-line to explain exactly which
+/// field invalidated a cached stage.
+class Fingerprint {
+ public:
+  Fingerprint& Add(std::string_view key, std::string_view value) {
+    canonical_.append(key);
+    canonical_.push_back('=');
+    canonical_.append(value);
+    canonical_.push_back('\n');
+    return *this;
+  }
+  Fingerprint& Add(std::string_view key, int64_t value) {
+    return Add(key, std::to_string(value));
+  }
+  Fingerprint& Add(std::string_view key, uint64_t value) {
+    return Add(key, std::to_string(value));
+  }
+  Fingerprint& Add(std::string_view key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  Fingerprint& Add(std::string_view key, bool value) {
+    return Add(key, value ? std::string_view("true")
+                          : std::string_view("false"));
+  }
+  /// Doubles canonicalize via shortest round-trip formatting (%.17g keeps
+  /// every bit, so 1e-3 and 0.001 collide only when they are the same
+  /// double).
+  Fingerprint& Add(std::string_view key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return Add(key, std::string_view(buf));
+  }
+
+  /// The canonical "key=value\n" text accumulated so far.
+  const std::string& canonical() const { return canonical_; }
+
+  uint64_t Digest() const { return Fnv1a64(canonical_); }
+  std::string Hex() const { return HashHex(Digest()); }
+
+ private:
+  std::string canonical_;
+};
+
+}  // namespace musenet::util
+
+#endif  // MUSENET_UTIL_HASH_H_

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "not implemented";
     case StatusCode::kInternal:
       return "internal error";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kIoError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kCancelled = 9,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
@@ -71,6 +72,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

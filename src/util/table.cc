@@ -56,20 +56,26 @@ std::string TablePrinter::ToString() const {
   return out;
 }
 
-Status TablePrinter::WriteCsv(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) return Status::IoError("cannot open " + path + " for writing");
-  auto write_row = [&file](const std::vector<std::string>& cells) {
+std::string TablePrinter::ToCsv() const {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& cells) {
     for (size_t c = 0; c < cells.size(); ++c) {
-      if (c > 0) file << ',';
-      file << CsvEscape(cells[c]);
+      if (c > 0) out += ',';
+      out += CsvEscape(cells[c]);
     }
-    file << '\n';
+    out += '\n';
   };
   write_row(header_);
   for (const Row& row : rows_) {
     if (!row.separator) write_row(row.cells);
   }
+  return out;
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << ToCsv();
   if (!file) return Status::IoError("failed while writing " + path);
   return Status::OK();
 }

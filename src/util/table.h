@@ -32,7 +32,10 @@ class TablePrinter {
   /// Renders the table with column-aligned cells and a header rule.
   std::string ToString() const;
 
-  /// Writes header + rows (separators skipped) as RFC-4180-ish CSV.
+  /// Header + rows (separators skipped) as RFC-4180-ish CSV text.
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`.
   Status WriteCsv(const std::string& path) const;
 
  private:

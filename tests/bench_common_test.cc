@@ -1,12 +1,15 @@
-// Tests for the benchmark harness plumbing in bench/bench_common.* —
-// context resolution, model factory coverage, and the cached-series metric
-// computation that Tables II/IV/V share.
+// Tests for the benchmark harness plumbing in bench/bench_common.* and the
+// pipeline stage builders in bench/bench_pipeline.* — context resolution,
+// model factory coverage, the cached-series metric computation that Tables
+// II/IV/V share, override parsing, payload codecs and stage-graph wiring.
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "bench/bench_common.h"
+#include "bench/bench_pipeline.h"
 #include "tensor/tensor_ops.h"
 
 namespace musenet::bench {
@@ -97,6 +100,111 @@ TEST(BenchCommonTest, MetricsFromSeriesMatchesDirectComputation) {
 TEST(BenchCommonTest, Formatters) {
   EXPECT_EQ(F2(3.14159), "3.14");
   EXPECT_EQ(Pct(0.2128), "21.28%");
+}
+
+// --- Pipeline stage builders ----------------------------------------------
+
+TEST(BenchPipelineTest, ParseTrainOverride) {
+  auto ov = ParseTrainOverride("MUSE-Net:epochs=3");
+  ASSERT_TRUE(ov.ok()) << ov.status().ToString();
+  EXPECT_EQ(ov->model, "MUSE-Net");
+  EXPECT_EQ(ov->key, "epochs");
+  EXPECT_EQ(ov->value, "3");
+
+  EXPECT_FALSE(ParseTrainOverride("no-colon=3").ok());
+  EXPECT_FALSE(ParseTrainOverride("RNN:epochs").ok());
+  EXPECT_FALSE(ParseTrainOverride("RNN:unknown=1").ok());
+}
+
+TEST(BenchPipelineTest, ResolveTrainConfigAppliesMatchingOverrides) {
+  ExperimentContext ctx = SmokeContext();
+  std::vector<TrainOverride> overrides = {
+      {"MUSE-Net", "epochs", "3"}, {"*", "lr", "0.01"},
+      {"RNN", "patience", "0"}};
+  auto muse = ResolveTrainConfig(ctx, "MUSE-Net", overrides);
+  ASSERT_TRUE(muse.ok());
+  EXPECT_EQ(muse->epochs, 3);
+  EXPECT_DOUBLE_EQ(muse->learning_rate, 0.01);
+  EXPECT_EQ(muse->patience, ctx.train.patience);
+
+  auto rnn = ResolveTrainConfig(ctx, "RNN", overrides);
+  ASSERT_TRUE(rnn.ok());
+  EXPECT_EQ(rnn->epochs, ctx.train.epochs);
+  EXPECT_EQ(rnn->patience, 0);
+
+  EXPECT_FALSE(
+      ResolveTrainConfig(ctx, "RNN", {{"RNN", "epochs", "abc"}}).ok());
+}
+
+TEST(BenchPipelineTest, FlowMetricsCodecRoundTrips) {
+  eval::FlowMetrics m;
+  m.outflow = {2.5, 1.25, 0.333333333333333};
+  m.inflow = {4.75, 2.0, 0.1};
+  auto parsed = ParseFlowMetrics("test", SerializeFlowMetrics(m));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->outflow.rmse, 2.5);
+  EXPECT_DOUBLE_EQ(parsed->outflow.mape, 0.333333333333333);
+  EXPECT_DOUBLE_EQ(parsed->inflow.rmse, 4.75);
+
+  EXPECT_FALSE(ParseFlowMetrics("test", "outflow.rmse=1\n").ok());
+}
+
+TEST(BenchPipelineTest, OneStepGraphDeclaresExpectedStages) {
+  ExperimentContext ctx = SmokeContext();
+  pipeline::Pipeline graph;
+  auto built = BuildOneStepGraph(
+      &graph, ctx, {sim::DatasetId::kNycBike},
+      {"HistoricalAverage", "MUSE-Net"}, /*horizon_offset=*/0,
+      eval::TimeBucket::kAll, /*overrides=*/{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  // simulate + dataset + 2×(train, eval) + table = 7 stages.
+  EXPECT_EQ(graph.num_stages(), 7);
+  EXPECT_GE(graph.FindStage("simulate/NYC-Bike"), 0);
+  EXPECT_GE(graph.FindStage("dataset/NYC-Bike/h0"), 0);
+  EXPECT_GE(graph.FindStage("train/NYC-Bike/h0/MUSE-Net"), 0);
+  EXPECT_GE(graph.FindStage("eval/NYC-Bike/h0/HistoricalAverage/all"), 0);
+  EXPECT_GE(graph.FindStage("table/table2_onestep_NYC-Bike"), 0);
+
+  // Builders are idempotent: declaring the same graph again adds nothing.
+  auto again = BuildOneStepGraph(
+      &graph, ctx, {sim::DatasetId::kNycBike},
+      {"HistoricalAverage", "MUSE-Net"}, 0, eval::TimeBucket::kAll, {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(graph.num_stages(), 7);
+}
+
+TEST(BenchPipelineTest, TinyGraphRunsAndWarmRerunsHit) {
+  // End-to-end at smoke scale with a cheap model roster: cold run misses,
+  // warm run hits everything and reproduces the table bytes.
+  ExperimentContext ctx = SmokeContext();
+  ctx.train.epochs = 1;
+  ctx.results_dir = ::testing::TempDir() + "/bench_pipeline_e2e";
+  std::filesystem::remove_all(ctx.results_dir);  // TempDir outlives runs.
+  const std::string cache = ctx.results_dir + "/cache/pipeline";
+
+  std::string first_csv;
+  for (int round = 0; round < 2; ++round) {
+    pipeline::Pipeline graph;
+    auto built = BuildOneStepGraph(&graph, ctx, {sim::DatasetId::kNycBike},
+                                   {"HistoricalAverage"}, 0,
+                                   eval::TimeBucket::kAll, {});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    pipeline::Pipeline::RunOptions options;
+    options.cache_dir = cache;
+    options.verbose = false;
+    auto run = graph.Run(options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const std::string& csv = graph.payload(built->table_stages[0]);
+    EXPECT_NE(csv.find("HistoricalAverage"), std::string::npos);
+    if (round == 0) {
+      EXPECT_EQ(run->misses, graph.num_stages());
+      first_csv = csv;
+    } else {
+      EXPECT_EQ(run->hits, graph.num_stages());
+      EXPECT_EQ(csv, first_csv);  // Cached rerun is byte-identical.
+    }
+  }
 }
 
 }  // namespace

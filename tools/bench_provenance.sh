@@ -1,12 +1,26 @@
 #!/usr/bin/env bash
-# Shared provenance stamp for the run_*_bench.sh scripts: emits a JSON object
+# Shared helpers for the run_*_bench.sh scripts: a provenance stamp (JSON
 # identifying exactly what was measured — git SHA, compiler + the flags the
 # build directory was configured with, and the SIMD tier the GEMM
-# micro-kernel dispatches to on this host (avx512 / avx2 / scalar). Sourced,
-# not executed.
+# micro-kernel dispatches to on this host) and the configure-if-absent build
+# step every script needs before it can drive a binary. Sourced, not
+# executed.
 #
 #   source "$repo_root/tools/bench_provenance.sh"
+#   bench_ensure_build "$repo_root" "$build_dir" musenet
 #   prov="$(bench_provenance_json "$repo_root" "$build_dir")"
+
+bench_ensure_build() {  # bench_ensure_build <repo_root> <build_dir> <target...>
+  local root="$1" bdir="$2"
+  shift 2
+  if [[ ! -d "$bdir" ]]; then
+    cmake -B "$bdir" -S "$root"
+  fi
+  local target
+  for target in "$@"; do
+    cmake --build "$bdir" --target "$target" -j"$(nproc)"
+  done
+}
 
 bench_provenance_json() {  # bench_provenance_json <repo_root> <build_dir>
   local root="$1" bdir="$2"

@@ -16,7 +16,9 @@
 // validates shapes).
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -25,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
+#include "bench/bench_pipeline.h"
 #include "data/dataset.h"
 #include "eval/evaluate.h"
 #include "infer/engine.h"
@@ -37,6 +41,7 @@
 #include "sim/serialize.h"
 #include "tensor/serialize.h"
 #include "util/bench_config.h"
+#include "util/hash.h"
 #include "util/io.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -56,6 +61,7 @@ class Args {
     }
   }
 
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
@@ -115,22 +121,35 @@ const char* PrecisionName(infer::PrecisionMode mode) {
   }
 }
 
-int Simulate(const Args& args) {
+/// Resolves the simulation scale the way `simulate` does: the bench scale
+/// from the environment with --seed/--days/--grid-h/--grid-w overrides.
+/// Shared with LoadForModel so a `--dataset` flag on train/evaluate recomputes
+/// the same provenance hash `simulate` stamped.
+BenchScale ResolveSimScale(const Args& args) {
   BenchScale scale = ResolveBenchScale();
   scale.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
   if (args.GetInt("days", 0) > 0) scale.days = args.GetInt("days", 0);
   if (args.GetInt("grid-h", 0) > 0) scale.grid_h = args.GetInt("grid-h", 0);
   if (args.GetInt("grid-w", 0) > 0) scale.grid_w = args.GetInt("grid-w", 0);
+  return scale;
+}
+
+int Simulate(const Args& args) {
+  const BenchScale scale = ResolveSimScale(args);
   const sim::DatasetId id = ParseDataset(args.Get("dataset", "taxi"));
   const std::string out = args.Get("out", "flows.bin");
 
   sim::FlowSeries flows = sim::GenerateDatasetFlows(id, scale, scale.seed);
-  const Status status = sim::SaveFlowSeries(out, flows);
+  const uint64_t hash = sim::SimConfigHash(id, scale, scale.seed);
+  const Status status = sim::SaveFlowSeries(out, flows, hash);
   if (!status.ok()) return Fail(status);
-  std::printf("wrote %s: %lld intervals, %lldx%lld grid, mean flow %.2f\n",
-              out.c_str(), static_cast<long long>(flows.num_intervals()),
-              static_cast<long long>(flows.grid().height),
-              static_cast<long long>(flows.grid().width), flows.MeanValue());
+  std::printf(
+      "wrote %s: %lld intervals, %lldx%lld grid, mean flow %.2f, "
+      "sim config hash 0x%s\n",
+      out.c_str(), static_cast<long long>(flows.num_intervals()),
+      static_cast<long long>(flows.grid().height),
+      static_cast<long long>(flows.grid().width), flows.MeanValue(),
+      util::HashHex(hash).c_str());
   return 0;
 }
 
@@ -139,9 +158,27 @@ struct LoadedDataset {
   muse::MuseNetConfig config;
 };
 
+/// The provenance hash `flows.bin` must carry, or 0 for no check:
+/// --expect-flows-hash takes an explicit hex digest; --dataset recomputes
+/// SimConfigHash from the same flag resolution `simulate` used.
+uint64_t ExpectedFlowsHash(const Args& args) {
+  if (args.Has("expect-flows-hash")) {
+    return std::strtoull(args.Get("expect-flows-hash", "0").c_str(), nullptr,
+                         16);
+  }
+  if (args.Has("dataset")) {
+    const BenchScale scale = ResolveSimScale(args);
+    return sim::SimConfigHash(ParseDataset(args.Get("dataset", "taxi")), scale,
+                              scale.seed);
+  }
+  return 0;
+}
+
 Result<LoadedDataset> LoadForModel(const Args& args) {
-  MUSE_ASSIGN_OR_RETURN(sim::FlowSeries flows,
-                        sim::LoadFlowSeries(args.Get("flows", "flows.bin")));
+  MUSE_ASSIGN_OR_RETURN(
+      sim::FlowSeries flows,
+      sim::LoadFlowSeriesChecked(args.Get("flows", "flows.bin"),
+                                 ExpectedFlowsHash(args)));
   data::DatasetOptions options;
   options.max_train_samples = args.GetInt("max_train_samples", 320);
   data::TrafficDataset dataset(std::move(flows), options);
@@ -549,6 +586,97 @@ int BenchInfer(const Args& args) {
   return 0;
 }
 
+/// SIGINT flips this token; the pipeline scheduler and every training loop
+/// poll it cooperatively, so one Ctrl-C stops the run at the next step
+/// boundary with the cache in a resumable state.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void HandleSigint(int) {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+/// `pipeline`: declares the full experiment DAG (simulate → dataset →
+/// per-model train → eval → table) and runs it incrementally against the
+/// content-addressed stage cache. Reruns hit; config edits rerun exactly
+/// the affected stages (--explain prints why); Ctrl-C leaves a resumable
+/// cache.
+int RunPipeline(const Args& args) {
+  bench::ExperimentContext ctx = bench::MakeContext("incremental pipeline");
+
+  std::vector<sim::DatasetId> datasets;
+  for (const std::string& name :
+       StrSplit(args.Get("datasets", "bike,taxi,bj"), ',')) {
+    datasets.push_back(ParseDataset(name));
+  }
+  std::vector<std::string> models = StrSplit(
+      args.Get("models",
+               "HistoricalAverage,RNN,Seq2Seq,CONVGCN,GMAN,ST-Norm,STGSP,"
+               "DeepSTN+,ST-SSL,MUSE-Net"),
+      ',');
+
+  std::vector<bench::TrainOverride> overrides;
+  if (args.Has("override")) {
+    for (const std::string& text :
+         StrSplit(args.Get("override", ""), ',')) {
+      auto parsed = bench::ParseTrainOverride(text);
+      if (!parsed.ok()) return Fail(parsed.status());
+      overrides.push_back(std::move(parsed).value());
+    }
+  }
+
+  const std::string bucket_name = args.Get("bucket", "all");
+  eval::TimeBucket bucket = eval::TimeBucket::kAll;
+  if (bucket_name == "peak") bucket = eval::TimeBucket::kPeak;
+  else if (bucket_name == "nonpeak") bucket = eval::TimeBucket::kNonPeak;
+  else if (bucket_name == "weekday") bucket = eval::TimeBucket::kWeekday;
+  else if (bucket_name == "weekend") bucket = eval::TimeBucket::kWeekend;
+  else if (bucket_name != "all") {
+    std::fprintf(stderr, "error: unknown --bucket '%s'\n",
+                 bucket_name.c_str());
+    return 2;
+  }
+
+  pipeline::Pipeline graph;
+  auto built = bench::BuildOneStepGraph(
+      &graph, ctx, datasets, models,
+      static_cast<int64_t>(args.GetInt("horizon", 0)), bucket, overrides);
+  if (!built.ok()) return Fail(built.status());
+
+  pipeline::Pipeline::RunOptions options;
+  options.cache_dir = args.Get("cache-dir", bench::PipelineCacheDir(ctx));
+  options.jobs = std::max(1, args.GetInt("jobs", 1));
+  options.explain = args.GetInt("explain", 0) != 0;
+  options.cancel = &g_cancel;
+  std::signal(SIGINT, HandleSigint);
+
+  auto run = graph.Run(options);
+  std::signal(SIGINT, SIG_DFL);
+  if (!run.ok()) {
+    // 130 = interrupted by SIGINT; completed stages are cached, rerunning
+    // the same command resumes.
+    if (run.status().code() == StatusCode::kCancelled) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 130;
+    }
+    return Fail(run.status());
+  }
+
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    std::vector<const std::string*> metric_payloads;
+    for (const int eval_stage : built->eval_stages[d]) {
+      metric_payloads.push_back(&graph.payload(eval_stage));
+    }
+    auto table = bench::OneStepTableFromPayloads(models, metric_payloads);
+    if (!table.ok()) return Fail(table.status());
+    std::printf("--- %s ---\n%s\n", sim::DatasetName(datasets[d]).c_str(),
+                table->ToString().c_str());
+    const int table_stage = built->table_stages[d];
+    bench::EmitCsv(ctx, graph.stage_name(table_stage).substr(6),
+                   graph.payload(table_stage));
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -557,6 +685,8 @@ int Usage() {
       "            [--grid-h H] [--grid-w W]\n"
       "  train     --flows FILE --ckpt FILE [--epochs N] [--patience P]\n"
       "            [--lr LR] [--d D] [--k K] [--seed S]\n"
+      "            [--dataset bike|taxi|bj | --expect-flows-hash HEX]\n"
+      "            (provenance check: fail fast on a stale flows file)\n"
       "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "            [--keep-last K] [--resume 0|1]\n"
       "            [--on-nonfinite abort|skip|rollback]\n"
@@ -572,7 +702,14 @@ int Usage() {
       "  bench-infer --flows FILE --ckpt FILE [--iters N] [--batch B]\n"
       "            [--specialize 0|1] [--precision fp32|int8|bf16]\n"
       "            [--max-abs-delta D] [--calib-batches N]\n"
-      "            [--d D] [--k K] [--out FILE]\n");
+      "            [--d D] [--k K] [--out FILE]\n"
+      "  pipeline  [--datasets bike,taxi,bj] [--models M1,M2,...]\n"
+      "            [--cache-dir DIR] [--jobs N] [--explain 0|1]\n"
+      "            [--horizon H] [--bucket all|peak|nonpeak|weekday|weekend]\n"
+      "            [--override MODEL:key=value[,...]]  (keys: epochs, lr,\n"
+      "            batch, patience; MODEL '*' matches all)\n"
+      "            Incremental experiment DAG vs the content-hashed stage\n"
+      "            cache; Ctrl-C leaves a resumable cache.\n");
   return 2;
 }
 
@@ -590,5 +727,6 @@ int main(int argc, char** argv) {
   if (command == "predict") return Predict(args);
   if (command == "serve") return Serve(args);
   if (command == "bench-infer") return BenchInfer(args);
+  if (command == "pipeline") return RunPipeline(args);
   return Usage();
 }

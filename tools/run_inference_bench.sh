@@ -19,10 +19,8 @@ if [[ $# -gt 0 && "$1" != -* ]]; then
   shift
 fi
 
-if [[ ! -d "$build_dir" ]]; then
-  cmake -B "$build_dir" -S "$repo_root"
-fi
-cmake --build "$build_dir" --target musenet -j"$(nproc)"
+source "$repo_root/tools/bench_provenance.sh"
+bench_ensure_build "$repo_root" "$build_dir" musenet
 
 workdir="$(mktemp -d)"
 trap 'rm -f "$workdir"/*.json "$workdir"/flows.bin "$workdir"/model.ckpt; rmdir "$workdir"' EXIT
@@ -57,7 +55,6 @@ run_point 1 1 200 spec_fp32 --specialize 1 --precision fp32
 run_point 1 1 200 spec_int8 --precision int8
 run_point 1 1 200 spec_bf16 --precision bf16
 
-source "$repo_root/tools/bench_provenance.sh"
 provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
 
 python3 - "$workdir" "$repo_root/BENCH_inference.json" "$(nproc)" \

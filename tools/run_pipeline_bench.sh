@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Measures the incremental experiment pipeline and records the results to
+# BENCH_pipeline.json at the repo root: wall time for a cold run (empty
+# cache), a warm rerun (everything cached), and an incremental rerun after
+# editing a single model's training config (only that model's train/eval and
+# the table should recompute). The hit/miss counts come from the CLI's own
+# `pipeline summary:` line, so the JSON records what the scheduler actually
+# did, not what the script assumed.
+#
+# Usage: tools/run_pipeline_bench.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+  build_dir="$1"
+  shift
+fi
+
+source "$repo_root/tools/bench_provenance.sh"
+bench_ensure_build "$repo_root" "$build_dir" musenet
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cli="$build_dir/tools/musenet"
+
+# Smoke scale keeps the cold run in CI territory while still exercising a
+# real roster: a closed-form baseline, a trained baseline, and MUSE-Net.
+models="HistoricalAverage,RNN,MUSE-Net"
+base_override="*:epochs=1"
+
+run_pipeline() {  # run_pipeline <tag> <overrides>
+  local tag="$1" overrides="$2"
+  local t0 t1
+  t0="$(date +%s%N)"
+  MUSE_BENCH_SCALE=smoke MUSE_BENCH_RESULTS_DIR="$workdir/results" \
+    "$cli" pipeline --datasets bike --models "$models" \
+    --override "$overrides" --cache-dir "$workdir/cache" --explain 1 \
+    > "$workdir/$tag.log"
+  t1="$(date +%s%N)"
+  echo $(((t1 - t0) / 1000000)) > "$workdir/$tag.ms"
+  echo "  $tag: $(cat "$workdir/$tag.ms") ms" \
+       "($(grep 'pipeline summary:' "$workdir/$tag.log" | tail -1))"
+}
+
+echo "Running pipeline bench (smoke scale, models: $models)"
+run_pipeline cold "$base_override"
+run_pipeline warm "$base_override"
+# Edit one model's training config: only RNN's train/eval and the table
+# downstream of them should miss.
+run_pipeline incremental "$base_override,RNN:lr=0.002"
+
+provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
+
+python3 - "$workdir" "$repo_root/BENCH_pipeline.json" "$provenance" \
+  "$models" <<'PY'
+import json, os, re, sys
+
+workdir, out_path, provenance = sys.argv[1], sys.argv[2], json.loads(sys.argv[3])
+models = sys.argv[4]
+
+runs = {}
+for tag in ("cold", "warm", "incremental"):
+    ms = int(open(os.path.join(workdir, tag + ".ms")).read())
+    log = open(os.path.join(workdir, tag + ".log")).read()
+    m = re.findall(r"pipeline summary: (.*)", log)
+    summary = dict(kv.split("=", 1) for kv in m[-1].split()) if m else {}
+    runs[tag] = {
+        "wall_ms": ms,
+        "stages": int(summary.get("stages", 0)),
+        "hits": int(summary.get("hits", 0)),
+        "misses": int(summary.get("misses", 0)),
+    }
+
+doc = {
+    "scenario": {
+        "scale": "smoke",
+        "datasets": ["bike"],
+        "models": models.split(","),
+        "incremental_edit": "RNN:lr=0.002 (single-model training override)",
+    },
+    "provenance": provenance,
+    "runs": runs,
+    "warm_speedup": round(runs["cold"]["wall_ms"]
+                          / max(1, runs["warm"]["wall_ms"]), 2),
+    "incremental_speedup": round(runs["cold"]["wall_ms"]
+                                 / max(1, runs["incremental"]["wall_ms"]), 2),
+}
+json.dump(doc, open(out_path, "w"), indent=2)
+print(f"Wrote {out_path}")
+print(f"  cold {runs['cold']['wall_ms']} ms, warm {runs['warm']['wall_ms']} ms"
+      f" ({doc['warm_speedup']}x), incremental"
+      f" {runs['incremental']['wall_ms']} ms ({doc['incremental_speedup']}x,"
+      f" {runs['incremental']['misses']}/{runs['incremental']['stages']}"
+      " stages recomputed)")
+if runs["warm"]["misses"] != 0:
+    sys.exit("warm rerun had cache misses — pipeline cache is not stable")
+if doc["warm_speedup"] < 10:
+    sys.exit(f"warm speedup {doc['warm_speedup']}x is below the 10x floor")
+PY

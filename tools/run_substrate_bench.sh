@@ -13,10 +13,8 @@ if [[ $# -gt 0 && "$1" != -* ]]; then
   shift
 fi
 
-if [[ ! -d "$build_dir" ]]; then
-  cmake -B "$build_dir" -S "$repo_root"
-fi
-cmake --build "$build_dir" --target bench_micro_substrate -j"$(nproc)"
+source "$repo_root/tools/bench_provenance.sh"
+bench_ensure_build "$repo_root" "$build_dir" bench_micro_substrate
 
 "$build_dir/bench/bench_micro_substrate" \
   --benchmark_out="$repo_root/BENCH_substrate.json" \
@@ -25,7 +23,6 @@ cmake --build "$build_dir" --target bench_micro_substrate -j"$(nproc)"
 
 # Stamp provenance into the google-benchmark JSON so the record identifies
 # the commit, compiler, flags, and GEMM ISA tier it was measured at.
-source "$repo_root/tools/bench_provenance.sh"
 provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
 python3 - "$repo_root/BENCH_substrate.json" "$provenance" <<'PY'
 import json, sys

@@ -16,10 +16,8 @@ if [[ $# -gt 0 && "$1" != -* ]]; then
   shift
 fi
 
-if [[ ! -d "$build_dir" ]]; then
-  cmake -B "$build_dir" -S "$repo_root"
-fi
-cmake --build "$build_dir" --target bench_training_step -j"$(nproc)"
+source "$repo_root/tools/bench_provenance.sh"
+bench_ensure_build "$repo_root" "$build_dir" bench_training_step
 
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
@@ -30,7 +28,6 @@ trap 'rm -f "$raw_json"' EXIT
   --benchmark_min_time=2 \
   "$@"
 
-source "$repo_root/tools/bench_provenance.sh"
 provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
 
 python3 - "$raw_json" "$repo_root/BENCH_training.json" "$provenance" <<'PY'
