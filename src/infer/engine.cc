@@ -21,11 +21,7 @@ namespace musenet::infer {
 namespace ag = musenet::autograd;
 namespace ts = musenet::tensor;
 
-namespace {
-
-/// Per-precision default for the specialization accuracy gate (scaled
-/// prediction units, i.e. the [-1, 1] space models train in). fp32
-/// repacking is bit-exact and BN folding perturbs only at fp32 rounding
+/// fp32 repacking is bit-exact and BN folding perturbs only at fp32 rounding
 /// scale; reduced precision perturbs at weight-quantization scale.
 float DefaultDeltaGate(PrecisionMode precision) {
   switch (precision) {
@@ -38,8 +34,6 @@ float DefaultDeltaGate(PrecisionMode precision) {
   }
   return 1e-4f;
 }
-
-}  // namespace
 
 Engine::Engine(eval::Forecaster& model, EngineOptions options)
     : model_(model),

@@ -72,6 +72,12 @@ struct EngineOptions {
   float max_abs_delta = -1.0f;
 };
 
+/// Per-precision default for the specialization accuracy gate (scaled
+/// prediction units). Shared by the engine's plan-adoption check and the
+/// serving registry's shadow validation, so a hot-swapped plan is held to
+/// the same budget as a locally built one.
+float DefaultDeltaGate(PrecisionMode precision);
+
 class Engine {
  public:
   explicit Engine(eval::Forecaster& model, EngineOptions options = {});

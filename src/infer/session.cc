@@ -25,13 +25,18 @@ InferenceSession::InferenceSession(eval::Forecaster& model,
 
 InferenceSession::~InferenceSession() { Shutdown(); }
 
-std::future<tensor::Tensor> InferenceSession::Submit(data::Batch request) {
+std::future<tensor::Tensor> InferenceSession::Submit(data::Batch request,
+                                                     double deadline_ms) {
   MUSE_CHECK(request.batch_size() == 1)
       << "InferenceSession::Submit takes single-grid requests; got batch "
       << request.batch_size();
   Pending pending;
   pending.batch = std::move(request);
   pending.enqueue_ns = util::MonotonicNowNanos();
+  if (deadline_ms > 0.0) {
+    pending.deadline_ns =
+        pending.enqueue_ns + static_cast<int64_t>(deadline_ms * 1e6);
+  }
   std::future<tensor::Tensor> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -62,6 +67,7 @@ void InferenceSession::Shutdown() {
 void InferenceSession::DispatchLoop() {
   auto& requests = obs::GetCounter("infer.requests");
   auto& batches = obs::GetCounter("infer.batches");
+  auto& timed_out = obs::GetCounter("infer.requests_timed_out");
   auto& batch_size_hist = obs::GetHistogram(
       "infer.batch_size", {1, 2, 4, 8, 16, 32, 64});
   auto& latency_hist =
@@ -83,14 +89,25 @@ void InferenceSession::DispatchLoop() {
         return shutdown_ ||
                static_cast<int>(queue_.size()) >= options_.max_batch;
       });
-      const int take =
-          std::min<int>(options_.max_batch, static_cast<int>(queue_.size()));
-      group.reserve(take);
-      for (int i = 0; i < take; ++i) {
-        group.push_back(std::move(queue_.front()));
+      // Expired requests complete with DeadlineExceededError instead of
+      // occupying a batch slot; live ones fill the group up to max_batch.
+      const int64_t now_ns = util::MonotonicNowNanos();
+      group.reserve(static_cast<size_t>(options_.max_batch));
+      while (!queue_.empty() &&
+             static_cast<int>(group.size()) < options_.max_batch) {
+        Pending p = std::move(queue_.front());
         queue_.pop_front();
+        if (p.deadline_ns > 0 && now_ns > p.deadline_ns) {
+          p.promise.set_exception(
+              std::make_exception_ptr(DeadlineExceededError(
+                  "request deadline passed before dispatch")));
+          timed_out.Add();
+          continue;
+        }
+        group.push_back(std::move(p));
       }
     }
+    if (group.empty()) continue;
 
     const int64_t n = static_cast<int64_t>(group.size());
     obs::ScopedSpan span("infer.batch", "size", n);
@@ -122,6 +139,12 @@ void InferenceSession::DispatchLoop() {
     const int64_t done_ns = util::MonotonicNowNanos();
     for (int64_t i = 0; i < n; ++i) {
       Pending& p = group[static_cast<size_t>(i)];
+      if (p.deadline_ns > 0 && done_ns > p.deadline_ns) {
+        p.promise.set_exception(std::make_exception_ptr(
+            DeadlineExceededError("request deadline passed mid-batch")));
+        timed_out.Add();
+        continue;
+      }
       ts::Tensor slice =
           n == 1 ? prediction : ts::Slice(prediction, 0, i, 1);
       p.promise.set_value(std::move(slice));

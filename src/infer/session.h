@@ -6,6 +6,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "data/dataset.h"
@@ -14,6 +15,14 @@
 #include "tensor/tensor.h"
 
 namespace musenet::infer {
+
+/// Thrown into a request's future when its deadline passed before the
+/// dispatcher could complete it (counter `infer.requests_timed_out`).
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Batching policy of an InferenceSession.
 struct SessionOptions {
@@ -49,8 +58,13 @@ class InferenceSession {
   InferenceSession& operator=(const InferenceSession&) = delete;
 
   /// Enqueues a single-sample request (batch_size() == 1). The future
-  /// resolves to the scaled [1, 2, H, W] prediction.
-  std::future<tensor::Tensor> Submit(data::Batch request);
+  /// resolves to the scaled [1, 2, H, W] prediction. `deadline_ms` > 0 bounds
+  /// enqueue-to-completion time: a request whose deadline passes before the
+  /// dispatcher completes it gets DeadlineExceededError instead of a
+  /// prediction (an expired request never occupies a batch slot). 0 = no
+  /// deadline.
+  std::future<tensor::Tensor> Submit(data::Batch request,
+                                     double deadline_ms = 0.0);
 
   /// Drains the queue, stops the dispatch thread, and rejects later
   /// Submits. Idempotent; the destructor calls it.
@@ -63,6 +77,7 @@ class InferenceSession {
     data::Batch batch;
     std::promise<tensor::Tensor> promise;
     int64_t enqueue_ns = 0;
+    int64_t deadline_ns = 0;  ///< 0 = no deadline.
   };
 
   void DispatchLoop();

@@ -250,6 +250,40 @@ Histogram& GetHistogram(const std::string& name,
   return Registry::Instance().GetHistogram(name, bounds);
 }
 
+const std::vector<double>& QueueDepthBuckets() {
+  static const std::vector<double>* buckets = [] {
+    auto* b = new std::vector<double>();
+    b->push_back(0.0);
+    for (double edge = 1.0; edge <= 4096.0; edge *= 2.0) b->push_back(edge);
+    return b;
+  }();
+  return *buckets;
+}
+
+double HistogramPercentile(const MetricsSnapshot::HistogramData& histogram,
+                           double q) {
+  if (histogram.total <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(histogram.total);
+  double below = 0.0;
+  for (size_t i = 0; i < histogram.counts.size(); ++i) {
+    const double count = static_cast<double>(histogram.counts[i]);
+    if (below + count >= rank || i + 1 == histogram.counts.size()) {
+      if (i >= histogram.bounds.size()) {
+        // Overflow bucket: no upper edge to interpolate toward.
+        return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+      }
+      const double hi = histogram.bounds[i];
+      const double lo = i == 0 ? 0.0 : histogram.bounds[i - 1];
+      const double frac = count > 0.0 ? (rank - below) / count : 1.0;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    below += count;
+  }
+  return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+}
+
 const std::vector<double>& LatencyBucketsMs() {
   // 0.01ms .. ~164s, factor 2: 24 buckets + overflow.
   static const std::vector<double>* buckets = [] {

@@ -139,6 +139,19 @@ Histogram& GetHistogram(const std::string& name,
 /// histograms (step time, checkpoint writes, validation).
 const std::vector<double>& LatencyBucketsMs();
 
+/// Power-of-two depth buckets (0, 1, 2, 4 .. 4096) for queue-occupancy
+/// histograms (serve.queue_depth).
+const std::vector<double>& QueueDepthBuckets();
+
+/// Estimates the q-th percentile (q in [0, 1]) of a snapshot histogram by
+/// linear interpolation inside the bucket containing the target rank. The
+/// overflow bucket has no upper edge, so ranks landing there report the last
+/// finite edge — an underestimate the caller should treat as ">= edge".
+/// Returns 0 for an empty histogram. This is what the serve CLI and the
+/// serving bench report as SLO p50/p99 without retaining per-request samples.
+double HistogramPercentile(const MetricsSnapshot::HistogramData& histogram,
+                           double q);
+
 /// Deterministic JSON document (keys sorted, fixed float formatting) of a
 /// snapshot — what `musenet train --metrics-out` writes.
 std::string MetricsToJson(const MetricsSnapshot& snapshot);

@@ -1,0 +1,186 @@
+#include "serve/registry.h"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/serialize.h"
+#include "util/fault_injector.h"
+#include "util/hash.h"
+#include "util/io.h"
+
+namespace musenet::serve {
+
+namespace ts = musenet::tensor;
+
+ModelRegistry::ModelRegistry(RegistryOptions options)
+    : options_(std::move(options)) {}
+
+ModelRegistry::Tenant* ModelRegistry::FindTenant(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+Result<std::shared_ptr<const ServingPlan>> ModelRegistry::BuildCandidate(
+    const ModelSpec& spec, const std::string& path, int64_t version) const {
+  auto& rejected = obs::GetCounter("serve.shadow_rejected");
+  auto reject = [&rejected](Status status) -> Status {
+    rejected.Add();
+    obs::TraceInstant("serve.swap.rejected");
+    return status;
+  };
+
+  // --- 1. LOAD: container bytes -> named tensors (CRC-checked) --------------
+  obs::ScopedSpan load_span("serve.swap.load");
+  util::FaultInjector& faults = util::FaultInjector::Instance();
+  if (faults.TakeLoadFailure()) {
+    return reject(Status::IoError("injected load failure reading '" + path +
+                                  "' for tenant '" + spec.name + "'"));
+  }
+  auto bytes = util::ReadFileToString(path);
+  if (!bytes.ok()) return reject(bytes.status());
+  if (faults.TakeSwapCorrupt() && !bytes.value().empty()) {
+    // A flipped bit in the middle of the container — the CRC-checked parse
+    // below must refuse it; this fault never reaches a served prediction.
+    bytes.value()[bytes.value().size() / 2] ^= 0x10;
+  }
+  const uint64_t content_hash = util::Fnv1a64(bytes.value());
+  auto tensors = ts::ParseTensors(path, bytes.value());
+  if (!tensors.ok()) return reject(tensors.status());
+
+  // --- 2. BUILD: model from spec, weights from container, engine plan -------
+  obs::ScopedSpan build_span("serve.swap.build");
+  auto plan = std::make_shared<ServingPlan>();
+  plan->version = version;
+  plan->source_path = path;
+  plan->content_hash = content_hash;
+  plan->model = std::make_unique<muse::MuseNet>(spec.config, spec.seed);
+  const Status loaded = plan->model->LoadStateDict(tensors.value());
+  if (!loaded.ok()) return reject(loaded);
+  plan->model->SetTraining(false);
+  plan->engine = std::make_unique<infer::Engine>(*plan->model, spec.engine);
+
+  // --- 3. SHADOW: replay held-out probes on the candidate only --------------
+  obs::ScopedSpan shadow_span("serve.swap.shadow");
+  float gate = options_.max_abs_delta;
+  if (gate < 0.0f) {
+    gate = spec.engine.specialize
+               ? (spec.engine.max_abs_delta >= 0.0f
+                      ? spec.engine.max_abs_delta
+                      : infer::DefaultDeltaGate(spec.engine.precision))
+               : infer::DefaultDeltaGate(infer::PrecisionMode::kFp32);
+  }
+  int64_t probed = 0;
+  for (const data::Batch& probe : options_.probes) {
+    // Registry-level probes are shared across tenants; only those matching
+    // this tenant's grid exercise its candidate (A/B tenants on different
+    // cities validate against their own geometry).
+    if (probe.closeness.dim(2) != spec.config.grid_h ||
+        probe.closeness.dim(3) != spec.config.grid_w) {
+      continue;
+    }
+    ++probed;
+    const ts::Tensor ref = plan->model->Predict(probe);
+    const ts::Tensor got = plan->engine->Predict(probe);
+    for (int64_t i = 0; i < got.num_elements(); ++i) {
+      const float g = got.flat(i);
+      if (!std::isfinite(g)) {
+        return reject(Status::Internal(
+            "shadow validation: candidate '" + spec.name + "' v" +
+            std::to_string(version) + " produced a non-finite prediction"));
+      }
+      const float delta = std::abs(g - ref.flat(i));
+      if (delta > gate) {
+        return reject(Status::Internal(
+            "shadow validation: candidate '" + spec.name + "' v" +
+            std::to_string(version) + " engine/model delta " +
+            std::to_string(delta) + " exceeds gate " + std::to_string(gate)));
+      }
+    }
+  }
+  if (!options_.probes.empty() && probed == 0) {
+    obs::TraceInstant("serve.swap.no_matching_probes");
+  }
+  return std::shared_ptr<const ServingPlan>(std::move(plan));
+}
+
+Status ModelRegistry::Load(const ModelSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("tenant name must not be empty");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tenants_.count(spec.name) != 0) {
+      return Status::AlreadyExists("tenant '" + spec.name +
+                                   "' is already registered");
+    }
+  }
+  auto candidate = BuildCandidate(spec, spec.path, /*version=*/1);
+  if (!candidate.ok()) return candidate.status();
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->spec = spec;
+  tenant->next_version = 2;
+  tenant->active.store(std::move(candidate).value(),
+                       std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tenants_.emplace(spec.name, std::move(tenant)).second) {
+    return Status::AlreadyExists("tenant '" + spec.name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::Swap(const std::string& name, const std::string& path) {
+  Tenant* tenant = FindTenant(name);
+  if (tenant == nullptr) {
+    return Status::NotFound("unknown tenant '" + name + "'");
+  }
+  // Swaps of one tenant serialize; readers and other tenants' swaps proceed.
+  std::lock_guard<std::mutex> swap_lock(tenant->swap_mu);
+  obs::ScopedSpan span("serve.swap");
+  const std::string source = path.empty() ? tenant->spec.path : path;
+  auto candidate =
+      BuildCandidate(tenant->spec, source, tenant->next_version);
+  if (!candidate.ok()) return candidate.status();
+
+  // --- 4. COMMIT: CAS the active-plan pointer --------------------------------
+  // The CAS cannot lose (swap_mu serializes writers); the loop documents the
+  // lock-free publish contract with Acquire. The superseded plan retires
+  // when its last in-flight snapshot releases (shared_ptr refcount).
+  std::shared_ptr<const ServingPlan> expected =
+      tenant->active.load(std::memory_order_acquire);
+  while (!tenant->active.compare_exchange_weak(
+      expected, candidate.value(), std::memory_order_acq_rel,
+      std::memory_order_acquire)) {
+  }
+  tenant->next_version++;
+  tenant->spec.path = source;
+  obs::GetCounter("serve.swapped").Add();
+  return Status::OK();
+}
+
+std::shared_ptr<const ServingPlan> ModelRegistry::Acquire(
+    const std::string& name) const {
+  Tenant* tenant = FindTenant(name);
+  if (tenant == nullptr) return nullptr;
+  return tenant->active.load(std::memory_order_acquire);
+}
+
+int64_t ModelRegistry::version(const std::string& name) const {
+  auto plan = Acquire(name);
+  return plan == nullptr ? 0 : plan->version;
+}
+
+std::vector<std::string> ModelRegistry::TenantNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+}  // namespace musenet::serve

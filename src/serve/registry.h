@@ -1,0 +1,132 @@
+#ifndef MUSENET_SERVE_REGISTRY_H_
+#define MUSENET_SERVE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "infer/engine.h"
+#include "muse/model.h"
+#include "util/status.h"
+
+namespace musenet::serve {
+
+/// One named tenant's model source: where its MUSETNSR container lives and
+/// how to instantiate/plan it. A city operator registers one spec per served
+/// model (per-city, per-dataset, A/B or precision variants).
+struct ModelSpec {
+  std::string name;            ///< Tenant name ("bike", "taxi-int8", ...).
+  std::string path;            ///< MUSETNSR container (tensor::SaveTensors).
+  muse::MuseNetConfig config;  ///< Architecture; must match the container.
+  infer::EngineOptions engine; ///< Plan-time specialization / precision.
+  uint64_t seed = 7;           ///< Construction seed (weights overwritten).
+};
+
+/// An immutable, planned serving unit: the loaded model, the inference
+/// engine compiled over it, and version metadata. Once published it is never
+/// mutated; readers hold it through shared_ptr snapshots, so reclamation is
+/// refcount-based — the plan a draining batch replays on stays alive until
+/// the last in-flight reference drops, no matter how many swaps happen
+/// meanwhile.
+struct ServingPlan {
+  int64_t version = 0;          ///< 1-based, bumped per successful swap.
+  std::string source_path;      ///< Container this plan was loaded from.
+  uint64_t content_hash = 0;    ///< FNV-1a of the container bytes.
+  std::unique_ptr<muse::MuseNet> model;
+  std::unique_ptr<infer::Engine> engine;  ///< References *model; keep after.
+};
+
+/// Shadow-validation policy applied to every candidate plan before it can
+/// become active (initial Load and every Swap).
+struct RegistryOptions {
+  /// Held-out inputs the candidate must predict sanely on. Validation
+  /// checks every output element is finite and that the candidate engine
+  /// matches the candidate model's own eval forward within the accuracy
+  /// gate — the same engine-vs-model contract PR 6's specialization gate
+  /// enforces at plan build. Empty skips the probe pass (load/parse/shape
+  /// errors still reject).
+  std::vector<data::Batch> probes;
+  /// Max |engine − model| per element over the probes. Negative selects the
+  /// per-precision default of the tenant's EngineOptions (fp32 1e-4,
+  /// bf16 5e-2, int8 2.5e-1 — the PR 6 gates).
+  float max_abs_delta = -1.0f;
+};
+
+/// Multi-tenant registry of named, versioned serving plans with atomic
+/// hot-swap.
+///
+/// Swap protocol (see DESIGN.md "Multi-tenant serving"):
+///   1. LOAD    — read the container bytes (fault-injection hooks for I/O
+///                failure and bit corruption live here), parse the MUSETNSR
+///                records (CRC failures reject).
+///   2. BUILD   — construct the model from the tenant spec, LoadStateDict
+///                (missing/extra/mismatched tensors reject), eval mode,
+///                compile the inference engine and warm its plans.
+///   3. SHADOW  — replay the probe set on the candidate only; non-finite
+///                outputs or an engine/model delta above the gate reject.
+///                The active plan serves traffic throughout.
+///   4. COMMIT  — CAS the tenant's active-plan pointer to the candidate
+///                (serve.swapped). A rejected candidate is discarded and the
+///                old plan keeps serving (serve.shadow_rejected).
+///
+/// Readers call Acquire() and hold the returned snapshot for the duration of
+/// one batch replay; the shared_ptr refcount is the epoch that keeps a
+/// superseded plan alive until its draining replays finish. Swaps for
+/// different tenants can proceed concurrently with each other and with
+/// readers; swaps for one tenant serialize.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryOptions options = {});
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers a tenant and loads+validates its first plan (version 1).
+  /// Fails without registering on a duplicate name or a rejected candidate.
+  Status Load(const ModelSpec& spec);
+
+  /// Hot-swaps `name` to the container at `path` (empty = reload the spec's
+  /// current path). Runs the full swap protocol; on any rejection the active
+  /// plan is untouched and keeps serving. Thread-safe against readers and
+  /// other swaps.
+  Status Swap(const std::string& name, const std::string& path = "");
+
+  /// Snapshot of the tenant's active plan, or nullptr for an unknown
+  /// tenant. Hold it for the duration of one replay; release promptly so
+  /// superseded plans can retire.
+  std::shared_ptr<const ServingPlan> Acquire(const std::string& name) const;
+
+  /// Active version of `name` (0 when unknown).
+  int64_t version(const std::string& name) const;
+
+  /// Registered tenant names, sorted.
+  std::vector<std::string> TenantNames() const;
+
+ private:
+  struct Tenant {
+    ModelSpec spec;
+    std::atomic<std::shared_ptr<const ServingPlan>> active;
+    std::mutex swap_mu;       ///< Serializes swaps of this tenant only.
+    int64_t next_version = 1; ///< Guarded by swap_mu.
+  };
+
+  /// Stages 1–3 of the swap protocol: load, build and shadow-validate a
+  /// candidate at `version`. Counts serve.shadow_rejected on any failure.
+  Result<std::shared_ptr<const ServingPlan>> BuildCandidate(
+      const ModelSpec& spec, const std::string& path, int64_t version) const;
+
+  Tenant* FindTenant(const std::string& name) const;
+
+  RegistryOptions options_;
+  mutable std::mutex mu_;  ///< Guards the tenant map's shape.
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace musenet::serve
+
+#endif  // MUSENET_SERVE_REGISTRY_H_

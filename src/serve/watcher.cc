@@ -1,0 +1,74 @@
+#include "serve/watcher.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+#include "util/hash.h"
+#include "util/io.h"
+
+namespace musenet::serve {
+
+SwapWatcher::SwapWatcher(ModelRegistry& registry, double interval_ms)
+    : registry_(registry), interval_ms_(interval_ms) {
+  poller_ = std::thread([this] { Loop(); });
+}
+
+SwapWatcher::~SwapWatcher() { Stop(); }
+
+void SwapWatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      if (poller_.joinable()) poller_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+}
+
+int SwapWatcher::PollOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int committed = 0;
+  for (const std::string& name : registry_.TenantNames()) {
+    auto plan = registry_.Acquire(name);
+    if (plan == nullptr) continue;
+    auto seen = last_seen_.find(name);
+    if (seen == last_seen_.end()) {
+      // First sweep: anchor on the bytes the active plan was built from, so
+      // a container published before the watcher started still triggers.
+      seen = last_seen_.emplace(name, plan->content_hash).first;
+    }
+    auto bytes = util::ReadFileToString(plan->source_path);
+    if (!bytes.ok()) continue;  // Mid-rewrite; next sweep sees the result.
+    const uint64_t hash = util::Fnv1a64(bytes.value());
+    if (hash == seen->second) continue;
+    // Remember the hash before swapping: a candidate that fails shadow
+    // validation is not retried until the file's bytes change again.
+    seen->second = hash;
+    obs::TraceInstant("serve.watch.change");
+    const Status status = registry_.Swap(name);
+    if (status.ok()) {
+      ++committed;
+      swaps_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return committed;
+}
+
+void SwapWatcher::Loop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(interval_ms_));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    }
+    PollOnce();
+  }
+}
+
+}  // namespace musenet::serve

@@ -1,0 +1,62 @@
+#ifndef MUSENET_SERVE_WATCHER_H_
+#define MUSENET_SERVE_WATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/registry.h"
+
+namespace musenet::serve {
+
+/// Polls every registered tenant's container path and hot-swaps on change.
+///
+/// Change detection is by content hash (FNV-1a of the container bytes), not
+/// mtime — a rewrite with identical bytes is a no-op, and a half-written
+/// container that fails shadow validation is NOT retried until its bytes
+/// change again (the hash of the rejected content is remembered), so a bad
+/// publish doesn't hammer the swap path every poll.
+class SwapWatcher {
+ public:
+  /// Starts the poll thread. `interval_ms` is the sleep between sweeps.
+  SwapWatcher(ModelRegistry& registry, double interval_ms = 500.0);
+  ~SwapWatcher();
+
+  SwapWatcher(const SwapWatcher&) = delete;
+  SwapWatcher& operator=(const SwapWatcher&) = delete;
+
+  /// Stops the poll thread. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// One synchronous sweep over all tenants (also what the poll thread runs
+  /// each interval). Returns the number of swaps committed. Exposed so tests
+  /// and the CLI drain path can force a deterministic check.
+  int PollOnce();
+
+  /// Swaps committed / candidates rejected since construction.
+  int64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  int64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  ModelRegistry& registry_;
+  const double interval_ms_;
+  /// Last content hash acted on per tenant (served or rejected). Only the
+  /// poll path touches it after construction.
+  std::map<std::string, uint64_t> last_seen_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  ///< Guarded by mu_.
+  std::atomic<int64_t> swaps_{0};
+  std::atomic<int64_t> rejects_{0};
+  std::thread poller_;
+};
+
+}  // namespace musenet::serve
+
+#endif  // MUSENET_SERVE_WATCHER_H_

@@ -66,6 +66,21 @@ void FaultInjector::ArmFromEnv() {
 
   const int64_t alloc_at = EnvInt64("MUSENET_FAULT_ALLOC_AT", 0);
   if (alloc_at > 0) alloc_trigger_ = alloc_at;
+
+  const char* slow_ms = std::getenv("MUSENET_FAULT_SLOW_REPLAY_MS");
+  if (slow_ms != nullptr && *slow_ms != '\0') {
+    const double millis = std::atof(slow_ms);
+    if (millis > 0.0) {
+      slow_replay_ms_ = millis;
+      slow_replay_trigger_ = EnvInt64("MUSENET_FAULT_SLOW_REPLAY_AT", 1);
+    }
+  }
+
+  const int64_t corrupt_at = EnvInt64("MUSENET_FAULT_SWAP_CORRUPT_AT", 0);
+  if (corrupt_at > 0) swap_corrupt_trigger_ = corrupt_at;
+
+  const int64_t load_fail_at = EnvInt64("MUSENET_FAULT_LOAD_FAIL_AT", 0);
+  if (load_fail_at > 0) load_fail_trigger_ = load_fail_at;
   RecomputeArmed();
 }
 
@@ -75,6 +90,10 @@ void FaultInjector::Reset() {
   write_fault_ = WriteFault::kNone;
   write_trigger_ = 0;
   alloc_trigger_ = 0;
+  slow_replay_ms_ = 0.0;
+  slow_replay_trigger_ = 0;
+  swap_corrupt_trigger_ = 0;
+  load_fail_trigger_ = 0;
   stats_ = Stats{};
   RecomputeArmed();
 }
@@ -133,13 +152,69 @@ bool FaultInjector::TakeAllocFailure() {
   return true;
 }
 
+void FaultInjector::ArmSlowReplay(double millis, int64_t at_batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_replay_ms_ = millis;
+  slow_replay_trigger_ = millis > 0.0 ? at_batch : 0;
+  RecomputeArmed();
+}
+
+double FaultInjector::TakeSlowReplay() {
+  if (!armed_) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow_replay_trigger_ <= 0) return 0.0;
+  if (--slow_replay_trigger_ > 0) return 0.0;
+  const double millis = slow_replay_ms_;
+  slow_replay_ms_ = 0.0;
+  ++stats_.slow_replays;
+  RecomputeArmed();
+  NoteActivation("fault.slow_replay", "faults.slow_replays");
+  return millis;
+}
+
+void FaultInjector::ArmSwapCorrupt(int64_t at_load) {
+  std::lock_guard<std::mutex> lock(mu_);
+  swap_corrupt_trigger_ = at_load;
+  RecomputeArmed();
+}
+
+bool FaultInjector::TakeSwapCorrupt() {
+  if (!armed_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (swap_corrupt_trigger_ <= 0) return false;
+  if (--swap_corrupt_trigger_ > 0) return false;
+  ++stats_.swap_corrupts;
+  RecomputeArmed();
+  NoteActivation("fault.swap_corrupt", "faults.swap_corrupts");
+  return true;
+}
+
+void FaultInjector::ArmLoadFailure(int64_t at_load) {
+  std::lock_guard<std::mutex> lock(mu_);
+  load_fail_trigger_ = at_load;
+  RecomputeArmed();
+}
+
+bool FaultInjector::TakeLoadFailure() {
+  if (!armed_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (load_fail_trigger_ <= 0) return false;
+  if (--load_fail_trigger_ > 0) return false;
+  ++stats_.load_failures;
+  RecomputeArmed();
+  NoteActivation("fault.load_failure", "faults.load_failures");
+  return true;
+}
+
 FaultInjector::Stats FaultInjector::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }
 
 void FaultInjector::RecomputeArmed() {
-  armed_ = nan_grad_step_ >= 0 || write_trigger_ > 0 || alloc_trigger_ > 0;
+  armed_ = nan_grad_step_ >= 0 || write_trigger_ > 0 || alloc_trigger_ > 0 ||
+           slow_replay_trigger_ > 0 || swap_corrupt_trigger_ > 0 ||
+           load_fail_trigger_ > 0;
 }
 
 }  // namespace musenet::util

@@ -20,11 +20,20 @@ namespace musenet::util {
 ///   MUSENET_FAULT_WRITE_AT=<n>        ...on the n-th atomic file write
 ///                                     (1-based; default 1)
 ///   MUSENET_FAULT_ALLOC_AT=<n>        fail the n-th guarded I/O allocation
+///   MUSENET_FAULT_SLOW_REPLAY_MS=<ms> one-shot latency spike injected into a
+///   MUSENET_FAULT_SLOW_REPLAY_AT=<n>  ...serving batch replay (n-th batch,
+///                                     1-based; default 1)
+///   MUSENET_FAULT_SWAP_CORRUPT_AT=<n> flip one bit of the n-th model
+///                                     container read by the serving registry
+///                                     (a hot-swap must reject it)
+///   MUSENET_FAULT_LOAD_FAIL_AT=<n>    fail the n-th registry container read
+///                                     outright (I/O error mid-swap)
 ///
 /// The injector is a process-wide singleton; the hook points live in
 /// `util::AtomicWriteFile` / `util::ReadFileToString` (write and allocation
-/// faults) and `eval::RunTraining` (gradient faults). All methods are
-/// thread-safe. When nothing is armed every hook is a single relaxed load.
+/// faults), `eval::RunTraining` (gradient faults) and `musenet::serve`
+/// (replay latency and model-load faults). All methods are thread-safe. When
+/// nothing is armed every hook is a single relaxed load.
 class FaultInjector {
  public:
   /// Kinds of checkpoint-write fault.
@@ -47,6 +56,9 @@ class FaultInjector {
     int64_t nan_grads = 0;
     int64_t write_faults = 0;
     int64_t alloc_failures = 0;
+    int64_t slow_replays = 0;
+    int64_t swap_corrupts = 0;
+    int64_t load_failures = 0;
   };
 
   static FaultInjector& Instance();
@@ -90,6 +102,35 @@ class FaultInjector {
   /// allocating).
   bool TakeAllocFailure();
 
+  // --- Serving faults --------------------------------------------------------
+
+  /// Arms a one-shot latency spike of `millis` on the `at_batch`-th serving
+  /// batch replay (1-based) from now on. The dispatcher sleeps that long
+  /// before running the batch, simulating a stalled replica; admission
+  /// control must shed, not collapse.
+  void ArmSlowReplay(double millis, int64_t at_batch = 1);
+
+  /// Called by the serving dispatcher per batch; the spike in milliseconds
+  /// (exactly once, when the armed trigger is reached) or 0.
+  double TakeSlowReplay();
+
+  /// Arms a single-bit corruption of the `at_load`-th model container the
+  /// serving registry reads (1-based) from now on — a bad deploy artifact.
+  /// Shadow validation must reject the candidate and keep the old plan.
+  void ArmSwapCorrupt(int64_t at_load = 1);
+
+  /// Called by the registry after reading container bytes; true exactly once
+  /// when armed (the registry then flips one payload bit before parsing).
+  bool TakeSwapCorrupt();
+
+  /// Arms an outright read failure of the `at_load`-th registry container
+  /// read (1-based) from now on (storage down mid-swap).
+  void ArmLoadFailure(int64_t at_load = 1);
+
+  /// Called by the registry before reading; true exactly once when armed
+  /// (the registry then reports an IoError instead of reading).
+  bool TakeLoadFailure();
+
   Stats stats() const;
 
   /// True when any fault is currently armed (cheap pre-check for hot paths).
@@ -106,6 +147,11 @@ class FaultInjector {
   WriteFault write_fault_ = WriteFault::kNone;
   int64_t write_trigger_ = 0;  ///< Writes remaining before firing; 0 = off.
   int64_t alloc_trigger_ = 0;  ///< Allocations remaining; 0 = off.
+
+  double slow_replay_ms_ = 0.0;
+  int64_t slow_replay_trigger_ = 0;  ///< Serving batches remaining; 0 = off.
+  int64_t swap_corrupt_trigger_ = 0;  ///< Registry loads remaining; 0 = off.
+  int64_t load_fail_trigger_ = 0;     ///< Registry loads remaining; 0 = off.
 
   Stats stats_;
 

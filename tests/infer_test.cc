@@ -22,7 +22,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <chrono>
 #include <future>
+#include <thread>
 #include <new>
 #include <string>
 #include <vector>
@@ -555,6 +557,34 @@ TEST(InferSessionTest, SubmitAfterShutdownRejects) {
   session.Shutdown();
   auto future = session.Submit(TinyBatch(TinySpec(), 3, 4, 40, /*batch=*/1));
   EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(InferSessionTest, ExpiredRequestTimesOutInsteadOfDispatching) {
+  const int64_t timed_out_before =
+      obs::GetCounter("infer.requests_timed_out").Value();
+  muse::MuseNet model(TinyMuseConfig(), 5);
+
+  infer::SessionOptions options;
+  options.max_batch = 4;
+  options.max_wait_ms = 500.0;  // Batch stays open until it fills.
+  infer::InferenceSession session(model, options);
+
+  // The first request's 1ms deadline expires while the dispatcher holds the
+  // under-full batch open; the three fillers then complete the batch and the
+  // expired request must surface as DeadlineExceededError, not a late value.
+  auto doomed = session.Submit(TinyBatch(TinySpec(), 3, 4, 50, /*batch=*/1),
+                               /*deadline_ms=*/1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<std::future<ts::Tensor>> live;
+  for (uint64_t i = 0; i < 3; ++i) {
+    live.push_back(session.Submit(TinyBatch(TinySpec(), 3, 4, 51 + i,
+                                            /*batch=*/1)));
+  }
+  EXPECT_THROW(doomed.get(), infer::DeadlineExceededError);
+  for (auto& f : live) EXPECT_NO_THROW(f.get());
+  session.Shutdown();
+  EXPECT_GE(obs::GetCounter("infer.requests_timed_out").Value(),
+            timed_out_before + 1);
 }
 
 // --- (f) Conv2d workspace keeps eval forwards off the pool -------------------

@@ -10,7 +10,8 @@
 // `simulate` writes a FlowSeries container; `train` fits MUSE-Net on it and
 // writes a checkpoint; `evaluate` reports test metrics; `predict` prints one
 // frame's forecast next to the ground truth; `serve` runs the batched
-// inference session against simulated clients; `bench-infer` times the
+// inference session against simulated clients (or, with --models, the
+// multi-tenant hot-swap serving stack); `bench-infer` times the
 // graph-free engine against the autograd Predict path. Model
 // hyper-parameters at train and load time must match (the checkpoint loader
 // validates shapes).
@@ -21,8 +22,10 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +40,10 @@
 #include "obs/run_log.h"
 #include "obs/trace.h"
 #include "muse/model.h"
+#include "serve/loadgen.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+#include "serve/watcher.h"
 #include "sim/presets.h"
 #include "sim/serialize.h"
 #include "tensor/serialize.h"
@@ -335,12 +342,19 @@ double Percentile(std::vector<double> sorted_ms, double q) {
   return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
 }
 
+/// `serve --models ...`: the multi-tenant ModelRegistry/ForecastService path
+/// (hot-swap, admission control, load generation). Defined after the signal
+/// token it shares with `pipeline`.
+int ServeMulti(const Args& args);
+
 /// `serve`: drives the batched InferenceSession with simulated clients, each
 /// submitting single-grid requests drawn round-robin from the test split.
 /// Reports throughput and client-observed latency; --trace-out /
 /// --metrics-out dump the obs layer afterwards (infer.requests,
 /// infer.batch_size, infer.latency_ms, infer.batch spans).
+/// With --models the command switches to the multi-tenant serving path.
 int Serve(const Args& args) {
+  if (args.Has("models")) return ServeMulti(args);
   auto loaded = LoadForModel(args);
   if (!loaded.ok()) return Fail(loaded.status());
   auto model = LoadModel(args, loaded->config);
@@ -595,6 +609,367 @@ extern "C" void HandleSigint(int) {
   g_cancel.store(true, std::memory_order_relaxed);
 }
 
+/// One `--models` entry: name=ckpt[:precision]. The optional precision
+/// suffix overrides the global --precision for that tenant (non-fp32 implies
+/// specialization, as in ParseEngineOptions).
+bool ParseModelSpecs(const Args& args, const muse::MuseNetConfig& config,
+                     std::vector<serve::ModelSpec>* out) {
+  infer::EngineOptions base;
+  if (!ParseEngineOptions(args, &base)) return false;
+  for (const std::string& entry : StrSplit(args.Get("models", ""), ',')) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      std::fprintf(stderr,
+                   "error: --models entries are name=ckpt[:precision]; "
+                   "got '%s'\n",
+                   entry.c_str());
+      return false;
+    }
+    serve::ModelSpec spec;
+    spec.name = entry.substr(0, eq);
+    spec.path = entry.substr(eq + 1);
+    spec.config = config;
+    spec.engine = base;
+    spec.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    const size_t colon = spec.path.rfind(':');
+    if (colon != std::string::npos) {
+      const std::string suffix = spec.path.substr(colon + 1);
+      if (suffix == "fp32" || suffix == "int8" || suffix == "bf16") {
+        spec.path = spec.path.substr(0, colon);
+        spec.engine.precision = suffix == "int8"
+                                    ? infer::PrecisionMode::kInt8
+                                    : suffix == "bf16"
+                                          ? infer::PrecisionMode::kBf16
+                                          : infer::PrecisionMode::kFp32;
+        spec.engine.specialize =
+            spec.engine.precision != infer::PrecisionMode::kFp32;
+      }
+    }
+    out->push_back(std::move(spec));
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "error: --models must name at least one tenant\n");
+    return false;
+  }
+  return true;
+}
+
+/// Greppable one-line roll-up of the serve.* counters, printed after drain
+/// (CI reconciles these against the metrics snapshot and the load report).
+void PrintServeSummary(size_t tenants) {
+  std::printf(
+      "serve summary: tenants=%zu requests=%lld admitted=%lld shed=%lld "
+      "completed=%lld timed_out=%lld swapped=%lld shadow_rejected=%lld\n",
+      tenants,
+      static_cast<long long>(obs::GetCounter("serve.requests").Value()),
+      static_cast<long long>(obs::GetCounter("serve.admitted").Value()),
+      static_cast<long long>(obs::GetCounter("serve.shed").Value()),
+      static_cast<long long>(obs::GetCounter("serve.completed").Value()),
+      static_cast<long long>(obs::GetCounter("serve.timed_out").Value()),
+      static_cast<long long>(obs::GetCounter("serve.swapped").Value()),
+      static_cast<long long>(
+          obs::GetCounter("serve.shadow_rejected").Value()));
+}
+
+void PrintLoadReport(const char* label, const serve::LoadGenReport& report) {
+  std::printf(
+      "%s: issued=%lld completed=%lld shed=%lld timed_out=%lld errored=%lld "
+      "wall=%.2fs shed_rate=%.3f p50=%.3fms p99=%.3fms\n",
+      label, static_cast<long long>(report.issued),
+      static_cast<long long>(report.completed),
+      static_cast<long long>(report.shed),
+      static_cast<long long>(report.timed_out),
+      static_cast<long long>(report.errored), report.wall_s,
+      report.shed_rate(), report.p50_ms, report.p99_ms);
+}
+
+/// Built-in serving bench (tools/run_serving_bench.sh -> BENCH_serving.json):
+/// calibrates the sustainable closed-loop rate, measures an uncontended
+/// baseline, then drives flat --load-mults multiples of sustainable with
+/// deadline-aware shedding and records p50/p99/shed-rate per multiple.
+int RunServingBench(serve::ForecastService& service, const std::string& tenant,
+                    const std::vector<data::Batch>& pool,
+                    const sim::City& city, const Args& args) {
+  const double calib_s = args.GetDouble("calib-s", 2.0);
+  const double phase_s = args.GetDouble("phase-s", 3.0);
+
+  // Saturation phase: a flat rate far beyond capacity with a closed-loop cap
+  // measures what the service actually completes per second.
+  serve::LoadGenOptions calib;
+  calib.duration_s = calib_s;
+  calib.peak_rps = 1e6;
+  calib.flat = true;
+  calib.deadline_ms = 0.0;
+  calib.max_outstanding = std::max(16, 4 * service.options().max_batch);
+  calib.cancel = &g_cancel;
+  serve::LoadGenReport cal = RunLoadGen(service, tenant, pool, city, calib);
+  const double sustainable =
+      std::max(1.0, static_cast<double>(cal.completed) /
+                        std::max(1e-6, cal.wall_s));
+  std::printf("calibration: sustainable=%.1f req/s\n", sustainable);
+
+  // Uncontended baseline: well under capacity, no deadline — the p99 the
+  // overload runs are judged against.
+  serve::LoadGenOptions unc = calib;
+  unc.duration_s = phase_s;
+  unc.peak_rps = std::max(1.0, 0.25 * sustainable);
+  unc.deadline_ms = 0.0;
+  serve::LoadGenReport base = RunLoadGen(service, tenant, pool, city, unc);
+  PrintLoadReport("uncontended", base);
+
+  // Overload deadline: explicit --deadline-ms wins; otherwise 4x the
+  // uncontended p99, which keeps completed-request latency within the 5x
+  // budget by construction (expired requests shed or time out instead).
+  double deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  if (deadline_ms <= 0.0) {
+    deadline_ms = std::max(2.0, 4.0 * base.p99_ms);
+  }
+
+  std::string runs_json;
+  for (const std::string& mult_text :
+       StrSplit(args.Get("load-mults", "1,4,8"), ',')) {
+    const double mult = std::atof(mult_text.c_str());
+    if (mult <= 0.0) continue;
+    serve::LoadGenOptions opts = calib;
+    opts.duration_s = phase_s;
+    opts.peak_rps = mult * sustainable;
+    opts.deadline_ms = deadline_ms;
+    opts.max_outstanding = args.GetInt("max-outstanding", 512);
+    serve::LoadGenReport r = RunLoadGen(service, tenant, pool, city, opts);
+    char label[64];
+    std::snprintf(label, sizeof(label), "load %.0fx", mult);
+    PrintLoadReport(label, r);
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"mult\": %.2f, \"rate_rps\": %.2f, \"issued\": %lld, "
+        "\"completed\": %lld, \"shed\": %lld, \"timed_out\": %lld, "
+        "\"errored\": %lld, \"shed_rate\": %.4f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"p99_vs_uncontended\": %.3f}",
+        runs_json.empty() ? "" : ",\n", mult, opts.peak_rps,
+        static_cast<long long>(r.issued),
+        static_cast<long long>(r.completed),
+        static_cast<long long>(r.shed),
+        static_cast<long long>(r.timed_out),
+        static_cast<long long>(r.errored), r.shed_rate(), r.p50_ms, r.p99_ms,
+        base.p99_ms > 0.0 ? r.p99_ms / base.p99_ms : 0.0);
+    runs_json += buf;
+    if (g_cancel.load(std::memory_order_relaxed)) break;
+  }
+
+  const std::string out_path = args.Get("bench-out", "");
+  if (!out_path.empty()) {
+    char head[512];
+    std::snprintf(
+        head, sizeof(head),
+        "{\n"
+        "  \"sustainable_rps\": %.2f,\n"
+        "  \"deadline_ms\": %.3f,\n"
+        "  \"max_batch\": %d,\n"
+        "  \"max_queue\": %d,\n"
+        "  \"shed_policy\": \"%s\",\n"
+        "  \"uncontended\": {\"rate_rps\": %.2f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f},\n"
+        "  \"runs\": [\n",
+        sustainable, deadline_ms, service.options().max_batch,
+        service.options().max_queue,
+        service.options().shed_policy == serve::ShedPolicy::kDropOldest
+            ? "oldest"
+            : "reject",
+        unc.peak_rps, base.p50_ms, base.p99_ms);
+    char tail[512];
+    std::snprintf(
+        tail, sizeof(tail),
+        "\n  ],\n"
+        "  \"counters\": {\"requests\": %lld, \"admitted\": %lld, "
+        "\"shed\": %lld, \"completed\": %lld, \"timed_out\": %lld, "
+        "\"swapped\": %lld, \"shadow_rejected\": %lld}\n"
+        "}\n",
+        static_cast<long long>(obs::GetCounter("serve.requests").Value()),
+        static_cast<long long>(obs::GetCounter("serve.admitted").Value()),
+        static_cast<long long>(obs::GetCounter("serve.shed").Value()),
+        static_cast<long long>(obs::GetCounter("serve.completed").Value()),
+        static_cast<long long>(obs::GetCounter("serve.timed_out").Value()),
+        static_cast<long long>(obs::GetCounter("serve.swapped").Value()),
+        static_cast<long long>(
+            obs::GetCounter("serve.shadow_rejected").Value()));
+    const Status wrote =
+        util::AtomicWriteFile(out_path, head + runs_json + tail);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+/// The multi-tenant serving path behind `serve --models`. Registers every
+/// tenant in a ModelRegistry (shadow-validated against held-out probes),
+/// fronts it with a ForecastService (bounded queues, token buckets,
+/// deadline-aware shedding), optionally watches containers for hot-swap, and
+/// drives it with either a fixed request count, the diurnal load generator
+/// (--loadgen), or the serving bench (--bench). SIGINT/SIGTERM drain
+/// gracefully: stop issuing, run queues dry, flush telemetry, exit 0.
+int ServeMulti(const Args& args) {
+  auto loaded = LoadForModel(args);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  std::vector<serve::ModelSpec> specs;
+  if (!ParseModelSpecs(args, loaded->config, &specs)) return 2;
+
+  const std::string trace_out = args.Get("trace-out", "");
+  const std::string metrics_out = args.Get("metrics-out", "");
+  const std::string run_log_path = args.Get("run-log", "");
+  if (!trace_out.empty()) obs::StartTracing();
+
+  const auto& test = loaded->dataset.test_indices();
+  if (test.empty()) {
+    std::fprintf(stderr, "error: dataset has no test samples\n");
+    return 1;
+  }
+
+  // Held-out probes: shadow validation replays the first few test batches on
+  // every candidate plan; the request pool cycles through the rest.
+  serve::RegistryOptions ropts;
+  const int probes = std::max(1, args.GetInt("probes", 3));
+  for (int p = 0; p < probes; ++p) {
+    ropts.probes.push_back(
+        loaded->dataset.MakeBatch({test[static_cast<size_t>(p) % test.size()]}));
+  }
+  ropts.max_abs_delta =
+      static_cast<float>(args.GetDouble("max-abs-delta", -1.0));
+
+  serve::ModelRegistry registry(ropts);
+  for (const serve::ModelSpec& spec : specs) {
+    const Status status = registry.Load(spec);
+    if (!status.ok()) return Fail(status);
+    std::printf("loaded tenant %s v%lld from %s\n", spec.name.c_str(),
+                static_cast<long long>(registry.version(spec.name)),
+                spec.path.c_str());
+  }
+
+  serve::ServiceOptions sopts;
+  sopts.max_batch = args.GetInt("max-batch", 8);
+  sopts.max_wait_ms = args.GetDouble("max-wait-ms", 2.0);
+  sopts.max_queue = args.GetInt("max-queue", 64);
+  sopts.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  sopts.shed_policy = serve::ParseShedPolicy(args.Get("shed-policy", "reject"));
+  sopts.rate_rps = args.GetDouble("rate-rps", 0.0);
+  sopts.burst = args.GetDouble("burst", 0.0);
+  serve::ForecastService service(registry, sopts);
+
+  std::unique_ptr<serve::SwapWatcher> watcher;
+  if (args.GetInt("hot-swap-watch", 0) != 0) {
+    watcher = std::make_unique<serve::SwapWatcher>(
+        registry, args.GetDouble("watch-interval-ms", 200.0));
+  }
+
+  g_cancel.store(false, std::memory_order_relaxed);
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+
+  std::vector<data::Batch> pool;
+  const int pool_size =
+      std::min<int>(args.GetInt("pool", 32),
+                    static_cast<int>(test.size()) - probes > 0
+                        ? static_cast<int>(test.size()) - probes
+                        : static_cast<int>(test.size()));
+  for (int i = 0; i < std::max(1, pool_size); ++i) {
+    pool.push_back(loaded->dataset.MakeBatch(
+        {test[static_cast<size_t>(probes + i) % test.size()]}));
+  }
+
+  const BenchScale scale = ResolveSimScale(args);
+  const sim::DatasetId dataset = ParseDataset(args.Get("dataset", "taxi"));
+  sim::City city(sim::MakeCityConfig(dataset, scale, scale.seed), scale.seed);
+
+  int exit_code = 0;
+  if (args.GetInt("bench", 0) != 0 || args.Has("bench-out")) {
+    exit_code = RunServingBench(service, specs[0].name, pool, city, args);
+  } else if (args.GetInt("loadgen", 0) != 0) {
+    serve::LoadGenOptions lopts;
+    lopts.duration_s = args.GetDouble("duration-s", 8.0);
+    lopts.peak_rps = args.GetDouble("peak-rps", 32.0);
+    lopts.sim_days = args.GetInt("sim-days", 1);
+    lopts.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    lopts.max_outstanding = args.GetInt("max-outstanding", 256);
+    lopts.cancel = &g_cancel;
+    serve::LoadGenReport report =
+        RunLoadGen(service, specs[0].name, pool, city, lopts);
+    PrintLoadReport("loadgen", report);
+    if (!run_log_path.empty()) {
+      auto log = obs::RunLog::Open(run_log_path, /*truncate=*/true);
+      if (log.ok()) {
+        (void)log->Append(obs::RunRecord("serve_loadgen")
+                              .Int("issued", report.issued)
+                              .Int("completed", report.completed)
+                              .Int("shed", report.shed)
+                              .Int("timed_out", report.timed_out)
+                              .Double("wall_s", report.wall_s)
+                              .Double("p50_ms", report.p50_ms)
+                              .Double("p99_ms", report.p99_ms));
+      }
+    }
+  } else {
+    // Fixed request count, round-robin across tenants, closed loop.
+    const int requests = args.GetInt("requests", 256);
+    const int cap = std::max(8, 4 * sopts.max_batch);
+    std::deque<std::future<tensor::Tensor>> outstanding;
+    int64_t completed = 0, failed = 0;
+    auto harvest = [&](std::future<tensor::Tensor> f) {
+      try {
+        f.get();
+        ++completed;
+      } catch (...) {
+        ++failed;
+      }
+    };
+    for (int i = 0; i < requests; ++i) {
+      if (g_cancel.load(std::memory_order_relaxed)) break;
+      while (static_cast<int>(outstanding.size()) >= cap) {
+        harvest(std::move(outstanding.front()));
+        outstanding.pop_front();
+      }
+      const serve::ModelSpec& spec =
+          specs[static_cast<size_t>(i) % specs.size()];
+      outstanding.push_back(service.Submit(
+          spec.name, pool[static_cast<size_t>(i) % pool.size()]));
+    }
+    while (!outstanding.empty()) {
+      harvest(std::move(outstanding.front()));
+      outstanding.pop_front();
+    }
+    std::printf("served %lld requests across %zu tenants (%lld failed)\n",
+                static_cast<long long>(completed), specs.size(),
+                static_cast<long long>(failed));
+  }
+
+  // Graceful drain: stop the watcher, run every queue dry, then flush
+  // telemetry. Reached on normal completion and on SIGINT/SIGTERM alike.
+  if (watcher != nullptr) watcher->Stop();
+  service.Drain();
+  PrintServeSummary(specs.size());
+  if (watcher != nullptr) {
+    std::printf("watcher: swaps=%lld rejects=%lld\n",
+                static_cast<long long>(watcher->swaps()),
+                static_cast<long long>(watcher->rejects()));
+  }
+
+  if (!trace_out.empty()) {
+    const Status wrote = obs::StopTracingAndWrite(trace_out);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote trace %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const Status wrote = obs::WriteMetricsSnapshot(metrics_out);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::printf("serve drained cleanly\n");
+  return exit_code;
+}
+
 /// `pipeline`: declares the full experiment DAG (simulate → dataset →
 /// per-model train → eval → table) and runs it incrementally against the
 /// content-addressed stage cache. Reruns hit; config edits rerun exactly
@@ -699,6 +1074,16 @@ int Usage() {
       "            [--specialize 0|1] [--precision fp32|int8|bf16]\n"
       "            [--max-abs-delta D] [--trace-out FILE]\n"
       "            [--metrics-out FILE]\n"
+      "            Multi-tenant mode (hot-swap + admission control):\n"
+      "            --models name=ckpt[:precision],...  [--probes N]\n"
+      "            [--hot-swap-watch 0|1] [--watch-interval-ms MS]\n"
+      "            [--max-queue Q] [--deadline-ms MS]\n"
+      "            [--shed-policy reject|oldest] [--rate-rps R] [--burst B]\n"
+      "            [--loadgen 0|1] [--duration-s S] [--peak-rps R]\n"
+      "            [--sim-days N] [--run-log FILE]\n"
+      "            [--bench 0|1] [--bench-out FILE] [--load-mults 1,4,8]\n"
+      "            [--calib-s S] [--phase-s S] [--max-outstanding N]\n"
+      "            SIGINT/SIGTERM drain queues, flush telemetry, exit 0.\n"
       "  bench-infer --flows FILE --ckpt FILE [--iters N] [--batch B]\n"
       "            [--specialize 0|1] [--precision fp32|int8|bf16]\n"
       "            [--max-abs-delta D] [--calib-batches N]\n"
