@@ -246,6 +246,8 @@ void Engine::RunWithInputs(PlanInstance& inst, const float* const inputs[3],
   ag::NoGradGuard no_graph(ag::NoGradGuard::Mode::kForbid);
   obs::ScopedSpan span("infer.run", "steps",
                        static_cast<int64_t>(inst.plan.steps.size()));
+  const int64_t rid = trace_rid_.load(std::memory_order_relaxed);
+  if (rid >= 0) span.SetArg2("rid", rid);
 
   for (size_t i = 0; i < inst.plan.buffers.size(); ++i) {
     const PlanBuffer& buf = inst.plan.buffers[i];
@@ -280,6 +282,8 @@ void Engine::RunWithInputs(PlanInstance& inst, const float* const inputs[3],
 void Engine::RunSharded(ShardSet& set, const data::Batch& batch, float* out) {
   const int64_t lanes = static_cast<int64_t>(set.lanes.size());
   obs::ScopedSpan span("infer.run.sharded", "lanes", lanes);
+  const int64_t rid = trace_rid_.load(std::memory_order_relaxed);
+  if (rid >= 0) span.SetArg2("rid", rid);
   const int64_t n = batch.batch_size();
   // Axis-0 slices of the contiguous [B, C, H, W] inputs are contiguous, so
   // each lane's inputs are plain base-pointer offsets — no gather needed.

@@ -1,6 +1,7 @@
 #ifndef MUSENET_INFER_ENGINE_H_
 #define MUSENET_INFER_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -122,6 +123,16 @@ class Engine {
   /// specialization was attempted at that size.
   float spec_delta_for(int64_t batch_size) const;
 
+  /// Trace-correlation id attached as a "rid" arg to the infer.run /
+  /// infer.run.sharded spans of subsequent Predicts (-1 = none, the
+  /// default). Set by the serving dispatcher before each batch replay; one
+  /// dispatcher drives a tenant's engine, so a plain atomic is enough and
+  /// the replay path stays zero-alloc (the rid is an int64 span arg — no
+  /// formatting, nothing per-lane beyond a relaxed load).
+  void set_trace_request_id(int64_t rid) {
+    trace_rid_.store(rid, std::memory_order_relaxed);
+  }
+
  private:
   struct PlanInstance {
     Plan plan;
@@ -182,6 +193,7 @@ class Engine {
   std::map<int64_t, bool> shard_fallback_;  ///< Failed shard validation.
   std::map<int64_t, bool> spec_active_;   ///< Specialized plan adopted.
   std::map<int64_t, float> spec_delta_;   ///< Gate delta per batch size.
+  std::atomic<int64_t> trace_rid_{-1};  ///< See set_trace_request_id.
   obs::Counter* runs_;                ///< infer.engine.runs
   obs::Counter* sharded_runs_;        ///< infer.engine.sharded_runs
   obs::Counter* fallbacks_;           ///< infer.engine.fallbacks

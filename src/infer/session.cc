@@ -32,6 +32,9 @@ std::future<tensor::Tensor> InferenceSession::Submit(data::Batch request,
       << request.batch_size();
   Pending pending;
   pending.batch = std::move(request);
+  pending.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceInstant("infer.request", "rid", pending.request_id);
   pending.enqueue_ns = util::MonotonicNowNanos();
   if (deadline_ms > 0.0) {
     pending.deadline_ns =
@@ -110,7 +113,8 @@ void InferenceSession::DispatchLoop() {
     if (group.empty()) continue;
 
     const int64_t n = static_cast<int64_t>(group.size());
-    obs::ScopedSpan span("infer.batch", "size", n);
+    obs::ScopedSpan span("infer.batch", "size", n, "rid",
+                         group[0].request_id);
     data::Batch merged;
     if (n == 1) {
       merged = group[0].batch;
@@ -135,7 +139,9 @@ void InferenceSession::DispatchLoop() {
       merged.target = ts::Concat(target, 0);
     }
 
+    engine_.set_trace_request_id(group[0].request_id);
     ts::Tensor prediction = engine_.Predict(merged);
+    engine_.set_trace_request_id(-1);
     const int64_t done_ns = util::MonotonicNowNanos();
     for (int64_t i = 0; i < n; ++i) {
       Pending& p = group[static_cast<size_t>(i)];
@@ -147,9 +153,9 @@ void InferenceSession::DispatchLoop() {
       }
       ts::Tensor slice =
           n == 1 ? prediction : ts::Slice(prediction, 0, i, 1);
+      latency_hist.Observe(
+          static_cast<double>(done_ns - p.enqueue_ns) / 1e6, p.request_id);
       p.promise.set_value(std::move(slice));
-      latency_hist.Observe(static_cast<double>(done_ns - p.enqueue_ns) /
-                           1e6);
     }
     requests.Add(n);
     batches.Add(1);

@@ -1,6 +1,7 @@
 #ifndef MUSENET_INFER_SESSION_H_
 #define MUSENET_INFER_SESSION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -76,6 +77,7 @@ class InferenceSession {
   struct Pending {
     data::Batch batch;
     std::promise<tensor::Tensor> promise;
+    int64_t request_id = 0;   ///< Session-unique trace-correlation id.
     int64_t enqueue_ns = 0;
     int64_t deadline_ns = 0;  ///< 0 = no deadline.
   };
@@ -84,6 +86,10 @@ class InferenceSession {
 
   Engine engine_;
   SessionOptions options_;
+  /// Mints Pending::request_id, threading each request into its batch's
+  /// infer.batch span, the engine replay spans underneath, and the
+  /// infer.latency_ms exemplar.
+  std::atomic<int64_t> next_request_id_{1};
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,197 @@
+#include "obs/expo.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace musenet::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+/// Reads until the end of the request head ("\r\n\r\n"), a 4 KB cap, EOF or
+/// a short timeout. Scrape requests have no body we care about.
+std::string ReadRequestHead(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/2000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  return head;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExpoServer>> ExpoServer::Start(int port) {
+  std::unique_ptr<ExpoServer> server(new ExpoServer());
+
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return Status::IoError("obs server: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(server->listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError("obs server: bind(127.0.0.1:" +
+                           std::to_string(port) +
+                           ") failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(server->listen_fd_, 16) != 0) {
+    return Status::IoError("obs server: listen() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(server->listen_fd_,
+                    reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    server->port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+  if (::pipe(server->stop_pipe_) != 0) {
+    return Status::IoError("obs server: pipe() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+
+  // Built-in endpoints. /metrics snapshots the registry per scrape;
+  // /healthz is bare liveness until the serving layer overrides it with
+  // plan readiness.
+  server->Handle("/metrics", [](const std::string&) {
+    Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = MetricsToPrometheus(Registry::Instance().Snapshot());
+    return response;
+  });
+  server->Handle("/healthz", [](const std::string&) {
+    Response response;
+    response.body = "ok\n";
+    return response;
+  });
+
+  server->server_ = std::thread([raw = server.get()] { raw->ServeLoop(); });
+  return server;
+}
+
+ExpoServer::~ExpoServer() { Stop(); }
+
+void ExpoServer::Stop() {
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 'q';
+    (void)!::write(stop_pipe_[1], &byte, 1);
+  }
+  if (server_.joinable()) server_.join();
+  for (int* fd : {&listen_fd_, &stop_pipe_[0], &stop_pipe_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void ExpoServer::Handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path] = std::move(handler);
+}
+
+void ExpoServer::ServeLoop() {
+  for (;;) {
+    struct pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                            {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // Stop() woke us.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void ExpoServer::HandleConnection(int fd) {
+  const std::string head = ReadRequestHead(fd);
+  Response response;
+  // Request line: "GET /path?query HTTP/1.1".
+  const size_t sp1 = head.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : head.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || head.substr(0, sp1) != "GET") {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    std::string target = head.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string query;
+    const size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+      query = target.substr(qmark + 1);
+      target = target.substr(0, qmark);
+    }
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = handlers_.find(target);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (handler) {
+      response = handler(query);
+    } else {
+      response.status = 404;
+      response.body = "not found: " + target + "\n";
+    }
+  }
+
+  std::string reply = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      StatusText(response.status) +
+                      "\r\nContent-Type: " + response.content_type +
+                      "\r\nContent-Length: " +
+                      std::to_string(response.body.size()) +
+                      "\r\nConnection: close\r\n\r\n" + response.body;
+  WriteAll(fd, reply);
+}
+
+}  // namespace musenet::obs

@@ -1,0 +1,75 @@
+#ifndef MUSENET_OBS_EXPO_H_
+#define MUSENET_OBS_EXPO_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace musenet::obs {
+
+// Dependency-free HTTP/1.1 exposition server (raw POSIX sockets, one
+// serving thread) for live observability of a running process:
+//
+//   /metrics  — Prometheus text format of the metrics registry (built in;
+//               deterministic ordering, histogram exemplars)
+//   /healthz  — liveness; "ok" by default, overridable (the serve CLI
+//               plugs per-tenant plan readiness in here)
+//   /statusz  — not built in; registered by the serving layer (JSON status
+//               document, `?dump=1` triggers a flight-recorder dump)
+//
+// Scrapes are rare (seconds apart) and tiny, so connections are handled
+// sequentially on the serving thread: no handler pool, no keep-alive.
+// Handlers run on that thread and must be thread-safe against the process
+// they observe — the obs registry and the serve status accessors are.
+class ExpoServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Called with the raw query string (the part after '?', possibly empty).
+  using Handler = std::function<Response(const std::string& query)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts serving.
+  static Result<std::unique_ptr<ExpoServer>> Start(int port);
+
+  ~ExpoServer();
+
+  ExpoServer(const ExpoServer&) = delete;
+  ExpoServer& operator=(const ExpoServer&) = delete;
+
+  /// Stops the serving thread and closes the socket. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  /// The bound port (the kernel-assigned one when Start was given 0).
+  int port() const { return port_; }
+
+  /// Registers (or replaces) the handler for an exact request path
+  /// (e.g. "/statusz"). Unknown paths get 404.
+  void Handle(const std::string& path, Handler handler);
+
+ private:
+  ExpoServer() = default;
+
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  ///< Self-pipe to wake the poll() on Stop.
+  int port_ = 0;
+  std::thread server_;
+  std::mutex mu_;  ///< Guards handlers_.
+  std::map<std::string, Handler> handlers_;
+};
+
+}  // namespace musenet::obs
+
+#endif  // MUSENET_OBS_EXPO_H_

@@ -1,0 +1,250 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/io.h"
+#include "util/stopwatch.h"
+
+namespace musenet::obs {
+
+namespace {
+
+/// Upper bound on a formatted dump: every slot formats to well under 256
+/// bytes (fixed-size fields + 48-byte sanitized detail).
+constexpr size_t kDumpBufferBytes =
+    static_cast<size_t>(kFlightCapacity) * 256 + 1024;
+
+/// Post-mortem path in both forms: a std::string for normal callers and a
+/// fixed char array the signal handler can read without touching anything
+/// that allocates or can be mid-destruction. Both behind function-local
+/// leaked accessors (static-destruction safe).
+struct PostmortemState {
+  std::mutex mu;
+  std::string path;
+  char raw_path[512] = {0};
+  char raw_tmp[520] = {0};
+  char crash_buf[kDumpBufferBytes];
+};
+
+PostmortemState& Postmortem() {
+  static PostmortemState* state = new PostmortemState();  // Leaked singleton.
+  return *state;
+}
+
+/// Copies `src` into `dst`, mapping anything JSON-hostile (quotes,
+/// backslashes, control bytes, non-ASCII) to '_' so the formatter can emit
+/// it verbatim between quotes.
+void SanitizeInto(char* dst, size_t cap, const char* src) {
+  if (cap == 0) return;
+  size_t i = 0;
+  for (; src != nullptr && src[i] != '\0' && i + 1 < cap; ++i) {
+    const unsigned char c = static_cast<unsigned char>(src[i]);
+    dst[i] = (c >= 0x20 && c < 0x7f && c != '"' && c != '\\')
+                 ? static_cast<char>(c)
+                 : '_';
+  }
+  dst[i] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : slots_(new Slot[kFlightCapacity]) {}
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // Leaked.
+  return *recorder;
+}
+
+void FlightRecorder::Record(const char* kind, int64_t a, int64_t b,
+                            const char* detail) {
+  const int64_t seq = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[seq & (kFlightCapacity - 1)];
+  // Invalidate first so a concurrent dump never reads a half-written
+  // payload as valid; the final store re-validates with this seq.
+  slot.seq.store(-1, std::memory_order_release);
+  slot.ts_ns = util::MonotonicNowNanos();
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+  SanitizeInto(slot.detail, sizeof(slot.detail), detail);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+size_t FlightRecorder::FormatJson(char* out, size_t cap,
+                                  const char* reason) const {
+  if (cap < 64) {
+    if (cap > 0) out[0] = '\0';
+    return 0;
+  }
+  char safe_reason[96];
+  SanitizeInto(safe_reason, sizeof(safe_reason), reason);
+  const int64_t head = head_.load(std::memory_order_acquire);
+  const int64_t start = std::max<int64_t>(0, head - kFlightCapacity);
+
+  size_t pos = static_cast<size_t>(
+      std::snprintf(out, cap,
+                    "{\"reason\": \"%s\", \"recorded\": %lld, \"events\": [",
+                    safe_reason, static_cast<long long>(head)));
+  int64_t torn = 0;
+  bool first = true;
+  bool truncated = false;
+  for (int64_t seq = start; seq < head; ++seq) {
+    const Slot& slot = slots_[seq & (kFlightCapacity - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != seq) {
+      ++torn;  // Mid-overwrite (or already lapped) while we read.
+      continue;
+    }
+    char entry[320];
+    const int len = std::snprintf(
+        entry, sizeof(entry),
+        "%s\n{\"ts_ns\": %lld, \"kind\": \"%s\", \"a\": %lld, \"b\": %lld, "
+        "\"detail\": \"%s\"}",
+        first ? "" : ",", static_cast<long long>(slot.ts_ns), slot.kind,
+        static_cast<long long>(slot.a), static_cast<long long>(slot.b),
+        slot.detail);
+    if (slot.seq.load(std::memory_order_acquire) != seq) {
+      ++torn;  // Overwritten between the check and the reads above.
+      continue;
+    }
+    // Keep room for the closing "], ...}" tail; truncate rather than emit
+    // invalid JSON.
+    if (pos + static_cast<size_t>(len) + 96 >= cap) {
+      truncated = true;
+      break;
+    }
+    std::memcpy(out + pos, entry, static_cast<size_t>(len));
+    pos += static_cast<size_t>(len);
+    first = false;
+  }
+  pos += static_cast<size_t>(std::snprintf(
+      out + pos, cap - pos,
+      "\n], \"dropped_torn\": %lld, \"truncated\": %s}\n",
+      static_cast<long long>(torn), truncated ? "true" : "false"));
+  return pos;
+}
+
+std::string FlightRecorder::ToJson(const char* reason) const {
+  std::vector<char> buf(kDumpBufferBytes);
+  const size_t len = FormatJson(buf.data(), buf.size(), reason);
+  return std::string(buf.data(), len);
+}
+
+void FlightRecorder::Clear() {
+  // Resetting head to 0 would let stale slots alias fresh sequence numbers;
+  // instead invalidate every slot and advance head to a capacity boundary
+  // so the dump window [head - cap, head) holds only invalidated slots.
+  const int64_t head = head_.load(std::memory_order_acquire);
+  const int64_t rounded = ((head / kFlightCapacity) + 1) * kFlightCapacity;
+  for (int64_t i = 0; i < kFlightCapacity; ++i) {
+    slots_[i].seq.store(-1, std::memory_order_release);
+  }
+  head_.store(rounded, std::memory_order_release);
+}
+
+void SetPostmortemPath(const std::string& path) {
+  PostmortemState& state = Postmortem();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.path = path;
+  SanitizeInto(state.raw_path, sizeof(state.raw_path), path.c_str());
+  // The sanitizer maps '"'/'\\' to '_' which would corrupt a path that
+  // contains them; paths here are plain filenames, and the raw copy is only
+  // for the signal handler.
+  std::snprintf(state.raw_tmp, sizeof(state.raw_tmp), "%s.crash",
+                state.raw_path);
+}
+
+std::string PostmortemPath() {
+  PostmortemState& state = Postmortem();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.path;
+}
+
+Status DumpFlightRecorder(const char* reason) {
+  const std::string path = PostmortemPath();
+  if (path.empty()) {
+    return Status::FailedPrecondition(
+        "no post-mortem path configured (SetPostmortemPath / "
+        "MUSENET_POSTMORTEM)");
+  }
+  return util::AtomicWriteFile(path,
+                               FlightRecorder::Instance().ToJson(reason));
+}
+
+namespace {
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    default: return "signal";
+  }
+}
+
+/// Fatal-signal path: format into the preallocated buffer, write(2) to a
+/// sibling temp file, fsync, rename over the configured path, re-raise.
+/// Nothing here allocates; snprintf/write/rename are the riskiest calls and
+/// are accepted for a best-effort post-mortem on an already-dying process.
+void CrashHandler(int sig) {
+  PostmortemState& state = Postmortem();
+  if (state.raw_path[0] != '\0') {
+    const size_t len = FlightRecorder::Instance().FormatJson(
+        state.crash_buf, sizeof(state.crash_buf), SignalName(sig));
+    const int fd = ::open(state.raw_tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      size_t off = 0;
+      while (off < len) {
+        const ssize_t n = ::write(fd, state.crash_buf + off, len - off);
+        if (n <= 0) break;
+        off += static_cast<size_t>(n);
+      }
+      ::fsync(fd);
+      ::close(fd);
+      if (off == len) ::rename(state.raw_tmp, state.raw_path);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  static const bool installed = [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = CrashHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESETHAND;
+    for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+      ::sigaction(sig, &action, nullptr);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
+void AutoInitPostmortemFromEnv() {
+  static const bool initialized = [] {
+    const char* path = std::getenv("MUSENET_POSTMORTEM");
+    if (path != nullptr && path[0] != '\0') {
+      SetPostmortemPath(path);
+      InstallCrashHandler();
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
+}  // namespace musenet::obs

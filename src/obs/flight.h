@@ -1,0 +1,98 @@
+#ifndef MUSENET_OBS_FLIGHT_H_
+#define MUSENET_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace musenet::obs {
+
+// Black-box flight recorder: a bounded in-memory ring of recent serving
+// events (sheds, swap stage transitions, deadline expiries, fault
+// activations, batch completions) that can be dumped as a post-mortem JSON
+// when something goes wrong — a fatal signal, a shadow rejection, or an
+// explicit trigger from `/statusz?dump=1`.
+//
+// Recording is lock-free (one fetch_add + plain stores into a fixed slot)
+// and allocation-free, so the hot serve path can record unconditionally.
+// The ring holds the last kFlightCapacity events; older ones are
+// overwritten. A dump racing a recorder may observe a slot mid-overwrite;
+// the per-slot sequence number detects that and the dump skips the torn
+// slot — post-mortems are best-effort breadcrumbs, not accounting.
+
+/// Events the ring retains (power of two; ~0.3 MB resident).
+inline constexpr int64_t kFlightCapacity = 4096;
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Instance();
+
+  /// Records one event. `kind` must be a string literal (the pointer is
+  /// stored); `detail` (optional) is copied, sanitized to JSON-safe ASCII
+  /// and truncated to the slot's fixed buffer. `a`/`b` are free-form
+  /// integer payloads (request id, version, queue depth, ...).
+  void Record(const char* kind, int64_t a = 0, int64_t b = 0,
+              const char* detail = nullptr);
+
+  /// JSON document of the buffered events, oldest first:
+  ///   {"reason": "...", "dropped_torn": N, "events": [
+  ///     {"ts_ns":..., "kind":"...", "a":..., "b":..., "detail":"..."}]}
+  std::string ToJson(const char* reason) const;
+
+  /// Formats the same JSON into a caller-provided buffer without
+  /// allocating — the path the fatal-signal handler uses. Returns the
+  /// number of bytes written (the document is truncated-but-valid when the
+  /// buffer is too small).
+  size_t FormatJson(char* out, size_t cap, const char* reason) const;
+
+  /// Total events ever recorded (monotonic; exceeds kFlightCapacity once
+  /// the ring has wrapped).
+  int64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+
+  /// Drops all buffered events (tests).
+  void Clear();
+
+ private:
+  FlightRecorder();
+
+  struct Slot {
+    std::atomic<int64_t> seq{-1};  ///< Sequence stamped after the payload.
+    int64_t ts_ns = 0;
+    const char* kind = "";
+    int64_t a = 0;
+    int64_t b = 0;
+    char detail[48] = {0};
+  };
+
+  std::atomic<int64_t> head_{0};
+  Slot* slots_;  ///< kFlightCapacity entries, leaked with the singleton.
+};
+
+/// Sets the post-mortem dump path (empty disables dumping). The crash
+/// handler and DumpFlightRecorder write here.
+void SetPostmortemPath(const std::string& path);
+
+/// The configured post-mortem path ("" when unconfigured).
+std::string PostmortemPath();
+
+/// Writes the flight-recorder dump to the configured post-mortem path
+/// (util::AtomicWriteFile). FailedPrecondition when no path is configured.
+Status DumpFlightRecorder(const char* reason);
+
+/// Installs fatal-signal handlers (SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT)
+/// that write the flight-recorder dump to the configured post-mortem path —
+/// formatting into a preallocated buffer, then write(2) + fsync + rename(2),
+/// no allocation — and then re-raise with the default disposition so the
+/// process still dies with the original signal. Idempotent.
+void InstallCrashHandler();
+
+/// Reads MUSENET_POSTMORTEM once: when set, configures the post-mortem path
+/// and installs the crash handler. Idempotent; the CLI calls it next to
+/// AutoInitFromEnv so CI chaos drills opt in with one env var.
+void AutoInitPostmortemFromEnv();
+
+}  // namespace musenet::obs
+
+#endif  // MUSENET_OBS_FLIGHT_H_

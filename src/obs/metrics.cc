@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 
@@ -78,13 +79,32 @@ void Gauge::KeepMax(double candidate) {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
-      counts_(static_cast<size_t>(kShards) * (bounds_.size() + 1)) {}
+      counts_(static_cast<size_t>(kShards) * (bounds_.size() + 1)),
+      exemplar_ids_(new std::atomic<int64_t>[bounds_.size() + 1]),
+      exemplar_value_bits_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    exemplar_ids_[i].store(-1, std::memory_order_relaxed);
+    exemplar_value_bits_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t Histogram::BucketOf(double value) const {
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::Observe(double value, int64_t exemplar_id) {
+  const size_t bucket = BucketOf(value);
+  int64_t value_bits;
+  std::memcpy(&value_bits, &value, sizeof(value_bits));
+  exemplar_value_bits_[bucket].store(value_bits, std::memory_order_relaxed);
+  exemplar_ids_[bucket].store(exemplar_id, std::memory_order_relaxed);
+  Observe(value);
+}
 
 void Histogram::Observe(double value) {
-  const size_t bucket =
-      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
-                                           value) -
-                          bounds_.begin());
+  const size_t bucket = BucketOf(value);
   const size_t stride = bounds_.size() + 1;
   const int shard = internal::ThisThreadShard();
   counts_[static_cast<size_t>(shard) * stride + bucket].value.fetch_add(
@@ -138,12 +158,33 @@ std::vector<int64_t> Histogram::BucketCounts() const {
   return merged;
 }
 
+std::vector<int64_t> Histogram::ExemplarIds() const {
+  std::vector<int64_t> ids(bounds_.size() + 1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = exemplar_ids_[i].load(std::memory_order_relaxed);
+  }
+  return ids;
+}
+
+std::vector<double> Histogram::ExemplarValues() const {
+  std::vector<double> values(bounds_.size() + 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int64_t bits = exemplar_value_bits_[i].load(std::memory_order_relaxed);
+    std::memcpy(&values[i], &bits, sizeof(values[i]));
+  }
+  return values;
+}
+
 void Histogram::Reset() {
   for (Shard& shard : counts_) {
     shard.value.store(0, std::memory_order_relaxed);
   }
   for (Shard& shard : sum_bits_) {
     shard.value.store(0, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    exemplar_ids_[i].store(-1, std::memory_order_relaxed);
+    exemplar_value_bits_[i].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -225,6 +266,8 @@ MetricsSnapshot Registry::Snapshot() const {
     data.counts = histogram->BucketCounts();
     data.total = histogram->TotalCount();
     data.sum = histogram->Sum();
+    data.exemplar_ids = histogram->ExemplarIds();
+    data.exemplar_values = histogram->ExemplarValues();
     snapshot.histograms.emplace(name, std::move(data));
   }
   return snapshot;
@@ -262,7 +305,12 @@ const std::vector<double>& QueueDepthBuckets() {
 
 double HistogramPercentile(const MetricsSnapshot::HistogramData& histogram,
                            double q) {
-  if (histogram.total <= 0) return 0.0;
+  // Empty histogram: "no data" is NaN, not 0 — a 0 here reads as "p99 was
+  // instantaneous" in a report, which is a lie. Callers that format
+  // human-facing output guard this (loadgen prints 0 for an empty run).
+  if (histogram.total <= 0 || histogram.counts.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   const double rank = q * static_cast<double>(histogram.total);
@@ -271,17 +319,27 @@ double HistogramPercentile(const MetricsSnapshot::HistogramData& histogram,
     const double count = static_cast<double>(histogram.counts[i]);
     if (below + count >= rank || i + 1 == histogram.counts.size()) {
       if (i >= histogram.bounds.size()) {
-        // Overflow bucket: no upper edge to interpolate toward.
-        return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+        // Overflow bucket: no upper edge to interpolate toward, so every
+        // rank landing here clamps to the last finite bound (NaN when the
+        // histogram has no finite bounds at all — pure-overflow data gives
+        // no usable estimate).
+        return histogram.bounds.empty()
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : histogram.bounds.back();
       }
       const double hi = histogram.bounds[i];
       const double lo = i == 0 ? 0.0 : histogram.bounds[i - 1];
+      // Linear interpolation inside the bucket. When all mass sits in this
+      // single bucket, below == 0 and count == total, so frac == q and the
+      // estimate walks the bucket's width with q instead of pinning to an
+      // edge.
       const double frac = count > 0.0 ? (rank - below) / count : 1.0;
       return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
     }
     below += count;
   }
-  return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+  return histogram.bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                  : histogram.bounds.back();
 }
 
 const std::vector<double>& LatencyBucketsMs() {
@@ -348,6 +406,75 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
     out += "]}";
   }
   out += "\n  }\n}\n";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// convention ("serve.taxi-int8.shed") maps dots and every other outlaw
+/// character to '_'. Deterministic, so scrape series names are stable.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  char buf[160];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %lld\n", prom.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%s %.17g\n", prom.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      cumulative += data.counts[i];
+      if (i < data.bounds.size()) {
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.17g\"} %lld",
+                      prom.c_str(), data.bounds[i],
+                      static_cast<long long>(cumulative));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %lld",
+                      prom.c_str(), static_cast<long long>(cumulative));
+      }
+      out += buf;
+      // OpenMetrics-style exemplar: the id of the last observation that
+      // landed in this bucket, resolvable against the trace file's request
+      // spans ("rid" args).
+      if (i < data.exemplar_ids.size() && data.exemplar_ids[i] >= 0) {
+        std::snprintf(buf, sizeof(buf), " # {request_id=\"%lld\"} %.17g",
+                      static_cast<long long>(data.exemplar_ids[i]),
+                      i < data.exemplar_values.size() ? data.exemplar_values[i]
+                                                      : 0.0);
+        out += buf;
+      }
+      out.push_back('\n');
+    }
+    std::snprintf(buf, sizeof(buf), "%s_sum %.17g\n%s_count %lld\n",
+                  prom.c_str(), data.sum, prom.c_str(),
+                  static_cast<long long>(data.total));
+    out += buf;
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,13 +74,27 @@ class Gauge {
 
 /// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
 /// an implicit overflow bucket. Bounds are set at first registration.
+///
+/// Each bucket additionally keeps one *exemplar*: the id and value of the
+/// last observation recorded into it through the two-argument Observe. The
+/// serving layer passes its per-request ids here, so a scrape of an outlier
+/// latency bucket carries a concrete request id that resolves to that
+/// request's span in the trace file. Exemplars are last-write-wins and
+/// unsharded (two relaxed stores; a racing pair may momentarily mismatch id
+/// and value — they are debugging breadcrumbs, not accounting).
 class Histogram {
  public:
   void Observe(double value);
+  /// Observe + record (exemplar_id, value) as the bucket's exemplar.
+  void Observe(double value, int64_t exemplar_id);
   int64_t TotalCount() const;
   double Sum() const;
   /// Per-bucket counts, length bounds().size() + 1 (last = overflow).
   std::vector<int64_t> BucketCounts() const;
+  /// Per-bucket exemplar ids (length bounds().size() + 1; -1 = none yet).
+  std::vector<int64_t> ExemplarIds() const;
+  /// Per-bucket exemplar observation values (meaningless where id is -1).
+  std::vector<double> ExemplarValues() const;
   const std::vector<double>& bounds() const { return bounds_; }
   void Reset();
 
@@ -87,10 +102,15 @@ class Histogram {
   friend class Registry;
   explicit Histogram(std::vector<double> bounds);
 
+  size_t BucketOf(double value) const;
+
   std::vector<double> bounds_;
   /// shard-major: counts_[shard * (bounds+1) + bucket].
   std::vector<internal::Shard> counts_;
   internal::Shard sum_bits_[internal::kShards];  ///< CAS-added doubles.
+  /// Per-bucket exemplars (bounds+1 entries each): -1 = none recorded.
+  std::unique_ptr<std::atomic<int64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<int64_t>[]> exemplar_value_bits_;
 };
 
 /// Merged point-in-time view of every registered instrument.
@@ -102,6 +122,11 @@ struct MetricsSnapshot {
     std::vector<int64_t> counts;  ///< bounds.size() + 1 entries.
     int64_t total = 0;
     double sum = 0.0;
+    /// Per-bucket exemplars (counts.size() entries; id -1 = none). See
+    /// Histogram: the id of the last observation recorded into the bucket
+    /// with an id, and the observed value that went with it.
+    std::vector<int64_t> exemplar_ids;
+    std::vector<double> exemplar_values;
   };
   std::map<std::string, HistogramData> histograms;
 };
@@ -144,13 +169,26 @@ const std::vector<double>& LatencyBucketsMs();
 const std::vector<double>& QueueDepthBuckets();
 
 /// Estimates the q-th percentile (q in [0, 1]) of a snapshot histogram by
-/// linear interpolation inside the bucket containing the target rank. The
-/// overflow bucket has no upper edge, so ranks landing there report the last
-/// finite edge — an underestimate the caller should treat as ">= edge".
-/// Returns 0 for an empty histogram. This is what the serve CLI and the
-/// serving bench report as SLO p50/p99 without retaining per-request samples.
+/// linear interpolation inside the bucket containing the target rank (a
+/// histogram whose mass sits in a single bucket interpolates across that
+/// bucket's width, so p50 lands mid-bucket, not on an edge). The overflow
+/// bucket has no upper edge, so ranks landing there clamp to the last finite
+/// bound — an underestimate the caller should treat as ">= bound". Returns
+/// quiet NaN for an empty histogram (total == 0 or no buckets): "no data" is
+/// distinguishable from a genuine 0ms percentile, and callers that format
+/// reports must guard it (loadgen reports 0 for an empty run). This is what
+/// the serve CLI and the serving bench report as SLO p50/p99 without
+/// retaining per-request samples.
 double HistogramPercentile(const MetricsSnapshot::HistogramData& histogram,
                            double q);
+
+/// Renders a snapshot in the Prometheus text exposition format with
+/// deterministic ordering (instruments sorted by name; dots and dashes in
+/// names map to underscores). Histograms emit cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`; buckets with a recorded exemplar append an
+/// OpenMetrics-style ` # {request_id="<id>"} <value>` exemplar. This is what
+/// the `/metrics` endpoint of the exposition server serves.
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
 
 /// Deterministic JSON document (keys sorted, fixed float formatting) of a
 /// snapshot — what `musenet train --metrics-out` writes.

@@ -161,12 +161,26 @@ void AppendEventJson(std::string* out, const MergedEvent& merged) {
   out->append(buf);
   std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%d", merged.tid);
   out->append(buf);
-  if (event.arg_name != nullptr) {
-    out->append(",\"args\":{\"");
-    AppendJsonEscaped(out, event.arg_name);
-    std::snprintf(buf, sizeof(buf), "\":%lld}",
-                  static_cast<long long>(event.arg_value));
-    out->append(buf);
+  if (event.arg_name != nullptr || event.arg2_name != nullptr) {
+    out->append(",\"args\":{");
+    bool first = true;
+    if (event.arg_name != nullptr) {
+      out->push_back('"');
+      AppendJsonEscaped(out, event.arg_name);
+      std::snprintf(buf, sizeof(buf), "\":%lld",
+                    static_cast<long long>(event.arg_value));
+      out->append(buf);
+      first = false;
+    }
+    if (event.arg2_name != nullptr) {
+      if (!first) out->push_back(',');
+      out->push_back('"');
+      AppendJsonEscaped(out, event.arg2_name);
+      std::snprintf(buf, sizeof(buf), "\":%lld",
+                    static_cast<long long>(event.arg2_value));
+      out->append(buf);
+    }
+    out->push_back('}');
   }
   out->push_back('}');
 }
@@ -174,7 +188,7 @@ void AppendEventJson(std::string* out, const MergedEvent& merged) {
 std::string BuildTraceJson() {
   const std::vector<MergedEvent> merged = MergeAndSort();
   std::string out;
-  out.reserve(merged.size() * 96 + 256);
+  out.reserve(merged.size() * 112 + 256);
   out.append("{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n");
   for (size_t i = 0; i < merged.size(); ++i) {
     AppendEventJson(&out, merged[i]);
@@ -188,13 +202,31 @@ std::string BuildTraceJson() {
   return out;
 }
 
-std::string& AtExitTracePath() {
-  static std::string* path = new std::string();
-  return *path;
+/// All state of the MUSENET_TRACE atexit flush, behind a function-local
+/// leaked accessor so the atexit callback never touches a file-scope global
+/// that static destruction may already have torn down. `flushed` makes a
+/// double flush (atexit running after an explicit StopTracingAndWrite, or a
+/// second atexit pass via exit-from-atexit) a no-op.
+struct AtExitFlush {
+  std::string path;
+  std::atomic<bool> armed{false};
+  std::atomic<bool> flushed{false};
+};
+
+AtExitFlush& AtExitState() {
+  static AtExitFlush* state = new AtExitFlush();  // Leaked singleton.
+  return *state;
 }
 
 void WriteTraceAtExit() {
-  const Status status = StopTracingAndWrite(AtExitTracePath());
+  AtExitFlush& state = AtExitState();
+  bool expected = false;
+  if (!state.flushed.compare_exchange_strong(expected, true)) return;
+  // An explicit StopTracingAndWrite (e.g. --trace-out) already stopped
+  // tracing and cleared the buffers; writing again would clobber a real
+  // trace with an empty document.
+  if (!TracingEnabled()) return;
+  const Status status = StopTracingAndWrite(state.path);
   if (!status.ok()) {
     std::fprintf(stderr, "warning: trace write failed: %s\n",
                  status.ToString().c_str());
@@ -205,13 +237,21 @@ void WriteTraceAtExit() {
 
 namespace internal {
 void AppendEvent(const TraceEvent& event) { LocalBuffer().Append(event); }
+
+void RunAtExitFlushForTest(const std::string& path) {
+  AtExitState().path = path;
+  WriteTraceAtExit();
+}
 }  // namespace internal
 
 void ScopedSpan::Begin(const char* name, const char* arg_name,
-                       int64_t arg_value) {
+                       int64_t arg_value, const char* arg2_name,
+                       int64_t arg2_value) {
   event_.name = name;
   event_.arg_name = arg_name;
   event_.arg_value = arg_value;
+  event_.arg2_name = arg2_name;
+  event_.arg2_value = arg2_value;
   event_.ts_ns = util::MonotonicNowNanos();
   active_ = true;
 }
@@ -223,16 +263,25 @@ void ScopedSpan::End() {
 
 void TraceInstant(const char* name) {
   if (TracingEnabled()) [[unlikely]] {
-    TraceInstant(name, nullptr, 0);
+    TraceInstant(name, nullptr, 0, nullptr, 0);
   }
 }
 
 void TraceInstant(const char* name, const char* arg_name, int64_t arg_value) {
+  if (TracingEnabled()) [[unlikely]] {
+    TraceInstant(name, arg_name, arg_value, nullptr, 0);
+  }
+}
+
+void TraceInstant(const char* name, const char* arg_name, int64_t arg_value,
+                  const char* arg2_name, int64_t arg2_value) {
   if (!TracingEnabled()) return;
   internal::TraceEvent event;
   event.name = name;
   event.arg_name = arg_name;
   event.arg_value = arg_value;
+  event.arg2_name = arg2_name;
+  event.arg2_value = arg2_value;
   event.ts_ns = util::MonotonicNowNanos();
   event.dur_ns = -1;
   internal::AppendEvent(event);
@@ -240,6 +289,9 @@ void TraceInstant(const char* name, const char* arg_name, int64_t arg_value) {
 
 void StartTracing() {
   ClearBuffers();
+  // Re-arm the atexit flush: a StartTracing after an explicit stop means
+  // there is a fresh trace worth flushing again.
+  AtExitState().flushed.store(false, std::memory_order_relaxed);
   internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
 }
 
@@ -255,6 +307,8 @@ Status StopTracingAndWrite(const std::string& path) {
   const std::string json = BuildTraceJson();
   MUSE_RETURN_IF_ERROR(util::AtomicWriteFile(path, json));
   ClearBuffers();
+  // An armed atexit flush has nothing left to do after an explicit stop.
+  AtExitState().flushed.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -262,7 +316,9 @@ void AutoInitFromEnv() {
   static const bool initialized = [] {
     const char* path = std::getenv("MUSENET_TRACE");
     if (path != nullptr && path[0] != '\0') {
-      AtExitTracePath() = path;
+      AtExitFlush& state = AtExitState();
+      state.path = path;
+      state.armed.store(true, std::memory_order_relaxed);
       StartTracing();
       std::atexit(WriteTraceAtExit);
     }

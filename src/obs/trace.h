@@ -23,9 +23,13 @@ namespace musenet::obs {
 //
 // Span names must be string literals (or otherwise outlive the flush): the
 // event record stores the pointer, not a copy.
+//
+// Correlation: every event carries up to two integer arguments. The serving
+// layer uses the second slot for the request id minted at Submit, so one
+// Perfetto args search for the id walks request -> batch -> lane -> kernel.
 
 /// Events a single thread can buffer before new events are dropped
-/// (~24 MB/thread at sizeof(TraceEvent) == 48).
+/// (~32 MB/thread at sizeof(TraceEvent) == 64).
 inline constexpr int64_t kMaxEventsPerThread = int64_t{1} << 19;
 
 namespace internal {
@@ -36,11 +40,18 @@ struct TraceEvent {
   const char* name;
   const char* arg_name;  ///< nullptr when the event carries no argument.
   int64_t arg_value;
+  const char* arg2_name;  ///< Second argument slot; nullptr when unused.
+  int64_t arg2_value;
   int64_t ts_ns;   ///< MonotonicNowNanos() at span open.
   int64_t dur_ns;  ///< Span duration; -1 for instant events.
 };
 
 void AppendEvent(const TraceEvent& event);
+
+/// Test hook: points the MUSENET_TRACE atexit flush at `path` and runs the
+/// callback as if the process were exiting. Exists so tests can exercise
+/// the flush-once semantics without a real process exit.
+void RunAtExitFlushForTest(const std::string& path);
 }  // namespace internal
 
 /// True while spans are being collected. Single relaxed load; the hot-path
@@ -68,22 +79,37 @@ int64_t DroppedEventCount();
 /// now and the trace is written at process exit. Idempotent and cheap after
 /// the first call; RunTraining and the CLI call it so `MUSENET_TRACE=t.json
 /// musenet train ...` needs no code changes anywhere else.
+///
+/// The atexit flush holds all of its state (path + flushed flag) in a
+/// function-local leaked accessor, so it is immune to static-destruction
+/// order, and it is idempotent: if tracing was already stopped and flushed
+/// (an explicit StopTracingAndWrite, or atexit running twice through
+/// exit-from-atexit), the second flush is a no-op instead of overwriting the
+/// real trace with an empty one.
 void AutoInitFromEnv();
 
 /// RAII span. Construct with a string literal:
 ///   obs::ScopedSpan span("train.step");
-/// or, carrying one integer argument (shown under "args" in the viewer):
+/// or, carrying one or two integer arguments (shown under "args" in the
+/// viewer):
 ///   obs::ScopedSpan span("autograd.backward", "nodes", graph_size);
+///   obs::ScopedSpan span("serve.batch", "size", n, "rid", request_id);
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
     if (TracingEnabled()) [[unlikely]] {
-      Begin(name, nullptr, 0);
+      Begin(name, nullptr, 0, nullptr, 0);
     }
   }
   ScopedSpan(const char* name, const char* arg_name, int64_t arg_value) {
     if (TracingEnabled()) [[unlikely]] {
-      Begin(name, arg_name, arg_value);
+      Begin(name, arg_name, arg_value, nullptr, 0);
+    }
+  }
+  ScopedSpan(const char* name, const char* arg_name, int64_t arg_value,
+             const char* arg2_name, int64_t arg2_value) {
+    if (TracingEnabled()) [[unlikely]] {
+      Begin(name, arg_name, arg_value, arg2_name, arg2_value);
     }
   }
   ~ScopedSpan() {
@@ -92,8 +118,8 @@ class ScopedSpan {
     }
   }
 
-  /// Attaches/overwrites the span's argument after construction (e.g. a
-  /// count known only at scope exit). No-op when tracing was off at entry.
+  /// Attaches/overwrites the span's first argument after construction (e.g.
+  /// a count known only at scope exit). No-op when tracing was off at entry.
   void SetArg(const char* arg_name, int64_t arg_value) {
     if (active_) {
       event_.arg_name = arg_name;
@@ -101,11 +127,20 @@ class ScopedSpan {
     }
   }
 
+  /// Attaches/overwrites the span's second argument (correlation slot).
+  void SetArg2(const char* arg_name, int64_t arg_value) {
+    if (active_) {
+      event_.arg2_name = arg_name;
+      event_.arg2_value = arg_value;
+    }
+  }
+
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
-  void Begin(const char* name, const char* arg_name, int64_t arg_value);
+  void Begin(const char* name, const char* arg_name, int64_t arg_value,
+             const char* arg2_name, int64_t arg2_value);
   void End();
 
   internal::TraceEvent event_;  ///< Untouched unless tracing was enabled.
@@ -115,6 +150,8 @@ class ScopedSpan {
 /// Zero-duration marker event (fault activations, rollbacks, resume points).
 void TraceInstant(const char* name);
 void TraceInstant(const char* name, const char* arg_name, int64_t arg_value);
+void TraceInstant(const char* name, const char* arg_name, int64_t arg_value,
+                  const char* arg2_name, int64_t arg2_value);
 
 }  // namespace musenet::obs
 

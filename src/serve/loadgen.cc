@@ -145,8 +145,13 @@ LoadGenReport RunLoadGen(ForecastService& service, const std::string& tenant,
 
   const obs::MetricsSnapshot after = obs::Registry::Instance().Snapshot();
   const auto latency = LatencyDelta(before, after);
-  report.p50_ms = obs::HistogramPercentile(latency, 0.50);
-  report.p99_ms = obs::HistogramPercentile(latency, 0.99);
+  // HistogramPercentile reports NaN for "no data"; a run that completed
+  // nothing reports 0 here so the report (and the JSON the bench writes
+  // from it) stays well-formed.
+  report.p50_ms =
+      latency.total > 0 ? obs::HistogramPercentile(latency, 0.50) : 0.0;
+  report.p99_ms =
+      latency.total > 0 ? obs::HistogramPercentile(latency, 0.99) : 0.0;
   return report;
 }
 

@@ -1,0 +1,88 @@
+#include "serve/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace musenet::serve {
+
+QualityMonitor::QualityMonitor(const std::string& tenant,
+                               QualityOptions options)
+    : options_(options),
+      mae_gauge_(&obs::GetGauge("serve.quality." + tenant + ".mae")),
+      bias_gauge_(&obs::GetGauge("serve.quality." + tenant + ".bias")),
+      cusum_gauge_(&obs::GetGauge("serve.quality." + tenant + ".cusum")),
+      drifted_gauge_(
+          &obs::GetGauge("serve.quality." + tenant + ".drifted_cells")),
+      samples_gauge_(
+          &obs::GetGauge("serve.quality." + tenant + ".samples")) {}
+
+void QualityMonitor::Observe(const float* prediction, const float* truth,
+                             int64_t cells) {
+  if (cells <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mae_.empty()) {
+    mae_.assign(static_cast<size_t>(cells), 0.0);
+    bias_.assign(static_cast<size_t>(cells), 0.0);
+    ref_mae_.assign(static_cast<size_t>(cells), 0.0);
+    cusum_.assign(static_cast<size_t>(cells), 0.0);
+  } else if (static_cast<int64_t>(mae_.size()) != cells) {
+    return;  // A tenant serves one grid geometry; ignore strays.
+  }
+
+  const bool first = samples_ == 0;
+  const bool burned_in = samples_ >= options_.burn_in;
+  double mae_total = 0.0, bias_total = 0.0, cusum_max = 0.0;
+  int64_t drifted = 0;
+  for (int64_t c = 0; c < cells; ++c) {
+    const double err = static_cast<double>(prediction[c]) -
+                       static_cast<double>(truth[c]);
+    const double abs_err = std::abs(err);
+    const size_t i = static_cast<size_t>(c);
+    if (first) {
+      // Seed the EWMAs with the first observation instead of decaying up
+      // from zero — the reference is usable immediately after burn-in.
+      mae_[i] = abs_err;
+      bias_[i] = err;
+      ref_mae_[i] = abs_err;
+    } else {
+      mae_[i] += options_.fast_alpha * (abs_err - mae_[i]);
+      bias_[i] += options_.fast_alpha * (err - bias_[i]);
+      ref_mae_[i] += options_.slow_alpha * (abs_err - ref_mae_[i]);
+    }
+    if (burned_in) {
+      const double allowance = (1.0 + options_.cusum_slack) * ref_mae_[i];
+      cusum_[i] = std::max(0.0, cusum_[i] + abs_err - allowance);
+    }
+    mae_total += mae_[i];
+    bias_total += bias_[i];
+    // Normalize by the reference so the drift score is unitless and
+    // comparable across cells with very different traffic volume.
+    const double ref = std::max(ref_mae_[i], 1e-12);
+    const double score = cusum_[i] / ref;
+    cusum_max = std::max(cusum_max, score);
+    if (score > options_.cusum_threshold) ++drifted;
+  }
+  ++samples_;
+
+  published_.samples = samples_;
+  published_.cells = cells;
+  published_.mae = mae_total / static_cast<double>(cells);
+  published_.bias = bias_total / static_cast<double>(cells);
+  published_.cusum_max = cusum_max;
+  published_.drifted_cells = drifted;
+
+  mae_gauge_->Set(published_.mae);
+  bias_gauge_->Set(published_.bias);
+  cusum_gauge_->Set(published_.cusum_max);
+  drifted_gauge_->Set(static_cast<double>(drifted));
+  samples_gauge_->Set(static_cast<double>(samples_));
+}
+
+QualityMonitor::Stats QualityMonitor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+}  // namespace musenet::serve

@@ -1,0 +1,95 @@
+#ifndef MUSENET_SERVE_QUALITY_H_
+#define MUSENET_SERVE_QUALITY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace musenet::obs {
+class Gauge;
+}  // namespace musenet::obs
+
+namespace musenet::serve {
+
+/// Tuning of the online forecast-quality monitors.
+struct QualityOptions {
+  /// EWMA weight of the rolling per-cell MAE / bias (the "current error"
+  /// estimate the gauges publish).
+  double fast_alpha = 0.1;
+  /// EWMA weight of the slow reference MAE the CUSUM drifts against. Much
+  /// slower than fast_alpha, so a genuine shift moves the statistic long
+  /// before it re-baselines the reference.
+  double slow_alpha = 0.005;
+  /// CUSUM allowance: per-cell increments are |err| - (1 + slack) * ref,
+  /// clamped at zero, so error wobble within `slack` of the reference MAE
+  /// accumulates nothing.
+  double cusum_slack = 0.25;
+  /// A cell counts as drifted when its CUSUM exceeds threshold * ref — i.e.
+  /// it has accumulated `threshold` reference-MAEs of excess error.
+  double cusum_threshold = 8.0;
+  /// Samples before the CUSUM starts accumulating (the slow reference needs
+  /// a baseline before "excess error" means anything).
+  int64_t burn_in = 32;
+};
+
+/// Online per-cell forecast-quality monitor for one tenant: rolling MAE and
+/// signed bias per grid cell plus a CUSUM drift statistic, computed in the
+/// serve path against ground-truth-delayed labels (the target the simulator
+/// loadgen attaches to each request — in production, the label that arrives
+/// one interval later).
+///
+/// Aggregates are published after every observation as gauges — the input
+/// contract of the ROADMAP's drift-aware online learning loop:
+///   serve.quality.<tenant>.mae            mean per-cell rolling MAE
+///   serve.quality.<tenant>.bias           mean per-cell rolling signed error
+///   serve.quality.<tenant>.cusum          max per-cell CUSUM / reference
+///   serve.quality.<tenant>.drifted_cells  cells past cusum_threshold
+///   serve.quality.<tenant>.samples        observations folded in
+///
+/// One dispatcher thread feeds each tenant's monitor, but stats() can be
+/// read concurrently (the /statusz endpoint does); a mutex covers both.
+class QualityMonitor {
+ public:
+  explicit QualityMonitor(const std::string& tenant,
+                          QualityOptions options = {});
+
+  QualityMonitor(const QualityMonitor&) = delete;
+  QualityMonitor& operator=(const QualityMonitor&) = delete;
+
+  /// Folds one prediction/label pair into the per-cell statistics.
+  /// `prediction` and `truth` are flat scaled [2*H*W] sample views of equal
+  /// length `cells`; the cell count is fixed at first call (mismatched
+  /// later calls are ignored — a tenant serves one grid geometry).
+  void Observe(const float* prediction, const float* truth, int64_t cells);
+
+  struct Stats {
+    int64_t samples = 0;
+    int64_t cells = 0;
+    double mae = 0.0;            ///< Mean over cells of the rolling MAE.
+    double bias = 0.0;           ///< Mean over cells of the rolling bias.
+    double cusum_max = 0.0;      ///< Max per-cell CUSUM / reference MAE.
+    int64_t drifted_cells = 0;   ///< Cells past cusum_threshold.
+  };
+  Stats stats() const;
+
+ private:
+  const QualityOptions options_;
+  mutable std::mutex mu_;
+  int64_t samples_ = 0;
+  std::vector<double> mae_;       ///< Fast EWMA of |err| per cell.
+  std::vector<double> bias_;      ///< Fast EWMA of signed err per cell.
+  std::vector<double> ref_mae_;   ///< Slow reference EWMA of |err|.
+  std::vector<double> cusum_;     ///< One-sided CUSUM of excess |err|.
+  Stats published_;
+
+  obs::Gauge* mae_gauge_;
+  obs::Gauge* bias_gauge_;
+  obs::Gauge* cusum_gauge_;
+  obs::Gauge* drifted_gauge_;
+  obs::Gauge* samples_gauge_;
+};
+
+}  // namespace musenet::serve
+
+#endif  // MUSENET_SERVE_QUALITY_H_

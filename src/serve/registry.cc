@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/serialize.h"
@@ -13,6 +14,38 @@
 namespace musenet::serve {
 
 namespace ts = musenet::tensor;
+
+namespace {
+
+const char* StageName(int stage) {
+  switch (stage) {
+    case 1: return "load";
+    case 2: return "build";
+    case 3: return "shadow";
+    case 4: return "commit";
+    default: return "idle";
+  }
+}
+
+int StageIndex(const char* stage) {
+  if (std::string("load") == stage) return 1;
+  if (std::string("build") == stage) return 2;
+  if (std::string("shadow") == stage) return 3;
+  if (std::string("commit") == stage) return 4;
+  return 0;
+}
+
+/// Weight precision the tenant's plans serve at, for /statusz.
+const char* PrecisionName(const infer::EngineOptions& engine) {
+  if (!engine.specialize) return "fp32";
+  switch (engine.precision) {
+    case infer::PrecisionMode::kBf16: return "bf16";
+    case infer::PrecisionMode::kInt8: return "int8";
+    default: return "fp32";
+  }
+}
+
+}  // namespace
 
 ModelRegistry::ModelRegistry(RegistryOptions options)
     : options_(std::move(options)) {}
@@ -25,15 +58,31 @@ ModelRegistry::Tenant* ModelRegistry::FindTenant(
 }
 
 Result<std::shared_ptr<const ServingPlan>> ModelRegistry::BuildCandidate(
-    const ModelSpec& spec, const std::string& path, int64_t version) const {
+    const ModelSpec& spec, const std::string& path, int64_t version,
+    const std::function<void(const char*)>& on_stage) const {
   auto& rejected = obs::GetCounter("serve.shadow_rejected");
-  auto reject = [&rejected](Status status) -> Status {
+  auto reject = [&rejected, &spec, version](Status status) -> Status {
     rejected.Add();
-    obs::TraceInstant("serve.swap.rejected");
+    obs::TraceInstant("serve.swap.rejected", "version", version);
+    obs::FlightRecorder::Instance().Record("serve.swap.rejected", version, 0,
+                                          spec.name.c_str());
+    // A rejected candidate is exactly the 3am incident the flight recorder
+    // exists for: dump the ring (when a post-mortem path is configured) so
+    // the shed/stage/fault breadcrumbs around the rejection are preserved.
+    if (!obs::PostmortemPath().empty()) {
+      (void)obs::DumpFlightRecorder("shadow_rejection");
+    }
     return status;
+  };
+  auto stage = [&on_stage, &spec, version](const char* name) {
+    obs::FlightRecorder::Instance().Record("serve.swap.stage", version,
+                                          StageIndex(name),
+                                          spec.name.c_str());
+    if (on_stage) on_stage(name);
   };
 
   // --- 1. LOAD: container bytes -> named tensors (CRC-checked) --------------
+  stage("load");
   obs::ScopedSpan load_span("serve.swap.load");
   util::FaultInjector& faults = util::FaultInjector::Instance();
   if (faults.TakeLoadFailure()) {
@@ -52,6 +101,7 @@ Result<std::shared_ptr<const ServingPlan>> ModelRegistry::BuildCandidate(
   if (!tensors.ok()) return reject(tensors.status());
 
   // --- 2. BUILD: model from spec, weights from container, engine plan -------
+  stage("build");
   obs::ScopedSpan build_span("serve.swap.build");
   auto plan = std::make_shared<ServingPlan>();
   plan->version = version;
@@ -64,6 +114,7 @@ Result<std::shared_ptr<const ServingPlan>> ModelRegistry::BuildCandidate(
   plan->engine = std::make_unique<infer::Engine>(*plan->model, spec.engine);
 
   // --- 3. SHADOW: replay held-out probes on the candidate only --------------
+  stage("shadow");
   obs::ScopedSpan shadow_span("serve.swap.shadow");
   float gate = options_.max_abs_delta;
   if (gate < 0.0f) {
@@ -118,7 +169,10 @@ Status ModelRegistry::Load(const ModelSpec& spec) {
                                    "' is already registered");
     }
   }
-  auto candidate = BuildCandidate(spec, spec.path, /*version=*/1);
+  auto on_stage = [this, &spec](const char* stage) {
+    if (options_.stage_hook) options_.stage_hook(spec.name, stage);
+  };
+  auto candidate = BuildCandidate(spec, spec.path, /*version=*/1, on_stage);
   if (!candidate.ok()) return candidate.status();
 
   auto tenant = std::make_unique<Tenant>();
@@ -141,16 +195,31 @@ Status ModelRegistry::Swap(const std::string& name, const std::string& path) {
   }
   // Swaps of one tenant serialize; readers and other tenants' swaps proceed.
   std::lock_guard<std::mutex> swap_lock(tenant->swap_mu);
-  obs::ScopedSpan span("serve.swap");
+  obs::ScopedSpan span("serve.swap", "version", tenant->next_version);
   const std::string source = path.empty() ? tenant->spec.path : path;
+  tenant->candidate_version.store(tenant->next_version,
+                                  std::memory_order_release);
+  auto on_stage = [this, tenant, &name](const char* stage) {
+    tenant->swap_stage.store(StageIndex(stage), std::memory_order_release);
+    if (options_.stage_hook) options_.stage_hook(name, stage);
+  };
   auto candidate =
-      BuildCandidate(tenant->spec, source, tenant->next_version);
-  if (!candidate.ok()) return candidate.status();
+      BuildCandidate(tenant->spec, source, tenant->next_version, on_stage);
+  if (!candidate.ok()) {
+    tenant->swap_stage.store(0, std::memory_order_release);
+    tenant->candidate_version.store(0, std::memory_order_release);
+    if (options_.stage_hook) options_.stage_hook(name, "idle");
+    return candidate.status();
+  }
 
   // --- 4. COMMIT: CAS the active-plan pointer --------------------------------
   // The CAS cannot lose (swap_mu serializes writers); the loop documents the
   // lock-free publish contract with Acquire. The superseded plan retires
   // when its last in-flight snapshot releases (shared_ptr refcount).
+  on_stage("commit");
+  obs::FlightRecorder::Instance().Record("serve.swap.commit",
+                                        tenant->next_version, 0,
+                                        name.c_str());
   std::shared_ptr<const ServingPlan> expected =
       tenant->active.load(std::memory_order_acquire);
   while (!tenant->active.compare_exchange_weak(
@@ -160,6 +229,9 @@ Status ModelRegistry::Swap(const std::string& name, const std::string& path) {
   tenant->next_version++;
   tenant->spec.path = source;
   obs::GetCounter("serve.swapped").Add();
+  tenant->swap_stage.store(0, std::memory_order_release);
+  tenant->candidate_version.store(0, std::memory_order_release);
+  if (options_.stage_hook) options_.stage_hook(name, "idle");
   return Status::OK();
 }
 
@@ -181,6 +253,34 @@ std::vector<std::string> ModelRegistry::TenantNames() const {
   names.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) names.push_back(name);
   return names;
+}
+
+std::vector<ModelRegistry::TenantStatus> ModelRegistry::TenantStatuses()
+    const {
+  std::vector<TenantStatus> statuses;
+  std::lock_guard<std::mutex> lock(mu_);
+  statuses.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStatus status;
+    status.name = name;
+    // One atomic plan snapshot: every active-plan field below comes from the
+    // same ServingPlan, so a concurrent commit flips them together or not
+    // at all (never torn).
+    const std::shared_ptr<const ServingPlan> plan =
+        tenant->active.load(std::memory_order_acquire);
+    if (plan != nullptr) {
+      status.version = plan->version;
+      status.source_path = plan->source_path;
+      status.content_hash = plan->content_hash;
+    }
+    status.precision = PrecisionName(tenant->spec.engine);
+    status.swap_state =
+        StageName(tenant->swap_stage.load(std::memory_order_acquire));
+    status.candidate_version =
+        tenant->candidate_version.load(std::memory_order_acquire);
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
 }
 
 }  // namespace musenet::serve

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,12 @@ struct RegistryOptions {
   /// per-precision default of the tenant's EngineOptions (fp32 1e-4,
   /// bf16 5e-2, int8 2.5e-1 — the PR 6 gates).
   float max_abs_delta = -1.0f;
+  /// Test hook: called synchronously at every swap-stage transition
+  /// ("load", "build", "shadow", "commit", "idle") with the tenant name.
+  /// Blocking inside the hook holds the swap at that stage — which is how
+  /// the /statusz-during-swap test pins an in-flight swap to observe it.
+  std::function<void(const std::string& tenant, const char* stage)>
+      stage_hook;
 };
 
 /// Multi-tenant registry of named, versioned serving plans with atomic
@@ -107,18 +114,43 @@ class ModelRegistry {
   /// Registered tenant names, sorted.
   std::vector<std::string> TenantNames() const;
 
+  /// Point-in-time status of one tenant, for /statusz. Reads the active
+  /// plan through one atomic Acquire, so the (version, source, hash,
+  /// precision) tuple is internally consistent — never torn across a
+  /// concurrent commit; swap_state/candidate_version are racy-by-design
+  /// progress indicators of an in-flight swap.
+  struct TenantStatus {
+    std::string name;
+    int64_t version = 0;            ///< Active plan version (0 = none).
+    std::string source_path;        ///< Container the active plan came from.
+    uint64_t content_hash = 0;      ///< FNV-1a of the active container.
+    std::string precision;          ///< "fp32" / "bf16" / "int8".
+    std::string swap_state;         ///< "idle" / "load" / "build" / ...
+    int64_t candidate_version = 0;  ///< In-flight swap target (0 = none).
+  };
+
+  /// Status of every tenant, sorted by name.
+  std::vector<TenantStatus> TenantStatuses() const;
+
  private:
   struct Tenant {
     ModelSpec spec;
     std::atomic<std::shared_ptr<const ServingPlan>> active;
     std::mutex swap_mu;       ///< Serializes swaps of this tenant only.
     int64_t next_version = 1; ///< Guarded by swap_mu.
+    /// In-flight swap progress, for /statusz and the flight recorder:
+    /// 0 idle, 1 load, 2 build, 3 shadow, 4 commit.
+    std::atomic<int> swap_stage{0};
+    std::atomic<int64_t> candidate_version{0};  ///< 0 = no swap running.
   };
 
   /// Stages 1–3 of the swap protocol: load, build and shadow-validate a
   /// candidate at `version`. Counts serve.shadow_rejected on any failure.
+  /// `on_stage` (may be empty) observes stage entry ("load", "build",
+  /// "shadow").
   Result<std::shared_ptr<const ServingPlan>> BuildCandidate(
-      const ModelSpec& spec, const std::string& path, int64_t version) const;
+      const ModelSpec& spec, const std::string& path, int64_t version,
+      const std::function<void(const char*)>& on_stage) const;
 
   Tenant* FindTenant(const std::string& name) const;
 

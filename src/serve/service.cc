@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
@@ -29,6 +30,10 @@ ForecastService::ForecastService(ModelRegistry& registry,
   for (const std::string& name : registry_.TenantNames()) {
     auto state = std::make_unique<TenantState>();
     state->name = name;
+    if (options_.monitor_quality) {
+      state->quality =
+          std::make_unique<QualityMonitor>(name, options_.quality);
+    }
     TenantState* raw = state.get();
     tenants_.emplace(name, std::move(state));
     raw->dispatcher = std::thread([this, raw] { DispatchLoop(*raw); });
@@ -43,6 +48,8 @@ ForecastService::~ForecastService() { Drain(); }
 // after future.get() can be off by the in-flight request.
 void ForecastService::TimeOut(Pending&& pending) {
   obs::GetCounter("serve.timed_out").Add();
+  obs::FlightRecorder::Instance().Record("serve.deadline_expired",
+                                        pending.request_id);
   pending.promise.set_exception(std::make_exception_ptr(
       DeadlineError("request deadline passed before completion")));
 }
@@ -51,6 +58,8 @@ void ForecastService::Shed(TenantState& tenant, Pending&& pending,
                            const char* reason) {
   obs::GetCounter("serve.shed").Add();
   obs::GetCounter("serve." + tenant.name + ".shed").Add();
+  obs::FlightRecorder::Instance().Record("serve.shed", pending.request_id, 0,
+                                        reason);
   pending.promise.set_exception(std::make_exception_ptr(
       ShedError(std::string("request shed: ") + reason)));
 }
@@ -65,6 +74,13 @@ std::future<tensor::Tensor> ForecastService::Submit(const std::string& tenant,
 
   Pending pending;
   pending.batch = std::move(request);
+  // The rid is the trace-correlation key: it names this request in the
+  // serve.request instant, the serve.batch / infer.run span args, and the
+  // latency-histogram exemplar, so an outlier bucket resolves to a concrete
+  // request's spans in the trace.
+  pending.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceInstant("serve.request", "rid", pending.request_id);
   pending.enqueue_ns = util::MonotonicNowNanos();
   const double effective_deadline =
       deadline_ms < 0.0 ? options_.deadline_ms : deadline_ms;
@@ -185,7 +201,11 @@ void ForecastService::DispatchLoop(TenantState& tenant) {
     if (group.empty()) continue;
 
     const int64_t n = static_cast<int64_t>(group.size());
-    obs::ScopedSpan span("serve.batch", "size", n);
+    // The batch span carries the first member's rid so a trace search for
+    // one request finds the batch that served it (and, via the engine's rid
+    // propagation, the replay lanes underneath).
+    obs::ScopedSpan span("serve.batch", "size", n, "rid",
+                         group[0].request_id);
     const int64_t start_ns = util::MonotonicNowNanos();
 
     // The snapshot pins this batch's plan: a Swap() committing mid-replay
@@ -230,7 +250,9 @@ void ForecastService::DispatchLoop(TenantState& tenant) {
       merged.target = ts::Concat(target, 0);
     }
 
+    plan->engine->set_trace_request_id(group[0].request_id);
     ts::Tensor prediction = plan->engine->Predict(merged);
+    plan->engine->set_trace_request_id(-1);
     const int64_t done_ns = util::MonotonicNowNanos();
 
     // EWMA of batch service time feeds deadline-aware admission.
@@ -252,8 +274,16 @@ void ForecastService::DispatchLoop(TenantState& tenant) {
       // is the reconciliation the bench and CI smoke assert on).
       completed.Add();
       const double millis = static_cast<double>(done_ns - p.enqueue_ns) / 1e6;
-      latency_hist.Observe(millis);
-      infer_latency_hist.Observe(millis);
+      // The rid rides along as the bucket's exemplar: a /metrics scrape of
+      // an outlier latency bucket names a request whose spans are in the
+      // trace.
+      latency_hist.Observe(millis, p.request_id);
+      infer_latency_hist.Observe(millis, p.request_id);
+      if (tenant.quality != nullptr && p.batch.target.num_elements() > 0 &&
+          p.batch.target.num_elements() == slice.num_elements()) {
+        tenant.quality->Observe(slice.data(), p.batch.target.data(),
+                                slice.num_elements());
+      }
       p.promise.set_value(std::move(slice));
     }
     batch_size_hist.Observe(static_cast<double>(n));
@@ -280,6 +310,45 @@ int64_t ForecastService::queue_depth(const std::string& tenant) const {
   if (it == tenants_.end()) return 0;
   std::lock_guard<std::mutex> lock(it->second->mu);
   return static_cast<int64_t>(it->second->queue.size());
+}
+
+ForecastService::TenantRuntime ForecastService::runtime(
+    const std::string& tenant) const {
+  TenantRuntime runtime;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return runtime;
+  const TenantState& state = *it->second;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    runtime.queue_depth = static_cast<int64_t>(state.queue.size());
+    if (options_.rate_rps > 0.0) {
+      const double burst = options_.burst > 0.0
+                               ? options_.burst
+                               : std::max(1.0, options_.rate_rps);
+      // Same continuous-refill formula Submit applies, so the reported fill
+      // reflects tokens accrued since the last admission, not just the
+      // balance it left behind.
+      double tokens = state.tokens;
+      if (state.refill_ns == 0) {
+        tokens = burst;  // No request yet: a first one finds a full bucket.
+      } else {
+        const double elapsed_s =
+            static_cast<double>(util::MonotonicNowNanos() - state.refill_ns) /
+            1e9;
+        tokens = std::min(burst, tokens + elapsed_s * options_.rate_rps);
+      }
+      runtime.token_fill = tokens / burst;
+    } else {
+      runtime.token_fill = 1.0;  // Unlimited: always "full".
+    }
+  }
+  runtime.ewma_batch_ms =
+      static_cast<double>(
+          state.ewma_batch_ns.load(std::memory_order_relaxed)) /
+      1e6;
+  runtime.quality_enabled = state.quality != nullptr;
+  if (state.quality != nullptr) runtime.quality = state.quality->stats();
+  return runtime;
 }
 
 }  // namespace musenet::serve

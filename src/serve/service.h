@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "serve/quality.h"
 #include "serve/registry.h"
 #include "tensor/tensor.h"
 
@@ -64,6 +65,12 @@ struct ServiceOptions {
   double rate_rps = 0.0;
   /// Bucket capacity (burst size); <= 0 picks max(1, rate_rps).
   double burst = 0.0;
+  /// Feed each completed prediction and its request's ground-truth-delayed
+  /// label (Batch::target) into a per-tenant QualityMonitor, publishing
+  /// serve.quality.<tenant>.* gauges. Off by default: the monitor costs one
+  /// pass over the output grid per request.
+  bool monitor_quality = false;
+  QualityOptions quality;  ///< Monitor tuning when monitor_quality is set.
 };
 
 /// Multi-tenant forecast frontend: admission control and batched dispatch
@@ -119,10 +126,22 @@ class ForecastService {
   /// Queued (admitted, undispatched) requests for `tenant` right now.
   int64_t queue_depth(const std::string& tenant) const;
 
+  /// Point-in-time runtime state of one tenant, for /statusz.
+  struct TenantRuntime {
+    int64_t queue_depth = 0;      ///< Admitted, undispatched requests.
+    double token_fill = 0.0;      ///< Token-bucket fill, 1.0 = full burst.
+    double ewma_batch_ms = 0.0;   ///< EWMA batch service time.
+    bool quality_enabled = false;
+    QualityMonitor::Stats quality;  ///< Zero when quality_enabled is false.
+  };
+  /// Runtime state of `tenant`; all-defaults for an unknown tenant.
+  TenantRuntime runtime(const std::string& tenant) const;
+
  private:
   struct Pending {
     data::Batch batch;
     std::promise<tensor::Tensor> promise;
+    int64_t request_id = 0;   ///< Service-unique trace-correlation id.
     int64_t enqueue_ns = 0;
     int64_t deadline_ns = 0;  ///< 0 = none.
   };
@@ -138,6 +157,8 @@ class ForecastService {
     /// EWMA of batch service time, for deadline-aware admission. Atomic so
     /// Submit reads it without taking the dispatch-side lock.
     std::atomic<int64_t> ewma_batch_ns{0};
+    /// Forecast-quality monitor (nullptr unless options.monitor_quality).
+    std::unique_ptr<QualityMonitor> quality;
     std::thread dispatcher;
   };
 
@@ -152,6 +173,9 @@ class ForecastService {
   ModelRegistry& registry_;
   ServiceOptions options_;
   std::atomic<bool> draining_{false};
+  /// Mints Pending::request_id. Service-scoped (not per-tenant) so a rid
+  /// names exactly one request across every tenant's spans and exemplars.
+  std::atomic<int64_t> next_request_id_{1};
   std::map<std::string, std::unique_ptr<TenantState>> tenants_;
 };
 

@@ -19,10 +19,18 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "data/dataset.h"
 #include "eval/forecaster.h"
 #include "muse/config.h"
 #include "muse/model.h"
+#include "obs/expo.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
@@ -442,6 +450,261 @@ TEST(RunLogTest, WriteMetricsSnapshotProducesJsonFile) {
   EXPECT_NE(contents->find("\"counters\""), std::string::npos);
   EXPECT_NE(contents->find("\"obs_test.snapshot_counter\""),
             std::string::npos);
+}
+
+// --- Percentile edge cases ---------------------------------------------------
+
+TEST(MetricsTest, HistogramPercentileEmptyIsNaN) {
+  obs::MetricsSnapshot::HistogramData empty;
+  empty.bounds = {1.0, 2.0};
+  empty.counts = {0, 0, 0};
+  EXPECT_TRUE(std::isnan(obs::HistogramPercentile(empty, 0.5)));
+  EXPECT_TRUE(std::isnan(obs::HistogramPercentile(empty, 0.99)));
+}
+
+TEST(MetricsTest, HistogramPercentileSinglePopulatedBucketInterpolates) {
+  obs::MetricsSnapshot::HistogramData h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {0, 0, 100, 0};  // All mass in (2, 4].
+  h.total = 100;
+  // Percentiles interpolate linearly across the one populated bucket: the
+  // p-quantile sits at fraction p of the way through (2, 4].
+  EXPECT_NEAR(obs::HistogramPercentile(h, 0.25), 2.5, 0.05);
+  EXPECT_NEAR(obs::HistogramPercentile(h, 0.50), 3.0, 0.05);
+  EXPECT_NEAR(obs::HistogramPercentile(h, 0.75), 3.5, 0.05);
+  const double p1 = obs::HistogramPercentile(h, 0.01);
+  const double p99 = obs::HistogramPercentile(h, 0.99);
+  EXPECT_GE(p1, 2.0);
+  EXPECT_LE(p99, 4.0);
+  EXPECT_LT(p1, p99);
+}
+
+TEST(MetricsTest, HistogramPercentileOverflowClampsToLastFiniteBound) {
+  obs::MetricsSnapshot::HistogramData h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {0, 1, 9};  // p50+ rank lands in the +Inf bucket.
+  h.total = 10;
+  EXPECT_EQ(obs::HistogramPercentile(h, 0.99), 2.0)
+      << "overflow percentiles clamp to the last finite bound rather than "
+         "inventing a value beyond it";
+
+  obs::MetricsSnapshot::HistogramData unbounded;
+  unbounded.counts = {5};  // Degenerate: only an overflow bucket exists.
+  unbounded.total = 5;
+  EXPECT_TRUE(std::isnan(obs::HistogramPercentile(unbounded, 0.5)));
+}
+
+// --- Two-arg spans + atexit flush -------------------------------------------
+
+TEST(TraceTest, TwoArgSpansEmitBothArgs) {
+  obs::StartTracing();
+  {
+    obs::ScopedSpan span("two_arg_span", "size", 4, "rid", 71);
+    obs::ScopedSpan late("late_arg_span");
+    late.SetArg2("rid", 72);
+    obs::TraceInstant("two_arg_instant", "size", 1, "rid", 73);
+  }
+  const std::string json = obs::TraceToJson();
+  obs::internal::g_tracing_enabled.store(false);
+  EXPECT_NE(json.find("\"args\":{\"size\":4,\"rid\":71}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"rid\":72}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"size\":1,\"rid\":73}"), std::string::npos);
+}
+
+TEST(TraceTest, AtExitFlushIsIdempotentAfterExplicitStop) {
+  const std::string explicit_path =
+      ::testing::TempDir() + "/obs_atexit_explicit.json";
+  const std::string atexit_path =
+      ::testing::TempDir() + "/obs_atexit_flush.json";
+
+  // An explicit stop consumed the trace; the atexit callback must not write
+  // an empty document over nothing-in-particular afterwards.
+  obs::StartTracing();
+  { obs::ScopedSpan span("atexit_span"); }
+  ASSERT_TRUE(obs::StopTracingAndWrite(explicit_path).ok());
+  std::remove(atexit_path.c_str());
+  obs::internal::RunAtExitFlushForTest(atexit_path);
+  EXPECT_FALSE(util::ReadFileToString(atexit_path).ok())
+      << "flush after explicit stop must be a no-op";
+
+  // A live trace flushes exactly once even if the callback reenters.
+  obs::StartTracing();
+  { obs::ScopedSpan span("atexit_live_span"); }
+  obs::internal::RunAtExitFlushForTest(atexit_path);
+  auto first = util::ReadFileToString(atexit_path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(first->find("\"atexit_live_span\""), std::string::npos);
+  std::remove(atexit_path.c_str());
+  obs::internal::RunAtExitFlushForTest(atexit_path);
+  EXPECT_FALSE(util::ReadFileToString(atexit_path).ok())
+      << "second flush must be a no-op (double-atexit safety)";
+}
+
+// --- Exemplars + Prometheus exposition ---------------------------------------
+
+TEST(MetricsTest, HistogramExemplarRoundTripsThroughSnapshot) {
+  obs::Histogram& hist =
+      obs::GetHistogram("obs_test.exemplar_hist", {1.0, 10.0, 100.0});
+  hist.Observe(5.0, /*exemplar_id=*/42);
+  hist.Observe(50.0, /*exemplar_id=*/43);
+  hist.Observe(0.5);  // No exemplar: plain observation.
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+  const auto it = snapshot.histograms.find("obs_test.exemplar_hist");
+  ASSERT_NE(it, snapshot.histograms.end());
+  const auto& data = it->second;
+  ASSERT_EQ(data.exemplar_ids.size(), 4u);
+  EXPECT_EQ(data.exemplar_ids[0], -1) << "(0.5, no id] bucket has none";
+  EXPECT_EQ(data.exemplar_ids[1], 42);
+  EXPECT_EQ(data.exemplar_values[1], 5.0);
+  EXPECT_EQ(data.exemplar_ids[2], 43);
+  EXPECT_EQ(data.exemplar_values[2], 50.0);
+
+  const std::string prom = obs::MetricsToPrometheus(snapshot);
+  EXPECT_NE(prom.find("# {request_id=\"42\"} 5"), std::string::npos);
+  EXPECT_NE(prom.find("# {request_id=\"43\"} 50"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusTextMatchesSnapshot) {
+  obs::GetCounter("obs_test.prom_counter").Add(7);
+  obs::GetGauge("obs_test.prom-gauge").Set(2.5);  // '-' sanitizes to '_'.
+  obs::GetHistogram("obs_test.prom_hist", {1.0, 2.0}).Observe(1.5);
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+  const std::string prom = obs::MetricsToPrometheus(snapshot);
+
+  EXPECT_NE(prom.find("# TYPE obs_test_prom_counter counter"),
+            std::string::npos)
+      << "'.' sanitizes to '_' and every metric keeps a TYPE line";
+  char line[96];
+  std::snprintf(line, sizeof(line), "obs_test_prom_counter %lld",
+                static_cast<long long>(
+                    snapshot.counters.at("obs_test.prom_counter")));
+  EXPECT_NE(prom.find(line), std::string::npos)
+      << "scrape value must equal Registry::Snapshot value";
+  EXPECT_NE(prom.find("obs_test_prom_gauge 2.5"), std::string::npos);
+  EXPECT_NE(prom.find("obs_test_prom_hist_bucket{le=\"2\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_test_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_test_prom_hist_count"), std::string::npos);
+}
+
+// --- Exposition server --------------------------------------------------------
+
+/// Minimal blocking HTTP/1.1 GET against 127.0.0.1:`port`. Returns the full
+/// response (status line + headers + body).
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ExpoServerTest, ServesMetricsHealthzAnd404) {
+  obs::GetCounter("obs_test.expo_counter").Add(3);
+  auto server = obs::ExpoServer::Start(/*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+  ASSERT_GT(port, 0);
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  // The scrape body carries the registry snapshot rendered to Prometheus
+  // text — including the exact counter value.
+  char line[96];
+  std::snprintf(line, sizeof(line), "obs_test_expo_counter %lld",
+                static_cast<long long>(
+                    obs::GetCounter("obs_test.expo_counter").Value()));
+  EXPECT_NE(metrics.find(line), std::string::npos);
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  EXPECT_NE(HttpGet(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+
+  server.value()->Stop();
+  server.value()->Stop();  // Idempotent.
+}
+
+// --- Flight recorder ----------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsAndDumpsRecentEvents) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  recorder.Record("obs_test.flight_a", 1, 2, "detail-a");
+  recorder.Record("obs_test.flight_b", 3);
+  const std::string json = recorder.ToJson("unit_test");
+  EXPECT_NE(json.find("\"reason\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("obs_test.flight_a"), std::string::npos);
+  EXPECT_NE(json.find("detail-a"), std::string::npos);
+  EXPECT_NE(json.find("obs_test.flight_b"), std::string::npos);
+  EXPECT_GE(recorder.recorded(), 2);
+}
+
+TEST(FlightRecorderTest, RingKeepsOnlyMostRecentEvents) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  recorder.Record("obs_test.flight_evicted");
+  for (int i = 0; i < obs::kFlightCapacity + 16; ++i) {
+    recorder.Record("obs_test.flight_filler", i);
+  }
+  const std::string json = recorder.ToJson("wrap");
+  EXPECT_EQ(json.find("obs_test.flight_evicted"), std::string::npos)
+      << "events older than the ring capacity must be gone";
+  EXPECT_NE(json.find("obs_test.flight_filler"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpRequiresConfiguredPath) {
+  obs::SetPostmortemPath("");
+  EXPECT_FALSE(obs::DumpFlightRecorder("no_path").ok());
+
+  const std::string path = ::testing::TempDir() + "/obs_postmortem.json";
+  obs::SetPostmortemPath(path);
+  obs::FlightRecorder::Instance().Record("obs_test.flight_dump", 9);
+  ASSERT_TRUE(obs::DumpFlightRecorder("explicit_dump").ok());
+  auto contents = util::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("\"reason\": \"explicit_dump\""),
+            std::string::npos);
+  EXPECT_NE(contents->find("obs_test.flight_dump"), std::string::npos);
+  obs::SetPostmortemPath("");
+}
+
+TEST(FlightRecorderDeathTest, FatalSignalWritesPostmortem) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "/obs_postmortem_crash.json";
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        obs::SetPostmortemPath(path);
+        obs::InstallCrashHandler();
+        obs::FlightRecorder::Instance().Record("obs_test.pre_crash", 7);
+        std::raise(SIGSEGV);
+      },
+      ::testing::KilledBySignal(SIGSEGV), "");
+  auto contents = util::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok())
+      << "the crash handler must leave a post-mortem behind";
+  EXPECT_NE(contents->find("\"reason\": \"SIGSEGV\""), std::string::npos);
+  EXPECT_NE(contents->find("obs_test.pre_crash"), std::string::npos);
 }
 
 }  // namespace

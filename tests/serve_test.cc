@@ -56,12 +56,22 @@ void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "data/dataset.h"
 #include "muse/model.h"
+#include "obs/expo.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/loadgen.h"
+#include "serve/quality.h"
 #include "serve/registry.h"
 #include "serve/service.h"
+#include "serve/status.h"
 #include "serve/watcher.h"
 #include "sim/presets.h"
 #include "tensor/serialize.h"
@@ -405,10 +415,16 @@ TEST(ServeStressTest, RegistryServedPlanReplaysWithoutAllocating) {
 
   const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
   for (int i = 0; i < 16; ++i) {
+    // Request-id propagation rides the replay hot path (an int64 span arg,
+    // set per batch by the dispatcher) — it must not break the
+    // zero-allocation contract.
+    plan->engine->set_trace_request_id(1000 + i);
     ASSERT_TRUE(plan->engine->PredictInto(probe, &out).ok());
+    plan->engine->set_trace_request_id(-1);
   }
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
-      << "steady-state replay on a registry-served plan must not allocate";
+      << "steady-state replay on a registry-served plan must not allocate, "
+         "request-id propagation included";
 }
 
 // --- (f) Admission control ----------------------------------------------------
@@ -686,7 +702,262 @@ TEST(ServeObsTest, HistogramPercentileInterpolatesWithinBuckets) {
   obs::MetricsSnapshot::HistogramData empty;
   empty.bounds = {1.0};
   empty.counts = {0, 0};
-  EXPECT_EQ(obs::HistogramPercentile(empty, 0.5), 0.0);
+  EXPECT_TRUE(std::isnan(obs::HistogramPercentile(empty, 0.5)))
+      << "an empty histogram has no percentiles, and 0.0 would read as a "
+         "(great) real latency";
+}
+
+// --- (h) Observability plane --------------------------------------------------
+
+/// Minimal blocking HTTP/1.1 GET against 127.0.0.1:`port`.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServeObsTest, MetricsScrapeMatchesRegistrySnapshot) {
+  const std::string path = TempPath("serve_scrape.tnsr");
+  WriteModelContainer(path, 61);
+
+  serve::ModelRegistry registry(ProbedOptions());
+  ASSERT_TRUE(registry.Load(TinySpecFor("bike", path)).ok());
+  serve::ForecastService service(registry);
+  for (int i = 0; i < 3; ++i) {
+    service.Submit("bike", TinyBatch(3, 4, 62 + static_cast<uint64_t>(i)))
+        .get();
+  }
+
+  auto server = obs::ExpoServer::Start(/*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  serve::RegisterServeEndpoints(*server.value(), registry, &service);
+
+  const std::string scrape = HttpGet(server.value()->port(), "/metrics");
+  EXPECT_NE(scrape.find("HTTP/1.1 200"), std::string::npos);
+  // The scraped serve.* counters equal a Registry::Snapshot taken with the
+  // service quiescent (every future fulfilled).
+  const obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+  for (const char* name : {"serve.requests", "serve.admitted",
+                           "serve.completed"}) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "serve_%s %lld", name + 6,
+                  static_cast<long long>(snapshot.counters.at(name)));
+    EXPECT_NE(scrape.find(line), std::string::npos)
+        << name << ": expected '" << line << "' in the scrape";
+  }
+  EXPECT_NE(scrape.find("serve_latency_ms_bucket"), std::string::npos);
+
+  const std::string health = HttpGet(server.value()->port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(health.find("ready bike v1"), std::string::npos);
+}
+
+TEST(ServeObsTest, StatuszDuringInFlightSwapIsNeverTorn) {
+  const std::string path = TempPath("serve_statusz_swap.tnsr");
+  WriteModelContainer(path, 63);
+
+  // Pin the swap at the shadow stage: the hook blocks the swapping thread
+  // until the main thread has scraped /statusz mid-swap.
+  std::promise<void> reached_shadow;
+  std::promise<void> release_shadow;
+  auto reached = reached_shadow.get_future();
+  auto release = release_shadow.get_future().share();
+  serve::RegistryOptions options = ProbedOptions();
+  std::atomic<bool> pinned_once{false};
+  options.stage_hook = [&](const std::string&, const char* stage) {
+    if (std::string(stage) == "shadow" &&
+        !pinned_once.exchange(true)) {
+      reached_shadow.set_value();
+      release.wait();
+    }
+  };
+  serve::ModelRegistry registry(std::move(options));
+  // Initial Load also passes "shadow"; consume that pin immediately.
+  std::thread unpin_load([&] {
+    reached.wait();
+    release_shadow.set_value();
+  });
+  ASSERT_TRUE(registry.Load(TinySpecFor("bike", path)).ok());
+  unpin_load.join();
+
+  // Re-arm the pin for the swap.
+  pinned_once.store(false);
+  reached_shadow = std::promise<void>();
+  release_shadow = std::promise<void>();
+  reached = reached_shadow.get_future();
+  release = release_shadow.get_future().share();
+
+  WriteModelContainer(path, 64);
+  std::thread swapper([&] { ASSERT_TRUE(registry.Swap("bike").ok()); });
+  reached.wait();
+
+  // Mid-swap: the active plan is still v1 and internally consistent; the
+  // in-flight candidate is visible as progress metadata.
+  const std::string mid = serve::StatusJson(registry, nullptr);
+  EXPECT_NE(mid.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(mid.find("\"swap_state\":\"shadow\""), std::string::npos);
+  EXPECT_NE(mid.find("\"candidate_version\":2"), std::string::npos);
+  const auto statuses = registry.TenantStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].version, 1);
+  EXPECT_NE(statuses[0].content_hash, 0u)
+      << "plan fields must come from one snapshot, never a torn mix";
+
+  release_shadow.set_value();
+  swapper.join();
+
+  const std::string after = serve::StatusJson(registry, nullptr);
+  EXPECT_NE(after.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(after.find("\"swap_state\":\"idle\""), std::string::npos);
+  EXPECT_NE(after.find("\"candidate_version\":0"), std::string::npos);
+}
+
+TEST(ServeObsTest, ShadowRejectionDumpsFlightRecorderPostmortem) {
+  InjectorGuard guard;
+  const std::string path = TempPath("serve_reject_dump.tnsr");
+  WriteModelContainer(path, 65);
+  const std::string postmortem = TempPath("serve_reject_postmortem.json");
+  std::remove(postmortem.c_str());
+  obs::SetPostmortemPath(postmortem);
+
+  serve::ModelRegistry registry(ProbedOptions());
+  ASSERT_TRUE(registry.Load(TinySpecFor("bike", path)).ok());
+
+  util::FaultInjector::Instance().ArmSwapCorrupt();
+  EXPECT_FALSE(registry.Swap("bike").ok());
+  obs::SetPostmortemPath("");
+
+  auto contents = util::ReadFileToString(postmortem);
+  ASSERT_TRUE(contents.ok())
+      << "a shadow rejection must leave a post-mortem behind";
+  EXPECT_NE(contents->find("\"reason\": \"shadow_rejection\""),
+            std::string::npos);
+  EXPECT_NE(contents->find("serve.swap.rejected"), std::string::npos);
+  EXPECT_NE(contents->find("serve.swap.stage"), std::string::npos)
+      << "the dump should carry the stage breadcrumbs leading up to the "
+         "rejection";
+}
+
+TEST(ServeObsTest, LatencyExemplarResolvesToRequestSpanInTrace) {
+  const std::string path = TempPath("serve_exemplar.tnsr");
+  WriteModelContainer(path, 66);
+
+  serve::ModelRegistry registry(ProbedOptions());
+  ASSERT_TRUE(registry.Load(TinySpecFor("bike", path)).ok());
+
+  obs::StartTracing();
+  {
+    serve::ForecastService service(registry);
+    for (int i = 0; i < 4; ++i) {
+      service
+          .Submit("bike", TinyBatch(3, 4, 67 + static_cast<uint64_t>(i)))
+          .get();
+    }
+  }
+  const std::string trace = obs::TraceToJson();
+  obs::internal::g_tracing_enabled.store(false);
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+  const auto it = snapshot.histograms.find("serve.latency_ms");
+  ASSERT_NE(it, snapshot.histograms.end());
+  int64_t exemplar = -1;
+  for (const int64_t id : it->second.exemplar_ids) {
+    exemplar = std::max(exemplar, id);
+  }
+  ASSERT_GE(exemplar, 0) << "completed requests must leave an exemplar";
+
+  // The exemplar id resolves to this request's submit instant and to the
+  // batch span that served it — the scrape-to-trace correlation contract.
+  const std::string rid_arg = "\"rid\":" + std::to_string(exemplar);
+  EXPECT_NE(trace.find("\"serve.request\""), std::string::npos);
+  EXPECT_NE(trace.find(rid_arg), std::string::npos)
+      << "exemplar rid " << exemplar << " must appear as a span arg";
+  EXPECT_NE(trace.find("\"serve.batch\""), std::string::npos);
+}
+
+TEST(ServeObsTest, QualityMonitorTracksMaeBiasAndFlagsDrift) {
+  serve::QualityOptions options;
+  options.burn_in = 8;
+  options.cusum_threshold = 4.0;
+  serve::QualityMonitor monitor("qtest", options);
+
+  constexpr int64_t kCells = 6;
+  std::vector<float> truth(kCells, 1.0f);
+  std::vector<float> good(kCells, 1.1f);  // |err| = 0.1, bias +0.1.
+  for (int i = 0; i < 64; ++i) {
+    monitor.Observe(good.data(), truth.data(), kCells);
+  }
+  serve::QualityMonitor::Stats stats = monitor.stats();
+  EXPECT_EQ(stats.samples, 64);
+  EXPECT_EQ(stats.cells, kCells);
+  EXPECT_NEAR(stats.mae, 0.1, 1e-3);
+  EXPECT_NEAR(stats.bias, 0.1, 1e-3);
+  EXPECT_EQ(stats.drifted_cells, 0)
+      << "stable error within the CUSUM allowance must not drift";
+
+  // A 10x error shift accumulates CUSUM mass fast and flags every cell.
+  std::vector<float> bad(kCells, 2.0f);  // |err| = 1.0 vs reference ~0.1.
+  for (int i = 0; i < 32; ++i) {
+    monitor.Observe(bad.data(), truth.data(), kCells);
+  }
+  stats = monitor.stats();
+  EXPECT_GT(stats.cusum_max, options.cusum_threshold);
+  EXPECT_EQ(stats.drifted_cells, kCells)
+      << "a sustained shift must flag every cell";
+  EXPECT_GT(stats.mae, 0.5);
+
+  // The gauges publish the same numbers.
+  EXPECT_NEAR(obs::GetGauge("serve.quality.qtest.mae").Value(), stats.mae,
+              1e-12);
+  EXPECT_EQ(obs::GetGauge("serve.quality.qtest.drifted_cells").Value(),
+            static_cast<double>(stats.drifted_cells));
+}
+
+TEST(ServeObsTest, ServiceFeedsQualityMonitorFromServePath) {
+  const std::string path = TempPath("serve_quality_feed.tnsr");
+  WriteModelContainer(path, 68);
+
+  serve::ModelRegistry registry(ProbedOptions());
+  ASSERT_TRUE(registry.Load(TinySpecFor("bike", path)).ok());
+  serve::ServiceOptions options;
+  options.monitor_quality = true;
+  serve::ForecastService service(registry, options);
+
+  for (int i = 0; i < 5; ++i) {
+    service.Submit("bike", TinyBatch(3, 4, 69 + static_cast<uint64_t>(i)))
+        .get();
+  }
+  const serve::ForecastService::TenantRuntime runtime =
+      service.runtime("bike");
+  EXPECT_TRUE(runtime.quality_enabled);
+  EXPECT_EQ(runtime.quality.samples, 5);
+  EXPECT_EQ(runtime.quality.cells, 2 * 3 * 4);
+  EXPECT_GT(runtime.quality.mae, 0.0)
+      << "random targets vs real predictions must show nonzero error";
+
+  const std::string statusz = serve::StatusJson(registry, &service);
+  EXPECT_NE(statusz.find("\"quality\":{\"samples\":5"), std::string::npos);
+  EXPECT_NE(statusz.find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(statusz.find("\"token_fill\":"), std::string::npos);
+  EXPECT_NE(statusz.find("\"ewma_batch_ms\":"), std::string::npos);
 }
 
 }  // namespace

@@ -11,7 +11,8 @@
 // writes a checkpoint; `evaluate` reports test metrics; `predict` prints one
 // frame's forecast next to the ground truth; `serve` runs the batched
 // inference session against simulated clients (or, with --models, the
-// multi-tenant hot-swap serving stack); `bench-infer` times the
+// multi-tenant hot-swap serving stack; --obs-port exposes live /metrics,
+// /healthz and /statusz over HTTP); `bench-infer` times the
 // graph-free engine against the autograd Predict path. Model
 // hyper-parameters at train and load time must match (the checkpoint loader
 // validates shapes).
@@ -36,6 +37,8 @@
 #include "eval/evaluate.h"
 #include "infer/engine.h"
 #include "infer/session.h"
+#include "obs/expo.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
@@ -43,6 +46,7 @@
 #include "serve/loadgen.h"
 #include "serve/registry.h"
 #include "serve/service.h"
+#include "serve/status.h"
 #include "serve/watcher.h"
 #include "sim/presets.h"
 #include "sim/serialize.h"
@@ -95,6 +99,33 @@ sim::DatasetId ParseDataset(const std::string& name) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Shared --obs-port / --postmortem handling for the serving commands.
+/// Starts the exposition server when --obs-port is present (0 = ephemeral;
+/// the bound port is printed so scripts can scrape it) and arms the
+/// flight-recorder post-mortem when --postmortem names a dump path.
+/// Returns false (with a message on stderr) when the server fails to bind.
+bool StartObservability(const Args& args,
+                        std::unique_ptr<obs::ExpoServer>* server) {
+  if (args.Has("postmortem")) {
+    obs::SetPostmortemPath(args.Get("postmortem", ""));
+    obs::InstallCrashHandler();
+  }
+  if (!args.Has("obs-port")) return true;
+  auto started = obs::ExpoServer::Start(args.GetInt("obs-port", 0));
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: --obs-port: %s\n",
+                 started.status().ToString().c_str());
+    return false;
+  }
+  *server = std::move(started).value();
+  std::printf("obs: listening on 127.0.0.1:%d (/metrics /healthz%s)\n",
+              (*server)->port(), args.Has("models") ? " /statusz" : "");
+  // Scrape drills read the bound port from a redirected log while the
+  // process is still serving; don't leave the line in the stdio buffer.
+  std::fflush(stdout);
+  return true;
 }
 
 /// Shared --specialize / --precision / --max-abs-delta parsing for serve and
@@ -369,6 +400,8 @@ int Serve(const Args& args) {
   const std::string trace_out = args.Get("trace-out", "");
   const std::string metrics_out = args.Get("metrics-out", "");
   if (!trace_out.empty()) obs::StartTracing();
+  std::unique_ptr<obs::ExpoServer> obs_server;
+  if (!StartObservability(args, &obs_server)) return 2;
 
   const auto& test = loaded->dataset.test_indices();
   if (test.empty()) {
@@ -855,7 +888,17 @@ int ServeMulti(const Args& args) {
   sopts.shed_policy = serve::ParseShedPolicy(args.Get("shed-policy", "reject"));
   sopts.rate_rps = args.GetDouble("rate-rps", 0.0);
   sopts.burst = args.GetDouble("burst", 0.0);
+  sopts.monitor_quality = args.GetInt("quality", 0) != 0;
   serve::ForecastService service(registry, sopts);
+
+  // The exposition server is declared after the service so its handlers
+  // (which read registry + service state) are unregistered — the server
+  // thread joins — before either is destroyed.
+  std::unique_ptr<obs::ExpoServer> obs_server;
+  if (!StartObservability(args, &obs_server)) return 2;
+  if (obs_server != nullptr) {
+    serve::RegisterServeEndpoints(*obs_server, registry, &service);
+  }
 
   std::unique_ptr<serve::SwapWatcher> watcher;
   if (args.GetInt("hot-swap-watch", 0) != 0) {
@@ -1074,15 +1117,21 @@ int Usage() {
       "            [--specialize 0|1] [--precision fp32|int8|bf16]\n"
       "            [--max-abs-delta D] [--trace-out FILE]\n"
       "            [--metrics-out FILE]\n"
+      "            [--obs-port P]  (HTTP /metrics /healthz; 0 = ephemeral,\n"
+      "            bound port is printed)  [--postmortem FILE]  (flight-\n"
+      "            recorder dump on fatal signal / shadow rejection)\n"
       "            Multi-tenant mode (hot-swap + admission control):\n"
       "            --models name=ckpt[:precision],...  [--probes N]\n"
       "            [--hot-swap-watch 0|1] [--watch-interval-ms MS]\n"
       "            [--max-queue Q] [--deadline-ms MS]\n"
       "            [--shed-policy reject|oldest] [--rate-rps R] [--burst B]\n"
+      "            [--quality 0|1]  (rolling MAE/bias + CUSUM drift gauges)\n"
       "            [--loadgen 0|1] [--duration-s S] [--peak-rps R]\n"
       "            [--sim-days N] [--run-log FILE]\n"
       "            [--bench 0|1] [--bench-out FILE] [--load-mults 1,4,8]\n"
       "            [--calib-s S] [--phase-s S] [--max-outstanding N]\n"
+      "            --obs-port additionally serves /statusz (JSON tenant +\n"
+      "            queue + drift status; ?dump=1 dumps the flight recorder)\n"
       "            SIGINT/SIGTERM drain queues, flush telemetry, exit 0.\n"
       "  bench-infer --flows FILE --ckpt FILE [--iters N] [--batch B]\n"
       "            [--specialize 0|1] [--precision fp32|int8|bf16]\n"
@@ -1104,6 +1153,8 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace musenet;
   if (argc < 2) return Usage();
+  obs::AutoInitFromEnv();            // MUSENET_TRACE=<path>
+  obs::AutoInitPostmortemFromEnv();  // MUSENET_POSTMORTEM=<path>
   const std::string command = argv[1];
   const Args args(argc, argv);
   if (command == "simulate") return Simulate(args);

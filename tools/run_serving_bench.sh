@@ -43,6 +43,17 @@ cli="$build_dir/tools/musenet"
   --phase-s "${MUSE_SERVE_PHASE_S:-3}" \
   --load-mults 1,4,8
 
+# Gate against the committed baseline before overwriting it: a p50 more
+# than MUSE_BENCH_TOL (fraction, default 0.25) above the committed number
+# fails here instead of silently becoming the new baseline. Set
+# MUSE_BENCH_TOL higher on noisy machines.
+if [[ -f "$repo_root/BENCH_serving.json" ]]; then
+  python3 "$repo_root/tools/check_bench_regression.py" \
+    --committed "$repo_root/BENCH_serving.json" \
+    --fresh "$workdir/serving.json" \
+    --tolerance "${MUSE_BENCH_TOL:-0.25}"
+fi
+
 provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
 
 python3 - "$workdir/serving.json" "$repo_root/BENCH_serving.json" \
