@@ -10,7 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "autograd/variable.h"
 #include "baselines/deepstn.h"
 #include "data/dataset.h"
 #include "muse/model.h"
@@ -18,6 +24,8 @@
 #include "optim/optimizer.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/shard_context.h"
+#include "util/thread_pool.h"
 
 namespace musenet {
 namespace {
@@ -73,6 +81,98 @@ void BM_MuseNetTrainStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch_size);
 }
 BENCHMARK(BM_MuseNetTrainStep)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Data-parallel training step (see DESIGN.md "Data-parallel training"):
+/// the mini-batch splits into a fixed four shards whose forward+backward
+/// run across `workers` threads on private autograd graphs (LeafGradSink
+/// diverting leaf gradients into per-shard buffers, ShardContext remapping
+/// module RNG streams), combined by the deterministic tree reduction. Shard
+/// batches are pre-assembled, as the prefetcher arranges during training,
+/// so the measurement isolates the compute step. Workers=1 is the sharding
+/// overhead floor; the workers sweep is the scaling headline
+/// (`steps_per_sec_by_workers` in BENCH_training.json).
+void BM_MuseNetTrainStepSharded(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  const int num_workers = static_cast<int>(state.range(1));
+  constexpr int kShards = 4;
+  muse::MuseNetConfig config;
+  config.grid_h = kGridH;
+  config.grid_w = kGridW;
+  config.repr_dim = 12;
+  config.dist_dim = 32;
+  muse::MuseNet model(config, 7);
+  optim::Adam optimizer(model.Parameters(), 2e-4);
+  const std::vector<ag::Variable>& params = optimizer.params();
+  std::vector<data::Batch> shard_batches;
+  for (int s = 0; s < kShards; ++s) {
+    shard_batches.push_back(
+        MakeSyntheticBatch(batch_size / kShards, config.periodicity));
+  }
+  std::vector<std::pair<std::string, Rng*>> named = model.NamedRngs();
+  std::unique_ptr<util::ThreadPool> pool;
+  if (num_workers > 1) {
+    pool = std::make_unique<util::ThreadPool>(num_workers);
+  }
+
+  for (auto _ : state) {
+    std::vector<std::vector<Rng>> children(kShards);
+    for (auto& [name, parent] : named) {
+      (void)name;
+      for (int s = 0; s < kShards; ++s) {
+        children[s].push_back(parent->Fork(static_cast<uint64_t>(s)));
+      }
+    }
+    std::vector<optim::ShardGradients> grads(kShards);
+    std::vector<std::vector<std::function<void()>>> deferred(kShards);
+    model.ZeroGrad();
+    auto run_shard = [&](int s) {
+      util::ShardContext context(s, kShards);
+      for (size_t k = 0; k < named.size(); ++k) {
+        context.MapRng(named[k].second, &children[s][k]);
+      }
+      util::ShardContext::Scope scope(&context);
+      grads[s].grads.resize(params.size());
+      grads[s].present.assign(params.size(), 0);
+      ag::LeafGradSink sink;
+      auto forward = model.Forward(shard_batches[s], /*stochastic=*/true);
+      ag::Variable loss =
+          model.ComputeLoss(forward, shard_batches[s], nullptr);
+      ag::BackwardWithSeed(
+          loss, ts::Tensor::Full(loss.value().shape(), 1.0f / kShards));
+      benchmark::DoNotOptimize(loss.value().scalar());
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (sink.Take(params[i].node().get(), &grads[s].grads[i])) {
+          grads[s].present[i] = 1;
+        }
+      }
+      deferred[s] = std::move(context.deferred());
+      ag::ReleaseGraph(loss);
+    };
+    if (pool != nullptr) {
+      pool->ParallelForAcross(0, kShards, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) run_shard(static_cast<int>(s));
+      });
+    } else {
+      for (int s = 0; s < kShards; ++s) run_shard(s);
+    }
+    for (auto& shard : deferred) {
+      for (auto& update : shard) update();
+    }
+    optim::ReduceShardGradients(params, &grads);
+    optim::ClipGradNorm(params, kClipNorm);
+    optimizer.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+// UseRealTime: with workers > 1 the compute runs on pool threads, so the
+// default main-thread CPU clock would overstate scaling; wall clock is the
+// honest steps/s basis.
+BENCHMARK(BM_MuseNetTrainStepSharded)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// Exposes the protected differentiable forward so the bench can drive the
 /// exact per-batch step that NeuralForecaster::Train runs.

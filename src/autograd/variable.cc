@@ -10,10 +10,67 @@
 
 namespace musenet::autograd {
 
+namespace {
+
+thread_local LeafGradSink* t_leaf_sink = nullptr;
+
+/// True when contributions to `node` should divert into the calling
+/// thread's sink: parameter-style leaves only (constants lack
+/// requires_grad; interior nodes have inputs or a backward fn).
+inline bool SinkDiverts(const Node& node) {
+  return t_leaf_sink != nullptr && node.requires_grad && !node.backward &&
+         node.inputs.empty();
+}
+
+}  // namespace
+
+LeafGradSink::LeafGradSink() : previous_(t_leaf_sink) {
+  t_leaf_sink = this;
+}
+
+LeafGradSink::~LeafGradSink() { t_leaf_sink = previous_; }
+
+LeafGradSink* LeafGradSink::Current() { return t_leaf_sink; }
+
+void LeafGradSink::Accumulate(const Node& node, const tensor::Tensor& g) {
+  for (auto& [key, grad] : grads_) {
+    if (key == &node) {
+      tensor::AddInPlace(grad, g);
+      return;
+    }
+  }
+  grads_.emplace_back(&node, g);
+}
+
+void LeafGradSink::Accumulate(const Node& node, tensor::Tensor&& g) {
+  for (auto& [key, grad] : grads_) {
+    if (key == &node) {
+      tensor::AddInPlace(grad, g);
+      return;
+    }
+  }
+  grads_.emplace_back(&node, std::move(g));
+}
+
+bool LeafGradSink::Take(const Node* node, tensor::Tensor* grad) {
+  for (auto& [key, buffer] : grads_) {
+    if (key == node) {
+      *grad = std::move(buffer);
+      key = nullptr;  // A taken entry can never match again.
+      return true;
+    }
+  }
+  return false;
+}
+
 void AccumulateGrad(Node& node, const tensor::Tensor& g) {
   MUSE_CHECK(g.shape() == node.value.shape())
       << "gradient shape " << g.shape().ToString() << " vs value shape "
       << node.value.shape().ToString() << " (op " << node.op_name << ")";
+  if (SinkDiverts(node)) {
+    t_leaf_sink->Accumulate(node, g);
+    return;
+  }
   if (!node.grad_initialized) {
     node.grad = g;
     node.grad_initialized = true;
@@ -28,6 +85,10 @@ void AccumulateGrad(Node& node, tensor::Tensor&& g) {
   MUSE_CHECK(g.shape() == node.value.shape())
       << "gradient shape " << g.shape().ToString() << " vs value shape "
       << node.value.shape().ToString() << " (op " << node.op_name << ")";
+  if (SinkDiverts(node)) {
+    t_leaf_sink->Accumulate(node, std::move(g));
+    return;
+  }
   if (!node.grad_initialized) {
     node.grad = std::move(g);
     node.grad_initialized = true;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "autograd/op_kind.h"
@@ -33,8 +34,54 @@ struct Node {
 /// value's shape. The first contribution initializes the accumulator (the
 /// rvalue overload moves it in without a copy); later contributions add in
 /// place — no per-accumulation allocation either way.
+///
+/// While a `LeafGradSink` is installed on the calling thread, contributions
+/// to leaf nodes with `requires_grad` are diverted into the sink instead of
+/// the node (see LeafGradSink).
 void AccumulateGrad(Node& node, const tensor::Tensor& g);
 void AccumulateGrad(Node& node, tensor::Tensor&& g);
+
+/// Thread-local redirect of leaf-gradient accumulation, installed by the
+/// data-parallel training step around each shard's backward pass.
+///
+/// Interior nodes of a shard's graph are private to the shard that built
+/// it, but the parameter leaves are shared by every shard's graph —
+/// concurrent backward passes would race on their `grad` accumulators.
+/// While a sink is installed, AccumulateGrad diverts contributions to leaf
+/// nodes (`requires_grad`, no inputs, no backward fn) into the sink's
+/// private buffers, with exactly the accumulator's semantics: first
+/// contribution copies (or moves) in, later ones add in place. The training
+/// step drains each shard's sink with `Take` and combines the per-shard
+/// buffers with a deterministic tree reduction
+/// (optim::ReduceShardGradients), so the final parameter gradients are
+/// bit-exact for a given shard count regardless of how shards were
+/// scheduled onto threads.
+class LeafGradSink {
+ public:
+  LeafGradSink();
+  ~LeafGradSink();
+
+  LeafGradSink(const LeafGradSink&) = delete;
+  LeafGradSink& operator=(const LeafGradSink&) = delete;
+
+  /// The sink installed on the calling thread, or nullptr. Sinks nest;
+  /// the innermost wins.
+  static LeafGradSink* Current();
+
+  /// Accumulates `g` into the buffer for `node` (AccumulateGrad calls this).
+  void Accumulate(const Node& node, const tensor::Tensor& g);
+  void Accumulate(const Node& node, tensor::Tensor&& g);
+
+  /// Moves the accumulated gradient for `node` into `*grad`; returns false
+  /// (leaving `*grad` untouched) when backward never reached the node.
+  bool Take(const Node* node, tensor::Tensor* grad);
+
+  size_t size() const { return grads_.size(); }
+
+ private:
+  std::vector<std::pair<const Node*, tensor::Tensor>> grads_;
+  LeafGradSink* previous_ = nullptr;
+};
 
 /// Shared handle to a computation-graph node; the user-facing autograd type.
 ///

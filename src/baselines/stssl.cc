@@ -2,6 +2,7 @@
 
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/shard_context.h"
 
 namespace musenet::baselines {
 
@@ -72,8 +73,11 @@ eval::TrainDriver StSslLite::MakeTrainDriver() {
         {ag::Constant(batch.closeness), ag::Constant(batch.period)}, 1);
     ts::Tensor mask = ts::Tensor::Uninitialized(raw.value().shape());
     float* pm = mask.mutable_data();
+    // Shard-local child stream under data-parallel training, mask_rng_
+    // itself otherwise.
+    Rng& mask_rng = util::ShardRng(mask_rng_);
     for (int64_t i = 0; i < mask.num_elements(); ++i) {
-      pm[i] = mask_rng_.Bernoulli(mask_rate_) ? 0.0f : 1.0f;
+      pm[i] = mask_rng.Bernoulli(mask_rate_) ? 0.0f : 1.0f;
     }
     ag::Variable masked = ag::Mul(raw, ag::Constant(std::move(mask)));
     ag::Variable masked_features = conv2_.Forward(conv1_.Forward(masked));

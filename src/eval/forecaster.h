@@ -58,6 +58,25 @@ struct TrainConfig {
   FailurePolicy on_non_finite = FailurePolicy::kAbort;
   int max_rollbacks = 2;  ///< kRollback budget before giving up.
 
+  // --- Data-parallel training (consumed by eval::RunTraining) ---------------
+
+  /// Worker threads for the sharded training step. Each step's mini-batch
+  /// splits into `train_shards` shards whose forward+backward run across
+  /// these workers; gradients combine via a deterministic tree reduction.
+  /// Inside a pipeline stage running under `--jobs`, the request is capped
+  /// so stage workers x train workers stay within the global pool size
+  /// (util::NestedParallelBudget). 1 = single-stream training.
+  int train_workers = 1;
+  /// Fixed shard count, the determinism knob: results are bit-exact for a
+  /// given shard count regardless of `train_workers`. 0 = follow
+  /// train_workers. 1 behaves exactly like (and shares the code path's
+  /// numerics with) classic single-stream training.
+  int train_shards = 0;
+  /// Assemble the next step's shard batches on a dedicated thread while the
+  /// current step computes. Assembly is a pure gather+normalize — no RNG —
+  /// so prefetching never changes results.
+  bool prefetch = false;
+
   // --- Run telemetry (consumed by eval::RunTraining) ------------------------
 
   /// JSONL run-log path (per-step loss/grad-norm, per-epoch summaries,

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -24,8 +30,10 @@
 #include "util/check.h"
 #include "util/fault_injector.h"
 #include "util/rng.h"
+#include "util/shard_context.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace musenet::eval {
 
@@ -333,11 +341,323 @@ struct TrainMetrics {
       obs::GetHistogram("train.validate_ms", obs::LatencyBucketsMs());
   obs::Histogram& checkpoint_ms =
       obs::GetHistogram("train.checkpoint_ms", obs::LatencyBucketsMs());
+  obs::Counter& shard_steps = obs::GetCounter("train.shard_steps");
+  obs::Counter& prefetch_hits = obs::GetCounter("train.prefetch_hits");
+  obs::Counter& prefetch_misses = obs::GetCounter("train.prefetch_misses");
+  obs::Gauge& workers_granted = obs::GetGauge("train.workers_granted");
 
   static TrainMetrics& Get() {
     static TrainMetrics* metrics = new TrainMetrics();  // Leaked singleton.
     return *metrics;
   }
+};
+
+/// Near-equal shard split: the first `total % num_shards` shards take one
+/// extra sample. Same rule as the inference engine's lane split, and the
+/// contract the determinism tests pin down — results depend on this split,
+/// never on which worker ran which shard.
+std::vector<size_t> ShardSizes(size_t total, int num_shards) {
+  std::vector<size_t> sizes(static_cast<size_t>(num_shards), 0);
+  const size_t base = total / static_cast<size_t>(num_shards);
+  const size_t extra = total % static_cast<size_t>(num_shards);
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    sizes[s] = base + (s < extra ? 1 : 0);
+  }
+  return sizes;
+}
+
+/// One data-parallel training step: the mini-batch splits into a FIXED
+/// number of shards; each shard runs forward+backward on a private autograd
+/// graph (leaf gradients diverted into per-shard buffers by
+/// ag::LeafGradSink, module-held RNG streams remapped to per-step child
+/// streams, BatchNorm running-stat updates deferred, conv scratch
+/// per-shard); the per-shard gradients then combine through a
+/// fixed-topology tree reduction (optim::ReduceShardGradients).
+///
+/// Determinism contract: the result is a function of the shard count only.
+/// Workers decide which thread runs a shard, never what the shard computes
+/// or the order gradients combine, so workers=1/2/4 at the same shard count
+/// produce byte-identical checkpoints. With num_shards == 1 no child
+/// streams are forked and the single shard's backward seeds with weight
+/// 1.0, matching classic single-stream training bit-for-bit.
+class ShardedStep {
+ public:
+  ShardedStep(const TrainDriver& driver,
+              const std::vector<ag::Variable>& params, int num_shards,
+              int num_workers)
+      : driver_(driver),
+        params_(params),
+        num_shards_(num_shards),
+        named_rngs_(driver.module->NamedRngs()) {
+    if (num_workers > 1) {
+      // Private pool: shard bodies run module kernels that themselves call
+      // ParallelFor on the global pool; dispatching across a DISTINCT pool
+      // (ParallelForAcross) keeps that nesting deadlock-free while inner
+      // kernels degrade to sequential chunks inside each shard thread.
+      pool_ = std::make_unique<util::ThreadPool>(num_workers);
+    }
+  }
+
+  int num_shards() const { return num_shards_; }
+
+  /// Runs the step for the mini-batch at `begin`. On return the combined
+  /// gradients sit in the parameter accumulators exactly as a single
+  /// Backward would leave them, every shard graph is released, and deferred
+  /// module updates have replayed in shard order. Returns the batch loss
+  /// (shard losses combined at fixed weights in shard order).
+  ///
+  /// `prefetched` optionally supplies pre-assembled shard batches (consumed
+  /// by move); `poison_shard` >= 0 writes a NaN into that shard's gradient
+  /// buffer before the reduction, for the fault-injection drills.
+  float Run(const data::TrafficDataset& dataset,
+            std::span<const int64_t> shuffled, size_t begin,
+            size_t batch_size, std::vector<data::Batch>* prefetched,
+            int poison_shard) {
+    const size_t total = std::min(batch_size, shuffled.size() - begin);
+    const std::vector<size_t> sizes = ShardSizes(total, num_shards_);
+
+    // Per-step child streams, forked on this thread in a fixed
+    // (stream, shard) order. The parent advances once per fork, so its
+    // trajectory — and therefore every checkpoint — depends only on the
+    // shard count. num_shards == 1 forks nothing: the single shard draws
+    // straight from the parent streams, preserving single-stream numerics.
+    std::vector<std::vector<Rng>> children(
+        static_cast<size_t>(num_shards_));
+    if (num_shards_ > 1) {
+      for (auto& [name, parent] : named_rngs_) {
+        (void)name;
+        for (int s = 0; s < num_shards_; ++s) {
+          children[static_cast<size_t>(s)].push_back(
+              parent->Fork(static_cast<uint64_t>(s)));
+        }
+      }
+    }
+
+    std::vector<optim::ShardGradients> shard_grads(
+        static_cast<size_t>(num_shards_));
+    std::vector<float> shard_loss(static_cast<size_t>(num_shards_), 0.0f);
+    std::vector<std::vector<std::function<void()>>> deferred(
+        static_cast<size_t>(num_shards_));
+
+    auto run_shard = [&](int s) {
+      const size_t si = static_cast<size_t>(s);
+      shard_grads[si].grads.resize(params_.size());
+      shard_grads[si].present.assign(params_.size(), 0);
+      if (sizes[si] == 0) return;  // batch < shards: idle shard.
+      obs::ScopedSpan shard_span("train.shard", "shard", s);
+      util::ShardContext context(s, num_shards_);
+      if (num_shards_ > 1) {
+        for (size_t k = 0; k < named_rngs_.size(); ++k) {
+          context.MapRng(named_rngs_[k].second, &children[si][k]);
+        }
+      }
+      util::ShardContext::Scope scope(&context);
+      size_t offset = 0;
+      for (size_t i = 0; i < si; ++i) offset += sizes[i];
+      data::Batch batch =
+          prefetched != nullptr
+              ? std::move((*prefetched)[si])
+              : dataset.MakeBatchFromPool(shuffled, begin + offset,
+                                          sizes[si]);
+      ag::LeafGradSink sink;
+      ag::Variable loss = driver_.batch_loss(batch);
+      // Seeding backward with the shard's batch fraction folds the
+      // gradient weighting into the seed, so the tree reduction is a plain
+      // unweighted sum.
+      const float weight = static_cast<float>(sizes[si]) /
+                           static_cast<float>(total);
+      ag::BackwardWithSeed(loss,
+                           ts::Tensor::Full(loss.value().shape(), weight));
+      shard_loss[si] = loss.value().scalar();
+      for (size_t i = 0; i < params_.size(); ++i) {
+        if (sink.Take(params_[i].node().get(), &shard_grads[si].grads[i])) {
+          shard_grads[si].present[i] = 1;
+        }
+      }
+      deferred[si] = std::move(context.deferred());
+      ag::ReleaseGraph(loss);
+    };
+
+    if (pool_ != nullptr) {
+      pool_->ParallelForAcross(
+          0, num_shards_, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t s = lo; s < hi; ++s) {
+              run_shard(static_cast<int>(s));
+            }
+          });
+    } else {
+      for (int s = 0; s < num_shards_; ++s) run_shard(s);
+    }
+
+    // Module updates the shards deferred (BatchNorm running stats) replay
+    // sequentially in shard order, off the hot parallel section.
+    for (auto& shard : deferred) {
+      for (auto& update : shard) update();
+    }
+
+    if (poison_shard >= 0) Poison(&shard_grads, poison_shard);
+
+    {
+      obs::ScopedSpan reduce_span("train.reduce", "shards", num_shards_);
+      optim::ReduceShardGradients(params_, &shard_grads);
+    }
+
+    // Fixed-order weighted combination mirrors the backward seeds; with a
+    // single shard this is shard_loss[0] bit-exactly.
+    float loss_value = 0.0f;
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      if (sizes[s] == 0) continue;
+      loss_value += static_cast<float>(sizes[s]) /
+                    static_cast<float>(total) * shard_loss[s];
+    }
+    return loss_value;
+  }
+
+ private:
+  /// Sharded analogue of PoisonOneGradient: NaN into element 0 of the first
+  /// present gradient of `start` (scanning forward, wrapping, in case the
+  /// last ragged batch left that shard empty).
+  void Poison(std::vector<optim::ShardGradients>* shards, int start) const {
+    for (int off = 0; off < num_shards_; ++off) {
+      optim::ShardGradients& sg =
+          (*shards)[static_cast<size_t>((start + off) % num_shards_)];
+      for (size_t i = 0; i < sg.grads.size(); ++i) {
+        if (sg.present[i] != 0 && sg.grads[i].num_elements() > 0) {
+          sg.grads[i].mutable_data()[0] =
+              std::numeric_limits<float>::quiet_NaN();
+          return;
+        }
+      }
+    }
+  }
+
+  const TrainDriver& driver_;
+  const std::vector<ag::Variable>& params_;
+  const int num_shards_;
+  std::vector<std::pair<std::string, Rng*>> named_rngs_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// Assembles the next step's shard batches on a dedicated thread while the
+/// current step computes (double buffering: one step in flight, one being
+/// built). Assembly is a pure gather+normalize with no RNG draws, so a
+/// speculatively built step is either taken — bit-identical to synchronous
+/// assembly — or silently discarded when the schedule moved under it (epoch
+/// turnover, rollback, cancellation). The prefetcher copies the index
+/// window it needs up front, so it never holds a reference into an epoch's
+/// shuffle pool whose lifetime it does not control.
+class BatchPrefetcher {
+ public:
+  BatchPrefetcher(const data::TrafficDataset& dataset, int num_shards)
+      : dataset_(dataset),
+        num_shards_(num_shards),
+        thread_([this] { Loop(); }) {}
+
+  ~BatchPrefetcher() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  /// Queues assembly of the step at (`generation`, `begin`). `generation`
+  /// bumps whenever the schedule changes (new shuffle), invalidating any
+  /// speculation built against the old order.
+  void Schedule(uint64_t generation, std::span<const int64_t> shuffled,
+                size_t begin, size_t batch_size) {
+    const size_t total = std::min(batch_size, shuffled.size() - begin);
+    Request req;
+    req.generation = generation;
+    req.begin = begin;
+    req.window.assign(shuffled.begin() + static_cast<int64_t>(begin),
+                      shuffled.begin() + static_cast<int64_t>(begin + total));
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return !busy_ && !has_request_; });
+      request_ = std::move(req);
+      has_request_ = true;
+      has_result_ = false;  // Single slot: a new request evicts old results.
+    }
+    cv_.notify_all();
+  }
+
+  /// Takes the assembled shard batches for (`generation`, `begin`). False
+  /// when the speculation does not match — the caller assembles
+  /// synchronously, with identical results.
+  bool Take(uint64_t generation, size_t begin,
+            std::vector<data::Batch>* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !busy_ && !has_request_; });
+    if (!has_result_ || result_generation_ != generation ||
+        result_begin_ != begin) {
+      return false;
+    }
+    *out = std::move(result_);
+    has_result_ = false;
+    return true;
+  }
+
+ private:
+  struct Request {
+    uint64_t generation = 0;
+    size_t begin = 0;
+    std::vector<int64_t> window;  ///< Owned copy of the step's indices.
+  };
+
+  void Loop() {
+    for (;;) {
+      Request req;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || has_request_; });
+        if (stop_) return;
+        req = std::move(request_);
+        has_request_ = false;
+        busy_ = true;
+      }
+      std::vector<data::Batch> batches(static_cast<size_t>(num_shards_));
+      const std::vector<size_t> sizes =
+          ShardSizes(req.window.size(), num_shards_);
+      size_t offset = 0;
+      for (size_t s = 0; s < sizes.size(); ++s) {
+        if (sizes[s] > 0) {
+          batches[s] =
+              dataset_.MakeBatchFromPool(req.window, offset, sizes[s]);
+        }
+        offset += sizes[s];
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        busy_ = false;
+        result_ = std::move(batches);
+        result_generation_ = req.generation;
+        result_begin_ = req.begin;
+        has_result_ = true;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  const data::TrafficDataset& dataset_;
+  const int num_shards_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool busy_ = false;
+  bool has_request_ = false;
+  bool has_result_ = false;
+  Request request_;
+  std::vector<data::Batch> result_;
+  uint64_t result_generation_ = 0;
+  size_t result_begin_ = 0;
+
+  std::thread thread_;  ///< Last member: starts after the state above.
 };
 
 }  // namespace
@@ -384,6 +704,12 @@ Status RunTraining(const TrainDriver& driver,
   if (config.batch_size <= 0) {
     return Status::InvalidArgument("batch_size must be positive");
   }
+  if (config.train_workers < 1) {
+    return Status::InvalidArgument("train_workers must be >= 1");
+  }
+  if (config.train_shards < 0) {
+    return Status::InvalidArgument("train_shards must be >= 0");
+  }
   TrainReport local_report;
   if (report == nullptr) report = &local_report;
   *report = TrainReport{};
@@ -412,6 +738,29 @@ Status RunTraining(const TrainDriver& driver,
   Rng epoch_rng(config.seed ^ driver.shuffle_salt);
   optim::Adam optimizer(driver.module->Parameters(), config.learning_rate);
   TrainState st;
+
+  // Data-parallel setup. The shard count fixes the numerics; the worker
+  // count only schedules. Worker requests are capped by the nested-
+  // parallelism budget so a pipeline stage running under --jobs composes
+  // without oversubscribing the machine (util::ScopedFanoutClaim), and by
+  // the shard count (extra workers would idle). The default config
+  // (workers=1, shards=0, prefetch off) keeps the classic single-stream
+  // step below, byte-identical to earlier releases.
+  const int num_shards = config.train_shards > 0 ? config.train_shards
+                                                 : config.train_workers;
+  const int granted_workers =
+      std::min(util::NestedParallelBudget(config.train_workers), num_shards);
+  tm.workers_granted.Set(granted_workers);
+  std::unique_ptr<ShardedStep> sharded_step;
+  if (num_shards > 1 || config.prefetch) {
+    sharded_step = std::make_unique<ShardedStep>(
+        driver, optimizer.params(), num_shards, granted_workers);
+  }
+  std::unique_ptr<BatchPrefetcher> prefetcher;
+  uint64_t prefetch_generation = 0;
+  if (config.prefetch) {
+    prefetcher = std::make_unique<BatchPrefetcher>(dataset, num_shards);
+  }
 
   // The run log opens before resume so the resume event itself is recorded.
   // A path that cannot open is a configuration error worth failing on;
@@ -483,6 +832,13 @@ Status RunTraining(const TrainDriver& driver,
     std::string fault_diag;
     const std::vector<int64_t> shuffled =
         ShuffleEpochPool(dataset.train_indices(), epoch_rng);
+    // A fresh shuffle invalidates any in-flight speculation; prime the
+    // prefetcher with the epoch's first step.
+    ++prefetch_generation;
+    if (prefetcher != nullptr && !shuffled.empty()) {
+      prefetcher->Schedule(prefetch_generation, shuffled, 0,
+                           static_cast<size_t>(config.batch_size));
+    }
     for (size_t begin = 0;
          begin < shuffled.size() && fault_diag.empty();
          begin += static_cast<size_t>(config.batch_size)) {
@@ -491,17 +847,52 @@ Status RunTraining(const TrainDriver& driver,
       obs::ScopedSpan step_span("train.step", "step", st.step);
       bool stepped = false;
       double grad_norm = -1.0;  ///< < 0 = not computed this step.
-      data::Batch batch = dataset.MakeBatchFromPool(
-          shuffled, begin, static_cast<size_t>(config.batch_size));
-      ag::Variable loss = driver.batch_loss(batch);
-      driver.module->ZeroGrad();
-      ag::Backward(loss);
-      if (faults.TakeNanGradient(st.step)) {
-        PoisonOneGradient(optimizer.params());
+      float loss_value = 0.0f;
+      if (sharded_step != nullptr) {
+        std::vector<data::Batch> shard_batches;
+        bool hit = false;
+        if (prefetcher != nullptr) {
+          hit = prefetcher->Take(prefetch_generation, begin, &shard_batches);
+          (hit ? tm.prefetch_hits : tm.prefetch_misses).Add();
+          // Overlap the NEXT step's gather+normalize with this step's
+          // compute. Stale speculation (rollback, epoch end) is dropped by
+          // the generation check above.
+          const size_t next =
+              begin + static_cast<size_t>(config.batch_size);
+          if (next < shuffled.size()) {
+            prefetcher->Schedule(prefetch_generation, shuffled, next,
+                                 static_cast<size_t>(config.batch_size));
+          }
+        }
+        driver.module->ZeroGrad();
+        const int poison_shard =
+            faults.TakeNanGradient(st.step)
+                ? static_cast<int>(st.step %
+                                   static_cast<int64_t>(num_shards))
+                : -1;
+        loss_value = sharded_step->Run(
+            dataset, shuffled, begin,
+            static_cast<size_t>(config.batch_size),
+            hit ? &shard_batches : nullptr, poison_shard);
+        tm.shard_steps.Add(num_shards);
+      } else {
+        data::Batch batch = dataset.MakeBatchFromPool(
+            shuffled, begin, static_cast<size_t>(config.batch_size));
+        ag::Variable loss = driver.batch_loss(batch);
+        driver.module->ZeroGrad();
+        ag::Backward(loss);
+        if (faults.TakeNanGradient(st.step)) {
+          PoisonOneGradient(optimizer.params());
+        }
+        loss_value = loss.value().scalar();
+        // The graph is spent once the scalar and the leaf gradients are
+        // out; release before the guards so both step flavors share the
+        // loss-free tail below. Nothing after this point reads interior
+        // gradients.
+        ag::ReleaseGraph(loss);
       }
 
       bool bad = false;
-      const float loss_value = loss.value().scalar();
       if (config.guard_numerics) {
         if (!std::isfinite(loss_value)) {
           bad = true;
@@ -555,7 +946,6 @@ Status RunTraining(const TrainDriver& driver,
                                       .Str("detail", fault_diag));
           }
           driver.module->SetTraining(false);
-          ag::ReleaseGraph(loss);
           return Status::Internal("[" + model_name + "] " + fault_diag +
                                   why);
         }
@@ -577,9 +967,6 @@ Status RunTraining(const TrainDriver& driver,
       ++num_batches;
       ++st.step;
       tm.steps.Add();
-      // Return the step's graph buffers to the storage pool before the next
-      // batch allocates (the scalar was already taken above).
-      ag::ReleaseGraph(loss);
       tm.step_ms.Observe(step_watch.ElapsedMillis());
       if (run_log && stepped) {
         obs::RunRecord rec("step");

@@ -7,6 +7,7 @@
 #include "optim/adam.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/shard_context.h"
 
 namespace musenet::muse {
 
@@ -141,17 +142,20 @@ MuseNet::ForwardResult MuseNet::Forward(const data::Batch& batch,
     }
   }
 
-  // Reparameterized samples feed the reconstruction decoders.
+  // Reparameterized samples feed the reconstruction decoders. The stream
+  // resolves through ShardRng: under a data-parallel training shard it is
+  // the shard's pre-forked child, everywhere else it is rng_ itself.
+  Rng& reparam_rng = util::ShardRng(rng_);
   std::vector<ag::Variable> z_exclusive;
   for (int i = 0; i < 3; ++i) {
     z_exclusive.push_back(Reparameterize(
-        result.exclusive[static_cast<size_t>(i)].distribution, rng_,
+        result.exclusive[static_cast<size_t>(i)].distribution, reparam_rng,
         stochastic));
   }
   std::vector<ag::Variable> z_interactive;
   for (const auto& inter : result.interactive) {
     z_interactive.push_back(
-        Reparameterize(inter.distribution, rng_, stochastic));
+        Reparameterize(inter.distribution, reparam_rng, stochastic));
   }
 
   for (int i = 0; i < 3; ++i) {

@@ -1,8 +1,11 @@
 #include "nn/batch_norm.h"
 
+#include <utility>
+
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/shard_context.h"
 
 namespace musenet::nn {
 
@@ -37,12 +40,29 @@ ag::Variable BatchNorm2d::Forward(const ag::Variable& x) {
     ag::Variable sq = ag::Square(centered);
     var = ag::Mean(ag::Mean(ag::Mean(sq, 3, true), 2, true), 0, true);
 
-    // Update running statistics from the detached batch values.
+    // Update running statistics from the detached batch values. Under a
+    // data-parallel shard the assignment would race with the other shards'
+    // forwards, so it is deferred: the training loop replays the updates in
+    // shard order after the parallel section (each shard folding ITS batch
+    // statistics into the then-current running value, so the composition is
+    // deterministic at a fixed shard count).
     const float m = static_cast<float>(momentum_);
-    running_mean_ = ts::Add(ts::MulScalar(running_mean_, 1.0f - m),
-                            ts::MulScalar(mean.value(), m));
-    running_var_ = ts::Add(ts::MulScalar(running_var_, 1.0f - m),
-                           ts::MulScalar(var.value(), m));
+    if (util::ShardContext* shard = util::ShardContext::Current()) {
+      // Deep Tensor copies: the batch-stat node values die with the
+      // shard's graph release, the captured buffers do not.
+      shard->Defer([this, m, batch_mean = mean.value(),
+                    batch_var = var.value()] {
+        running_mean_ = ts::Add(ts::MulScalar(running_mean_, 1.0f - m),
+                                ts::MulScalar(batch_mean, m));
+        running_var_ = ts::Add(ts::MulScalar(running_var_, 1.0f - m),
+                               ts::MulScalar(batch_var, m));
+      });
+    } else {
+      running_mean_ = ts::Add(ts::MulScalar(running_mean_, 1.0f - m),
+                              ts::MulScalar(mean.value(), m));
+      running_var_ = ts::Add(ts::MulScalar(running_var_, 1.0f - m),
+                             ts::MulScalar(var.value(), m));
+    }
   } else {
     mean = ag::Constant(running_mean_);
     var = ag::Constant(running_var_);

@@ -1,8 +1,11 @@
 #include "nn/conv.h"
 
+#include <memory>
+
 #include "nn/init.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/shard_context.h"
 
 namespace musenet::nn {
 
@@ -52,7 +55,17 @@ Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, Rng& rng,
 ag::Variable Conv2d::Forward(const ag::Variable& x) {
   MUSE_CHECK_EQ(x.value().rank(), 4);
   MUSE_CHECK_EQ(x.value().dim(1), in_channels_);
-  ag::Variable y = ag::Conv2d(x, weight_, spec_, &workspace_);
+  // The member workspace is single-caller scratch; concurrent data-parallel
+  // shard forwards each use a per-(shard, layer) workspace owned by the
+  // shard context, which outlives the shard's backward pass (whose closures
+  // capture the workspace pointer).
+  tensor::Conv2dWorkspace* workspace = &workspace_;
+  if (util::ShardContext* shard = util::ShardContext::Current()) {
+    std::shared_ptr<void>& slot = shard->ScratchSlot(this);
+    if (slot == nullptr) slot = std::make_shared<tensor::Conv2dWorkspace>();
+    workspace = static_cast<tensor::Conv2dWorkspace*>(slot.get());
+  }
+  ag::Variable y = ag::Conv2d(x, weight_, spec_, workspace);
   if (options_.use_bias) {
     // [Cout] → [1,Cout,1,1] broadcasts over batch and space. use_bias
     // implies no batch norm (the ctor clears it), so the activation can

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "util/check.h"
+#include "util/shard_context.h"
 
 namespace musenet::nn {
 
@@ -18,8 +19,9 @@ ag::Variable Dropout::Forward(const ag::Variable& x) {
   const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
   float* pm = mask.mutable_data();
   const int64_t n = mask.num_elements();
+  Rng& rng = util::ShardRng(*rng_);  // Shard-local under data parallelism.
   for (int64_t i = 0; i < n; ++i) {
-    pm[i] = rng_->Bernoulli(rate_) ? 0.0f : keep_scale;
+    pm[i] = rng.Bernoulli(rate_) ? 0.0f : keep_scale;
   }
   return ag::Mul(x, ag::Constant(std::move(mask)));
 }

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace musenet::optim {
 
@@ -98,6 +101,50 @@ Status LoadSlotTensors(const std::map<std::string, tensor::Tensor>& state,
   }
   *out = std::move(loaded);
   return Status::OK();
+}
+
+void ReduceShardGradients(const std::vector<autograd::Variable>& params,
+                          std::vector<ShardGradients>* shards) {
+  MUSE_CHECK(shards != nullptr);
+  const size_t num_shards = shards->size();
+  if (num_shards == 0) return;
+  for (const ShardGradients& shard : *shards) {
+    MUSE_CHECK_EQ(shard.grads.size(), params.size());
+    MUSE_CHECK_EQ(shard.present.size(), params.size());
+  }
+
+  // Grain 1: each parameter's full tree runs inside one chunk, so the
+  // reduction order is a function of the shard count alone — worker threads
+  // only decide WHICH parameter a thread reduces, never the order within.
+  util::ActivePool().ParallelFor(
+      0, static_cast<int64_t>(params.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t p = lo; p < hi; ++p) {
+          const size_t idx = static_cast<size_t>(p);
+          for (size_t stride = 1; stride < num_shards; stride *= 2) {
+            for (size_t i = 0; i + stride < num_shards; i += 2 * stride) {
+              ShardGradients& dst = (*shards)[i];
+              ShardGradients& src = (*shards)[i + stride];
+              if (!src.present[idx]) continue;
+              if (dst.present[idx]) {
+                tensor::AddInPlace(dst.grads[idx], src.grads[idx]);
+              } else {
+                dst.grads[idx] = std::move(src.grads[idx]);
+                dst.present[idx] = 1;
+              }
+              src.grads[idx] = tensor::Tensor();
+              src.present[idx] = 0;
+            }
+          }
+          if ((*shards)[0].present[idx]) {
+            auto node = params[idx].node();
+            autograd::AccumulateGrad(*node,
+                                     std::move((*shards)[0].grads[idx]));
+            (*shards)[0].grads[idx] = tensor::Tensor();
+            (*shards)[0].present[idx] = 0;
+          }
+        }
+      });
 }
 
 }  // namespace musenet::optim

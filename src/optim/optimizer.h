@@ -71,6 +71,29 @@ double ClipGradNorm(const std::vector<autograd::Variable>& params,
 /// — the diagnostics the training loop's FailurePolicy surfaces.
 Status CheckGradsFinite(const std::vector<autograd::Variable>& params);
 
+/// One shard's gradient contributions, indexed like the parameter list.
+/// `present[i]` is non-zero when the shard's backward pass reached parameter
+/// i (a parameter untouched by every shard ends up without a gradient, just
+/// as in single-stream training).
+struct ShardGradients {
+  std::vector<tensor::Tensor> grads;
+  std::vector<uint8_t> present;
+};
+
+/// Combines per-shard gradients into each parameter's accumulator with a
+/// fixed-topology binary tree over the shard index:
+///
+///   for stride = 1, 2, 4, ...:  grads[i] += grads[i + stride]
+///
+/// and installs the shard-0 result as the parameter's gradient. The tree
+/// shape depends only on the shard count, and each parameter's reduction
+/// runs entirely inside one ParallelFor chunk, so the result is bit-exact
+/// for a given shard count regardless of thread count. Consumes the shard
+/// buffers. Parameter gradient accumulators must be clear on entry
+/// (ZeroGrad), as after a fresh backward pass.
+void ReduceShardGradients(const std::vector<autograd::Variable>& params,
+                          std::vector<ShardGradients>* shards);
+
 /// "m/0007"-style record name for per-parameter optimizer state slots.
 std::string SlotRecordName(std::string_view slot, size_t index);
 

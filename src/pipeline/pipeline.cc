@@ -246,6 +246,10 @@ Result<Pipeline::RunReport> Pipeline::Run(const RunOptions& options) {
       // keep full kernel parallelism.
       util::ThreadPool stage_pool(
           std::min<int>(jobs, static_cast<int>(to_run.size())));
+      // Advertise the stage fan-out so nested worker requests (a train
+      // stage's train_workers, say) are budgeted against it: total threads
+      // stay within the global pool size instead of multiplying.
+      util::ScopedFanoutClaim stage_claim(stage_pool.num_threads());
       stage_pool.ParallelFor(
           0, static_cast<int64_t>(to_run.size()), 1,
           [&](int64_t lo, int64_t hi) {

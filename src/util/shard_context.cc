@@ -1,0 +1,25 @@
+#include "util/shard_context.h"
+
+namespace musenet::util {
+
+namespace {
+thread_local ShardContext* t_current_shard = nullptr;
+}  // namespace
+
+ShardContext* ShardContext::Current() { return t_current_shard; }
+
+ShardContext::Scope::Scope(ShardContext* context)
+    : previous_(t_current_shard) {
+  t_current_shard = context;
+}
+
+ShardContext::Scope::~Scope() { t_current_shard = previous_; }
+
+Rng& ShardRng(Rng& parent) {
+  if (ShardContext* shard = ShardContext::Current()) {
+    if (Rng* child = shard->FindRng(&parent)) return *child;
+  }
+  return parent;
+}
+
+}  // namespace musenet::util

@@ -1,0 +1,117 @@
+#ifndef MUSENET_UTIL_SHARD_CONTEXT_H_
+#define MUSENET_UTIL_SHARD_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace musenet::util {
+
+/// Per-shard execution context for the data-parallel training step.
+///
+/// A sharded step splits one mini-batch across a fixed number of shards and
+/// runs each shard's forward+backward concurrently against the SAME module.
+/// The module's parameters are read-only during that window, but three kinds
+/// of member state would race without mediation, and this context reroutes
+/// each of them:
+///
+///  - RNG streams: model code resolves its member stream through
+///    `ShardRng(parent)`, which returns the shard's pre-forked child while a
+///    context is installed. Children are derived per step with
+///    `parent.Fork(shard)`, so the parent trajectory depends only on the
+///    shard count — never on the worker count.
+///  - Mutable member updates (BatchNorm running statistics): layers queue
+///    them with `Defer`; the training loop replays every shard's deferred
+///    updates sequentially in shard order after the parallel section.
+///  - Member scratch buffers (conv im2col workspaces): layers swap to a
+///    per-(shard, layer) slot from `ScratchSlot`, which the context owns for
+///    the whole shard step — including the backward pass, whose closures
+///    capture workspace pointers.
+///
+/// A context is installed per thread with `Scope` and queried with
+/// `Current()`; with none installed, every redirect falls through to the
+/// member state, keeping single-stream training bit-identical to the
+/// pre-sharding behavior.
+class ShardContext {
+ public:
+  ShardContext(int shard_index, int num_shards)
+      : shard_index_(shard_index), num_shards_(num_shards) {}
+
+  ShardContext(const ShardContext&) = delete;
+  ShardContext& operator=(const ShardContext&) = delete;
+
+  int shard_index() const { return shard_index_; }
+  int num_shards() const { return num_shards_; }
+
+  /// Registers `child` as the stream standing in for `parent` while this
+  /// context is installed. `child` must outlive the context's scope.
+  void MapRng(const Rng* parent, Rng* child) {
+    rngs_.emplace_back(parent, child);
+  }
+
+  /// The mapped child for `parent`, or nullptr when unmapped.
+  Rng* FindRng(const Rng* parent) const {
+    for (const auto& [p, child] : rngs_) {
+      if (p == parent) return child;
+    }
+    return nullptr;
+  }
+
+  /// Queues a state mutation that is unsafe while other shards run (e.g. a
+  /// BatchNorm running-stat update). The training loop replays all shards'
+  /// deferred updates in shard order once the parallel section is over.
+  void Defer(std::function<void()> update) {
+    deferred_.push_back(std::move(update));
+  }
+
+  std::vector<std::function<void()>>& deferred() { return deferred_; }
+
+  /// Type-erased scratch slot for (this shard, `owner`), created empty on
+  /// first use. Slots live until the context is destroyed — past the
+  /// shard's backward pass, so backward closures may capture their
+  /// contents. Accessed only from the shard's own thread.
+  std::shared_ptr<void>& ScratchSlot(const void* owner) {
+    for (auto& [key, slot] : scratch_) {
+      if (key == owner) return slot;
+    }
+    scratch_.emplace_back(owner, nullptr);
+    return scratch_.back().second;
+  }
+
+  /// The context installed on the calling thread, or nullptr.
+  static ShardContext* Current();
+
+  /// RAII installation of a context on the current thread; nests.
+  class Scope {
+   public:
+    explicit Scope(ShardContext* context);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ShardContext* previous_;
+  };
+
+ private:
+  int shard_index_;
+  int num_shards_;
+  // Linear scans: a model registers a handful of streams and a few dozen
+  // conv layers; vectors beat hashing at this size and keep iteration
+  // order deterministic.
+  std::vector<std::pair<const Rng*, Rng*>> rngs_;
+  std::vector<std::function<void()>> deferred_;
+  std::vector<std::pair<const void*, std::shared_ptr<void>>> scratch_;
+};
+
+/// The stream model code should actually draw from: the shard's child when a
+/// context is installed and `parent` was mapped, otherwise `parent` itself.
+Rng& ShardRng(Rng& parent);
+
+}  // namespace musenet::util
+
+#endif  // MUSENET_UTIL_SHARD_CONTEXT_H_

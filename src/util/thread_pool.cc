@@ -105,6 +105,14 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelForRaw(int64_t begin, int64_t end, int64_t grain,
                                 ChunkFn fn, void* ctx) {
+  ParallelForRawImpl(begin, end, grain, fn, ctx, /*force_parallel=*/false);
+}
+
+bool ThreadPool::InsideParallelRegion() { return t_inside_parallel_region; }
+
+void ThreadPool::ParallelForRawImpl(int64_t begin, int64_t end, int64_t grain,
+                                    ChunkFn fn, void* ctx,
+                                    bool force_parallel) {
   if (end <= begin) return;
   grain = std::max<int64_t>(1, grain);
   const int64_t num_chunks = (end - begin + grain - 1) / grain;
@@ -117,9 +125,11 @@ void ThreadPool::ParallelForRaw(int64_t begin, int64_t end, int64_t grain,
   chunks_counter.Add(num_chunks);
 
   // Sequential path: single-thread pool, a single chunk, or a nested call
-  // from inside a parallel region. Chunk boundaries are identical to the
-  // parallel path, so reduction kernels see the same partial slots.
-  if (num_threads_ == 1 || num_chunks == 1 || t_inside_parallel_region) {
+  // from inside a parallel region (unless the caller forced a cross-pool
+  // dispatch). Chunk boundaries are identical to the parallel path, so
+  // reduction kernels see the same partial slots.
+  if (num_threads_ == 1 || num_chunks == 1 ||
+      (t_inside_parallel_region && !force_parallel)) {
     for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
       const int64_t lo = begin + chunk * grain;
       const int64_t hi = std::min(end, lo + grain);
@@ -177,5 +187,39 @@ ScopedActivePool::ScopedActivePool(ThreadPool* pool)
 }
 
 ScopedActivePool::~ScopedActivePool() { g_active_pool = previous_; }
+
+namespace {
+// Product of active fan-out claims. Claims are rare (one per pipeline run),
+// so plain atomic read-modify-writes are plenty.
+std::atomic<int> g_claimed_fanout{1};
+}  // namespace
+
+ScopedFanoutClaim::ScopedFanoutClaim(int width)
+    : width_(std::max(1, width)) {
+  int expected = g_claimed_fanout.load(std::memory_order_relaxed);
+  while (!g_claimed_fanout.compare_exchange_weak(
+      expected, expected * width_, std::memory_order_relaxed)) {
+  }
+}
+
+ScopedFanoutClaim::~ScopedFanoutClaim() {
+  int expected = g_claimed_fanout.load(std::memory_order_relaxed);
+  while (!g_claimed_fanout.compare_exchange_weak(
+      expected, std::max(1, expected / width_), std::memory_order_relaxed)) {
+  }
+}
+
+int ScopedFanoutClaim::Claimed() {
+  return std::max(1, g_claimed_fanout.load(std::memory_order_relaxed));
+}
+
+int NestedParallelBudget(int requested) {
+  requested = std::max(1, requested);
+  const int claimed = ScopedFanoutClaim::Claimed();
+  if (claimed <= 1) return requested;
+  const int budget =
+      std::max(1, ThreadPool::Global().num_threads() / claimed);
+  return std::min(requested, budget);
+}
 
 }  // namespace musenet::util

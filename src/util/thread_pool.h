@@ -66,6 +66,29 @@ class ThreadPool {
   void ParallelForRaw(int64_t begin, int64_t end, int64_t grain, ChunkFn fn,
                       void* ctx);
 
+  /// As ParallelFor, but dispatches to this pool's workers even when the
+  /// calling thread is already inside another pool's parallel region.
+  /// The caller must guarantee the enclosing region runs on a DIFFERENT
+  /// pool instance: forcing a nested submit onto the same pool would
+  /// deadlock on its single job slot. Used by the data-parallel training
+  /// step, whose private shard pool must still fan out when a pipeline
+  /// stage worker (itself inside the stage pool's region) drives training.
+  template <typename F>
+  void ParallelForAcross(int64_t begin, int64_t end, int64_t grain, F&& fn) {
+    using Body = std::remove_reference_t<F>;
+    ParallelForRawImpl(
+        begin, end, grain,
+        [](void* ctx, int64_t lo, int64_t hi) {
+          (*static_cast<Body*>(ctx))(lo, hi);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+        /*force_parallel=*/true);
+  }
+
+  /// True while the calling thread is executing chunks of any pool's
+  /// parallel region (the state nested ParallelFor calls degrade on).
+  static bool InsideParallelRegion();
+
   /// Process-wide pool. Sized from MUSENET_NUM_THREADS when set (clamped to
   /// [1, 256]), otherwise std::thread::hardware_concurrency(). Constructed
   /// on first use.
@@ -88,6 +111,8 @@ class ThreadPool {
 
   void WorkerLoop();
   void RunChunks(Job& job);
+  void ParallelForRawImpl(int64_t begin, int64_t end, int64_t grain,
+                          ChunkFn fn, void* ctx, bool force_parallel);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -123,6 +148,35 @@ class ScopedActivePool {
  private:
   ThreadPool* previous_;
 };
+
+/// RAII record of the fan-out width an orchestrator is about to run at, so
+/// nested data-parallel sections can budget their own width against it (the
+/// pipeline claims its `--jobs` stage pool around stage execution). Claims
+/// from nested orchestrators multiply. Process-global: the claim describes
+/// thread usage, which is a process-wide resource.
+class ScopedFanoutClaim {
+ public:
+  explicit ScopedFanoutClaim(int width);
+  ~ScopedFanoutClaim();
+
+  ScopedFanoutClaim(const ScopedFanoutClaim&) = delete;
+  ScopedFanoutClaim& operator=(const ScopedFanoutClaim&) = delete;
+
+  /// Product of all active claims; 1 when nothing is claimed.
+  static int Claimed();
+
+ private:
+  int width_;
+};
+
+/// Caps a nested data-parallel section's worker request so the combined
+/// fan-out stays within the global pool size: with a claim of C active,
+/// at most max(1, pool_size / C) workers are granted, keeping
+/// C * granted <= pool size (plus integer-division slack below one worker
+/// per claimant). With no claim active the request passes through —
+/// an explicit top-level request is the caller's to honor, and the shard
+/// workers' own inner kernels already degrade to sequential.
+int NestedParallelBudget(int requested);
 
 }  // namespace musenet::util
 

@@ -4,6 +4,8 @@
 // cancellation with resume, and flow-file provenance checking.
 
 #include <atomic>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -11,8 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "muse/config.h"
+#include "muse/model.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/stage_cache.h"
+#include "sim/flow_series.h"
 #include "sim/serialize.h"
 #include "util/hash.h"
 #include "util/io.h"
@@ -278,6 +285,92 @@ TEST(PipelineTest, ParallelJobsProduceIdenticalKeysAndPayloads) {
   EXPECT_EQ(seq.outcome(join_seq).key, par.outcome(join_par).key);
   EXPECT_EQ(seq.outcome(join_seq).output_hash,
             par.outcome(join_par).output_hash);
+}
+
+TEST(PipelineTest, ParallelStagesComposeWithDataParallelTraining) {
+  // Two train stages, each itself requesting train_workers=2, run under
+  // --jobs 2. The stage pool advertises its fan-out (ScopedFanoutClaim),
+  // so the inner requests are budgeted against the global pool instead of
+  // multiplying threads. Because the shard count — not the granted worker
+  // count — fixes the numerics, the jobs x workers run must produce
+  // byte-identical weights to the sequential one.
+  auto make_dataset = [] {
+    const int f = 24;
+    sim::FlowSeries flows(sim::GridSpec{3, 4}, f, 0, 14 * f);
+    Rng noise(9);
+    for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+      const double base =
+          5.0 + 4.0 * std::sin(2.0 * M_PI * flows.IntervalOfDay(t) / f);
+      for (int flow = 0; flow < 2; ++flow) {
+        for (int64_t h = 0; h < 3; ++h) {
+          for (int64_t w = 0; w < 4; ++w) {
+            flows.at(t, flow, h, w) = static_cast<float>(
+                std::max(0.0, base + noise.Normal(0, 0.5)));
+          }
+        }
+      }
+    }
+    data::DatasetOptions options;
+    options.spec = data::PeriodicitySpec{.len_closeness = 2, .len_period = 2,
+                                         .len_trend = 1};
+    options.test_days = 3;
+    return data::TrafficDataset(std::move(flows), options);
+  };
+
+  auto build = [&](Pipeline* graph) {
+    std::vector<int> stage_ids;
+    for (int i = 0; i < 2; ++i) {
+      util::Fingerprint f;
+      f.Add("train_stage", i);
+      stage_ids.push_back(graph->AddStage(
+          "train" + std::to_string(i), std::move(f), {},
+          [&make_dataset, i](const StageContext&) {
+            data::TrafficDataset ds = make_dataset();
+            muse::MuseNetConfig config;
+            config.grid_h = 3;
+            config.grid_w = 4;
+            config.periodicity = data::PeriodicitySpec{
+                .len_closeness = 2, .len_period = 2, .len_trend = 1};
+            config.repr_dim = 4;
+            config.dist_dim = 8;
+            config.resplus_blocks = 1;
+            muse::MuseNet model(config, static_cast<uint64_t>(2 + i));
+            eval::TrainConfig tc;
+            tc.epochs = 1;
+            tc.batch_size = 8;
+            tc.learning_rate = 1e-3;
+            tc.train_shards = 2;   // Fixed: the numerics knob.
+            tc.train_workers = 2;  // Capped under --jobs by the fan-out claim.
+            const Status trained = model.TrainWithReport(ds, tc, nullptr);
+            if (!trained.ok()) return Result<std::string>(trained);
+            // Raw weight bytes as the payload: equality is bit-exactness.
+            std::string payload;
+            for (const auto& [name, tensor] : model.StateDict()) {
+              payload.append(name);
+              payload.append(
+                  reinterpret_cast<const char*>(tensor.data()),
+                  sizeof(float) * static_cast<size_t>(tensor.num_elements()));
+            }
+            return Result<std::string>(std::move(payload));
+          }));
+    }
+    return stage_ids;
+  };
+
+  Pipeline seq, par;
+  const std::vector<int> seq_ids = build(&seq);
+  const std::vector<int> par_ids = build(&par);
+  Pipeline::RunOptions options;  // No cache: every stage executes.
+  options.verbose = false;
+  options.jobs = 1;
+  ASSERT_TRUE(seq.Run(options).ok());
+  options.jobs = 2;
+  ASSERT_TRUE(par.Run(options).ok());
+  for (size_t i = 0; i < seq_ids.size(); ++i) {
+    EXPECT_EQ(seq.payload(seq_ids[i]), par.payload(par_ids[i]))
+        << "stage " << i
+        << ": jobs x train_workers changed training results";
+  }
 }
 
 TEST(PipelineTest, CancellationLeavesResumableCache) {

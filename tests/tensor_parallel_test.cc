@@ -227,6 +227,53 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   EXPECT_EQ(total.load(), 80);
 }
 
+TEST(ThreadPoolTest, ParallelForAcrossDispatchesInsideParallelRegion) {
+  // A nested ParallelFor on the same pool degrades inline, but dispatching
+  // across a DISTINCT pool (the data-parallel trainer's shard pool) must
+  // still fan out: the inner chunks run on the inner pool's own threads.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> inner_chunks{0};
+  outer.ParallelFor(0, 2, 1, [&](int64_t, int64_t) {
+    EXPECT_TRUE(ThreadPool::InsideParallelRegion());
+    inner.ParallelForAcross(0, 4, 1, [&](int64_t lo, int64_t hi) {
+      inner_chunks += static_cast<int>(hi - lo);
+    });
+  });
+  EXPECT_EQ(inner_chunks.load(), 8);  // 2 outer x 4 inner indices.
+}
+
+TEST(ThreadPoolTest, NestedParallelBudgetCapsUnderFanoutClaim) {
+  // No claim active: requests pass through untouched (a 1-core CI host
+  // still gets real worker threads for determinism tests).
+  EXPECT_EQ(util::NestedParallelBudget(4), 4);
+  EXPECT_EQ(util::NestedParallelBudget(0), 1);  // Clamped to >= 1.
+
+  const int pool_size = ThreadPool::Global().num_threads();
+  {
+    // A claim as wide as the global pool leaves a budget of 1 per worker.
+    util::ScopedFanoutClaim claim(pool_size);
+    EXPECT_EQ(util::ScopedFanoutClaim::Claimed(), std::max(1, pool_size));
+    if (pool_size > 1) {
+      EXPECT_EQ(util::NestedParallelBudget(pool_size), 1);
+    }
+    // Budget never goes below one worker.
+    EXPECT_GE(util::NestedParallelBudget(64), 1);
+    {
+      // Claims compose multiplicatively (stage pool x shard pool), and a
+      // claim wider than the pool caps nested requests at one worker.
+      util::ScopedFanoutClaim nested(3);
+      EXPECT_EQ(util::ScopedFanoutClaim::Claimed(),
+                std::max(1, pool_size) * 3);
+      EXPECT_EQ(util::NestedParallelBudget(8), 1);
+    }
+    EXPECT_EQ(util::ScopedFanoutClaim::Claimed(), std::max(1, pool_size));
+  }
+  // Claims release on scope exit.
+  EXPECT_EQ(util::ScopedFanoutClaim::Claimed(), 1);
+  EXPECT_EQ(util::NestedParallelBudget(8), 8);
+}
+
 // --- (a) 1-thread bit-exactness against the naive references ---------------
 
 TEST(TensorParallelTest, MatMulBitExactSingleThread) {

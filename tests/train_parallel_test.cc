@@ -1,0 +1,347 @@
+// Determinism contract of data-parallel training (eval::RunTraining with
+// train_workers / train_shards / prefetch): the shard count fixes the
+// numerics, the worker count only schedules. Covers bit-exactness across
+// worker counts, the single-shard == legacy-single-stream identity,
+// prefetch transparency, checkpoint/resume under sharding, and the
+// NaN-gradient rollback drill on the sharded path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/stssl.h"
+#include "data/dataset.h"
+#include "eval/forecaster.h"
+#include "eval/train_loop.h"
+#include "muse/config.h"
+#include "muse/model.h"
+#include "sim/flow_series.h"
+#include "tensor/serialize.h"
+#include "util/fault_injector.h"
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace musenet {
+namespace {
+
+namespace fs = std::filesystem;
+namespace ts = musenet::tensor;
+
+/// RAII: every test leaves the process-wide injector disarmed.
+struct InjectorGuard {
+  InjectorGuard() { util::FaultInjector::Instance().Reset(); }
+  ~InjectorGuard() { util::FaultInjector::Instance().Reset(); }
+};
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+data::PeriodicitySpec TinySpec() {
+  return data::PeriodicitySpec{.len_closeness = 2, .len_period = 2,
+                               .len_trend = 1};
+}
+
+/// Same tiny-but-real dataset as train_resume_test: 14 days of sinusoidal
+/// daily structure on a 3x4 grid, rebuilt identically by every call.
+data::TrafficDataset TinyDataset() {
+  const int f = 24;
+  sim::FlowSeries flows(sim::GridSpec{3, 4}, f, 0, 14 * f);
+  Rng noise(9);
+  for (int64_t t = 0; t < flows.num_intervals(); ++t) {
+    const double base =
+        5.0 + 4.0 * std::sin(2.0 * M_PI * flows.IntervalOfDay(t) / f);
+    for (int flow = 0; flow < 2; ++flow) {
+      for (int64_t h = 0; h < 3; ++h) {
+        for (int64_t w = 0; w < 4; ++w) {
+          flows.at(t, flow, h, w) =
+              static_cast<float>(std::max(0.0, base + noise.Normal(0, 0.5)));
+        }
+      }
+    }
+  }
+  data::DatasetOptions options;
+  options.spec = TinySpec();
+  options.test_days = 3;
+  return data::TrafficDataset(std::move(flows), options);
+}
+
+muse::MuseNetConfig TinyConfig() {
+  muse::MuseNetConfig config;
+  config.grid_h = 3;
+  config.grid_w = 4;
+  config.periodicity = TinySpec();
+  config.repr_dim = 4;
+  config.dist_dim = 8;
+  config.resplus_blocks = 1;
+  return config;
+}
+
+eval::TrainConfig BaseTrainConfig() {
+  eval::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  tc.learning_rate = 1e-3;
+  return tc;
+}
+
+void ExpectStateDictsBitEqual(const std::map<std::string, ts::Tensor>& a,
+                              const std::map<std::string, ts::Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, tensor] : a) {
+    ASSERT_TRUE(b.count(name)) << name;
+    const ts::Tensor& other = b.at(name);
+    ASSERT_EQ(tensor.shape(), other.shape()) << name;
+    EXPECT_EQ(0, std::memcmp(tensor.data(), other.data(),
+                             sizeof(float) * tensor.num_elements()))
+        << "parameter " << name << " differs";
+  }
+}
+
+std::string ReadBytes(const std::string& path) {
+  auto contents = util::ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status().ToString();
+  return std::move(contents).value_or(std::string());
+}
+
+/// Trains a fresh MuseNet under `tc` and returns the final state dict plus
+/// (via `ckpt_bytes`) the raw bytes of the last periodic checkpoint when
+/// checkpointing is on — the strongest determinism witness: it covers the
+/// weights, optimizer slots, every RNG stream and the progress meta.
+std::map<std::string, ts::Tensor> TrainMuse(const data::TrafficDataset& ds,
+                                            const eval::TrainConfig& tc,
+                                            std::string* ckpt_bytes) {
+  muse::MuseNet model(TinyConfig(), 2);
+  eval::TrainReport report;
+  const Status status = model.TrainWithReport(ds, tc, &report);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  if (ckpt_bytes != nullptr && !tc.checkpoint_dir.empty()) {
+    const std::vector<int> epochs =
+        eval::ListCheckpointEpochs(tc.checkpoint_dir);
+    EXPECT_FALSE(epochs.empty());
+    *ckpt_bytes =
+        ReadBytes(eval::CheckpointPath(tc.checkpoint_dir, epochs.back()));
+  }
+  return model.StateDict();
+}
+
+// --- Worker count never changes results ------------------------------------
+
+TEST(TrainParallelTest, WorkerCountDoesNotChangeCheckpointBytes) {
+  data::TrafficDataset ds = TinyDataset();
+
+  std::map<int, std::map<std::string, ts::Tensor>> states;
+  std::map<int, std::string> checkpoints;
+  for (const int workers : {1, 2, 4}) {
+    eval::TrainConfig tc = BaseTrainConfig();
+    tc.train_shards = 4;  // Fixed: the numerics knob.
+    tc.train_workers = workers;
+    tc.checkpoint_dir =
+        FreshDir("par_workers_" + std::to_string(workers));
+    states[workers] = TrainMuse(ds, tc, &checkpoints[workers]);
+  }
+  ExpectStateDictsBitEqual(states[1], states[2]);
+  ExpectStateDictsBitEqual(states[1], states[4]);
+  ASSERT_FALSE(checkpoints[1].empty());
+  EXPECT_EQ(checkpoints[1], checkpoints[2])
+      << "workers=2 checkpoint differs from workers=1 at shards=4";
+  EXPECT_EQ(checkpoints[1], checkpoints[4])
+      << "workers=4 checkpoint differs from workers=1 at shards=4";
+}
+
+TEST(TrainParallelTest, ShardCountIsTheNumericsKnob) {
+  // Sanity check on the contract's other face: different shard counts are
+  // genuinely different numerics (otherwise the fixed-S claim is vacuous).
+  data::TrafficDataset ds = TinyDataset();
+
+  eval::TrainConfig two = BaseTrainConfig();
+  two.epochs = 1;
+  two.train_shards = 2;
+  two.train_workers = 1;
+  std::map<std::string, ts::Tensor> s2 = TrainMuse(ds, two, nullptr);
+
+  eval::TrainConfig four = two;
+  four.train_shards = 4;
+  std::map<std::string, ts::Tensor> s4 = TrainMuse(ds, four, nullptr);
+
+  bool any_diff = false;
+  for (const auto& [name, tensor] : s2) {
+    if (std::memcmp(tensor.data(), s4.at(name).data(),
+                    sizeof(float) * tensor.num_elements()) != 0) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff) << "shards=2 and shards=4 produced identical "
+                           "weights; shard split is not taking effect";
+}
+
+// --- Single shard == legacy single stream ----------------------------------
+
+TEST(TrainParallelTest, SingleShardMatchesLegacySingleStream) {
+  data::TrafficDataset ds = TinyDataset();
+
+  eval::TrainConfig legacy = BaseTrainConfig();
+  legacy.checkpoint_dir = FreshDir("par_legacy");
+  std::string legacy_bytes;
+  std::map<std::string, ts::Tensor> legacy_state =
+      TrainMuse(ds, legacy, &legacy_bytes);
+
+  // prefetch=true forces the sharded code path even at shards=1; the
+  // contract says that path reproduces classic single-stream numerics
+  // bit-for-bit (no RNG forking, backward seeded with weight 1.0).
+  eval::TrainConfig sharded = BaseTrainConfig();
+  sharded.train_shards = 1;
+  sharded.prefetch = true;
+  sharded.checkpoint_dir = FreshDir("par_single_shard");
+  std::string sharded_bytes;
+  std::map<std::string, ts::Tensor> sharded_state =
+      TrainMuse(ds, sharded, &sharded_bytes);
+
+  ExpectStateDictsBitEqual(legacy_state, sharded_state);
+  ASSERT_FALSE(legacy_bytes.empty());
+  EXPECT_EQ(legacy_bytes, sharded_bytes)
+      << "sharded path at shards=1 diverged from the legacy step";
+}
+
+// --- Prefetch transparency --------------------------------------------------
+
+TEST(TrainParallelTest, PrefetchDoesNotChangeResults) {
+  data::TrafficDataset ds = TinyDataset();
+
+  eval::TrainConfig off = BaseTrainConfig();
+  off.train_shards = 4;
+  off.train_workers = 2;
+  off.checkpoint_dir = FreshDir("par_prefetch_off");
+  std::string off_bytes;
+  TrainMuse(ds, off, &off_bytes);
+
+  eval::TrainConfig on = off;
+  on.prefetch = true;
+  on.checkpoint_dir = FreshDir("par_prefetch_on");
+  std::string on_bytes;
+  TrainMuse(ds, on, &on_bytes);
+
+  ASSERT_FALSE(off_bytes.empty());
+  EXPECT_EQ(off_bytes, on_bytes)
+      << "prefetched batch assembly changed training results";
+}
+
+// --- Checkpoint/resume under data parallelism -------------------------------
+
+TEST(TrainParallelTest, ShardedResumeIsBitIdenticalToUninterruptedRun) {
+  data::TrafficDataset ds = TinyDataset();
+
+  eval::TrainConfig full = BaseTrainConfig();
+  full.epochs = 4;
+  full.train_shards = 4;
+  full.train_workers = 2;
+  full.prefetch = true;
+  full.checkpoint_dir = FreshDir("par_resume_full");
+  std::string full_bytes;
+  std::map<std::string, ts::Tensor> full_state =
+      TrainMuse(ds, full, &full_bytes);
+
+  // Same run killed after epoch 2, then resumed to completion.
+  eval::TrainConfig part = full;
+  part.checkpoint_dir = FreshDir("par_resume_split");
+  part.epochs = 2;
+  TrainMuse(ds, part, nullptr);
+  part.epochs = 4;
+  part.resume = true;
+  std::string resumed_bytes;
+  std::map<std::string, ts::Tensor> resumed_state =
+      TrainMuse(ds, part, &resumed_bytes);
+
+  ExpectStateDictsBitEqual(full_state, resumed_state);
+  ASSERT_FALSE(full_bytes.empty());
+  EXPECT_EQ(full_bytes, resumed_bytes)
+      << "resumed sharded run diverged from the uninterrupted one";
+}
+
+// --- Fault drill: NaN gradient in one shard ---------------------------------
+
+TEST(TrainParallelTest, ShardNanGradientTriggersRollbackLikeSingleStream) {
+  InjectorGuard guard;
+  data::TrafficDataset ds = TinyDataset();
+  const int64_t steps_per_epoch =
+      static_cast<int64_t>((ds.train_indices().size() + 7) / 8);
+
+  // Poison a gradient mid-epoch-2, after epoch 1's checkpoint exists.
+  const int64_t poison_step = steps_per_epoch + 1;
+
+  auto drill = [&](int shards, int workers) {
+    util::FaultInjector::Instance().Reset();
+    util::FaultInjector::Instance().ArmNanGradient(poison_step);
+    muse::MuseNet model(TinyConfig(), 2);
+    eval::TrainConfig tc = BaseTrainConfig();
+    tc.train_shards = shards;
+    tc.train_workers = workers;
+    tc.on_non_finite = eval::FailurePolicy::kRollback;
+    tc.checkpoint_dir = FreshDir("par_drill_" + std::to_string(shards) +
+                                 "_" + std::to_string(workers));
+    eval::TrainReport report;
+    const Status status = model.TrainWithReport(ds, tc, &report);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return report;
+  };
+
+  const eval::TrainReport single = drill(1, 1);
+  const eval::TrainReport sharded = drill(4, 2);
+  EXPECT_EQ(single.rollbacks, 1);
+  EXPECT_EQ(sharded.rollbacks, single.rollbacks)
+      << "a NaN gradient in one shard must trigger the same rollback "
+         "policy as single-stream training";
+  EXPECT_EQ(sharded.epochs_run, single.epochs_run);
+}
+
+// --- Per-batch RNG consumers (ST-SSL's mask stream) -------------------------
+
+TEST(TrainParallelTest, StSslMaskStreamIsDeterministicAcrossWorkers) {
+  data::TrafficDataset ds = TinyDataset();
+
+  auto train = [&](int workers) {
+    baselines::StSslLite model(3, 4, TinySpec(), /*channels=*/4,
+                               /*mask_rate=*/0.25, /*ssl_weight=*/0.1,
+                               /*seed=*/5);
+    eval::TrainConfig tc = BaseTrainConfig();
+    tc.epochs = 2;
+    tc.train_shards = 2;
+    tc.train_workers = workers;
+    const Status status = model.TrainWithStatus(ds, tc);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return model.StateDict();
+  };
+
+  // ST-SSL draws a Bernoulli mask per batch; under sharding each shard
+  // draws from its own forked child stream, so results cannot depend on
+  // which worker ran which shard.
+  ExpectStateDictsBitEqual(train(1), train(2));
+}
+
+// --- Config validation -------------------------------------------------------
+
+TEST(TrainParallelTest, RejectsInvalidWorkerAndShardCounts) {
+  data::TrafficDataset ds = TinyDataset();
+  muse::MuseNet model(TinyConfig(), 2);
+
+  eval::TrainConfig tc = BaseTrainConfig();
+  tc.train_workers = 0;
+  EXPECT_FALSE(model.TrainWithReport(ds, tc, nullptr).ok());
+
+  tc = BaseTrainConfig();
+  tc.train_shards = -1;
+  EXPECT_FALSE(model.TrainWithReport(ds, tc, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace musenet

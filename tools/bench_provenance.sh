@@ -55,6 +55,11 @@ bench_provenance_json() {  # bench_provenance_json <repo_root> <build_dir>
   else
     isa=scalar
   fi
-  printf '{"git_sha": "%s", "compiler": "%s", "cxx_flags": "%s", "isa": "%s"}\n' \
-    "$sha" "$compiler" "$flags" "$isa"
+  # hardware_cores pins the record to the parallel budget it was measured
+  # under: scaling claims (steps_per_sec_by_workers) are only comparable
+  # between hosts with the same core count.
+  local cores
+  cores="$(nproc 2>/dev/null || echo 1)"
+  printf '{"git_sha": "%s", "compiler": "%s", "cxx_flags": "%s", "isa": "%s", "hardware_cores": %s}\n' \
+    "$sha" "$compiler" "$flags" "$isa" "$cores"
 }

@@ -12,6 +12,9 @@ The tool auto-detects which benchmark document it was handed:
                                       p50s at every load multiple
   inference (BENCH_inference.json) -- single-stream engine/autograd p50 and
                                       the specialized per-precision p50s
+  training  (BENCH_training.json)  -- per-benchmark training-step throughput
+                                      (items/s), including the sharded
+                                      data-parallel workers sweep
 
 Only p50s are compared: p99s on shared hardware are too noisy to gate on.
 A metric regresses when fresh > committed * (1 + tolerance); improvements
@@ -36,6 +39,9 @@ def detect_kind(doc):
         return "serving"
     if "single_stream_batch1" in doc:
         return "inference"
+    if any("TrainStep" in bench.get("name", "")
+           for bench in doc.get("benchmarks", [])):
+        return "training"
     return None
 
 
@@ -69,7 +75,25 @@ def inference_metrics(doc):
     return metrics
 
 
-EXTRACTORS = {"serving": serving_metrics, "inference": inference_metrics}
+def training_metrics(doc):
+    """Per-benchmark throughput from a training bench document (google-
+    benchmark JSON plus provenance). Single-run entries only; aggregates,
+    when present, are too coarse to pair reliably across formats."""
+    metrics = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "items_per_second" in bench:
+            metrics[f"{bench['name']}.items_per_second"] = (
+                bench["items_per_second"], "throughput")
+    return metrics
+
+
+EXTRACTORS = {
+    "serving": serving_metrics,
+    "inference": inference_metrics,
+    "training": training_metrics,
+}
 
 
 def main():

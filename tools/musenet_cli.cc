@@ -249,6 +249,13 @@ int Train(const Args& args) {
   train.keep_last = args.GetInt("keep-last", 3);
   train.resume = args.GetInt("resume", 0) != 0;
 
+  // Data-parallel training (see DESIGN.md "Data-parallel training"):
+  // --train-shards fixes the numerics, --train-workers only schedules, and
+  // --prefetch overlaps the next batch's assembly with the current step.
+  train.train_workers = args.GetInt("train-workers", 1);
+  train.train_shards = args.GetInt("train-shards", 0);
+  train.prefetch = args.GetInt("prefetch", 0) != 0;
+
   // Observability (see DESIGN.md "Observability"): --run-log streams JSONL
   // training telemetry; --trace-out and --metrics-out write a Perfetto
   // trace and a metrics snapshot at the end of the run.
@@ -1108,6 +1115,9 @@ int Usage() {
       "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "            [--keep-last K] [--resume 0|1]\n"
       "            [--on-nonfinite abort|skip|rollback]\n"
+      "            [--train-workers N] [--train-shards S] [--prefetch 0|1]\n"
+      "            (data-parallel step: S fixes numerics, N only schedules;\n"
+      "            results are bit-exact across N at fixed S)\n"
       "            [--trace-out FILE] [--metrics-out FILE]\n"
       "            [--run-log FILE] [--run-log-timings 0|1]\n"
       "  evaluate  --flows FILE --ckpt FILE [--d D] [--k K]\n"

@@ -30,7 +30,10 @@ trap 'rm -f "$raw_json"' EXIT
 
 provenance="$(bench_provenance_json "$repo_root" "$build_dir")"
 
-python3 - "$raw_json" "$repo_root/BENCH_training.json" "$provenance" <<'PY'
+fresh_json="$(mktemp)"
+trap 'rm -f "$raw_json" "$fresh_json"' EXIT
+
+python3 - "$raw_json" "$fresh_json" "$provenance" <<'PY'
 import json, sys
 
 # Pre-PR throughput (items/s), measured with this same benchmark at the
@@ -54,10 +57,51 @@ for bench in raw["benchmarks"]:
         entry["speedup_vs_baseline"] = round(
             bench["items_per_second"] / base, 3)
     out["benchmarks"].append(entry)
+
+# Data-parallel scaling headline: optimizer steps/s of the sharded step
+# (fixed 4 shards, batch 32) at each worker count, and the speedup against
+# the fused single-stream step measured in the same run. On hosts with
+# fewer cores than workers the extra workers time-slice, so speedups there
+# reflect scheduling overhead, not scaling (see provenance.hardware_cores).
+single_stream = next(
+    (b["items_per_second"] for b in raw["benchmarks"]
+     if b["name"] == "BM_MuseNetTrainStep/32"), None)
+by_workers = {}
+for bench in raw["benchmarks"]:
+    name = bench["name"]
+    if not name.startswith("BM_MuseNetTrainStepSharded/"):
+        continue
+    batch, workers = (int(part) for part in name.split("/")[1:3])
+    steps = bench["items_per_second"] / batch
+    entry = {"steps_per_sec": round(steps, 3)}
+    if single_stream:
+        entry["speedup_vs_single_stream"] = round(
+            steps / (single_stream / batch), 3)
+    by_workers[str(workers)] = entry
+if by_workers:
+    out["steps_per_sec_by_workers"] = by_workers
+
 json.dump(out, open(sys.argv[2], "w"), indent=2)
-print(f"Wrote {sys.argv[2]}")
 for b in out["benchmarks"]:
     if "speedup_vs_baseline" in b:
         print(f"  {b['name']:28s} {b['items_per_second']:8.2f} items/s "
               f"({b['speedup_vs_baseline']}x vs baseline)")
+for workers, entry in sorted(by_workers.items(), key=lambda kv: int(kv[0])):
+    line = f"  sharded workers={workers:2s} {entry['steps_per_sec']:8.2f} steps/s"
+    if "speedup_vs_single_stream" in entry:
+        line += f" ({entry['speedup_vs_single_stream']}x vs single-stream)"
+    print(line)
 PY
+
+# Gate against the committed record before overwriting it, exactly like the
+# serving bench: a regressed run must fail here, not become the new baseline.
+if [[ -f "$repo_root/BENCH_training.json" ]]; then
+  python3 "$repo_root/tools/check_bench_regression.py" \
+    --committed "$repo_root/BENCH_training.json" \
+    --fresh "$fresh_json" \
+    --tolerance "${MUSE_BENCH_TOL:-0.25}"
+fi
+
+mv "$fresh_json" "$repo_root/BENCH_training.json"
+trap 'rm -f "$raw_json"' EXIT
+echo "Wrote $repo_root/BENCH_training.json"
